@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the host-side hot paths: the reference
+//! and im2col convolutions, layout transforms, and the instruction-level
+//! machinery (pipeline simulation, dependence analysis, scheduling).
+//!
+//! These measure the *reproduction's own* performance (wall-clock of the
+//! Rust code), complementing the harness binaries that report *simulated*
+//! SW26010 performance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sw_isa::pipeline::LatencyTable;
+use sw_isa::{
+    list_schedule, naive_gemm_kernel, reordered_gemm_kernel, DepGraph, DualPipe, KernelSpec,
+};
+use sw_tensor::init::seeded_tensor;
+use sw_tensor::{conv2d_ref, ConvShape, Layout};
+
+fn bench_conv_paths(c: &mut Criterion) {
+    let shape = ConvShape::new(4, 8, 8, 8, 8, 3, 3);
+    let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 1);
+    let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 2);
+
+    c.bench_function("conv2d_ref 4x8x8x8 k3", |b| {
+        b.iter(|| conv2d_ref(black_box(shape), black_box(&input), black_box(&filter)))
+    });
+    c.bench_function("conv2d_im2col 4x8x8x8 k3", |b| {
+        b.iter(|| sw_gpuref::conv2d_im2col(black_box(&shape), black_box(&input), black_box(&filter)))
+    });
+}
+
+fn bench_layout_transforms(c: &mut Criterion) {
+    let shape = ConvShape::new(32, 16, 16, 16, 16, 3, 3);
+    let t = seeded_tensor::<f64>(shape.input_shape(), Layout::Nchw, 3);
+    c.bench_function("to_layout ImageAware 32x16x18x18", |b| {
+        b.iter(|| black_box(&t).to_layout(Layout::ImageAware))
+    });
+    c.bench_function("to_layout BatchAware 32x16x18x18", |b| {
+        b.iter(|| black_box(&t).to_layout(Layout::BatchAware))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pipe = DualPipe::default();
+    let naive = naive_gemm_kernel(KernelSpec::new(16));
+    let reord = reordered_gemm_kernel(KernelSpec::new(16));
+    c.bench_function("DualPipe::run naive n=16", |b| b.iter(|| pipe.run(black_box(&naive))));
+    c.bench_function("DualPipe::run reordered n=16", |b| b.iter(|| pipe.run(black_box(&reord))));
+
+    let lat = LatencyTable::default();
+    c.bench_function("DepGraph::build n=16 kernel", |b| {
+        b.iter(|| DepGraph::build(black_box(&reord), black_box(&lat)))
+    });
+    let one_iter = naive_gemm_kernel(KernelSpec::new(1));
+    c.bench_function("list_schedule one iteration", |b| {
+        b.iter(|| list_schedule(black_box(&one_iter), black_box(&lat)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conv_paths, bench_layout_transforms, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the simulator itself: superstep dispatch, DMA
+//! machinery, the distributed GEMM round, and a full small convolution on
+//! the mesh — how fast the reproduction simulates, not how fast the
+//! simulated chip is.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sw_perfmodel::ChipSpec;
+use sw_sim::{LdmBuf, Mesh};
+use sw_tensor::init::seeded_tensor;
+use sw_tensor::{ConvShape, Layout};
+use swdnn::plans::{ConvPlan, ImageAwarePlan};
+use swdnn::Conv2d;
+
+fn bench_superstep(c: &mut Criterion) {
+    c.bench_function("mesh superstep (empty)", |b| {
+        let mut mesh: Mesh<()> = Mesh::new(ChipSpec::sw26010(), |_, _| ());
+        b.iter(|| {
+            mesh.superstep(|ctx, _| {
+                black_box(ctx.id());
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+
+    c.bench_function("mesh superstep (dma 512B/cpe)", |b| {
+        let src = vec![1.0f64; 64 * 64];
+        let mut mesh: Mesh<LdmBuf> = Mesh::new(ChipSpec::sw26010(), |_, _| LdmBuf { offset: 0, len: 0 });
+        mesh.superstep(|ctx, buf| {
+            *buf = ctx.ldm_alloc(64)?;
+            Ok(())
+        })
+        .unwrap();
+        b.iter(|| {
+            mesh.superstep(|ctx, buf| {
+                let h = ctx.dma_get(*buf, 0, &src, ctx.id() * 64, 64)?;
+                ctx.dma_wait(h);
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn bench_mesh_conv(c: &mut Criterion) {
+    let shape = ConvShape::new(32, 8, 8, 2, 4, 3, 3);
+    let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 1);
+    let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 2);
+    let plan = ImageAwarePlan::new(sw_perfmodel::Blocking { b_b: 32, b_co: 4 });
+
+    c.bench_function("image_aware plan, 32x8x8 2x4 out", |b| {
+        b.iter(|| plan.run(black_box(&shape), black_box(&input), black_box(&filter)).unwrap())
+    });
+
+    let conv = Conv2d::new(shape).unwrap();
+    c.bench_function("auto plan end-to-end, 32x8x8 2x4 out", |b| {
+        b.iter(|| conv.forward(black_box(&input), black_box(&filter)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_superstep, bench_mesh_conv
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! §IV-A ablations: LDM blocking sizes, double buffering, kernel
+//! reordering — the design choices DESIGN.md calls out, each toggled on
+//! the simulated plans.
+//!
+//! 1. LDM blocking sweep: Eq. 1's RBW and the simulated throughput of the
+//!    image-size-aware plan across `(b_B, b_Co)`.
+//! 2. Inner-kernel reordering: the same plan with the naive (26 cyc/iter)
+//!    vs reordered (17 cyc/iter) kernel — the end-to-end value of §VI.
+
+use sw_bench::report::{f, Table};
+use sw_perfmodel::rbw;
+use sw_perfmodel::select::{ldm_doubles_image_aware, Blocking};
+use sw_perfmodel::ChipSpec;
+use sw_tensor::ConvShape;
+use swdnn::plans::{ConvPlan, ImageAwarePlan};
+
+fn main() {
+    let chip = ChipSpec::sw26010();
+    let shape = ConvShape::new(128, 128, 128, 64, 64, 3, 3);
+
+    let mut t = Table::new(
+        "LDM blocking sweep (image-size-aware, Ni=No=128, one CG)",
+        &["bB", "bCo", "LDM doubles", "RBW Eq.1", "sim Gflops", "eff%"],
+    );
+    for b_b in [32usize, 64, 128] {
+        for b_co in [4usize, 8, 16, 32] {
+            if !shape.co.is_multiple_of(b_co) || !shape.batch.is_multiple_of(b_b) {
+                continue;
+            }
+            let blk = Blocking { b_b, b_co };
+            let ldm = ldm_doubles_image_aware(&shape, blk);
+            let rbw_v = rbw::rbw_image_aware(b_b, b_co, shape.no, chip.peak_gflops_per_cg());
+            let plan = ImageAwarePlan::new(blk);
+            let (gflops, eff) = match plan.time_full_shape(&shape) {
+                Ok(timing) => {
+                    let g = timing.gflops(&shape, &chip);
+                    (f(g, 0), f(100.0 * g / chip.peak_gflops_per_cg(), 1))
+                }
+                Err(_) => ("LDM overflow".to_string(), "-".to_string()),
+            };
+            t.row(vec![
+                b_b.to_string(),
+                b_co.to_string(),
+                ldm.to_string(),
+                f(rbw_v, 1),
+                gflops,
+                eff,
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv("ablation_ldm_blocking");
+
+    // Kernel reordering end-to-end.
+    let mut t2 = Table::new(
+        "Inner-kernel reordering, end-to-end (image-size-aware plan)",
+        &["Ni", "No", "kernel", "sim Gflops", "eff%"],
+    );
+    for (ni, no) in [(64, 64), (128, 128), (256, 256)] {
+        let shape = ConvShape::new(128, ni, no, 64, 64, 3, 3);
+        for reordered in [false, true] {
+            let mut plan = ImageAwarePlan::new(Blocking { b_b: 32, b_co: 8 });
+            plan.reordered_kernel = reordered;
+            let timing = plan.time_full_shape(&shape).expect("plan");
+            let g = timing.gflops(&shape, &chip);
+            t2.row(vec![
+                ni.to_string(),
+                no.to_string(),
+                if reordered { "reordered (17/iter)" } else { "naive (26/iter)" }.to_string(),
+                f(g, 0),
+                f(100.0 * g / chip.peak_gflops_per_cg(), 1),
+            ]);
+        }
+    }
+    t2.print();
+    t2.write_csv("ablation_kernel_reorder");
+
+    // Double buffering end-to-end.
+    let mut t3 = Table::new(
+        "DMA double buffering, end-to-end (image-size-aware plan)",
+        &["Ni", "No", "mode", "sim Gflops", "eff%", "dma stall Mcyc"],
+    );
+    for (ni, no) in [(64, 64), (128, 128)] {
+        let shape = ConvShape::new(128, ni, no, 64, 64, 3, 3);
+        for buffered in [false, true] {
+            let mut plan = ImageAwarePlan::new(Blocking { b_b: 32, b_co: 8 });
+            plan.double_buffer = buffered;
+            let timing = plan.time_full_shape(&shape).expect("plan");
+            let g = timing.gflops(&shape, &chip);
+            t3.row(vec![
+                ni.to_string(),
+                no.to_string(),
+                if buffered { "double-buffered" } else { "synchronous" }.to_string(),
+                f(g, 0),
+                f(100.0 * g / chip.peak_gflops_per_cg(), 1),
+                f(timing.stats.totals.dma_stall_cycles as f64 / 1e6, 1),
+            ]);
+        }
+    }
+    t3.print();
+    t3.write_csv("ablation_double_buffer");
+
+    println!(
+        "\nTakeaways: (1) larger bB*bCo lowers Eq.1's RBW until LDM overflows —\n\
+         the blocking sweet spot the model picks; (2) §VI reordering lifts\n\
+         end-to-end throughput by roughly the 26/17 kernel ratio wherever the\n\
+         plan is compute-bound."
+    );
+}

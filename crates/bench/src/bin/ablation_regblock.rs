@@ -1,0 +1,71 @@
+//! §V-B/§V-C — register blocking ablation (Eqs. 3, 4, 5).
+//!
+//! Sweeps the GEMM register blocking `(rb_B, rb_No)` and prints the
+//! required LDM→REG bandwidth of the plain (Eq. 4) and SIMD (Eq. 5)
+//! variants against the 46.4 GB/s hardware budget, plus the spatial
+//! blocking alternative (Eq. 3) that the paper rejects. Confirms the
+//! published choice `rb_B = 16`, `rb_No = 4` ⇒ 23.2 GB/s.
+
+use sw_bench::report::{f, Table};
+use sw_perfmodel::rbw;
+use sw_perfmodel::ChipSpec;
+
+fn main() {
+    let chip = ChipSpec::sw26010();
+    let t_cpe = chip.peak_gflops_per_cpe();
+    let budget = chip.ldm_reg_gbps;
+
+    let mut t = Table::new(
+        "Eq. 4/5: GEMM register blocking sweep (per-CPE RBW, GB/s)",
+        &["rb_B", "rb_No", "regs used", "RBW plain", "RBW simd", "fits 46.4?"],
+    );
+    for rb_b in [4usize, 8, 16, 32] {
+        for rb_no in [1usize, 2, 4, 8] {
+            // Register budget: rb_B/4 A vectors + rb_No B vectors +
+            // (rb_B/4 * rb_No) C vectors out of 32.
+            let regs = rb_b / 4 + rb_no + (rb_b / 4) * rb_no;
+            let plain = rbw::rbw_reg_gemm(rb_b, rb_no, t_cpe);
+            let simd = rbw::rbw_reg_gemm_simd(rb_b, rb_no, t_cpe);
+            t.row(vec![
+                rb_b.to_string(),
+                rb_no.to_string(),
+                format!("{regs}/32{}", if regs > 32 { " (!)" } else { "" }),
+                f(plain, 1),
+                f(simd, 1),
+                (simd < budget && regs <= 32).to_string(),
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv("ablation_regblock");
+
+    let chosen = rbw::rbw_reg_gemm_simd(16, 4, t_cpe);
+    println!(
+        "\nPaper's choice rb_B=16, rb_No=4: RBW = {:.1} GB/s < {budget} GB/s (Eq. 5),\n\
+         with 4 + 4 + 16 = 24 of 32 vector registers used.",
+        chosen
+    );
+
+    let mut t2 = Table::new(
+        "Eq. 3: spatial register blocking (rejected alternative, per-CPE RBW)",
+        &["tile", "K=1", "K=3", "K=5"],
+    );
+    for tile in [4usize, 6, 8, 10] {
+        let cell = |k: usize| {
+            if tile >= k {
+                f(rbw::rbw_reg_spatial(tile, tile, k, k, t_cpe), 1)
+            } else {
+                "-".into()
+            }
+        };
+        t2.row(vec![format!("{tile}x{tile}"), cell(1), cell(3), cell(5)]);
+    }
+    t2.print();
+    t2.write_csv("ablation_regblock_spatial");
+    println!(
+        "\nEq. 3's RBW is pinned by the network's Kr,Kc (for K=1 it can never\n\
+         drop below DS*T = {:.1} GB/s > {budget}); Eq. 4/5 blocking is tunable for\n\
+         any configuration — the reason swDNN uses the GEMM plan.",
+        rbw::rbw_reg_spatial(4, 4, 1, 1, t_cpe)
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig. 2 — the two mapping paths of the performance model, made
+//! executable.
+//!
+//! The figure contrasts the *direct memory access* mapping (gload from
+//! main memory, `(8/139.2)² ≈ 0.32 %` of peak) with the *REG-LDM-MEM*
+//! hierarchy. This binary evaluates both analytically AND by simulation:
+//! the direct plan is actually executed (sampled), as is the selected
+//! LDM plan, for a set of representative configurations.
+
+use sw_bench::report::{f, Table};
+use sw_perfmodel::{ChipSpec, PlanKind};
+use sw_tensor::ConvShape;
+use swdnn::Executor;
+
+fn main() {
+    let chip = ChipSpec::sw26010();
+    let exec = Executor::new();
+    let peak = chip.peak_gflops_per_cg();
+
+    let mut t = Table::new(
+        "Fig. 2: direct-gload vs REG-LDM-MEM (one CG)",
+        &[
+            "Ni", "No", "direct mdl", "direct sim", "dir eff%", "ldm mdl", "ldm sim", "ldm eff%",
+            "gain",
+        ],
+    );
+
+    for (ni, no) in [(64, 64), (128, 128), (256, 256)] {
+        let shape = ConvShape::new(128, ni, no, 64, 64, 3, 3);
+        let direct = exec.run_config_with(&shape, PlanKind::DirectGload).expect("direct");
+        let opt = exec.run_config(&shape).expect("optimized");
+        t.row(vec![
+            ni.to_string(),
+            no.to_string(),
+            f(direct.model.gflops_per_cg, 2),
+            f(direct.gflops_cg, 2),
+            f(100.0 * direct.efficiency, 3),
+            f(opt.model.gflops_per_cg, 1),
+            f(opt.gflops_cg, 1),
+            f(100.0 * opt.efficiency, 1),
+            format!("{:.0}x", opt.gflops_cg / direct.gflops_cg),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig2_model");
+
+    let ratio = (chip.gload_gbps / chip.rbw_direct_mem_gbps).powi(2);
+    println!(
+        "\nPaper: direct mapping sustains (8/139.2)^2 = {:.2}% of the {:.1} Gflops\n\
+         CG peak; the REG-LDM-MEM path recovers >50%. The simulated direct plan\n\
+         lands at the same collapse, two orders of magnitude below the LDM plans.",
+        100.0 * ratio,
+        peak
+    );
+}

@@ -1,0 +1,49 @@
+//! §VII validation: does the performance model pick (near-)optimal plans?
+//!
+//! "The comparison between the measurement and our performance model shows
+//! a reasonable match, thus proving that our performance model has ...
+//! provided useful guidance in our optimization process."
+//!
+//! For each configuration: exhaustively time every feasible plan/blocking
+//! candidate (sampled simulation) and compare the empirical optimum against
+//! the model's choice.
+
+use sw_bench::report::{f, Table};
+use sw_tensor::ConvShape;
+use swdnn::tune::autotune;
+
+fn main() {
+    let mut t = Table::new(
+        "Model-guided selection vs exhaustive autotuning (one CG)",
+        &["Ni", "No", "best candidate", "best Gflops", "model choice", "model Gflops", "model/best"],
+    );
+    for (ni, no) in [(64usize, 64usize), (128, 128), (128, 256), (256, 256), (384, 384)] {
+        let shape = ConvShape::new(128, ni, no, 64, 64, 3, 3);
+        let rep = autotune(&shape).expect("candidates exist");
+        let best = rep.best().clone();
+        let (mdesc, mg) = match rep.model_choice {
+            Some(i) => (
+                rep.candidates[i].description.clone(),
+                rep.candidates[i].gflops,
+            ),
+            None => ("(infeasible)".into(), 0.0),
+        };
+        t.row(vec![
+            ni.to_string(),
+            no.to_string(),
+            best.description.clone(),
+            f(best.gflops, 0),
+            mdesc,
+            f(mg, 0),
+            f(mg / best.gflops, 2),
+        ]);
+    }
+    t.print();
+    t.write_csv("model_vs_autotune");
+    println!(
+        "\n§VII's claim in executable form: at evaluation scale the model's pick\n\
+         attains most of the exhaustive-search optimum without timing a single\n\
+         candidate. (At toy scales the model misses — its equations ignore the\n\
+         fixed per-superstep costs that dominate small problems.)"
+    );
+}

@@ -1,0 +1,66 @@
+//! Run every table/figure regenerator in sequence — the one-command
+//! reproduction of the paper's evaluation section.
+//!
+//! ```sh
+//! SWDNN_RESULTS_DIR=results cargo run --release -p sw-bench --bin run_all
+//! ```
+//!
+//! Each artifact's binary can also be run individually; this driver simply
+//! invokes their `main` logic via the same process (no subprocesses), so a
+//! single build suffices.
+
+use std::process::Command;
+use std::time::Instant;
+
+const BINARIES: &[(&str, &str)] = &[
+    ("table2_dma", "Table II — DMA bandwidth vs block size"),
+    ("fig2_model", "Fig. 2 — direct vs REG-LDM-MEM"),
+    ("fig6_reorder", "Fig. 6 / §VI — instruction reordering"),
+    ("table3_model", "Table III — model vs measured"),
+    ("scaling_cgs", "§III-D — multi-CG scaling"),
+    ("ablation_regblock", "§V-B/C — register blocking (Eqs. 3-5)"),
+    ("ablation_ldm", "§IV-A — LDM blocking / kernel reordering"),
+    ("training_pass", "extension — fwd + bwd passes at paper scale"),
+    ("model_vs_autotune", "§VII — model guidance vs exhaustive autotuning"),
+    ("fig7_channels", "Fig. 7 — 101 channel configs vs K40m"),
+    ("fig9_filters", "Fig. 9 — filter sizes vs K40m"),
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let started = Instant::now();
+    let mut failures = Vec::new();
+    for (bin, title) in BINARIES {
+        println!("\n################################################################");
+        println!("## {title}");
+        println!("################################################################");
+        let t0 = Instant::now();
+        let status = Command::new(exe_dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {
+                println!("## ({bin} finished in {:.1}s)", t0.elapsed().as_secs_f64());
+            }
+            Ok(s) => {
+                eprintln!("## {bin} FAILED with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("## {bin} could not start: {e} (build with --bins first)");
+                failures.push(*bin);
+            }
+        }
+    }
+    println!(
+        "\nAll artifacts attempted in {:.1}s; {} failures{}",
+        started.elapsed().as_secs_f64(),
+        failures.len(),
+        if failures.is_empty() { String::new() } else { format!(": {failures:?}") }
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

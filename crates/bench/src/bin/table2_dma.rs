@@ -1,0 +1,76 @@
+//! Table II — measured DMA bandwidths (GB/s) on one CG vs block size.
+//!
+//! Runs the DMA micro-benchmark of §III-D on the simulated core group: all
+//! 64 CPEs stream a large array in blocks of the given size, in both
+//! directions, and the achieved bandwidth is computed from simulated time.
+//! The engine's curve is calibrated to the published Table II, so the
+//! "sim" columns reproduce the paper numbers; the "fit" columns show the
+//! mechanistic two-parameter model (setup cost + link ceiling + alignment
+//! penalty) that explains the curve's shape.
+
+use sw_bench::report::{f, Table};
+use sw_perfmodel::dma::{
+    DmaDirection, RationalFit, TABLE_II_GET, TABLE_II_PUT, TABLE_II_SIZES,
+};
+use sw_perfmodel::ChipSpec;
+use sw_sim::{LdmBuf, Mesh};
+
+/// Measure achieved aggregate bandwidth with every CPE moving
+/// `per_cpe_bytes` in blocks of `block` bytes.
+fn measure(dir: DmaDirection, block: usize, per_cpe_bytes: usize) -> f64 {
+    let chip = ChipSpec::sw26010();
+    let src = vec![1.0f64; per_cpe_bytes / 8 * 64];
+    let mut mesh: Mesh<LdmBuf> = Mesh::new(chip, |_, _| LdmBuf { offset: 0, len: 0 });
+    mesh.sync_cycles = 0;
+    let doubles = block / 8;
+    let reqs = per_cpe_bytes / block;
+    mesh.superstep(|ctx, buf| {
+        *buf = ctx.ldm_alloc(doubles)?;
+        let base = ctx.id() * (per_cpe_bytes / 8);
+        let mut last = None;
+        for r in 0..reqs {
+            let h = match dir {
+                DmaDirection::Get => ctx.dma_get(*buf, 0, &src, base + r * doubles, doubles)?,
+                DmaDirection::Put => ctx.dma_put(*buf, 0, base + r * doubles, doubles)?,
+            };
+            last = Some(h);
+        }
+        if let Some(h) = last {
+            ctx.dma_wait(h);
+        }
+        Ok(())
+    })
+    .expect("dma microbenchmark");
+    let st = mesh.stats();
+    let total_bytes = (per_cpe_bytes * 64) as f64;
+    total_bytes / st.seconds(chip.clock_ghz) / 1e9
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Table II: Measured DMA Bandwidths (GB/s) on 1 CG",
+        &["Size(B)", "Get(paper)", "Get(sim)", "Get(fit)", "Put(paper)", "Put(sim)", "Put(fit)"],
+    );
+    let get_fit = RationalFit::get();
+    let put_fit = RationalFit::put();
+    for (i, &size) in TABLE_II_SIZES.iter().enumerate() {
+        let per_cpe = (1 << 20).max(size * 64);
+        let g = measure(DmaDirection::Get, size, per_cpe);
+        let p = measure(DmaDirection::Put, size, per_cpe);
+        t.row(vec![
+            size.to_string(),
+            f(TABLE_II_GET[i], 2),
+            f(g, 2),
+            f(get_fit.bandwidth_gbps(size), 2),
+            f(TABLE_II_PUT[i], 2),
+            f(p, 2),
+            f(put_fit.bandwidth_gbps(size), 2),
+        ]);
+    }
+    t.print();
+    t.write_csv("table2_dma");
+    println!(
+        "\nTakeaway (§III-D): blocks >= 256 B aligned to 128 B approach the\n\
+         32-36 GB/s ceiling; 32-64 B blocks waste ~75% of the interface."
+    );
+}

@@ -1,0 +1,22 @@
+//! Benchmark harness regenerating every table and figure of the swDNN
+//! paper (IPDPS'17).
+//!
+//! One binary per artifact (see `src/bin/`):
+//!
+//! | binary              | paper artifact |
+//! |---------------------|----------------|
+//! | `table2_dma`        | Table II — DMA bandwidth vs block size |
+//! | `fig2_model`        | Fig. 2 — direct-gload vs REG-LDM-MEM paths |
+//! | `fig6_reorder`      | Fig. 6 / §VI — 26 → 17 cycles per iteration |
+//! | `fig7_channels`     | Fig. 7 — 101 (Ni, No) configs vs K40m |
+//! | `fig9_filters`      | Fig. 9 — filter sizes 3×3 … 21×21 vs K40m |
+//! | `table3_model`      | Table III — model vs measured |
+//! | `scaling_cgs`       | §III-D — 4-CG near-linear scaling |
+//! | `ablation_regblock` | §V-C Eq. 5 — register blocking sweep |
+//! | `ablation_ldm`      | §IV-A — LDM blocking / double-buffer ablations |
+//!
+//! [`configs`] holds the Fig. 8 configuration-generator scripts; [`report`]
+//! the table-formatting helpers shared by the binaries.
+
+pub mod configs;
+pub mod report;

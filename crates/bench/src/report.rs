@@ -1,0 +1,122 @@
+//! Shared output helpers for the harness binaries.
+//!
+//! Every binary prints a human-readable aligned table to stdout and, when
+//! `SWDNN_RESULTS_DIR` is set, also writes a CSV with the same rows so
+//! EXPERIMENTS.md numbers can be regenerated mechanically.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned table accumulator.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width");
+        self.rows.push(cells);
+    }
+
+    /// Print to stdout with aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+
+    /// Optionally write `<SWDNN_RESULTS_DIR>/<name>.csv`.
+    pub fn write_csv(&self, name: &str) {
+        let Ok(dir) = std::env::var("SWDNN_RESULTS_DIR") else {
+            return;
+        };
+        let mut path = PathBuf::from(dir);
+        if fs::create_dir_all(&path).is_err() {
+            eprintln!("cannot create results dir {path:?}");
+            return;
+        }
+        path.push(format!("{name}.csv"));
+        let mut out = match fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot write {path:?}: {e}");
+                return;
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        println!("(csv written to {})", path.display());
+    }
+}
+
+/// Format a float with fixed decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_must_match_header() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_written_when_env_set() {
+        let dir = std::env::temp_dir().join("swdnn_report_test");
+        std::env::set_var("SWDNN_RESULTS_DIR", &dir);
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.write_csv("unit_test");
+        let content = std::fs::read_to_string(dir.join("unit_test.csv")).unwrap();
+        assert!(content.contains("a,b"));
+        assert!(content.contains("1,2"));
+        std::env::remove_var("SWDNN_RESULTS_DIR");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(3.14159, 2), "3.14");
+    }
+}

@@ -1,0 +1,136 @@
+//! `swdnn-cli` — command-line front end to the library.
+//!
+//! ```text
+//! swdnn-cli info                      # chip constants and peaks
+//! swdnn-cli run  <Ni> <No> [B] [out] [K]   # simulate one convolution
+//! swdnn-cli tune <Ni> <No> [B] [out] [K]   # exhaustive plan search
+//! swdnn-cli kernels [n]               # Fig. 6 annotated schedules
+//! ```
+
+use sw_perfmodel::ChipSpec;
+use swdnn::tune::autotune;
+use swdnn::{ConvShape, Executor};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  swdnn-cli info\n  swdnn-cli run  <Ni> <No> [B=128] [out=64] [K=3]\n  \
+         swdnn-cli tune <Ni> <No> [B=128] [out=64] [K=3]\n  swdnn-cli kernels [n=2]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_shape(args: &[String]) -> ConvShape {
+    let get = |i: usize, d: usize| args.get(i).and_then(|s| s.parse().ok()).unwrap_or(d);
+    let ni = args.first().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+    let no = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+    let b = get(2, 128);
+    let out = get(3, 64);
+    let k = get(4, 3);
+    ConvShape::new(b, ni, no, out, out, k, k)
+}
+
+fn cmd_info() {
+    let c = ChipSpec::sw26010();
+    println!("SW26010 (simulated):");
+    println!("  clock                {:.2} GHz", c.clock_ghz);
+    println!("  core groups          {} x ({} CPEs + 1 MPE)", c.core_groups, c.cpes_per_cg);
+    println!("  peak DP              {:.1} Gflops/CG, {:.2} Tflops/chip",
+        c.peak_gflops_per_cg(), c.peak_tflops_chip());
+    println!("  LDM                  {} KB/CPE ({} doubles)", c.ldm_bytes / 1024, c.ldm_doubles());
+    println!("  DDR3                 {:.0} GB/s per CG ({:.0} GB/s chip)",
+        c.ddr3_peak_gbps, c.total_mem_bw_gbps());
+    println!("  gload path           {:.0} GB/s per CG", c.gload_gbps);
+    println!("  LDM<->REG            {:.1} GB/s per CPE", c.ldm_reg_gbps);
+}
+
+fn cmd_run(shape: ConvShape) {
+    println!("config: {shape} ({:.2} Gflop/pass)", shape.flops() as f64 / 1e9);
+    let exec = Executor::new();
+    match exec.run_config(&shape) {
+        Ok(rep) => {
+            let chip = ChipSpec::sw26010();
+            println!("plan:        {}", rep.plan_name);
+            println!("blocking:    b_B={} b_Co={}", rep.blocking.b_b, rep.blocking.b_co);
+            println!(
+                "simulated:   {:.1} Gflops/CG = {:.1}% of peak ({} cycles{})",
+                rep.gflops_cg,
+                100.0 * rep.efficiency,
+                rep.timing.cycles,
+                if rep.timing.sampled { ", sampled" } else { "" }
+            );
+            println!("model said:  {:.1} Gflops/CG", rep.model.gflops_per_cg);
+            println!(
+                "traffic:     {:.1} MB get / {:.1} MB put (minimum {:.1} MB)",
+                rep.timing.stats.totals.dma_get_bytes as f64 / 1e6,
+                rep.timing.stats.totals.dma_put_bytes as f64 / 1e6,
+                shape.min_bytes_f64() as f64 / 1e6
+            );
+            match exec.run_multi_cg(&shape, chip.core_groups) {
+                Ok(m) => println!("chip (4 CG): {:.0} Gflops", m.gflops_chip),
+                Err(e) => println!("chip (4 CG): {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_tune(shape: ConvShape) {
+    println!("config: {shape}");
+    match autotune(&shape) {
+        Ok(rep) => {
+            println!("{:<40} {:>12} {:>10}", "candidate", "cycles", "Gflops/CG");
+            for (i, c) in rep.candidates.iter().enumerate() {
+                let marks = match (i == 0, rep.model_choice == Some(i)) {
+                    (true, true) => "  <= best & model",
+                    (true, false) => "  <= best",
+                    (false, true) => "  <= model",
+                    _ => "",
+                };
+                println!("{:<40} {:>12} {:>10.1}{marks}", c.description, c.cycles, c.gflops);
+            }
+            if let Some(frac) = rep.model_fraction_of_best() {
+                println!("model attains {:.0}% of the empirical best", frac * 100.0);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_kernels(n: usize) {
+    use sw_isa::{naive_gemm_kernel, reordered_gemm_kernel, DualPipe, KernelSpec};
+    let pipe = DualPipe::default();
+    let naive = naive_gemm_kernel(KernelSpec::new(n));
+    let rep = pipe.run(&naive);
+    println!("== naive kernel ({n} iterations) ==");
+    print!("{}", rep.annotate(&naive));
+    let reord = reordered_gemm_kernel(KernelSpec::new(n));
+    let rep2 = pipe.run(&reord);
+    println!("\n== reordered kernel ({n} iterations) ==");
+    print!("{}", rep2.annotate(&reord));
+    println!(
+        "\nspeedup {:.2}x ({} -> {} cycles)",
+        rep.cycles as f64 / rep2.cycles as f64,
+        rep.cycles,
+        rep2.cycles
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("info") => cmd_info(),
+        Some("run") => cmd_run(parse_shape(&args[1..])),
+        Some("tune") => cmd_tune(parse_shape(&args[1..])),
+        Some("kernels") => {
+            let n = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+            cmd_kernels(n)
+        }
+        _ => usage(),
+    }
+}

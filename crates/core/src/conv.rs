@@ -1,0 +1,415 @@
+//! The user-facing convolution API with model-driven plan selection (§VII:
+//! "we adopt different loop scheduling and blocking strategies according to
+//! the performance model for different parameter configurations").
+
+use crate::error::SwdnnError;
+use crate::plans::{
+    BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, ReferencePlan,
+};
+use sw_perfmodel::{select_plan, ChipSpec, PlanKind};
+use sw_tensor::{conv2d_bwd_data_ref, conv2d_bwd_filter_ref, ConvShape, Tensor4};
+
+/// A configured convolution operator.
+#[derive(Clone, Copy, Debug)]
+pub struct Conv2d {
+    pub shape: ConvShape,
+    pub chip: ChipSpec,
+    /// Force a specific plan instead of consulting the model.
+    pub forced: Option<PlanKind>,
+}
+
+impl Conv2d {
+    pub fn new(shape: ConvShape) -> Result<Self, SwdnnError> {
+        if !shape.is_valid() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: "positive extents".into(),
+                got: format!("{shape}"),
+            });
+        }
+        Ok(Self { shape, chip: ChipSpec::sw26010(), forced: None })
+    }
+
+    pub fn with_plan(mut self, kind: PlanKind) -> Self {
+        self.forced = Some(kind);
+        self
+    }
+
+    /// Resolve the plan this configuration will use.
+    ///
+    /// Order: forced kind if set; otherwise the performance model's choice,
+    /// verified against the plan's own `supports`; otherwise whichever mesh
+    /// plan supports the shape; otherwise the host reference plan.
+    pub fn plan(&self) -> Box<dyn ConvPlan> {
+        if let Some(kind) = self.forced {
+            return self.instantiate(kind);
+        }
+        if let Some(choice) = select_plan(&self.shape, &self.chip) {
+            let plan = self.instantiate(choice.kind);
+            if plan.supports(&self.shape).is_ok() {
+                return plan;
+            }
+        }
+        for kind in [PlanKind::BatchSizeAware, PlanKind::ImageSizeAware] {
+            let plan = self.instantiate(kind);
+            if plan.supports(&self.shape).is_ok() {
+                return plan;
+            }
+        }
+        Box::new(ReferencePlan::default())
+    }
+
+    fn instantiate(&self, kind: PlanKind) -> Box<dyn ConvPlan> {
+        match kind {
+            PlanKind::ImageSizeAware => {
+                // Use the model's blocking choice when available.
+                let blocking = select_plan(&self.shape, &self.chip)
+                    .filter(|c| c.kind == PlanKind::ImageSizeAware)
+                    .map(|c| c.blocking)
+                    .unwrap_or_else(|| self.fallback_blocking());
+                let plan = ImageAwarePlan::new(blocking);
+                if plan.supports(&self.shape).is_ok() {
+                    return Box::new(plan);
+                }
+                // §IV-A fallback: jointly shrink the output-column block
+                // and block the Ni dimension until the footprint fits
+                // (largest surviving b_co first; b_ni halves down to one
+                // mesh row's worth of channels).
+                for b_co in [16usize, 8, 4, 2, 1] {
+                    if !self.shape.co.is_multiple_of(b_co) {
+                        continue;
+                    }
+                    let base =
+                        ImageAwarePlan::new(sw_perfmodel::Blocking { b_b: 32, b_co });
+                    let mut b_ni = self.shape.ni;
+                    while b_ni >= 8 {
+                        if self.shape.ni.is_multiple_of(b_ni) && b_ni.is_multiple_of(8) {
+                            let blocked = base.with_ni_blocking(b_ni);
+                            if blocked.supports(&self.shape).is_ok() {
+                                return Box::new(blocked);
+                            }
+                        }
+                        b_ni /= 2;
+                    }
+                }
+                Box::new(plan)
+            }
+            PlanKind::BatchSizeAware => Box::new(BatchAwarePlan::auto(&self.shape)),
+            PlanKind::DirectGload => Box::new(DirectPlan::default()),
+        }
+    }
+
+    fn fallback_blocking(&self) -> sw_perfmodel::Blocking {
+        // Largest feasible power-of-two blocks.
+        let mut b_b = 32;
+        while b_b * 2 <= self.shape.batch && self.shape.batch.is_multiple_of(b_b * 2) && b_b < 128 {
+            b_b *= 2;
+        }
+        let mut b_co = 1;
+        while b_co * 2 <= self.shape.co.min(16) && self.shape.co.is_multiple_of(b_co * 2) {
+            b_co *= 2;
+        }
+        sw_perfmodel::Blocking { b_b, b_co }
+    }
+
+    /// Forward convolution.
+    pub fn forward(
+        &self,
+        input: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<ConvRun, SwdnnError> {
+        self.check_operands(input, filter)?;
+        self.plan().run(&self.shape, input, filter)
+    }
+
+    /// Gradient w.r.t. the input, computed host-side with the reference
+    /// loops. See [`Conv2d::backward_data_on_chip`] for the simulated-chip
+    /// path the paper's training focus implies.
+    pub fn backward_data(
+        &self,
+        d_out: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<Tensor4<f64>, SwdnnError> {
+        if d_out.shape() != self.shape.output_shape() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("{:?}", self.shape.output_shape()),
+                got: format!("{:?}", d_out.shape()),
+            });
+        }
+        Ok(conv2d_bwd_data_ref(self.shape, d_out, filter))
+    }
+
+    /// The [`ConvShape`] of the backward-data pass expressed as a forward
+    /// convolution: `d_in = conv_valid(pad(d_out, K−1), rot180(Wᵀ))`, i.e.
+    /// channels swap roles (`Ni ↔ No`) and the output extent is the input
+    /// extent.
+    pub fn backward_data_shape(&self) -> ConvShape {
+        let s = self.shape;
+        ConvShape::new(s.batch, s.no, s.ni, s.ri(), s.ci(), s.kr, s.kc)
+    }
+
+    /// Gradient w.r.t. the input, executed **on the simulated SW26010** by
+    /// lowering to an equivalent forward convolution (zero-padded output
+    /// gradient × flipped-transposed filters) and running it through the
+    /// regular plan machinery — the same trick real training frameworks
+    /// use so one tuned kernel serves both directions.
+    pub fn backward_data_on_chip(
+        &self,
+        d_out: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<crate::plans::ConvRun, SwdnnError> {
+        if d_out.shape() != self.shape.output_shape() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("{:?}", self.shape.output_shape()),
+                got: format!("{:?}", d_out.shape()),
+            });
+        }
+        let s = self.shape;
+        let bwd_shape = self.backward_data_shape();
+
+        // Zero-pad the output gradient by (Kr-1, Kc-1) on every side.
+        let mut padded =
+            Tensor4::zeros(bwd_shape.input_shape(), sw_tensor::Layout::Nchw);
+        for b in 0..s.batch {
+            for no in 0..s.no {
+                for r in 0..s.ro {
+                    for c in 0..s.co {
+                        padded.set(b, no, r + s.kr - 1, c + s.kc - 1, d_out.get(b, no, r, c));
+                    }
+                }
+            }
+        }
+        // Flip and transpose the filters: W'[ni][no][kr][kc] =
+        // W[no][ni][Kr-1-kr][Kc-1-kc].
+        let mut flipped =
+            Tensor4::zeros(bwd_shape.filter_shape(), sw_tensor::Layout::Nchw);
+        for no in 0..s.no {
+            for ni in 0..s.ni {
+                for kr in 0..s.kr {
+                    for kc in 0..s.kc {
+                        flipped.set(
+                            ni,
+                            no,
+                            s.kr - 1 - kr,
+                            s.kc - 1 - kc,
+                            filter.get(no, ni, kr, kc),
+                        );
+                    }
+                }
+            }
+        }
+        let bwd_conv = Conv2d { shape: bwd_shape, chip: self.chip, forced: self.forced };
+        bwd_conv.forward(&padded, &flipped)
+    }
+
+    /// Gradient w.r.t. the filters, executed **on the simulated SW26010**
+    /// by the dedicated [`crate::plans::BwdFilterPlan`] (the pixel-reduced
+    /// GEMM rotation). Falls back with `Unsupported` for shapes the mesh
+    /// cannot tile; use [`Conv2d::backward_filter`] for the always-correct
+    /// host path.
+    pub fn backward_filter_on_chip(
+        &self,
+        input: &Tensor4<f64>,
+        d_out: &Tensor4<f64>,
+    ) -> Result<(Tensor4<f64>, crate::plans::PlanTiming), SwdnnError> {
+        if d_out.shape() != self.shape.output_shape() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("{:?}", self.shape.output_shape()),
+                got: format!("{:?}", d_out.shape()),
+            });
+        }
+        let plan = crate::plans::BwdFilterPlan::auto(&self.shape);
+        plan.supports(&self.shape)?;
+        plan.run(&self.shape, input, d_out)
+    }
+
+    /// Gradient w.r.t. the filters.
+    pub fn backward_filter(
+        &self,
+        input: &Tensor4<f64>,
+        d_out: &Tensor4<f64>,
+    ) -> Result<Tensor4<f64>, SwdnnError> {
+        if d_out.shape() != self.shape.output_shape() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("{:?}", self.shape.output_shape()),
+                got: format!("{:?}", d_out.shape()),
+            });
+        }
+        Ok(conv2d_bwd_filter_ref(self.shape, input, d_out))
+    }
+
+    fn check_operands(
+        &self,
+        input: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<(), SwdnnError> {
+        if input.shape() != self.shape.input_shape() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("{:?}", self.shape.input_shape()),
+                got: format!("{:?}", input.shape()),
+            });
+        }
+        if filter.shape() != self.shape.filter_shape() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("{:?}", self.shape.filter_shape()),
+                got: format!("{:?}", filter.shape()),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_tensor::init::{lattice_tensor, seeded_tensor};
+    use sw_tensor::{conv2d_ref, Layout};
+
+    #[test]
+    fn forward_auto_selects_and_matches_reference() {
+        let shape = ConvShape::new(16, 8, 8, 4, 8, 3, 3);
+        let conv = Conv2d::new(shape).unwrap();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 51);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 52);
+        let run = conv.forward(&input, &filter).unwrap();
+        let expect = conv2d_ref(shape, &input, &filter);
+        assert_eq!(run.output.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn odd_shapes_fall_back_to_reference_plan() {
+        let shape = ConvShape::new(3, 5, 7, 2, 3, 2, 2);
+        let conv = Conv2d::new(shape).unwrap();
+        assert_eq!(conv.plan().name(), "reference");
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 53);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 54);
+        let run = conv.forward(&input, &filter).unwrap();
+        assert_eq!(run.output.shape(), shape.output_shape());
+    }
+
+    #[test]
+    fn forcing_a_plan_is_respected() {
+        let shape = ConvShape::new(16, 8, 8, 4, 8, 3, 3);
+        let conv = Conv2d::new(shape).unwrap().with_plan(PlanKind::DirectGload);
+        assert_eq!(conv.plan().name(), "direct_gload");
+    }
+
+    #[test]
+    fn operand_shapes_are_checked() {
+        let shape = ConvShape::new(16, 8, 8, 4, 8, 3, 3);
+        let conv = Conv2d::new(shape).unwrap();
+        let wrong = seeded_tensor(sw_tensor::Shape4::new(1, 1, 1, 1), Layout::Nchw, 1);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 2);
+        assert!(matches!(
+            conv.forward(&wrong, &filter),
+            Err(SwdnnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_passes_match_reference() {
+        let shape = ConvShape::new(2, 3, 4, 3, 3, 2, 2);
+        let conv = Conv2d::new(shape).unwrap();
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 55);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 56);
+        let d_out = seeded_tensor(shape.output_shape(), Layout::Nchw, 57);
+        let d_in = conv.backward_data(&d_out, &filter).unwrap();
+        let d_w = conv.backward_filter(&input, &d_out).unwrap();
+        assert_eq!(d_in.shape(), shape.input_shape());
+        assert_eq!(d_w.shape(), shape.filter_shape());
+    }
+
+    #[test]
+    fn paper_scale_config_selects_a_mesh_plan() {
+        let shape = ConvShape::new(128, 128, 128, 64, 64, 3, 3);
+        let conv = Conv2d::new(shape).unwrap();
+        let plan = conv.plan();
+        assert_ne!(plan.name(), "reference");
+        assert!(plan.supports(&shape).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod ni_blocking_tests {
+    use super::*;
+    use sw_tensor::Layout;
+
+    #[test]
+    fn huge_channel_counts_get_a_blocked_mesh_plan() {
+        // 512x512 channels overflow LDM for the plain plans; the selector
+        // must fall back to Ni blocking, not to the host reference plan.
+        let shape = ConvShape::new(128, 512, 512, 64, 64, 3, 3);
+        let conv = Conv2d::new(shape).unwrap();
+        let plan = conv.plan();
+        assert_eq!(plan.name(), "image_size_aware");
+        assert!(plan.supports(&shape).is_ok());
+    }
+
+    #[test]
+    fn blocked_plan_is_still_correct() {
+        let shape = ConvShape::new(32, 64, 8, 2, 4, 2, 2);
+        // Force a footprint squeeze by picking a tiny fake LDM via direct
+        // plan construction instead: exercised through the public API with
+        // an awkward-but-valid shape.
+        let conv = Conv2d::new(shape).unwrap();
+        let input = sw_tensor::init::lattice_tensor(shape.input_shape(), Layout::Nchw, 81);
+        let filter = sw_tensor::init::lattice_tensor(shape.filter_shape(), Layout::Nchw, 82);
+        let run = conv.forward(&input, &filter).unwrap();
+        let expect = sw_tensor::conv2d_ref(shape, &input, &filter);
+        assert_eq!(run.output.max_abs_diff(&expect), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod backward_on_chip_tests {
+    use super::*;
+    use sw_tensor::init::{lattice_tensor, seeded_tensor};
+    use sw_tensor::Layout;
+
+    #[test]
+    fn chip_backward_data_matches_reference_exactly() {
+        // Mesh-eligible backward shape: Ni<->No swap keeps multiples of 8,
+        // and the padded extents stay divisible for the auto plans.
+        let shape = ConvShape::new(16, 8, 16, 6, 6, 3, 3);
+        let conv = Conv2d::new(shape).unwrap();
+        let d_out = lattice_tensor(shape.output_shape(), Layout::Nchw, 201);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 202);
+        let expect = conv.backward_data(&d_out, &filter).unwrap();
+        let run = conv.backward_data_on_chip(&d_out, &filter).unwrap();
+        assert_eq!(run.output.shape(), shape.input_shape());
+        assert_eq!(run.output.max_abs_diff(&expect), 0.0);
+        assert!(run.timing.cycles > 0, "must actually run on the simulator");
+    }
+
+    #[test]
+    fn chip_backward_data_random_data_tolerance() {
+        let shape = ConvShape::new(8, 16, 8, 4, 6, 2, 3);
+        let conv = Conv2d::new(shape).unwrap();
+        let d_out = seeded_tensor(shape.output_shape(), Layout::Nchw, 203);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 204);
+        let expect = conv.backward_data(&d_out, &filter).unwrap();
+        let run = conv.backward_data_on_chip(&d_out, &filter).unwrap();
+        assert!(run.output.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn chip_backward_filter_matches_reference() {
+        let shape = ConvShape::new(32, 8, 16, 4, 8, 3, 3);
+        let conv = Conv2d::new(shape).unwrap();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 205);
+        let d_out = lattice_tensor(shape.output_shape(), Layout::Nchw, 206);
+        let expect = conv.backward_filter(&input, &d_out).unwrap();
+        let (dw, timing) = conv.backward_filter_on_chip(&input, &d_out).unwrap();
+        assert_eq!(dw.max_abs_diff(&expect), 0.0);
+        assert!(timing.cycles > 0);
+    }
+
+    #[test]
+    fn backward_shape_swaps_channels() {
+        let shape = ConvShape::new(128, 64, 128, 64, 64, 3, 3);
+        let conv = Conv2d::new(shape).unwrap();
+        let b = conv.backward_data_shape();
+        assert_eq!((b.ni, b.no), (128, 64));
+        assert_eq!((b.ro, b.co), (66, 66));
+        assert_eq!(b.input_shape().d2, 68);
+    }
+}

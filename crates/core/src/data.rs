@@ -1,0 +1,158 @@
+//! Synthetic datasets for the training examples and tests.
+//!
+//! All generators are seeded and deterministic; each returns `(images,
+//! labels)` with images in `(B, 1, H, W)` NCHW layout and labels in
+//! `0..classes`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sw_tensor::{Layout, Shape4, Tensor4};
+
+/// Which quadrant of the image is bright: 4 classes.
+pub fn quadrants(batch: usize, hw: usize, seed: u64) -> (Tensor4<f64>, Vec<usize>) {
+    assert!(hw.is_multiple_of(2), "even extent required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Tensor4::zeros(Shape4::new(batch, 1, hw, hw), Layout::Nchw);
+    let mut y = Vec::with_capacity(batch);
+    let h = hw / 2;
+    for b in 0..batch {
+        let class = rng.gen_range(0..4usize);
+        let (r0, c0) = ((class / 2) * h, (class % 2) * h);
+        for r in 0..hw {
+            for c in 0..hw {
+                let inside = (r0..r0 + h).contains(&r) && (c0..c0 + h).contains(&c);
+                let v = if inside { 1.0 } else { 0.1 } + rng.gen_range(-0.05..0.05);
+                x.set(b, 0, r, c, v);
+            }
+        }
+        y.push(class);
+    }
+    (x, y)
+}
+
+/// Stripe orientation: 0 = vertical, 1 = horizontal, 2 = checkerboard.
+pub fn textures(batch: usize, hw: usize, period: usize, seed: u64) -> (Tensor4<f64>, Vec<usize>) {
+    assert!(period >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Tensor4::zeros(Shape4::new(batch, 1, hw, hw), Layout::Nchw);
+    let mut y = Vec::with_capacity(batch);
+    for b in 0..batch {
+        let class = rng.gen_range(0..3usize);
+        for r in 0..hw {
+            for c in 0..hw {
+                let v = match class {
+                    0 => ((c / period) % 2) as f64,
+                    1 => ((r / period) % 2) as f64,
+                    _ => (((r / period) + (c / period)) % 2) as f64,
+                };
+                x.set(b, 0, r, c, v + rng.gen_range(-0.1..0.1));
+            }
+        }
+        y.push(class);
+    }
+    (x, y)
+}
+
+/// Two Gaussian blobs: class = which half holds the blob centre.
+pub fn blobs(batch: usize, hw: usize, seed: u64) -> (Tensor4<f64>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Tensor4::zeros(Shape4::new(batch, 1, hw, hw), Layout::Nchw);
+    let mut y = Vec::with_capacity(batch);
+    let sigma = hw as f64 / 6.0;
+    for b in 0..batch {
+        let class = rng.gen_range(0..2usize);
+        let cc = if class == 0 { hw as f64 * 0.25 } else { hw as f64 * 0.75 };
+        let cr = hw as f64 * 0.5 + rng.gen_range(-1.0..1.0);
+        let ccj = cc + rng.gen_range(-1.0..1.0);
+        for r in 0..hw {
+            for c in 0..hw {
+                let d2 = (r as f64 - cr).powi(2) + (c as f64 - ccj).powi(2);
+                let v = (-d2 / (2.0 * sigma * sigma)).exp() + rng.gen_range(-0.02..0.02);
+                x.set(b, 0, r, c, v);
+            }
+        }
+        y.push(class);
+    }
+    (x, y)
+}
+
+/// Per-class counts of a label vector (distribution sanity checks).
+pub fn class_histogram(labels: &[usize], classes: usize) -> Vec<usize> {
+    let mut h = vec![0usize; classes];
+    for &l in labels {
+        h[l] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let (a, la) = quadrants(8, 8, 7);
+        let (b, lb) = quadrants(8, 8, 7);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn quadrant_labels_match_bright_region() {
+        let (x, y) = quadrants(16, 8, 1);
+        for b in 0..16 {
+            // Mean brightness of the labeled quadrant beats the image mean.
+            let class = y[b];
+            let (r0, c0) = ((class / 2) * 4, (class % 2) * 4);
+            let mut quad = 0.0;
+            let mut total = 0.0;
+            for r in 0..8 {
+                for c in 0..8 {
+                    let v = x.get(b, 0, r, c);
+                    total += v;
+                    if (r0..r0 + 4).contains(&r) && (c0..c0 + 4).contains(&c) {
+                        quad += v;
+                    }
+                }
+            }
+            assert!(quad / 16.0 > total / 64.0, "sample {b}");
+        }
+    }
+
+    #[test]
+    fn textures_have_three_classes() {
+        let (_, y) = textures(64, 12, 3, 2);
+        let h = class_histogram(&y, 3);
+        assert!(h.iter().all(|&c| c > 0), "all classes present: {h:?}");
+        assert_eq!(h.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn blobs_are_centered_in_the_right_half() {
+        let (x, y) = blobs(8, 16, 3);
+        for b in 0..8 {
+            let mut left = 0.0;
+            let mut right = 0.0;
+            for r in 0..16 {
+                for c in 0..16 {
+                    if c < 8 {
+                        left += x.get(b, 0, r, c);
+                    } else {
+                        right += x.get(b, 0, r, c);
+                    }
+                }
+            }
+            if y[b] == 0 {
+                assert!(left > right, "sample {b}");
+            } else {
+                assert!(right > left, "sample {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even extent")]
+    fn quadrants_need_even_extent() {
+        let _ = quadrants(1, 7, 0);
+    }
+}

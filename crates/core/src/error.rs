@@ -1,0 +1,63 @@
+//! Library error type.
+
+use sw_sim::SimError;
+use sw_tensor::ConvShape;
+
+/// Errors surfaced by swDNN operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SwdnnError {
+    /// The plan cannot run this shape on the 8×8 mesh (divisibility or
+    /// LDM-capacity constraints); callers may fall back to another plan.
+    Unsupported { plan: &'static str, shape: ConvShape, reason: String },
+    /// The underlying simulator rejected the execution.
+    Sim(SimError),
+    /// Operand shapes disagree with the layer configuration.
+    ShapeMismatch { expected: String, got: String },
+    /// No plan can run the shape at all.
+    NoPlan(ConvShape),
+}
+
+impl std::fmt::Display for SwdnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwdnnError::Unsupported { plan, shape, reason } => {
+                write!(f, "plan {plan} cannot run {shape}: {reason}")
+            }
+            SwdnnError::Sim(e) => write!(f, "simulator: {e}"),
+            SwdnnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            SwdnnError::NoPlan(s) => write!(f, "no convolution plan supports {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SwdnnError {}
+
+impl From<SimError> for SwdnnError {
+    fn from(e: SimError) -> Self {
+        SwdnnError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SwdnnError::Unsupported {
+            plan: "image_aware",
+            shape: ConvShape::new(1, 1, 1, 1, 1, 1, 1),
+            reason: "Ni must be a multiple of 8".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("image_aware") && s.contains("multiple of 8"));
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: SwdnnError = SimError::Program("x".into()).into();
+        assert!(matches!(e, SwdnnError::Sim(_)));
+    }
+}

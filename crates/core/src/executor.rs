@@ -1,0 +1,168 @@
+//! The executor: run a configuration through the simulator and put the
+//! measured numbers next to the model's predictions.
+//!
+//! This is the engine behind the Table III and Fig. 7/9 regenerations: for
+//! each parameter configuration it selects a plan, obtains simulated timing
+//! (sampled extrapolation at paper scale), computes achieved Gflops and
+//! effective MEM↔LDM bandwidth from the traffic counters, and evaluates the
+//! analytic model for comparison.
+
+use crate::conv::Conv2d;
+use crate::error::SwdnnError;
+use crate::plans::PlanTiming;
+use sw_perfmodel::{select_plan, Blocking, ChipSpec, ConvPerfModel, PerfEstimate, PlanKind};
+use sw_sim::run_multi_cg;
+use sw_tensor::ConvShape;
+
+/// Everything measured and modeled for one configuration.
+#[derive(Clone, Debug)]
+pub struct ConvReport {
+    pub shape: ConvShape,
+    pub plan_name: String,
+    pub plan_kind: PlanKind,
+    pub blocking: Blocking,
+    /// Simulated timing on one CG.
+    pub timing: PlanTiming,
+    /// Measured Gflops on one CG.
+    pub gflops_cg: f64,
+    /// Fraction of CG peak.
+    pub efficiency: f64,
+    /// Achieved MEM→LDM bandwidth, GB/s.
+    pub mbw_measured: f64,
+    /// Analytic model output for the same choice.
+    pub model: PerfEstimate,
+}
+
+/// Runs configurations on the simulated chip.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Executor {
+    pub chip: ChipSpec,
+}
+
+impl Executor {
+    pub fn new() -> Self {
+        Self { chip: ChipSpec::sw26010() }
+    }
+
+    /// Measure one configuration on one core group (sampled timing).
+    pub fn run_config(&self, shape: &ConvShape) -> Result<ConvReport, SwdnnError> {
+        let conv = Conv2d::new(*shape)?;
+        let plan = conv.plan();
+        let timing = plan.time_full_shape(shape)?;
+        self.report(shape, plan.name(), plan.kind(), timing)
+    }
+
+    /// Measure with a forced plan kind.
+    pub fn run_config_with(
+        &self,
+        shape: &ConvShape,
+        kind: PlanKind,
+    ) -> Result<ConvReport, SwdnnError> {
+        let conv = Conv2d::new(*shape)?.with_plan(kind);
+        let plan = conv.plan();
+        plan.supports(shape)?;
+        let timing = plan.time_full_shape(shape)?;
+        self.report(shape, plan.name(), plan.kind(), timing)
+    }
+
+    fn report(
+        &self,
+        shape: &ConvShape,
+        name: &str,
+        kind: PlanKind,
+        timing: PlanTiming,
+    ) -> Result<ConvReport, SwdnnError> {
+        let blocking = select_plan(shape, &self.chip)
+            .map(|c| c.blocking)
+            .unwrap_or_default();
+        let model = ConvPerfModel::default().estimate(
+            kind,
+            blocking,
+            shape.batch,
+            shape.ni,
+            shape.no,
+            shape.kc,
+        );
+        let gflops = timing.gflops(shape, &self.chip);
+        let secs = timing.cycles as f64 / (self.chip.clock_ghz * 1e9);
+        let mbw = timing.stats.totals.dma_get_bytes as f64 / secs / 1e9;
+        Ok(ConvReport {
+            shape: *shape,
+            plan_name: name.to_string(),
+            plan_kind: kind,
+            blocking,
+            timing,
+            gflops_cg: gflops,
+            efficiency: gflops / self.chip.peak_gflops_per_cg(),
+            mbw_measured: mbw,
+            model,
+        })
+    }
+
+    /// Chip-level Gflops when the batch is split across `cgs` core groups
+    /// (§III-D's partitioning; each CG runs the same plan on 1/cgs of the
+    /// output rows).
+    pub fn run_multi_cg(&self, shape: &ConvShape, cgs: usize) -> Result<MultiCgConvReport, SwdnnError> {
+        assert!(cgs >= 1 && cgs <= self.chip.core_groups);
+        assert!(shape.ro.is_multiple_of(cgs), "output rows must split evenly across CGs");
+        let slice = ConvShape { ro: shape.ro / cgs, ..*shape };
+        let conv = Conv2d::new(slice)?;
+        let plan = conv.plan();
+        let timing = plan.time_full_shape(&slice)?;
+        let rep = run_multi_cg(cgs, |_| timing.stats);
+        let gflops = shape.flops() as f64
+            / (rep.wall_cycles as f64 / (self.chip.clock_ghz * 1e9))
+            / 1e9;
+        Ok(MultiCgConvReport { cgs, wall_cycles: rep.wall_cycles, gflops_chip: gflops })
+    }
+}
+
+/// Chip-level scaling result.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiCgConvReport {
+    pub cgs: usize,
+    pub wall_cycles: u64,
+    pub gflops_chip: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ConvShape {
+        ConvShape::new(32, 16, 16, 8, 8, 3, 3)
+    }
+
+    #[test]
+    fn report_has_consistent_numbers() {
+        let rep = Executor::new().run_config(&small()).unwrap();
+        assert!(rep.gflops_cg > 0.0);
+        assert!(rep.efficiency > 0.0 && rep.efficiency < 1.0);
+        assert!(rep.mbw_measured > 0.0);
+        assert!(rep.model.gflops_per_cg > 0.0);
+    }
+
+    #[test]
+    fn forced_direct_plan_is_catastrophically_slow() {
+        let e = Executor::new();
+        let fast = e.run_config(&small()).unwrap();
+        let slow = e.run_config_with(&small(), PlanKind::DirectGload).unwrap();
+        assert!(
+            slow.gflops_cg * 20.0 < fast.gflops_cg,
+            "direct {} vs optimized {}",
+            slow.gflops_cg,
+            fast.gflops_cg
+        );
+    }
+
+    #[test]
+    fn multi_cg_scales_nearly_linearly() {
+        let e = Executor::new();
+        let shape = small();
+        let one = e.run_multi_cg(&shape, 1).unwrap();
+        let four = e.run_multi_cg(&shape, 4).unwrap();
+        let speedup = one.wall_cycles as f64 / four.wall_cycles as f64;
+        assert!(speedup > 3.0, "4-CG speedup {speedup}");
+        assert!(four.gflops_chip > one.gflops_chip * 3.0);
+    }
+}

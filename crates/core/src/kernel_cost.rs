@@ -1,0 +1,99 @@
+//! Cycle cost of the inner GEMM kernel, priced by the `sw-isa` simulator.
+//!
+//! Every convolution plan's compute step is the register-blocked tile
+//! kernel of §V/§VI: a `4 (No) × 16 (pixel)` output tile accumulated over
+//! `n` reduction steps. Rather than hard-coding the closed-form `17n + 4`,
+//! we *simulate* the generated instruction stream once per distinct `n`
+//! (naive and reordered variants) and cache the result — so if the pipeline
+//! model changes, every plan's timing follows automatically. The closed
+//! forms are asserted against the simulation in `sw-isa`'s own tests.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use sw_isa::{naive_gemm_kernel, reordered_gemm_kernel, DualPipe, KernelSpec};
+
+/// Extra P1 cycles per tile for spilling/refilling the 16 vector
+/// accumulators between rotation rounds (16 `vload` + 16 `vstore` of the
+/// C tile, plus loop control) — the C tile lives in registers only inside
+/// one round.
+pub const TILE_OVERHEAD_CYCLES: u64 = 40;
+
+/// Rows (output channels) covered by one register tile (`rb_no`).
+pub const TILE_NO: usize = 4;
+/// Pixels covered by one register tile (`rb_b`).
+pub const TILE_PIX: usize = 16;
+
+fn cache() -> &'static Mutex<HashMap<(usize, bool), u64>> {
+    static CACHE: OnceLock<Mutex<HashMap<(usize, bool), u64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Issue cycles of one register tile over `n` reduction steps.
+pub fn tile_cycles(n: usize, reordered: bool) -> u64 {
+    let n = n.max(1);
+    if let Some(&c) = cache().lock().get(&(n, reordered)) {
+        return c;
+    }
+    let spec = KernelSpec::new(n);
+    let prog = if reordered { reordered_gemm_kernel(spec) } else { naive_gemm_kernel(spec) };
+    let cycles = DualPipe::default().run(&prog).cycles;
+    cache().lock().insert((n, reordered), cycles);
+    cycles
+}
+
+/// Cycles for a full per-CPE GEMM block update: an `m × p` C block
+/// accumulated over `n` reduction steps, tiled `TILE_NO × TILE_PIX`.
+pub fn block_cycles(m: usize, p: usize, n: usize, reordered: bool) -> u64 {
+    let tiles = (m.div_ceil(TILE_NO) * p.div_ceil(TILE_PIX)) as u64;
+    tiles * (tile_cycles(n, reordered) + TILE_OVERHEAD_CYCLES)
+}
+
+/// Flops of the same block update (2 per multiply-add).
+pub fn block_flops(m: usize, p: usize, n: usize) -> u64 {
+    2 * (m * p * n) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_cycles_match_closed_forms() {
+        for n in 2..=48 {
+            assert_eq!(tile_cycles(n, true), 17 * n as u64 + 4);
+            assert_eq!(tile_cycles(n, false), 26 * n as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn cache_returns_consistent_values() {
+        let a = tile_cycles(16, true);
+        let b = tile_cycles(16, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_cycles_tile_count() {
+        // 16x64 block = 4*4 = 16 tiles.
+        let c = block_cycles(16, 64, 16, true);
+        assert_eq!(c, 16 * (17 * 16 + 4 + TILE_OVERHEAD_CYCLES));
+    }
+
+    #[test]
+    fn reordered_blocks_are_faster() {
+        assert!(block_cycles(16, 64, 16, true) < block_cycles(16, 64, 16, false));
+    }
+
+    #[test]
+    fn block_flops_counts_fmas_twice() {
+        assert_eq!(block_flops(4, 16, 8), 2 * 4 * 16 * 8);
+    }
+
+    #[test]
+    fn partial_tiles_round_up() {
+        let full = block_cycles(4, 16, 8, true);
+        let partial = block_cycles(3, 15, 8, true);
+        assert_eq!(full, partial, "partial tiles cost a full tile");
+    }
+}

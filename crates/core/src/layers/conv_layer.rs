@@ -1,0 +1,229 @@
+//! Trainable convolution layer.
+
+use super::Layer;
+use crate::conv::Conv2d;
+use crate::error::SwdnnError;
+use sw_tensor::{init::xavier_filter, ConvShape, Layout, Tensor4};
+
+/// Where the forward convolution executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// Host loops (fast for unit tests and training demos).
+    #[default]
+    Host,
+    /// The simulated SW26010 core group via the selected swDNN plan.
+    Simulated,
+}
+
+/// `Conv2d` with trainable filters and per-output-channel bias.
+pub struct Conv2dLayer {
+    pub conv: Conv2d,
+    pub engine: Engine,
+    pub weights: Tensor4<f64>,
+    pub bias: Vec<f64>,
+    d_weights: Tensor4<f64>,
+    d_bias: Vec<f64>,
+    cached_input: Option<Tensor4<f64>>,
+    /// Cycles charged by the simulated engine so far (0 for host runs).
+    pub simulated_cycles: u64,
+}
+
+impl Conv2dLayer {
+    pub fn new(shape: ConvShape, engine: Engine, seed: u64) -> Result<Self, SwdnnError> {
+        let conv = Conv2d::new(shape)?;
+        Ok(Self {
+            conv,
+            engine,
+            weights: xavier_filter(shape.filter_shape(), Layout::Nchw, seed),
+            bias: vec![0.0; shape.no],
+            d_weights: Tensor4::zeros(shape.filter_shape(), Layout::Nchw),
+            d_bias: vec![0.0; shape.no],
+            cached_input: None,
+            simulated_cycles: 0,
+        })
+    }
+}
+
+impl Layer for Conv2dLayer {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor4<f64>) -> Result<Tensor4<f64>, SwdnnError> {
+        let shape = self.conv.shape;
+        let mut out = match self.engine {
+            Engine::Host => sw_tensor::conv2d_ref(shape, input, &self.weights),
+            Engine::Simulated => {
+                let run = self.conv.forward(input, &self.weights)?;
+                self.simulated_cycles += run.timing.cycles;
+                run.output.to_layout(Layout::Nchw)
+            }
+        };
+        // Bias.
+        for b in 0..shape.batch {
+            for no in 0..shape.no {
+                for r in 0..shape.ro {
+                    for c in 0..shape.co {
+                        out[(b, no, r, c)] += self.bias[no];
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_out: &Tensor4<f64>) -> Result<Tensor4<f64>, SwdnnError> {
+        let input = self.cached_input.as_ref().ok_or_else(|| SwdnnError::ShapeMismatch {
+            expected: "forward before backward".into(),
+            got: "no cached input".into(),
+        })?;
+        let shape = self.conv.shape;
+        // Filter gradient: on the simulated chip when the mesh supports the
+        // shape (the dedicated BwdFilterPlan), host reference otherwise.
+        let dw = if self.engine == Engine::Simulated
+            && crate::plans::BwdFilterPlan::auto(&shape).supports(&shape).is_ok()
+        {
+            let (dw, timing) = self.conv.backward_filter_on_chip(input, d_out)?;
+            self.simulated_cycles += timing.cycles;
+            dw
+        } else {
+            self.conv.backward_filter(input, d_out)?
+        };
+        for i in 0..dw.data().len() {
+            self.d_weights.data_mut()[i] += dw.data()[i];
+        }
+        for b in 0..shape.batch {
+            for no in 0..shape.no {
+                for r in 0..shape.ro {
+                    for c in 0..shape.co {
+                        self.d_bias[no] += d_out.get(b, no, r, c);
+                    }
+                }
+            }
+        }
+        // Data gradient: likewise via the lowered forward convolution.
+        if self.engine == Engine::Simulated {
+            let bwd_conv = crate::conv::Conv2d {
+                shape: self.conv.backward_data_shape(),
+                ..self.conv
+            };
+            if bwd_conv.plan().name() != "reference" {
+                let run = self.conv.backward_data_on_chip(d_out, &self.weights)?;
+                self.simulated_cycles += run.timing.cycles;
+                return Ok(run.output.to_layout(Layout::Nchw));
+            }
+        }
+        self.conv.backward_data(d_out, &self.weights)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(self.weights.data_mut(), self.d_weights.data_mut());
+        f(&mut self.bias, &mut self.d_bias);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_tensor::init::seeded_tensor;
+
+    fn layer_shape() -> ConvShape {
+        ConvShape::new(2, 3, 4, 4, 4, 3, 3)
+    }
+
+    #[test]
+    fn forward_adds_bias() {
+        let shape = layer_shape();
+        let mut layer = Conv2dLayer::new(shape, Engine::Host, 1).unwrap();
+        let x = seeded_tensor(shape.input_shape(), Layout::Nchw, 2);
+        let y0 = layer.forward(&x).unwrap();
+        layer.bias[1] = 5.0;
+        let y1 = layer.forward(&x).unwrap();
+        assert!((y1.get(0, 1, 0, 0) - y0.get(0, 1, 0, 0) - 5.0).abs() < 1e-12);
+        assert_eq!(y1.get(0, 0, 0, 0), y0.get(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn gradient_check_weights_and_bias() {
+        let shape = ConvShape::new(1, 2, 2, 3, 3, 2, 2);
+        let mut layer = Conv2dLayer::new(shape, Engine::Host, 3).unwrap();
+        let x = seeded_tensor(shape.input_shape(), Layout::Nchw, 4);
+        // Loss = sum(output).
+        let _ = layer.forward(&x).unwrap();
+        let ones = Tensor4::full(shape.output_shape(), Layout::Nchw, 1.0);
+        let _ = layer.backward(&ones).unwrap();
+
+        let eps = 1e-6;
+        let base: f64 = layer.forward(&x).unwrap().sum_f64();
+        // Weight (0,0,0,0).
+        let analytic = layer.d_weights.get(0, 0, 0, 0);
+        layer.weights.set(0, 0, 0, 0, layer.weights.get(0, 0, 0, 0) + eps);
+        let bumped = layer.forward(&x).unwrap().sum_f64();
+        let fd = (bumped - base) / eps;
+        assert!((fd - analytic).abs() < 1e-4, "weight grad fd {fd} vs {analytic}");
+        // Bias 0 gradient is the number of output positions.
+        assert!(
+            (layer.d_bias[0] - (shape.batch * shape.ro * shape.co) as f64).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn simulated_engine_matches_host_engine() {
+        let shape = ConvShape::new(16, 8, 8, 4, 8, 3, 3);
+        let x = seeded_tensor(shape.input_shape(), Layout::Nchw, 5);
+        let mut host = Conv2dLayer::new(shape, Engine::Host, 7).unwrap();
+        let mut sim = Conv2dLayer::new(shape, Engine::Simulated, 7).unwrap();
+        let yh = host.forward(&x).unwrap();
+        let ys = sim.forward(&x).unwrap();
+        assert!(ys.approx_eq(&yh, 1e-10));
+        assert!(sim.simulated_cycles > 0);
+        assert_eq!(host.simulated_cycles, 0);
+    }
+
+    #[test]
+    fn simulated_backward_matches_host_backward() {
+        // A mesh-eligible layer trained one step with each engine must end
+        // with identical parameters (all three passes run on the chip).
+        let shape = ConvShape::new(32, 8, 8, 4, 8, 3, 3);
+        let x = seeded_tensor(shape.input_shape(), Layout::Nchw, 11);
+        let dy = seeded_tensor(shape.output_shape(), Layout::Nchw, 12);
+        let mut host = Conv2dLayer::new(shape, Engine::Host, 13).unwrap();
+        let mut sim = Conv2dLayer::new(shape, Engine::Simulated, 13).unwrap();
+        let _ = host.forward(&x).unwrap();
+        let _ = sim.forward(&x).unwrap();
+        let dxh = host.backward(&dy).unwrap();
+        let dxs = sim.backward(&dy).unwrap();
+        assert!(dxs.approx_eq(&dxh, 1e-9));
+        host.sgd_step(0.1);
+        sim.sgd_step(0.1);
+        assert!(sim.weights.approx_eq(&host.weights, 1e-9));
+        assert!(sim.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn sgd_step_moves_weights_and_clears_grads() {
+        let shape = layer_shape();
+        let mut layer = Conv2dLayer::new(shape, Engine::Host, 9).unwrap();
+        let x = seeded_tensor(shape.input_shape(), Layout::Nchw, 10);
+        let _ = layer.forward(&x).unwrap();
+        let ones = Tensor4::full(shape.output_shape(), Layout::Nchw, 1.0);
+        let _ = layer.backward(&ones).unwrap();
+        let before = layer.weights.get(0, 0, 0, 0);
+        let grad = layer.d_weights.get(0, 0, 0, 0);
+        layer.sgd_step(0.1);
+        assert!((layer.weights.get(0, 0, 0, 0) - (before - 0.1 * grad)).abs() < 1e-12);
+        assert_eq!(layer.d_weights.get(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn param_count_is_filters_plus_bias() {
+        let shape = layer_shape();
+        let layer = Conv2dLayer::new(shape, Engine::Host, 1).unwrap();
+        assert_eq!(layer.param_count(), 4 * 3 * 3 * 3 + 4);
+    }
+}

@@ -1,0 +1,385 @@
+//! The batch-size-aware convolution plan — Algorithm 2 of the paper.
+//!
+//! When the batch is large, Eq. 2's required bandwidth is already low
+//! without column blocking: the plan streams input *pixel columns* across
+//! the whole batch (`Ni × B` doubles per column, contiguous in the
+//! `(4, B/4, C, R, N)` layout, so the collective DMA block is `8·B` bytes —
+//! deep into the fast region of the Table II curve).
+//!
+//! For each output-column block and output row:
+//!
+//! 1. zero the distributed `No × b_Co × B` accumulator;
+//! 2. for each `kr`: DMA the filter slice `W[kr][·]`, then stream the
+//!    `b_Co + Kc − 1` input columns of row `ro + kr` (double-buffered);
+//!    each column `ci` feeds up to `Kc` register-communication GEMMs, one
+//!    per output column `co = ci − kc` inside the block
+//!    (Algorithm 2's "if cCo >= Costart and cCo < Costart + ..." guard);
+//! 3. DMA the output block back.
+//!
+//! Mesh distribution: input channels `ni ∈ chunk_i` with batch slice
+//! `b ∈ chunk_j`; filters `no ∈ chunk_i`, `ni ∈ chunk_j`; outputs
+//! `no ∈ chunk_i`, `b ∈ chunk_j`.
+
+use super::gemm_mesh::{regcomm_gemm, zero_c, GemmBlock};
+use super::{extrapolate, ConvPlan, ConvRun, PlanTiming};
+use crate::error::SwdnnError;
+use crate::plans::PlanKind;
+use sw_perfmodel::ChipSpec;
+use sw_sim::{DmaHandle, LdmBuf, Mesh};
+use sw_tensor::{ConvShape, Layout, Tensor4};
+
+/// Algorithm 2. `b_co` is the output-column block held in LDM at once.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchAwarePlan {
+    pub chip: ChipSpec,
+    pub b_co: usize,
+    /// §VI kernel selection (ablation switch).
+    pub reordered_kernel: bool,
+}
+
+impl BatchAwarePlan {
+    pub fn new(b_co: usize) -> Self {
+        Self { chip: ChipSpec::sw26010(), b_co, reordered_kernel: true }
+    }
+
+    /// Pick the largest power-of-two `b_co` dividing `Co` that fits LDM.
+    pub fn auto(shape: &ConvShape) -> Self {
+        let chip = ChipSpec::sw26010();
+        let mut b_co = 16usize;
+        while b_co > 1 {
+            if shape.co.is_multiple_of(b_co) {
+                let plan = Self { chip, b_co, reordered_kernel: true };
+                if plan.ldm_doubles(shape) <= chip.ldm_doubles() {
+                    return plan;
+                }
+            }
+            b_co /= 2;
+        }
+        Self { chip, b_co: 1, reordered_kernel: true }
+    }
+
+    /// Per-CPE LDM footprint in doubles: double-buffered input column,
+    /// one filter slice (`Kc` matrices for the current `kr`), and the
+    /// output block.
+    pub fn ldm_doubles(&self, shape: &ConvShape) -> usize {
+        let dim = self.chip.mesh_dim;
+        let (ni8, no8, b8) = (shape.ni / dim, shape.no / dim, shape.batch / dim);
+        2 * ni8 * b8 + shape.kc * ni8 * no8 + no8 * self.b_co * b8
+    }
+}
+
+struct Slot {
+    di: [LdmBuf; 2],
+    w: LdmBuf,
+    c: LdmBuf,
+    di_h: [Option<DmaHandle>; 2],
+    w_h: Option<DmaHandle>,
+}
+
+impl ConvPlan for BatchAwarePlan {
+    fn name(&self) -> &'static str {
+        "batch_size_aware"
+    }
+
+    fn kind(&self) -> PlanKind {
+        PlanKind::BatchSizeAware
+    }
+
+    fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {
+        let fail = |reason: String| {
+            Err(SwdnnError::Unsupported { plan: "batch_size_aware", shape: *shape, reason })
+        };
+        let dim = self.chip.mesh_dim;
+        if !shape.ni.is_multiple_of(dim) || !shape.no.is_multiple_of(dim) {
+            return fail(format!("Ni and No must be multiples of {dim}"));
+        }
+        if !shape.batch.is_multiple_of(dim) {
+            return fail(format!("batch must be a multiple of {dim}"));
+        }
+        if !shape.co.is_multiple_of(self.b_co) {
+            return fail(format!("Co {} not divisible by b_co {}", shape.co, self.b_co));
+        }
+        let need = self.ldm_doubles(shape);
+        if need > self.chip.ldm_doubles() {
+            return fail(format!("needs {need} LDM doubles > {}", self.chip.ldm_doubles()));
+        }
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        shape: &ConvShape,
+        input: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<ConvRun, SwdnnError> {
+        self.supports(shape)?;
+        let dim = self.chip.mesh_dim;
+        let (ni8, no8, b8) = (shape.ni / dim, shape.no / dim, shape.batch / dim);
+        let b_co = self.b_co;
+        let (ri, ci_n) = (shape.ri(), shape.ci());
+        let (ro_n, co_n, kr_n, kc_n) = (shape.ro, shape.co, shape.kr, shape.kc);
+        let (ni, no, batch) = (shape.ni, shape.no, shape.batch);
+
+        let input = input.to_layout(Layout::BatchAware);
+        let in_data = input.data();
+        let mut w_flat = vec![0.0f64; kr_n * kc_n * ni * no];
+        for n_o in 0..no {
+            for n_i in 0..ni {
+                for kr in 0..kr_n {
+                    for kc in 0..kc_n {
+                        w_flat[((kr * kc_n + kc) * ni + n_i) * no + n_o] =
+                            filter.get(n_o, n_i, kr, kc);
+                    }
+                }
+            }
+        }
+
+        let mut output = Tensor4::zeros(shape.output_shape(), Layout::BatchAware);
+        let mut mesh: Mesh<Slot> = Mesh::new(self.chip, |_, _| Slot {
+            di: [LdmBuf { offset: 0, len: 0 }; 2],
+            w: LdmBuf { offset: 0, len: 0 },
+            c: LdmBuf { offset: 0, len: 0 },
+            di_h: [None; 2],
+            w_h: None,
+        });
+
+        let di_len = ni8 * b8;
+        let w_len = kc_n * ni8 * no8;
+        let c_len = no8 * b_co * b8;
+        mesh.superstep(|ctx, s| {
+            s.di = [ctx.ldm_alloc(di_len)?, ctx.ldm_alloc(di_len)?];
+            s.w = ctx.ldm_alloc(w_len)?;
+            s.c = ctx.ldm_alloc(c_len)?;
+            Ok(())
+        })?;
+
+        // Fetch one input column (ci, ri) into di[p]; returns via state.
+        let get_column = |ctx: &mut sw_sim::CpeCtx<'_>,
+                          s: &mut Slot,
+                          ci: usize,
+                          r_i: usize,
+                          p: usize|
+         -> Result<(), sw_sim::SimError> {
+            // Collective row-mode DMA: the 8 CPEs of a row jointly fetch
+            // the contiguous B-double run of each (ni, pixel).
+            let src_off = ((ctx.row * ni8) * ri + r_i) * ci_n * batch + ci * batch + ctx.col * b8;
+            ctx.dma_block_hint(8 * batch);
+            let h = ctx.dma_get_strided(s.di[p], 0, in_data, src_off, ni8, ri * ci_n * batch, b8)?;
+            s.di_h[p] = Some(h);
+            Ok(())
+        };
+
+        for tile_c in 0..co_n / b_co {
+            let co0 = tile_c * b_co;
+            let win = b_co + kc_n - 1;
+            for r_o in 0..ro_n {
+                zero_c(&mut mesh, |s: &Slot| s.c)?;
+                for kr in 0..kr_n {
+                    let r_i = r_o + kr;
+                    // Filter slice for this kr + first input column.
+                    mesh.superstep(|ctx, s| {
+                        let src_off = (kr * kc_n * ni + ctx.col * ni8) * no + ctx.row * no8;
+                        // One strided request per kc slice.
+                        let mut last = None;
+                        for kc in 0..kc_n {
+                            let h = ctx.dma_get_strided(
+                                s.w,
+                                kc * ni8 * no8,
+                                &w_flat,
+                                src_off + kc * ni * no,
+                                ni8,
+                                no,
+                                no8,
+                            )?;
+                            last = Some(h);
+                        }
+                        s.w_h = last;
+                        get_column(ctx, s, co0, r_i, 0)?;
+                        if let Some(h) = s.w_h.take() {
+                            ctx.dma_wait(h);
+                        }
+                        Ok(())
+                    })?;
+
+                    for ci_local in 0..win {
+                        let ci = co0 + ci_local;
+                        let p = ci_local % 2;
+                        // Wait for this column, prefetch the next.
+                        mesh.superstep(|ctx, s| {
+                            if ci_local + 1 < win {
+                                get_column(ctx, s, ci + 1, r_i, (ci_local + 1) % 2)?;
+                            }
+                            if let Some(h) = s.di_h[p].take() {
+                                ctx.dma_wait(h);
+                            }
+                            Ok(())
+                        })?;
+
+                        for kc in 0..kc_n {
+                            if ci < kc {
+                                continue;
+                            }
+                            let co = ci - kc;
+                            if co < co0 || co >= co0 + b_co || co >= co_n {
+                                continue;
+                            }
+                            let co_local = co - co0;
+                            regcomm_gemm(
+                                &mut mesh,
+                                GemmBlock {
+                                    m8: no8,
+                                    n8: b8,
+                                    k8: ni8,
+                                    c_stride: b_co * b8,
+                                    reordered: self.reordered_kernel,
+                                },
+                                move |ctx, s: &Slot| {
+                                    ctx.ldm(s.w)[kc * ni8 * no8..(kc + 1) * ni8 * no8].to_vec()
+                                },
+                                move |ctx, s: &Slot| ctx.ldm(s.di[p]).to_vec(),
+                                move |s: &Slot| (s.c, co_local * b8),
+                            )?;
+                        }
+                    }
+                }
+
+                // Store the output block: per (no_local): scatter b_co runs
+                // of b8 doubles.
+                mesh.superstep(|ctx, s| {
+                    let mut last = None;
+                    for no_l in 0..no8 {
+                        let n_o = ctx.row * no8 + no_l;
+                        let dst_off = (n_o * ro_n + r_o) * co_n * batch + co0 * batch + ctx.col * b8;
+                        ctx.dma_block_hint(8 * batch);
+                        let h = ctx.dma_put_scatter(
+                            s.c,
+                            no_l * b_co * b8,
+                            b8,
+                            dst_off,
+                            batch,
+                            b_co,
+                            b8,
+                        )?;
+                        last = Some(h);
+                    }
+                    if let Some(h) = last {
+                        ctx.dma_wait(h);
+                    }
+                    Ok(())
+                })?;
+            }
+        }
+
+        mesh.drain_puts(output.data_mut())?;
+        mesh.assert_inboxes_empty()?;
+        let stats = mesh.stats();
+        Ok(ConvRun {
+            output,
+            timing: PlanTiming { cycles: stats.cycles, stats, sampled: false, modeled: false },
+        })
+    }
+
+    fn time_full_shape(&self, shape: &ConvShape) -> Result<PlanTiming, SwdnnError> {
+        self.supports(shape)?;
+        let reduced = |n_ro: usize| ConvShape {
+            batch: shape.batch,
+            ni: shape.ni,
+            no: shape.no,
+            ro: n_ro,
+            co: self.b_co,
+            kr: shape.kr,
+            kc: shape.kc,
+        };
+        let run = |s: &ConvShape| -> Result<PlanTiming, SwdnnError> {
+            let input = sw_tensor::init::seeded_tensor(s.input_shape(), Layout::BatchAware, 21);
+            let filter = sw_tensor::init::seeded_tensor(s.filter_shape(), Layout::Nchw, 22);
+            Ok(self.run(s, &input, &filter)?.timing)
+        };
+        let t1 = run(&reduced(1))?;
+        let t2 = run(&reduced(2))?;
+        let n_full = (shape.co / self.b_co) as u64 * shape.ro as u64;
+        Ok(extrapolate(&t1, 1, &t2, 2, n_full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_tensor::init::{lattice_tensor, seeded_tensor};
+    use sw_tensor::conv2d_ref;
+
+    fn small_shape() -> ConvShape {
+        ConvShape::new(16, 8, 8, 4, 8, 3, 3)
+    }
+
+    #[test]
+    fn matches_reference_exactly_on_lattice_data() {
+        let shape = small_shape();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 13);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 14);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let run = BatchAwarePlan::new(4).run(&shape, &input, &filter).unwrap();
+        assert_eq!(run.output.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn matches_reference_on_asymmetric_filters() {
+        // kr != kc exercises the (kr, kc) bookkeeping.
+        let shape = ConvShape::new(8, 8, 16, 3, 6, 2, 3);
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 15);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 16);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let run = BatchAwarePlan::new(2).run(&shape, &input, &filter).unwrap();
+        assert!(run.output.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn matches_reference_with_1x1_filter() {
+        let shape = ConvShape::new(8, 8, 8, 4, 4, 1, 1);
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 17);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 18);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let run = BatchAwarePlan::new(4).run(&shape, &input, &filter).unwrap();
+        assert!(run.output.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn auto_blocking_fits_ldm() {
+        let shape = ConvShape::new(128, 256, 256, 64, 64, 3, 3);
+        let plan = BatchAwarePlan::auto(&shape);
+        assert!(plan.ldm_doubles(&shape) <= plan.chip.ldm_doubles());
+        assert!(plan.supports(&shape).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_channels() {
+        // Ni=No=384: the filter slice alone (3*48*48*... ) blows LDM.
+        let shape = ConvShape::new(128, 384, 384, 64, 64, 3, 3);
+        let plan = BatchAwarePlan::new(1);
+        assert!(plan.supports(&shape).is_err());
+    }
+
+    #[test]
+    fn timing_and_flops_are_exact() {
+        let shape = small_shape();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 19);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 20);
+        let run = BatchAwarePlan::new(4).run(&shape, &input, &filter).unwrap();
+        assert_eq!(run.timing.stats.totals.flops, shape.flops());
+        assert!(run.timing.cycles > 0);
+    }
+
+    #[test]
+    fn sampled_timing_tracks_full_timing() {
+        let shape = ConvShape::new(16, 8, 8, 6, 8, 3, 3);
+        let plan = BatchAwarePlan::new(4);
+        let full = {
+            let input = seeded_tensor(shape.input_shape(), Layout::BatchAware, 23);
+            let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 24);
+            plan.run(&shape, &input, &filter).unwrap().timing
+        };
+        let sampled = plan.time_full_shape(&shape).unwrap();
+        let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(rel < 0.05, "sampled {} vs full {} ({rel:.3})", sampled.cycles, full.cycles);
+    }
+}

@@ -1,0 +1,391 @@
+//! The filter-gradient ("backward filter") pass on the CPE mesh.
+//!
+//! Training needs `dW[no][ni][kr][kc] = Σ_{b,ro,co} x[b][ni][ro+kr][co+kc] ·
+//! g[b][no][ro][co]` — per `(kr, kc)` tap a GEMM whose *reduction* runs
+//! over every output pixel and whose result is only `No × Ni`. That shape
+//! inverts the forward plan's economics: the accumulator is tiny (the
+//! whole `dW` tile lives in LDM for the entire pass), while the operands
+//! stream once — the ideal case for the register-communication rotation,
+//! since each streamed tile is reduced against every other chunk.
+//!
+//! Mesh distribution per pixel tile (batch block `b_B`, one output row,
+//! column block `b_co`):
+//!
+//! * `g` (gradient): CPE `(i, j)` holds `no ∈ chunk_i`, pixels of batch
+//!   quad `j` — the forward plan's output distribution, so a fused
+//!   training step would not even need a relayout;
+//! * `x` (activations): CPE `(i, j)` holds the input window of batch quad
+//!   `i`, channels `ni ∈ chunk_j`;
+//! * `dW`: CPE `(i, j)` accumulates `no ∈ chunk_i`, `ni ∈ chunk_j` for all
+//!   `(kr, kc)` taps.
+//!
+//! Each rotation round `r` broadcasts `g` blocks along rows from column
+//! `r` and `x` blocks along columns from row `r`, exactly the Fig. 3
+//! pattern with the reduction running over pixels instead of channels.
+
+use super::gemm_mesh::{regcomm_gemm, zero_c, GemmBlock};
+use super::{extrapolate, PlanTiming};
+use crate::error::SwdnnError;
+use sw_perfmodel::ChipSpec;
+use sw_sim::{DmaHandle, LdmBuf, Mesh};
+use sw_tensor::{ConvShape, Layout, Tensor4};
+
+/// The backward-filter plan.
+#[derive(Clone, Copy, Debug)]
+pub struct BwdFilterPlan {
+    pub chip: ChipSpec,
+    /// Batch block (multiple of 32: whole quads per mesh chunk).
+    pub b_b: usize,
+    /// Output-column block.
+    pub b_co: usize,
+    pub reordered_kernel: bool,
+}
+
+struct Slot {
+    g: [LdmBuf; 2],
+    x: [LdmBuf; 2],
+    c: LdmBuf,
+    g_h: [Option<DmaHandle>; 2],
+    x_h: [Option<DmaHandle>; 2],
+}
+
+impl BwdFilterPlan {
+    pub fn new(b_b: usize, b_co: usize) -> Self {
+        Self { chip: ChipSpec::sw26010(), b_b, b_co, reordered_kernel: true }
+    }
+
+    /// Largest default blocking that fits the paper-scale shapes.
+    pub fn auto(shape: &ConvShape) -> Self {
+        for (b_b, b_co) in [(32usize, 16usize), (32, 8), (32, 4), (32, 2), (32, 1)] {
+            let plan = Self::new(b_b, b_co);
+            if plan.supports(shape).is_ok() {
+                return plan;
+            }
+        }
+        Self::new(32, 1)
+    }
+
+    /// Per-CPE LDM footprint in doubles.
+    pub fn ldm_doubles(&self, shape: &ConvShape) -> usize {
+        let dim = self.chip.mesh_dim;
+        let (ni8, no8) = (shape.ni / dim, shape.no / dim);
+        let quads = self.b_b / (4 * dim);
+        let win4 = 4 * (self.b_co + shape.kc - 1);
+        let g_len = no8 * quads * 4 * self.b_co;
+        let x_len = shape.kr * quads * ni8 * win4;
+        let c_len = shape.kr * shape.kc * no8 * ni8;
+        2 * g_len + 2 * x_len + c_len
+    }
+
+    pub fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {
+        let fail = |reason: String| {
+            Err(SwdnnError::Unsupported { plan: "bwd_filter", shape: *shape, reason })
+        };
+        let dim = self.chip.mesh_dim;
+        if !shape.ni.is_multiple_of(dim) || !shape.no.is_multiple_of(dim) {
+            return fail(format!("Ni and No must be multiples of {dim}"));
+        }
+        if !self.b_b.is_multiple_of(4 * dim) || !shape.batch.is_multiple_of(self.b_b) {
+            return fail(format!("batch {} not tileable by b_B {}", shape.batch, self.b_b));
+        }
+        if !shape.co.is_multiple_of(self.b_co) {
+            return fail(format!("Co {} not divisible by b_co {}", shape.co, self.b_co));
+        }
+        let need = self.ldm_doubles(shape);
+        if need > self.chip.ldm_doubles() {
+            return fail(format!("needs {need} LDM doubles > {}", self.chip.ldm_doubles()));
+        }
+        Ok(())
+    }
+
+    /// Compute `dW` with full simulation; returns the gradient and timing.
+    pub fn run(
+        &self,
+        shape: &ConvShape,
+        input: &Tensor4<f64>,
+        d_out: &Tensor4<f64>,
+    ) -> Result<(Tensor4<f64>, PlanTiming), SwdnnError> {
+        self.supports(shape)?;
+        let dim = self.chip.mesh_dim;
+        let (ni8, no8) = (shape.ni / dim, shape.no / dim);
+        let quads = self.b_b / (4 * dim);
+        let (b_b, b_co) = (self.b_b, self.b_co);
+        let win4 = 4 * (b_co + shape.kc - 1);
+        let (ri, ci) = (shape.ri(), shape.ci());
+        let (ro, co, kr_n, kc_n) = (shape.ro, shape.co, shape.kr, shape.kc);
+        let (ni, no) = (shape.ni, shape.no);
+        let n8 = quads * 4 * b_co; // pixels per chunk
+
+        let input = input.to_layout(Layout::ImageAware);
+        let g = d_out.to_layout(Layout::ImageAware);
+        let in_data = input.data();
+        let g_data = g.data();
+
+        // Global accumulation buffer ordered [(kr*Kc+kc)][no][ni].
+        let mut dw_flat = vec![0.0f64; kr_n * kc_n * no * ni];
+
+        let mut mesh: Mesh<Slot> = Mesh::new(self.chip, |_, _| Slot {
+            g: [LdmBuf { offset: 0, len: 0 }; 2],
+            x: [LdmBuf { offset: 0, len: 0 }; 2],
+            c: LdmBuf { offset: 0, len: 0 },
+            g_h: [None; 2],
+            x_h: [None; 2],
+        });
+        let g_len = no8 * n8;
+        let x_len = kr_n * quads * ni8 * win4;
+        let c_len = kr_n * kc_n * no8 * ni8;
+        mesh.superstep(|ctx, s| {
+            s.g = [ctx.ldm_alloc(g_len)?, ctx.ldm_alloc(g_len)?];
+            s.x = [ctx.ldm_alloc(x_len)?, ctx.ldm_alloc(x_len)?];
+            s.c = ctx.ldm_alloc(c_len)?;
+            Ok(())
+        })?;
+        zero_c(&mut mesh, |s: &Slot| s.c)?;
+
+        // Pixel tiles: (batch block, output row, column block).
+        let tiles: Vec<(usize, usize, usize)> = (0..shape.batch / b_b)
+            .flat_map(|tb| (0..ro).flat_map(move |r| (0..co / b_co).map(move |tc| (tb, r, tc))))
+            .collect();
+
+        for (t_idx, &(tile_b, r_o, tile_c)) in tiles.iter().enumerate() {
+            let par = t_idx % 2;
+            let co0 = tile_c * b_co;
+            // Load superstep: issue this tile's operands (or reuse the
+            // prefetched ones), prefetch the next tile, wait.
+            let next = tiles.get(t_idx + 1).copied();
+            mesh.superstep(|ctx, s| {
+                let issue = |ctx: &mut sw_sim::CpeCtx<'_>,
+                             s: &mut Slot,
+                             tile: (usize, usize, usize),
+                             p: usize|
+                 -> Result<(), sw_sim::SimError> {
+                    let (tb, r_o, tc) = tile;
+                    let co0 = tc * b_co;
+                    // g: batch quad j, no in chunk_i, row r_o, cols co0..+b_co.
+                    let mut last = None;
+                    for q in 0..quads {
+                        let gq = (tb * b_b) / 4 + ctx.col * quads + q;
+                        let src_off = (((gq * no + ctx.row * no8) * ro + r_o) * co + co0) * 4;
+                        let h = ctx.dma_get_strided(
+                            s.g[p],
+                            q * no8 * 4 * b_co,
+                            g_data,
+                            src_off,
+                            no8,
+                            ro * co * 4,
+                            4 * b_co,
+                        )?;
+                        last = Some(h);
+                    }
+                    s.g_h[p] = last;
+                    // x: batch quad i, ni in chunk_j, rows r_o..r_o+Kr,
+                    // cols co0..co0+b_co+Kc-1.
+                    let mut lastx = None;
+                    for kr in 0..kr_n {
+                        for q in 0..quads {
+                            let gq = (tb * b_b) / 4 + ctx.row * quads + q;
+                            let src_off =
+                                (((gq * ni + ctx.col * ni8) * ri + r_o + kr) * ci + co0) * 4;
+                            let h = ctx.dma_get_strided(
+                                s.x[p],
+                                (kr * quads + q) * ni8 * win4,
+                                in_data,
+                                src_off,
+                                ni8,
+                                ri * ci * 4,
+                                win4,
+                            )?;
+                            lastx = Some(h);
+                        }
+                    }
+                    s.x_h[p] = lastx;
+                    Ok(())
+                };
+                if t_idx == 0 {
+                    issue(ctx, s, (tile_b, r_o, tile_c), 0)?;
+                }
+                if let Some(nx) = next {
+                    issue(ctx, s, nx, (t_idx + 1) % 2)?;
+                }
+                if let Some(h) = s.g_h[par].take() {
+                    ctx.dma_wait(h);
+                }
+                if let Some(h) = s.x_h[par].take() {
+                    ctx.dma_wait(h);
+                }
+                Ok(())
+            })?;
+            let _ = co0;
+
+            // One rotation per (kr, kc) tap, accumulating into the
+            // resident dW slice.
+            for kr in 0..kr_n {
+                for kc in 0..kc_n {
+                    let c_off = (kr * kc_n + kc) * no8 * ni8;
+                    regcomm_gemm(
+                        &mut mesh,
+                        GemmBlock {
+                            m8: no8,
+                            n8: ni8,
+                            k8: n8,
+                            c_stride: ni8,
+                            reordered: self.reordered_kernel,
+                        },
+                        // A block: g, packed k-major (pixel, no).
+                        move |ctx, s: &Slot| {
+                            let gbuf = ctx.ldm(s.g[par]);
+                            let mut a = Vec::with_capacity(n8 * no8);
+                            for q in 0..quads {
+                                for p in 0..4 * b_co {
+                                    for m in 0..no8 {
+                                        a.push(gbuf[(q * no8 + m) * 4 * b_co + p]);
+                                    }
+                                }
+                            }
+                            a
+                        },
+                        // B block: x taps, packed k-major (pixel, ni).
+                        move |ctx, s: &Slot| {
+                            let xbuf = ctx.ldm(s.x[par]);
+                            let mut b = Vec::with_capacity(n8 * ni8);
+                            for q in 0..quads {
+                                for p in 0..b_co {
+                                    for lane in 0..4 {
+                                        for nl in 0..ni8 {
+                                            b.push(
+                                                xbuf[(kr * quads + q) * ni8 * win4
+                                                    + nl * win4
+                                                    + 4 * (p + kc)
+                                                    + lane],
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            b
+                        },
+                        move |s: &Slot| (s.c, c_off),
+                    )?;
+                }
+            }
+        }
+
+        // Store the accumulated dW blocks.
+        mesh.superstep(|ctx, s| {
+            let mut last = None;
+            for krkc in 0..kr_n * kc_n {
+                for m in 0..no8 {
+                    let n_o = ctx.row * no8 + m;
+                    let dst = (krkc * no + n_o) * ni + ctx.col * ni8;
+                    let h = ctx.dma_put(s.c, krkc * no8 * ni8 + m * ni8, dst, ni8)?;
+                    last = Some(h);
+                }
+            }
+            if let Some(h) = last {
+                ctx.dma_wait(h);
+            }
+            Ok(())
+        })?;
+        mesh.drain_puts(&mut dw_flat)?;
+        mesh.assert_inboxes_empty()?;
+
+        // Transpose [(kr,kc)][no][ni] -> (No, Ni, Kr, Kc).
+        let mut dw = Tensor4::zeros(shape.filter_shape(), Layout::Nchw);
+        for kr in 0..kr_n {
+            for kc in 0..kc_n {
+                for n_o in 0..no {
+                    for n_i in 0..ni {
+                        dw.set(n_o, n_i, kr, kc, dw_flat[((kr * kc_n + kc) * no + n_o) * ni + n_i]);
+                    }
+                }
+            }
+        }
+        let stats = mesh.stats();
+        Ok((
+            dw,
+            PlanTiming { cycles: stats.cycles, stats, sampled: false, modeled: false },
+        ))
+    }
+
+    /// Sampled full-shape timing (the pass is linear in the pixel tiles).
+    pub fn time_full_shape(&self, shape: &ConvShape) -> Result<PlanTiming, SwdnnError> {
+        self.supports(shape)?;
+        let reduced = |n_ro: usize| ConvShape {
+            batch: self.b_b,
+            ro: n_ro,
+            co: self.b_co,
+            ..*shape
+        };
+        let run = |s: &ConvShape| -> Result<PlanTiming, SwdnnError> {
+            let input = sw_tensor::init::seeded_tensor(s.input_shape(), Layout::ImageAware, 31);
+            let d_out = sw_tensor::init::seeded_tensor(s.output_shape(), Layout::ImageAware, 32);
+            Ok(self.run(s, &input, &d_out)?.1)
+        };
+        let t1 = run(&reduced(1))?;
+        let t2 = run(&reduced(2))?;
+        let n_full =
+            (shape.batch / self.b_b) as u64 * shape.ro as u64 * (shape.co / self.b_co) as u64;
+        Ok(extrapolate(&t1, 1, &t2, 2, n_full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_tensor::conv2d_bwd_filter_ref;
+    use sw_tensor::init::{lattice_tensor, seeded_tensor};
+
+    fn small_shape() -> ConvShape {
+        ConvShape::new(32, 8, 8, 4, 8, 3, 3)
+    }
+
+    #[test]
+    fn matches_reference_exactly_on_lattice_data() {
+        let shape = small_shape();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 301);
+        let d_out = lattice_tensor(shape.output_shape(), Layout::Nchw, 302);
+        let expect = conv2d_bwd_filter_ref(shape, &input, &d_out);
+        let (dw, timing) = BwdFilterPlan::new(32, 4).run(&shape, &input, &d_out).unwrap();
+        assert_eq!(dw.max_abs_diff(&expect), 0.0);
+        assert!(timing.cycles > 0);
+    }
+
+    #[test]
+    fn matches_reference_on_random_data_and_asymmetric_filters() {
+        let shape = ConvShape::new(32, 16, 8, 3, 8, 2, 3);
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 303);
+        let d_out = seeded_tensor(shape.output_shape(), Layout::Nchw, 304);
+        let expect = conv2d_bwd_filter_ref(shape, &input, &d_out);
+        let (dw, _) = BwdFilterPlan::new(32, 4).run(&shape, &input, &d_out).unwrap();
+        assert!(dw.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn auto_blocking_supports_paper_scale() {
+        let shape = ConvShape::new(128, 128, 128, 64, 64, 3, 3);
+        let plan = BwdFilterPlan::auto(&shape);
+        assert!(plan.supports(&shape).is_ok(), "footprint {}", plan.ldm_doubles(&shape));
+    }
+
+    #[test]
+    fn sampled_timing_tracks_full_timing() {
+        let shape = ConvShape::new(32, 8, 8, 6, 8, 3, 3);
+        let plan = BwdFilterPlan::new(32, 4);
+        let full = {
+            let input = seeded_tensor(shape.input_shape(), Layout::ImageAware, 305);
+            let d_out = seeded_tensor(shape.output_shape(), Layout::ImageAware, 306);
+            plan.run(&shape, &input, &d_out).unwrap().1
+        };
+        let sampled = plan.time_full_shape(&shape).unwrap();
+        let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(rel < 0.06, "sampled {} vs full {} ({rel:.3})", sampled.cycles, full.cycles);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let plan = BwdFilterPlan::new(32, 4);
+        assert!(plan.supports(&ConvShape::new(31, 8, 8, 4, 8, 3, 3)).is_err());
+        assert!(plan.supports(&ConvShape::new(32, 7, 8, 4, 8, 3, 3)).is_err());
+        assert!(plan.supports(&ConvShape::new(32, 8, 8, 4, 7, 3, 3)).is_err());
+    }
+}

@@ -1,0 +1,566 @@
+//! The image-size-aware convolution plan — Algorithm 1 of the paper.
+//!
+//! LDM blocking on the batch (`b_B`) and output-column (`b_Co`) dimensions,
+//! with the DMA of the input window promoted out of the `kc` loop ("we can
+//! promote the DMA operation at line 6 to line 4 and read input image tile
+//! of size `(Costart : Costart + Kc + bCo)`"), so each input row window is
+//! fetched once per `kr` and reused for all `Kc` filter columns.
+//!
+//! For each output tile `(b-block, ro, co-block)`:
+//!
+//! 1. zero the distributed output accumulator;
+//! 2. for each `kr`: DMA the input row window (double-buffered against the
+//!    previous `kr`'s compute) and the filter slice `W[kr][·]`;
+//! 3. for each `kc`: one register-communication GEMM rotation
+//!    (`M = No`, `N = b_B·b_Co` pixels, `K = Ni`) reading a shifted
+//!    sub-window of the LDM-resident input;
+//! 4. DMA the output tile back.
+//!
+//! Data layouts: input/output in [`Layout::ImageAware`]
+//! (`(4, C, R, N, B/4)` — the DMA block per CPE is a `4·(b_Co+Kc−1)`-double
+//! run, large and aligned), filters repacked host-side to `(Kr, Kc, Ni, No)`
+//! so each `(kr, kc)` slice is a contiguous `Ni × No` matrix.
+//!
+//! Mesh distribution (per CPE `(i, j)`):
+//! * input: channels `ni ∈ chunk_i`, batch-quads `∈ chunk_j` — no element
+//!   is duplicated across CPEs (§V-A);
+//! * filters: `no ∈ chunk_i`, `ni ∈ chunk_j`;
+//! * output: `no ∈ chunk_i`, pixels `∈ chunk_j`.
+
+use super::gemm_mesh::{regcomm_gemm, zero_c, GemmBlock};
+use super::{extrapolate, ConvPlan, ConvRun, PlanTiming};
+use crate::error::SwdnnError;
+use crate::plans::PlanKind;
+use sw_perfmodel::select::{ldm_doubles_image_aware, Blocking};
+use sw_perfmodel::ChipSpec;
+use sw_sim::{DmaHandle, LdmBuf, Mesh};
+use sw_tensor::{ConvShape, Layout, Tensor4};
+
+/// Algorithm 1 with a fixed blocking choice.
+#[derive(Clone, Copy, Debug)]
+pub struct ImageAwarePlan {
+    pub chip: ChipSpec,
+    pub blocking: Blocking,
+    /// Reduction (input-channel) block `b_Ni` — §IV-A: "if LDM space is
+    /// not enough for large Ni or No, we still need to apply loop blocking
+    /// on these dimensions". `None` keeps the whole `Ni` resident.
+    pub b_ni: Option<usize>,
+    /// Use the §VI software-pipelined inner kernel (true) or the naive one
+    /// (false) — the Fig. 6 ablation switch.
+    pub reordered_kernel: bool,
+    /// Double-buffer DMA against compute (§IV-A). `false` fetches each
+    /// tile synchronously — the ablation that shows why the paper bothers.
+    pub double_buffer: bool,
+}
+
+impl ImageAwarePlan {
+    pub fn new(blocking: Blocking) -> Self {
+        Self {
+            chip: ChipSpec::sw26010(),
+            blocking,
+            b_ni: None,
+            reordered_kernel: true,
+            double_buffer: true,
+        }
+    }
+
+    /// Blocking from the performance model's default.
+    pub fn with_defaults() -> Self {
+        Self::new(Blocking::default())
+    }
+
+    /// Add input-channel blocking (must divide `Ni`, multiple of 8).
+    pub fn with_ni_blocking(mut self, b_ni: usize) -> Self {
+        self.b_ni = Some(b_ni);
+        self
+    }
+
+    fn effective_b_ni(&self, shape: &ConvShape) -> usize {
+        self.b_ni.unwrap_or(shape.ni).min(shape.ni)
+    }
+
+    /// Per-CPE LDM footprint in doubles with this plan's blocking.
+    pub fn ldm_doubles(&self, shape: &ConvShape) -> usize {
+        let blocked = ConvShape { ni: self.effective_b_ni(shape), ..*shape };
+        ldm_doubles_image_aware(&blocked, self.blocking)
+    }
+
+    fn dims(&self, shape: &ConvShape) -> Dims {
+        let dim = self.chip.mesh_dim;
+        let quads_per_cpe = self.blocking.b_b / (4 * dim);
+        let win = self.blocking.b_co + shape.kc - 1;
+        Dims {
+            ni8: self.effective_b_ni(shape) / dim,
+            no8: shape.no / dim,
+            quads: quads_per_cpe,
+            win4: 4 * win,
+            n8: quads_per_cpe * 4 * self.blocking.b_co,
+            b_co: self.blocking.b_co,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Dims {
+    ni8: usize,
+    no8: usize,
+    /// Batch quads per CPE.
+    quads: usize,
+    /// Doubles per `(quad, ni)` input row window (`4·(b_co+Kc−1)`).
+    win4: usize,
+    /// Output pixels per CPE (`quads · 4 · b_co`).
+    n8: usize,
+    b_co: usize,
+}
+
+/// Per-CPE buffers and in-flight DMA handles.
+struct Slot {
+    di: [LdmBuf; 2],
+    w: [LdmBuf; 2],
+    c: LdmBuf,
+    di_h: [Option<DmaHandle>; 2],
+    w_h: [Option<DmaHandle>; 2],
+}
+
+impl ConvPlan for ImageAwarePlan {
+    fn name(&self) -> &'static str {
+        "image_size_aware"
+    }
+
+    fn kind(&self) -> PlanKind {
+        PlanKind::ImageSizeAware
+    }
+
+    fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {
+        let fail = |reason: String| {
+            Err(SwdnnError::Unsupported { plan: "image_size_aware", shape: *shape, reason })
+        };
+        let Blocking { b_b, b_co } = self.blocking;
+        let dim = self.chip.mesh_dim;
+        if !shape.ni.is_multiple_of(dim) || !shape.no.is_multiple_of(dim) {
+            return fail(format!("Ni and No must be multiples of {dim}"));
+        }
+        if b_b % (4 * dim) != 0 {
+            return fail(format!("b_B ({b_b}) must be a multiple of {}", 4 * dim));
+        }
+        if !shape.batch.is_multiple_of(b_b) {
+            return fail(format!("batch {} not divisible by b_B {b_b}", shape.batch));
+        }
+        if !shape.co.is_multiple_of(b_co) {
+            return fail(format!("Co {} not divisible by b_Co {b_co}", shape.co));
+        }
+        let b_ni = self.effective_b_ni(shape);
+        if !b_ni.is_multiple_of(dim) || !shape.ni.is_multiple_of(b_ni) {
+            return fail(format!(
+                "b_Ni ({b_ni}) must be a multiple of {dim} dividing Ni ({})",
+                shape.ni
+            ));
+        }
+        let need = self.ldm_doubles(shape);
+        if need > self.chip.ldm_doubles() {
+            return fail(format!("needs {need} LDM doubles > {}", self.chip.ldm_doubles()));
+        }
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        shape: &ConvShape,
+        input: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<ConvRun, SwdnnError> {
+        self.supports(shape)?;
+        let d = self.dims(shape);
+        let Blocking { b_b, b_co } = self.blocking;
+        let (ri, ci) = (shape.ri(), shape.ci());
+        let (ro, co, kr_n, kc_n) = (shape.ro, shape.co, shape.kr, shape.kc);
+        let (ni, no) = (shape.ni, shape.no);
+        let b_ni = self.effective_b_ni(shape);
+        let ni_blocks = ni / b_ni;
+
+        // Host-side layout preparation (done once per layer in practice).
+        let input = input.to_layout(Layout::ImageAware);
+        let in_data = input.data();
+        // Filters repacked to (Kr, Kc, Ni, No).
+        let mut w_flat = vec![0.0f64; kr_n * kc_n * ni * no];
+        for n_o in 0..no {
+            for n_i in 0..ni {
+                for kr in 0..kr_n {
+                    for kc in 0..kc_n {
+                        w_flat[((kr * kc_n + kc) * ni + n_i) * no + n_o] =
+                            filter.get(n_o, n_i, kr, kc);
+                    }
+                }
+            }
+        }
+
+        let mut output = Tensor4::zeros(shape.output_shape(), Layout::ImageAware);
+        let mut mesh: Mesh<Slot> = Mesh::new(self.chip, |_, _| Slot {
+            di: [LdmBuf { offset: 0, len: 0 }; 2],
+            w: [LdmBuf { offset: 0, len: 0 }; 2],
+            c: LdmBuf { offset: 0, len: 0 },
+            di_h: [None; 2],
+            w_h: [None; 2],
+        });
+
+        // Setup superstep: allocate LDM tiles. The filter buffer holds one
+        // (kr, kc) slice (Algorithm 1 line 7 re-fetches W inside the filter
+        // loops), double-buffered like the input window.
+        let di_len = d.quads * d.ni8 * d.win4;
+        let w_len = d.ni8 * d.no8;
+        let c_len = d.no8 * d.n8;
+        mesh.superstep(|ctx, s| {
+            s.di = [ctx.ldm_alloc(di_len)?, ctx.ldm_alloc(di_len)?];
+            s.w = [ctx.ldm_alloc(w_len)?, ctx.ldm_alloc(w_len)?];
+            s.c = ctx.ldm_alloc(c_len)?;
+            Ok(())
+        })?;
+
+        for tile_b in 0..shape.batch / b_b {
+            for r_o in 0..ro {
+                for tile_c in 0..co / b_co {
+                    let co0 = tile_c * b_co;
+                    zero_c(&mut mesh, |s: &Slot| s.c)?;
+
+                    // §IV-A channel blocking: the reduction over Ni runs in
+                    // `ni_blocks` passes, each keeping b_Ni channels in LDM
+                    // and accumulating into the resident output tile.
+                    for ni_blk in 0..ni_blocks {
+                    for kr in 0..kr_n {
+                        let didx = ni_blk * kr_n + kr;
+                        let di_par = didx % 2;
+                        // Input-window superstep: prefetch the next
+                        // (ni-block, kr) window, wait for the current one.
+                        mesh.superstep(|ctx, s| {
+                            let issue_di = |ctx: &mut sw_sim::CpeCtx<'_>,
+                                            s: &mut Slot,
+                                            didx_x: usize|
+                             -> Result<(), sw_sim::SimError> {
+                                let (blk_x, kr_x) = (didx_x / kr_n, didx_x % kr_n);
+                                let r_i = r_o + kr_x;
+                                let mut last = None;
+                                for q in 0..d.quads {
+                                    let gq = (tile_b * b_b) / 4 + ctx.col * d.quads + q;
+                                    let ni0 = blk_x * b_ni + ctx.row * d.ni8;
+                                    let src_off =
+                                        (((gq * ni + ni0) * ri + r_i) * ci + co0) * 4;
+                                    let h = ctx.dma_get_strided(
+                                        s.di[didx_x % 2],
+                                        q * d.ni8 * d.win4,
+                                        in_data,
+                                        src_off,
+                                        d.ni8,
+                                        ri * ci * 4,
+                                        d.win4,
+                                    )?;
+                                    last = Some(h);
+                                }
+                                s.di_h[didx_x % 2] = last;
+                                Ok(())
+                            };
+                            if self.double_buffer {
+                                if didx == 0 {
+                                    issue_di(ctx, s, 0)?;
+                                }
+                                if didx + 1 < ni_blocks * kr_n {
+                                    issue_di(ctx, s, didx + 1)?;
+                                }
+                            } else {
+                                issue_di(ctx, s, didx)?;
+                            }
+                            if let Some(h) = s.di_h[di_par].take() {
+                                ctx.dma_wait(h);
+                            }
+                            Ok(())
+                        })?;
+
+                        for kc in 0..kc_n {
+                            let idx = (ni_blk * kr_n + kr) * kc_n + kc;
+                            let w_par = idx % 2;
+                            // Filter-slice superstep: issue W(idx) on first
+                            // use, prefetch W(idx+1), wait W(idx).
+                            mesh.superstep(|ctx, s| {
+                                let issue_w = |ctx: &mut sw_sim::CpeCtx<'_>,
+                                               s: &mut Slot,
+                                               idx_x: usize|
+                                 -> Result<(), sw_sim::SimError> {
+                                    let blk_x = idx_x / (kr_n * kc_n);
+                                    let krkc_x = idx_x % (kr_n * kc_n);
+                                    let ni0 = blk_x * b_ni + ctx.col * d.ni8;
+                                    let src_off =
+                                        (krkc_x * ni + ni0) * no + ctx.row * d.no8;
+                                    let h = ctx.dma_get_strided(
+                                        s.w[idx_x % 2],
+                                        0,
+                                        &w_flat,
+                                        src_off,
+                                        d.ni8,
+                                        no,
+                                        d.no8,
+                                    )?;
+                                    s.w_h[idx_x % 2] = Some(h);
+                                    Ok(())
+                                };
+                                if self.double_buffer {
+                                    if idx == 0 {
+                                        issue_w(ctx, s, 0)?;
+                                    }
+                                    if idx + 1 < ni_blocks * kr_n * kc_n {
+                                        issue_w(ctx, s, idx + 1)?;
+                                    }
+                                } else {
+                                    issue_w(ctx, s, idx)?;
+                                }
+                                if let Some(h) = s.w_h[w_par].take() {
+                                    ctx.dma_wait(h);
+                                }
+                                Ok(())
+                            })?;
+                            let par = di_par;
+                            regcomm_gemm(
+                                &mut mesh,
+                                GemmBlock {
+                                    m8: d.no8,
+                                    n8: d.n8,
+                                    k8: d.ni8,
+                                    c_stride: d.n8,
+                                    reordered: self.reordered_kernel,
+                                },
+                                // A block: the (ni8 x no8) slice for this (kr, kc).
+                                move |ctx, s: &Slot| ctx.ldm(s.w[w_par]).to_vec(),
+                                // B block: shifted window, packed k-major.
+                                move |ctx, s: &Slot| {
+                                    let di = ctx.ldm(s.di[par]);
+                                    let mut b = Vec::with_capacity(d.ni8 * d.n8);
+                                    for k in 0..d.ni8 {
+                                        for q in 0..d.quads {
+                                            let base = q * d.ni8 * d.win4 + k * d.win4 + 4 * kc;
+                                            b.extend_from_slice(&di[base..base + 4 * d.b_co]);
+                                        }
+                                    }
+                                    b
+                                },
+                                |s: &Slot| (s.c, 0),
+                            )?;
+                        }
+                    }
+                    }
+
+                    // Store the output tile.
+                    mesh.superstep(|ctx, s| {
+                        let mut last = None;
+                        for q in 0..d.quads {
+                            let gq = (tile_b * b_b) / 4 + ctx.col * d.quads + q;
+                            let dst_off =
+                                (((gq * no + ctx.row * d.no8) * ro + r_o) * co + co0) * 4;
+                            let h = ctx.dma_put_scatter(
+                                s.c,
+                                q * 4 * d.b_co,
+                                d.n8,
+                                dst_off,
+                                ro * co * 4,
+                                d.no8,
+                                4 * d.b_co,
+                            )?;
+                            last = Some(h);
+                        }
+                        if let Some(h) = last {
+                            ctx.dma_wait(h);
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
+        }
+
+        mesh.drain_puts(output.data_mut())?;
+        mesh.assert_inboxes_empty()?;
+        let stats = mesh.stats();
+        Ok(ConvRun {
+            output,
+            timing: PlanTiming { cycles: stats.cycles, stats, sampled: false, modeled: false },
+        })
+    }
+
+    fn time_full_shape(&self, shape: &ConvShape) -> Result<PlanTiming, SwdnnError> {
+        self.supports(shape)?;
+        let Blocking { b_b, b_co } = self.blocking;
+        let reduced = |n_ro: usize| ConvShape {
+            batch: b_b,
+            ni: shape.ni,
+            no: shape.no,
+            ro: n_ro,
+            co: b_co,
+            kr: shape.kr,
+            kc: shape.kc,
+        };
+        let run = |s: &ConvShape| -> Result<PlanTiming, SwdnnError> {
+            let input = sw_tensor::init::seeded_tensor(s.input_shape(), Layout::ImageAware, 11);
+            let filter = sw_tensor::init::seeded_tensor(s.filter_shape(), Layout::Nchw, 12);
+            Ok(self.run(s, &input, &filter)?.timing)
+        };
+        let t1 = run(&reduced(1))?;
+        let t2 = run(&reduced(2))?;
+        let n_full =
+            (shape.batch / b_b) as u64 * shape.ro as u64 * (shape.co / b_co) as u64;
+        Ok(extrapolate(&t1, 1, &t2, 2, n_full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_tensor::init::lattice_tensor;
+    use sw_tensor::{conv2d_ref, init::seeded_tensor};
+
+    fn small_shape() -> ConvShape {
+        // bB must be a multiple of 32; keep the rest small.
+        ConvShape::new(32, 8, 8, 4, 8, 3, 3)
+    }
+
+    fn plan() -> ImageAwarePlan {
+        ImageAwarePlan::new(Blocking { b_b: 32, b_co: 4 })
+    }
+
+    #[test]
+    fn matches_reference_exactly_on_lattice_data() {
+        let shape = small_shape();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 3);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 4);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let run = plan().run(&shape, &input, &filter).unwrap();
+        assert_eq!(run.output.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn matches_reference_closely_on_random_data() {
+        let shape = ConvShape::new(32, 16, 8, 3, 8, 2, 2);
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 5);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 6);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let run = ImageAwarePlan::new(Blocking { b_b: 32, b_co: 4 })
+            .run(&shape, &input, &filter)
+            .unwrap();
+        assert!(run.output.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected() {
+        let p = plan();
+        // Ni not a multiple of 8.
+        assert!(p.supports(&ConvShape::new(32, 7, 8, 4, 8, 3, 3)).is_err());
+        // batch not divisible by b_b.
+        assert!(p.supports(&ConvShape::new(48, 8, 8, 4, 8, 3, 3)).is_err());
+        // co not divisible by b_co.
+        assert!(p.supports(&ConvShape::new(32, 8, 8, 4, 6, 3, 3)).is_err());
+        assert!(p.supports(&small_shape()).is_ok());
+    }
+
+    #[test]
+    fn timing_is_sane_and_flops_exact() {
+        let shape = small_shape();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 7);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 8);
+        let run = plan().run(&shape, &input, &filter).unwrap();
+        assert!(run.timing.cycles > 0);
+        // GEMM flops = 2*B*No*Ro*Co*Ni per (kr,kc) => exactly shape.flops().
+        assert_eq!(run.timing.stats.totals.flops, shape.flops());
+    }
+
+    #[test]
+    fn sampled_timing_tracks_full_timing() {
+        // On a shape small enough to run fully, the sampled extrapolation
+        // must agree with the full simulation within a few percent.
+        let shape = ConvShape::new(32, 8, 8, 6, 8, 3, 3);
+        let p = plan();
+        let full = {
+            let input = seeded_tensor(shape.input_shape(), Layout::ImageAware, 1);
+            let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 2);
+            p.run(&shape, &input, &filter).unwrap().timing
+        };
+        let sampled = p.time_full_shape(&shape).unwrap();
+        let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(rel < 0.05, "sampled {} vs full {} ({rel:.3})", sampled.cycles, full.cycles);
+        assert!(sampled.sampled);
+    }
+
+    #[test]
+    fn ni_blocking_matches_unblocked_exactly() {
+        let shape = ConvShape::new(32, 16, 8, 3, 8, 3, 3);
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 71);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 72);
+        let full = plan().run(&shape, &input, &filter).unwrap();
+        let blocked =
+            plan().with_ni_blocking(8).run(&shape, &input, &filter).unwrap();
+        assert_eq!(blocked.output.max_abs_diff(&full.output), 0.0);
+        // Blocking trades extra filter traffic for a smaller footprint.
+        assert!(
+            blocked.timing.stats.totals.dma_get_bytes
+                >= full.timing.stats.totals.dma_get_bytes
+        );
+    }
+
+    #[test]
+    fn ni_blocking_reduces_ldm_footprint() {
+        let shape = ConvShape::new(128, 512, 512, 64, 64, 3, 3);
+        let unblocked = ImageAwarePlan::new(Blocking { b_b: 32, b_co: 4 });
+        assert!(unblocked.supports(&shape).is_err(), "512x512 must overflow LDM");
+        let blocked = unblocked.with_ni_blocking(128);
+        assert!(
+            blocked.supports(&shape).is_ok(),
+            "b_Ni=128 must fit: {} doubles",
+            blocked.ldm_doubles(&shape)
+        );
+    }
+
+    #[test]
+    fn ni_blocked_512_channel_conv_runs_correctly_small() {
+        // Functional check of the blocked path on a shape with several
+        // ni-blocks (small spatial size keeps it fast).
+        let shape = ConvShape::new(32, 32, 8, 2, 4, 2, 2);
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 73);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 74);
+        let expect = sw_tensor::conv2d_ref(shape, &input, &filter);
+        let run = ImageAwarePlan::new(Blocking { b_b: 32, b_co: 4 })
+            .with_ni_blocking(8)
+            .run(&shape, &input, &filter)
+            .unwrap();
+        assert_eq!(run.output.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn synchronous_dma_ablation_is_slower_but_correct() {
+        let shape = small_shape();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 91);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 92);
+        let buffered = plan().run(&shape, &input, &filter).unwrap();
+        let mut sync_plan = plan();
+        sync_plan.double_buffer = false;
+        let sync = sync_plan.run(&shape, &input, &filter).unwrap();
+        assert_eq!(sync.output.max_abs_diff(&buffered.output), 0.0);
+        assert!(
+            sync.timing.cycles > buffered.timing.cycles,
+            "sync {} vs buffered {}",
+            sync.timing.cycles,
+            buffered.timing.cycles
+        );
+        // Stall accounting must show where the loss went.
+        assert!(
+            sync.timing.stats.totals.dma_stall_cycles
+                > buffered.timing.stats.totals.dma_stall_cycles
+        );
+    }
+
+    #[test]
+    fn naive_kernel_ablation_is_slower() {
+        let shape = small_shape();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 9);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 10);
+        let fast = plan().run(&shape, &input, &filter).unwrap();
+        let mut slowp = plan();
+        slowp.reordered_kernel = false;
+        let slow = slowp.run(&shape, &input, &filter).unwrap();
+        assert!(slow.timing.cycles > fast.timing.cycles);
+        assert_eq!(slow.output.max_abs_diff(&fast.output), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Convolution plans: the paper's mappings of the convolution kernel onto
+//! one SW26010 core group.
+//!
+//! All mesh plans share the same skeleton:
+//!
+//! 1. distribute operand tiles over the 8×8 CPE mesh with **no duplicated
+//!    data** (§V-A), using DMA block sizes the Table II curve rewards;
+//! 2. run the **register-communication GEMM** ([`gemm_mesh`]): 8 rotation
+//!    rounds in which one mesh column broadcasts filter blocks along rows
+//!    and one mesh row broadcasts image blocks along columns (Fig. 3);
+//! 3. price the per-CPE compute with the software-pipelined inner kernel of
+//!    §VI (`17·(Ni/8) + 4` cycles per 4×16 register tile);
+//! 4. double-buffer DMA against compute (§IV-A).
+//!
+//! Every plan computes real `f64` results, checked against the reference
+//! convolution in the test suites.
+
+pub mod batch_aware;
+pub mod bwd_filter;
+pub mod direct;
+pub mod gemm_mesh;
+pub mod image_aware;
+pub mod reference;
+
+pub use batch_aware::BatchAwarePlan;
+pub use bwd_filter::BwdFilterPlan;
+pub use direct::DirectPlan;
+pub use image_aware::ImageAwarePlan;
+pub use reference::ReferencePlan;
+
+use crate::error::SwdnnError;
+use sw_perfmodel::{ChipSpec, PlanKind};
+use sw_sim::CgStats;
+use sw_tensor::{ConvShape, Tensor4};
+
+/// Timing of one plan execution on one core group.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanTiming {
+    /// Simulated wall cycles on the CG.
+    pub cycles: u64,
+    /// Aggregate counters.
+    pub stats: CgStats,
+    /// True when the cycles were extrapolated from sampled outer iterations
+    /// rather than a full simulation.
+    pub sampled: bool,
+    /// True when timing comes from the analytic model only (reference plan).
+    pub modeled: bool,
+}
+
+impl PlanTiming {
+    /// Attained Gflops given the convolution's true flop count.
+    pub fn gflops(&self, shape: &ConvShape, chip: &ChipSpec) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let secs = self.cycles as f64 / (chip.clock_ghz * 1e9);
+        shape.flops() as f64 / secs / 1e9
+    }
+
+    /// Fraction of one CG's peak attained.
+    pub fn efficiency(&self, shape: &ConvShape, chip: &ChipSpec) -> f64 {
+        self.gflops(shape, chip) / chip.peak_gflops_per_cg()
+    }
+}
+
+/// Result of running a plan: the output tensor plus timing.
+#[derive(Clone, Debug)]
+pub struct ConvRun {
+    pub output: Tensor4<f64>,
+    pub timing: PlanTiming,
+}
+
+/// A convolution execution strategy.
+pub trait ConvPlan {
+    fn name(&self) -> &'static str;
+    fn kind(&self) -> PlanKind;
+
+    /// Can this plan run `shape` at all (divisibility + LDM budget)?
+    fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError>;
+
+    /// Execute the full convolution (real arithmetic, full timing).
+    fn run(&self, shape: &ConvShape, input: &Tensor4<f64>, filter: &Tensor4<f64>)
+        -> Result<ConvRun, SwdnnError>;
+
+    /// Estimate full-shape timing by simulating a small number of outer
+    /// iterations and extrapolating linearly (see [`extrapolate`]).
+    ///
+    /// The default implementation runs the plan in full — plans whose cost
+    /// is linear in an outer trip count override this.
+    fn time_full_shape(&self, shape: &ConvShape) -> Result<PlanTiming, SwdnnError> {
+        let input = sw_tensor::init::seeded_tensor(shape.input_shape(), sw_tensor::Layout::Nchw, 1);
+        let filter =
+            sw_tensor::init::seeded_tensor(shape.filter_shape(), sw_tensor::Layout::Nchw, 2);
+        Ok(self.run(shape, &input, &filter)?.timing)
+    }
+}
+
+/// Linear extrapolation of timing from two sampled runs.
+///
+/// A plan's cost is `a + b·N` in the outer trip count `N`; given
+/// measurements at `n1 < n2` outer iterations, recover `(a, b)` and predict
+/// the full count. Counters extrapolate the same way.
+pub fn extrapolate(t1: &PlanTiming, n1: u64, t2: &PlanTiming, n2: u64, n_full: u64) -> PlanTiming {
+    assert!(n2 > n1 && n1 > 0, "need two distinct positive sample sizes");
+    let per_iter = (t2.cycles.saturating_sub(t1.cycles)) / (n2 - n1);
+    let setup = t1.cycles.saturating_sub(per_iter * n1);
+    let cycles = setup + per_iter * n_full;
+
+    let lerp_u64 = |a: u64, b: u64| -> u64 {
+        let per = (b.saturating_sub(a)) / (n2 - n1);
+        let base = a.saturating_sub(per * n1);
+        base + per * n_full
+    };
+    let mut stats = t1.stats;
+    stats.cycles = cycles;
+    stats.totals.dma_get_bytes =
+        lerp_u64(t1.stats.totals.dma_get_bytes, t2.stats.totals.dma_get_bytes);
+    stats.totals.dma_put_bytes =
+        lerp_u64(t1.stats.totals.dma_put_bytes, t2.stats.totals.dma_put_bytes);
+    stats.totals.dma_requests = lerp_u64(t1.stats.totals.dma_requests, t2.stats.totals.dma_requests);
+    stats.totals.flops = lerp_u64(t1.stats.totals.flops, t2.stats.totals.flops);
+    stats.totals.bus_vectors_sent =
+        lerp_u64(t1.stats.totals.bus_vectors_sent, t2.stats.totals.bus_vectors_sent);
+    stats.totals.bus_vectors_received =
+        lerp_u64(t1.stats.totals.bus_vectors_received, t2.stats.totals.bus_vectors_received);
+    stats.totals.compute_cycles =
+        lerp_u64(t1.stats.totals.compute_cycles, t2.stats.totals.compute_cycles);
+    stats.totals.dma_stall_cycles =
+        lerp_u64(t1.stats.totals.dma_stall_cycles, t2.stats.totals.dma_stall_cycles);
+
+    PlanTiming { cycles, stats, sampled: true, modeled: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_sim::CpeStats;
+
+    fn timing(cycles: u64, flops: u64) -> PlanTiming {
+        PlanTiming {
+            cycles,
+            stats: CgStats { cycles, totals: CpeStats { flops, ..Default::default() } },
+            sampled: false,
+            modeled: false,
+        }
+    }
+
+    #[test]
+    fn extrapolation_recovers_linear_cost() {
+        // cost = 100 + 50*N
+        let t1 = timing(150, 10);
+        let t2 = timing(200, 20);
+        let full = extrapolate(&t1, 1, &t2, 2, 100);
+        assert_eq!(full.cycles, 100 + 50 * 100);
+        assert_eq!(full.stats.totals.flops, 10 * 100);
+        assert!(full.sampled);
+    }
+
+    #[test]
+    fn gflops_from_timing() {
+        let shape = ConvShape::new(8, 8, 8, 4, 4, 3, 3);
+        let chip = ChipSpec::sw26010();
+        let t = timing(1450, 0); // 1 µs
+        let expected = shape.flops() as f64 / 1e-6 / 1e9;
+        assert!((t.gflops(&shape, &chip) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct")]
+    fn extrapolate_rejects_bad_samples() {
+        let t = timing(100, 1);
+        let _ = extrapolate(&t, 2, &t, 2, 10);
+    }
+}

@@ -1,0 +1,150 @@
+//! Empirical plan autotuning.
+//!
+//! The paper's §VII claims the performance model "provided useful guidance
+//! in our optimization process" — the model picks the plan, rather than an
+//! exhaustive search. This module implements the alternative the claim is
+//! measured against: *empirically* time every feasible plan/blocking
+//! candidate (via the sampled-timing machinery, so each candidate costs
+//! two small simulations) and pick the fastest. The `model_vs_autotune`
+//! bench reports the model's regret against this oracle.
+
+use crate::error::SwdnnError;
+use crate::plans::{BatchAwarePlan, ConvPlan, ImageAwarePlan};
+use sw_perfmodel::select::Blocking;
+use sw_perfmodel::{select_plan, ChipSpec};
+use sw_tensor::ConvShape;
+
+/// One timed candidate.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    pub description: String,
+    /// Simulated cycles for the full shape (sampled).
+    pub cycles: u64,
+    /// Attained Gflops on one CG.
+    pub gflops: f64,
+}
+
+/// The autotuning outcome.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// All candidates, fastest first.
+    pub candidates: Vec<Candidate>,
+    /// What the analytic model would have picked, as an index into
+    /// `candidates` (None if the model's choice was infeasible).
+    pub model_choice: Option<usize>,
+}
+
+impl TuneReport {
+    pub fn best(&self) -> &Candidate {
+        &self.candidates[0]
+    }
+
+    /// Fraction of the empirically-best throughput the model's choice
+    /// attains (1.0 = the model found the optimum).
+    pub fn model_fraction_of_best(&self) -> Option<f64> {
+        self.model_choice.map(|i| self.candidates[i].gflops / self.candidates[0].gflops)
+    }
+}
+
+/// Enumerate and time every feasible plan for `shape`.
+pub fn autotune(shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
+    let chip = ChipSpec::sw26010();
+    let mut raw: Vec<(String, u64, f64)> = Vec::new();
+
+    // Batch-size-aware candidates over its b_co choices.
+    for b_co in [16usize, 8, 4, 2, 1] {
+        if !shape.co.is_multiple_of(b_co) {
+            continue;
+        }
+        let plan = BatchAwarePlan::new(b_co);
+        if plan.supports(shape).is_err() {
+            continue;
+        }
+        let timing = plan.time_full_shape(shape)?;
+        raw.push((
+            format!("batch_size_aware b_co={b_co}"),
+            timing.cycles,
+            timing.gflops(shape, &chip),
+        ));
+    }
+
+    // Image-size-aware candidates over (b_b, b_co).
+    let mut b_b = 32usize;
+    while b_b <= shape.batch {
+        if shape.batch.is_multiple_of(b_b) {
+            for b_co in [32usize, 16, 8, 4, 2, 1] {
+                if !shape.co.is_multiple_of(b_co) {
+                    continue;
+                }
+                let plan = ImageAwarePlan::new(Blocking { b_b, b_co });
+                if plan.supports(shape).is_err() {
+                    continue;
+                }
+                let timing = plan.time_full_shape(shape)?;
+                raw.push((
+                    format!("image_size_aware b_b={b_b} b_co={b_co}"),
+                    timing.cycles,
+                    timing.gflops(shape, &chip),
+                ));
+            }
+        }
+        b_b *= 2;
+    }
+
+    if raw.is_empty() {
+        return Err(SwdnnError::NoPlan(*shape));
+    }
+    raw.sort_by_key(|c| c.1);
+
+    // Identify the analytic model's pick among the candidates.
+    let model_desc = select_plan(shape, &chip).map(|c| match c.kind {
+        sw_perfmodel::PlanKind::BatchSizeAware => {
+            // The executor's batch plan auto-selects its own b_co.
+            let auto = BatchAwarePlan::auto(shape);
+            format!("batch_size_aware b_co={}", auto.b_co)
+        }
+        _ => format!("image_size_aware b_b={} b_co={}", c.blocking.b_b, c.blocking.b_co),
+    });
+    let candidates: Vec<Candidate> = raw
+        .into_iter()
+        .map(|(description, cycles, gflops)| Candidate { description, cycles, gflops })
+        .collect();
+    let model_choice =
+        model_desc.and_then(|d| candidates.iter().position(|c| c.description == d));
+    Ok(TuneReport { candidates, model_choice })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autotune_orders_candidates_fastest_first() {
+        let shape = ConvShape::new(32, 16, 16, 4, 8, 3, 3);
+        let rep = autotune(&shape).unwrap();
+        assert!(rep.candidates.len() >= 3, "several candidates expected");
+        assert!(rep.candidates.windows(2).all(|w| w[0].cycles <= w[1].cycles));
+        assert!(rep.best().gflops > 0.0);
+    }
+
+    #[test]
+    fn model_choice_is_feasible_and_reasonable() {
+        // At tiny shapes the model misranks (its Eqs. ignore fixed
+        // per-superstep costs that dominate small problems); the §VII
+        // near-optimality claim is asserted at paper scale by the
+        // `model_vs_autotune` bench, where the model finds the empirical
+        // optimum. Here: the choice must exist and not be catastrophic.
+        let shape = ConvShape::new(32, 16, 16, 6, 8, 3, 3);
+        let rep = autotune(&shape).unwrap();
+        let frac = rep.model_fraction_of_best().expect("model choice must be feasible");
+        assert!(frac > 0.2, "model at {frac:.2} of the empirical best");
+        assert!(frac <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn infeasible_shapes_error() {
+        // Channels not a multiple of 8: no mesh plan candidates at all.
+        let shape = ConvShape::new(32, 7, 7, 4, 8, 3, 3);
+        assert!(matches!(autotune(&shape), Err(SwdnnError::NoPlan(_))));
+    }
+}

@@ -1,0 +1,196 @@
+//! Winograd minimal filtering `F(2×2, 3×3)` — the fast GPU-side algorithm
+//! of the paper's related work (Lavin, "Fast algorithms for convolutional
+//! neural networks", the `maxDNN`/cuDNN lineage).
+//!
+//! Each 4×4 input tile produces a 2×2 output tile with 16 multiplies
+//! instead of the direct method's 36 (2.25× fewer), at the cost of the
+//! transforms:
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! with the standard matrices
+//! `B` (4×4, entries 0/±1), `G` (4×3, entries 0/±½/1), `A` (4×2).
+//!
+//! Used here as (a) a third independent functional oracle for 3×3
+//! convolutions and (b) the arithmetic baseline behind the paper's implicit
+//! claim that SW26010's constraint is bandwidth, not multiplies (a
+//! multiply-saving algorithm does not help a bandwidth-bound kernel).
+
+use sw_tensor::{ConvShape, Layout, Tensor4};
+
+/// `Bᵀ d B` for a 4×4 data tile.
+fn input_transform(d: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+    // Bt = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]
+    let mut tmp = [[0.0; 4]; 4];
+    for c in 0..4 {
+        tmp[0][c] = d[0][c] - d[2][c];
+        tmp[1][c] = d[1][c] + d[2][c];
+        tmp[2][c] = d[2][c] - d[1][c];
+        tmp[3][c] = d[1][c] - d[3][c];
+    }
+    let mut out = [[0.0; 4]; 4];
+    for r in 0..4 {
+        out[r][0] = tmp[r][0] - tmp[r][2];
+        out[r][1] = tmp[r][1] + tmp[r][2];
+        out[r][2] = tmp[r][2] - tmp[r][1];
+        out[r][3] = tmp[r][1] - tmp[r][3];
+    }
+    out
+}
+
+/// `G g Gᵀ` for a 3×3 filter.
+fn filter_transform(g: &[[f64; 3]; 3]) -> [[f64; 4]; 4] {
+    // G = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+    let mut tmp = [[0.0; 3]; 4];
+    for c in 0..3 {
+        tmp[0][c] = g[0][c];
+        tmp[1][c] = 0.5 * (g[0][c] + g[1][c] + g[2][c]);
+        tmp[2][c] = 0.5 * (g[0][c] - g[1][c] + g[2][c]);
+        tmp[3][c] = g[2][c];
+    }
+    let mut out = [[0.0; 4]; 4];
+    for r in 0..4 {
+        out[r][0] = tmp[r][0];
+        out[r][1] = 0.5 * (tmp[r][0] + tmp[r][1] + tmp[r][2]);
+        out[r][2] = 0.5 * (tmp[r][0] - tmp[r][1] + tmp[r][2]);
+        out[r][3] = tmp[r][2];
+    }
+    out
+}
+
+/// `Aᵀ m A` for a 4×4 elementwise product, yielding the 2×2 output tile.
+fn output_transform(m: &[[f64; 4]; 4]) -> [[f64; 2]; 2] {
+    // At = [1 1 1 0; 0 1 -1 -1]
+    let mut tmp = [[0.0; 4]; 2];
+    for c in 0..4 {
+        tmp[0][c] = m[0][c] + m[1][c] + m[2][c];
+        tmp[1][c] = m[1][c] - m[2][c] - m[3][c];
+    }
+    let mut out = [[0.0; 2]; 2];
+    for r in 0..2 {
+        out[r][0] = tmp[r][0] + tmp[r][1] + tmp[r][2];
+        out[r][1] = tmp[r][1] - tmp[r][2] - tmp[r][3];
+    }
+    out
+}
+
+/// Winograd `F(2×2, 3×3)` forward convolution.
+///
+/// Requires `kr == kc == 3` and even output extents (whole 2×2 tiles).
+pub fn conv2d_winograd(
+    shape: &ConvShape,
+    input: &Tensor4<f64>,
+    filter: &Tensor4<f64>,
+) -> Tensor4<f64> {
+    assert_eq!((shape.kr, shape.kc), (3, 3), "F(2x2,3x3) needs 3x3 filters");
+    assert!(shape.ro.is_multiple_of(2) && shape.co.is_multiple_of(2), "whole output tiles required");
+    assert_eq!(input.shape(), shape.input_shape());
+    assert_eq!(filter.shape(), shape.filter_shape());
+
+    // Pre-transform every filter.
+    let mut u = vec![[[0.0f64; 4]; 4]; shape.no * shape.ni];
+    for no in 0..shape.no {
+        for ni in 0..shape.ni {
+            let mut g = [[0.0; 3]; 3];
+            for r in 0..3 {
+                for c in 0..3 {
+                    g[r][c] = filter.get(no, ni, r, c);
+                }
+            }
+            u[no * shape.ni + ni] = filter_transform(&g);
+        }
+    }
+
+    let mut out = Tensor4::zeros(shape.output_shape(), Layout::Nchw);
+    for b in 0..shape.batch {
+        for tr in 0..shape.ro / 2 {
+            for tc in 0..shape.co / 2 {
+                for no in 0..shape.no {
+                    let mut m = [[0.0f64; 4]; 4];
+                    for ni in 0..shape.ni {
+                        let mut d = [[0.0; 4]; 4];
+                        for r in 0..4 {
+                            for c in 0..4 {
+                                d[r][c] = input.get(b, ni, 2 * tr + r, 2 * tc + c);
+                            }
+                        }
+                        let v = input_transform(&d);
+                        let uf = &u[no * shape.ni + ni];
+                        for r in 0..4 {
+                            for c in 0..4 {
+                                m[r][c] += uf[r][c] * v[r][c];
+                            }
+                        }
+                    }
+                    let y = output_transform(&m);
+                    for r in 0..2 {
+                        for c in 0..2 {
+                            out.set(b, no, 2 * tr + r, 2 * tc + c, y[r][c]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multiplications per output element: direct = `Ni·9`, Winograd =
+/// `Ni·16/4` (+ transform adds). The classic 2.25× multiply saving.
+pub fn multiply_ratio(ni: usize) -> f64 {
+    (ni * 9) as f64 / (ni * 4) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_tensor::conv2d_ref;
+    use sw_tensor::init::{lattice_tensor, seeded_tensor};
+
+    #[test]
+    fn matches_reference_on_lattice_data() {
+        let shape = ConvShape::new(2, 3, 4, 4, 6, 3, 3);
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 501);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 502);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let got = conv2d_winograd(&shape, &input, &filter);
+        // Winograd transforms are exact on dyadic rationals (only /2 by
+        // powers of two), so lattice data matches exactly.
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn matches_reference_on_random_data() {
+        let shape = ConvShape::new(3, 5, 2, 6, 4, 3, 3);
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 503);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 504);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let got = conv2d_winograd(&shape, &input, &filter);
+        assert!(got.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn multiply_saving_is_2_25x() {
+        assert!((multiply_ratio(64) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3 filters")]
+    fn rejects_non_3x3_filters() {
+        let shape = ConvShape::new(1, 1, 1, 2, 2, 2, 2);
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 1);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 2);
+        let _ = conv2d_winograd(&shape, &input, &filter);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole output tiles")]
+    fn rejects_odd_outputs() {
+        let shape = ConvShape::new(1, 1, 1, 3, 4, 3, 3);
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 1);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 2);
+        let _ = conv2d_winograd(&shape, &input, &filter);
+    }
+}

@@ -1,0 +1,186 @@
+//! §III-C — why swDNN rejects frequency-domain convolution.
+//!
+//! "As the FFT used in frequency-domain based methods has higher
+//! requirements for the memory bandwidth and involves global communication
+//! from different processing threads, the spatial-domain based methods
+//! seem a better fit to the SW26010 many-core architecture."
+//!
+//! This module quantifies that sentence. An FFT-based convolution
+//! (fbfft-style) computes, per (image, filter) pair at size `N×N`
+//! (`N = Ro + Kr − 1` padded):
+//!
+//! * forward FFTs of inputs and filters, inverse FFTs of outputs —
+//!   `O(N² log N)` flops each, amortized over channel pairs,
+//! * an elementwise complex multiply-accumulate per frequency bin —
+//!   the only part with `Ni·No` reuse,
+//!
+//! The arithmetic *drops* relative to direct convolution when
+//! `Kr·Kc ≫ log N`, but every FFT butterfly stage streams the whole
+//! transform through memory (or LDM) with *no* reuse, and the transposes
+//! between stages are all-to-all exchanges — the register-communication
+//! buses would carry full tiles every stage instead of once per GEMM
+//! rotation. The [`FftConvModel`] captures the bandwidth side: bytes moved
+//! per useful flop, compared against the spatial plan's Eq. 1/2 figures.
+
+use crate::chip::ChipSpec;
+use crate::rbw;
+
+/// First-order model of an fbfft-style frequency-domain convolution.
+#[derive(Clone, Copy, Debug)]
+pub struct FftConvModel {
+    pub chip: ChipSpec,
+    /// Butterfly stages that spill to LDM/memory (radix-2: log2 N).
+    pub spill_every_stages: usize,
+}
+
+impl Default for FftConvModel {
+    fn default() -> Self {
+        // Even a generous model (spill every 4 stages thanks to register
+        // blocking inside the FFT kernel) loses to the spatial plan.
+        Self { chip: ChipSpec::sw26010(), spill_every_stages: 4 }
+    }
+}
+
+/// Parameters of the compared convolution.
+#[derive(Clone, Copy, Debug)]
+pub struct FreqCase {
+    pub batch: usize,
+    pub ni: usize,
+    pub no: usize,
+    pub image: usize,
+    pub k: usize,
+}
+
+impl FftConvModel {
+    /// Padded transform size (next power of two of `image + k − 1`).
+    pub fn transform_size(&self, case: &FreqCase) -> usize {
+        (case.image + case.k - 1).next_power_of_two()
+    }
+
+    /// Useful flops of the direct convolution this replaces.
+    pub fn direct_flops(&self, case: &FreqCase) -> f64 {
+        2.0 * (case.batch * case.no * case.image * case.image * case.ni * case.k * case.k) as f64
+    }
+
+    /// Flops of the FFT path: transforms + pointwise complex MACs.
+    pub fn fft_flops(&self, case: &FreqCase) -> f64 {
+        let n = self.transform_size(case) as f64;
+        let fft_one = 5.0 * n * n * n.log2(); // classic 5 N^2 log2 N for 2-D
+        let transforms =
+            (case.batch * case.ni + case.ni * case.no + case.batch * case.no) as f64;
+        let pointwise = 8.0 * n * n * (case.batch * case.ni * case.no) as f64;
+        transforms * fft_one + pointwise
+    }
+
+    /// Bytes crossing the MEM/LDM boundary on the FFT path: every spill
+    /// group streams the full complex tile in and out.
+    pub fn fft_bytes(&self, case: &FreqCase) -> f64 {
+        let n = self.transform_size(case) as f64;
+        let stages = n.log2().ceil();
+        let spills = (stages / self.spill_every_stages as f64).ceil() * 2.0; // in + out
+        let complex_tile = 16.0 * n * n; // complex f64
+        let transforms =
+            (case.batch * case.ni + case.ni * case.no + case.batch * case.no) as f64;
+        // Transform traffic + one pass for the pointwise stage.
+        transforms * complex_tile * spills
+            + 3.0 * complex_tile * (case.batch * case.ni.max(case.no)) as f64
+    }
+
+    /// Required bandwidth (GB/s) for the FFT path to keep one CG at peak
+    /// on the *useful* (direct-equivalent) flops.
+    pub fn fft_rbw(&self, case: &FreqCase) -> f64 {
+        let t = self.chip.peak_gflops_per_cg();
+        self.fft_bytes(case) / self.direct_flops(case) * t
+    }
+
+    /// Arithmetic advantage of the FFT path (`>1` means fewer flops).
+    pub fn flop_ratio(&self, case: &FreqCase) -> f64 {
+        self.direct_flops(case) / self.fft_flops(case)
+    }
+}
+
+/// The paper's conclusion, as an executable predicate: does the spatial
+/// plan need less memory bandwidth than the FFT plan for this case?
+///
+/// True throughout the CNN-typical filter range (3×3 … 9×9). For very
+/// large filters the FFT's constant traffic amortizes over `K²`-growing
+/// useful flops and the pure-bandwidth comparison crosses over — there the
+/// paper's *other* §III-C argument carries the decision: the transposes
+/// between butterfly stages are all-to-all exchanges that would occupy the
+/// register buses every stage ("involves global communication from
+/// different processing threads").
+pub fn spatial_wins(case: &FreqCase) -> bool {
+    let fft = FftConvModel::default();
+    let spatial = rbw::rbw_batch_aware(case.batch, case.k, case.no, 742.4)
+        .min(rbw::rbw_image_aware(32, 16.min(case.image), case.no, 742.4));
+    fft.fft_rbw(case) > spatial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_case(k: usize) -> FreqCase {
+        FreqCase { batch: 128, ni: 128, no: 128, image: 64, k }
+    }
+
+    #[test]
+    fn fft_needs_far_more_bandwidth_at_3x3() {
+        let case = paper_case(3);
+        let fft = FftConvModel::default();
+        let fft_rbw = fft.fft_rbw(&case);
+        let spatial = rbw::rbw_batch_aware(128, 3, 128, 742.4);
+        assert!(
+            fft_rbw > 4.0 * spatial,
+            "fft {fft_rbw:.0} GB/s vs spatial {spatial:.1} GB/s"
+        );
+        assert!(spatial_wins(&case));
+    }
+
+    #[test]
+    fn spatial_wins_across_cnn_typical_filters() {
+        for k in (3..=9).step_by(2) {
+            assert!(spatial_wins(&paper_case(k)), "k={k}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_argument_crosses_over_for_huge_filters() {
+        // For K >= ~11 the FFT's constant traffic amortizes over the
+        // K^2-growing direct-equivalent flops and the pure bandwidth
+        // comparison flips — the regime where the paper's global-
+        // communication argument (not bandwidth) rejects the FFT.
+        let crossed = (11..=21).step_by(2).any(|k| !spatial_wins(&paper_case(k)));
+        assert!(crossed, "expected a bandwidth crossover somewhere in 11..=21");
+        // And the crossover is monotone: once FFT wins on bandwidth it
+        // keeps winning as K grows.
+        let fft = FftConvModel::default();
+        let mut prev = f64::INFINITY;
+        for k in (3..=21).step_by(2) {
+            let r = fft.fft_rbw(&paper_case(k));
+            assert!(r <= prev, "fft RBW must fall with K");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn fft_does_save_arithmetic_for_large_filters() {
+        // The FFT's appeal is real — fewer flops for big K — which is why
+        // the paper's argument is about bandwidth, not arithmetic.
+        let fft = FftConvModel::default();
+        let small = fft.flop_ratio(&paper_case(3));
+        let large = fft.flop_ratio(&paper_case(21));
+        assert!(large > small);
+        assert!(large > 1.0, "21x21 should save flops: ratio {large}");
+    }
+
+    #[test]
+    fn transform_size_is_padded_power_of_two() {
+        let fft = FftConvModel::default();
+        assert_eq!(fft.transform_size(&paper_case(3)), 128); // 66 -> 128
+        assert_eq!(
+            fft.transform_size(&FreqCase { batch: 1, ni: 1, no: 1, image: 30, k: 3 }),
+            32
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! The swDNN three-level (REG–LDM–MEM) performance model — §III-D, Fig. 2.
+//!
+//! The model answers one question per memory level: *what bandwidth would
+//! this level need to sustain peak floating-point throughput (the required
+//! bandwidth, `RBW`), and what does the hardware actually deliver (the
+//! measured bandwidth, `MBW`)?* Whenever `RBW > MBW`, the level throttles
+//! compute; following the paper, attained performance is scaled by the
+//! *square* of `MBW/RBW` ("the amount of computation increases with the
+//! square of the input data in convolution operations").
+//!
+//! Modules:
+//!
+//! * [`chip`] — the published SW26010 machine constants,
+//! * [`dma`] — Table II: measured DMA bandwidth vs block size, as an exact
+//!   interpolation table plus a mechanistic two-parameter fit,
+//! * [`rbw`] — Equations 1–5: required bandwidths of the LDM blocking plans
+//!   and of the register blocking schemes,
+//! * [`model`] — the full Fig. 2 estimate combining RBW/MBW ratios with the
+//!   §VI execution efficiency,
+//! * [`select`] — the paper's plan-selection policy (batch-size-aware when
+//!   the batch is large enough, image-size-aware with `Co` blocking
+//!   otherwise) driven by minimizing modeled RBW under the LDM budget.
+
+pub mod chip;
+pub mod dma;
+pub mod freq;
+pub mod model;
+pub mod rbw;
+pub mod select;
+
+pub use chip::ChipSpec;
+pub use dma::{DmaDirection, DmaTable, RationalFit};
+pub use freq::{spatial_wins, FftConvModel, FreqCase};
+pub use model::{ConvPerfModel, PerfEstimate};
+pub use select::{select_plan, Blocking, PlanChoice, PlanKind};

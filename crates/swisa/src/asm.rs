@@ -1,0 +1,300 @@
+//! Textual assembly for the CPE kernel subset.
+//!
+//! The original swDNN ships its inner kernels as hand-written `.asm` files
+//! (the paper's reference \[16\] points at `swDNN/tree/master/src/asm`).
+//! This module provides the equivalent round-trippable text format so
+//! kernels can be dumped for inspection, diffed against schedules, and
+//! read back:
+//!
+//! ```text
+//! vldde  v4, 0(r1)
+//! vload  v0, 0(r0)
+//! vfmad  v16, v0, v4, v16
+//! cmp    r3, r0, r2
+//! bnw    r3, taken
+//! ```
+//!
+//! The printer/parser pair is proven inverse by a property test over
+//! generated kernels.
+
+use crate::inst::{Inst, Op, Reg};
+use std::fmt::Write as _;
+
+/// Pretty-print a program, one instruction per line, with stage comments
+/// when `annotate_stages` is set.
+pub fn print_program(prog: &[Inst], annotate_stages: bool) -> String {
+    let mut out = String::new();
+    for inst in prog {
+        if annotate_stages {
+            let _ = writeln!(out, "{:<40} # stage {}", format_inst(inst), inst.stage);
+        } else {
+            let _ = writeln!(out, "{}", format_inst(inst));
+        }
+    }
+    out
+}
+
+fn reg(r: Reg) -> String {
+    match r {
+        Reg::V(i) => format!("v{i}"),
+        Reg::R(i) => format!("r{i}"),
+    }
+}
+
+/// One instruction in canonical text form.
+pub fn format_inst(inst: &Inst) -> String {
+    match inst.op {
+        Op::Vload { dst, base, disp } => format!("vload  {}, {}({})", reg(dst), disp, reg(base)),
+        Op::Vldde { dst, base, disp } => format!("vldde  {}, {}({})", reg(dst), disp, reg(base)),
+        Op::Vstore { src, base, disp } => format!("vstore {}, {}({})", reg(src), disp, reg(base)),
+        Op::Vfmadd { dst, a, b, acc } => {
+            format!("vfmad  {}, {}, {}, {}", reg(dst), reg(a), reg(b), reg(acc))
+        }
+        Op::Vaddd { dst, a, b } => format!("vaddd  {}, {}, {}", reg(dst), reg(a), reg(b)),
+        Op::Vldr { dst, base, disp } => format!("vldr   {}, {}({})", reg(dst), disp, reg(base)),
+        Op::Vldc { dst, base, disp } => format!("vldc   {}, {}({})", reg(dst), disp, reg(base)),
+        Op::Putr { src } => format!("putr   {}", reg(src)),
+        Op::Putc { src } => format!("putc   {}", reg(src)),
+        Op::Getr { dst } => format!("getr   {}", reg(dst)),
+        Op::Getc { dst } => format!("getc   {}", reg(dst)),
+        Op::Addi { dst, src, imm } => format!("addi   {}, {}, {}", reg(dst), reg(src), imm),
+        Op::Cmp { dst, a, b } => format!("cmp    {}, {}, {}", reg(dst), reg(a), reg(b)),
+        Op::Branch { cond, taken } => {
+            format!("bnw    {}, {}", reg(cond), if taken { "taken" } else { "fall" })
+        }
+        Op::Nop => "nop".to_string(),
+    }
+}
+
+/// Parse errors carry the offending line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asm line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let err = || AsmError { line, message: format!("bad register '{tok}'") };
+    let (kind, num) = tok.split_at(1);
+    let n: u8 = num.parse().map_err(|_| err())?;
+    if n >= 32 {
+        return Err(err());
+    }
+    match kind {
+        "v" => Ok(Reg::V(n)),
+        "r" => Ok(Reg::R(n)),
+        _ => Err(err()),
+    }
+}
+
+/// Parse `disp(base)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i32), AsmError> {
+    let err = || AsmError { line, message: format!("bad memory operand '{tok}'") };
+    let open = tok.find('(').ok_or_else(err)?;
+    if !tok.ends_with(')') {
+        return Err(err());
+    }
+    let disp: i32 = tok[..open].parse().map_err(|_| err())?;
+    let base = parse_reg(&tok[open + 1..tok.len() - 1], line)?;
+    Ok((base, disp))
+}
+
+/// Parse a whole program. Blank lines and `#` comments are skipped; stage
+/// annotations (`# stage N`) are restored when present.
+pub fn parse_program(text: &str) -> Result<Vec<Inst>, AsmError> {
+    let mut prog = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        // Extract a stage annotation before stripping the comment.
+        let stage = raw
+            .split('#')
+            .nth(1)
+            .and_then(|c| c.trim().strip_prefix("stage "))
+            .and_then(|s| s.trim().parse::<u8>().ok())
+            .unwrap_or(0);
+        let code = raw.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = code.split_once(char::is_whitespace).unwrap_or((code, ""));
+        let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let argc = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError {
+                    line,
+                    message: format!("{mnemonic} expects {n} operands, got {}", ops.len()),
+                })
+            }
+        };
+        let op = match mnemonic {
+            "vload" | "vldde" | "vldr" | "vldc" => {
+                argc(2)?;
+                let dst = parse_reg(ops[0], line)?;
+                let (base, disp) = parse_mem(ops[1], line)?;
+                match mnemonic {
+                    "vload" => Op::Vload { dst, base, disp },
+                    "vldde" => Op::Vldde { dst, base, disp },
+                    "vldr" => Op::Vldr { dst, base, disp },
+                    _ => Op::Vldc { dst, base, disp },
+                }
+            }
+            "vstore" => {
+                argc(2)?;
+                let src = parse_reg(ops[0], line)?;
+                let (base, disp) = parse_mem(ops[1], line)?;
+                Op::Vstore { src, base, disp }
+            }
+            "vfmad" => {
+                argc(4)?;
+                Op::Vfmadd {
+                    dst: parse_reg(ops[0], line)?,
+                    a: parse_reg(ops[1], line)?,
+                    b: parse_reg(ops[2], line)?,
+                    acc: parse_reg(ops[3], line)?,
+                }
+            }
+            "vaddd" => {
+                argc(3)?;
+                Op::Vaddd {
+                    dst: parse_reg(ops[0], line)?,
+                    a: parse_reg(ops[1], line)?,
+                    b: parse_reg(ops[2], line)?,
+                }
+            }
+            "putr" | "putc" => {
+                argc(1)?;
+                let src = parse_reg(ops[0], line)?;
+                if mnemonic == "putr" {
+                    Op::Putr { src }
+                } else {
+                    Op::Putc { src }
+                }
+            }
+            "getr" | "getc" => {
+                argc(1)?;
+                let dst = parse_reg(ops[0], line)?;
+                if mnemonic == "getr" {
+                    Op::Getr { dst }
+                } else {
+                    Op::Getc { dst }
+                }
+            }
+            "addi" => {
+                argc(3)?;
+                Op::Addi {
+                    dst: parse_reg(ops[0], line)?,
+                    src: parse_reg(ops[1], line)?,
+                    imm: ops[2].parse().map_err(|_| AsmError {
+                        line,
+                        message: format!("bad immediate '{}'", ops[2]),
+                    })?,
+                }
+            }
+            "cmp" => {
+                argc(3)?;
+                Op::Cmp {
+                    dst: parse_reg(ops[0], line)?,
+                    a: parse_reg(ops[1], line)?,
+                    b: parse_reg(ops[2], line)?,
+                }
+            }
+            "bnw" => {
+                argc(2)?;
+                let cond = parse_reg(ops[0], line)?;
+                let taken = match ops[1] {
+                    "taken" => true,
+                    "fall" => false,
+                    other => {
+                        return Err(AsmError {
+                            line,
+                            message: format!("bnw direction must be taken/fall, got '{other}'"),
+                        })
+                    }
+                };
+                Op::Branch { cond, taken }
+            }
+            "nop" => {
+                argc(0)?;
+                Op::Nop
+            }
+            other => {
+                return Err(AsmError { line, message: format!("unknown mnemonic '{other}'") })
+            }
+        };
+        prog.push(Inst::staged(op, stage));
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{naive_gemm_kernel, reordered_gemm_kernel, KernelSpec};
+
+    #[test]
+    fn kernel_round_trips_through_text() {
+        for n in [1, 2, 8] {
+            for prog in
+                [naive_gemm_kernel(KernelSpec::new(n)), reordered_gemm_kernel(KernelSpec::new(n))]
+            {
+                let text = print_program(&prog, true);
+                let back = parse_program(&text).expect("parse");
+                assert_eq!(back, prog, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_without_stage_annotations_loses_only_stages() {
+        let prog = reordered_gemm_kernel(KernelSpec::new(2));
+        let text = print_program(&prog, false);
+        let back = parse_program(&text).unwrap();
+        assert_eq!(back.len(), prog.len());
+        for (a, b) in back.iter().zip(&prog) {
+            assert_eq!(a.op, b.op);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\n# header comment\nnop\n\n  vload v1, 32(r0)  # trailing\n";
+        let prog = parse_program(text).unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(format_inst(&prog[1]), "vload  v1, 32(r0)");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_program("nop\nbogus v1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+
+        let err = parse_program("vload v99, 0(r0)").unwrap_err();
+        assert!(err.message.contains("bad register"));
+
+        let err = parse_program("vfmad v0, v1").unwrap_err();
+        assert!(err.message.contains("expects 4 operands"));
+
+        let err = parse_program("bnw r3, sideways").unwrap_err();
+        assert!(err.message.contains("taken/fall"));
+    }
+
+    #[test]
+    fn negative_displacements_parse() {
+        let prog = parse_program("vstore v2, -64(r5)").unwrap();
+        assert_eq!(
+            prog[0].op,
+            crate::inst::Op::Vstore { src: Reg::V(2), base: Reg::R(5), disp: -64 }
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The subset of the CPE instruction set used by swDNN inner kernels.
+//!
+//! Registers are architectural: 32 vector registers (256-bit, `V0..V31`)
+//! and 32 scalar registers (`R0..R31`). Operand values are not interpreted
+//! by this crate — only *names* matter, for hazards — except the branch
+//! `taken` flag, which drives control flow in the timing simulator.
+
+use std::fmt;
+
+/// An architectural register name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// 256-bit vector register (holds 4 doubles).
+    V(u8),
+    /// 64-bit scalar register.
+    R(u8),
+}
+
+impl Reg {
+    pub const fn is_vector(self) -> bool {
+        matches!(self, Reg::V(_))
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::V(i) => write!(f, "v{i}"),
+            Reg::R(i) => write!(f, "r{i}"),
+        }
+    }
+}
+
+/// Which execution pipeline(s) can handle an operation (§VI-A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipeClass {
+    /// Floating-point / vector arithmetic: P0 only.
+    P0Only,
+    /// Memory, register communication, control transfer: P1 only.
+    P1Only,
+    /// Scalar integer operations: either pipeline.
+    Either,
+}
+
+/// A concrete pipeline assignment made at issue time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pipe {
+    P0,
+    P1,
+}
+
+/// Operations. Memory operands are `(base register, displacement)`; the
+/// displacement participates only in disambiguation, not in timing.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Op {
+    /// Vector load from LDM: `dst <- ldm[base+disp ..+32]`. P1, 4 cycles.
+    Vload { dst: Reg, base: Reg, disp: i32 },
+    /// Scalar double load replicated into all 4 lanes (`vldde`). P1, 4 cycles.
+    Vldde { dst: Reg, base: Reg, disp: i32 },
+    /// Vector store to LDM. P1, 1 cycle (no consumer waits on it).
+    Vstore { src: Reg, base: Reg, disp: i32 },
+    /// Vector fused multiply-add `dst = a*b + acc` (`vfmad`). P0, 7 cycles.
+    Vfmadd { dst: Reg, a: Reg, b: Reg, acc: Reg },
+    /// Vector add `dst = a + b`. P0, 7 cycles (shares the FP pipe).
+    Vaddd { dst: Reg, a: Reg, b: Reg },
+    /// Load + broadcast onto the row bus (`vldr` = `vload`+`putr`). P1, 4 cycles.
+    Vldr { dst: Reg, base: Reg, disp: i32 },
+    /// Load + broadcast onto the column bus (`vldc`). P1, 4 cycles.
+    Vldc { dst: Reg, base: Reg, disp: i32 },
+    /// Put a vector register on the row bus. P1, 1 cycle.
+    Putr { src: Reg },
+    /// Put a vector register on the column bus. P1, 1 cycle.
+    Putc { src: Reg },
+    /// Fetch 256 bits from the row transfer buffer. P1, 4 cycles.
+    Getr { dst: Reg },
+    /// Fetch 256 bits from the column transfer buffer. P1, 4 cycles.
+    Getc { dst: Reg },
+    /// Scalar integer add-immediate (address update). Either pipe, 1 cycle.
+    Addi { dst: Reg, src: Reg, imm: i64 },
+    /// Scalar compare writing a predicate register. Either pipe, 1 cycle.
+    Cmp { dst: Reg, a: Reg, b: Reg },
+    /// Conditional branch on a predicate. P1; a taken branch inserts a
+    /// 1-cycle fetch bubble (no delay slot on the CPE).
+    Branch { cond: Reg, taken: bool },
+    /// No-operation (either pipe, 1 cycle).
+    Nop,
+}
+
+/// One instruction: an [`Op`] plus an optional pipeline-stage tag used by
+/// the software pipeliner (`stage 0` = loads, `stage 1` = computes).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Inst {
+    pub op: Op,
+    pub stage: u8,
+}
+
+impl Inst {
+    pub const fn new(op: Op) -> Self {
+        Self { op, stage: 0 }
+    }
+
+    pub const fn staged(op: Op, stage: u8) -> Self {
+        Self { op, stage }
+    }
+
+    /// The pipeline class of this instruction.
+    pub fn pipe_class(&self) -> PipeClass {
+        match self.op {
+            Op::Vfmadd { .. } | Op::Vaddd { .. } => PipeClass::P0Only,
+            Op::Vload { .. }
+            | Op::Vldde { .. }
+            | Op::Vstore { .. }
+            | Op::Vldr { .. }
+            | Op::Vldc { .. }
+            | Op::Putr { .. }
+            | Op::Putc { .. }
+            | Op::Getr { .. }
+            | Op::Getc { .. }
+            | Op::Branch { .. } => PipeClass::P1Only,
+            Op::Addi { .. } | Op::Cmp { .. } | Op::Nop => PipeClass::Either,
+        }
+    }
+
+    /// Registers read by this instruction (operands captured at issue).
+    pub fn reads(&self) -> Vec<Reg> {
+        match self.op {
+            Op::Vload { base, .. } | Op::Vldde { base, .. } | Op::Vldr { base, .. } | Op::Vldc { base, .. } => {
+                vec![base]
+            }
+            Op::Vstore { src, base, .. } => vec![src, base],
+            Op::Vfmadd { a, b, acc, .. } => vec![a, b, acc],
+            Op::Vaddd { a, b, .. } => vec![a, b],
+            Op::Putr { src } | Op::Putc { src } => vec![src],
+            Op::Getr { .. } | Op::Getc { .. } => vec![],
+            Op::Addi { src, .. } => vec![src],
+            Op::Cmp { a, b, .. } => vec![a, b],
+            Op::Branch { cond, .. } => vec![cond],
+            Op::Nop => vec![],
+        }
+    }
+
+    /// Register written by this instruction, if any.
+    pub fn writes(&self) -> Option<Reg> {
+        match self.op {
+            Op::Vload { dst, .. }
+            | Op::Vldde { dst, .. }
+            | Op::Vldr { dst, .. }
+            | Op::Vldc { dst, .. }
+            | Op::Getr { dst }
+            | Op::Getc { dst }
+            | Op::Vfmadd { dst, .. }
+            | Op::Vaddd { dst, .. }
+            | Op::Addi { dst, .. }
+            | Op::Cmp { dst, .. } => Some(dst),
+            Op::Vstore { .. } | Op::Putr { .. } | Op::Putc { .. } | Op::Branch { .. } | Op::Nop => None,
+        }
+    }
+
+    pub const fn is_branch(&self) -> bool {
+        matches!(self.op, Op::Branch { .. })
+    }
+
+    /// True for operations whose *useful work* is floating-point arithmetic
+    /// (used by execution-efficiency accounting).
+    pub const fn is_flop(&self) -> bool {
+        matches!(self.op, Op::Vfmadd { .. } | Op::Vaddd { .. })
+    }
+
+    /// Double-precision flops performed (4-lane FMA = 8 flops).
+    pub const fn flops(&self) -> u64 {
+        match self.op {
+            Op::Vfmadd { .. } => 8,
+            Op::Vaddd { .. } => 4,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Op::Vload { dst, base, disp } => write!(f, "vload {dst:?}, {disp}({base:?})"),
+            Op::Vldde { dst, base, disp } => write!(f, "vldde {dst:?}, {disp}({base:?})"),
+            Op::Vstore { src, base, disp } => write!(f, "vstore {src:?}, {disp}({base:?})"),
+            Op::Vfmadd { dst, a, b, acc } => write!(f, "vfmad {dst:?}, {a:?}, {b:?}, {acc:?}"),
+            Op::Vaddd { dst, a, b } => write!(f, "vaddd {dst:?}, {a:?}, {b:?}"),
+            Op::Vldr { dst, base, disp } => write!(f, "vldr {dst:?}, {disp}({base:?})"),
+            Op::Vldc { dst, base, disp } => write!(f, "vldc {dst:?}, {disp}({base:?})"),
+            Op::Putr { src } => write!(f, "putr {src:?}"),
+            Op::Putc { src } => write!(f, "putc {src:?}"),
+            Op::Getr { dst } => write!(f, "getr {dst:?}"),
+            Op::Getc { dst } => write!(f, "getc {dst:?}"),
+            Op::Addi { dst, src, imm } => write!(f, "addi {dst:?}, {src:?}, {imm}"),
+            Op::Cmp { dst, a, b } => write!(f, "cmp {dst:?}, {a:?}, {b:?}"),
+            Op::Branch { cond, taken } => {
+                write!(f, "bnw {cond:?} ({})", if taken { "taken" } else { "fall-through" })
+            }
+            Op::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_classes_follow_section_vi() {
+        let fma = Inst::new(Op::Vfmadd { dst: Reg::V(0), a: Reg::V(1), b: Reg::V(2), acc: Reg::V(0) });
+        assert_eq!(fma.pipe_class(), PipeClass::P0Only);
+        let ld = Inst::new(Op::Vload { dst: Reg::V(0), base: Reg::R(1), disp: 0 });
+        assert_eq!(ld.pipe_class(), PipeClass::P1Only);
+        let addi = Inst::new(Op::Addi { dst: Reg::R(0), src: Reg::R(0), imm: 32 });
+        assert_eq!(addi.pipe_class(), PipeClass::Either);
+        let br = Inst::new(Op::Branch { cond: Reg::R(2), taken: true });
+        assert_eq!(br.pipe_class(), PipeClass::P1Only);
+    }
+
+    #[test]
+    fn reads_and_writes_are_complete() {
+        let fma = Inst::new(Op::Vfmadd { dst: Reg::V(0), a: Reg::V(1), b: Reg::V(2), acc: Reg::V(0) });
+        assert_eq!(fma.reads(), vec![Reg::V(1), Reg::V(2), Reg::V(0)]);
+        assert_eq!(fma.writes(), Some(Reg::V(0)));
+
+        let st = Inst::new(Op::Vstore { src: Reg::V(3), base: Reg::R(4), disp: 64 });
+        assert_eq!(st.reads(), vec![Reg::V(3), Reg::R(4)]);
+        assert_eq!(st.writes(), None);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let fma = Inst::new(Op::Vfmadd { dst: Reg::V(0), a: Reg::V(1), b: Reg::V(2), acc: Reg::V(0) });
+        assert_eq!(fma.flops(), 8);
+        assert!(fma.is_flop());
+        let ld = Inst::new(Op::Vload { dst: Reg::V(0), base: Reg::R(1), disp: 0 });
+        assert_eq!(ld.flops(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let fma = Inst::new(Op::Vfmadd { dst: Reg::V(0), a: Reg::V(1), b: Reg::V(2), acc: Reg::V(0) });
+        assert_eq!(format!("{fma}"), "vfmad v0, v1, v2, v0");
+    }
+}

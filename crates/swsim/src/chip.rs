@@ -1,0 +1,87 @@
+//! Multi-core-group execution (§III-D).
+//!
+//! "We can partition output images into four parts along the row, and
+//! assign each CG to process one fourth of the output images. Our
+//! experiments demonstrate that such a partition scheme can generally
+//! achieve near linear scaling among the four CGs."
+//!
+//! Each CG owns a private memory segment (its slice of the batch/rows), so
+//! the four simulations are independent; the chip-level wall time is the
+//! maximum over CGs plus a fixed kernel-launch overhead on the MPEs.
+
+use crate::stats::CgStats;
+use rayon::prelude::*;
+
+/// Result of a multi-CG run.
+#[derive(Clone, Debug)]
+pub struct MultiCgReport {
+    pub per_cg: Vec<CgStats>,
+    /// Wall-clock cycles: max over CGs + launch overhead.
+    pub wall_cycles: u64,
+    /// Total flops across CGs.
+    pub total_flops: u64,
+}
+
+/// Cycles the MPE spends launching a kernel onto its CPE mesh.
+pub const LAUNCH_OVERHEAD_CYCLES: u64 = 2_000;
+
+impl MultiCgReport {
+    pub fn gflops(&self, clock_ghz: f64) -> f64 {
+        if self.wall_cycles == 0 {
+            return 0.0;
+        }
+        let secs = self.wall_cycles as f64 / (clock_ghz * 1e9);
+        self.total_flops as f64 / secs / 1e9
+    }
+
+    /// Parallel speedup relative to a single-CG run of the whole problem.
+    pub fn speedup_vs(&self, single_cg_cycles: u64) -> f64 {
+        single_cg_cycles as f64 / self.wall_cycles as f64
+    }
+}
+
+/// Run `work(cg_index)` for each of `cgs` core groups (in parallel — each
+/// closure builds and runs its own [`crate::Mesh`]) and combine timing.
+pub fn run_multi_cg<F>(cgs: usize, work: F) -> MultiCgReport
+where
+    F: Fn(usize) -> CgStats + Sync + Send,
+{
+    let per_cg: Vec<CgStats> = (0..cgs).into_par_iter().map(work).collect();
+    let wall = per_cg.iter().map(|s| s.cycles).max().unwrap_or(0) + LAUNCH_OVERHEAD_CYCLES;
+    let flops = per_cg.iter().map(|s| s.totals.flops).sum();
+    MultiCgReport { per_cg, wall_cycles: wall, total_flops: flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CpeStats;
+
+    fn fake_cg(cycles: u64, flops: u64) -> CgStats {
+        CgStats { cycles, totals: CpeStats { flops, ..Default::default() } }
+    }
+
+    #[test]
+    fn wall_time_is_max_plus_overhead() {
+        let rep = run_multi_cg(4, |i| fake_cg(1000 + i as u64 * 10, 100));
+        assert_eq!(rep.wall_cycles, 1030 + LAUNCH_OVERHEAD_CYCLES);
+        assert_eq!(rep.total_flops, 400);
+    }
+
+    #[test]
+    fn balanced_partition_scales_nearly_linearly() {
+        // A problem of 4N cycles on one CG becomes N cycles per CG on four.
+        let total_work = 40_000_000u64;
+        let one = run_multi_cg(1, |_| fake_cg(total_work, total_work));
+        let four = run_multi_cg(4, |_| fake_cg(total_work / 4, total_work / 4));
+        let speedup = four.speedup_vs(one.wall_cycles);
+        assert!(speedup > 3.9 && speedup <= 4.01, "speedup {speedup}");
+    }
+
+    #[test]
+    fn gflops_sums_across_cgs() {
+        // Each CG does 1e9 flops in 1.45e9 cycles (1s) -> 1 Gflops each.
+        let rep = run_multi_cg(4, |_| fake_cg(1_450_000_000, 1_000_000_000));
+        assert!((rep.gflops(1.45) - 4.0).abs() < 0.01);
+    }
+}

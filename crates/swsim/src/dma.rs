@@ -1,0 +1,101 @@
+//! The DMA engine: asynchronous block transfers between main memory and
+//! LDM (§III-D, Table II).
+//!
+//! Cost model: the engine charges transfer time from the published Table II
+//! bandwidth curve at the request's block size — the effective bandwidth is
+//! an *aggregate* for one CG with all 64 CPEs streaming, so each CPE's
+//! request is charged against a 1/64 share. A request of `bytes` in blocks
+//! of `block_bytes` therefore takes
+//!
+//! ```text
+//! cycles = bytes / (bw(block_bytes) / 64 GB/s) · clock
+//! ```
+//!
+//! Requests are asynchronous: [`DmaEngine::cost_cycles`] prices a transfer
+//! and the mesh's `CpeCtx` tracks a `done_at` timestamp per handle so a
+//! double-buffered plan only stalls for whatever latency it failed to hide
+//! (§IV-A "While the data is computed in one LDM buffer, the data to be
+//! used at next iteration is loaded into another LDM buffer by DMA").
+
+use sw_perfmodel::dma::{DmaDirection, DmaTable};
+use sw_perfmodel::ChipSpec;
+
+/// Completion token for an asynchronous DMA request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DmaHandle {
+    /// CPE-local cycle at which the transfer completes.
+    pub done_at: u64,
+}
+
+/// Prices DMA transfers for one core group.
+#[derive(Clone, Copy, Debug)]
+pub struct DmaEngine {
+    pub table: DmaTable,
+    pub chip: ChipSpec,
+}
+
+impl DmaEngine {
+    pub fn new(chip: ChipSpec) -> Self {
+        Self { table: DmaTable, chip }
+    }
+
+    /// Effective aggregate bandwidth for a given block size, GB/s.
+    pub fn bandwidth_gbps(&self, dir: DmaDirection, block_bytes: usize) -> f64 {
+        self.table.bandwidth_gbps(dir, block_bytes)
+    }
+
+    /// Cycles one CPE's transfer of `bytes` takes, assuming all 64 CPEs
+    /// stream concurrently (each gets a 1/64 bandwidth share).
+    pub fn cost_cycles(&self, dir: DmaDirection, bytes: usize, block_bytes: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let share_gbps = self.bandwidth_gbps(dir, block_bytes) / self.chip.cpes_per_cg as f64;
+        let seconds = bytes as f64 / (share_gbps * 1e9);
+        (seconds * self.chip.clock_ghz * 1e9).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> DmaEngine {
+        DmaEngine::new(ChipSpec::sw26010())
+    }
+
+    #[test]
+    fn cost_scales_inversely_with_bandwidth() {
+        let e = engine();
+        let slow = e.cost_cycles(DmaDirection::Get, 4096, 64); // 9.00 GB/s
+        let fast = e.cost_cycles(DmaDirection::Get, 4096, 4096); // 32.05 GB/s
+        assert!(slow > 3 * fast, "64B blocks must be ~3.6x slower: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn aggregate_bandwidth_recovered_when_all_cpes_stream() {
+        // 64 CPEs each move 1 MiB in 512B blocks; total time must equal
+        // total bytes / table bandwidth.
+        let e = engine();
+        let per_cpe_bytes = 1 << 20;
+        let cycles = e.cost_cycles(DmaDirection::Get, per_cpe_bytes, 512);
+        let seconds = cycles as f64 / 1.45e9;
+        let implied_gbps = (per_cpe_bytes as f64 * 64.0) / seconds / 1e9;
+        let expected = e.bandwidth_gbps(DmaDirection::Get, 512);
+        assert!((implied_gbps - expected).abs() / expected < 0.01, "{implied_gbps} vs {expected}");
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(engine().cost_cycles(DmaDirection::Put, 0, 512), 0);
+    }
+
+    #[test]
+    fn put_uses_put_column() {
+        let e = engine();
+        // At 4096B, put (36.01) beats get (32.05).
+        let g = e.cost_cycles(DmaDirection::Get, 1 << 20, 4096);
+        let p = e.cost_cycles(DmaDirection::Put, 1 << 20, 4096);
+        assert!(p < g);
+    }
+}

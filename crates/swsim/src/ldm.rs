@@ -1,0 +1,179 @@
+//! The per-CPE Local Directive Memory (LDM / scratch-pad), §III-B.
+//!
+//! Each CPE has 64 KB of software-managed fast memory and *no* data cache.
+//! Kernels must place every operand tile here explicitly; exceeding the
+//! capacity is a hard failure. The allocator is a bump allocator (tiles are
+//! allocated once at plan setup and live for the whole kernel, so nothing
+//! fancier is needed) with 32-byte alignment so every buffer can serve
+//! 256-bit vector loads.
+
+use std::fmt;
+
+/// Handle to an allocated LDM region, in doubles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LdmBuf {
+    pub offset: usize,
+    pub len: usize,
+}
+
+impl LdmBuf {
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// Allocation failure: the plan asked for more scratchpad than exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LdmOverflow {
+    pub requested_doubles: usize,
+    pub used_doubles: usize,
+    pub capacity_doubles: usize,
+}
+
+impl fmt::Display for LdmOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LDM overflow: requested {} doubles with {}/{} in use",
+            self.requested_doubles, self.used_doubles, self.capacity_doubles
+        )
+    }
+}
+
+impl std::error::Error for LdmOverflow {}
+
+/// One CPE's scratchpad.
+#[derive(Clone, Debug)]
+pub struct Ldm {
+    data: Vec<f64>,
+    top: usize,
+    high_water: usize,
+}
+
+/// Alignment of every allocation, in doubles (32 B = one vector register).
+const ALIGN_DOUBLES: usize = 4;
+
+impl Ldm {
+    /// A scratchpad of `capacity_bytes` (64 KB on SW26010).
+    pub fn new(capacity_bytes: usize) -> Self {
+        let doubles = capacity_bytes / 8;
+        Self { data: vec![0.0; doubles], top: 0, high_water: 0 }
+    }
+
+    pub fn capacity_doubles(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn used_doubles(&self) -> usize {
+        self.top
+    }
+
+    /// Peak usage over the lifetime of this LDM.
+    pub fn high_water_doubles(&self) -> usize {
+        self.high_water
+    }
+
+    /// Allocate `len` doubles (rounded up to vector alignment).
+    pub fn alloc(&mut self, len: usize) -> Result<LdmBuf, LdmOverflow> {
+        let padded = len.div_ceil(ALIGN_DOUBLES) * ALIGN_DOUBLES;
+        if self.top + padded > self.data.len() {
+            return Err(LdmOverflow {
+                requested_doubles: padded,
+                used_doubles: self.top,
+                capacity_doubles: self.data.len(),
+            });
+        }
+        let buf = LdmBuf { offset: self.top, len };
+        self.top += padded;
+        self.high_water = self.high_water.max(self.top);
+        Ok(buf)
+    }
+
+    /// Allocate a double-buffer pair of `len` doubles each (§IV-A's
+    /// "Double Buffering ... overlap DMA with computing").
+    pub fn alloc_pair(&mut self, len: usize) -> Result<[LdmBuf; 2], LdmOverflow> {
+        Ok([self.alloc(len)?, self.alloc(len)?])
+    }
+
+    /// Release everything (between independent kernel launches).
+    pub fn reset(&mut self) {
+        self.top = 0;
+    }
+
+    /// Read-only view of a buffer.
+    pub fn buf(&self, b: LdmBuf) -> &[f64] {
+        &self.data[b.range()]
+    }
+
+    /// Mutable view of a buffer.
+    pub fn buf_mut(&mut self, b: LdmBuf) -> &mut [f64] {
+        &mut self.data[b.range()]
+    }
+
+    /// The whole scratchpad, mutable — inner kernels index across several
+    /// disjoint buffers at once and a single borrow is the idiomatic way to
+    /// do so without split-borrow gymnastics.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_bump() {
+        let mut ldm = Ldm::new(64 * 1024);
+        let a = ldm.alloc(5).unwrap();
+        let b = ldm.alloc(3).unwrap();
+        assert_eq!(a.offset, 0);
+        assert_eq!(b.offset, 8, "5 doubles round up to 8 (32B alignment)");
+        assert_eq!(ldm.used_doubles(), 12);
+    }
+
+    #[test]
+    fn overflow_is_reported_with_context() {
+        let mut ldm = Ldm::new(256); // 32 doubles
+        assert!(ldm.alloc(16).is_ok());
+        let err = ldm.alloc(32).unwrap_err();
+        assert_eq!(err.used_doubles, 16);
+        assert_eq!(err.capacity_doubles, 32);
+        assert!(err.to_string().contains("LDM overflow"));
+    }
+
+    #[test]
+    fn capacity_matches_sw26010() {
+        let ldm = Ldm::new(64 * 1024);
+        assert_eq!(ldm.capacity_doubles(), 8192);
+    }
+
+    #[test]
+    fn double_buffer_pair_is_disjoint() {
+        let mut ldm = Ldm::new(64 * 1024);
+        let [a, b] = ldm.alloc_pair(100).unwrap();
+        assert!(a.range().end <= b.range().start);
+    }
+
+    #[test]
+    fn reset_reclaims_but_high_water_persists() {
+        let mut ldm = Ldm::new(64 * 1024);
+        ldm.alloc(4000).unwrap();
+        ldm.reset();
+        assert_eq!(ldm.used_doubles(), 0);
+        assert_eq!(ldm.high_water_doubles(), 4000);
+        assert!(ldm.alloc(8000).is_ok());
+    }
+
+    #[test]
+    fn buffers_read_back_written_values() {
+        let mut ldm = Ldm::new(1024);
+        let b = ldm.alloc(8).unwrap();
+        ldm.buf_mut(b).copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+        assert_eq!(ldm.buf(b)[3], 4.0);
+    }
+}

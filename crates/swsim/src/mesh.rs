@@ -1,0 +1,839 @@
+//! The 8×8 CPE mesh: bulk-synchronous execution with register
+//! communication over row/column buses (§III-B, §V-A).
+//!
+//! A kernel is a sequence of **supersteps**. In each superstep every CPE
+//! runs the same closure over its private state, its LDM, and a [`CpeCtx`]
+//! that provides DMA, bus communication and cycle accounting. Bus messages
+//! sent in superstep *k* sit in the receiver's transfer buffer and are
+//! received (`recv_row`/`recv_col`) in superstep *k+1* — the staged
+//! equivalent of the hardware's producer/consumer blocking. At each
+//! superstep boundary all CPE clocks synchronize to the maximum plus a
+//! small mesh-synchronization overhead.
+//!
+//! DMA puts to main memory are *logged* during the superstep and applied by
+//! [`Mesh::drain_puts`] — plans therefore cannot race on the output buffer,
+//! and the simulation stays deterministic regardless of rayon's scheduling.
+
+use crate::dma::{DmaEngine, DmaHandle};
+use crate::ldm::{Ldm, LdmBuf, LdmOverflow};
+use crate::stats::{CgStats, CpeStats};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::fmt;
+use sw_perfmodel::dma::DmaDirection;
+use sw_perfmodel::ChipSpec;
+
+/// Which communication bus of the mesh.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bus {
+    Row,
+    Col,
+}
+
+/// Simulation failures — all of them correspond to real programming errors
+/// on the hardware (scratchpad overflow, reading an empty transfer buffer,
+/// DMA outside the mapped segment).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    Ldm(LdmOverflow),
+    /// `recv` on an empty transfer buffer: on hardware this deadlocks.
+    EmptyInbox { row: usize, col: usize, bus: Bus },
+    /// DMA touching memory outside the registered segment.
+    OutOfBounds { offset: usize, len: usize, size: usize },
+    /// Plan-level invariant failure.
+    Program(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Ldm(e) => write!(f, "{e}"),
+            SimError::EmptyInbox { row, col, bus } => {
+                write!(f, "CPE({row},{col}) get on empty {bus:?} transfer buffer (deadlock)")
+            }
+            SimError::OutOfBounds { offset, len, size } => {
+                write!(f, "DMA [{offset}..{}) outside segment of {size} doubles", offset + len)
+            }
+            SimError::Program(s) => write!(f, "plan error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<LdmOverflow> for SimError {
+    fn from(e: LdmOverflow) -> Self {
+        SimError::Ldm(e)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum OutMsg {
+    Bcast { bus: Bus, data: Vec<f64> },
+    Send { bus: Bus, to: usize, data: Vec<f64> },
+}
+
+struct CpeNode<S> {
+    row: usize,
+    col: usize,
+    ldm: Ldm,
+    clock: u64,
+    /// Cycle at which this CPE's DMA queue is free: outstanding requests
+    /// from one CPE serialize (one transfer agent per CPE).
+    dma_free: u64,
+    stats: CpeStats,
+    row_inbox: VecDeque<Vec<f64>>,
+    col_inbox: VecDeque<Vec<f64>>,
+    events: Vec<crate::trace::Event>,
+    state: S,
+}
+
+/// Per-CPE execution context handed to superstep closures.
+pub struct CpeCtx<'a> {
+    pub row: usize,
+    pub col: usize,
+    ldm: &'a mut Ldm,
+    clock: &'a mut u64,
+    stats: &'a mut CpeStats,
+    row_inbox: &'a mut VecDeque<Vec<f64>>,
+    col_inbox: &'a mut VecDeque<Vec<f64>>,
+    dma_free: &'a mut u64,
+    dma: DmaEngine,
+    block_hint: Option<usize>,
+    trace: Option<&'a mut Vec<crate::trace::Event>>,
+    out_msgs: Vec<OutMsg>,
+    out_puts: Vec<(usize, Vec<f64>)>,
+}
+
+/// Cycles to receive one message header from a transfer buffer.
+const GET_LATENCY: u64 = 4;
+
+impl CpeCtx<'_> {
+    /// Linear CPE id (`row * 8 + col`).
+    pub fn id(&self) -> usize {
+        self.row * crate::MESH_DIM + self.col
+    }
+
+    /// Current CPE-local cycle.
+    pub fn clock(&self) -> u64 {
+        *self.clock
+    }
+
+    /// Allocate LDM.
+    pub fn ldm_alloc(&mut self, doubles: usize) -> Result<LdmBuf, SimError> {
+        Ok(self.ldm.alloc(doubles)?)
+    }
+
+    /// Allocate a double-buffer pair.
+    pub fn ldm_alloc_pair(&mut self, doubles: usize) -> Result<[LdmBuf; 2], SimError> {
+        Ok(self.ldm.alloc_pair(doubles)?)
+    }
+
+    /// Read-only view of one LDM buffer.
+    pub fn ldm(&self, buf: LdmBuf) -> &[f64] {
+        self.ldm.buf(buf)
+    }
+
+    /// Mutable view of the whole scratchpad (for inner kernels spanning
+    /// several disjoint buffers).
+    pub fn ldm_data_mut(&mut self) -> &mut [f64] {
+        self.ldm.data_mut()
+    }
+
+    pub fn ldm_high_water(&self) -> usize {
+        self.ldm.high_water_doubles()
+    }
+
+    /// Asynchronous DMA get of one contiguous run: copies
+    /// `src[src_off .. src_off+len]` into `dst[dst_off ..]` and prices the
+    /// transfer at block size `len * 8` bytes.
+    pub fn dma_get(
+        &mut self,
+        dst: LdmBuf,
+        dst_off: usize,
+        src: &[f64],
+        src_off: usize,
+        len: usize,
+    ) -> Result<DmaHandle, SimError> {
+        self.dma_get_strided(dst, dst_off, src, src_off, 1, 0, len)
+    }
+
+    /// Asynchronous strided DMA get: `runs` runs of `run_len` doubles,
+    /// source stride `src_stride`, packed contiguously into the LDM buffer.
+    /// One DMA request; the effective block size is the run length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dma_get_strided(
+        &mut self,
+        dst: LdmBuf,
+        dst_off: usize,
+        src: &[f64],
+        src_off: usize,
+        runs: usize,
+        src_stride: usize,
+        run_len: usize,
+    ) -> Result<DmaHandle, SimError> {
+        let total = runs * run_len;
+        if dst_off + total > dst.len {
+            return Err(SimError::Program(format!(
+                "DMA get writes {} doubles past LDM buffer of {}",
+                dst_off + total,
+                dst.len
+            )));
+        }
+        let last = src_off + src_stride * runs.saturating_sub(1) + run_len;
+        if last > src.len() {
+            return Err(SimError::OutOfBounds { offset: src_off, len: last - src_off, size: src.len() });
+        }
+        let d = self.ldm.buf_mut(dst);
+        for r in 0..runs {
+            let s = src_off + r * src_stride;
+            d[dst_off + r * run_len..dst_off + (r + 1) * run_len]
+                .copy_from_slice(&src[s..s + run_len]);
+        }
+        let bytes = total * 8;
+        let cycles = self.dma.cost_cycles(DmaDirection::Get, bytes, self.block_hint.take().unwrap_or(run_len * 8));
+        self.stats.dma_get_bytes += bytes as u64;
+        self.stats.dma_requests += 1;
+        let h = self.enqueue_dma(cycles);
+        self.record(crate::trace::EventKind::DmaGetIssue { bytes: bytes as u64, done_at: h.done_at });
+        Ok(h)
+    }
+
+    /// Price the *next* DMA request at `block_bytes` instead of its run
+    /// length — models the SW26010's collective (row-mode) DMA, where the
+    /// eight CPEs of a mesh row jointly fetch one contiguous region.
+    pub fn dma_block_hint(&mut self, block_bytes: usize) {
+        self.block_hint = Some(block_bytes);
+    }
+
+    /// Requests from one CPE serialize through its transfer agent.
+    fn enqueue_dma(&mut self, cycles: u64) -> DmaHandle {
+        let start = (*self.clock).max(*self.dma_free);
+        let done = start + cycles;
+        *self.dma_free = done;
+        DmaHandle { done_at: done }
+    }
+
+    fn record(&mut self, kind: crate::trace::EventKind) {
+        let at = *self.clock;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(crate::trace::Event { at, kind });
+        }
+    }
+
+    /// Asynchronous strided DMA put: reads `runs * run_len` doubles
+    /// contiguously from the LDM buffer and logs them for scatter into the
+    /// global output at `dst_off + r * dst_stride`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dma_put_strided(
+        &mut self,
+        src: LdmBuf,
+        src_off: usize,
+        dst_off: usize,
+        runs: usize,
+        dst_stride: usize,
+        run_len: usize,
+    ) -> Result<DmaHandle, SimError> {
+        let total = runs * run_len;
+        if src_off + total > src.len {
+            return Err(SimError::Program(format!(
+                "DMA put reads {} doubles past LDM buffer of {}",
+                src_off + total,
+                src.len
+            )));
+        }
+        let s = self.ldm.buf(src);
+        for r in 0..runs {
+            let data = s[src_off + r * run_len..src_off + (r + 1) * run_len].to_vec();
+            self.out_puts.push((dst_off + r * dst_stride, data));
+        }
+        let bytes = total * 8;
+        let cycles =
+            self.dma.cost_cycles(DmaDirection::Put, bytes, self.block_hint.take().unwrap_or(run_len * 8));
+        self.stats.dma_put_bytes += bytes as u64;
+        self.stats.dma_requests += 1;
+        let h = self.enqueue_dma(cycles);
+        self.record(crate::trace::EventKind::DmaPutIssue { bytes: bytes as u64, done_at: h.done_at });
+        Ok(h)
+    }
+
+    /// Fully general scatter put: `runs` runs of `run_len` doubles read
+    /// from the LDM buffer at stride `src_stride` and written to the global
+    /// segment at stride `dst_stride`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dma_put_scatter(
+        &mut self,
+        src: LdmBuf,
+        src_off: usize,
+        src_stride: usize,
+        dst_off: usize,
+        dst_stride: usize,
+        runs: usize,
+        run_len: usize,
+    ) -> Result<DmaHandle, SimError> {
+        let last = src_off + src_stride * runs.saturating_sub(1) + run_len;
+        if last > src.len {
+            return Err(SimError::Program(format!(
+                "DMA scatter put reads {last} doubles past LDM buffer of {}",
+                src.len
+            )));
+        }
+        let s = self.ldm.buf(src);
+        for r in 0..runs {
+            let a = src_off + r * src_stride;
+            self.out_puts.push((dst_off + r * dst_stride, s[a..a + run_len].to_vec()));
+        }
+        let bytes = runs * run_len * 8;
+        let cycles = self.dma.cost_cycles(DmaDirection::Put, bytes, self.block_hint.take().unwrap_or(run_len * 8));
+        self.stats.dma_put_bytes += bytes as u64;
+        self.stats.dma_requests += 1;
+        let h = self.enqueue_dma(cycles);
+        self.record(crate::trace::EventKind::DmaPutIssue { bytes: bytes as u64, done_at: h.done_at });
+        Ok(h)
+    }
+
+    /// Contiguous put.
+    pub fn dma_put(
+        &mut self,
+        src: LdmBuf,
+        src_off: usize,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<DmaHandle, SimError> {
+        self.dma_put_strided(src, src_off, dst_off, 1, 0, len)
+    }
+
+    /// Block until a DMA transfer completes.
+    pub fn dma_wait(&mut self, h: DmaHandle) {
+        if h.done_at > *self.clock {
+            let stall = h.done_at - *self.clock;
+            self.record(crate::trace::EventKind::DmaWait { stall });
+            self.stats.dma_stall_cycles += stall;
+            *self.clock = h.done_at;
+        }
+    }
+
+    /// Broadcast `data` to the other 7 CPEs on this row (`vldr`-style).
+    /// Costs one P1 put per 256-bit vector.
+    pub fn bcast_row(&mut self, data: &[f64]) {
+        self.charge_put(data.len());
+        self.out_msgs.push(OutMsg::Bcast { bus: Bus::Row, data: data.to_vec() });
+    }
+
+    /// Broadcast `data` to the other 7 CPEs on this column (`vldc`-style).
+    pub fn bcast_col(&mut self, data: &[f64]) {
+        self.charge_put(data.len());
+        self.out_msgs.push(OutMsg::Bcast { bus: Bus::Col, data: data.to_vec() });
+    }
+
+    /// Point-to-point put along this row to column `to_col`.
+    pub fn send_row(&mut self, to_col: usize, data: &[f64]) {
+        assert!(to_col < crate::MESH_DIM);
+        self.charge_put(data.len());
+        self.out_msgs.push(OutMsg::Send { bus: Bus::Row, to: to_col, data: data.to_vec() });
+    }
+
+    /// Point-to-point put along this column to row `to_row`.
+    pub fn send_col(&mut self, to_row: usize, data: &[f64]) {
+        assert!(to_row < crate::MESH_DIM);
+        self.charge_put(data.len());
+        self.out_msgs.push(OutMsg::Send { bus: Bus::Col, to: to_row, data: data.to_vec() });
+    }
+
+    fn charge_put(&mut self, doubles: usize) {
+        let vectors = doubles.div_ceil(4) as u64;
+        self.record(crate::trace::EventKind::BusSend { vectors });
+        self.stats.bus_vectors_sent += vectors;
+        *self.clock += vectors; // one put per cycle on P1
+    }
+
+    /// Receive the oldest message from the row transfer buffer.
+    pub fn recv_row(&mut self) -> Result<Vec<f64>, SimError> {
+        let msg = self.row_inbox.pop_front().ok_or(SimError::EmptyInbox {
+            row: self.row,
+            col: self.col,
+            bus: Bus::Row,
+        })?;
+        self.charge_get(msg.len());
+        Ok(msg)
+    }
+
+    /// Receive the oldest message from the column transfer buffer.
+    pub fn recv_col(&mut self) -> Result<Vec<f64>, SimError> {
+        let msg = self.col_inbox.pop_front().ok_or(SimError::EmptyInbox {
+            row: self.row,
+            col: self.col,
+            bus: Bus::Col,
+        })?;
+        self.charge_get(msg.len());
+        Ok(msg)
+    }
+
+    fn charge_get(&mut self, doubles: usize) {
+        let vectors = doubles.div_ceil(4) as u64;
+        self.record(crate::trace::EventKind::BusRecv { vectors });
+        self.stats.bus_vectors_received += vectors;
+        *self.clock += vectors + GET_LATENCY;
+    }
+
+    /// Charge compute cycles (priced by the `sw-isa` kernel model).
+    pub fn charge_compute(&mut self, cycles: u64) {
+        self.record(crate::trace::EventKind::Compute { cycles });
+        self.stats.compute_cycles += cycles;
+        *self.clock += cycles;
+    }
+
+    /// Record floating-point work.
+    pub fn add_flops(&mut self, flops: u64) {
+        self.stats.flops += flops;
+    }
+}
+
+/// One core group's 8×8 mesh plus its DMA engine and put log.
+pub struct Mesh<S> {
+    pub chip: ChipSpec,
+    dma: DmaEngine,
+    cpes: Vec<CpeNode<S>>,
+    put_log: Vec<(usize, Vec<f64>)>,
+    supersteps: u64,
+    /// Cycle cost of each superstep barrier.
+    pub sync_cycles: u64,
+    trace_on: bool,
+}
+
+impl<S: Send> Mesh<S> {
+    /// Build a mesh whose CPE states come from `init(row, col)`.
+    pub fn new(chip: ChipSpec, mut init: impl FnMut(usize, usize) -> S) -> Self {
+        let dim = chip.mesh_dim;
+        let mut cpes = Vec::with_capacity(dim * dim);
+        for row in 0..dim {
+            for col in 0..dim {
+                cpes.push(CpeNode {
+                    row,
+                    col,
+                    ldm: Ldm::new(chip.ldm_bytes),
+                    clock: 0,
+                    dma_free: 0,
+                    stats: CpeStats::default(),
+                    row_inbox: VecDeque::new(),
+                    col_inbox: VecDeque::new(),
+                    events: Vec::new(),
+                    state: init(row, col),
+                });
+            }
+        }
+        Self {
+            chip,
+            dma: DmaEngine::new(chip),
+            cpes,
+            put_log: Vec::new(),
+            supersteps: 0,
+            sync_cycles: 8,
+            trace_on: false,
+        }
+    }
+
+    /// Start recording per-CPE [`crate::trace::Event`]s.
+    pub fn enable_trace(&mut self) {
+        self.trace_on = true;
+    }
+
+    /// Drain the recorded traces as `(row, col, events)` triples.
+    pub fn take_traces(&mut self) -> Vec<(usize, usize, Vec<crate::trace::Event>)> {
+        self.cpes
+            .iter_mut()
+            .map(|c| (c.row, c.col, std::mem::take(&mut c.events)))
+            .collect()
+    }
+
+    /// Run one superstep: `f` executes on all 64 CPEs (in parallel), then
+    /// messages are delivered and clocks synchronize.
+    pub fn superstep<F>(&mut self, f: F) -> Result<(), SimError>
+    where
+        F: Fn(&mut CpeCtx<'_>, &mut S) -> Result<(), SimError> + Sync,
+        S: Send,
+    {
+        let dma = self.dma;
+        let trace_on = self.trace_on;
+        let results: Vec<(Vec<OutMsg>, Vec<(usize, Vec<f64>)>, Result<(), SimError>)> = self
+            .cpes
+            .par_iter_mut()
+            .map(|node| {
+                let mut ctx = CpeCtx {
+                    row: node.row,
+                    col: node.col,
+                    ldm: &mut node.ldm,
+                    clock: &mut node.clock,
+                    stats: &mut node.stats,
+                    row_inbox: &mut node.row_inbox,
+                    col_inbox: &mut node.col_inbox,
+                    dma_free: &mut node.dma_free,
+                    dma,
+                    block_hint: None,
+                    trace: if trace_on { Some(&mut node.events) } else { None },
+                    out_msgs: Vec::new(),
+                    out_puts: Vec::new(),
+                };
+                let r = f(&mut ctx, &mut node.state);
+                (ctx.out_msgs, ctx.out_puts, r)
+            })
+            .collect();
+
+        // Surface the first error deterministically (lowest CPE id).
+        for (_, _, r) in &results {
+            r.clone()?;
+        }
+
+        // Deliver messages in CPE-id order for determinism.
+        let dim = self.chip.mesh_dim;
+        for (id, (msgs, puts, _)) in results.into_iter().enumerate() {
+            let (row, col) = (id / dim, id % dim);
+            for m in msgs {
+                match m {
+                    OutMsg::Bcast { bus: Bus::Row, data } => {
+                        for c in 0..dim {
+                            if c != col {
+                                self.cpes[row * dim + c].row_inbox.push_back(data.clone());
+                            }
+                        }
+                    }
+                    OutMsg::Bcast { bus: Bus::Col, data } => {
+                        for r in 0..dim {
+                            if r != row {
+                                self.cpes[r * dim + col].col_inbox.push_back(data.clone());
+                            }
+                        }
+                    }
+                    OutMsg::Send { bus: Bus::Row, to, data } => {
+                        self.cpes[row * dim + to].row_inbox.push_back(data);
+                    }
+                    OutMsg::Send { bus: Bus::Col, to, data } => {
+                        self.cpes[to * dim + col].col_inbox.push_back(data);
+                    }
+                }
+            }
+            self.put_log.extend(puts);
+        }
+
+        // Barrier: clocks synchronize to the slowest CPE.
+        let max_clock = self.cpes.iter().map(|c| c.clock).max().unwrap_or(0) + self.sync_cycles;
+        for c in &mut self.cpes {
+            if self.trace_on {
+                c.events.push(crate::trace::Event {
+                    at: c.clock,
+                    kind: crate::trace::EventKind::Barrier { to: max_clock },
+                });
+            }
+            c.clock = max_clock;
+        }
+        self.supersteps += 1;
+        Ok(())
+    }
+
+    /// Apply all logged DMA puts to the global output segment.
+    pub fn drain_puts(&mut self, out: &mut [f64]) -> Result<(), SimError> {
+        for (off, data) in self.put_log.drain(..) {
+            if off + data.len() > out.len() {
+                return Err(SimError::OutOfBounds { offset: off, len: data.len(), size: out.len() });
+            }
+            out[off..off + data.len()].copy_from_slice(&data);
+        }
+        Ok(())
+    }
+
+    /// Number of logged-but-undrained puts.
+    pub fn pending_puts(&self) -> usize {
+        self.put_log.len()
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> CgStats {
+        let mut totals = CpeStats::default();
+        for c in &self.cpes {
+            totals.add(&c.stats);
+        }
+        CgStats { cycles: self.cpes.iter().map(|c| c.clock).max().unwrap_or(0), totals }
+    }
+
+    /// Peak LDM usage across the mesh, in doubles.
+    pub fn ldm_high_water(&self) -> usize {
+        self.cpes.iter().map(|c| c.ldm.high_water_doubles()).max().unwrap_or(0)
+    }
+
+    /// Supersteps executed.
+    pub fn supersteps(&self) -> u64 {
+        self.supersteps
+    }
+
+    /// Check that every transfer buffer has been drained (catches plans
+    /// that broadcast more than they receive).
+    pub fn assert_inboxes_empty(&self) -> Result<(), SimError> {
+        for c in &self.cpes {
+            if !c.row_inbox.is_empty() {
+                return Err(SimError::Program(format!(
+                    "CPE({},{}) finished with {} unread row messages",
+                    c.row,
+                    c.col,
+                    c.row_inbox.len()
+                )));
+            }
+            if !c.col_inbox.is_empty() {
+                return Err(SimError::Program(format!(
+                    "CPE({},{}) finished with {} unread col messages",
+                    c.row,
+                    c.col,
+                    c.col_inbox.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh<u64> {
+        Mesh::new(ChipSpec::sw26010(), |r, c| (r * 8 + c) as u64)
+    }
+
+    #[test]
+    fn mesh_has_64_cpes_with_coords() {
+        let mut m = mesh();
+        m.superstep(|ctx, s| {
+            assert_eq!(ctx.id() as u64, *s);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn dma_round_trip_moves_data_and_time() {
+        let mut m = mesh();
+        let src: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+        let mut out = vec![0.0; 1024];
+        m.superstep(|ctx, _| {
+            let buf = ctx.ldm_alloc(16)?;
+            let base = ctx.id() * 16;
+            let h = ctx.dma_get(buf, 0, &src, base, 16)?;
+            ctx.dma_wait(h);
+            assert_eq!(ctx.ldm(buf)[0], base as f64);
+            let h = ctx.dma_put(buf, 0, base, 16)?;
+            ctx.dma_wait(h);
+            Ok(())
+        })
+        .unwrap();
+        m.drain_puts(&mut out).unwrap();
+        assert_eq!(out, src);
+        let st = m.stats();
+        assert!(st.cycles > 0);
+        assert_eq!(st.totals.dma_get_bytes, 64 * 16 * 8);
+        assert_eq!(st.totals.dma_put_bytes, 64 * 16 * 8);
+    }
+
+    #[test]
+    fn strided_get_packs_runs() {
+        let mut m = mesh();
+        let src: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        m.superstep(|ctx, _| {
+            if ctx.id() != 0 {
+                return Ok(());
+            }
+            let buf = ctx.ldm_alloc(6)?;
+            // 3 runs of 2, stride 10, from offset 5: [5,6, 15,16, 25,26]
+            let h = ctx.dma_get_strided(buf, 0, &src, 5, 3, 10, 2)?;
+            ctx.dma_wait(h);
+            assert_eq!(ctx.ldm(buf), &[5.0, 6.0, 15.0, 16.0, 25.0, 26.0]);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bus_messages_arrive_next_superstep() {
+        let mut m = mesh();
+        m.superstep(|ctx, _| {
+            if ctx.col == 0 {
+                ctx.bcast_row(&[ctx.row as f64; 4]);
+            }
+            Ok(())
+        })
+        .unwrap();
+        m.superstep(|ctx, _| {
+            if ctx.col != 0 {
+                let msg = ctx.recv_row()?;
+                assert_eq!(msg, vec![ctx.row as f64; 4]);
+            }
+            Ok(())
+        })
+        .unwrap();
+        m.assert_inboxes_empty().unwrap();
+    }
+
+    #[test]
+    fn recv_before_send_is_a_deadlock_error() {
+        let mut m = mesh();
+        let err = m
+            .superstep(|ctx, _| {
+                ctx.recv_col()?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::EmptyInbox { bus: Bus::Col, .. }));
+    }
+
+    #[test]
+    fn targeted_send_reaches_only_target() {
+        let mut m = mesh();
+        m.superstep(|ctx, _| {
+            if ctx.row == 0 && ctx.col == 0 {
+                ctx.send_row(3, &[42.0; 4]);
+                ctx.send_col(5, &[7.0; 4]);
+            }
+            Ok(())
+        })
+        .unwrap();
+        m.superstep(|ctx, _| {
+            if ctx.row == 0 && ctx.col == 3 {
+                assert_eq!(ctx.recv_row()?[0], 42.0);
+            } else if ctx.row == 5 && ctx.col == 0 {
+                assert_eq!(ctx.recv_col()?[0], 7.0);
+            }
+            Ok(())
+        })
+        .unwrap();
+        m.assert_inboxes_empty().unwrap();
+    }
+
+    #[test]
+    fn clocks_synchronize_to_slowest() {
+        let mut m = mesh();
+        m.superstep(|ctx, _| {
+            if ctx.id() == 13 {
+                ctx.charge_compute(1000);
+            }
+            Ok(())
+        })
+        .unwrap();
+        let base = m.stats().cycles;
+        assert!(base >= 1000);
+        // Everyone advanced to the barrier.
+        m.superstep(|ctx, _| {
+            assert!(ctx.clock() >= 1000);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ldm_overflow_surfaces_as_error() {
+        let mut m = mesh();
+        let err = m
+            .superstep(|ctx, _| {
+                ctx.ldm_alloc(10_000)?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::Ldm(_)));
+    }
+
+    #[test]
+    fn out_of_bounds_put_is_caught_at_drain() {
+        let mut m = mesh();
+        m.superstep(|ctx, _| {
+            if ctx.id() == 0 {
+                let buf = ctx.ldm_alloc(4)?;
+                ctx.dma_put(buf, 0, 100, 4)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut out = vec![0.0; 10];
+        assert!(matches!(m.drain_puts(&mut out), Err(SimError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn tracing_records_dma_and_compute_events() {
+        let mut m: Mesh<()> = Mesh::new(ChipSpec::sw26010(), |_, _| ());
+        m.enable_trace();
+        let src = vec![1.0; 64 * 64];
+        m.superstep(|ctx, _| {
+            let buf = ctx.ldm_alloc(64)?;
+            let h = ctx.dma_get(buf, 0, &src, ctx.id() * 64, 64)?;
+            ctx.dma_wait(h);
+            ctx.charge_compute(100);
+            if ctx.col == 0 {
+                ctx.bcast_row(&[1.0; 8]);
+            }
+            Ok(())
+        })
+        .unwrap();
+        let traces = m.take_traces();
+        assert_eq!(traces.len(), 64);
+        let (_, _, ev0) = &traces[0];
+        use crate::trace::EventKind;
+        assert!(ev0.iter().any(|e| matches!(e.kind, EventKind::DmaGetIssue { .. })));
+        assert!(ev0.iter().any(|e| matches!(e.kind, EventKind::Compute { cycles: 100 })));
+        assert!(ev0.iter().any(|e| matches!(e.kind, EventKind::Barrier { .. })));
+        // CPE(0,0) broadcast.
+        assert!(ev0.iter().any(|e| matches!(e.kind, EventKind::BusSend { vectors: 2 })));
+        let text = crate::trace::render_summary(&traces);
+        assert!(text.contains("busiest CPE"));
+        // Tracing must not perturb timing.
+        let mut m2: Mesh<()> = Mesh::new(ChipSpec::sw26010(), |_, _| ());
+        m2.superstep(|ctx, _| {
+            let buf = ctx.ldm_alloc(64)?;
+            let h = ctx.dma_get(buf, 0, &src, ctx.id() * 64, 64)?;
+            ctx.dma_wait(h);
+            ctx.charge_compute(100);
+            if ctx.col == 0 {
+                ctx.bcast_row(&[1.0; 8]);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(m.stats().cycles, m2.stats().cycles);
+    }
+
+    #[test]
+    fn double_buffering_hides_dma_latency() {
+        // Two plans moving identical data: one waits for each DMA before
+        // computing, one overlaps the next get with current compute. The
+        // overlap must be strictly faster.
+        let src = vec![1.0; 64 * 512];
+        let compute_per_tile = 4000u64;
+        let tiles = 8usize;
+
+        let run = |overlap: bool| -> u64 {
+            let mut m: Mesh<()> = Mesh::new(ChipSpec::sw26010(), |_, _| ());
+            m.superstep(|ctx, _| {
+                let bufs = ctx.ldm_alloc_pair(512)?;
+                if overlap {
+                    let mut pending = ctx.dma_get(bufs[0], 0, &src, 0, 512)?;
+                    for t in 0..tiles {
+                        let cur = pending;
+                        if t + 1 < tiles {
+                            pending = ctx.dma_get(bufs[(t + 1) % 2], 0, &src, 0, 512)?;
+                        }
+                        ctx.dma_wait(cur);
+                        ctx.charge_compute(compute_per_tile);
+                    }
+                } else {
+                    for t in 0..tiles {
+                        let h = ctx.dma_get(bufs[t % 2], 0, &src, 0, 512)?;
+                        ctx.dma_wait(h);
+                        ctx.charge_compute(compute_per_tile);
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+            m.stats().cycles
+        };
+
+        let serial = run(false);
+        let overlapped = run(true);
+        assert!(overlapped < serial, "overlap {overlapped} !< serial {serial}");
+    }
+}

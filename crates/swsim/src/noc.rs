@@ -1,0 +1,125 @@
+//! The network-on-chip connecting the four core groups (§III-B).
+//!
+//! "The on-chip network (NoC) connects four CGs with System Interface.
+//! Memory of four CGs are also connected through the NoC. Users can
+//! explicitly set the size of each CG's private memory space, and the
+//! size of the memory space shared among the four CGs."
+//!
+//! swDNN's multi-CG strategy (§III-D) partitions the *output rows* so each
+//! CG touches only its private segment — this module prices the
+//! alternative so the choice is checkable: a cross-CG access pays the NoC
+//! traversal (lower bandwidth than the local memory controller and shared
+//! by all remote traffic), so an interleaved partitioning that pulls 3/4
+//! of its inputs across the NoC is strictly slower than the row
+//! partitioning that pulls none.
+
+use sw_perfmodel::ChipSpec;
+
+/// NoC cost parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NocModel {
+    pub chip: ChipSpec,
+    /// Aggregate cross-CG bandwidth of the NoC, GB/s (shared by all four
+    /// CGs' remote traffic).
+    pub cross_gbps: f64,
+    /// Extra latency per remote transaction, cycles.
+    pub hop_latency_cycles: u64,
+}
+
+impl Default for NocModel {
+    fn default() -> Self {
+        // The NoC sustains on the order of one memory controller's worth
+        // of aggregate remote bandwidth — enough for occasional sharing,
+        // far too little to stream operands from remote memories.
+        Self { chip: ChipSpec::sw26010(), cross_gbps: 32.0, hop_latency_cycles: 200 }
+    }
+}
+
+/// Where a CG's traffic lands.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficSplit {
+    /// Bytes served from the CG's own memory controller.
+    pub local_bytes: u64,
+    /// Bytes crossing the NoC from remote CG memories.
+    pub remote_bytes: u64,
+}
+
+impl NocModel {
+    /// Seconds for one CG to move the given traffic split, with local
+    /// traffic at the DDR3 peak and remote traffic at its 1/4 share of the
+    /// NoC (all four CGs pulling concurrently).
+    pub fn transfer_seconds(&self, split: &TrafficSplit) -> f64 {
+        let local = split.local_bytes as f64 / (self.chip.ddr3_peak_gbps * 1e9);
+        let remote_share = self.cross_gbps / self.chip.core_groups as f64;
+        let remote = split.remote_bytes as f64 / (remote_share * 1e9);
+        // Local DMA and remote NoC pulls can overlap; the slower stream
+        // dominates, plus a hop latency per remote burst.
+        let lat = if split.remote_bytes > 0 {
+            self.hop_latency_cycles as f64 / (self.chip.clock_ghz * 1e9)
+        } else {
+            0.0
+        };
+        local.max(remote) + lat
+    }
+
+    /// Traffic split of the paper's row partitioning: every operand byte
+    /// is private.
+    pub fn row_partitioned(&self, bytes_per_cg: u64) -> TrafficSplit {
+        TrafficSplit { local_bytes: bytes_per_cg, remote_bytes: 0 }
+    }
+
+    /// Traffic split of a naive interleaving where data is striped across
+    /// the four memories: 3/4 of every CG's reads are remote.
+    pub fn interleaved(&self, bytes_per_cg: u64) -> TrafficSplit {
+        TrafficSplit { local_bytes: bytes_per_cg / 4, remote_bytes: bytes_per_cg * 3 / 4 }
+    }
+
+    /// Slowdown of interleaved placement vs row partitioning.
+    pub fn interleaving_penalty(&self, bytes_per_cg: u64) -> f64 {
+        self.transfer_seconds(&self.interleaved(bytes_per_cg))
+            / self.transfer_seconds(&self.row_partitioned(bytes_per_cg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_partitioning_beats_interleaving() {
+        let noc = NocModel::default();
+        // One Fig. 7 config's per-CG traffic is on the order of 100 MB.
+        let penalty = noc.interleaving_penalty(100 << 20);
+        assert!(
+            penalty > 2.5,
+            "interleaved placement must be several times slower, got {penalty:.2}x"
+        );
+    }
+
+    #[test]
+    fn local_only_traffic_runs_at_ddr3_peak() {
+        let noc = NocModel::default();
+        let s = noc.transfer_seconds(&noc.row_partitioned(36_000_000_000));
+        assert!((s - 1.0).abs() < 1e-9, "36 GB at 36 GB/s = 1 s, got {s}");
+    }
+
+    #[test]
+    fn hop_latency_only_charged_for_remote_traffic() {
+        let noc = NocModel::default();
+        let local = noc.transfer_seconds(&TrafficSplit { local_bytes: 0, remote_bytes: 0 });
+        assert_eq!(local, 0.0);
+        let remote = noc.transfer_seconds(&TrafficSplit { local_bytes: 0, remote_bytes: 1 });
+        assert!(remote > 0.0);
+    }
+
+    #[test]
+    fn penalty_grows_with_remote_share() {
+        let noc = NocModel::default();
+        let b = 64 << 20;
+        let quarter = TrafficSplit { local_bytes: 3 * b / 4, remote_bytes: b / 4 };
+        let three_quarters = noc.interleaved(b);
+        assert!(
+            noc.transfer_seconds(&three_quarters) > noc.transfer_seconds(&quarter)
+        );
+    }
+}

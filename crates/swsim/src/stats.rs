@@ -1,0 +1,123 @@
+//! Traffic and work counters.
+//!
+//! Every claim the reproduction makes about bandwidth requirements is
+//! *measured* here, not assumed: plans cannot move a byte or execute a flop
+//! without it being counted, so the benchmark harness can report achieved
+//! MEM→LDM bandwidth and Gflops directly from these counters.
+
+/// Counters for one CPE.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CpeStats {
+    /// Bytes moved memory → LDM by DMA gets.
+    pub dma_get_bytes: u64,
+    /// Bytes moved LDM → memory by DMA puts.
+    pub dma_put_bytes: u64,
+    /// Number of DMA requests issued.
+    pub dma_requests: u64,
+    /// 256-bit payloads sent on row/column buses.
+    pub bus_vectors_sent: u64,
+    /// 256-bit payloads received from transfer buffers.
+    pub bus_vectors_received: u64,
+    /// Double-precision flops executed.
+    pub flops: u64,
+    /// Cycles spent waiting on DMA completions.
+    pub dma_stall_cycles: u64,
+    /// Cycles spent in compute kernels.
+    pub compute_cycles: u64,
+}
+
+impl CpeStats {
+    pub fn add(&mut self, other: &CpeStats) {
+        self.dma_get_bytes += other.dma_get_bytes;
+        self.dma_put_bytes += other.dma_put_bytes;
+        self.dma_requests += other.dma_requests;
+        self.bus_vectors_sent += other.bus_vectors_sent;
+        self.bus_vectors_received += other.bus_vectors_received;
+        self.flops += other.flops;
+        self.dma_stall_cycles += other.dma_stall_cycles;
+        self.compute_cycles += other.compute_cycles;
+    }
+}
+
+/// Aggregated result of running a kernel on one core group.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CgStats {
+    /// Wall-clock cycles (max over CPEs, including superstep syncs).
+    pub cycles: u64,
+    /// Sum over all 64 CPEs.
+    pub totals: CpeStats,
+}
+
+impl CgStats {
+    /// Seconds of simulated wall time at `clock_ghz`.
+    pub fn seconds(&self, clock_ghz: f64) -> f64 {
+        self.cycles as f64 / (clock_ghz * 1e9)
+    }
+
+    /// Attained Gflops of the kernel on this CG.
+    pub fn gflops(&self, clock_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.totals.flops as f64 / self.seconds(clock_ghz) / 1e9
+    }
+
+    /// Achieved MEM→LDM bandwidth in GB/s over the kernel's lifetime.
+    pub fn dma_get_gbps(&self, clock_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.totals.dma_get_bytes as f64 / self.seconds(clock_ghz) / 1e9
+    }
+
+    /// Total memory traffic (both directions) in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        self.totals.dma_get_bytes + self.totals.dma_put_bytes
+    }
+
+    /// Fraction of the CG's peak the kernel attained.
+    pub fn efficiency(&self, peak_gflops: f64, clock_ghz: f64) -> f64 {
+        self.gflops(clock_ghz) / peak_gflops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_arithmetic() {
+        let s = CgStats {
+            cycles: 1_450_000_000, // one second at 1.45 GHz
+            totals: CpeStats { flops: 500_000_000_000, ..Default::default() },
+        };
+        assert!((s.gflops(1.45) - 500.0).abs() < 1e-9);
+        assert!((s.seconds(1.45) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_arithmetic() {
+        let s = CgStats {
+            cycles: 1_450_000_000,
+            totals: CpeStats { dma_get_bytes: 36_000_000_000, ..Default::default() },
+        };
+        assert!((s.dma_get_gbps(1.45) - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_is_not_a_division_error() {
+        let s = CgStats::default();
+        assert_eq!(s.gflops(1.45), 0.0);
+        assert_eq!(s.dma_get_gbps(1.45), 0.0);
+    }
+
+    #[test]
+    fn stats_add_accumulates_all_fields() {
+        let mut a = CpeStats { flops: 1, dma_get_bytes: 2, ..Default::default() };
+        let b = CpeStats { flops: 10, dma_get_bytes: 20, bus_vectors_sent: 3, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.flops, 11);
+        assert_eq!(a.dma_get_bytes, 22);
+        assert_eq!(a.bus_vectors_sent, 3);
+    }
+}

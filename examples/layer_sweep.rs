@@ -1,0 +1,56 @@
+//! Layer sweep: time the convolution layers of a VGG-like network on the
+//! simulated SW26010, the workload class the paper's introduction
+//! motivates (ImageNet-scale CNNs with growing depth).
+//!
+//! Per layer: the selected plan, simulated throughput, efficiency, and the
+//! analytic model's prediction — a miniature of the paper's evaluation
+//! methodology applied to a real network architecture.
+//!
+//! ```sh
+//! cargo run --release --example layer_sweep
+//! ```
+
+use swdnn::zoo::vgg_like_conv_stack;
+use swdnn::{ChipSpec, Executor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Conv layers of a VGG-ish column at batch 128 (channel counts rounded
+    // to the multiples of 32 the paper sweeps; spatial sizes chosen so the
+    // mesh plans apply — the paper evaluates 64x64 outputs throughout).
+    let layers = vgg_like_conv_stack(128);
+
+    let exec = Executor::new();
+    let chip = ChipSpec::sw26010();
+    println!(
+        "{:<9} {:>22} {:>18} {:>10} {:>7} {:>10} {:>9}",
+        "layer", "shape", "plan", "Gflops/CG", "eff%", "model", "ms/chip"
+    );
+    let mut total_ms = 0.0;
+    let mut total_flops = 0u64;
+    for (name, shape) in &layers {
+        let rep = exec.run_config(shape)?;
+        let chip_time_ms =
+            shape.flops() as f64 / (rep.gflops_cg * chip.core_groups as f64 * 1e9) * 1e3;
+        total_ms += chip_time_ms;
+        total_flops += shape.flops();
+        println!(
+            "{:<9} {:>22} {:>18} {:>10.0} {:>6.1}% {:>10.0} {:>9.2}",
+            name,
+            format!("{}x{}x{}x{}", shape.ni, shape.no, shape.ro, shape.co),
+            rep.plan_name,
+            rep.gflops_cg,
+            100.0 * rep.efficiency,
+            rep.model.gflops_per_cg,
+            chip_time_ms
+        );
+    }
+    println!(
+        "\nforward conv stack: {:.1} Gflop in {:.1} ms on the 4-CG chip \
+         ({:.0} Gflops sustained)",
+        total_flops as f64 / 1e9,
+        total_ms,
+        total_flops as f64 / (total_ms / 1e3) / 1e9
+    );
+    println!("ok.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run one convolution on the simulated SW26010 and inspect
+//! what swDNN did with it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use swdnn::{ChipSpec, Conv2d, ConvShape, Layout};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small convolutional layer: batch 32, 16 -> 16 channels, 8x8
+    // output, 3x3 filters (small enough to simulate fully in milliseconds).
+    let shape = ConvShape::new(32, 16, 16, 8, 8, 3, 3);
+    println!("convolution: {shape}");
+    println!("flops/pass:  {:.1} M", shape.flops() as f64 / 1e6);
+
+    // Deterministic operands.
+    let input = sw_tensor::init::seeded_tensor(shape.input_shape(), Layout::Nchw, 1);
+    let filter = sw_tensor::init::xavier_filter(shape.filter_shape(), Layout::Nchw, 2);
+
+    // Let the performance model pick a plan and run it on one core group.
+    let conv = Conv2d::new(shape)?;
+    let plan = conv.plan();
+    println!("selected plan: {}", plan.name());
+
+    let run = conv.forward(&input, &filter)?;
+    let chip = ChipSpec::sw26010();
+    println!(
+        "simulated: {} cycles = {:.2} us on one CG",
+        run.timing.cycles,
+        run.timing.cycles as f64 / (chip.clock_ghz * 1e3)
+    );
+    println!(
+        "throughput: {:.1} Gflops ({:.1}% of the CG's 742.4 Gflops peak)",
+        run.timing.gflops(&shape, &chip),
+        100.0 * run.timing.efficiency(&shape, &chip)
+    );
+    let st = run.timing.stats.totals;
+    println!(
+        "traffic: {:.2} MB DMA get, {:.2} MB DMA put, {} bus vectors",
+        st.dma_get_bytes as f64 / 1e6,
+        st.dma_put_bytes as f64 / 1e6,
+        st.bus_vectors_sent
+    );
+
+    // Verify against the naive reference convolution (Listing 1).
+    let expect = sw_tensor::conv2d_ref(shape, &input, &filter);
+    let diff = run.output.max_abs_diff(&expect);
+    println!("max |diff| vs 7-loop reference: {diff:.3e}");
+    assert!(diff < 1e-10, "plan must match the reference");
+
+    // The same output, in the swDNN vectorized layout.
+    let vectorized = run.output.to_layout(Layout::ImageAware);
+    println!(
+        "output tensor: {:?} ({} doubles in the (4,C,R,N,B/4) layout)",
+        vectorized.shape(),
+        vectorized.data().len()
+    );
+    println!("ok.");
+    Ok(())
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the performance model, the instruction
+//! pipeline, the simulator, and the plans must tell one consistent story.
+
+use sw_perfmodel::dma::{DmaDirection, DmaTable};
+use sw_perfmodel::{select_plan, ChipSpec, PlanKind};
+use sw_tensor::ConvShape;
+use swdnn::plans::ConvPlan;
+use swdnn::{Conv2d, Executor};
+
+/// A small but mesh-eligible configuration used throughout.
+fn small() -> ConvShape {
+    ConvShape::new(32, 16, 16, 8, 8, 3, 3)
+}
+
+#[test]
+fn executor_measured_traffic_is_at_least_the_compulsory_traffic() {
+    // The simulator counts every byte; no plan can move less than one copy
+    // of input + filters in, and one copy of the output out.
+    let rep = Executor::new().run_config(&small()).unwrap();
+    let shape = small();
+    let compulsory_in = 8 * (shape.input_shape().len() + shape.filter_shape().len()) as u64;
+    let compulsory_out = 8 * shape.output_shape().len() as u64;
+    assert!(
+        rep.timing.stats.totals.dma_get_bytes >= compulsory_in,
+        "get {} < compulsory {}",
+        rep.timing.stats.totals.dma_get_bytes,
+        compulsory_in
+    );
+    assert!(rep.timing.stats.totals.dma_put_bytes >= compulsory_out);
+}
+
+#[test]
+fn simulated_rate_never_exceeds_roofline() {
+    // Measured Gflops must respect both peak compute and the memory
+    // roofline implied by the plan's own measured traffic.
+    let chip = ChipSpec::sw26010();
+    for shape in [small(), ConvShape::new(32, 24, 16, 6, 8, 3, 3)] {
+        let rep = Executor::new().run_config(&shape).unwrap();
+        assert!(rep.gflops_cg <= chip.peak_gflops_per_cg() * 1.0001, "{shape}");
+        // Bandwidth implied by traffic/time must not exceed the DMA ceiling.
+        assert!(
+            rep.mbw_measured <= 36.02,
+            "{shape}: MBW {:.1} exceeds the DDR3 interface",
+            rep.mbw_measured
+        );
+    }
+}
+
+#[test]
+fn kernel_efficiency_bounds_plan_efficiency() {
+    // No plan can beat the inner kernel's EE = 16n/(17n+4) ceiling.
+    let shape = small();
+    let rep = Executor::new().run_config(&shape).unwrap();
+    let ee = sw_isa::efficiency::ee_for_ni(shape.ni);
+    assert!(
+        rep.efficiency <= ee + 1e-9,
+        "plan efficiency {:.3} above kernel EE {:.3}",
+        rep.efficiency,
+        ee
+    );
+}
+
+#[test]
+fn model_and_simulation_agree_on_plan_ranking() {
+    // Wherever the model says direct << optimized, the simulation must too.
+    let e = Executor::new();
+    let shape = small();
+    let opt = e.run_config(&shape).unwrap();
+    let direct = e.run_config_with(&shape, PlanKind::DirectGload).unwrap();
+    assert!(direct.model.gflops_per_cg < opt.model.gflops_per_cg);
+    assert!(direct.gflops_cg < opt.gflops_cg);
+}
+
+#[test]
+fn selection_is_consistent_with_plan_support() {
+    // Every configuration of the paper's sweeps must yield a plan that
+    // actually supports the shape.
+    for ni in [64usize, 128, 256, 384] {
+        for no in [64usize, 128, 256, 384] {
+            let shape = ConvShape::new(128, ni, no, 64, 64, 3, 3);
+            let conv = Conv2d::new(shape).unwrap();
+            let plan = conv.plan();
+            assert!(
+                plan.supports(&shape).is_ok(),
+                "selected plan {} rejects {shape}",
+                plan.name()
+            );
+            assert_ne!(plan.name(), "reference", "paper configs must run on the mesh: {shape}");
+        }
+    }
+}
+
+#[test]
+fn select_plan_ldm_footprints_respect_the_budget() {
+    let chip = ChipSpec::sw26010();
+    for ni in (64..=384).step_by(64) {
+        for no in (64..=384).step_by(64) {
+            let shape = ConvShape::new(128, ni, no, 64, 64, 3, 3);
+            let choice = select_plan(&shape, &chip).expect("a plan must exist");
+            assert!(choice.ldm_doubles <= chip.ldm_doubles());
+        }
+    }
+}
+
+#[test]
+fn dma_table_guides_the_layouts() {
+    // The batch-aware layout's contiguous run (B doubles = 1 KiB at B=128)
+    // must land in a faster bandwidth region than an unblocked NCHW row of
+    // a small image — the reason the custom layouts exist.
+    let t = DmaTable;
+    let fast = t.bandwidth_gbps(DmaDirection::Get, 128 * 8);
+    let slow = t.bandwidth_gbps(DmaDirection::Get, 8 * 8);
+    assert!(fast > 2.0 * slow);
+}
+
+#[test]
+fn multi_cg_speedup_matches_paper_claim() {
+    let e = Executor::new();
+    let shape = ConvShape::new(32, 16, 16, 8, 8, 3, 3);
+    let one = e.run_multi_cg(&shape, 1).unwrap();
+    let four = e.run_multi_cg(&shape, 4).unwrap();
+    let speedup = one.wall_cycles as f64 / four.wall_cycles as f64;
+    assert!(speedup > 3.5, "near-linear scaling expected, got {speedup:.2}");
+}
+
+#[test]
+fn sampled_and_full_timing_agree_on_a_mesh_config() {
+    // The sampled-extrapolation machinery feeding the figure regenerators
+    // must track a full simulation.
+    let shape = ConvShape::new(32, 16, 16, 4, 8, 3, 3);
+    let conv = Conv2d::new(shape).unwrap();
+    let plan = conv.plan();
+    let input = sw_tensor::init::seeded_tensor(shape.input_shape(), sw_tensor::Layout::Nchw, 1);
+    let filter = sw_tensor::init::seeded_tensor(shape.filter_shape(), sw_tensor::Layout::Nchw, 2);
+    let full = plan.run(&shape, &input, &filter).unwrap().timing;
+    let sampled = plan.time_full_shape(&shape).unwrap();
+    let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+    assert!(rel < 0.08, "sampled {} vs full {} ({rel:.3})", sampled.cycles, full.cycles);
+}
+
+#[test]
+fn bench_config_generators_cover_the_paper_ranges() {
+    // (mirrors sw-bench's own tests, but exercised from outside the crate)
+    let shape = ConvShape::new(128, 64, 64, 64, 64, 3, 3);
+    assert!(shape.is_valid());
+    let chip = ChipSpec::sw26010();
+    assert!(select_plan(&shape, &chip).is_some());
+}
+
+#[test]
+fn gpu_baseline_loses_on_mesh_eligible_configs() {
+    // Spot-check the published speedup envelope. Small shapes keep this
+    // fast in debug builds; the full paper-scale sweep lives in the
+    // `fig7_channels` / `fig9_filters` release binaries.
+    let gpu = sw_gpuref::K40m::default();
+    let e = Executor::new();
+    for (ni, no, k) in [(32, 32, 3), (64, 64, 3), (32, 32, 5)] {
+        let shape = ConvShape::new(32, ni, no, 16, 16, k, k);
+        let sw = e.run_multi_cg(&shape, 4).unwrap().gflops_chip;
+        let k40 = gpu.conv_gflops(&shape);
+        let speedup = sw / k40;
+        assert!(
+            (1.0..30.0).contains(&speedup),
+            "speedup {speedup:.2} out of the plausible envelope at ni={ni} no={no} k={k}"
+        );
+        assert!(speedup > 1.5, "swDNN must win: {speedup:.2} at ni={ni} no={no} k={k}");
+    }
+}
