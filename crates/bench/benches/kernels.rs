@@ -23,7 +23,9 @@ fn bench_conv_paths(c: &mut Criterion) {
         b.iter(|| conv2d_ref(black_box(shape), black_box(&input), black_box(&filter)))
     });
     c.bench_function("conv2d_im2col 4x8x8x8 k3", |b| {
-        b.iter(|| sw_gpuref::conv2d_im2col(black_box(&shape), black_box(&input), black_box(&filter)))
+        b.iter(|| {
+            sw_gpuref::conv2d_im2col(black_box(&shape), black_box(&input), black_box(&filter))
+        })
     });
 }
 
@@ -42,8 +44,12 @@ fn bench_pipeline(c: &mut Criterion) {
     let pipe = DualPipe::default();
     let naive = naive_gemm_kernel(KernelSpec::new(16));
     let reord = reordered_gemm_kernel(KernelSpec::new(16));
-    c.bench_function("DualPipe::run naive n=16", |b| b.iter(|| pipe.run(black_box(&naive))));
-    c.bench_function("DualPipe::run reordered n=16", |b| b.iter(|| pipe.run(black_box(&reord))));
+    c.bench_function("DualPipe::run naive n=16", |b| {
+        b.iter(|| pipe.run(black_box(&naive)))
+    });
+    c.bench_function("DualPipe::run reordered n=16", |b| {
+        b.iter(|| pipe.run(black_box(&reord)))
+    });
 
     let lat = LatencyTable::default();
     c.bench_function("DepGraph::build n=16 kernel", |b| {

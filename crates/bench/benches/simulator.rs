@@ -25,7 +25,8 @@ fn bench_superstep(c: &mut Criterion) {
 
     c.bench_function("mesh superstep (dma 512B/cpe)", |b| {
         let src = vec![1.0f64; 64 * 64];
-        let mut mesh: Mesh<LdmBuf> = Mesh::new(ChipSpec::sw26010(), |_, _| LdmBuf { offset: 0, len: 0 });
+        let mut mesh: Mesh<LdmBuf> =
+            Mesh::new(ChipSpec::sw26010(), |_, _| LdmBuf { offset: 0, len: 0 });
         mesh.superstep(|ctx, buf| {
             *buf = ctx.ldm_alloc(64)?;
             Ok(())
@@ -49,7 +50,10 @@ fn bench_mesh_conv(c: &mut Criterion) {
     let plan = ImageAwarePlan::new(sw_perfmodel::Blocking { b_b: 32, b_co: 4 });
 
     c.bench_function("image_aware plan, 32x8x8 2x4 out", |b| {
-        b.iter(|| plan.run(black_box(&shape), black_box(&input), black_box(&filter)).unwrap())
+        b.iter(|| {
+            plan.run(black_box(&shape), black_box(&input), black_box(&filter))
+                .unwrap()
+        })
     });
 
     let conv = Conv2d::new(shape).unwrap();

@@ -66,7 +66,12 @@ fn main() {
             t2.row(vec![
                 ni.to_string(),
                 no.to_string(),
-                if reordered { "reordered (17/iter)" } else { "naive (26/iter)" }.to_string(),
+                if reordered {
+                    "reordered (17/iter)"
+                } else {
+                    "naive (26/iter)"
+                }
+                .to_string(),
                 f(g, 0),
                 f(100.0 * g / chip.peak_gflops_per_cg(), 1),
             ]);
@@ -90,7 +95,12 @@ fn main() {
             t3.row(vec![
                 ni.to_string(),
                 no.to_string(),
-                if buffered { "double-buffered" } else { "synchronous" }.to_string(),
+                if buffered {
+                    "double-buffered"
+                } else {
+                    "synchronous"
+                }
+                .to_string(),
                 f(g, 0),
                 f(100.0 * g / chip.peak_gflops_per_cg(), 1),
                 f(timing.stats.totals.dma_stall_cycles as f64 / 1e6, 1),

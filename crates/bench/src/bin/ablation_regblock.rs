@@ -17,7 +17,14 @@ fn main() {
 
     let mut t = Table::new(
         "Eq. 4/5: GEMM register blocking sweep (per-CPE RBW, GB/s)",
-        &["rb_B", "rb_No", "regs used", "RBW plain", "RBW simd", "fits 46.4?"],
+        &[
+            "rb_B",
+            "rb_No",
+            "regs used",
+            "RBW plain",
+            "RBW simd",
+            "fits 46.4?",
+        ],
     );
     for rb_b in [4usize, 8, 16, 32] {
         for rb_no in [1usize, 2, 4, 8] {

@@ -20,14 +20,23 @@ fn main() {
     let mut t = Table::new(
         "Fig. 2: direct-gload vs REG-LDM-MEM (one CG)",
         &[
-            "Ni", "No", "direct mdl", "direct sim", "dir eff%", "ldm mdl", "ldm sim", "ldm eff%",
+            "Ni",
+            "No",
+            "direct mdl",
+            "direct sim",
+            "dir eff%",
+            "ldm mdl",
+            "ldm sim",
+            "ldm eff%",
             "gain",
         ],
     );
 
     for (ni, no) in [(64, 64), (128, 128), (256, 256)] {
         let shape = ConvShape::new(128, ni, no, 64, 64, 3, 3);
-        let direct = exec.run_config_with(&shape, PlanKind::DirectGload).expect("direct");
+        let direct = exec
+            .run_config_with(&shape, PlanKind::DirectGload)
+            .expect("direct");
         let opt = exec.run_config(&shape).expect("optimized");
         t.row(vec![
             ni.to_string(),

@@ -19,8 +19,15 @@ fn main() {
     let mut t = Table::new(
         "Fig. 6 / §VI: inner-kernel pipeline schedule (per Ni)",
         &[
-            "Ni", "iters n", "naive cyc", "naive/iter", "naive EE%", "reord cyc", "reord/iter",
-            "reord EE%", "speedup",
+            "Ni",
+            "iters n",
+            "naive cyc",
+            "naive/iter",
+            "naive EE%",
+            "reord cyc",
+            "reord/iter",
+            "reord EE%",
+            "speedup",
         ],
     );
 
@@ -29,8 +36,16 @@ fn main() {
         let spec = KernelSpec::new(n);
         let naive = pipe.run(&naive_gemm_kernel(spec));
         let reord = pipe.run(&reordered_gemm_kernel(spec));
-        assert_eq!(naive.cycles, efficiency::cycles_naive(n), "closed form (naive)");
-        assert_eq!(reord.cycles, efficiency::cycles_reordered(n), "closed form (reordered)");
+        assert_eq!(
+            naive.cycles,
+            efficiency::cycles_naive(n),
+            "closed form (naive)"
+        );
+        assert_eq!(
+            reord.cycles,
+            efficiency::cycles_reordered(n),
+            "closed form (reordered)"
+        );
         t.row(vec![
             ni.to_string(),
             n.to_string(),

@@ -37,7 +37,15 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 7: conv performance over 101 (Ni,No) configs (chip vs K40m)",
-        &["#", "Ni", "No", "swDNN Gflops", "eff%", "K40m Gflops", "speedup"],
+        &[
+            "#",
+            "Ni",
+            "No",
+            "swDNN Gflops",
+            "eff%",
+            "K40m Gflops",
+            "speedup",
+        ],
     );
     let peak_chip = chip.peak_gflops_per_cg() * cgs as f64;
     let mut speedups = Vec::new();

@@ -32,7 +32,16 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 9: conv performance for filter sizes 3x3..21x21 (chip vs K40m)",
-        &["#", "Ni", "No", "K", "swDNN Gflops", "eff%", "K40m Gflops", "speedup"],
+        &[
+            "#",
+            "Ni",
+            "No",
+            "K",
+            "swDNN Gflops",
+            "eff%",
+            "K40m Gflops",
+            "speedup",
+        ],
     );
     for (idx, shape, sw, k40) in &rows {
         t.row(vec![
@@ -51,8 +60,11 @@ fn main() {
 
     // The headline shape claim: speedup grows with filter size.
     let mean_speedup = |k: usize| -> f64 {
-        let v: Vec<f64> =
-            rows.iter().filter(|r| r.1.kr == k).map(|r| r.2 / r.3).collect();
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.1.kr == k)
+            .map(|r| r.2 / r.3)
+            .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
     println!(

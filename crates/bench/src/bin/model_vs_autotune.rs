@@ -15,9 +15,23 @@ use swdnn::tune::autotune;
 fn main() {
     let mut t = Table::new(
         "Model-guided selection vs exhaustive autotuning (one CG)",
-        &["Ni", "No", "best candidate", "best Gflops", "model choice", "model Gflops", "model/best"],
+        &[
+            "Ni",
+            "No",
+            "best candidate",
+            "best Gflops",
+            "model choice",
+            "model Gflops",
+            "model/best",
+        ],
     );
-    for (ni, no) in [(64usize, 64usize), (128, 128), (128, 256), (256, 256), (384, 384)] {
+    for (ni, no) in [
+        (64usize, 64usize),
+        (128, 128),
+        (128, 256),
+        (256, 256),
+        (384, 384),
+    ] {
         let shape = ConvShape::new(128, ni, no, 64, 64, 3, 3);
         let rep = autotune(&shape).expect("candidates exist");
         let best = rep.best().clone();

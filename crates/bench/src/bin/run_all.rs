@@ -20,10 +20,20 @@ const BINARIES: &[(&str, &str)] = &[
     ("scaling_cgs", "§III-D — multi-CG scaling"),
     ("ablation_regblock", "§V-B/C — register blocking (Eqs. 3-5)"),
     ("ablation_ldm", "§IV-A — LDM blocking / kernel reordering"),
-    ("training_pass", "extension — fwd + bwd passes at paper scale"),
-    ("model_vs_autotune", "§VII — model guidance vs exhaustive autotuning"),
+    (
+        "training_pass",
+        "extension — fwd + bwd passes at paper scale",
+    ),
+    (
+        "model_vs_autotune",
+        "§VII — model guidance vs exhaustive autotuning",
+    ),
     ("fig7_channels", "Fig. 7 — 101 channel configs vs K40m"),
     ("fig9_filters", "Fig. 9 — filter sizes vs K40m"),
+    (
+        "fault_campaign",
+        "extension — fault-rate sweep + degraded mesh",
+    ),
 ];
 
 fn main() {
@@ -58,7 +68,11 @@ fn main() {
         "\nAll artifacts attempted in {:.1}s; {} failures{}",
         started.elapsed().as_secs_f64(),
         failures.len(),
-        if failures.is_empty() { String::new() } else { format!(": {failures:?}") }
+        if failures.is_empty() {
+            String::new()
+        } else {
+            format!(": {failures:?}")
+        }
     );
     if !failures.is_empty() {
         std::process::exit(1);

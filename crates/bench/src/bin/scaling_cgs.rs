@@ -14,7 +14,15 @@ fn main() {
     let chip = ChipSpec::sw26010();
     let mut t = Table::new(
         "Multi-CG scaling (output-row partitioning)",
-        &["Ni", "No", "CGs", "wall Mcycles", "chip Gflops", "speedup", "parallel eff%"],
+        &[
+            "Ni",
+            "No",
+            "CGs",
+            "wall Mcycles",
+            "chip Gflops",
+            "speedup",
+            "parallel eff%",
+        ],
     );
 
     for (ni, no) in [(128, 128), (256, 256)] {

@@ -9,9 +9,7 @@
 //! penalty) that explains the curve's shape.
 
 use sw_bench::report::{f, Table};
-use sw_perfmodel::dma::{
-    DmaDirection, RationalFit, TABLE_II_GET, TABLE_II_PUT, TABLE_II_SIZES,
-};
+use sw_perfmodel::dma::{DmaDirection, RationalFit, TABLE_II_GET, TABLE_II_PUT, TABLE_II_SIZES};
 use sw_perfmodel::ChipSpec;
 use sw_sim::{LdmBuf, Mesh};
 
@@ -49,7 +47,15 @@ fn measure(dir: DmaDirection, block: usize, per_cpe_bytes: usize) -> f64 {
 fn main() {
     let mut t = Table::new(
         "Table II: Measured DMA Bandwidths (GB/s) on 1 CG",
-        &["Size(B)", "Get(paper)", "Get(sim)", "Get(fit)", "Put(paper)", "Put(sim)", "Put(fit)"],
+        &[
+            "Size(B)",
+            "Get(paper)",
+            "Get(sim)",
+            "Get(fit)",
+            "Put(paper)",
+            "Put(sim)",
+            "Put(fit)",
+        ],
     );
     let get_fit = RationalFit::get();
     let put_fit = RationalFit::put();

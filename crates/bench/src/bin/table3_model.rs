@@ -35,10 +35,50 @@ struct Row {
 
 fn main() {
     let rows = [
-        Row { plan: "img", b_b: 32, b_co: 16, ni: 128, no: 128, paper_rbw: 29.0, paper_mbw: 21.9, paper_mdl: 368.0, paper_meas: 350.0 },
-        Row { plan: "img", b_b: 32, b_co: 8, ni: 128, no: 256, paper_rbw: 23.2, paper_mbw: 18.2, paper_mdl: 397.0, paper_meas: 375.0 },
-        Row { plan: "batch", b_b: 0, b_co: 0, ni: 256, no: 256, paper_rbw: 27.1, paper_mbw: 21.2, paper_mdl: 422.0, paper_meas: 410.0 },
-        Row { plan: "batch", b_b: 0, b_co: 0, ni: 128, no: 384, paper_rbw: 25.7, paper_mbw: 21.2, paper_mdl: 407.0, paper_meas: 392.0 },
+        Row {
+            plan: "img",
+            b_b: 32,
+            b_co: 16,
+            ni: 128,
+            no: 128,
+            paper_rbw: 29.0,
+            paper_mbw: 21.9,
+            paper_mdl: 368.0,
+            paper_meas: 350.0,
+        },
+        Row {
+            plan: "img",
+            b_b: 32,
+            b_co: 8,
+            ni: 128,
+            no: 256,
+            paper_rbw: 23.2,
+            paper_mbw: 18.2,
+            paper_mdl: 397.0,
+            paper_meas: 375.0,
+        },
+        Row {
+            plan: "batch",
+            b_b: 0,
+            b_co: 0,
+            ni: 256,
+            no: 256,
+            paper_rbw: 27.1,
+            paper_mbw: 21.2,
+            paper_mdl: 422.0,
+            paper_meas: 410.0,
+        },
+        Row {
+            plan: "batch",
+            b_b: 0,
+            b_co: 0,
+            ni: 128,
+            no: 384,
+            paper_rbw: 25.7,
+            paper_mbw: 21.2,
+            paper_mdl: 407.0,
+            paper_meas: 392.0,
+        },
     ];
 
     let model = ConvPerfModel::default();
@@ -46,8 +86,20 @@ fn main() {
     let mut table = Table::new(
         "Table III: Performance Model Evaluation (one CG, Kc=3, B=128)",
         &[
-            "plan", "bB", "bCo", "Ni", "No", "RBW(paper)", "RBW(ours)", "MBW(paper)",
-            "MBW(ours)", "mdl(paper)", "mdl(ours)", "meas(paper)", "meas(ours)", "mdl/meas",
+            "plan",
+            "bB",
+            "bCo",
+            "Ni",
+            "No",
+            "RBW(paper)",
+            "RBW(ours)",
+            "MBW(paper)",
+            "MBW(ours)",
+            "mdl(paper)",
+            "mdl(ours)",
+            "meas(paper)",
+            "meas(ours)",
+            "mdl/meas",
         ],
     );
 
@@ -55,7 +107,10 @@ fn main() {
         let shape = ConvShape::new(128, r.ni, r.no, 64, 64, 3, 3);
         let (rbw_ours, est, meas) = match r.plan {
             "img" => {
-                let blk = Blocking { b_b: r.b_b, b_co: r.b_co };
+                let blk = Blocking {
+                    b_b: r.b_b,
+                    b_co: r.b_co,
+                };
                 let rbw_v = rbw::rbw_image_aware(r.b_b, r.b_co, r.no, t_cg);
                 let est = model.estimate(PlanKind::ImageSizeAware, blk, 128, r.ni, r.no, 3);
                 let plan = ImageAwarePlan::new(blk);
@@ -83,8 +138,16 @@ fn main() {
         let mbw_ours = meas.stats.totals.dma_get_bytes as f64 / secs / 1e9;
         table.row(vec![
             r.plan.to_string(),
-            if r.b_b > 0 { r.b_b.to_string() } else { "-".into() },
-            if r.b_co > 0 { r.b_co.to_string() } else { "-".into() },
+            if r.b_b > 0 {
+                r.b_b.to_string()
+            } else {
+                "-".into()
+            },
+            if r.b_co > 0 {
+                r.b_co.to_string()
+            } else {
+                "-".into()
+            },
             r.ni.to_string(),
             r.no.to_string(),
             f(r.paper_rbw, 1),

@@ -18,9 +18,7 @@ fn main() {
     let exec = Executor::new();
     let mut t = Table::new(
         "Training-step passes on the simulated SW26010 (per CG)",
-        &[
-            "Ni", "No", "pass", "plan", "Gflops/CG", "eff%", "ms/chip",
-        ],
+        &["Ni", "No", "pass", "plan", "Gflops/CG", "eff%", "ms/chip"],
     );
 
     let mut total_ms = [0.0f64; 3];
@@ -30,8 +28,7 @@ fn main() {
 
         // Forward.
         let fwd = exec.run_config(&shape).expect("forward");
-        let fwd_ms =
-            shape.flops() as f64 / (fwd.gflops_cg * chip.core_groups as f64 * 1e9) * 1e3;
+        let fwd_ms = shape.flops() as f64 / (fwd.gflops_cg * chip.core_groups as f64 * 1e9) * 1e3;
         total_ms[0] += fwd_ms;
         t.row(vec![
             ni.to_string(),

@@ -83,7 +83,9 @@ mod tests {
         assert_eq!(v.len(), 21);
         assert_eq!(v[0].ni, 64);
         assert_eq!(v[20].ni, 384);
-        assert!(v.iter().all(|s| s.ni == s.no && s.batch == 128 && s.kr == 3));
+        assert!(v
+            .iter()
+            .all(|s| s.ni == s.no && s.batch == 128 && s.kr == 3));
     }
 
     #[test]

@@ -21,8 +21,14 @@ fn usage() -> ! {
 
 fn parse_shape(args: &[String]) -> ConvShape {
     let get = |i: usize, d: usize| args.get(i).and_then(|s| s.parse().ok()).unwrap_or(d);
-    let ni = args.first().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-    let no = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+    let ni = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
+    let no = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
     let b = get(2, 128);
     let out = get(3, 64);
     let k = get(4, 3);
@@ -33,24 +39,43 @@ fn cmd_info() {
     let c = ChipSpec::sw26010();
     println!("SW26010 (simulated):");
     println!("  clock                {:.2} GHz", c.clock_ghz);
-    println!("  core groups          {} x ({} CPEs + 1 MPE)", c.core_groups, c.cpes_per_cg);
-    println!("  peak DP              {:.1} Gflops/CG, {:.2} Tflops/chip",
-        c.peak_gflops_per_cg(), c.peak_tflops_chip());
-    println!("  LDM                  {} KB/CPE ({} doubles)", c.ldm_bytes / 1024, c.ldm_doubles());
-    println!("  DDR3                 {:.0} GB/s per CG ({:.0} GB/s chip)",
-        c.ddr3_peak_gbps, c.total_mem_bw_gbps());
+    println!(
+        "  core groups          {} x ({} CPEs + 1 MPE)",
+        c.core_groups, c.cpes_per_cg
+    );
+    println!(
+        "  peak DP              {:.1} Gflops/CG, {:.2} Tflops/chip",
+        c.peak_gflops_per_cg(),
+        c.peak_tflops_chip()
+    );
+    println!(
+        "  LDM                  {} KB/CPE ({} doubles)",
+        c.ldm_bytes / 1024,
+        c.ldm_doubles()
+    );
+    println!(
+        "  DDR3                 {:.0} GB/s per CG ({:.0} GB/s chip)",
+        c.ddr3_peak_gbps,
+        c.total_mem_bw_gbps()
+    );
     println!("  gload path           {:.0} GB/s per CG", c.gload_gbps);
     println!("  LDM<->REG            {:.1} GB/s per CPE", c.ldm_reg_gbps);
 }
 
 fn cmd_run(shape: ConvShape) {
-    println!("config: {shape} ({:.2} Gflop/pass)", shape.flops() as f64 / 1e9);
+    println!(
+        "config: {shape} ({:.2} Gflop/pass)",
+        shape.flops() as f64 / 1e9
+    );
     let exec = Executor::new();
     match exec.run_config(&shape) {
         Ok(rep) => {
             let chip = ChipSpec::sw26010();
             println!("plan:        {}", rep.plan_name);
-            println!("blocking:    b_B={} b_Co={}", rep.blocking.b_b, rep.blocking.b_co);
+            println!(
+                "blocking:    b_B={} b_Co={}",
+                rep.blocking.b_b, rep.blocking.b_co
+            );
             println!(
                 "simulated:   {:.1} Gflops/CG = {:.1}% of peak ({} cycles{})",
                 rep.gflops_cg,
@@ -89,7 +114,10 @@ fn cmd_tune(shape: ConvShape) {
                     (false, true) => "  <= model",
                     _ => "",
                 };
-                println!("{:<40} {:>12} {:>10.1}{marks}", c.description, c.cycles, c.gflops);
+                println!(
+                    "{:<40} {:>12} {:>10.1}{marks}",
+                    c.description, c.cycles, c.gflops
+                );
             }
             if let Some(frac) = rep.model_fraction_of_best() {
                 println!("model attains {:.0}% of the empirical best", frac * 100.0);

@@ -3,9 +3,7 @@
 //! the performance model for different parameter configurations").
 
 use crate::error::SwdnnError;
-use crate::plans::{
-    BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, ReferencePlan,
-};
+use crate::plans::{BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, ReferencePlan};
 use sw_perfmodel::{select_plan, ChipSpec, PlanKind};
 use sw_tensor::{conv2d_bwd_data_ref, conv2d_bwd_filter_ref, ConvShape, Tensor4};
 
@@ -16,6 +14,8 @@ pub struct Conv2d {
     pub chip: ChipSpec,
     /// Force a specific plan instead of consulting the model.
     pub forced: Option<PlanKind>,
+    /// Fault-injection plan threaded into every mesh the plans build.
+    pub fault: Option<sw_sim::FaultPlan>,
 }
 
 impl Conv2d {
@@ -26,11 +26,30 @@ impl Conv2d {
                 got: format!("{shape}"),
             });
         }
-        Ok(Self { shape, chip: ChipSpec::sw26010(), forced: None })
+        Ok(Self {
+            shape,
+            chip: ChipSpec::sw26010(),
+            forced: None,
+            fault: None,
+        })
     }
 
     pub fn with_plan(mut self, kind: PlanKind) -> Self {
         self.forced = Some(kind);
+        self
+    }
+
+    /// Run on an explicit chip (e.g. a degraded 4×4 mesh after masking a
+    /// faulty CPE row/column). Plan selection and divisibility checks use
+    /// this chip's `mesh_dim`.
+    pub fn on_chip(mut self, chip: ChipSpec) -> Self {
+        self.chip = chip;
+        self
+    }
+
+    /// Inject faults into every simulated mesh this operator builds.
+    pub fn with_fault(mut self, fault: Option<sw_sim::FaultPlan>) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -55,7 +74,7 @@ impl Conv2d {
                 return plan;
             }
         }
-        Box::new(ReferencePlan::default())
+        Box::new(ReferencePlan { chip: self.chip })
     }
 
     fn instantiate(&self, kind: PlanKind) -> Box<dyn ConvPlan> {
@@ -66,7 +85,9 @@ impl Conv2d {
                     .filter(|c| c.kind == PlanKind::ImageSizeAware)
                     .map(|c| c.blocking)
                     .unwrap_or_else(|| self.fallback_blocking());
-                let plan = ImageAwarePlan::new(blocking);
+                let plan = ImageAwarePlan::new(blocking)
+                    .on_chip(self.chip)
+                    .with_fault(self.fault);
                 if plan.supports(&self.shape).is_ok() {
                     return Box::new(plan);
                 }
@@ -78,8 +99,9 @@ impl Conv2d {
                     if !self.shape.co.is_multiple_of(b_co) {
                         continue;
                     }
-                    let base =
-                        ImageAwarePlan::new(sw_perfmodel::Blocking { b_b: 32, b_co });
+                    let base = ImageAwarePlan::new(sw_perfmodel::Blocking { b_b: 32, b_co })
+                        .on_chip(self.chip)
+                        .with_fault(self.fault);
                     let mut b_ni = self.shape.ni;
                     while b_ni >= 8 {
                         if self.shape.ni.is_multiple_of(b_ni) && b_ni.is_multiple_of(8) {
@@ -93,8 +115,10 @@ impl Conv2d {
                 }
                 Box::new(plan)
             }
-            PlanKind::BatchSizeAware => Box::new(BatchAwarePlan::auto(&self.shape)),
-            PlanKind::DirectGload => Box::new(DirectPlan::default()),
+            PlanKind::BatchSizeAware => {
+                Box::new(BatchAwarePlan::auto_on(self.chip, &self.shape).with_fault(self.fault))
+            }
+            PlanKind::DirectGload => Box::new(DirectPlan { chip: self.chip }),
         }
     }
 
@@ -167,8 +191,7 @@ impl Conv2d {
         let bwd_shape = self.backward_data_shape();
 
         // Zero-pad the output gradient by (Kr-1, Kc-1) on every side.
-        let mut padded =
-            Tensor4::zeros(bwd_shape.input_shape(), sw_tensor::Layout::Nchw);
+        let mut padded = Tensor4::zeros(bwd_shape.input_shape(), sw_tensor::Layout::Nchw);
         for b in 0..s.batch {
             for no in 0..s.no {
                 for r in 0..s.ro {
@@ -180,8 +203,7 @@ impl Conv2d {
         }
         // Flip and transpose the filters: W'[ni][no][kr][kc] =
         // W[no][ni][Kr-1-kr][Kc-1-kc].
-        let mut flipped =
-            Tensor4::zeros(bwd_shape.filter_shape(), sw_tensor::Layout::Nchw);
+        let mut flipped = Tensor4::zeros(bwd_shape.filter_shape(), sw_tensor::Layout::Nchw);
         for no in 0..s.no {
             for ni in 0..s.ni {
                 for kr in 0..s.kr {
@@ -197,7 +219,12 @@ impl Conv2d {
                 }
             }
         }
-        let bwd_conv = Conv2d { shape: bwd_shape, chip: self.chip, forced: self.forced };
+        let bwd_conv = Conv2d {
+            shape: bwd_shape,
+            chip: self.chip,
+            forced: self.forced,
+            fault: self.fault,
+        };
         bwd_conv.forward(&padded, &flipped)
     }
 

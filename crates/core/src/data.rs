@@ -61,7 +61,11 @@ pub fn blobs(batch: usize, hw: usize, seed: u64) -> (Tensor4<f64>, Vec<usize>) {
     let sigma = hw as f64 / 6.0;
     for b in 0..batch {
         let class = rng.gen_range(0..2usize);
-        let cc = if class == 0 { hw as f64 * 0.25 } else { hw as f64 * 0.75 };
+        let cc = if class == 0 {
+            hw as f64 * 0.25
+        } else {
+            hw as f64 * 0.75
+        };
         let cr = hw as f64 * 0.5 + rng.gen_range(-1.0..1.0);
         let ccj = cc + rng.gen_range(-1.0..1.0);
         for r in 0..hw {
@@ -98,6 +102,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn quadrant_labels_match_bright_region() {
         let (x, y) = quadrants(16, 8, 1);
         for b in 0..16 {
@@ -128,6 +133,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn blobs_are_centered_in_the_right_half() {
         let (x, y) = blobs(8, 16, 3);
         for b in 0..8 {

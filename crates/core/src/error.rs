@@ -4,23 +4,42 @@ use sw_sim::SimError;
 use sw_tensor::ConvShape;
 
 /// Errors surfaced by swDNN operations.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so new failure classes (like the fault-injection variants added for the
+/// resilient executor) are not breaking changes.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum SwdnnError {
     /// The plan cannot run this shape on the 8×8 mesh (divisibility or
     /// LDM-capacity constraints); callers may fall back to another plan.
-    Unsupported { plan: &'static str, shape: ConvShape, reason: String },
+    Unsupported {
+        plan: &'static str,
+        shape: ConvShape,
+        reason: String,
+    },
     /// The underlying simulator rejected the execution.
     Sim(SimError),
     /// Operand shapes disagree with the layer configuration.
     ShapeMismatch { expected: String, got: String },
     /// No plan can run the shape at all.
     NoPlan(ConvShape),
+    /// A numeric guard tripped: non-finite values or a verified-execution
+    /// spot check diverging from the reference kernel.
+    Numeric { context: String, detail: String },
+    /// Every recovery attempt (retries and plan fallbacks) failed; `last`
+    /// is the simulator error that ended the final attempt.
+    FaultExhausted { attempts: u32, last: SimError },
 }
 
 impl std::fmt::Display for SwdnnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SwdnnError::Unsupported { plan, shape, reason } => {
+            SwdnnError::Unsupported {
+                plan,
+                shape,
+                reason,
+            } => {
                 write!(f, "plan {plan} cannot run {shape}: {reason}")
             }
             SwdnnError::Sim(e) => write!(f, "simulator: {e}"),
@@ -28,11 +47,27 @@ impl std::fmt::Display for SwdnnError {
                 write!(f, "shape mismatch: expected {expected}, got {got}")
             }
             SwdnnError::NoPlan(s) => write!(f, "no convolution plan supports {s}"),
+            SwdnnError::Numeric { context, detail } => {
+                write!(f, "numeric check failed in {context}: {detail}")
+            }
+            SwdnnError::FaultExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "all {attempts} recovery attempts failed; last error: {last}"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for SwdnnError {}
+impl std::error::Error for SwdnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwdnnError::Sim(e) | SwdnnError::FaultExhausted { last: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SimError> for SwdnnError {
     fn from(e: SimError) -> Self {
@@ -43,6 +78,7 @@ impl From<SimError> for SwdnnError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_is_informative() {
@@ -59,5 +95,50 @@ mod tests {
     fn sim_errors_convert() {
         let e: SwdnnError = SimError::Program("x".into()).into();
         assert!(matches!(e, SwdnnError::Sim(_)));
+    }
+
+    #[test]
+    fn numeric_display_names_the_layer() {
+        let e = SwdnnError::Numeric {
+            context: "layer 3 (conv)".into(),
+            detail: "output contains NaN".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("layer 3") && s.contains("NaN"), "{s}");
+    }
+
+    #[test]
+    fn fault_exhausted_display_reports_attempts_and_cause() {
+        let e = SwdnnError::FaultExhausted {
+            attempts: 3,
+            last: SimError::DmaFault {
+                row: 1,
+                col: 2,
+                attempts: 5,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("3 recovery attempts"), "{s}");
+        assert!(s.contains("CPE(1,2)"), "{s}");
+    }
+
+    #[test]
+    fn source_chains_to_the_sim_error() {
+        let sim = SimError::CpeOffline { row: 4, col: 4 };
+        let e = SwdnnError::Sim(sim.clone());
+        let src = e.source().expect("Sim must chain");
+        assert_eq!(src.to_string(), sim.to_string());
+
+        let e = SwdnnError::FaultExhausted {
+            attempts: 2,
+            last: sim.clone(),
+        };
+        assert_eq!(
+            e.source().expect("FaultExhausted must chain").to_string(),
+            sim.to_string()
+        );
+
+        let e = SwdnnError::NoPlan(ConvShape::new(1, 1, 1, 1, 1, 1, 1));
+        assert!(e.source().is_none());
     }
 }

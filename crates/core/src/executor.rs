@@ -41,7 +41,9 @@ pub struct Executor {
 
 impl Executor {
     pub fn new() -> Self {
-        Self { chip: ChipSpec::sw26010() }
+        Self {
+            chip: ChipSpec::sw26010(),
+        }
     }
 
     /// Measure one configuration on one core group (sampled timing).
@@ -102,18 +104,38 @@ impl Executor {
     /// Chip-level Gflops when the batch is split across `cgs` core groups
     /// (§III-D's partitioning; each CG runs the same plan on 1/cgs of the
     /// output rows).
-    pub fn run_multi_cg(&self, shape: &ConvShape, cgs: usize) -> Result<MultiCgConvReport, SwdnnError> {
-        assert!(cgs >= 1 && cgs <= self.chip.core_groups);
-        assert!(shape.ro.is_multiple_of(cgs), "output rows must split evenly across CGs");
-        let slice = ConvShape { ro: shape.ro / cgs, ..*shape };
+    pub fn run_multi_cg(
+        &self,
+        shape: &ConvShape,
+        cgs: usize,
+    ) -> Result<MultiCgConvReport, SwdnnError> {
+        if cgs < 1 || cgs > self.chip.core_groups {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("between 1 and {} core groups", self.chip.core_groups),
+                got: format!("{cgs} core groups"),
+            });
+        }
+        if !shape.ro.is_multiple_of(cgs) {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("output rows divisible by {cgs} core groups"),
+                got: format!("ro = {}", shape.ro),
+            });
+        }
+        let slice = ConvShape {
+            ro: shape.ro / cgs,
+            ..*shape
+        };
         let conv = Conv2d::new(slice)?;
         let plan = conv.plan();
         let timing = plan.time_full_shape(&slice)?;
         let rep = run_multi_cg(cgs, |_| timing.stats);
-        let gflops = shape.flops() as f64
-            / (rep.wall_cycles as f64 / (self.chip.clock_ghz * 1e9))
-            / 1e9;
-        Ok(MultiCgConvReport { cgs, wall_cycles: rep.wall_cycles, gflops_chip: gflops })
+        let gflops =
+            shape.flops() as f64 / (rep.wall_cycles as f64 / (self.chip.clock_ghz * 1e9)) / 1e9;
+        Ok(MultiCgConvReport {
+            cgs,
+            wall_cycles: rep.wall_cycles,
+            gflops_chip: gflops,
+        })
     }
 }
 
@@ -153,6 +175,25 @@ mod tests {
             slow.gflops_cg,
             fast.gflops_cg
         );
+    }
+
+    #[test]
+    fn invalid_cg_splits_are_errors_not_panics() {
+        let e = Executor::new();
+        let shape = small();
+        assert!(matches!(
+            e.run_multi_cg(&shape, 0),
+            Err(SwdnnError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            e.run_multi_cg(&shape, e.chip.core_groups + 1),
+            Err(SwdnnError::ShapeMismatch { .. })
+        ));
+        // ro = 16 does not split across 3 CGs.
+        assert!(matches!(
+            e.run_multi_cg(&shape, 3),
+            Err(SwdnnError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

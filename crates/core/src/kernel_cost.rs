@@ -36,7 +36,11 @@ pub fn tile_cycles(n: usize, reordered: bool) -> u64 {
         return c;
     }
     let spec = KernelSpec::new(n);
-    let prog = if reordered { reordered_gemm_kernel(spec) } else { naive_gemm_kernel(spec) };
+    let prog = if reordered {
+        reordered_gemm_kernel(spec)
+    } else {
+        naive_gemm_kernel(spec)
+    };
     let cycles = DualPipe::default().run(&prog).cycles;
     cache().lock().insert((n, reordered), cycles);
     cycles

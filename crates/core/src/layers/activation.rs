@@ -114,10 +114,13 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, d_out: &Tensor4<f64>) -> Result<Tensor4<f64>, SwdnnError> {
-        let mask = self.mask.as_ref().ok_or_else(|| SwdnnError::ShapeMismatch {
-            expected: "forward before backward".into(),
-            got: "no mask".into(),
-        })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| SwdnnError::ShapeMismatch {
+                expected: "forward before backward".into(),
+                got: "no mask".into(),
+            })?;
         if mask.shape() != d_out.shape() {
             return Err(SwdnnError::ShapeMismatch {
                 expected: format!("{:?}", mask.shape()),

@@ -115,10 +115,13 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, d_out: &Tensor4<f64>) -> Result<Tensor4<f64>, SwdnnError> {
-        let xhat = self.cache_xhat.as_ref().ok_or_else(|| SwdnnError::ShapeMismatch {
-            expected: "forward before backward".into(),
-            got: "no cache".into(),
-        })?;
+        let xhat = self
+            .cache_xhat
+            .as_ref()
+            .ok_or_else(|| SwdnnError::ShapeMismatch {
+                expected: "forward before backward".into(),
+                got: "no cache".into(),
+            })?;
         let s = xhat.shape();
         self.check(d_out.shape())?;
         let n = (s.d0 * s.d2 * s.d3) as f64;
@@ -251,7 +254,7 @@ mod tests {
         let base = loss(&x);
         for probe in [(0, 0, 0, 0), (1, 1, 1, 1), (2, 0, 1, 0)] {
             let mut bumped = x.clone();
-            bumped[probe] = bumped[probe] + eps;
+            bumped[probe] += eps;
             let fd = (loss(&bumped) - base) / eps;
             assert!(
                 (fd - dx[probe]).abs() < 1e-4,

@@ -76,10 +76,13 @@ impl Layer for ConvGeneralLayer {
     }
 
     fn backward(&mut self, d_out: &Tensor4<f64>) -> Result<Tensor4<f64>, SwdnnError> {
-        let input = self.cached_input.as_ref().ok_or_else(|| SwdnnError::ShapeMismatch {
-            expected: "forward before backward".into(),
-            got: "no cached input".into(),
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| SwdnnError::ShapeMismatch {
+                expected: "forward before backward".into(),
+                got: "no cached input".into(),
+            })?;
         let dw = conv2d_general_bwd_filter(&self.geom, input, d_out);
         for i in 0..dw.data().len() {
             self.d_weights.data_mut()[i] += dw.data()[i];
@@ -94,7 +97,12 @@ impl Layer for ConvGeneralLayer {
                 }
             }
         }
-        Ok(conv2d_general_bwd_data(&self.geom, input.shape(), d_out, &self.weights))
+        Ok(conv2d_general_bwd_data(
+            &self.geom,
+            input.shape(),
+            d_out,
+            &self.weights,
+        ))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {

@@ -74,15 +74,20 @@ impl Layer for Conv2dLayer {
     }
 
     fn backward(&mut self, d_out: &Tensor4<f64>) -> Result<Tensor4<f64>, SwdnnError> {
-        let input = self.cached_input.as_ref().ok_or_else(|| SwdnnError::ShapeMismatch {
-            expected: "forward before backward".into(),
-            got: "no cached input".into(),
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| SwdnnError::ShapeMismatch {
+                expected: "forward before backward".into(),
+                got: "no cached input".into(),
+            })?;
         let shape = self.conv.shape;
         // Filter gradient: on the simulated chip when the mesh supports the
         // shape (the dedicated BwdFilterPlan), host reference otherwise.
         let dw = if self.engine == Engine::Simulated
-            && crate::plans::BwdFilterPlan::auto(&shape).supports(&shape).is_ok()
+            && crate::plans::BwdFilterPlan::auto(&shape)
+                .supports(&shape)
+                .is_ok()
         {
             let (dw, timing) = self.conv.backward_filter_on_chip(input, d_out)?;
             self.simulated_cycles += timing.cycles;
@@ -162,14 +167,17 @@ mod tests {
         let base: f64 = layer.forward(&x).unwrap().sum_f64();
         // Weight (0,0,0,0).
         let analytic = layer.d_weights.get(0, 0, 0, 0);
-        layer.weights.set(0, 0, 0, 0, layer.weights.get(0, 0, 0, 0) + eps);
+        layer
+            .weights
+            .set(0, 0, 0, 0, layer.weights.get(0, 0, 0, 0) + eps);
         let bumped = layer.forward(&x).unwrap().sum_f64();
         let fd = (bumped - base) / eps;
-        assert!((fd - analytic).abs() < 1e-4, "weight grad fd {fd} vs {analytic}");
-        // Bias 0 gradient is the number of output positions.
         assert!(
-            (layer.d_bias[0] - (shape.batch * shape.ro * shape.co) as f64).abs() < 1e-9
+            (fd - analytic).abs() < 1e-4,
+            "weight grad fd {fd} vs {analytic}"
         );
+        // Bias 0 gradient is the number of output positions.
+        assert!((layer.d_bias[0] - (shape.batch * shape.ro * shape.co) as f64).abs() < 1e-9);
     }
 
     #[test]

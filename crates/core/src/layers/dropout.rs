@@ -20,8 +20,16 @@ pub struct Dropout {
 
 impl Dropout {
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Self { p, training: true, rng: StdRng::seed_from_u64(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Self {
+            p,
+            training: true,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 
     pub fn eval_mode(mut self) -> Self {
@@ -119,7 +127,10 @@ mod tests {
         let x = Tensor4::full(Shape4::new(2, 2, 4, 4), Layout::Nchw, 1.0);
         let mut a = Dropout::new(0.5, 42);
         let mut b = Dropout::new(0.5, 42);
-        assert_eq!(a.forward(&x).unwrap().max_abs_diff(&b.forward(&x).unwrap()), 0.0);
+        assert_eq!(
+            a.forward(&x).unwrap().max_abs_diff(&b.forward(&x).unwrap()),
+            0.0
+        );
     }
 
     #[test]

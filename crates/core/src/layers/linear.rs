@@ -30,7 +30,9 @@ impl Linear {
         Self {
             in_features,
             out_features,
-            w: (0..in_features * out_features).map(|_| dist.sample(&mut rng)).collect(),
+            w: (0..in_features * out_features)
+                .map(|_| dist.sample(&mut rng))
+                .collect(),
             b: vec![0.0; out_features],
             dw: vec![0.0; in_features * out_features],
             db: vec![0.0; out_features],
@@ -72,7 +74,10 @@ impl Layer for Linear {
     fn forward(&mut self, input: &Tensor4<f64>) -> Result<Tensor4<f64>, SwdnnError> {
         let flat = self.flatten(input)?;
         let batch = flat.shape().d0;
-        let mut out = Tensor4::zeros(Shape4::new(batch, self.out_features, 1, 1), sw_tensor::Layout::Nchw);
+        let mut out = Tensor4::zeros(
+            Shape4::new(batch, self.out_features, 1, 1),
+            sw_tensor::Layout::Nchw,
+        );
         for b in 0..batch {
             for o in 0..self.out_features {
                 let mut acc = self.b[o];
@@ -88,10 +93,13 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, d_out: &Tensor4<f64>) -> Result<Tensor4<f64>, SwdnnError> {
-        let flat = self.cached.as_ref().ok_or_else(|| SwdnnError::ShapeMismatch {
-            expected: "forward before backward".into(),
-            got: "no cache".into(),
-        })?;
+        let flat = self
+            .cached
+            .as_ref()
+            .ok_or_else(|| SwdnnError::ShapeMismatch {
+                expected: "forward before backward".into(),
+                got: "no cache".into(),
+            })?;
         let in_shape = self.cached_shape.unwrap();
         let batch = flat.shape().d0;
         let mut d_flat = vec![0.0; batch * self.in_features];

@@ -16,6 +16,7 @@ impl SoftmaxCrossEntropy {
     }
 
     /// Mean cross-entropy loss over the batch; logits are `(B, C, 1, 1)`.
+    #[allow(clippy::needless_range_loop)] // b indexes both logits and labels
     pub fn forward(&mut self, logits: &Tensor4<f64>, labels: &[usize]) -> Result<f64, SwdnnError> {
         let s = logits.shape();
         if labels.len() != s.d0 {
@@ -53,11 +54,15 @@ impl SoftmaxCrossEntropy {
     }
 
     /// Gradient of the mean loss w.r.t. the logits.
+    #[allow(clippy::needless_range_loop)] // b indexes both probs and labels
     pub fn backward(&mut self, labels: &[usize]) -> Result<Tensor4<f64>, SwdnnError> {
-        let probs = self.probs.as_ref().ok_or_else(|| SwdnnError::ShapeMismatch {
-            expected: "forward before backward".into(),
-            got: "no cache".into(),
-        })?;
+        let probs = self
+            .probs
+            .as_ref()
+            .ok_or_else(|| SwdnnError::ShapeMismatch {
+                expected: "forward before backward".into(),
+                got: "no cache".into(),
+            })?;
         let s = probs.shape();
         let mut grad = probs.clone();
         let inv_b = 1.0 / s.d0 as f64;

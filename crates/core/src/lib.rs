@@ -40,6 +40,7 @@ pub mod layers;
 pub mod network;
 pub mod optim;
 pub mod plans;
+pub mod resilient;
 pub mod tune;
 pub mod zoo;
 
@@ -48,6 +49,8 @@ pub use error::SwdnnError;
 pub use executor::{ConvReport, Executor};
 pub use optim::Optimizer;
 pub use plans::{BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, ReferencePlan};
+pub use resilient::{ResilientExecutor, ResilientReport, VerifyPolicy};
+pub use sw_sim::{FaultPlan, RetryPolicy};
 
 pub use sw_perfmodel::{ChipSpec, PlanKind};
 pub use sw_tensor::{ConvShape, Layout, Shape4, Tensor4};

@@ -35,27 +35,54 @@ pub struct BatchAwarePlan {
     pub b_co: usize,
     /// §VI kernel selection (ablation switch).
     pub reordered_kernel: bool,
+    /// Fault-injection plan applied to the mesh this plan runs on.
+    pub fault: Option<sw_sim::FaultPlan>,
 }
 
 impl BatchAwarePlan {
     pub fn new(b_co: usize) -> Self {
-        Self { chip: ChipSpec::sw26010(), b_co, reordered_kernel: true }
+        Self {
+            chip: ChipSpec::sw26010(),
+            b_co,
+            reordered_kernel: true,
+            fault: None,
+        }
     }
 
     /// Pick the largest power-of-two `b_co` dividing `Co` that fits LDM.
     pub fn auto(shape: &ConvShape) -> Self {
-        let chip = ChipSpec::sw26010();
+        Self::auto_on(ChipSpec::sw26010(), shape)
+    }
+
+    /// [`BatchAwarePlan::auto`] on an explicit (possibly degraded) chip.
+    pub fn auto_on(chip: ChipSpec, shape: &ConvShape) -> Self {
         let mut b_co = 16usize;
         while b_co > 1 {
             if shape.co.is_multiple_of(b_co) {
-                let plan = Self { chip, b_co, reordered_kernel: true };
+                let plan = Self {
+                    chip,
+                    b_co,
+                    reordered_kernel: true,
+                    fault: None,
+                };
                 if plan.ldm_doubles(shape) <= chip.ldm_doubles() {
                     return plan;
                 }
             }
             b_co /= 2;
         }
-        Self { chip, b_co: 1, reordered_kernel: true }
+        Self {
+            chip,
+            b_co: 1,
+            reordered_kernel: true,
+            fault: None,
+        }
+    }
+
+    /// Inject faults into the mesh this plan runs on.
+    pub fn with_fault(mut self, fault: Option<sw_sim::FaultPlan>) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Per-CPE LDM footprint in doubles: double-buffered input column,
@@ -87,7 +114,11 @@ impl ConvPlan for BatchAwarePlan {
 
     fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {
         let fail = |reason: String| {
-            Err(SwdnnError::Unsupported { plan: "batch_size_aware", shape: *shape, reason })
+            Err(SwdnnError::Unsupported {
+                plan: "batch_size_aware",
+                shape: *shape,
+                reason,
+            })
         };
         let dim = self.chip.mesh_dim;
         if !shape.ni.is_multiple_of(dim) || !shape.no.is_multiple_of(dim) {
@@ -97,11 +128,17 @@ impl ConvPlan for BatchAwarePlan {
             return fail(format!("batch must be a multiple of {dim}"));
         }
         if !shape.co.is_multiple_of(self.b_co) {
-            return fail(format!("Co {} not divisible by b_co {}", shape.co, self.b_co));
+            return fail(format!(
+                "Co {} not divisible by b_co {}",
+                shape.co, self.b_co
+            ));
         }
         let need = self.ldm_doubles(shape);
         if need > self.chip.ldm_doubles() {
-            return fail(format!("needs {need} LDM doubles > {}", self.chip.ldm_doubles()));
+            return fail(format!(
+                "needs {need} LDM doubles > {}",
+                self.chip.ldm_doubles()
+            ));
         }
         Ok(())
     }
@@ -142,6 +179,9 @@ impl ConvPlan for BatchAwarePlan {
             di_h: [None; 2],
             w_h: None,
         });
+        if let Some(fp) = self.fault {
+            mesh.inject_faults(fp);
+        }
 
         let di_len = ni8 * b8;
         let w_len = kc_n * ni8 * no8;
@@ -164,7 +204,8 @@ impl ConvPlan for BatchAwarePlan {
             // the contiguous B-double run of each (ni, pixel).
             let src_off = ((ctx.row * ni8) * ri + r_i) * ci_n * batch + ci * batch + ctx.col * b8;
             ctx.dma_block_hint(8 * batch);
-            let h = ctx.dma_get_strided(s.di[p], 0, in_data, src_off, ni8, ri * ci_n * batch, b8)?;
+            let h =
+                ctx.dma_get_strided(s.di[p], 0, in_data, src_off, ni8, ri * ci_n * batch, b8)?;
             s.di_h[p] = Some(h);
             Ok(())
         };
@@ -249,7 +290,8 @@ impl ConvPlan for BatchAwarePlan {
                     let mut last = None;
                     for no_l in 0..no8 {
                         let n_o = ctx.row * no8 + no_l;
-                        let dst_off = (n_o * ro_n + r_o) * co_n * batch + co0 * batch + ctx.col * b8;
+                        let dst_off =
+                            (n_o * ro_n + r_o) * co_n * batch + co0 * batch + ctx.col * b8;
                         ctx.dma_block_hint(8 * batch);
                         let h = ctx.dma_put_scatter(
                             s.c,
@@ -275,7 +317,12 @@ impl ConvPlan for BatchAwarePlan {
         let stats = mesh.stats();
         Ok(ConvRun {
             output,
-            timing: PlanTiming { cycles: stats.cycles, stats, sampled: false, modeled: false },
+            timing: PlanTiming {
+                cycles: stats.cycles,
+                stats,
+                sampled: false,
+                modeled: false,
+            },
         })
     }
 
@@ -305,8 +352,8 @@ impl ConvPlan for BatchAwarePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sw_tensor::init::{lattice_tensor, seeded_tensor};
     use sw_tensor::conv2d_ref;
+    use sw_tensor::init::{lattice_tensor, seeded_tensor};
 
     fn small_shape() -> ConvShape {
         ConvShape::new(16, 8, 8, 4, 8, 3, 3)
@@ -380,6 +427,11 @@ mod tests {
         };
         let sampled = plan.time_full_shape(&shape).unwrap();
         let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
-        assert!(rel < 0.05, "sampled {} vs full {} ({rel:.3})", sampled.cycles, full.cycles);
+        assert!(
+            rel < 0.05,
+            "sampled {} vs full {} ({rel:.3})",
+            sampled.cycles,
+            full.cycles
+        );
     }
 }

@@ -51,7 +51,12 @@ struct Slot {
 
 impl BwdFilterPlan {
     pub fn new(b_b: usize, b_co: usize) -> Self {
-        Self { chip: ChipSpec::sw26010(), b_b, b_co, reordered_kernel: true }
+        Self {
+            chip: ChipSpec::sw26010(),
+            b_b,
+            b_co,
+            reordered_kernel: true,
+        }
     }
 
     /// Largest default blocking that fits the paper-scale shapes.
@@ -79,21 +84,34 @@ impl BwdFilterPlan {
 
     pub fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {
         let fail = |reason: String| {
-            Err(SwdnnError::Unsupported { plan: "bwd_filter", shape: *shape, reason })
+            Err(SwdnnError::Unsupported {
+                plan: "bwd_filter",
+                shape: *shape,
+                reason,
+            })
         };
         let dim = self.chip.mesh_dim;
         if !shape.ni.is_multiple_of(dim) || !shape.no.is_multiple_of(dim) {
             return fail(format!("Ni and No must be multiples of {dim}"));
         }
         if !self.b_b.is_multiple_of(4 * dim) || !shape.batch.is_multiple_of(self.b_b) {
-            return fail(format!("batch {} not tileable by b_B {}", shape.batch, self.b_b));
+            return fail(format!(
+                "batch {} not tileable by b_B {}",
+                shape.batch, self.b_b
+            ));
         }
         if !shape.co.is_multiple_of(self.b_co) {
-            return fail(format!("Co {} not divisible by b_co {}", shape.co, self.b_co));
+            return fail(format!(
+                "Co {} not divisible by b_co {}",
+                shape.co, self.b_co
+            ));
         }
         let need = self.ldm_doubles(shape);
         if need > self.chip.ldm_doubles() {
-            return fail(format!("needs {need} LDM doubles > {}", self.chip.ldm_doubles()));
+            return fail(format!(
+                "needs {need} LDM doubles > {}",
+                self.chip.ldm_doubles()
+            ));
         }
         Ok(())
     }
@@ -295,7 +313,13 @@ impl BwdFilterPlan {
             for kc in 0..kc_n {
                 for n_o in 0..no {
                     for n_i in 0..ni {
-                        dw.set(n_o, n_i, kr, kc, dw_flat[((kr * kc_n + kc) * no + n_o) * ni + n_i]);
+                        dw.set(
+                            n_o,
+                            n_i,
+                            kr,
+                            kc,
+                            dw_flat[((kr * kc_n + kc) * no + n_o) * ni + n_i],
+                        );
                     }
                 }
             }
@@ -303,7 +327,12 @@ impl BwdFilterPlan {
         let stats = mesh.stats();
         Ok((
             dw,
-            PlanTiming { cycles: stats.cycles, stats, sampled: false, modeled: false },
+            PlanTiming {
+                cycles: stats.cycles,
+                stats,
+                sampled: false,
+                modeled: false,
+            },
         ))
     }
 
@@ -345,7 +374,9 @@ mod tests {
         let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 301);
         let d_out = lattice_tensor(shape.output_shape(), Layout::Nchw, 302);
         let expect = conv2d_bwd_filter_ref(shape, &input, &d_out);
-        let (dw, timing) = BwdFilterPlan::new(32, 4).run(&shape, &input, &d_out).unwrap();
+        let (dw, timing) = BwdFilterPlan::new(32, 4)
+            .run(&shape, &input, &d_out)
+            .unwrap();
         assert_eq!(dw.max_abs_diff(&expect), 0.0);
         assert!(timing.cycles > 0);
     }
@@ -356,7 +387,9 @@ mod tests {
         let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 303);
         let d_out = seeded_tensor(shape.output_shape(), Layout::Nchw, 304);
         let expect = conv2d_bwd_filter_ref(shape, &input, &d_out);
-        let (dw, _) = BwdFilterPlan::new(32, 4).run(&shape, &input, &d_out).unwrap();
+        let (dw, _) = BwdFilterPlan::new(32, 4)
+            .run(&shape, &input, &d_out)
+            .unwrap();
         assert!(dw.approx_eq(&expect, 1e-9));
     }
 
@@ -364,7 +397,11 @@ mod tests {
     fn auto_blocking_supports_paper_scale() {
         let shape = ConvShape::new(128, 128, 128, 64, 64, 3, 3);
         let plan = BwdFilterPlan::auto(&shape);
-        assert!(plan.supports(&shape).is_ok(), "footprint {}", plan.ldm_doubles(&shape));
+        assert!(
+            plan.supports(&shape).is_ok(),
+            "footprint {}",
+            plan.ldm_doubles(&shape)
+        );
     }
 
     #[test]
@@ -378,14 +415,25 @@ mod tests {
         };
         let sampled = plan.time_full_shape(&shape).unwrap();
         let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
-        assert!(rel < 0.06, "sampled {} vs full {} ({rel:.3})", sampled.cycles, full.cycles);
+        assert!(
+            rel < 0.06,
+            "sampled {} vs full {} ({rel:.3})",
+            sampled.cycles,
+            full.cycles
+        );
     }
 
     #[test]
     fn rejects_bad_shapes() {
         let plan = BwdFilterPlan::new(32, 4);
-        assert!(plan.supports(&ConvShape::new(31, 8, 8, 4, 8, 3, 3)).is_err());
-        assert!(plan.supports(&ConvShape::new(32, 7, 8, 4, 8, 3, 3)).is_err());
-        assert!(plan.supports(&ConvShape::new(32, 8, 8, 4, 7, 3, 3)).is_err());
+        assert!(plan
+            .supports(&ConvShape::new(31, 8, 8, 4, 8, 3, 3))
+            .is_err());
+        assert!(plan
+            .supports(&ConvShape::new(32, 7, 8, 4, 8, 3, 3))
+            .is_err());
+        assert!(plan
+            .supports(&ConvShape::new(32, 8, 8, 4, 7, 3, 3))
+            .is_err());
     }
 }

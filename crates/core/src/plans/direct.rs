@@ -75,8 +75,15 @@ impl ConvPlan for DirectPlan {
         let filter = filter.to_layout(Layout::Nchw);
         let in_data = input.data();
         let w_data = filter.data();
-        let (b_n, no, ro, co, ni, kr_n, kc_n) =
-            (shape.batch, shape.no, shape.ro, shape.co, shape.ni, shape.kr, shape.kc);
+        let (b_n, no, ro, co, ni, kr_n, kc_n) = (
+            shape.batch,
+            shape.no,
+            shape.ro,
+            shape.co,
+            shape.ni,
+            shape.kr,
+            shape.kc,
+        );
         let (ri, ci) = (shape.ri(), shape.ci());
         let outputs = b_n * no * ro * co;
         let g = gload_cycles(&self.chip);
@@ -122,7 +129,12 @@ impl ConvPlan for DirectPlan {
         let stats = mesh.stats();
         Ok(ConvRun {
             output,
-            timing: PlanTiming { cycles: stats.cycles, stats, sampled: false, modeled: false },
+            timing: PlanTiming {
+                cycles: stats.cycles,
+                stats,
+                sampled: false,
+                modeled: false,
+            },
         })
     }
 
@@ -140,7 +152,12 @@ impl ConvPlan for DirectPlan {
                 ..Default::default()
             },
         };
-        Ok(PlanTiming { cycles, stats, sampled: true, modeled: false })
+        Ok(PlanTiming {
+            cycles,
+            stats,
+            sampled: true,
+            modeled: false,
+        })
     }
 }
 
@@ -163,7 +180,11 @@ mod tests {
         let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 32);
         let expect = conv2d_ref(shape, &input, &filter);
         let run = DirectPlan::default().run(&shape, &input, &filter).unwrap();
-        assert_eq!(run.output.max_abs_diff(&expect), 0.0, "same summation order => exact");
+        assert_eq!(
+            run.output.max_abs_diff(&expect),
+            0.0,
+            "same summation order => exact"
+        );
     }
 
     #[test]
@@ -176,7 +197,11 @@ mod tests {
         let analytic = plan.analytic_cycles(&shape);
         // The simulation adds only the fixed superstep barriers.
         let slack = run.timing.cycles - analytic;
-        assert!(slack <= 64, "analytic {analytic} vs simulated {}", run.timing.cycles);
+        assert!(
+            slack <= 64,
+            "analytic {analytic} vs simulated {}",
+            run.timing.cycles
+        );
     }
 
     #[test]

@@ -44,7 +44,13 @@ pub struct GemmBlock {
 impl GemmBlock {
     /// A dense block: stride equals width.
     pub fn dense(m8: usize, n8: usize, k8: usize, reordered: bool) -> Self {
-        Self { m8, n8, k8, c_stride: n8, reordered }
+        Self {
+            m8,
+            n8,
+            k8,
+            c_stride: n8,
+            reordered,
+        }
     }
 }
 
@@ -89,8 +95,16 @@ where
         // Superstep 2: everyone receives (or reuses its own block) and
         // accumulates.
         mesh.superstep(|ctx, s| {
-            let a = if ctx.col == r { pack_a(ctx, s) } else { ctx.recv_row()? };
-            let b = if ctx.row == r { pack_b(ctx, s) } else { ctx.recv_col()? };
+            let a = if ctx.col == r {
+                pack_a(ctx, s)
+            } else {
+                ctx.recv_row()?
+            };
+            let b = if ctx.row == r {
+                pack_b(ctx, s)
+            } else {
+                ctx.recv_col()?
+            };
             if a.len() != blk.k8 * blk.m8 || b.len() != blk.k8 * blk.n8 {
                 return Err(SimError::Program(format!(
                     "GEMM block mismatch at CPE({},{}): a={} b={} expected {}x{} {}x{}",
@@ -173,8 +187,12 @@ mod tests {
         let (m8, n8, k8) = (4, 8, 2);
         let (big_m, big_n, big_k) = (m8 * 8, n8 * 8, k8 * 8);
         // Global operands, k-major.
-        let a: Vec<f64> = (0..big_k * big_m).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
-        let b: Vec<f64> = (0..big_k * big_n).map(|i| ((i * 5 + 1) % 13) as f64 - 6.0).collect();
+        let a: Vec<f64> = (0..big_k * big_m)
+            .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+            .collect();
+        let b: Vec<f64> = (0..big_k * big_n)
+            .map(|i| ((i * 5 + 1) % 13) as f64 - 6.0)
+            .collect();
         let expect = host_gemm(&a, &b, big_m, big_n, big_k);
 
         let mut mesh = Mesh::new(ChipSpec::sw26010(), |row, col| {
@@ -192,7 +210,11 @@ mod tests {
                     bb.push(b[(row * k8 + k) * big_n + col * n8 + n]);
                 }
             }
-            St { a: ab, b: bb, c: LdmBuf { offset: 0, len: 0 } }
+            St {
+                a: ab,
+                b: bb,
+                c: LdmBuf { offset: 0, len: 0 },
+            }
         });
         mesh.superstep(|ctx, s| {
             s.c = ctx.ldm_alloc(m8 * n8)?;
@@ -250,7 +272,10 @@ mod tests {
         .unwrap();
         let st = mesh.stats();
         // 64 CPEs x 8 rounds of (4x16 over k8=8) = 2*4*16*8 flops each.
-        assert_eq!(st.totals.flops, 64 * 8 * kernel_cost::block_flops(m8, n8, k8));
+        assert_eq!(
+            st.totals.flops,
+            64 * 8 * kernel_cost::block_flops(m8, n8, k8)
+        );
         assert!(st.totals.bus_vectors_sent > 0);
         assert!(st.totals.bus_vectors_received > 0);
         // Every C value = sum over K=64 of 1*2.

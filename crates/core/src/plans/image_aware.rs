@@ -51,6 +51,8 @@ pub struct ImageAwarePlan {
     /// Double-buffer DMA against compute (§IV-A). `false` fetches each
     /// tile synchronously — the ablation that shows why the paper bothers.
     pub double_buffer: bool,
+    /// Fault-injection plan applied to the mesh this plan runs on.
+    pub fault: Option<sw_sim::FaultPlan>,
 }
 
 impl ImageAwarePlan {
@@ -61,6 +63,7 @@ impl ImageAwarePlan {
             b_ni: None,
             reordered_kernel: true,
             double_buffer: true,
+            fault: None,
         }
     }
 
@@ -75,13 +78,28 @@ impl ImageAwarePlan {
         self
     }
 
+    /// Run on a different (e.g. degraded) chip.
+    pub fn on_chip(mut self, chip: ChipSpec) -> Self {
+        self.chip = chip;
+        self
+    }
+
+    /// Inject faults into the mesh this plan runs on.
+    pub fn with_fault(mut self, fault: Option<sw_sim::FaultPlan>) -> Self {
+        self.fault = fault;
+        self
+    }
+
     fn effective_b_ni(&self, shape: &ConvShape) -> usize {
         self.b_ni.unwrap_or(shape.ni).min(shape.ni)
     }
 
     /// Per-CPE LDM footprint in doubles with this plan's blocking.
     pub fn ldm_doubles(&self, shape: &ConvShape) -> usize {
-        let blocked = ConvShape { ni: self.effective_b_ni(shape), ..*shape };
+        let blocked = ConvShape {
+            ni: self.effective_b_ni(shape),
+            ..*shape
+        };
         ldm_doubles_image_aware(&blocked, self.blocking)
     }
 
@@ -133,7 +151,11 @@ impl ConvPlan for ImageAwarePlan {
 
     fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {
         let fail = |reason: String| {
-            Err(SwdnnError::Unsupported { plan: "image_size_aware", shape: *shape, reason })
+            Err(SwdnnError::Unsupported {
+                plan: "image_size_aware",
+                shape: *shape,
+                reason,
+            })
         };
         let Blocking { b_b, b_co } = self.blocking;
         let dim = self.chip.mesh_dim;
@@ -158,7 +180,10 @@ impl ConvPlan for ImageAwarePlan {
         }
         let need = self.ldm_doubles(shape);
         if need > self.chip.ldm_doubles() {
-            return fail(format!("needs {need} LDM doubles > {}", self.chip.ldm_doubles()));
+            return fail(format!(
+                "needs {need} LDM doubles > {}",
+                self.chip.ldm_doubles()
+            ));
         }
         Ok(())
     }
@@ -202,6 +227,9 @@ impl ConvPlan for ImageAwarePlan {
             di_h: [None; 2],
             w_h: [None; 2],
         });
+        if let Some(fp) = self.fault {
+            mesh.inject_faults(fp);
+        }
 
         // Setup superstep: allocate LDM tiles. The filter buffer holds one
         // (kr, kc) slice (Algorithm 1 line 7 re-fetches W inside the filter
@@ -226,13 +254,13 @@ impl ConvPlan for ImageAwarePlan {
                     // `ni_blocks` passes, each keeping b_Ni channels in LDM
                     // and accumulating into the resident output tile.
                     for ni_blk in 0..ni_blocks {
-                    for kr in 0..kr_n {
-                        let didx = ni_blk * kr_n + kr;
-                        let di_par = didx % 2;
-                        // Input-window superstep: prefetch the next
-                        // (ni-block, kr) window, wait for the current one.
-                        mesh.superstep(|ctx, s| {
-                            let issue_di = |ctx: &mut sw_sim::CpeCtx<'_>,
+                        for kr in 0..kr_n {
+                            let didx = ni_blk * kr_n + kr;
+                            let di_par = didx % 2;
+                            // Input-window superstep: prefetch the next
+                            // (ni-block, kr) window, wait for the current one.
+                            mesh.superstep(|ctx, s| {
+                                let issue_di = |ctx: &mut sw_sim::CpeCtx<'_>,
                                             s: &mut Slot,
                                             didx_x: usize|
                              -> Result<(), sw_sim::SimError> {
@@ -258,29 +286,29 @@ impl ConvPlan for ImageAwarePlan {
                                 s.di_h[didx_x % 2] = last;
                                 Ok(())
                             };
-                            if self.double_buffer {
-                                if didx == 0 {
-                                    issue_di(ctx, s, 0)?;
+                                if self.double_buffer {
+                                    if didx == 0 {
+                                        issue_di(ctx, s, 0)?;
+                                    }
+                                    if didx + 1 < ni_blocks * kr_n {
+                                        issue_di(ctx, s, didx + 1)?;
+                                    }
+                                } else {
+                                    issue_di(ctx, s, didx)?;
                                 }
-                                if didx + 1 < ni_blocks * kr_n {
-                                    issue_di(ctx, s, didx + 1)?;
+                                if let Some(h) = s.di_h[di_par].take() {
+                                    ctx.dma_wait(h);
                                 }
-                            } else {
-                                issue_di(ctx, s, didx)?;
-                            }
-                            if let Some(h) = s.di_h[di_par].take() {
-                                ctx.dma_wait(h);
-                            }
-                            Ok(())
-                        })?;
+                                Ok(())
+                            })?;
 
-                        for kc in 0..kc_n {
-                            let idx = (ni_blk * kr_n + kr) * kc_n + kc;
-                            let w_par = idx % 2;
-                            // Filter-slice superstep: issue W(idx) on first
-                            // use, prefetch W(idx+1), wait W(idx).
-                            mesh.superstep(|ctx, s| {
-                                let issue_w = |ctx: &mut sw_sim::CpeCtx<'_>,
+                            for kc in 0..kc_n {
+                                let idx = (ni_blk * kr_n + kr) * kc_n + kc;
+                                let w_par = idx % 2;
+                                // Filter-slice superstep: issue W(idx) on first
+                                // use, prefetch W(idx+1), wait W(idx).
+                                mesh.superstep(|ctx, s| {
+                                    let issue_w = |ctx: &mut sw_sim::CpeCtx<'_>,
                                                s: &mut Slot,
                                                idx_x: usize|
                                  -> Result<(), sw_sim::SimError> {
@@ -301,49 +329,49 @@ impl ConvPlan for ImageAwarePlan {
                                     s.w_h[idx_x % 2] = Some(h);
                                     Ok(())
                                 };
-                                if self.double_buffer {
-                                    if idx == 0 {
-                                        issue_w(ctx, s, 0)?;
-                                    }
-                                    if idx + 1 < ni_blocks * kr_n * kc_n {
-                                        issue_w(ctx, s, idx + 1)?;
-                                    }
-                                } else {
-                                    issue_w(ctx, s, idx)?;
-                                }
-                                if let Some(h) = s.w_h[w_par].take() {
-                                    ctx.dma_wait(h);
-                                }
-                                Ok(())
-                            })?;
-                            let par = di_par;
-                            regcomm_gemm(
-                                &mut mesh,
-                                GemmBlock {
-                                    m8: d.no8,
-                                    n8: d.n8,
-                                    k8: d.ni8,
-                                    c_stride: d.n8,
-                                    reordered: self.reordered_kernel,
-                                },
-                                // A block: the (ni8 x no8) slice for this (kr, kc).
-                                move |ctx, s: &Slot| ctx.ldm(s.w[w_par]).to_vec(),
-                                // B block: shifted window, packed k-major.
-                                move |ctx, s: &Slot| {
-                                    let di = ctx.ldm(s.di[par]);
-                                    let mut b = Vec::with_capacity(d.ni8 * d.n8);
-                                    for k in 0..d.ni8 {
-                                        for q in 0..d.quads {
-                                            let base = q * d.ni8 * d.win4 + k * d.win4 + 4 * kc;
-                                            b.extend_from_slice(&di[base..base + 4 * d.b_co]);
+                                    if self.double_buffer {
+                                        if idx == 0 {
+                                            issue_w(ctx, s, 0)?;
                                         }
+                                        if idx + 1 < ni_blocks * kr_n * kc_n {
+                                            issue_w(ctx, s, idx + 1)?;
+                                        }
+                                    } else {
+                                        issue_w(ctx, s, idx)?;
                                     }
-                                    b
-                                },
-                                |s: &Slot| (s.c, 0),
-                            )?;
+                                    if let Some(h) = s.w_h[w_par].take() {
+                                        ctx.dma_wait(h);
+                                    }
+                                    Ok(())
+                                })?;
+                                let par = di_par;
+                                regcomm_gemm(
+                                    &mut mesh,
+                                    GemmBlock {
+                                        m8: d.no8,
+                                        n8: d.n8,
+                                        k8: d.ni8,
+                                        c_stride: d.n8,
+                                        reordered: self.reordered_kernel,
+                                    },
+                                    // A block: the (ni8 x no8) slice for this (kr, kc).
+                                    move |ctx, s: &Slot| ctx.ldm(s.w[w_par]).to_vec(),
+                                    // B block: shifted window, packed k-major.
+                                    move |ctx, s: &Slot| {
+                                        let di = ctx.ldm(s.di[par]);
+                                        let mut b = Vec::with_capacity(d.ni8 * d.n8);
+                                        for k in 0..d.ni8 {
+                                            for q in 0..d.quads {
+                                                let base = q * d.ni8 * d.win4 + k * d.win4 + 4 * kc;
+                                                b.extend_from_slice(&di[base..base + 4 * d.b_co]);
+                                            }
+                                        }
+                                        b
+                                    },
+                                    |s: &Slot| (s.c, 0),
+                                )?;
+                            }
                         }
-                    }
                     }
 
                     // Store the output tile.
@@ -351,8 +379,7 @@ impl ConvPlan for ImageAwarePlan {
                         let mut last = None;
                         for q in 0..d.quads {
                             let gq = (tile_b * b_b) / 4 + ctx.col * d.quads + q;
-                            let dst_off =
-                                (((gq * no + ctx.row * d.no8) * ro + r_o) * co + co0) * 4;
+                            let dst_off = (((gq * no + ctx.row * d.no8) * ro + r_o) * co + co0) * 4;
                             let h = ctx.dma_put_scatter(
                                 s.c,
                                 q * 4 * d.b_co,
@@ -378,7 +405,12 @@ impl ConvPlan for ImageAwarePlan {
         let stats = mesh.stats();
         Ok(ConvRun {
             output,
-            timing: PlanTiming { cycles: stats.cycles, stats, sampled: false, modeled: false },
+            timing: PlanTiming {
+                cycles: stats.cycles,
+                stats,
+                sampled: false,
+                modeled: false,
+            },
         })
     }
 
@@ -401,8 +433,7 @@ impl ConvPlan for ImageAwarePlan {
         };
         let t1 = run(&reduced(1))?;
         let t2 = run(&reduced(2))?;
-        let n_full =
-            (shape.batch / b_b) as u64 * shape.ro as u64 * (shape.co / b_co) as u64;
+        let n_full = (shape.batch / b_b) as u64 * shape.ro as u64 * (shape.co / b_co) as u64;
         Ok(extrapolate(&t1, 1, &t2, 2, n_full))
     }
 }
@@ -480,7 +511,12 @@ mod tests {
         };
         let sampled = p.time_full_shape(&shape).unwrap();
         let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
-        assert!(rel < 0.05, "sampled {} vs full {} ({rel:.3})", sampled.cycles, full.cycles);
+        assert!(
+            rel < 0.05,
+            "sampled {} vs full {} ({rel:.3})",
+            sampled.cycles,
+            full.cycles
+        );
         assert!(sampled.sampled);
     }
 
@@ -490,13 +526,14 @@ mod tests {
         let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 71);
         let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 72);
         let full = plan().run(&shape, &input, &filter).unwrap();
-        let blocked =
-            plan().with_ni_blocking(8).run(&shape, &input, &filter).unwrap();
+        let blocked = plan()
+            .with_ni_blocking(8)
+            .run(&shape, &input, &filter)
+            .unwrap();
         assert_eq!(blocked.output.max_abs_diff(&full.output), 0.0);
         // Blocking trades extra filter traffic for a smaller footprint.
         assert!(
-            blocked.timing.stats.totals.dma_get_bytes
-                >= full.timing.stats.totals.dma_get_bytes
+            blocked.timing.stats.totals.dma_get_bytes >= full.timing.stats.totals.dma_get_bytes
         );
     }
 
@@ -504,7 +541,10 @@ mod tests {
     fn ni_blocking_reduces_ldm_footprint() {
         let shape = ConvShape::new(128, 512, 512, 64, 64, 3, 3);
         let unblocked = ImageAwarePlan::new(Blocking { b_b: 32, b_co: 4 });
-        assert!(unblocked.supports(&shape).is_err(), "512x512 must overflow LDM");
+        assert!(
+            unblocked.supports(&shape).is_err(),
+            "512x512 must overflow LDM"
+        );
         let blocked = unblocked.with_ni_blocking(128);
         assert!(
             blocked.supports(&shape).is_ok(),

@@ -79,8 +79,12 @@ pub trait ConvPlan {
     fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError>;
 
     /// Execute the full convolution (real arithmetic, full timing).
-    fn run(&self, shape: &ConvShape, input: &Tensor4<f64>, filter: &Tensor4<f64>)
-        -> Result<ConvRun, SwdnnError>;
+    fn run(
+        &self,
+        shape: &ConvShape,
+        input: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<ConvRun, SwdnnError>;
 
     /// Estimate full-shape timing by simulating a small number of outer
     /// iterations and extrapolating linearly (see [`extrapolate`]).
@@ -117,18 +121,43 @@ pub fn extrapolate(t1: &PlanTiming, n1: u64, t2: &PlanTiming, n2: u64, n_full: u
         lerp_u64(t1.stats.totals.dma_get_bytes, t2.stats.totals.dma_get_bytes);
     stats.totals.dma_put_bytes =
         lerp_u64(t1.stats.totals.dma_put_bytes, t2.stats.totals.dma_put_bytes);
-    stats.totals.dma_requests = lerp_u64(t1.stats.totals.dma_requests, t2.stats.totals.dma_requests);
+    stats.totals.dma_requests =
+        lerp_u64(t1.stats.totals.dma_requests, t2.stats.totals.dma_requests);
     stats.totals.flops = lerp_u64(t1.stats.totals.flops, t2.stats.totals.flops);
-    stats.totals.bus_vectors_sent =
-        lerp_u64(t1.stats.totals.bus_vectors_sent, t2.stats.totals.bus_vectors_sent);
-    stats.totals.bus_vectors_received =
-        lerp_u64(t1.stats.totals.bus_vectors_received, t2.stats.totals.bus_vectors_received);
-    stats.totals.compute_cycles =
-        lerp_u64(t1.stats.totals.compute_cycles, t2.stats.totals.compute_cycles);
-    stats.totals.dma_stall_cycles =
-        lerp_u64(t1.stats.totals.dma_stall_cycles, t2.stats.totals.dma_stall_cycles);
+    stats.totals.bus_vectors_sent = lerp_u64(
+        t1.stats.totals.bus_vectors_sent,
+        t2.stats.totals.bus_vectors_sent,
+    );
+    stats.totals.bus_vectors_received = lerp_u64(
+        t1.stats.totals.bus_vectors_received,
+        t2.stats.totals.bus_vectors_received,
+    );
+    stats.totals.compute_cycles = lerp_u64(
+        t1.stats.totals.compute_cycles,
+        t2.stats.totals.compute_cycles,
+    );
+    stats.totals.dma_stall_cycles = lerp_u64(
+        t1.stats.totals.dma_stall_cycles,
+        t2.stats.totals.dma_stall_cycles,
+    );
+    stats.totals.dma_retries = lerp_u64(t1.stats.totals.dma_retries, t2.stats.totals.dma_retries);
+    stats.totals.fault_retry_cycles = lerp_u64(
+        t1.stats.totals.fault_retry_cycles,
+        t2.stats.totals.fault_retry_cycles,
+    );
+    stats.totals.fault_stall_cycles = lerp_u64(
+        t1.stats.totals.fault_stall_cycles,
+        t2.stats.totals.fault_stall_cycles,
+    );
+    stats.totals.msgs_dropped =
+        lerp_u64(t1.stats.totals.msgs_dropped, t2.stats.totals.msgs_dropped);
 
-    PlanTiming { cycles, stats, sampled: true, modeled: false }
+    PlanTiming {
+        cycles,
+        stats,
+        sampled: true,
+        modeled: false,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +168,13 @@ mod tests {
     fn timing(cycles: u64, flops: u64) -> PlanTiming {
         PlanTiming {
             cycles,
-            stats: CgStats { cycles, totals: CpeStats { flops, ..Default::default() } },
+            stats: CgStats {
+                cycles,
+                totals: CpeStats {
+                    flops,
+                    ..Default::default()
+                },
+            },
             sampled: false,
             modeled: false,
         }

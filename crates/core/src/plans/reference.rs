@@ -50,7 +50,10 @@ impl ConvPlan for ReferencePlan {
     ) -> Result<ConvRun, SwdnnError> {
         self.supports(shape)?;
         let output = conv2d_ref(*shape, input, filter);
-        Ok(ConvRun { output, timing: self.modeled_timing(shape) })
+        Ok(ConvRun {
+            output,
+            timing: self.modeled_timing(shape),
+        })
     }
 
     fn time_full_shape(&self, shape: &ConvShape) -> Result<PlanTiming, SwdnnError> {
@@ -74,7 +77,10 @@ impl ReferencePlan {
             cycles,
             stats: CgStats {
                 cycles,
-                totals: CpeStats { flops: shape.flops(), ..Default::default() },
+                totals: CpeStats {
+                    flops: shape.flops(),
+                    ..Default::default()
+                },
             },
             sampled: false,
             modeled: true,
@@ -94,7 +100,9 @@ mod tests {
         let shape = ConvShape::new(1, 5, 3, 2, 2, 2, 2);
         let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 41);
         let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 42);
-        let run = ReferencePlan::default().run(&shape, &input, &filter).unwrap();
+        let run = ReferencePlan::default()
+            .run(&shape, &input, &filter)
+            .unwrap();
         assert!(run.timing.modeled);
         assert!(run.timing.cycles > 0);
         let expect = sw_tensor::conv2d_ref(shape, &input, &filter);

@@ -42,7 +42,8 @@ impl TuneReport {
     /// Fraction of the empirically-best throughput the model's choice
     /// attains (1.0 = the model found the optimum).
     pub fn model_fraction_of_best(&self) -> Option<f64> {
-        self.model_choice.map(|i| self.candidates[i].gflops / self.candidates[0].gflops)
+        self.model_choice
+            .map(|i| self.candidates[i].gflops / self.candidates[0].gflops)
     }
 }
 
@@ -103,15 +104,24 @@ pub fn autotune(shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
             let auto = BatchAwarePlan::auto(shape);
             format!("batch_size_aware b_co={}", auto.b_co)
         }
-        _ => format!("image_size_aware b_b={} b_co={}", c.blocking.b_b, c.blocking.b_co),
+        _ => format!(
+            "image_size_aware b_b={} b_co={}",
+            c.blocking.b_b, c.blocking.b_co
+        ),
     });
     let candidates: Vec<Candidate> = raw
         .into_iter()
-        .map(|(description, cycles, gflops)| Candidate { description, cycles, gflops })
+        .map(|(description, cycles, gflops)| Candidate {
+            description,
+            cycles,
+            gflops,
+        })
         .collect();
-    let model_choice =
-        model_desc.and_then(|d| candidates.iter().position(|c| c.description == d));
-    Ok(TuneReport { candidates, model_choice })
+    let model_choice = model_desc.and_then(|d| candidates.iter().position(|c| c.description == d));
+    Ok(TuneReport {
+        candidates,
+        model_choice,
+    })
 }
 
 #[cfg(test)]
@@ -123,7 +133,10 @@ mod tests {
         let shape = ConvShape::new(32, 16, 16, 4, 8, 3, 3);
         let rep = autotune(&shape).unwrap();
         assert!(rep.candidates.len() >= 3, "several candidates expected");
-        assert!(rep.candidates.windows(2).all(|w| w[0].cycles <= w[1].cycles));
+        assert!(rep
+            .candidates
+            .windows(2)
+            .all(|w| w[0].cycles <= w[1].cycles));
         assert!(rep.best().gflops > 0.0);
     }
 
@@ -136,7 +149,9 @@ mod tests {
         // optimum. Here: the choice must exist and not be catastrophic.
         let shape = ConvShape::new(32, 16, 16, 6, 8, 3, 3);
         let rep = autotune(&shape).unwrap();
-        let frac = rep.model_fraction_of_best().expect("model choice must be feasible");
+        let frac = rep
+            .model_fraction_of_best()
+            .expect("model choice must be feasible");
         assert!(frac > 0.2, "model at {frac:.2} of the empirical best");
         assert!(frac <= 1.0 + 1e-12);
     }

@@ -6,8 +6,7 @@
 
 use crate::error::SwdnnError;
 use crate::layers::{
-    BatchNorm2d, Conv2dLayer, ConvGeneralLayer, Dropout, Engine, Linear, MaxPool2, ReLU,
-    Tanh,
+    BatchNorm2d, Conv2dLayer, ConvGeneralLayer, Dropout, Engine, Linear, MaxPool2, ReLU, Tanh,
 };
 use crate::network::Sequential;
 use sw_tensor::conv_general::ConvGeometry;
@@ -39,11 +38,7 @@ pub fn lenet_12(
 /// A modern-flavoured block for `1 × H × W` inputs (H, W ≥ 10, even after
 /// the stem): strided stem conv + BN + ReLU, a same-padded body conv,
 /// pooling, dropout and a classifier.
-pub fn mini_convnet(
-    classes: usize,
-    input_hw: usize,
-    seed: u64,
-) -> Result<Sequential, SwdnnError> {
+pub fn mini_convnet(classes: usize, input_hw: usize, seed: u64) -> Result<Sequential, SwdnnError> {
     let stem = ConvGeometry::valid(3, 3); // H -> H-2
     let body = ConvGeometry::same(3, 3);
     let after_stem = input_hw - 2;

@@ -62,18 +62,21 @@ pub fn conv2d_im2col(
 
     // out (No x cols) = w (No x rows) * lowered (rows x cols)
     let mut out_m = vec![0.0f64; shape.no * cols];
-    out_m.par_chunks_mut(cols).enumerate().for_each(|(no, out)| {
-        for r in 0..rows {
-            let wv = w[no * rows + r];
-            if wv == 0.0 {
-                continue;
+    out_m
+        .par_chunks_mut(cols)
+        .enumerate()
+        .for_each(|(no, out)| {
+            for r in 0..rows {
+                let wv = w[no * rows + r];
+                if wv == 0.0 {
+                    continue;
+                }
+                let src = &lowered[r * cols..(r + 1) * cols];
+                for (o, &s) in out.iter_mut().zip(src) {
+                    *o += wv * s;
+                }
             }
-            let src = &lowered[r * cols..(r + 1) * cols];
-            for (o, &s) in out.iter_mut().zip(src) {
-                *o += wv * s;
-            }
-        }
-    });
+        });
 
     // Scatter back to (B, No, Ro, Co).
     let mut out = Tensor4::zeros(shape.output_shape(), Layout::Nchw);

@@ -33,14 +33,25 @@ pub struct K40m {
 
 impl Default for K40m {
     fn default() -> Self {
-        Self { peak_gflops: 1430.0, best_efficiency: 0.40 }
+        Self {
+            peak_gflops: 1430.0,
+            best_efficiency: 0.40,
+        }
     }
 }
 
 /// Deterministic config hash → [0, 1).
 fn unit_hash(shape: &ConvShape) -> f64 {
     let mut h: u64 = 0xcbf29ce484222325;
-    for v in [shape.batch, shape.ni, shape.no, shape.ro, shape.co, shape.kr, shape.kc] {
+    for v in [
+        shape.batch,
+        shape.ni,
+        shape.no,
+        shape.ro,
+        shape.co,
+        shape.kr,
+        shape.kc,
+    ] {
         h ^= v as u64;
         h = h.wrapping_mul(0x100000001b3);
     }

@@ -18,6 +18,9 @@
 //! claim that SW26010's constraint is bandwidth, not multiplies (a
 //! multiply-saving algorithm does not help a bandwidth-bound kernel).
 
+// Index loops here mirror the published transform matrices row-by-row.
+#![allow(clippy::needless_range_loop)]
+
 use sw_tensor::{ConvShape, Layout, Tensor4};
 
 /// `Bᵀ d B` for a 4×4 data tile.
@@ -85,7 +88,10 @@ pub fn conv2d_winograd(
     filter: &Tensor4<f64>,
 ) -> Tensor4<f64> {
     assert_eq!((shape.kr, shape.kc), (3, 3), "F(2x2,3x3) needs 3x3 filters");
-    assert!(shape.ro.is_multiple_of(2) && shape.co.is_multiple_of(2), "whole output tiles required");
+    assert!(
+        shape.ro.is_multiple_of(2) && shape.co.is_multiple_of(2),
+        "whole output tiles required"
+    );
     assert_eq!(input.shape(), shape.input_shape());
     assert_eq!(filter.shape(), shape.filter_shape());
 

@@ -25,10 +25,12 @@ pub enum DmaDirection {
 /// The published (size, GB/s) measurement points of Table II.
 pub const TABLE_II_SIZES: [usize; 12] =
     [32, 64, 128, 192, 256, 384, 512, 576, 640, 1024, 2048, 4096];
-pub const TABLE_II_GET: [f64; 12] =
-    [4.31, 9.00, 17.25, 17.94, 22.44, 22.88, 27.42, 25.96, 29.05, 29.79, 31.32, 32.05];
-pub const TABLE_II_PUT: [f64; 12] =
-    [2.56, 9.20, 18.83, 19.82, 25.80, 24.67, 30.34, 28.91, 32.00, 33.44, 35.19, 36.01];
+pub const TABLE_II_GET: [f64; 12] = [
+    4.31, 9.00, 17.25, 17.94, 22.44, 22.88, 27.42, 25.96, 29.05, 29.79, 31.32, 32.05,
+];
+pub const TABLE_II_PUT: [f64; 12] = [
+    2.56, 9.20, 18.83, 19.82, 25.80, 24.67, 30.34, 28.91, 32.00, 33.44, 35.19, 36.01,
+];
 
 /// Interpolating view of Table II.
 #[derive(Clone, Copy, Debug, Default)]
@@ -80,12 +82,20 @@ pub struct RationalFit {
 impl RationalFit {
     /// Parameters fit to the `Get` column of Table II.
     pub const fn get() -> Self {
-        Self { bmax: 34.0, half_size: 122.0, misalign_penalty: 0.93 }
+        Self {
+            bmax: 34.0,
+            half_size: 122.0,
+            misalign_penalty: 0.93,
+        }
     }
 
     /// Parameters fit to the `Put` column of Table II.
     pub const fn put() -> Self {
-        Self { bmax: 38.5, half_size: 122.0, misalign_penalty: 0.93 }
+        Self {
+            bmax: 38.5,
+            half_size: 122.0,
+            misalign_penalty: 0.93,
+        }
     }
 
     pub const fn for_direction(dir: DmaDirection) -> Self {
@@ -160,7 +170,11 @@ mod tests {
                 let m = fit.bandwidth_gbps(s);
                 let t = tab.bandwidth_gbps(dir, s);
                 let err = (m - t).abs() / t;
-                assert!(err < 0.16, "{dir:?} {s}B: fit {m:.2} vs table {t:.2} ({:.0}%)", err * 100.0);
+                assert!(
+                    err < 0.16,
+                    "{dir:?} {s}B: fit {m:.2} vs table {t:.2} ({:.0}%)",
+                    err * 100.0
+                );
             }
         }
     }

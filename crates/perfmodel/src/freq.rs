@@ -37,7 +37,10 @@ impl Default for FftConvModel {
     fn default() -> Self {
         // Even a generous model (spill every 4 stages thanks to register
         // blocking inside the FFT kernel) loses to the spatial plan.
-        Self { chip: ChipSpec::sw26010(), spill_every_stages: 4 }
+        Self {
+            chip: ChipSpec::sw26010(),
+            spill_every_stages: 4,
+        }
     }
 }
 
@@ -66,8 +69,7 @@ impl FftConvModel {
     pub fn fft_flops(&self, case: &FreqCase) -> f64 {
         let n = self.transform_size(case) as f64;
         let fft_one = 5.0 * n * n * n.log2(); // classic 5 N^2 log2 N for 2-D
-        let transforms =
-            (case.batch * case.ni + case.ni * case.no + case.batch * case.no) as f64;
+        let transforms = (case.batch * case.ni + case.ni * case.no + case.batch * case.no) as f64;
         let pointwise = 8.0 * n * n * (case.batch * case.ni * case.no) as f64;
         transforms * fft_one + pointwise
     }
@@ -79,8 +81,7 @@ impl FftConvModel {
         let stages = n.log2().ceil();
         let spills = (stages / self.spill_every_stages as f64).ceil() * 2.0; // in + out
         let complex_tile = 16.0 * n * n; // complex f64
-        let transforms =
-            (case.batch * case.ni + case.ni * case.no + case.batch * case.no) as f64;
+        let transforms = (case.batch * case.ni + case.ni * case.no + case.batch * case.no) as f64;
         // Transform traffic + one pass for the pointwise stage.
         transforms * complex_tile * spills
             + 3.0 * complex_tile * (case.batch * case.ni.max(case.no)) as f64
@@ -121,7 +122,13 @@ mod tests {
     use super::*;
 
     fn paper_case(k: usize) -> FreqCase {
-        FreqCase { batch: 128, ni: 128, no: 128, image: 64, k }
+        FreqCase {
+            batch: 128,
+            ni: 128,
+            no: 128,
+            image: 64,
+            k,
+        }
     }
 
     #[test]
@@ -151,7 +158,10 @@ mod tests {
         // comparison flips — the regime where the paper's global-
         // communication argument (not bandwidth) rejects the FFT.
         let crossed = (11..=21).step_by(2).any(|k| !spatial_wins(&paper_case(k)));
-        assert!(crossed, "expected a bandwidth crossover somewhere in 11..=21");
+        assert!(
+            crossed,
+            "expected a bandwidth crossover somewhere in 11..=21"
+        );
         // And the crossover is monotone: once FFT wins on bandwidth it
         // keeps winning as K grows.
         let fft = FftConvModel::default();
@@ -179,7 +189,13 @@ mod tests {
         let fft = FftConvModel::default();
         assert_eq!(fft.transform_size(&paper_case(3)), 128); // 66 -> 128
         assert_eq!(
-            fft.transform_size(&FreqCase { batch: 1, ni: 1, no: 1, image: 30, k: 3 }),
+            fft.transform_size(&FreqCase {
+                batch: 1,
+                ni: 1,
+                no: 1,
+                image: 30,
+                k: 3
+            }),
             32
         );
     }

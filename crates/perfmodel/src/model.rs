@@ -58,7 +58,13 @@ pub struct ConvPerfModel {
 
 impl Default for ConvPerfModel {
     fn default() -> Self {
-        Self { chip: ChipSpec::sw26010(), dma: DmaTable, dma_derate: 0.8, rb_b: 16, rb_no: 4 }
+        Self {
+            chip: ChipSpec::sw26010(),
+            dma: DmaTable,
+            dma_derate: 0.8,
+            rb_b: 16,
+            rb_no: 4,
+        }
     }
 }
 
@@ -68,7 +74,13 @@ impl ConvPerfModel {
     /// * image-size-aware: one `(batch-quad, channel, row)` run of the
     ///   input tile — `4 · (b_co + kc − 1)` doubles;
     /// * batch-size-aware: one pixel across the batch — `B` doubles.
-    pub fn dma_block_bytes(&self, kind: PlanKind, blocking: Blocking, batch: usize, kc: usize) -> usize {
+    pub fn dma_block_bytes(
+        &self,
+        kind: PlanKind,
+        blocking: Blocking,
+        batch: usize,
+        kc: usize,
+    ) -> usize {
         match kind {
             PlanKind::ImageSizeAware => 8 * 4 * (blocking.b_co + kc - 1),
             PlanKind::BatchSizeAware => 8 * batch,
@@ -145,7 +157,10 @@ mod tests {
         let est = m.estimate(PlanKind::DirectGload, Blocking::default(), 128, 256, 256, 3);
         // 0.32% of 742.4 ≈ 2.4 Gflops (EE<1 lowers it slightly further).
         let frac = est.gflops_per_cg / m.chip.peak_gflops_per_cg();
-        assert!(frac < 0.0035, "direct path must be ~0.32% of peak, got {frac}");
+        assert!(
+            frac < 0.0035,
+            "direct path must be ~0.32% of peak, got {frac}"
+        );
         assert!(est.memory_bound);
     }
 
@@ -156,8 +171,20 @@ mod tests {
         // (roughly 45-75% of the 742.4 peak).
         let m = ConvPerfModel::default();
         let cases = [
-            (PlanKind::ImageSizeAware, Blocking { b_b: 32, b_co: 16 }, 128, 128, 128),
-            (PlanKind::ImageSizeAware, Blocking { b_b: 32, b_co: 8 }, 128, 128, 256),
+            (
+                PlanKind::ImageSizeAware,
+                Blocking { b_b: 32, b_co: 16 },
+                128,
+                128,
+                128,
+            ),
+            (
+                PlanKind::ImageSizeAware,
+                Blocking { b_b: 32, b_co: 8 },
+                128,
+                128,
+                256,
+            ),
             (PlanKind::BatchSizeAware, Blocking::default(), 128, 256, 256),
             (PlanKind::BatchSizeAware, Blocking::default(), 128, 128, 384),
         ];
@@ -175,8 +202,18 @@ mod tests {
     #[test]
     fn register_blocking_is_never_the_bottleneck() {
         let m = ConvPerfModel::default();
-        let est = m.estimate(PlanKind::BatchSizeAware, Blocking::default(), 128, 256, 256, 3);
-        assert!(est.rbw_ldm_reg < est.mbw_ldm_reg, "Eq.5 guarantees 23.2 < 46.4");
+        let est = m.estimate(
+            PlanKind::BatchSizeAware,
+            Blocking::default(),
+            128,
+            256,
+            256,
+            3,
+        );
+        assert!(
+            est.rbw_ldm_reg < est.mbw_ldm_reg,
+            "Eq.5 guarantees 23.2 < 46.4"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub fn rbw_reg_spatial(
     rb_kc: usize,
     t_gflops: f64,
 ) -> f64 {
-    assert!(rb_ci >= rb_kc && rb_ri >= rb_kr, "register tile smaller than filter tile");
+    assert!(
+        rb_ci >= rb_kc && rb_ri >= rb_kr,
+        "register tile smaller than filter tile"
+    );
     let rb_co = (rb_ci - rb_kc + 1) as f64;
     let rb_ro = (rb_ri - rb_kr + 1) as f64;
     let bytes = (rb_ri as f64 * rb_ci as f64 + rb_co * rb_ro) * DS;

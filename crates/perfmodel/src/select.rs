@@ -103,7 +103,10 @@ fn blocking_candidates(shape: &ConvShape) -> Vec<Blocking> {
 /// channel counts — at that point the caller must also block `Ni`/`No`,
 /// which the paper notes as the fallback).
 pub fn select_plan(shape: &ConvShape, chip: &ChipSpec) -> Option<PlanChoice> {
-    let model = ConvPerfModel { chip: *chip, ..ConvPerfModel::default() };
+    let model = ConvPerfModel {
+        chip: *chip,
+        ..ConvPerfModel::default()
+    };
     let budget = chip.ldm_doubles();
     let mut best: Option<PlanChoice> = None;
 
@@ -120,7 +123,10 @@ pub fn select_plan(shape: &ConvShape, chip: &ChipSpec) -> Option<PlanChoice> {
         );
         best = Some(PlanChoice {
             kind: PlanKind::BatchSizeAware,
-            blocking: Blocking { b_b: shape.batch, b_co: shape.kc },
+            blocking: Blocking {
+                b_b: shape.batch,
+                b_co: shape.kc,
+            },
             ldm_doubles: batch_ldm,
             estimate: est,
         });
@@ -132,8 +138,14 @@ pub fn select_plan(shape: &ConvShape, chip: &ChipSpec) -> Option<PlanChoice> {
         if ldm > budget {
             continue;
         }
-        let est =
-            model.estimate(PlanKind::ImageSizeAware, blk, shape.batch, shape.ni, shape.no, shape.kc);
+        let est = model.estimate(
+            PlanKind::ImageSizeAware,
+            blk,
+            shape.batch,
+            shape.ni,
+            shape.no,
+            shape.kc,
+        );
         let better = match &best {
             None => true,
             Some(b) => est.gflops_per_cg > b.estimate.gflops_per_cg,
@@ -222,7 +234,10 @@ mod tests {
                 );
             }
         }
-        assert!(2 * above >= total, "only {above}/{total} configs above 45% of peak");
+        assert!(
+            2 * above >= total,
+            "only {above}/{total} configs above 45% of peak"
+        );
     }
 
     #[test]

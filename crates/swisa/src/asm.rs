@@ -60,7 +60,11 @@ pub fn format_inst(inst: &Inst) -> String {
         Op::Addi { dst, src, imm } => format!("addi   {}, {}, {}", reg(dst), reg(src), imm),
         Op::Cmp { dst, a, b } => format!("cmp    {}, {}, {}", reg(dst), reg(a), reg(b)),
         Op::Branch { cond, taken } => {
-            format!("bnw    {}, {}", reg(cond), if taken { "taken" } else { "fall" })
+            format!(
+                "bnw    {}, {}",
+                reg(cond),
+                if taken { "taken" } else { "fall" }
+            )
         }
         Op::Nop => "nop".to_string(),
     }
@@ -82,7 +86,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
-    let err = || AsmError { line, message: format!("bad register '{tok}'") };
+    let err = || AsmError {
+        line,
+        message: format!("bad register '{tok}'"),
+    };
     let (kind, num) = tok.split_at(1);
     let n: u8 = num.parse().map_err(|_| err())?;
     if n >= 32 {
@@ -97,7 +104,10 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
 
 /// Parse `disp(base)`.
 fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i32), AsmError> {
-    let err = || AsmError { line, message: format!("bad memory operand '{tok}'") };
+    let err = || AsmError {
+        line,
+        message: format!("bad memory operand '{tok}'"),
+    };
     let open = tok.find('(').ok_or_else(err)?;
     if !tok.ends_with(')') {
         return Err(err());
@@ -125,7 +135,11 @@ pub fn parse_program(text: &str) -> Result<Vec<Inst>, AsmError> {
             continue;
         }
         let (mnemonic, rest) = code.split_once(char::is_whitespace).unwrap_or((code, ""));
-        let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let ops: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
         let argc = |n: usize| -> Result<(), AsmError> {
             if ops.len() == n {
                 Ok(())
@@ -228,7 +242,10 @@ pub fn parse_program(text: &str) -> Result<Vec<Inst>, AsmError> {
                 Op::Nop
             }
             other => {
-                return Err(AsmError { line, message: format!("unknown mnemonic '{other}'") })
+                return Err(AsmError {
+                    line,
+                    message: format!("unknown mnemonic '{other}'"),
+                })
             }
         };
         prog.push(Inst::staged(op, stage));
@@ -244,9 +261,10 @@ mod tests {
     #[test]
     fn kernel_round_trips_through_text() {
         for n in [1, 2, 8] {
-            for prog in
-                [naive_gemm_kernel(KernelSpec::new(n)), reordered_gemm_kernel(KernelSpec::new(n))]
-            {
+            for prog in [
+                naive_gemm_kernel(KernelSpec::new(n)),
+                reordered_gemm_kernel(KernelSpec::new(n)),
+            ] {
                 let text = print_program(&prog, true);
                 let back = parse_program(&text).expect("parse");
                 assert_eq!(back, prog, "n={n}");
@@ -294,7 +312,11 @@ mod tests {
         let prog = parse_program("vstore v2, -64(r5)").unwrap();
         assert_eq!(
             prog[0].op,
-            crate::inst::Op::Vstore { src: Reg::V(2), base: Reg::R(5), disp: -64 }
+            crate::inst::Op::Vstore {
+                src: Reg::V(2),
+                base: Reg::R(5),
+                disp: -64
+            }
         );
     }
 }

@@ -58,7 +58,11 @@ mod tests {
         let pipe = DualPipe::default();
         for n in 2..=48usize {
             let spec = KernelSpec::new(n);
-            assert_eq!(pipe.run(&naive_gemm_kernel(spec)).cycles, cycles_naive(n), "naive n={n}");
+            assert_eq!(
+                pipe.run(&naive_gemm_kernel(spec)).cycles,
+                cycles_naive(n),
+                "naive n={n}"
+            );
             assert_eq!(
                 pipe.run(&reordered_gemm_kernel(spec)).cycles,
                 cycles_reordered(n),

@@ -124,7 +124,10 @@ impl Inst {
     /// Registers read by this instruction (operands captured at issue).
     pub fn reads(&self) -> Vec<Reg> {
         match self.op {
-            Op::Vload { base, .. } | Op::Vldde { base, .. } | Op::Vldr { base, .. } | Op::Vldc { base, .. } => {
+            Op::Vload { base, .. }
+            | Op::Vldde { base, .. }
+            | Op::Vldr { base, .. }
+            | Op::Vldc { base, .. } => {
                 vec![base]
             }
             Op::Vstore { src, base, .. } => vec![src, base],
@@ -152,7 +155,9 @@ impl Inst {
             | Op::Vaddd { dst, .. }
             | Op::Addi { dst, .. }
             | Op::Cmp { dst, .. } => Some(dst),
-            Op::Vstore { .. } | Op::Putr { .. } | Op::Putc { .. } | Op::Branch { .. } | Op::Nop => None,
+            Op::Vstore { .. } | Op::Putr { .. } | Op::Putc { .. } | Op::Branch { .. } | Op::Nop => {
+                None
+            }
         }
     }
 
@@ -193,7 +198,11 @@ impl fmt::Display for Inst {
             Op::Addi { dst, src, imm } => write!(f, "addi {dst:?}, {src:?}, {imm}"),
             Op::Cmp { dst, a, b } => write!(f, "cmp {dst:?}, {a:?}, {b:?}"),
             Op::Branch { cond, taken } => {
-                write!(f, "bnw {cond:?} ({})", if taken { "taken" } else { "fall-through" })
+                write!(
+                    f,
+                    "bnw {cond:?} ({})",
+                    if taken { "taken" } else { "fall-through" }
+                )
             }
             Op::Nop => write!(f, "nop"),
         }
@@ -206,39 +215,78 @@ mod tests {
 
     #[test]
     fn pipe_classes_follow_section_vi() {
-        let fma = Inst::new(Op::Vfmadd { dst: Reg::V(0), a: Reg::V(1), b: Reg::V(2), acc: Reg::V(0) });
+        let fma = Inst::new(Op::Vfmadd {
+            dst: Reg::V(0),
+            a: Reg::V(1),
+            b: Reg::V(2),
+            acc: Reg::V(0),
+        });
         assert_eq!(fma.pipe_class(), PipeClass::P0Only);
-        let ld = Inst::new(Op::Vload { dst: Reg::V(0), base: Reg::R(1), disp: 0 });
+        let ld = Inst::new(Op::Vload {
+            dst: Reg::V(0),
+            base: Reg::R(1),
+            disp: 0,
+        });
         assert_eq!(ld.pipe_class(), PipeClass::P1Only);
-        let addi = Inst::new(Op::Addi { dst: Reg::R(0), src: Reg::R(0), imm: 32 });
+        let addi = Inst::new(Op::Addi {
+            dst: Reg::R(0),
+            src: Reg::R(0),
+            imm: 32,
+        });
         assert_eq!(addi.pipe_class(), PipeClass::Either);
-        let br = Inst::new(Op::Branch { cond: Reg::R(2), taken: true });
+        let br = Inst::new(Op::Branch {
+            cond: Reg::R(2),
+            taken: true,
+        });
         assert_eq!(br.pipe_class(), PipeClass::P1Only);
     }
 
     #[test]
     fn reads_and_writes_are_complete() {
-        let fma = Inst::new(Op::Vfmadd { dst: Reg::V(0), a: Reg::V(1), b: Reg::V(2), acc: Reg::V(0) });
+        let fma = Inst::new(Op::Vfmadd {
+            dst: Reg::V(0),
+            a: Reg::V(1),
+            b: Reg::V(2),
+            acc: Reg::V(0),
+        });
         assert_eq!(fma.reads(), vec![Reg::V(1), Reg::V(2), Reg::V(0)]);
         assert_eq!(fma.writes(), Some(Reg::V(0)));
 
-        let st = Inst::new(Op::Vstore { src: Reg::V(3), base: Reg::R(4), disp: 64 });
+        let st = Inst::new(Op::Vstore {
+            src: Reg::V(3),
+            base: Reg::R(4),
+            disp: 64,
+        });
         assert_eq!(st.reads(), vec![Reg::V(3), Reg::R(4)]);
         assert_eq!(st.writes(), None);
     }
 
     #[test]
     fn flop_accounting() {
-        let fma = Inst::new(Op::Vfmadd { dst: Reg::V(0), a: Reg::V(1), b: Reg::V(2), acc: Reg::V(0) });
+        let fma = Inst::new(Op::Vfmadd {
+            dst: Reg::V(0),
+            a: Reg::V(1),
+            b: Reg::V(2),
+            acc: Reg::V(0),
+        });
         assert_eq!(fma.flops(), 8);
         assert!(fma.is_flop());
-        let ld = Inst::new(Op::Vload { dst: Reg::V(0), base: Reg::R(1), disp: 0 });
+        let ld = Inst::new(Op::Vload {
+            dst: Reg::V(0),
+            base: Reg::R(1),
+            disp: 0,
+        });
         assert_eq!(ld.flops(), 0);
     }
 
     #[test]
     fn display_is_readable() {
-        let fma = Inst::new(Op::Vfmadd { dst: Reg::V(0), a: Reg::V(1), b: Reg::V(2), acc: Reg::V(0) });
+        let fma = Inst::new(Op::Vfmadd {
+            dst: Reg::V(0),
+            a: Reg::V(1),
+            b: Reg::V(2),
+            acc: Reg::V(0),
+        });
         assert_eq!(format!("{fma}"), "vfmad v0, v1, v2, v0");
     }
 }

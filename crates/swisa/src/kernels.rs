@@ -65,27 +65,53 @@ fn c_reg(i: usize, j: usize) -> Reg {
 
 fn ld_a(set: usize, i: usize, iter: usize) -> Inst {
     Inst::staged(
-        Op::Vload { dst: a_reg(set, i), base: Reg::R(0), disp: (iter * 128 + i * 32) as i32 },
+        Op::Vload {
+            dst: a_reg(set, i),
+            base: Reg::R(0),
+            disp: (iter * 128 + i * 32) as i32,
+        },
         0,
     )
 }
 fn ld_b(set: usize, j: usize, iter: usize) -> Inst {
     Inst::staged(
-        Op::Vldde { dst: b_reg(set, j), base: Reg::R(1), disp: (iter * 32 + j * 8) as i32 },
+        Op::Vldde {
+            dst: b_reg(set, j),
+            base: Reg::R(1),
+            disp: (iter * 32 + j * 8) as i32,
+        },
         0,
     )
 }
 fn fma(set: usize, i: usize, j: usize) -> Inst {
     Inst::staged(
-        Op::Vfmadd { dst: c_reg(i, j), a: a_reg(set, i), b: b_reg(set, j), acc: c_reg(i, j) },
+        Op::Vfmadd {
+            dst: c_reg(i, j),
+            a: a_reg(set, i),
+            b: b_reg(set, j),
+            acc: c_reg(i, j),
+        },
         1,
     )
 }
 fn cmp() -> Inst {
-    Inst::staged(Op::Cmp { dst: Reg::R(3), a: Reg::R(0), b: Reg::R(2) }, 1)
+    Inst::staged(
+        Op::Cmp {
+            dst: Reg::R(3),
+            a: Reg::R(0),
+            b: Reg::R(2),
+        },
+        1,
+    )
 }
 fn bnw(taken: bool) -> Inst {
-    Inst::staged(Op::Branch { cond: Reg::R(3), taken }, 1)
+    Inst::staged(
+        Op::Branch {
+            cond: Reg::R(3),
+            taken,
+        },
+        1,
+    )
 }
 
 /// The unoptimized (compiler-like) kernel: per iteration
@@ -314,10 +340,14 @@ mod tests {
     fn both_kernels_do_identical_fma_work() {
         for n in [1, 2, 5, 16] {
             let spec = KernelSpec::new(n);
-            let naive: Vec<_> =
-                naive_gemm_kernel(spec).into_iter().filter(Inst::is_flop).collect();
-            let reord: Vec<_> =
-                reordered_gemm_kernel(spec).into_iter().filter(Inst::is_flop).collect();
+            let naive: Vec<_> = naive_gemm_kernel(spec)
+                .into_iter()
+                .filter(Inst::is_flop)
+                .collect();
+            let reord: Vec<_> = reordered_gemm_kernel(spec)
+                .into_iter()
+                .filter(Inst::is_flop)
+                .collect();
             assert_eq!(naive.len(), reord.len(), "n={n}");
             assert_eq!(naive.len(), 16 * n);
         }
@@ -354,7 +384,12 @@ mod tests {
         )));
         let gets = prog
             .iter()
-            .filter(|i| matches!(i.op, crate::inst::Op::Getr { .. } | crate::inst::Op::Getc { .. }))
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    crate::inst::Op::Getr { .. } | crate::inst::Op::Getc { .. }
+                )
+            })
             .count();
         assert_eq!(gets, 8 * 4, "8 receives per iteration");
     }
@@ -364,6 +399,9 @@ mod tests {
         let rep = DualPipe::default().run(&reordered_gemm_kernel(KernelSpec::new(16)));
         let naive = DualPipe::default().run(&naive_gemm_kernel(KernelSpec::new(16)));
         assert!(rep.dual_issues > 8 * 14, "loads should hide under FMAs");
-        assert!(naive.dual_issues <= 16, "naive flow pairs at most cmp per iter");
+        assert!(
+            naive.dual_issues <= 16,
+            "naive flow pairs at most cmp per iter"
+        );
     }
 }

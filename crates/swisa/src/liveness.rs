@@ -63,20 +63,36 @@ pub fn analyze(prog: &[Inst]) -> PressureReport {
     }
     let mut live_in: Vec<Reg> = live.into_iter().collect();
     live_in.sort();
-    PressureReport { peak_vector, peak_scalar, live_in, peak_at }
+    PressureReport {
+        peak_vector,
+        peak_scalar,
+        live_in,
+        peak_at,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::inst::Op;
-    use crate::kernels::{naive_gemm_kernel, regcomm_consumer_kernel, reordered_gemm_kernel, KernelSpec};
+    use crate::kernels::{
+        naive_gemm_kernel, regcomm_consumer_kernel, reordered_gemm_kernel, KernelSpec,
+    };
 
     fn vload(dst: u8, base: u8) -> Inst {
-        Inst::new(Op::Vload { dst: Reg::V(dst), base: Reg::R(base), disp: 0 })
+        Inst::new(Op::Vload {
+            dst: Reg::V(dst),
+            base: Reg::R(base),
+            disp: 0,
+        })
     }
     fn fma(dst: u8, a: u8, b: u8) -> Inst {
-        Inst::new(Op::Vfmadd { dst: Reg::V(dst), a: Reg::V(a), b: Reg::V(b), acc: Reg::V(dst) })
+        Inst::new(Op::Vfmadd {
+            dst: Reg::V(dst),
+            a: Reg::V(a),
+            b: Reg::V(b),
+            acc: Reg::V(dst),
+        })
     }
 
     #[test]
@@ -87,7 +103,10 @@ mod tests {
         // At the fma, v0, v1 and the accumulator v2 are live-before.
         assert_eq!(rep.peak_vector, 3);
         assert!(rep.live_in.contains(&Reg::R(0)), "base pointer is live-in");
-        assert!(rep.live_in.contains(&Reg::V(2)), "accumulator is read before written");
+        assert!(
+            rep.live_in.contains(&Reg::V(2)),
+            "accumulator is read before written"
+        );
     }
 
     #[test]
@@ -135,8 +154,11 @@ mod tests {
         let rep = analyze(&reordered_gemm_kernel(KernelSpec::new(4)));
         // All 16 accumulators are live-in (read by the first FMAs before
         // any write in this unrolled trace).
-        let acc_live_in =
-            rep.live_in.iter().filter(|r| matches!(r, Reg::V(v) if *v >= 16)).count();
+        let acc_live_in = rep
+            .live_in
+            .iter()
+            .filter(|r| matches!(r, Reg::V(v) if *v >= 16))
+            .count();
         assert_eq!(acc_live_in, 16);
     }
 }

@@ -37,7 +37,14 @@ pub struct LatencyTable {
 
 impl Default for LatencyTable {
     fn default() -> Self {
-        Self { load: 4, fma: 7, int_op: 1, store: 1, put: 1, get: 4 }
+        Self {
+            load: 4,
+            fma: 7,
+            int_op: 1,
+            store: 1,
+            put: 1,
+            get: 4,
+        }
     }
 }
 
@@ -266,10 +273,19 @@ mod tests {
     use crate::inst::{Inst, Op, Reg};
 
     fn vload(dst: u8, base: u8, disp: i32) -> Inst {
-        Inst::new(Op::Vload { dst: Reg::V(dst), base: Reg::R(base), disp })
+        Inst::new(Op::Vload {
+            dst: Reg::V(dst),
+            base: Reg::R(base),
+            disp,
+        })
     }
     fn vfmadd(dst: u8, a: u8, b: u8) -> Inst {
-        Inst::new(Op::Vfmadd { dst: Reg::V(dst), a: Reg::V(a), b: Reg::V(b), acc: Reg::V(dst) })
+        Inst::new(Op::Vfmadd {
+            dst: Reg::V(dst),
+            a: Reg::V(a),
+            b: Reg::V(b),
+            acc: Reg::V(dst),
+        })
     }
 
     #[test]
@@ -327,8 +343,15 @@ mod tests {
     #[test]
     fn taken_branch_inserts_bubble() {
         let prog = [
-            Inst::new(Op::Cmp { dst: Reg::R(2), a: Reg::R(0), b: Reg::R(1) }),
-            Inst::new(Op::Branch { cond: Reg::R(2), taken: true }),
+            Inst::new(Op::Cmp {
+                dst: Reg::R(2),
+                a: Reg::R(0),
+                b: Reg::R(1),
+            }),
+            Inst::new(Op::Branch {
+                cond: Reg::R(2),
+                taken: true,
+            }),
             Inst::new(Op::Nop),
         ];
         let rep = DualPipe::default().run(&prog);
@@ -339,7 +362,10 @@ mod tests {
     #[test]
     fn fall_through_branch_has_no_bubble() {
         let prog = [
-            Inst::new(Op::Branch { cond: Reg::R(2), taken: false }),
+            Inst::new(Op::Branch {
+                cond: Reg::R(2),
+                taken: false,
+            }),
             Inst::new(Op::Nop),
         ];
         let rep = DualPipe::default().run(&prog);
@@ -349,7 +375,10 @@ mod tests {
     #[test]
     fn nothing_pairs_after_a_branch() {
         let prog = [
-            Inst::new(Op::Branch { cond: Reg::R(2), taken: false }),
+            Inst::new(Op::Branch {
+                cond: Reg::R(2),
+                taken: false,
+            }),
             vfmadd(0, 1, 2),
         ];
         let rep = DualPipe::default().run(&prog);
@@ -362,7 +391,11 @@ mod tests {
         // addi should go to P0 so the following load can... actually pairing
         // is with the *next* instruction: [addi, vload] -> addi->P0, vload->P1.
         let prog = [
-            Inst::new(Op::Addi { dst: Reg::R(5), src: Reg::R(5), imm: 32 }),
+            Inst::new(Op::Addi {
+                dst: Reg::R(5),
+                src: Reg::R(5),
+                imm: 32,
+            }),
             vload(0, 0, 0),
         ];
         let rep = DualPipe::default().run(&prog);

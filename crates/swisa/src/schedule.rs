@@ -73,7 +73,12 @@ impl DepGraph {
     pub fn build(block: &[Inst], lat: &LatencyTable) -> Self {
         let mut edges: Vec<DepEdge> = Vec::new();
         let mut push = |from: usize, to: usize, kind: DepKind, min_latency: u64| {
-            edges.push(DepEdge { from, to, kind, min_latency });
+            edges.push(DepEdge {
+                from,
+                to,
+                kind,
+                min_latency,
+            });
         };
 
         for j in 0..block.len() {
@@ -131,7 +136,11 @@ impl DepGraph {
         for (e_idx, e) in edges.iter().enumerate() {
             preds[e.to].push(e_idx);
         }
-        Self { n: block.len(), edges, preds }
+        Self {
+            n: block.len(),
+            edges,
+            preds,
+        }
     }
 
     /// Longest-path priority of each node (critical path to any sink).
@@ -161,7 +170,11 @@ impl DepGraph {
 /// Returns `Err` naming the first violated edge.
 pub fn validate_order(block: &[Inst], order: &[usize], lat: &LatencyTable) -> Result<(), String> {
     if order.len() != block.len() {
-        return Err(format!("order length {} != block length {}", order.len(), block.len()));
+        return Err(format!(
+            "order length {} != block length {}",
+            order.len(),
+            block.len()
+        ));
     }
     let mut pos = vec![usize::MAX; block.len()];
     for (p, &i) in order.iter().enumerate() {
@@ -205,9 +218,8 @@ pub fn list_schedule(block: &[Inst], lat: &LatencyTable) -> Vec<usize> {
         let mut ready: Vec<usize> = (0..block.len())
             .filter(|&j| issued[j].is_none())
             .filter(|&j| {
-                g.pred_edges(j).all(|e| {
-                    issued[e.from].is_some_and(|c| c + e.min_latency <= cycle)
-                })
+                g.pred_edges(j)
+                    .all(|e| issued[e.from].is_some_and(|c| c + e.min_latency <= cycle))
             })
             .collect();
         ready.sort_by_key(|&j| (std::cmp::Reverse(prio[j]), j));
@@ -292,7 +304,11 @@ pub fn software_pipeline(iterations: &[Vec<Inst>]) -> Vec<usize> {
         let (p0_ops, p1_extra): (Vec<usize>, Vec<usize>) = body
             .into_iter()
             .partition(|&g| concat[g].pipe_class() == crate::inst::PipeClass::P0Only);
-        let hoisted: Vec<usize> = if k + 1 < n { stage_idx(k + 1, 0) } else { Vec::new() };
+        let hoisted: Vec<usize> = if k + 1 < n {
+            stage_idx(k + 1, 0)
+        } else {
+            Vec::new()
+        };
         let mut p1_side = hoisted.into_iter().chain(p1_extra);
         for g in p0_ops {
             order.push(g);
@@ -356,11 +372,23 @@ mod tests {
     use crate::pipeline::DualPipe;
 
     fn vload(dst: u8, disp: i32) -> Inst {
-        Inst::staged(Op::Vload { dst: Reg::V(dst), base: Reg::R(0), disp }, 0)
+        Inst::staged(
+            Op::Vload {
+                dst: Reg::V(dst),
+                base: Reg::R(0),
+                disp,
+            },
+            0,
+        )
     }
     fn fma(dst: u8, a: u8, b: u8) -> Inst {
         Inst::staged(
-            Op::Vfmadd { dst: Reg::V(dst), a: Reg::V(a), b: Reg::V(b), acc: Reg::V(dst) },
+            Op::Vfmadd {
+                dst: Reg::V(dst),
+                a: Reg::V(a),
+                b: Reg::V(b),
+                acc: Reg::V(dst),
+            },
             1,
         )
     }
@@ -380,24 +408,49 @@ mod tests {
         // fma reads v0, then a load overwrites v0.
         let block = [fma(8, 0, 1), vload(0, 0)];
         let g = DepGraph::build(&block, &LatencyTable::default());
-        assert!(g.edges.iter().any(|e| e.kind == DepKind::War && e.from == 0 && e.to == 1));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::War && e.from == 0 && e.to == 1));
     }
 
     #[test]
     fn branch_control_edges_are_asymmetric() {
         let block = [
             vload(0, 0),
-            Inst::staged(Op::Branch { cond: Reg::R(3), taken: true }, 1),
+            Inst::staged(
+                Op::Branch {
+                    cond: Reg::R(3),
+                    taken: true,
+                },
+                1,
+            ),
             vload(1, 32),
-            Inst::staged(Op::Vstore { src: Reg::V(1), base: Reg::R(5), disp: 0 }, 1),
+            Inst::staged(
+                Op::Vstore {
+                    src: Reg::V(1),
+                    base: Reg::R(5),
+                    disp: 0,
+                },
+                1,
+            ),
         ];
         let g = DepGraph::build(&block, &LatencyTable::default());
         // Anything before a branch stays before it.
-        assert!(g.edges.iter().any(|e| e.kind == DepKind::Ctrl && e.from == 0 && e.to == 1));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Ctrl && e.from == 0 && e.to == 1));
         // Loads may be speculatively hoisted across an earlier branch...
-        assert!(!g.edges.iter().any(|e| e.kind == DepKind::Ctrl && e.from == 1 && e.to == 2));
+        assert!(!g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Ctrl && e.from == 1 && e.to == 2));
         // ...but memory writes may not.
-        assert!(g.edges.iter().any(|e| e.kind == DepKind::Ctrl && e.from == 1 && e.to == 3));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Ctrl && e.from == 1 && e.to == 3));
     }
 
     #[test]
@@ -427,9 +480,12 @@ mod tests {
         let pipe = DualPipe::default();
         let before = pipe.run(&block).cycles;
         let after = pipe.run(&apply_order(&block, &order)).cycles;
-        assert!(after <= before, "list schedule regressed: {before} -> {after}");
+        assert!(
+            after <= before,
+            "list schedule regressed: {before} -> {after}"
+        );
         // The load should have been hoisted to cycle 0 alongside an fma.
-        assert_eq!(order[0..2].contains(&3), true);
+        assert!(order[0..2].contains(&3));
     }
 
     #[test]
@@ -444,7 +500,11 @@ mod tests {
                 let s = (k % 2) as u8 * 8; // A: v0..3 / v8..11; B: v4..7 / v12..15
                 let mut body = Vec::new();
                 body.push(Inst::staged(
-                    Op::Vldde { dst: Reg::V(s + 4), base: Reg::R(1), disp: (k * 32) as i32 },
+                    Op::Vldde {
+                        dst: Reg::V(s + 4),
+                        base: Reg::R(1),
+                        disp: (k * 32) as i32,
+                    },
                     0,
                 ));
                 for i in 0..4u8 {
@@ -481,8 +541,21 @@ mod tests {
                         ));
                     }
                 }
-                body.push(Inst::staged(Op::Cmp { dst: Reg::R(3), a: Reg::R(0), b: Reg::R(2) }, 1));
-                body.push(Inst::staged(Op::Branch { cond: Reg::R(3), taken: k + 1 < n }, 1));
+                body.push(Inst::staged(
+                    Op::Cmp {
+                        dst: Reg::R(3),
+                        a: Reg::R(0),
+                        b: Reg::R(2),
+                    },
+                    1,
+                ));
+                body.push(Inst::staged(
+                    Op::Branch {
+                        cond: Reg::R(3),
+                        taken: k + 1 < n,
+                    },
+                    1,
+                ));
                 body
             })
             .collect();
@@ -535,8 +608,21 @@ mod tests {
         for i in 0..8 {
             body.push(vload(i, i as i32 * 32));
         }
-        body.push(Inst::staged(Op::Cmp { dst: Reg::R(3), a: Reg::R(0), b: Reg::R(2) }, 1));
-        body.push(Inst::staged(Op::Branch { cond: Reg::R(3), taken: true }, 1));
+        body.push(Inst::staged(
+            Op::Cmp {
+                dst: Reg::R(3),
+                a: Reg::R(0),
+                b: Reg::R(2),
+            },
+            1,
+        ));
+        body.push(Inst::staged(
+            Op::Branch {
+                cond: Reg::R(3),
+                taken: true,
+            },
+            1,
+        ));
         assert_eq!(res_mii(&body), 17, "the hand schedule of Fig. 6 is optimal");
     }
 
@@ -548,8 +634,16 @@ mod tests {
             fma(17, 0, 1),
             fma(18, 0, 1),
             vload(0, 0),
-            Inst::new(Op::Addi { dst: Reg::R(5), src: Reg::R(5), imm: 1 }),
-            Inst::new(Op::Addi { dst: Reg::R(6), src: Reg::R(6), imm: 1 }),
+            Inst::new(Op::Addi {
+                dst: Reg::R(5),
+                src: Reg::R(5),
+                imm: 1,
+            }),
+            Inst::new(Op::Addi {
+                dst: Reg::R(6),
+                src: Reg::R(6),
+                imm: 1,
+            }),
         ];
         assert_eq!(res_mii(&body), 3);
     }
@@ -565,12 +659,22 @@ mod tests {
                 // clobbers the operand of the second one (WAR violation).
                 vec![
                     Inst::staged(
-                        Op::Vload { dst: Reg::V(0), base: Reg::R(0), disp: (k * 32) as i32 },
+                        Op::Vload {
+                            dst: Reg::V(0),
+                            base: Reg::R(0),
+                            disp: (k * 32) as i32,
+                        },
                         0,
                     ),
                     fma(16, 0, 1),
                     fma(17, 0, 2),
-                    Inst::staged(Op::Branch { cond: Reg::R(3), taken: k + 1 < n }, 1),
+                    Inst::staged(
+                        Op::Branch {
+                            cond: Reg::R(3),
+                            taken: k + 1 < n,
+                        },
+                        1,
+                    ),
                 ]
             })
             .collect();

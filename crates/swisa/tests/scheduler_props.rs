@@ -16,26 +16,35 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         // vload
         (vreg.clone(), rreg.clone(), 0i32..256).prop_map(|(dst, base, disp)| Inst::new(
-            Op::Vload { dst, base, disp: disp * 8 }
+            Op::Vload {
+                dst,
+                base,
+                disp: disp * 8
+            }
         )),
         // vfmadd (acc == dst, like the kernels)
-        (vreg.clone(), vreg.clone(), vreg.clone()).prop_map(|(dst, a, b)| Inst::new(
-            Op::Vfmadd { dst, a, b, acc: dst }
-        )),
-        // vstore
-        (vreg.clone(), rreg.clone(), 0i32..256).prop_map(|(src, base, disp)| Inst::new(
-            Op::Vstore { src, base, disp: disp * 8 }
-        )),
-        // addi
-        (rreg.clone(), rreg.clone(), -64i64..64).prop_map(|(dst, src, imm)| Inst::new(
-            Op::Addi { dst, src, imm }
-        )),
-        // cmp
-        (rreg.clone(), rreg.clone(), rreg).prop_map(|(dst, a, b)| Inst::new(Op::Cmp {
+        (vreg.clone(), vreg.clone(), vreg.clone()).prop_map(|(dst, a, b)| Inst::new(Op::Vfmadd {
             dst,
             a,
-            b
+            b,
+            acc: dst
         })),
+        // vstore
+        (vreg.clone(), rreg.clone(), 0i32..256).prop_map(|(src, base, disp)| Inst::new(
+            Op::Vstore {
+                src,
+                base,
+                disp: disp * 8
+            }
+        )),
+        // addi
+        (rreg.clone(), rreg.clone(), -64i64..64).prop_map(|(dst, src, imm)| Inst::new(Op::Addi {
+            dst,
+            src,
+            imm
+        })),
+        // cmp
+        (rreg.clone(), rreg.clone(), rreg).prop_map(|(dst, a, b)| Inst::new(Op::Cmp { dst, a, b })),
         Just(Inst::new(Op::Nop)),
     ]
 }
@@ -52,7 +61,7 @@ proptest! {
         let lat = LatencyTable::default();
         let order = list_schedule(&prog, &lat);
         prop_assert_eq!(order.len(), prog.len());
-        validate_order(&prog, &order, &lat).map_err(|e| TestCaseError::fail(e))?;
+        validate_order(&prog, &order, &lat).map_err(TestCaseError::fail)?;
     }
 
     #[test]

@@ -49,7 +49,11 @@ where
     let per_cg: Vec<CgStats> = (0..cgs).into_par_iter().map(work).collect();
     let wall = per_cg.iter().map(|s| s.cycles).max().unwrap_or(0) + LAUNCH_OVERHEAD_CYCLES;
     let flops = per_cg.iter().map(|s| s.totals.flops).sum();
-    MultiCgReport { per_cg, wall_cycles: wall, total_flops: flops }
+    MultiCgReport {
+        per_cg,
+        wall_cycles: wall,
+        total_flops: flops,
+    }
 }
 
 #[cfg(test)]
@@ -58,7 +62,13 @@ mod tests {
     use crate::stats::CpeStats;
 
     fn fake_cg(cycles: u64, flops: u64) -> CgStats {
-        CgStats { cycles, totals: CpeStats { flops, ..Default::default() } }
+        CgStats {
+            cycles,
+            totals: CpeStats {
+                flops,
+                ..Default::default()
+            },
+        }
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub struct DmaEngine {
 
 impl DmaEngine {
     pub fn new(chip: ChipSpec) -> Self {
-        Self { table: DmaTable, chip }
+        Self {
+            table: DmaTable,
+            chip,
+        }
     }
 
     /// Effective aggregate bandwidth for a given block size, GB/s.
@@ -69,7 +72,10 @@ mod tests {
         let e = engine();
         let slow = e.cost_cycles(DmaDirection::Get, 4096, 64); // 9.00 GB/s
         let fast = e.cost_cycles(DmaDirection::Get, 4096, 4096); // 32.05 GB/s
-        assert!(slow > 3 * fast, "64B blocks must be ~3.6x slower: {slow} vs {fast}");
+        assert!(
+            slow > 3 * fast,
+            "64B blocks must be ~3.6x slower: {slow} vs {fast}"
+        );
     }
 
     #[test]
@@ -82,7 +88,10 @@ mod tests {
         let seconds = cycles as f64 / 1.45e9;
         let implied_gbps = (per_cpe_bytes as f64 * 64.0) / seconds / 1e9;
         let expected = e.bandwidth_gbps(DmaDirection::Get, 512);
-        assert!((implied_gbps - expected).abs() / expected < 0.01, "{implied_gbps} vs {expected}");
+        assert!(
+            (implied_gbps - expected).abs() / expected < 0.01,
+            "{implied_gbps} vs {expected}"
+        );
     }
 
     #[test]

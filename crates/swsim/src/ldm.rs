@@ -57,7 +57,11 @@ impl Ldm {
     /// A scratchpad of `capacity_bytes` (64 KB on SW26010).
     pub fn new(capacity_bytes: usize) -> Self {
         let doubles = capacity_bytes / 8;
-        Self { data: vec![0.0; doubles], top: 0, high_water: 0 }
+        Self {
+            data: vec![0.0; doubles],
+            top: 0,
+            high_water: 0,
+        }
     }
 
     pub fn capacity_doubles(&self) -> usize {
@@ -83,7 +87,10 @@ impl Ldm {
                 capacity_doubles: self.data.len(),
             });
         }
-        let buf = LdmBuf { offset: self.top, len };
+        let buf = LdmBuf {
+            offset: self.top,
+            len,
+        };
         self.top += padded;
         self.high_water = self.high_water.max(self.top);
         Ok(buf)
@@ -173,7 +180,8 @@ mod tests {
     fn buffers_read_back_written_values() {
         let mut ldm = Ldm::new(1024);
         let b = ldm.alloc(8).unwrap();
-        ldm.buf_mut(b).copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+        ldm.buf_mut(b)
+            .copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
         assert_eq!(ldm.buf(b)[3], 4.0);
     }
 }

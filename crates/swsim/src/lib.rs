@@ -32,6 +32,7 @@
 
 pub mod chip;
 pub mod dma;
+pub mod fault;
 pub mod ldm;
 pub mod mem;
 pub mod mesh;
@@ -41,6 +42,7 @@ pub mod trace;
 
 pub use chip::{run_multi_cg, MultiCgReport};
 pub use dma::{DmaEngine, DmaHandle};
+pub use fault::{FaultPlan, RetryPolicy};
 pub use ldm::{Ldm, LdmBuf};
 pub use mem::{AccessClass, MemBlock, MemoryMap, Segment};
 pub use mesh::{Bus, CpeCtx, Mesh, SimError};

@@ -93,17 +93,23 @@ impl MemoryMap {
     pub fn alloc(&mut self, segment: Segment, bytes: u64) -> Result<MemBlock, MemExhausted> {
         let aligned = bytes.div_ceil(128) * 128;
         let (cap, used) = match segment {
-            Segment::Private { cg } => {
-                (self.private_bytes[cg], &mut self.private_used[cg])
-            }
+            Segment::Private { cg } => (self.private_bytes[cg], &mut self.private_used[cg]),
             Segment::Shared => (self.shared_bytes, &mut self.shared_used),
         };
         if *used + aligned > cap {
-            return Err(MemExhausted { segment, requested: aligned, available: cap - *used });
+            return Err(MemExhausted {
+                segment,
+                requested: aligned,
+                available: cap - *used,
+            });
         }
         let offset = *used;
         *used += aligned;
-        Ok(MemBlock { segment, offset, bytes })
+        Ok(MemBlock {
+            segment,
+            offset,
+            bytes,
+        })
     }
 
     /// Is an access by core group `cg` to this block local, remote-private,

@@ -15,6 +15,7 @@
 //! and the simulation stays deterministic regardless of rayon's scheduling.
 
 use crate::dma::{DmaEngine, DmaHandle};
+use crate::fault::FaultPlan;
 use crate::ldm::{Ldm, LdmBuf, LdmOverflow};
 use crate::stats::{CgStats, CpeStats};
 use rayon::prelude::*;
@@ -30,18 +31,51 @@ pub enum Bus {
     Col,
 }
 
-/// Simulation failures — all of them correspond to real programming errors
-/// on the hardware (scratchpad overflow, reading an empty transfer buffer,
-/// DMA outside the mapped segment).
+/// Simulation failures. Most correspond to real programming errors on the
+/// hardware (scratchpad overflow, reading an empty transfer buffer, DMA
+/// outside the mapped segment); `DmaFault` and `CpeOffline` are injected
+/// hardware faults from a [`FaultPlan`].
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum SimError {
     Ldm(LdmOverflow),
     /// `recv` on an empty transfer buffer: on hardware this deadlocks.
-    EmptyInbox { row: usize, col: usize, bus: Bus },
+    EmptyInbox {
+        row: usize,
+        col: usize,
+        bus: Bus,
+    },
     /// DMA touching memory outside the registered segment.
-    OutOfBounds { offset: usize, len: usize, size: usize },
+    OutOfBounds {
+        offset: usize,
+        len: usize,
+        size: usize,
+    },
     /// Plan-level invariant failure.
     Program(String),
+    /// An injected DMA failure persisted through every retry.
+    DmaFault {
+        row: usize,
+        col: usize,
+        attempts: u32,
+    },
+    /// The CPE is marked permanently offline by the active [`FaultPlan`].
+    CpeOffline {
+        row: usize,
+        col: usize,
+    },
+}
+
+impl SimError {
+    /// Whether a re-run (with a different fault pattern) could succeed.
+    /// Programming errors are deterministic and will recur; injected
+    /// transient faults and drop-induced deadlocks may not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::DmaFault { .. } | SimError::EmptyInbox { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -49,12 +83,26 @@ impl fmt::Display for SimError {
         match self {
             SimError::Ldm(e) => write!(f, "{e}"),
             SimError::EmptyInbox { row, col, bus } => {
-                write!(f, "CPE({row},{col}) get on empty {bus:?} transfer buffer (deadlock)")
+                write!(
+                    f,
+                    "CPE({row},{col}) get on empty {bus:?} transfer buffer (deadlock)"
+                )
             }
             SimError::OutOfBounds { offset, len, size } => {
-                write!(f, "DMA [{offset}..{}) outside segment of {size} doubles", offset + len)
+                write!(
+                    f,
+                    "DMA [{offset}..{}) outside segment of {size} doubles",
+                    offset + len
+                )
             }
             SimError::Program(s) => write!(f, "plan error: {s}"),
+            SimError::DmaFault { row, col, attempts } => {
+                write!(
+                    f,
+                    "CPE({row},{col}) DMA transfer failed after {attempts} attempts"
+                )
+            }
+            SimError::CpeOffline { row, col } => write!(f, "CPE({row},{col}) is offline"),
         }
     }
 }
@@ -81,6 +129,9 @@ struct CpeNode<S> {
     /// Cycle at which this CPE's DMA queue is free: outstanding requests
     /// from one CPE serialize (one transfer agent per CPE).
     dma_free: u64,
+    /// Monotonic DMA request counter, keying fault-injection decisions so
+    /// they are independent of thread scheduling.
+    dma_seq: u64,
     stats: CpeStats,
     row_inbox: VecDeque<Vec<f64>>,
     col_inbox: VecDeque<Vec<f64>>,
@@ -98,7 +149,9 @@ pub struct CpeCtx<'a> {
     row_inbox: &'a mut VecDeque<Vec<f64>>,
     col_inbox: &'a mut VecDeque<Vec<f64>>,
     dma_free: &'a mut u64,
+    dma_seq: &'a mut u64,
     dma: DmaEngine,
+    fault: Option<FaultPlan>,
     block_hint: Option<usize>,
     trace: Option<&'a mut Vec<crate::trace::Event>>,
     out_msgs: Vec<OutMsg>,
@@ -182,7 +235,11 @@ impl CpeCtx<'_> {
         }
         let last = src_off + src_stride * runs.saturating_sub(1) + run_len;
         if last > src.len() {
-            return Err(SimError::OutOfBounds { offset: src_off, len: last - src_off, size: src.len() });
+            return Err(SimError::OutOfBounds {
+                offset: src_off,
+                len: last - src_off,
+                size: src.len(),
+            });
         }
         let d = self.ldm.buf_mut(dst);
         for r in 0..runs {
@@ -191,11 +248,18 @@ impl CpeCtx<'_> {
                 .copy_from_slice(&src[s..s + run_len]);
         }
         let bytes = total * 8;
-        let cycles = self.dma.cost_cycles(DmaDirection::Get, bytes, self.block_hint.take().unwrap_or(run_len * 8));
+        let cycles = self.dma.cost_cycles(
+            DmaDirection::Get,
+            bytes,
+            self.block_hint.take().unwrap_or(run_len * 8),
+        );
         self.stats.dma_get_bytes += bytes as u64;
         self.stats.dma_requests += 1;
-        let h = self.enqueue_dma(cycles);
-        self.record(crate::trace::EventKind::DmaGetIssue { bytes: bytes as u64, done_at: h.done_at });
+        let h = self.enqueue_dma(cycles)?;
+        self.record(crate::trace::EventKind::DmaGetIssue {
+            bytes: bytes as u64,
+            done_at: h.done_at,
+        });
         Ok(h)
     }
 
@@ -207,11 +271,44 @@ impl CpeCtx<'_> {
     }
 
     /// Requests from one CPE serialize through its transfer agent.
-    fn enqueue_dma(&mut self, cycles: u64) -> DmaHandle {
+    ///
+    /// With an active [`FaultPlan`] this is also where injected DMA faults
+    /// land: a stalled transfer takes longer, and a failed attempt is
+    /// re-issued (paying the wasted transfer plus an exponential backoff)
+    /// up to [`crate::fault::RetryPolicy::max_retries`] times. All of that
+    /// time flows into `done_at`, so retries eat exactly the slack that
+    /// double buffering would otherwise hide.
+    fn enqueue_dma(&mut self, cycles: u64) -> Result<DmaHandle, SimError> {
+        let mut total = cycles;
+        if let Some(fp) = self.fault {
+            let seq = *self.dma_seq;
+            *self.dma_seq += 1;
+            let id = self.row * crate::MESH_DIM + self.col;
+            let stall = fp.dma_stall(id, seq);
+            if stall > 0 {
+                total += stall;
+                self.stats.fault_stall_cycles += stall;
+            }
+            let mut attempt = 0u32;
+            while fp.dma_attempt_fails(id, seq, attempt) {
+                if attempt >= fp.retry.max_retries {
+                    return Err(SimError::DmaFault {
+                        row: self.row,
+                        col: self.col,
+                        attempts: attempt + 1,
+                    });
+                }
+                let backoff = fp.retry.base_backoff_cycles << attempt;
+                total += cycles + backoff;
+                self.stats.dma_retries += 1;
+                self.stats.fault_retry_cycles += cycles + backoff;
+                attempt += 1;
+            }
+        }
         let start = (*self.clock).max(*self.dma_free);
-        let done = start + cycles;
+        let done = start + total;
         *self.dma_free = done;
-        DmaHandle { done_at: done }
+        Ok(DmaHandle { done_at: done })
     }
 
     fn record(&mut self, kind: crate::trace::EventKind) {
@@ -248,12 +345,18 @@ impl CpeCtx<'_> {
             self.out_puts.push((dst_off + r * dst_stride, data));
         }
         let bytes = total * 8;
-        let cycles =
-            self.dma.cost_cycles(DmaDirection::Put, bytes, self.block_hint.take().unwrap_or(run_len * 8));
+        let cycles = self.dma.cost_cycles(
+            DmaDirection::Put,
+            bytes,
+            self.block_hint.take().unwrap_or(run_len * 8),
+        );
         self.stats.dma_put_bytes += bytes as u64;
         self.stats.dma_requests += 1;
-        let h = self.enqueue_dma(cycles);
-        self.record(crate::trace::EventKind::DmaPutIssue { bytes: bytes as u64, done_at: h.done_at });
+        let h = self.enqueue_dma(cycles)?;
+        self.record(crate::trace::EventKind::DmaPutIssue {
+            bytes: bytes as u64,
+            done_at: h.done_at,
+        });
         Ok(h)
     }
 
@@ -281,14 +384,22 @@ impl CpeCtx<'_> {
         let s = self.ldm.buf(src);
         for r in 0..runs {
             let a = src_off + r * src_stride;
-            self.out_puts.push((dst_off + r * dst_stride, s[a..a + run_len].to_vec()));
+            self.out_puts
+                .push((dst_off + r * dst_stride, s[a..a + run_len].to_vec()));
         }
         let bytes = runs * run_len * 8;
-        let cycles = self.dma.cost_cycles(DmaDirection::Put, bytes, self.block_hint.take().unwrap_or(run_len * 8));
+        let cycles = self.dma.cost_cycles(
+            DmaDirection::Put,
+            bytes,
+            self.block_hint.take().unwrap_or(run_len * 8),
+        );
         self.stats.dma_put_bytes += bytes as u64;
         self.stats.dma_requests += 1;
-        let h = self.enqueue_dma(cycles);
-        self.record(crate::trace::EventKind::DmaPutIssue { bytes: bytes as u64, done_at: h.done_at });
+        let h = self.enqueue_dma(cycles)?;
+        self.record(crate::trace::EventKind::DmaPutIssue {
+            bytes: bytes as u64,
+            done_at: h.done_at,
+        });
         Ok(h)
     }
 
@@ -317,27 +428,41 @@ impl CpeCtx<'_> {
     /// Costs one P1 put per 256-bit vector.
     pub fn bcast_row(&mut self, data: &[f64]) {
         self.charge_put(data.len());
-        self.out_msgs.push(OutMsg::Bcast { bus: Bus::Row, data: data.to_vec() });
+        self.out_msgs.push(OutMsg::Bcast {
+            bus: Bus::Row,
+            data: data.to_vec(),
+        });
     }
 
     /// Broadcast `data` to the other 7 CPEs on this column (`vldc`-style).
     pub fn bcast_col(&mut self, data: &[f64]) {
         self.charge_put(data.len());
-        self.out_msgs.push(OutMsg::Bcast { bus: Bus::Col, data: data.to_vec() });
+        self.out_msgs.push(OutMsg::Bcast {
+            bus: Bus::Col,
+            data: data.to_vec(),
+        });
     }
 
     /// Point-to-point put along this row to column `to_col`.
     pub fn send_row(&mut self, to_col: usize, data: &[f64]) {
         assert!(to_col < crate::MESH_DIM);
         self.charge_put(data.len());
-        self.out_msgs.push(OutMsg::Send { bus: Bus::Row, to: to_col, data: data.to_vec() });
+        self.out_msgs.push(OutMsg::Send {
+            bus: Bus::Row,
+            to: to_col,
+            data: data.to_vec(),
+        });
     }
 
     /// Point-to-point put along this column to row `to_row`.
     pub fn send_col(&mut self, to_row: usize, data: &[f64]) {
         assert!(to_row < crate::MESH_DIM);
         self.charge_put(data.len());
-        self.out_msgs.push(OutMsg::Send { bus: Bus::Col, to: to_row, data: data.to_vec() });
+        self.out_msgs.push(OutMsg::Send {
+            bus: Bus::Col,
+            to: to_row,
+            data: data.to_vec(),
+        });
     }
 
     fn charge_put(&mut self, doubles: usize) {
@@ -390,6 +515,10 @@ impl CpeCtx<'_> {
 }
 
 /// One core group's 8×8 mesh plus its DMA engine and put log.
+/// Per-CPE outcome of one superstep: outgoing bus messages, DMA puts to
+/// main memory, and the CPE program's result.
+type StepResult = (Vec<OutMsg>, Vec<(usize, Vec<f64>)>, Result<(), SimError>);
+
 pub struct Mesh<S> {
     pub chip: ChipSpec,
     dma: DmaEngine,
@@ -399,6 +528,9 @@ pub struct Mesh<S> {
     /// Cycle cost of each superstep barrier.
     pub sync_cycles: u64,
     trace_on: bool,
+    fault: Option<FaultPlan>,
+    /// Mesh-global bus-delivery counter keying message-drop decisions.
+    msg_deliveries: u64,
 }
 
 impl<S: Send> Mesh<S> {
@@ -414,6 +546,7 @@ impl<S: Send> Mesh<S> {
                     ldm: Ldm::new(chip.ldm_bytes),
                     clock: 0,
                     dma_free: 0,
+                    dma_seq: 0,
                     stats: CpeStats::default(),
                     row_inbox: VecDeque::new(),
                     col_inbox: VecDeque::new(),
@@ -430,12 +563,24 @@ impl<S: Send> Mesh<S> {
             supersteps: 0,
             sync_cycles: 8,
             trace_on: false,
+            fault: None,
+            msg_deliveries: 0,
         }
     }
 
     /// Start recording per-CPE [`crate::trace::Event`]s.
     pub fn enable_trace(&mut self) {
         self.trace_on = true;
+    }
+
+    /// Activate a fault-injection plan for all subsequent supersteps.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
     }
 
     /// Drain the recorded traces as `(row, col, events)` triples.
@@ -455,10 +600,27 @@ impl<S: Send> Mesh<S> {
     {
         let dma = self.dma;
         let trace_on = self.trace_on;
-        let results: Vec<(Vec<OutMsg>, Vec<(usize, Vec<f64>)>, Result<(), SimError>)> = self
+        let fault = self.fault;
+        let step = self.supersteps;
+        let results: Vec<StepResult> = self
             .cpes
             .par_iter_mut()
             .map(|node| {
+                if let Some(fp) = fault {
+                    if fp.cpe_dead(node.row, node.col) {
+                        let err = SimError::CpeOffline {
+                            row: node.row,
+                            col: node.col,
+                        };
+                        return (Vec::new(), Vec::new(), Err(err));
+                    }
+                    let id = node.row * crate::MESH_DIM + node.col;
+                    let stall = fp.cpe_stall(id, step);
+                    if stall > 0 {
+                        node.clock += stall;
+                        node.stats.fault_stall_cycles += stall;
+                    }
+                }
                 let mut ctx = CpeCtx {
                     row: node.row,
                     col: node.col,
@@ -468,9 +630,15 @@ impl<S: Send> Mesh<S> {
                     row_inbox: &mut node.row_inbox,
                     col_inbox: &mut node.col_inbox,
                     dma_free: &mut node.dma_free,
+                    dma_seq: &mut node.dma_seq,
                     dma,
+                    fault,
                     block_hint: None,
-                    trace: if trace_on { Some(&mut node.events) } else { None },
+                    trace: if trace_on {
+                        Some(&mut node.events)
+                    } else {
+                        None
+                    },
                     out_msgs: Vec::new(),
                     out_puts: Vec::new(),
                 };
@@ -484,31 +652,60 @@ impl<S: Send> Mesh<S> {
             r.clone()?;
         }
 
-        // Deliver messages in CPE-id order for determinism.
+        // Deliver messages in CPE-id order for determinism. Each delivery
+        // bumps a mesh-global counter; with an active fault plan a delivery
+        // may be dropped (the receiver's later recv then hits EmptyInbox).
         let dim = self.chip.mesh_dim;
+        let fault = self.fault;
         for (id, (msgs, puts, _)) in results.into_iter().enumerate() {
             let (row, col) = (id / dim, id % dim);
             for m in msgs {
-                match m {
-                    OutMsg::Bcast { bus: Bus::Row, data } => {
-                        for c in 0..dim {
-                            if c != col {
-                                self.cpes[row * dim + c].row_inbox.push_back(data.clone());
-                            }
+                let (bus, targets, data) = match m {
+                    OutMsg::Bcast {
+                        bus: Bus::Row,
+                        data,
+                    } => (
+                        Bus::Row,
+                        (0..dim)
+                            .filter(|&c| c != col)
+                            .map(|c| row * dim + c)
+                            .collect::<Vec<_>>(),
+                        data,
+                    ),
+                    OutMsg::Bcast {
+                        bus: Bus::Col,
+                        data,
+                    } => (
+                        Bus::Col,
+                        (0..dim)
+                            .filter(|&r| r != row)
+                            .map(|r| r * dim + col)
+                            .collect(),
+                        data,
+                    ),
+                    OutMsg::Send {
+                        bus: Bus::Row,
+                        to,
+                        data,
+                    } => (Bus::Row, vec![row * dim + to], data),
+                    OutMsg::Send {
+                        bus: Bus::Col,
+                        to,
+                        data,
+                    } => (Bus::Col, vec![to * dim + col], data),
+                };
+                for target in targets {
+                    let seq = self.msg_deliveries;
+                    self.msg_deliveries += 1;
+                    if let Some(fp) = fault {
+                        if fp.msg_dropped(id, target, seq) {
+                            self.cpes[id].stats.msgs_dropped += 1;
+                            continue;
                         }
                     }
-                    OutMsg::Bcast { bus: Bus::Col, data } => {
-                        for r in 0..dim {
-                            if r != row {
-                                self.cpes[r * dim + col].col_inbox.push_back(data.clone());
-                            }
-                        }
-                    }
-                    OutMsg::Send { bus: Bus::Row, to, data } => {
-                        self.cpes[row * dim + to].row_inbox.push_back(data);
-                    }
-                    OutMsg::Send { bus: Bus::Col, to, data } => {
-                        self.cpes[to * dim + col].col_inbox.push_back(data);
+                    match bus {
+                        Bus::Row => self.cpes[target].row_inbox.push_back(data.clone()),
+                        Bus::Col => self.cpes[target].col_inbox.push_back(data.clone()),
                     }
                 }
             }
@@ -534,7 +731,11 @@ impl<S: Send> Mesh<S> {
     pub fn drain_puts(&mut self, out: &mut [f64]) -> Result<(), SimError> {
         for (off, data) in self.put_log.drain(..) {
             if off + data.len() > out.len() {
-                return Err(SimError::OutOfBounds { offset: off, len: data.len(), size: out.len() });
+                return Err(SimError::OutOfBounds {
+                    offset: off,
+                    len: data.len(),
+                    size: out.len(),
+                });
             }
             out[off..off + data.len()].copy_from_slice(&data);
         }
@@ -552,12 +753,19 @@ impl<S: Send> Mesh<S> {
         for c in &self.cpes {
             totals.add(&c.stats);
         }
-        CgStats { cycles: self.cpes.iter().map(|c| c.clock).max().unwrap_or(0), totals }
+        CgStats {
+            cycles: self.cpes.iter().map(|c| c.clock).max().unwrap_or(0),
+            totals,
+        }
     }
 
     /// Peak LDM usage across the mesh, in doubles.
     pub fn ldm_high_water(&self) -> usize {
-        self.cpes.iter().map(|c| c.ldm.high_water_doubles()).max().unwrap_or(0)
+        self.cpes
+            .iter()
+            .map(|c| c.ldm.high_water_doubles())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Supersteps executed.
@@ -750,7 +958,10 @@ mod tests {
         })
         .unwrap();
         let mut out = vec![0.0; 10];
-        assert!(matches!(m.drain_puts(&mut out), Err(SimError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.drain_puts(&mut out),
+            Err(SimError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -773,11 +984,19 @@ mod tests {
         assert_eq!(traces.len(), 64);
         let (_, _, ev0) = &traces[0];
         use crate::trace::EventKind;
-        assert!(ev0.iter().any(|e| matches!(e.kind, EventKind::DmaGetIssue { .. })));
-        assert!(ev0.iter().any(|e| matches!(e.kind, EventKind::Compute { cycles: 100 })));
-        assert!(ev0.iter().any(|e| matches!(e.kind, EventKind::Barrier { .. })));
+        assert!(ev0
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DmaGetIssue { .. })));
+        assert!(ev0
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Compute { cycles: 100 })));
+        assert!(ev0
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Barrier { .. })));
         // CPE(0,0) broadcast.
-        assert!(ev0.iter().any(|e| matches!(e.kind, EventKind::BusSend { vectors: 2 })));
+        assert!(ev0
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BusSend { vectors: 2 })));
         let text = crate::trace::render_summary(&traces);
         assert!(text.contains("busiest CPE"));
         // Tracing must not perturb timing.
@@ -794,6 +1013,130 @@ mod tests {
         })
         .unwrap();
         assert_eq!(m.stats().cycles, m2.stats().cycles);
+    }
+
+    #[test]
+    fn injected_dma_failures_retry_and_cost_cycles() {
+        use crate::fault::FaultPlan;
+        let src = vec![1.0; 64 * 256];
+        let run = |fault: Option<FaultPlan>| {
+            let mut m: Mesh<()> = Mesh::new(ChipSpec::sw26010(), |_, _| ());
+            if let Some(fp) = fault {
+                m.inject_faults(fp);
+            }
+            for _ in 0..16 {
+                m.superstep(|ctx, _| {
+                    let buf = ctx.ldm_alloc(256)?;
+                    let h = ctx.dma_get(buf, 0, &src, ctx.id() * 256, 256)?;
+                    ctx.dma_wait(h);
+                    Ok(())
+                })
+                .unwrap();
+            }
+            m.stats()
+        };
+        let clean = run(None);
+        // 16 supersteps × 64 CPEs: a 2% per-attempt rate makes >0 retries
+        // overwhelmingly likely, and with max_retries=4 a full exhaustion
+        // (p ≈ 0.02^5) essentially impossible.
+        let faulty = run(Some(FaultPlan::none(1234).with_dma_fail_rate(0.02)));
+        assert!(faulty.totals.dma_retries > 0, "no retries injected");
+        assert!(faulty.totals.fault_retry_cycles > 0);
+        assert!(faulty.cycles > clean.cycles, "retries must consume cycles");
+        assert_eq!(faulty.totals.dma_get_bytes, clean.totals.dma_get_bytes);
+        // Determinism: the same plan replays the identical outcome.
+        let replay = run(Some(FaultPlan::none(1234).with_dma_fail_rate(0.02)));
+        assert_eq!(replay.cycles, faulty.cycles);
+        assert_eq!(replay.totals.dma_retries, faulty.totals.dma_retries);
+    }
+
+    #[test]
+    fn exhausted_dma_retries_surface_as_fault_error() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        let mut m = mesh();
+        m.inject_faults(
+            FaultPlan::none(7)
+                .with_dma_fail_rate(1.0)
+                .with_retry(RetryPolicy {
+                    max_retries: 2,
+                    base_backoff_cycles: 16,
+                }),
+        );
+        let src = vec![0.0; 64];
+        let err = m
+            .superstep(|ctx, _| {
+                let buf = ctx.ldm_alloc(1)?;
+                ctx.dma_get(buf, 0, &src, ctx.id(), 1)?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::DmaFault { attempts: 3, .. }));
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn dead_cpe_reports_offline_deterministically() {
+        use crate::fault::FaultPlan;
+        let mut m = mesh();
+        m.inject_faults(FaultPlan::none(0).with_dead_cpe(3, 5));
+        let err = m.superstep(|_, _| Ok(())).unwrap_err();
+        assert_eq!(err, SimError::CpeOffline { row: 3, col: 5 });
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn dropped_broadcast_becomes_empty_inbox() {
+        use crate::fault::FaultPlan;
+        let mut m = mesh();
+        // Drop everything: every receiver must then deadlock on recv.
+        m.inject_faults(FaultPlan::none(3).with_msg_drop_rate(1.0));
+        m.superstep(|ctx, _| {
+            if ctx.col == 0 {
+                ctx.bcast_row(&[1.0; 4]);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert!(m.stats().totals.msgs_dropped > 0);
+        let err = m
+            .superstep(|ctx, _| {
+                if ctx.col != 0 {
+                    ctx.recv_row()?;
+                }
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::EmptyInbox { bus: Bus::Row, .. }));
+    }
+
+    #[test]
+    fn cpe_stalls_slow_the_mesh_without_changing_results() {
+        use crate::fault::FaultPlan;
+        let src = vec![2.0; 64 * 32];
+        let run = |fault: Option<FaultPlan>| {
+            let mut m: Mesh<Vec<f64>> = Mesh::new(ChipSpec::sw26010(), |_, _| Vec::new());
+            if let Some(fp) = fault {
+                m.inject_faults(fp);
+            }
+            for _ in 0..8 {
+                m.superstep(|ctx, s| {
+                    let buf = ctx.ldm_alloc(32)?;
+                    let h = ctx.dma_get(buf, 0, &src, ctx.id() * 32, 32)?;
+                    ctx.dma_wait(h);
+                    s.push(ctx.ldm(buf).iter().sum());
+                    Ok(())
+                })
+                .unwrap();
+            }
+            m
+        };
+        let clean = run(None);
+        let faulty = run(Some(FaultPlan::none(5).with_cpe_stalls(0.2, 5_000)));
+        assert!(faulty.stats().totals.fault_stall_cycles > 0);
+        assert!(faulty.stats().cycles > clean.stats().cycles);
+        for (a, b) in clean.cpes.iter().zip(faulty.cpes.iter()) {
+            assert_eq!(a.state, b.state, "stalls must not change data");
+        }
     }
 
     #[test]
@@ -834,6 +1177,9 @@ mod tests {
 
         let serial = run(false);
         let overlapped = run(true);
-        assert!(overlapped < serial, "overlap {overlapped} !< serial {serial}");
+        assert!(
+            overlapped < serial,
+            "overlap {overlapped} !< serial {serial}"
+        );
     }
 }

@@ -31,7 +31,11 @@ impl Default for NocModel {
         // The NoC sustains on the order of one memory controller's worth
         // of aggregate remote bandwidth — enough for occasional sharing,
         // far too little to stream operands from remote memories.
-        Self { chip: ChipSpec::sw26010(), cross_gbps: 32.0, hop_latency_cycles: 200 }
+        Self {
+            chip: ChipSpec::sw26010(),
+            cross_gbps: 32.0,
+            hop_latency_cycles: 200,
+        }
     }
 }
 
@@ -65,13 +69,19 @@ impl NocModel {
     /// Traffic split of the paper's row partitioning: every operand byte
     /// is private.
     pub fn row_partitioned(&self, bytes_per_cg: u64) -> TrafficSplit {
-        TrafficSplit { local_bytes: bytes_per_cg, remote_bytes: 0 }
+        TrafficSplit {
+            local_bytes: bytes_per_cg,
+            remote_bytes: 0,
+        }
     }
 
     /// Traffic split of a naive interleaving where data is striped across
     /// the four memories: 3/4 of every CG's reads are remote.
     pub fn interleaved(&self, bytes_per_cg: u64) -> TrafficSplit {
-        TrafficSplit { local_bytes: bytes_per_cg / 4, remote_bytes: bytes_per_cg * 3 / 4 }
+        TrafficSplit {
+            local_bytes: bytes_per_cg / 4,
+            remote_bytes: bytes_per_cg * 3 / 4,
+        }
     }
 
     /// Slowdown of interleaved placement vs row partitioning.
@@ -106,9 +116,15 @@ mod tests {
     #[test]
     fn hop_latency_only_charged_for_remote_traffic() {
         let noc = NocModel::default();
-        let local = noc.transfer_seconds(&TrafficSplit { local_bytes: 0, remote_bytes: 0 });
+        let local = noc.transfer_seconds(&TrafficSplit {
+            local_bytes: 0,
+            remote_bytes: 0,
+        });
         assert_eq!(local, 0.0);
-        let remote = noc.transfer_seconds(&TrafficSplit { local_bytes: 0, remote_bytes: 1 });
+        let remote = noc.transfer_seconds(&TrafficSplit {
+            local_bytes: 0,
+            remote_bytes: 1,
+        });
         assert!(remote > 0.0);
     }
 
@@ -116,10 +132,11 @@ mod tests {
     fn penalty_grows_with_remote_share() {
         let noc = NocModel::default();
         let b = 64 << 20;
-        let quarter = TrafficSplit { local_bytes: 3 * b / 4, remote_bytes: b / 4 };
+        let quarter = TrafficSplit {
+            local_bytes: 3 * b / 4,
+            remote_bytes: b / 4,
+        };
         let three_quarters = noc.interleaved(b);
-        assert!(
-            noc.transfer_seconds(&three_quarters) > noc.transfer_seconds(&quarter)
-        );
+        assert!(noc.transfer_seconds(&three_quarters) > noc.transfer_seconds(&quarter));
     }
 }

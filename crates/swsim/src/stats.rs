@@ -24,6 +24,14 @@ pub struct CpeStats {
     pub dma_stall_cycles: u64,
     /// Cycles spent in compute kernels.
     pub compute_cycles: u64,
+    /// DMA attempts re-issued after an injected failure.
+    pub dma_retries: u64,
+    /// Cycles charged for re-issued transfers plus retry backoff.
+    pub fault_retry_cycles: u64,
+    /// Cycles lost to injected DMA/CPE stalls.
+    pub fault_stall_cycles: u64,
+    /// Bus messages dropped by fault injection (counted at the sender).
+    pub msgs_dropped: u64,
 }
 
 impl CpeStats {
@@ -36,6 +44,10 @@ impl CpeStats {
         self.flops += other.flops;
         self.dma_stall_cycles += other.dma_stall_cycles;
         self.compute_cycles += other.compute_cycles;
+        self.dma_retries += other.dma_retries;
+        self.fault_retry_cycles += other.fault_retry_cycles;
+        self.fault_stall_cycles += other.fault_stall_cycles;
+        self.msgs_dropped += other.msgs_dropped;
     }
 }
 
@@ -89,7 +101,10 @@ mod tests {
     fn gflops_arithmetic() {
         let s = CgStats {
             cycles: 1_450_000_000, // one second at 1.45 GHz
-            totals: CpeStats { flops: 500_000_000_000, ..Default::default() },
+            totals: CpeStats {
+                flops: 500_000_000_000,
+                ..Default::default()
+            },
         };
         assert!((s.gflops(1.45) - 500.0).abs() < 1e-9);
         assert!((s.seconds(1.45) - 1.0).abs() < 1e-12);
@@ -99,7 +114,10 @@ mod tests {
     fn bandwidth_arithmetic() {
         let s = CgStats {
             cycles: 1_450_000_000,
-            totals: CpeStats { dma_get_bytes: 36_000_000_000, ..Default::default() },
+            totals: CpeStats {
+                dma_get_bytes: 36_000_000_000,
+                ..Default::default()
+            },
         };
         assert!((s.dma_get_gbps(1.45) - 36.0).abs() < 1e-9);
     }
@@ -113,8 +131,17 @@ mod tests {
 
     #[test]
     fn stats_add_accumulates_all_fields() {
-        let mut a = CpeStats { flops: 1, dma_get_bytes: 2, ..Default::default() };
-        let b = CpeStats { flops: 10, dma_get_bytes: 20, bus_vectors_sent: 3, ..Default::default() };
+        let mut a = CpeStats {
+            flops: 1,
+            dma_get_bytes: 2,
+            ..Default::default()
+        };
+        let b = CpeStats {
+            flops: 10,
+            dma_get_bytes: 20,
+            bus_vectors_sent: 3,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.flops, 11);
         assert_eq!(a.dma_get_bytes, 22);

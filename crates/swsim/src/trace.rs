@@ -127,12 +127,24 @@ mod tests {
     #[test]
     fn summary_aggregates_by_kind() {
         let events = vec![
-            ev(0, EventKind::DmaGetIssue { bytes: 128, done_at: 50 }),
+            ev(
+                0,
+                EventKind::DmaGetIssue {
+                    bytes: 128,
+                    done_at: 50,
+                },
+            ),
             ev(0, EventKind::DmaWait { stall: 50 }),
             ev(50, EventKind::Compute { cycles: 100 }),
             ev(150, EventKind::BusSend { vectors: 4 }),
             ev(154, EventKind::Barrier { to: 200 }),
-            ev(200, EventKind::DmaPutIssue { bytes: 64, done_at: 240 }),
+            ev(
+                200,
+                EventKind::DmaPutIssue {
+                    bytes: 64,
+                    done_at: 240,
+                },
+            ),
         ];
         let s = TraceSummary::from_events(&events);
         assert_eq!(s.dma_gets, 1);
@@ -148,7 +160,14 @@ mod tests {
     fn render_reports_busiest_cpe() {
         let traces = vec![
             (0, 0, vec![ev(0, EventKind::Compute { cycles: 10 })]),
-            (0, 1, vec![ev(0, EventKind::Compute { cycles: 90 }), ev(0, EventKind::DmaWait { stall: 10 })]),
+            (
+                0,
+                1,
+                vec![
+                    ev(0, EventKind::Compute { cycles: 90 }),
+                    ev(0, EventKind::DmaWait { stall: 10 }),
+                ],
+            ),
         ];
         let text = render_summary(&traces);
         assert!(text.contains("CPE(0,0)"));
@@ -157,7 +176,11 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        let s = TraceSummary { dma_gets: 2, dma_bytes: 256, ..Default::default() };
+        let s = TraceSummary {
+            dma_gets: 2,
+            dma_bytes: 256,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("2 gets"));
     }
 }

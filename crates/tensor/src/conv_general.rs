@@ -28,12 +28,26 @@ pub struct ConvGeometry {
 impl ConvGeometry {
     /// Dense "valid" geometry (the paper's case).
     pub const fn valid(kr: usize, kc: usize) -> Self {
-        Self { kr, kc, pad_r: 0, pad_c: 0, stride_r: 1, stride_c: 1 }
+        Self {
+            kr,
+            kc,
+            pad_r: 0,
+            pad_c: 0,
+            stride_r: 1,
+            stride_c: 1,
+        }
     }
 
     /// "Same" padding for odd filters at stride 1.
     pub const fn same(kr: usize, kc: usize) -> Self {
-        Self { kr, kc, pad_r: (kr - 1) / 2, pad_c: (kc - 1) / 2, stride_r: 1, stride_c: 1 }
+        Self {
+            kr,
+            kc,
+            pad_r: (kr - 1) / 2,
+            pad_c: (kc - 1) / 2,
+            stride_r: 1,
+            stride_c: 1,
+        }
     }
 
     pub const fn with_stride(mut self, sr: usize, sc: usize) -> Self {
@@ -56,7 +70,10 @@ impl ConvGeometry {
         if er < self.kr || ec < self.kc {
             return None;
         }
-        Some(((er - self.kr) / self.stride_r + 1, (ec - self.kc) / self.stride_c + 1))
+        Some((
+            (er - self.kr) / self.stride_r + 1,
+            (ec - self.kc) / self.stride_c + 1,
+        ))
     }
 
     /// Whether this geometry degenerates to the paper's dense case.
@@ -161,8 +178,10 @@ pub fn conv2d_general_bwd_filter<T: Scalar>(
 ) -> Tensor4<T> {
     let s = input.shape();
     let o = d_out.shape();
-    let mut d_w =
-        Tensor4::zeros(Shape4::new(o.d1, s.d1, geom.kr, geom.kc), crate::Layout::Nchw);
+    let mut d_w = Tensor4::zeros(
+        Shape4::new(o.d1, s.d1, geom.kr, geom.kc),
+        crate::Layout::Nchw,
+    );
     for b in 0..o.d0 {
         for no in 0..o.d1 {
             for orow in 0..o.d2 {
@@ -195,7 +214,9 @@ pub fn conv2d_general_bwd_filter<T: Scalar>(
 /// Flop count of one general forward pass (2 per multiply-add, counting
 /// padded taps as skipped).
 pub fn general_flops(geom: &ConvGeometry, input_shape: Shape4, no: usize) -> u64 {
-    let (ro, co) = geom.output_extent(input_shape.d2, input_shape.d3).unwrap_or((0, 0));
+    let (ro, co) = geom
+        .output_extent(input_shape.d2, input_shape.d3)
+        .unwrap_or((0, 0));
     2 * (input_shape.d0 * no * ro * co * input_shape.d1 * geom.kr * geom.kc) as u64
 }
 
@@ -206,7 +227,9 @@ impl ConvGeometry {
             return None;
         }
         let (ro, co) = self.output_extent(input.d2, input.d3)?;
-        Some(ConvShape::new(input.d0, input.d1, no, ro, co, self.kr, self.kc))
+        Some(ConvShape::new(
+            input.d0, input.d1, no, ro, co, self.kr, self.kc,
+        ))
     }
 }
 
@@ -271,7 +294,7 @@ mod tests {
         let base = out.sum_f64();
         for probe in [(0, 0, 0, 0), (0, 1, 2, 2), (0, 0, 4, 4)] {
             let mut bumped = input.clone();
-            bumped[probe] = bumped[probe] + eps;
+            bumped[probe] += eps;
             let fd = (conv2d_general(&geom, &bumped, &filter).sum_f64() - base) / eps;
             let an = d_in[probe];
             assert!((fd - an).abs() < 1e-4, "{probe:?}: fd {fd} vs {an}");
@@ -280,7 +303,9 @@ mod tests {
 
     #[test]
     fn bwd_filter_matches_finite_difference() {
-        let geom = ConvGeometry::valid(2, 2).with_stride(2, 1).with_padding(1, 0);
+        let geom = ConvGeometry::valid(2, 2)
+            .with_stride(2, 1)
+            .with_padding(1, 0);
         let in_shape = Shape4::new(2, 1, 4, 4);
         let input = seeded_tensor::<f64>(in_shape, Layout::Nchw, 8);
         let filter = seeded_tensor::<f64>(Shape4::new(2, 1, 2, 2), Layout::Nchw, 9);
@@ -292,7 +317,7 @@ mod tests {
         let base = out.sum_f64();
         for probe in [(0, 0, 0, 0), (1, 0, 1, 1)] {
             let mut bumped = filter.clone();
-            bumped[probe] = bumped[probe] + eps;
+            bumped[probe] += eps;
             let fd = (conv2d_general(&geom, &input, &bumped).sum_f64() - base) / eps;
             let an = d_w[probe];
             assert!((fd - an).abs() < 1e-4, "{probe:?}: fd {fd} vs {an}");
@@ -304,7 +329,9 @@ mod tests {
         let geom = ConvGeometry::valid(3, 3);
         let shape = geom.as_dense_shape(Shape4::new(8, 16, 10, 10), 32).unwrap();
         assert_eq!(shape, ConvShape::new(8, 16, 32, 8, 8, 3, 3));
-        assert!(ConvGeometry::same(3, 3).as_dense_shape(Shape4::new(1, 1, 4, 4), 1).is_none());
+        assert!(ConvGeometry::same(3, 3)
+            .as_dense_shape(Shape4::new(1, 1, 4, 4), 1)
+            .is_none());
     }
 
     #[test]

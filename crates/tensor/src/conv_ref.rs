@@ -15,7 +15,11 @@ use crate::tensor::{Scalar, Tensor4};
 /// Forward convolution: `out[b][no][ro][co] += Σ in[b][ni][ro+kr][co+kc] * w[no][ni][kr][kc]`.
 ///
 /// Allocates the output tensor in the input's layout family (`Nchw`).
-pub fn conv2d_ref<T: Scalar>(shape: ConvShape, input: &Tensor4<T>, filter: &Tensor4<T>) -> Tensor4<T> {
+pub fn conv2d_ref<T: Scalar>(
+    shape: ConvShape,
+    input: &Tensor4<T>,
+    filter: &Tensor4<T>,
+) -> Tensor4<T> {
     let mut out = Tensor4::zeros(shape.output_shape(), crate::Layout::Nchw);
     conv2d_ref_into(shape, input, filter, &mut out);
     out
@@ -42,8 +46,8 @@ pub fn conv2d_ref_into<T: Scalar>(
                     for ni in 0..shape.ni {
                         for kr in 0..shape.kr {
                             for kc in 0..shape.kc {
-                                acc += input.get(b, ni, ro + kr, co + kc)
-                                    * filter.get(no, ni, kr, kc);
+                                acc +=
+                                    input.get(b, ni, ro + kr, co + kc) * filter.get(no, ni, kr, kc);
                             }
                         }
                     }
@@ -75,7 +79,13 @@ pub fn conv2d_bwd_data_ref<T: Scalar>(
                         for kr in 0..shape.kr {
                             for kc in 0..shape.kc {
                                 let cur = d_in.get(b, ni, ro + kr, co + kc);
-                                d_in.set(b, ni, ro + kr, co + kc, cur + g * filter.get(no, ni, kr, kc));
+                                d_in.set(
+                                    b,
+                                    ni,
+                                    ro + kr,
+                                    co + kc,
+                                    cur + g * filter.get(no, ni, kr, kc),
+                                );
                             }
                         }
                     }
@@ -105,7 +115,8 @@ pub fn conv2d_bwd_filter_ref<T: Scalar>(
                     for b in 0..shape.batch {
                         for ro in 0..shape.ro {
                             for co in 0..shape.co {
-                                acc += input.get(b, ni, ro + kr, co + kc) * d_out.get(b, no, ro, co);
+                                acc +=
+                                    input.get(b, ni, ro + kr, co + kc) * d_out.get(b, no, ro, co);
                             }
                         }
                     }

@@ -14,7 +14,9 @@ use rand::SeedableRng;
 pub fn seeded_tensor<T: Scalar>(shape: Shape4, layout: Layout, seed: u64) -> Tensor4<T> {
     let mut rng = StdRng::seed_from_u64(seed);
     let dist = Uniform::new(-1.0f64, 1.0);
-    Tensor4::from_fn(shape, layout, |_, _, _, _| T::from_f64(dist.sample(&mut rng)))
+    Tensor4::from_fn(shape, layout, |_, _, _, _| {
+        T::from_f64(dist.sample(&mut rng))
+    })
 }
 
 /// Xavier/Glorot-style uniform initialization for filters:
@@ -26,7 +28,9 @@ pub fn xavier_filter<T: Scalar>(shape: Shape4, layout: Layout, seed: u64) -> Ten
     let a = (6.0 / (fan_in + fan_out)).sqrt();
     let mut rng = StdRng::seed_from_u64(seed);
     let dist = Uniform::new(-a, a);
-    Tensor4::from_fn(shape, layout, |_, _, _, _| T::from_f64(dist.sample(&mut rng)))
+    Tensor4::from_fn(shape, layout, |_, _, _, _| {
+        T::from_f64(dist.sample(&mut rng))
+    })
 }
 
 /// A small-integer-valued tensor (values in `{-4..4}` scaled by 0.25).

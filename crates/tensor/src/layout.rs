@@ -50,11 +50,7 @@ impl Layout {
         match self {
             Layout::Nchw => shape.len(),
             Layout::ImageAware | Layout::BatchAware => {
-                ceil_div(shape.d0, VECTOR_WIDTH)
-                    * VECTOR_WIDTH
-                    * shape.d1
-                    * shape.d2
-                    * shape.d3
+                ceil_div(shape.d0, VECTOR_WIDTH) * VECTOR_WIDTH * shape.d1 * shape.d2 * shape.d3
             }
         }
     }

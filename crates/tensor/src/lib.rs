@@ -22,7 +22,9 @@ pub mod layout;
 pub mod shape;
 pub mod tensor;
 
-pub use conv_general::{conv2d_general, conv2d_general_bwd_data, conv2d_general_bwd_filter, ConvGeometry};
+pub use conv_general::{
+    conv2d_general, conv2d_general_bwd_data, conv2d_general_bwd_filter, ConvGeometry,
+};
 pub use conv_ref::{conv2d_bwd_data_ref, conv2d_bwd_filter_ref, conv2d_ref, conv2d_ref_into};
 pub use layout::Layout;
 pub use shape::{ConvShape, Shape4};

@@ -86,7 +86,15 @@ impl ConvShape {
         kr: usize,
         kc: usize,
     ) -> Self {
-        Self { batch, ni, no, ro, co, kr, kc }
+        Self {
+            batch,
+            ni,
+            no,
+            ro,
+            co,
+            kr,
+            kc,
+        }
     }
 
     /// Input image height `Ri = Ro + Kr - 1`.

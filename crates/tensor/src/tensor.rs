@@ -116,13 +116,21 @@ impl<T: Scalar> Tensor4<T> {
     /// Zero-filled tensor.
     pub fn zeros(shape: Shape4, layout: Layout) -> Self {
         let padded = layout.buffer_len(shape);
-        Self { shape, layout, data: vec![T::ZERO; padded] }
+        Self {
+            shape,
+            layout,
+            data: vec![T::ZERO; padded],
+        }
     }
 
     /// Tensor filled with a constant.
     pub fn full(shape: Shape4, layout: Layout, v: T) -> Self {
         let padded = layout.buffer_len(shape);
-        Self { shape, layout, data: vec![v; padded] }
+        Self {
+            shape,
+            layout,
+            data: vec![v; padded],
+        }
     }
 
     /// Build from a closure of logical indices.
@@ -150,7 +158,11 @@ impl<T: Scalar> Tensor4<T> {
     /// If `data.len() != shape.len()`.
     pub fn from_vec(shape: Shape4, data: Vec<T>) -> Self {
         assert_eq!(data.len(), shape.len(), "buffer length must match shape");
-        Self { shape, layout: Layout::Nchw, data }
+        Self {
+            shape,
+            layout: Layout::Nchw,
+            data,
+        }
     }
 
     pub fn shape(&self) -> Shape4 {

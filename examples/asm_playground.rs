@@ -52,7 +52,10 @@ fn main() {
     let text = print_program(&reordered, true);
     let parsed = parse_program(&text).expect("asm must round-trip");
     assert_eq!(parsed, reordered);
-    println!("asm round-trip: {} instructions parsed back identically.", parsed.len());
+    println!(
+        "asm round-trip: {} instructions parsed back identically.",
+        parsed.len()
+    );
 
     // The scaling story the paper tells: EE rises with Ni.
     println!("\nNi   cycles(naive)  cycles(reordered)  EE");

@@ -13,7 +13,10 @@ use sw_perfmodel::{rbw, select_plan, ChipSpec, ConvPerfModel, PlanKind};
 use swdnn::{ConvShape, Executor};
 
 fn arg(n: usize, default: usize) -> usize {
-    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,13 +33,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Batch-size-aware candidate.
     let batch_ldm = ldm_doubles_batch_aware(&shape);
-    let batch_est =
-        model.estimate(PlanKind::BatchSizeAware, Blocking::default(), batch, ni, no, k);
+    let batch_est = model.estimate(
+        PlanKind::BatchSizeAware,
+        Blocking::default(),
+        batch,
+        ni,
+        no,
+        k,
+    );
     println!(
         "batch-size-aware   : RBW {:6.1} GB/s (Eq.2)  LDM {:>5} {}  model {:6.1} Gflops",
         rbw::rbw_batch_aware(batch, k, no, chip.peak_gflops_per_cg()),
         batch_ldm,
-        if batch_ldm <= chip.ldm_doubles() { "ok      " } else { "OVERFLOW" },
+        if batch_ldm <= chip.ldm_doubles() {
+            "ok      "
+        } else {
+            "OVERFLOW"
+        },
         batch_est.gflops_per_cg
     );
 
@@ -47,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         for b_co in [4usize, 8, 16, 32] {
-            if shape.co % b_co != 0 {
+            if !shape.co.is_multiple_of(b_co) {
                 continue;
             }
             let blk = Blocking { b_b, b_co };

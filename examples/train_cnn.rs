@@ -45,10 +45,10 @@ fn build(engine: Engine) -> Sequential {
     // 1x12x12 -> conv(8ch, 3x3) -> 8x10x10 -> relu -> pool -> 8x5x5... 5 is
     // odd for pooling; use 4x4 output via a second conv instead:
     // conv1: 1 -> 8, out 10x10; relu; pool -> 8x5x5 is odd, so conv to 8x8:
-    let conv1 = Conv2dLayer::new(ConvShape::new(BATCH, 1, 8, 10, 10, 3, 3), engine, 1)
-        .expect("conv1");
-    let conv2 = Conv2dLayer::new(ConvShape::new(BATCH, 8, 8, 8, 8, 3, 3), engine, 2)
-        .expect("conv2");
+    let conv1 =
+        Conv2dLayer::new(ConvShape::new(BATCH, 1, 8, 10, 10, 3, 3), engine, 1).expect("conv1");
+    let conv2 =
+        Conv2dLayer::new(ConvShape::new(BATCH, 8, 8, 8, 8, 3, 3), engine, 2).expect("conv2");
     Sequential::new(vec![
         Box::new(conv1),
         Box::new(ReLU::new()),

@@ -1,0 +1,129 @@
+//! Offline stand-in for `criterion`: times each benchmark over
+//! `sample_size` samples and prints min/mean per iteration. No statistics
+//! engine, no HTML reports — just enough to keep `cargo bench` (and
+//! `cargo test --benches`) compiling and producing usable numbers offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed_ns: 0.0,
+        };
+        // Warm-up pass, then the measured samples.
+        f(&mut b);
+        b.iters = 0;
+        b.elapsed_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let before = (b.iters, b.elapsed_ns);
+            f(&mut b);
+            let iters = b.iters - before.0;
+            let ns = b.elapsed_ns - before.1;
+            if iters > 0 {
+                min_ns = min_ns.min(ns / iters as f64);
+            }
+        }
+        let mean_ns = if b.iters > 0 {
+            b.elapsed_ns / b.iters as f64
+        } else {
+            0.0
+        };
+        println!(
+            "bench: {name:<48} mean {:>12.1} ns/iter  min {:>12.1} ns/iter",
+            mean_ns, min_ns
+        );
+        self
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, auto-scaling the iteration count toward ~5 ms per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            if ns >= 1_000_000.0 || n >= 1 << 20 {
+                self.iters += n;
+                self.elapsed_ns += ns;
+                return;
+            }
+            n *= 4;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+}

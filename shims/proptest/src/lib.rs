@@ -1,0 +1,288 @@
+//! Offline stand-in for `proptest`, implementing the subset of its API
+//! this workspace's property tests use: the `proptest!` macro with
+//! `#![proptest_config(...)]`, integer/float range strategies, tuples,
+//! `prop_map`, `Just`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::sample::select`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from the real crate: generation is driven by a per-test
+//! deterministic splitmix64 stream (seeded from the test's name), and
+//! there is **no shrinking** — a failing case reports its case index and
+//! message instead of a minimized input. Rejections (`prop_assume!`) skip
+//! the case without counting it, up to a bounded rejection budget.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! `prop::collection` — sized collections of another strategy.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample` — choosing among explicit options.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing one of the given options, uniformly.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+/// The `prop::` paths (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`: fail the
+/// current case (returns `Err(TestCaseError::Fail)` from the case body).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`: fail the case when `a != b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    lhs,
+                    rhs
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: reject (skip) the case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]`: draw from one of several strategies (all
+/// producing the same value type), chosen uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::arm($arm)),+])
+    };
+}
+
+/// The `proptest!` test-harness macro: each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` running `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let strat = ($($strat,)+);
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut ran: u32 = 0;
+                let mut rejected: u32 = 0;
+                while ran < cfg.cases {
+                    let ($($pat,)+) = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => ran += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                            rejected += 1;
+                            if rejected > cfg.cases.saturating_mul(64).saturating_add(256) {
+                                panic!(
+                                    "proptest `{}`: too many rejected cases (last: {})",
+                                    stringify!($name),
+                                    why
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {} (of {}): {}",
+                                stringify!($name),
+                                ran,
+                                cfg.cases,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = usize> {
+        (1usize..100).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_are_in_bounds(a in 3usize..17, b in -4i32..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-4..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn prop_map_and_tuples_compose((x, y) in (even(), 0u64..10)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_vec_and_select(v in prop::collection::vec(prop_oneof![Just(1usize), Just(2usize)], 1..20),
+                                pick in prop::sample::select(vec![10usize, 20, 30])) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+            prop_assert!(pick % 10 == 0);
+        }
+
+        #[test]
+        fn question_mark_propagates_failures(n in 1usize..50) {
+            let parsed: usize = n.to_string().parse()
+                .map_err(|e: std::num::ParseIntError| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(parsed, n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let s = (1usize..100, 0u64..1000);
+        let mut a = crate::test_runner::TestRng::for_test("fixed-name");
+        let mut b = crate::test_runner::TestRng::for_test("fixed-name");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            fn inner(n in 0usize..10) {
+                prop_assert!(n > 100, "n = {n} is never > 100");
+            }
+        }
+        inner();
+    }
+}

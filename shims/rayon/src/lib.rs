@@ -1,0 +1,200 @@
+//! Offline stand-in for `rayon`, exposing exactly the surface this
+//! workspace uses: `par_iter`/`par_iter_mut` on slices, `into_par_iter` on
+//! `Range<usize>`, `par_chunks_mut`, and the `map`/`enumerate`/`for_each`/
+//! `collect` adapters.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so external crates are replaced by API-compatible local shims (see
+//! CONTRIBUTING.md "Offline builds"). Semantics match rayon where it
+//! matters to the simulator: closures run on multiple OS threads (so
+//! determinism bugs that depend on scheduling still surface), results are
+//! returned in input order, and panics propagate to the caller.
+//!
+//! Adapters are eager rather than lazy: `.map(f)` applies `f` in parallel
+//! immediately and later adapters reshape the materialized results. Every
+//! pipeline in this workspace ends in `collect`/`for_each`, so eager
+//! evaluation is observationally equivalent.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// A materialized "parallel iterator": adapters consume and rebuild it.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// Marker trait mirroring rayon's; all adapters live on the concrete type.
+pub trait ParallelIterator {}
+impl<I> ParallelIterator for ParIter<I> {}
+
+impl<I: Send> ParIter<I> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, f),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        par_map(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Apply `f` to every item on a pool of scoped threads, preserving order.
+fn par_map<I, R, F>(mut items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    while !items.is_empty() {
+        let rest = items.split_off(chunk.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            // Propagate worker panics like rayon does.
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1u64; 64];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_sees_disjoint_chunks() {
+        let mut v = vec![0usize; 40];
+        v.par_chunks_mut(10).enumerate().for_each(|(row, c)| {
+            for x in c.iter_mut() {
+                *x = row;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[15], 1);
+        assert_eq!(v[39], 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        (0..64usize)
+            .into_par_iter()
+            .map(|i| if i == 13 { panic!("boom") } else { i })
+            .collect::<Vec<_>>();
+    }
+}

@@ -34,7 +34,10 @@ fn kernel_reordering_helps_both_plans_and_changes_nothing() {
     assert_eq!(fast.output.max_abs_diff(&slow.output), 0.0);
     let ratio = slow.timing.cycles as f64 / fast.timing.cycles as f64;
     assert!(ratio > 1.1, "image plan reordering gain only {ratio:.2}x");
-    assert!(ratio < 26.0 / 17.0 + 0.2, "gain cannot exceed the kernel bound");
+    assert!(
+        ratio < 26.0 / 17.0 + 0.2,
+        "gain cannot exceed the kernel bound"
+    );
 
     // Batch plan.
     let mut bat = BatchAwarePlan::new(4);
@@ -113,7 +116,9 @@ fn res_mii_bounds_the_simulated_steady_state() {
     let pipe = DualPipe::default();
     for n in [4usize, 16] {
         let reord = reordered_gemm_kernel(KernelSpec::new(n));
-        let c_n = pipe.run(&reordered_gemm_kernel(KernelSpec::new(n + 1))).cycles
+        let c_n = pipe
+            .run(&reordered_gemm_kernel(KernelSpec::new(n + 1)))
+            .cycles
             - pipe.run(&reord).cycles;
         assert_eq!(c_n, 17, "steady state");
         // And the naive schedule misses the bound by 9 cycles/iter.

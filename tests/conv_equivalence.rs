@@ -16,13 +16,13 @@ use swdnn::Conv2d;
 /// Shapes the image-size-aware plan supports (bB = 32).
 fn image_plan_shapes() -> impl Strategy<Value = (ConvShape, Blocking)> {
     (
-        1usize..=2,  // batch multiple of 32
-        1usize..=3,  // ni / 8
-        1usize..=3,  // no / 8
-        1usize..=4,  // ro
-        1usize..=2,  // co / b_co
-        1usize..=3,  // kr
-        1usize..=3,  // kc
+        1usize..=2, // batch multiple of 32
+        1usize..=3, // ni / 8
+        1usize..=3, // no / 8
+        1usize..=4, // ro
+        1usize..=2, // co / b_co
+        1usize..=3, // kr
+        1usize..=3, // kc
         prop::sample::select(vec![4usize, 8]),
     )
         .prop_map(|(b32, ni8, no8, ro, cob, kr, kc, b_co)| {
@@ -46,7 +46,10 @@ fn batch_plan_shapes() -> impl Strategy<Value = (ConvShape, usize)> {
         prop::sample::select(vec![2usize, 4]),
     )
         .prop_map(|(b8, ni8, no8, ro, cob, kr, kc, b_co)| {
-            (ConvShape::new(8 * b8, 8 * ni8, 8 * no8, ro, b_co * cob, kr, kc), b_co)
+            (
+                ConvShape::new(8 * b8, 8 * ni8, 8 * no8, ro, b_co * cob, kr, kc),
+                b_co,
+            )
         })
 }
 

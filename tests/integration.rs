@@ -4,7 +4,6 @@
 use sw_perfmodel::dma::{DmaDirection, DmaTable};
 use sw_perfmodel::{select_plan, ChipSpec, PlanKind};
 use sw_tensor::ConvShape;
-use swdnn::plans::ConvPlan;
 use swdnn::{Conv2d, Executor};
 
 /// A small but mesh-eligible configuration used throughout.
@@ -36,7 +35,10 @@ fn simulated_rate_never_exceeds_roofline() {
     let chip = ChipSpec::sw26010();
     for shape in [small(), ConvShape::new(32, 24, 16, 6, 8, 3, 3)] {
         let rep = Executor::new().run_config(&shape).unwrap();
-        assert!(rep.gflops_cg <= chip.peak_gflops_per_cg() * 1.0001, "{shape}");
+        assert!(
+            rep.gflops_cg <= chip.peak_gflops_per_cg() * 1.0001,
+            "{shape}"
+        );
         // Bandwidth implied by traffic/time must not exceed the DMA ceiling.
         assert!(
             rep.mbw_measured <= 36.02,
@@ -85,7 +87,11 @@ fn selection_is_consistent_with_plan_support() {
                 "selected plan {} rejects {shape}",
                 plan.name()
             );
-            assert_ne!(plan.name(), "reference", "paper configs must run on the mesh: {shape}");
+            assert_ne!(
+                plan.name(),
+                "reference",
+                "paper configs must run on the mesh: {shape}"
+            );
         }
     }
 }
@@ -120,7 +126,10 @@ fn multi_cg_speedup_matches_paper_claim() {
     let one = e.run_multi_cg(&shape, 1).unwrap();
     let four = e.run_multi_cg(&shape, 4).unwrap();
     let speedup = one.wall_cycles as f64 / four.wall_cycles as f64;
-    assert!(speedup > 3.5, "near-linear scaling expected, got {speedup:.2}");
+    assert!(
+        speedup > 3.5,
+        "near-linear scaling expected, got {speedup:.2}"
+    );
 }
 
 #[test]
@@ -135,7 +144,12 @@ fn sampled_and_full_timing_agree_on_a_mesh_config() {
     let full = plan.run(&shape, &input, &filter).unwrap().timing;
     let sampled = plan.time_full_shape(&shape).unwrap();
     let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
-    assert!(rel < 0.08, "sampled {} vs full {} ({rel:.3})", sampled.cycles, full.cycles);
+    assert!(
+        rel < 0.08,
+        "sampled {} vs full {} ({rel:.3})",
+        sampled.cycles,
+        full.cycles
+    );
 }
 
 #[test]
@@ -163,6 +177,9 @@ fn gpu_baseline_loses_on_mesh_eligible_configs() {
             (1.0..30.0).contains(&speedup),
             "speedup {speedup:.2} out of the plausible envelope at ni={ni} no={no} k={k}"
         );
-        assert!(speedup > 1.5, "swDNN must win: {speedup:.2} at ni={ni} no={no} k={k}");
+        assert!(
+            speedup > 1.5,
+            "swDNN must win: {speedup:.2} at ni={ni} no={no} k={k}"
+        );
     }
 }

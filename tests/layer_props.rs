@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use sw_tensor::init::seeded_tensor;
-use sw_tensor::{ConvShape, Layout, Shape4, Tensor4};
+use sw_tensor::{ConvShape, Layout, Shape4};
 use swdnn::layers::{
     AvgPool2, Conv2dLayer, Engine, Layer, MaxPool2, ReLU, Sigmoid, SoftmaxCrossEntropy,
 };

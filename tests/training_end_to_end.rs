@@ -113,7 +113,8 @@ fn training_is_deterministic() {
 #[test]
 fn deeper_stack_with_both_pools_trains() {
     let batch = 8;
-    let conv1 = Conv2dLayer::new(ConvShape::new(batch, 1, 4, 4, 4, 3, 3), Engine::Host, 21).unwrap();
+    let conv1 =
+        Conv2dLayer::new(ConvShape::new(batch, 1, 4, 4, 4, 3, 3), Engine::Host, 21).unwrap();
     let mut net = Sequential::new(vec![
         Box::new(conv1),
         Box::new(ReLU::new()),
