@@ -1,0 +1,143 @@
+//! `perf_snapshot` — the machine-readable observability artifact CI gates
+//! on: measured counters next to the analytic model's per-level RBW/MBW
+//! for every [`sw_bench::configs::perf_snapshot_configs`] entry.
+//!
+//! Modes:
+//!
+//! ```sh
+//! # Measure and write BENCH_PERF.json + BENCH_TRACE.json (Chrome trace)
+//! # into $SWDNN_RESULTS_DIR (default: results/).
+//! cargo run --release -p sw-bench --bin perf_snapshot
+//!
+//! # Measure and gate against a committed baseline (CI's bench-regression
+//! # job). Exits 1 when any metric regresses beyond tolerance.
+//! cargo run --release -p sw-bench --bin perf_snapshot -- --check results/BENCH_PERF.baseline.json
+//!
+//! # Diff two saved snapshots without re-measuring.
+//! cargo run --release -p sw-bench --bin perf_snapshot -- --diff old.json new.json
+//! ```
+//!
+//! The measurement is a deterministic simulation, so the default
+//! [`Tolerances`] are tight (2% on throughput/traffic, ~0 on model
+//! outputs). To accept an intentional performance change, regenerate the
+//! baseline (see CONTRIBUTING.md):
+//!
+//! ```sh
+//! cargo run --release -p sw-bench --bin perf_snapshot
+//! cp results/BENCH_PERF.json results/BENCH_PERF.baseline.json
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use sw_bench::configs::perf_snapshot_configs;
+use sw_obs::{compare, ChromeTrace, Snapshot, Tolerances};
+use sw_perfmodel::ChipSpec;
+use sw_sim::{trace::to_chrome, LdmBuf, Mesh};
+use swdnn::plans::gemm_mesh::{regcomm_gemm, zero_c, GemmBlock};
+use swdnn::Executor;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_snapshot                    measure, write BENCH_PERF.json + BENCH_TRACE.json\n\
+         \u{20}      perf_snapshot --check <baseline> measure, fail (exit 1) on regression vs baseline\n\
+         \u{20}      perf_snapshot --diff <a> <b>     compare two saved snapshots"
+    );
+    exit(2);
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("SWDNN_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+}
+
+/// Measure every snapshot configuration on the simulated chip.
+fn measure() -> Snapshot {
+    let exec = Executor::new();
+    let mut reports = Vec::new();
+    for (shape, kind) in perf_snapshot_configs() {
+        let rep = exec
+            .run_config_with(&shape, kind)
+            .unwrap_or_else(|e| panic!("measuring {shape}: {e}"));
+        let obs = rep.obs_report(&exec.chip);
+        print!("{}", obs.summary());
+        reports.push(obs);
+    }
+    Snapshot::new(reports)
+}
+
+/// A small traced run of the register-communication GEMM, exported as a
+/// Chrome-trace document: one track per CPE, spans categorized by the
+/// REG/LDM/MEM level that owns them. Load in `chrome://tracing`/Perfetto.
+fn demo_trace() -> ChromeTrace {
+    struct St {
+        a: Vec<f64>,
+        b: Vec<f64>,
+        c: LdmBuf,
+    }
+    let (m8, n8, k8) = (4usize, 16usize, 8usize);
+    let chip = ChipSpec::sw26010();
+    let mut mesh = Mesh::new(chip, |_, _| St {
+        a: vec![1.0; k8 * m8],
+        b: vec![0.5; k8 * n8],
+        c: LdmBuf { offset: 0, len: 0 },
+    });
+    mesh.enable_trace();
+    mesh.superstep(|ctx, s| {
+        s.c = ctx.ldm_alloc(m8 * n8)?;
+        Ok(())
+    })
+    .expect("ldm alloc");
+    zero_c(&mut mesh, |s: &St| s.c).expect("zero C");
+    regcomm_gemm(
+        &mut mesh,
+        GemmBlock::dense(m8, n8, k8, true),
+        |_, s| s.a.clone(),
+        |_, s| s.b.clone(),
+        |s| (s.c, 0),
+    )
+    .expect("traced GEMM");
+    to_chrome(&mesh.take_traces(), chip.clock_ghz)
+}
+
+fn load(path: &str) -> Snapshot {
+    Snapshot::load(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load snapshot: {e}");
+        exit(2);
+    })
+}
+
+/// Print the comparison and turn it into an exit code.
+fn gate(baseline: &Snapshot, current: &Snapshot) -> ! {
+    let report = compare(baseline, current, &Tolerances::default());
+    print!("{}", report.summary());
+    exit(if report.is_ok() { 0 } else { 1 });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            let snap = measure();
+            let dir = results_dir();
+            std::fs::create_dir_all(&dir).expect("create results dir");
+            let perf = dir.join("BENCH_PERF.json");
+            snap.save(&perf).expect("write BENCH_PERF.json");
+            println!("(snapshot written to {})", perf.display());
+            let trace_path = dir.join("BENCH_TRACE.json");
+            let mut doc = demo_trace().to_json_string();
+            doc.push('\n');
+            std::fs::write(&trace_path, doc).expect("write BENCH_TRACE.json");
+            println!("(chrome trace written to {})", trace_path.display());
+        }
+        Some("--check") if args.len() == 2 => {
+            let baseline = load(&args[1]);
+            let current = measure();
+            gate(&baseline, &current);
+        }
+        Some("--diff") if args.len() == 3 => {
+            let a = load(&args[1]);
+            let b = load(&args[2]);
+            gate(&a, &b);
+        }
+        _ => usage(),
+    }
+}

@@ -34,6 +34,10 @@ const BINARIES: &[(&str, &str)] = &[
         "fault_campaign",
         "extension — fault-rate sweep + degraded mesh",
     ),
+    (
+        "perf_snapshot",
+        "observability — measured vs modeled per-level bandwidth snapshot",
+    ),
 ];
 
 fn main() {

@@ -15,6 +15,7 @@
 //! * the **right** script generates the 30 configurations of Fig. 9 —
 //!   filter sizes `3×3 … 21×21` (odd) × three channel settings.
 
+use sw_perfmodel::PlanKind;
 use sw_tensor::ConvShape;
 
 /// Canonical evaluation constants (§VII).
@@ -59,6 +60,35 @@ pub fn fig9_configs() -> Vec<ConvShape> {
         }
     }
     v
+}
+
+/// The configurations the CI perf snapshot (`perf_snapshot` binary)
+/// measures: the Table III rows, each pinned to its published plan.
+///
+/// Deliberately small (CI runs this on every push) and deliberately
+/// *stable*: `PerfReport::key()` is derived from the shape and plan, and
+/// the committed `results/BENCH_PERF.baseline.json` must contain exactly
+/// these keys — adding or removing a configuration requires regenerating
+/// the baseline (see CONTRIBUTING.md).
+pub fn perf_snapshot_configs() -> Vec<(ConvShape, PlanKind)> {
+    vec![
+        (
+            ConvShape::new(BATCH, 128, 128, OUT_IMAGE, OUT_IMAGE, 3, 3),
+            PlanKind::ImageSizeAware,
+        ),
+        (
+            ConvShape::new(BATCH, 128, 256, OUT_IMAGE, OUT_IMAGE, 3, 3),
+            PlanKind::ImageSizeAware,
+        ),
+        (
+            ConvShape::new(BATCH, 256, 256, OUT_IMAGE, OUT_IMAGE, 3, 3),
+            PlanKind::BatchSizeAware,
+        ),
+        (
+            ConvShape::new(BATCH, 128, 384, OUT_IMAGE, OUT_IMAGE, 3, 3),
+            PlanKind::BatchSizeAware,
+        ),
+    ]
 }
 
 /// The four Table III configurations `(plan, Kc, bB, bCo, Ni, No)`.
@@ -107,6 +137,22 @@ mod tests {
         assert_eq!(v.iter().map(|s| s.kr).min(), Some(3));
         assert_eq!(v.iter().map(|s| s.kr).max(), Some(21));
         assert!(v.iter().all(|s| s.kr == s.kc));
+    }
+
+    #[test]
+    fn perf_snapshot_configs_are_valid_and_have_unique_keys() {
+        let v = perf_snapshot_configs();
+        assert_eq!(v.len(), 4);
+        let mut keys: Vec<String> = v
+            .iter()
+            .map(|(s, k)| {
+                assert!(s.is_valid());
+                format!("{s} / {k:?}")
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 4, "snapshot keys must be unique");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `scaling_cgs`       | §III-D — 4-CG near-linear scaling |
 //! | `ablation_regblock` | §V-C Eq. 5 — register blocking sweep |
 //! | `ablation_ldm`      | §IV-A — LDM blocking / double-buffer ablations |
+//! | `perf_snapshot`     | observability — `BENCH_PERF.json` snapshot + CI regression gate |
 //!
 //! [`configs`] holds the Fig. 8 configuration-generator scripts; [`report`]
 //! the table-formatting helpers shared by the binaries.

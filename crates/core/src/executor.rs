@@ -33,6 +33,55 @@ pub struct ConvReport {
     pub model: PerfEstimate,
 }
 
+impl ConvReport {
+    /// Flatten this report into the observability layer's
+    /// [`sw_obs::PerfReport`]: measured counters and the analytic model's
+    /// RBW/MBW predictions, one [`sw_obs::LevelIo`] per hierarchy link, in
+    /// the schema the bench snapshot/comparator pipeline consumes.
+    pub fn obs_report(&self, chip: &ChipSpec) -> sw_obs::PerfReport {
+        let stats = &self.timing.stats;
+        let secs = chip.cycles_to_seconds(self.timing.cycles);
+        let mem_bytes = stats.mem_bytes();
+        let mem = sw_obs::LevelIo {
+            level: sw_obs::Level::Mem,
+            required_gbps: self.model.rbw_mem_ldm,
+            modeled_gbps: self.model.mbw_mem_ldm,
+            measured_gbps: if secs > 0.0 {
+                mem_bytes as f64 / secs / 1e9
+            } else {
+                0.0
+            },
+            bytes: mem_bytes,
+        };
+        let reg = sw_obs::LevelIo {
+            level: sw_obs::Level::Reg,
+            required_gbps: self.model.rbw_ldm_reg,
+            modeled_gbps: self.model.mbw_ldm_reg,
+            measured_gbps: stats.ldm_reg_gbps_per_cpe(chip.clock_ghz, chip.cpes_per_cg as u64),
+            bytes: stats.totals.ldm_reg_bytes,
+        };
+        sw_obs::PerfReport {
+            config: self.shape.to_string(),
+            plan: self.plan_name.clone(),
+            cycles: self.timing.cycles,
+            time_ms: secs * 1e3,
+            gflops_measured: self.gflops_cg,
+            gflops_modeled: self.model.gflops_per_cg,
+            efficiency_modeled: self.model.execution_efficiency,
+            memory_bound: self.model.memory_bound,
+            ldm_high_water_frac: stats.ldm_high_water_frac(chip.ldm_bytes),
+            mem,
+            reg,
+            counters: stats
+                .totals
+                .named()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
 /// Runs configurations on the simulated chip.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Executor {
@@ -162,6 +211,32 @@ mod tests {
         assert!(rep.efficiency > 0.0 && rep.efficiency < 1.0);
         assert!(rep.mbw_measured > 0.0);
         assert!(rep.model.gflops_per_cg > 0.0);
+    }
+
+    #[test]
+    fn obs_report_flattens_counters_and_model() {
+        let e = Executor::new();
+        let rep = e.run_config(&small()).unwrap();
+        let obs = rep.obs_report(&e.chip);
+        assert_eq!(obs.config, small().to_string());
+        assert_eq!(obs.plan, rep.plan_name);
+        assert_eq!(obs.cycles, rep.timing.cycles);
+        assert_eq!(obs.gflops_measured, rep.gflops_cg);
+        assert_eq!(obs.mem.bytes, rep.timing.stats.mem_bytes());
+        assert_eq!(obs.reg.bytes, rep.timing.stats.totals.ldm_reg_bytes);
+        assert!(obs.reg.bytes > 0, "kernel must charge LDM→REG traffic");
+        assert!(obs.mem.measured_gbps > 0.0);
+        assert!(obs.reg.measured_gbps > 0.0);
+        assert_eq!(obs.mem.required_gbps, rep.model.rbw_mem_ldm);
+        assert_eq!(obs.reg.modeled_gbps, rep.model.mbw_ldm_reg);
+        assert!(obs.ldm_high_water_frac > 0.0 && obs.ldm_high_water_frac <= 1.0);
+        // The counter dump carries every CpeStats field by name.
+        assert_eq!(obs.counters.len(), rep.timing.stats.totals.named().len());
+        assert!(obs.counters.iter().any(|(k, v)| k == "flops" && *v > 0));
+        // And the whole thing survives the JSON layer.
+        let s = serde_json::to_string(&obs.to_json());
+        let back = sw_obs::PerfReport::from_json(&serde_json::from_str(&s).unwrap()).unwrap();
+        assert_eq!(back, obs);
     }
 
     #[test]

@@ -24,13 +24,35 @@ pub const TILE_NO: usize = 4;
 /// Pixels covered by one register tile (`rb_b`).
 pub const TILE_PIX: usize = 16;
 
-fn cache() -> &'static Mutex<HashMap<(usize, bool), u64>> {
-    static CACHE: OnceLock<Mutex<HashMap<(usize, bool), u64>>> = OnceLock::new();
+/// The C tile is `TILE_NO x TILE_PIX = 64` doubles = 16 vector registers;
+/// the spill/refill between rotation rounds moves it twice (16 `vload` +
+/// 16 `vstore`) and accounts for most of [`TILE_OVERHEAD_CYCLES`].
+pub const TILE_SPILL_VECTORS: u64 = (TILE_NO * TILE_PIX / 4) as u64;
+
+/// Issue-level profile of one register tile: timing plus the observable
+/// side channels (per-pipe slots, LDM traffic) the observability layer
+/// aggregates. All values come from simulating the generated instruction
+/// stream with the `sw-isa` dual-pipe model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TileProfile {
+    /// Issue cycles of the tile's inner loop.
+    pub cycles: u64,
+    /// Instructions issued to P0 (FP) / P1 (memory) in the inner loop.
+    pub p0_slots: u64,
+    pub p1_slots: u64,
+    /// LDM bytes read / written by the inner loop (Eq. 5 accounting:
+    /// `vldde` is charged the full 32 B of register-file fill).
+    pub ldm_load_bytes: u64,
+    pub ldm_store_bytes: u64,
+}
+
+fn cache() -> &'static Mutex<HashMap<(usize, bool), TileProfile>> {
+    static CACHE: OnceLock<Mutex<HashMap<(usize, bool), TileProfile>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Issue cycles of one register tile over `n` reduction steps.
-pub fn tile_cycles(n: usize, reordered: bool) -> u64 {
+/// Full issue profile of one register tile over `n` reduction steps.
+pub fn tile_profile(n: usize, reordered: bool) -> TileProfile {
     let n = n.max(1);
     if let Some(&c) = cache().lock().get(&(n, reordered)) {
         return c;
@@ -41,16 +63,41 @@ pub fn tile_cycles(n: usize, reordered: bool) -> u64 {
     } else {
         naive_gemm_kernel(spec)
     };
-    let cycles = DualPipe::default().run(&prog).cycles;
-    cache().lock().insert((n, reordered), cycles);
-    cycles
+    let rep = DualPipe::default().run(&prog);
+    let prof = TileProfile {
+        cycles: rep.cycles,
+        p0_slots: rep.p0_issued,
+        p1_slots: rep.p1_issued,
+        ldm_load_bytes: rep.ldm_load_bytes,
+        ldm_store_bytes: rep.ldm_store_bytes,
+    };
+    cache().lock().insert((n, reordered), prof);
+    prof
+}
+
+/// Issue cycles of one register tile over `n` reduction steps.
+pub fn tile_cycles(n: usize, reordered: bool) -> u64 {
+    tile_profile(n, reordered).cycles
 }
 
 /// Cycles for a full per-CPE GEMM block update: an `m × p` C block
 /// accumulated over `n` reduction steps, tiled `TILE_NO × TILE_PIX`.
 pub fn block_cycles(m: usize, p: usize, n: usize, reordered: bool) -> u64 {
+    block_profile(m, p, n, reordered).cycles
+}
+
+/// Full issue profile of a per-CPE GEMM block update, including the
+/// per-tile C spill/refill overhead (counted as P1 vector loads/stores).
+pub fn block_profile(m: usize, p: usize, n: usize, reordered: bool) -> TileProfile {
     let tiles = (m.div_ceil(TILE_NO) * p.div_ceil(TILE_PIX)) as u64;
-    tiles * (tile_cycles(n, reordered) + TILE_OVERHEAD_CYCLES)
+    let t = tile_profile(n, reordered);
+    TileProfile {
+        cycles: tiles * (t.cycles + TILE_OVERHEAD_CYCLES),
+        p0_slots: tiles * t.p0_slots,
+        p1_slots: tiles * (t.p1_slots + 2 * TILE_SPILL_VECTORS),
+        ldm_load_bytes: tiles * (t.ldm_load_bytes + 32 * TILE_SPILL_VECTORS),
+        ldm_store_bytes: tiles * (t.ldm_store_bytes + 32 * TILE_SPILL_VECTORS),
+    }
 }
 
 /// Flops of the same block update (2 per multiply-add).
@@ -99,5 +146,33 @@ mod tests {
         let full = block_cycles(4, 16, 8, true);
         let partial = block_cycles(3, 15, 8, true);
         assert_eq!(full, partial, "partial tiles cost a full tile");
+    }
+
+    #[test]
+    fn tile_profile_ldm_traffic_matches_eq5_structure() {
+        // Per reduction step the reordered kernel issues 4 vloads (image)
+        // + 4 vlddes (filter), each charged 32 B -> 256 B/step. Stores
+        // appear only in the spill/refill overhead, not the inner loop.
+        let n = 16;
+        let t = tile_profile(n, true);
+        assert_eq!(t.ldm_load_bytes, 256 * n as u64);
+        assert_eq!(t.ldm_store_bytes, 0);
+        assert!(t.p0_slots >= (TILE_NO * TILE_PIX / 4 * n) as u64);
+        assert!(t.p1_slots > 0);
+    }
+
+    #[test]
+    fn block_profile_adds_spill_refill_per_tile() {
+        let n = 8;
+        let t = tile_profile(n, true);
+        let b = block_profile(TILE_NO, TILE_PIX, n, true); // exactly one tile
+        assert_eq!(b.cycles, t.cycles + TILE_OVERHEAD_CYCLES);
+        assert_eq!(b.ldm_load_bytes, t.ldm_load_bytes + 32 * TILE_SPILL_VECTORS);
+        assert_eq!(
+            b.ldm_store_bytes,
+            t.ldm_store_bytes + 32 * TILE_SPILL_VECTORS
+        );
+        assert_eq!(b.p1_slots, t.p1_slots + 2 * TILE_SPILL_VECTORS);
+        assert_eq!(b.p0_slots, t.p0_slots);
     }
 }

@@ -49,7 +49,9 @@ pub use error::SwdnnError;
 pub use executor::{ConvReport, Executor};
 pub use optim::Optimizer;
 pub use plans::{BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, ReferencePlan};
-pub use resilient::{ResilientExecutor, ResilientReport, VerifyPolicy};
+pub use resilient::{
+    RecoveryEvent, RecoveryOutcome, ResilientExecutor, ResilientReport, VerifyPolicy,
+};
 pub use sw_sim::{FaultPlan, RetryPolicy};
 
 pub use sw_perfmodel::{ChipSpec, PlanKind};

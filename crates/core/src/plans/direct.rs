@@ -151,6 +151,7 @@ impl ConvPlan for DirectPlan {
                     * (shape.ni * shape.kr * shape.kc) as u64,
                 ..Default::default()
             },
+            ..Default::default()
         };
         Ok(PlanTiming {
             cycles,

@@ -133,8 +133,11 @@ where
                     }
                 }
             }
-            ctx.charge_compute(kernel_cost::block_cycles(m8, n8, k8, blk.reordered));
+            let prof = kernel_cost::block_profile(m8, n8, k8, blk.reordered);
+            ctx.charge_compute(prof.cycles);
             ctx.add_flops(kernel_cost::block_flops(m8, n8, k8));
+            ctx.add_ldm_reg_bytes(prof.ldm_load_bytes + prof.ldm_store_bytes);
+            ctx.add_issue_slots(prof.p0_slots, prof.p1_slots);
             Ok(())
         })?;
     }
@@ -150,7 +153,10 @@ pub fn zero_c<S: Send>(
         let cb = c_buf(s);
         let c = &mut ctx.ldm_data_mut()[cb.range()];
         c.iter_mut().for_each(|v| *v = 0.0);
-        ctx.charge_compute(cb.len.div_ceil(4) as u64);
+        let vectors = cb.len.div_ceil(4) as u64;
+        ctx.charge_compute(vectors);
+        ctx.add_ldm_reg_bytes(32 * vectors);
+        ctx.add_issue_slots(0, vectors);
         Ok(())
     })?;
     Ok(())

@@ -115,42 +115,15 @@ pub fn extrapolate(t1: &PlanTiming, n1: u64, t2: &PlanTiming, n2: u64, n_full: u
         let base = a.saturating_sub(per * n1);
         base + per * n_full
     };
+    // `combine` iterates the complete counter field list, so counters added
+    // to CpeStats extrapolate without this function changing.
     let mut stats = t1.stats;
     stats.cycles = cycles;
-    stats.totals.dma_get_bytes =
-        lerp_u64(t1.stats.totals.dma_get_bytes, t2.stats.totals.dma_get_bytes);
-    stats.totals.dma_put_bytes =
-        lerp_u64(t1.stats.totals.dma_put_bytes, t2.stats.totals.dma_put_bytes);
-    stats.totals.dma_requests =
-        lerp_u64(t1.stats.totals.dma_requests, t2.stats.totals.dma_requests);
-    stats.totals.flops = lerp_u64(t1.stats.totals.flops, t2.stats.totals.flops);
-    stats.totals.bus_vectors_sent = lerp_u64(
-        t1.stats.totals.bus_vectors_sent,
-        t2.stats.totals.bus_vectors_sent,
-    );
-    stats.totals.bus_vectors_received = lerp_u64(
-        t1.stats.totals.bus_vectors_received,
-        t2.stats.totals.bus_vectors_received,
-    );
-    stats.totals.compute_cycles = lerp_u64(
-        t1.stats.totals.compute_cycles,
-        t2.stats.totals.compute_cycles,
-    );
-    stats.totals.dma_stall_cycles = lerp_u64(
-        t1.stats.totals.dma_stall_cycles,
-        t2.stats.totals.dma_stall_cycles,
-    );
-    stats.totals.dma_retries = lerp_u64(t1.stats.totals.dma_retries, t2.stats.totals.dma_retries);
-    stats.totals.fault_retry_cycles = lerp_u64(
-        t1.stats.totals.fault_retry_cycles,
-        t2.stats.totals.fault_retry_cycles,
-    );
-    stats.totals.fault_stall_cycles = lerp_u64(
-        t1.stats.totals.fault_stall_cycles,
-        t2.stats.totals.fault_stall_cycles,
-    );
-    stats.totals.msgs_dropped =
-        lerp_u64(t1.stats.totals.msgs_dropped, t2.stats.totals.msgs_dropped);
+    stats.totals = t1.stats.totals.combine(&t2.stats.totals, lerp_u64);
+    stats.ldm_high_water_doubles = t1
+        .stats
+        .ldm_high_water_doubles
+        .max(t2.stats.ldm_high_water_doubles);
 
     PlanTiming {
         cycles,
@@ -174,6 +147,7 @@ mod tests {
                     flops,
                     ..Default::default()
                 },
+                ..Default::default()
             },
             sampled: false,
             modeled: false,

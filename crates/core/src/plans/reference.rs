@@ -81,6 +81,7 @@ impl ReferencePlan {
                     flops: shape.flops(),
                     ..Default::default()
                 },
+                ..Default::default()
             },
             sampled: false,
             modeled: true,

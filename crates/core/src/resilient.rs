@@ -30,6 +30,42 @@ use sw_perfmodel::{ChipSpec, PlanKind};
 use sw_sim::{FaultPlan, SimError};
 use sw_tensor::{ConvShape, Tensor4};
 
+/// What happened on one plan execution during a recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The run completed and passed verification.
+    Accepted,
+    /// A transient simulator fault; the same plan is re-run reseeded.
+    TransientRetry,
+    /// The plan was given up on; the chain moves to the next candidate.
+    Abandoned,
+    /// A dead CPE forced re-planning on the masked 4×4 mesh.
+    MeshDegraded,
+}
+
+impl RecoveryOutcome {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryOutcome::Accepted => "accepted",
+            RecoveryOutcome::TransientRetry => "transient_retry",
+            RecoveryOutcome::Abandoned => "abandoned",
+            RecoveryOutcome::MeshDegraded => "mesh_degraded",
+        }
+    }
+}
+
+/// One step of the recovery timeline: which plan ran (as which attempt)
+/// and how it ended. `detail` carries the triggering error, if any.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryEvent {
+    /// 1-based global attempt number (0 for the mesh-degradation marker,
+    /// which is a re-planning decision, not a plan execution).
+    pub attempt: u32,
+    pub plan: String,
+    pub outcome: RecoveryOutcome,
+    pub detail: String,
+}
+
 /// How much checking a [`ResilientExecutor`] does on accepted outputs.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum VerifyPolicy {
@@ -118,6 +154,7 @@ impl ResilientExecutor {
     ) -> Result<ResilientReport, SwdnnError> {
         let mut attempts = 0u32;
         let mut fallbacks = Vec::new();
+        let mut timeline = Vec::new();
         match self.run_chain(
             self.chip,
             self.fault,
@@ -126,10 +163,19 @@ impl ResilientExecutor {
             filter,
             &mut attempts,
             &mut fallbacks,
+            &mut timeline,
         ) {
-            Ok((run, plan_name)) => Ok(self.report(run, plan_name, false, attempts, fallbacks)),
+            Ok((run, plan_name)) => {
+                Ok(self.report(run, plan_name, false, attempts, fallbacks, timeline))
+            }
             Err(e) if Self::is_offline(&e) => {
                 fallbacks.push(format!("masking faulty CPE row/column: {e}"));
+                timeline.push(RecoveryEvent {
+                    attempt: 0,
+                    plan: "mesh".into(),
+                    outcome: RecoveryOutcome::MeshDegraded,
+                    detail: e.to_string(),
+                });
                 let chip = Self::degraded_chip(self.chip);
                 // The dead CPE is outside the masked 4×4 quadrant; other
                 // fault processes keep running on the survivors.
@@ -142,8 +188,9 @@ impl ResilientExecutor {
                     filter,
                     &mut attempts,
                     &mut fallbacks,
+                    &mut timeline,
                 )?;
-                Ok(self.report(run, plan_name, true, attempts, fallbacks))
+                Ok(self.report(run, plan_name, true, attempts, fallbacks, timeline))
             }
             Err(e) => Err(e),
         }
@@ -160,6 +207,7 @@ impl ResilientExecutor {
         filter: &Tensor4<f64>,
         attempts: &mut u32,
         fallbacks: &mut Vec<String>,
+        timeline: &mut Vec<RecoveryEvent>,
     ) -> Result<(ConvRun, String), SwdnnError> {
         // Candidate chain: the model's pick, then each mesh family forced,
         // then the always-correct host reference.
@@ -205,10 +253,22 @@ impl ResilientExecutor {
             for attempt in 0..=self.max_retries {
                 *attempts += 1;
                 let plan = make(cand, Self::reseed_for_attempt(fault, attempt))?;
+                let mut record = |outcome: RecoveryOutcome, detail: String| {
+                    timeline.push(RecoveryEvent {
+                        attempt: *attempts,
+                        plan: name.clone(),
+                        outcome,
+                        detail,
+                    });
+                };
                 match plan.run(shape, input, filter) {
                     Ok(run) => match self.verify_run(shape, input, filter, &run) {
-                        Ok(()) => return Ok((run, name)),
+                        Ok(()) => {
+                            record(RecoveryOutcome::Accepted, String::new());
+                            return Ok((run, name));
+                        }
                         Err(e) => {
+                            record(RecoveryOutcome::Abandoned, e.to_string());
                             fallbacks.push(format!("{name}: {e}"));
                             if !self.allow_fallback {
                                 return Err(e);
@@ -224,8 +284,10 @@ impl ResilientExecutor {
                         }
                         last_sim = Some(e.clone());
                         if e.is_transient() && attempt < self.max_retries {
+                            record(RecoveryOutcome::TransientRetry, e.to_string());
                             continue; // reseeded re-run
                         }
+                        record(RecoveryOutcome::Abandoned, e.to_string());
                         fallbacks.push(format!("{name}: {e}"));
                         if !self.allow_fallback {
                             return Err(SwdnnError::FaultExhausted {
@@ -236,6 +298,7 @@ impl ResilientExecutor {
                         continue 'candidates;
                     }
                     Err(e) => {
+                        record(RecoveryOutcome::Abandoned, e.to_string());
                         fallbacks.push(format!("{name}: {e}"));
                         if !self.allow_fallback {
                             return Err(e);
@@ -324,6 +387,7 @@ impl ResilientExecutor {
         degraded: bool,
         attempts: u32,
         fallbacks: Vec<String>,
+        timeline: Vec<RecoveryEvent>,
     ) -> ResilientReport {
         let totals = run.timing.stats.totals;
         ResilientReport {
@@ -331,6 +395,7 @@ impl ResilientExecutor {
             degraded,
             attempts,
             fallbacks,
+            timeline,
             dma_retries: totals.dma_retries,
             retry_cycles: totals.fault_retry_cycles + totals.fault_stall_cycles,
             run,
@@ -351,10 +416,76 @@ pub struct ResilientReport {
     pub attempts: u32,
     /// Human-readable trail of every plan given up on and why.
     pub fallbacks: Vec<String>,
+    /// Structured recovery timeline: one event per plan execution (plus a
+    /// marker when the mesh was degraded), in order.
+    pub timeline: Vec<RecoveryEvent>,
     /// Simulator-level DMA re-issues inside the accepted run.
     pub dma_retries: u64,
     /// Cycles lost to fault backoff and stalls inside the accepted run.
     pub retry_cycles: u64,
+}
+
+impl ResilientReport {
+    /// Depth of the fallback chain actually walked: how many distinct plans
+    /// were abandoned before one was accepted.
+    pub fn fallback_depth(&self) -> usize {
+        let mut abandoned: Vec<&str> = self
+            .timeline
+            .iter()
+            .filter(|e| e.outcome == RecoveryOutcome::Abandoned)
+            .map(|e| e.plan.as_str())
+            .collect();
+        abandoned.dedup();
+        abandoned.len()
+    }
+
+    /// The recovery timeline as a Chrome-trace document: instant events on
+    /// `pid 1 / tid 0` ("recovery" track), one per [`RecoveryEvent`],
+    /// followed by a span for the accepted run covering its simulated
+    /// duration at `clock_ghz`. Merge with the mesh's execution trace
+    /// (`sw_sim::trace::to_chrome`) to see recovery decisions alongside
+    /// per-CPE activity.
+    pub fn recovery_trace(&self, clock_ghz: f64) -> sw_obs::ChromeTrace {
+        let mut rec = sw_obs::Recorder::enabled();
+        for (i, e) in self.timeline.iter().enumerate() {
+            rec.instant(
+                e.outcome.name(),
+                "exec",
+                1,
+                0,
+                i as f64,
+                vec![
+                    ("plan".into(), serde_json::Value::from(e.plan.as_str())),
+                    ("attempt".into(), serde_json::Value::from(e.attempt as u64)),
+                    ("detail".into(), serde_json::Value::from(e.detail.as_str())),
+                ],
+            );
+        }
+        let dur_us = self.run.timing.cycles as f64 / (clock_ghz * 1e3);
+        rec.span_cat(
+            "accepted_run",
+            "exec",
+            1,
+            0,
+            self.timeline.len() as f64,
+            dur_us,
+            vec![
+                (
+                    "plan".into(),
+                    serde_json::Value::from(self.plan_name.as_str()),
+                ),
+                (
+                    "dma_retries".into(),
+                    serde_json::Value::from(self.dma_retries),
+                ),
+                (
+                    "retry_cycles".into(),
+                    serde_json::Value::from(self.retry_cycles),
+                ),
+            ],
+        );
+        rec.take()
+    }
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -504,6 +635,71 @@ mod tests {
         );
         let expect = conv2d_ref(shape, &input, &filter);
         assert_eq!(rep.run.output.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn clean_run_timeline_is_a_single_acceptance() {
+        let shape = small();
+        let (input, filter) = operands(&shape);
+        let rep = ResilientExecutor::new()
+            .run(&shape, &input, &filter)
+            .unwrap();
+        assert_eq!(rep.timeline.len(), 1);
+        assert_eq!(rep.timeline[0].outcome, RecoveryOutcome::Accepted);
+        assert_eq!(rep.timeline[0].plan, rep.plan_name);
+        assert_eq!(rep.fallback_depth(), 0);
+        let trace = rep.recovery_trace(1.45);
+        // One instant per timeline event plus the accepted-run span.
+        assert_eq!(trace.events.len(), 2);
+        assert!(trace.events.iter().all(|e| e.cat == "exec"));
+        let span = trace.events.last().unwrap();
+        assert_eq!(span.name, "accepted_run");
+        assert!(span.dur_us > 0.0);
+    }
+
+    #[test]
+    fn fallback_timeline_records_abandonments_and_depth() {
+        let shape = small();
+        let (input, filter) = operands(&shape);
+        let fault = FaultPlan::none(1).with_dma_fail_rate(1.0);
+        let rep = ResilientExecutor::new()
+            .with_fault(Some(fault))
+            .with_max_retries(1)
+            .run(&shape, &input, &filter)
+            .unwrap();
+        assert_eq!(rep.plan_name, "reference");
+        assert!(rep.fallback_depth() >= 1, "mesh plans were abandoned");
+        assert_eq!(
+            rep.timeline.last().unwrap().outcome,
+            RecoveryOutcome::Accepted
+        );
+        assert!(
+            rep.timeline
+                .iter()
+                .any(|e| e.outcome == RecoveryOutcome::TransientRetry),
+            "100% DMA loss must show reseeded retries before abandonment"
+        );
+        let trace = rep.recovery_trace(1.45);
+        assert_eq!(trace.events.len(), rep.timeline.len() + 1);
+        // The document is valid Chrome-trace JSON.
+        let back = sw_obs::ChromeTrace::from_json_str(&trace.to_json_string()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn degraded_run_timeline_marks_the_mesh_degradation() {
+        let shape = small();
+        let (input, filter) = operands(&shape);
+        let fault = FaultPlan::none(7).with_dead_cpe(2, 3);
+        let rep = ResilientExecutor::new()
+            .with_fault(Some(fault))
+            .run(&shape, &input, &filter)
+            .unwrap();
+        assert!(rep.degraded);
+        assert!(rep
+            .timeline
+            .iter()
+            .any(|e| e.outcome == RecoveryOutcome::MeshDegraded));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Monotonic counters on relaxed atomics.
+//!
+//! The simulator's per-CPE closures run under rayon; a counter bumped from
+//! several threads must produce the same total regardless of scheduling.
+//! `fetch_add(Relaxed)` gives exactly that: addition is commutative and
+//! associative, so the final value is schedule-independent even though no
+//! ordering is imposed — the property `swsim`'s determinism tests assert.
+//!
+//! Counters are *monotonic by convention*: the API offers `add` and
+//! `reset`, not `sub` or `store`, so a snapshot taken at any quiescent
+//! point is a consistent prefix sum.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event/byte/cycle counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add `n` (relaxed; safe from any thread).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // A zero add is common on hot paths (e.g. "stall of 0 cycles");
+        // skip the RMW so disabled/no-op paths stay free of contention.
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed load; exact once the producers are quiescent,
+    /// e.g. at a superstep barrier).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (for reusing a mesh between runs).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Counter {
+    /// Cloning snapshots the current value into an independent counter.
+    fn clone(&self) -> Self {
+        Self(AtomicU64::new(self.get()))
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(v: u64) -> Self {
+        Self(AtomicU64::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_and_get() {
+        let c = Counter::new();
+        c.add(5);
+        c.add(0); // no-op fast path
+        c.inc();
+        assert_eq!(c.get(), 6);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let c = Counter::from(7);
+        let snap = c.clone();
+        c.add(1);
+        assert_eq!(snap.get(), 7);
+        assert_eq!(c.get(), 8);
+    }
+
+    #[test]
+    fn totals_are_thread_schedule_independent() {
+        // 8 threads x 1000 adds of 3: total must be exact on every run.
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8 * 1000 * 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's three memory-hierarchy levels (§III-D, Fig. 2).
+//!
+//! Every counter the workspace records maps onto exactly one level, so a
+//! [`crate::PerfReport`] can aggregate measured traffic per level and put
+//! it next to the analytic model's required/measured bandwidth for the
+//! same level:
+//!
+//! | level | link it owns        | counters mapped here |
+//! |-------|---------------------|----------------------|
+//! | REG   | LDM → register file | `ldm_reg_bytes` (vload/vldde/vstore traffic, Eq. 5 accounting), `p0_issue_slots`, `p1_issue_slots`, `bus_vectors_sent/received` (register-bus hops) |
+//! | LDM   | scratchpad residency| LDM high-water occupancy, `dma_stall_cycles` (waits for LDM fills) |
+//! | MEM   | MEM → LDM via DMA   | `dma_get_bytes`, `dma_put_bytes`, `dma_requests`, retry/stall counters |
+
+use std::fmt;
+
+/// One level of the REG–LDM–MEM hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Register file; owns the LDM→REG link (Eqs. 3–5).
+    Reg,
+    /// The 64 KB per-CPE scratchpad; owns residency/occupancy.
+    Ldm,
+    /// Main memory; owns the MEM→LDM DMA link (Eqs. 1–2, Table II).
+    Mem,
+}
+
+impl Level {
+    pub const ALL: [Level; 3] = [Level::Reg, Level::Ldm, Level::Mem];
+
+    /// Stable lowercase name used in JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Reg => "reg",
+            Level::Ldm => "ldm",
+            Level::Mem => "mem",
+        }
+    }
+
+    /// Parse the JSON export name back.
+    pub fn from_name(s: &str) -> Option<Level> {
+        Level::ALL.into_iter().find(|l| l.name() == s)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Reg => "REG",
+            Level::Ldm => "LDM",
+            Level::Mem => "MEM",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for l in Level::ALL {
+            assert_eq!(Level::from_name(l.name()), Some(l));
+        }
+        assert_eq!(Level::from_name("cache"), None);
+    }
+
+    #[test]
+    fn display_is_uppercase() {
+        assert_eq!(Level::Mem.to_string(), "MEM");
+    }
+}

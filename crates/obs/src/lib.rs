@@ -1,0 +1,37 @@
+//! Unified observability for the swDNN reproduction.
+//!
+//! The paper's central artifact is a three-level REG–LDM–MEM performance
+//! model (Fig. 2, Eqs. 1–5) that predicts convolution throughput from
+//! required vs. measured bandwidth at each level of the memory hierarchy.
+//! This crate makes that comparison *continuously measurable* instead of a
+//! one-off table:
+//!
+//! * [`counter`] — monotonic counters on relaxed atomics, safe to bump from
+//!   the rayon-parallel CPE closures of the simulator without any ordering
+//!   dependence on thread scheduling;
+//! * [`level`] — the three paper levels and the mapping every counter
+//!   declares onto them;
+//! * [`chrome`] — span-style event recording ([`Recorder`], zero-cost when
+//!   disabled) and a Chrome-trace JSON exporter whose output loads directly
+//!   into `chrome://tracing` / Perfetto;
+//! * [`report`] — [`PerfReport`]: per-level measured RBW/MBW next to the
+//!   analytic model's prediction for one convolution configuration;
+//! * [`snapshot`] — [`Snapshot`]: a machine-readable `BENCH_PERF.json`
+//!   bundle of reports plus [`snapshot::compare`], the per-metric-tolerance
+//!   comparator that CI's `bench-regression` job gates on.
+//!
+//! The crate depends only on the offline `serde_json` shim, so every other
+//! workspace member (simulator, ISA model, executor, bench harness) can
+//! link it without cycles.
+
+pub mod chrome;
+pub mod counter;
+pub mod level;
+pub mod report;
+pub mod snapshot;
+
+pub use chrome::{ChromeEvent, ChromeTrace, Recorder};
+pub use counter::Counter;
+pub use level::Level;
+pub use report::{LevelIo, PerfReport};
+pub use snapshot::{compare, CompareReport, Snapshot, Tolerances};

@@ -1,0 +1,521 @@
+//! `BENCH_PERF.json` snapshots and the regression comparator CI gates on.
+//!
+//! A [`Snapshot`] is a versioned bundle of [`PerfReport`]s — one per
+//! (configuration, plan) pair the bench harness runs. The committed
+//! baseline lives at `results/BENCH_PERF.baseline.json`; CI regenerates a
+//! fresh snapshot and calls [`compare`], which fails the build when any
+//! metric drifts outside its tolerance.
+//!
+//! Because the whole pipeline is a deterministic simulation (cycle counts
+//! and counter totals are exact, not wall-clock samples), tolerances can
+//! be tight: the defaults allow 2% on throughput/cycles and essentially
+//! zero drift on analytic model outputs. A legitimate change to the model
+//! or the counters is expected to trip the gate — the fix is to regenerate
+//! and commit the baseline alongside the change (see CONTRIBUTING.md).
+
+use crate::report::PerfReport;
+use serde_json::{object, Value};
+use std::path::Path;
+
+/// Bump when the report schema changes incompatibly; `compare` refuses to
+/// diff snapshots of different versions.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// A versioned bundle of perf reports, the on-disk `BENCH_PERF.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub reports: Vec<PerfReport>,
+}
+
+impl Snapshot {
+    pub fn new(reports: Vec<PerfReport>) -> Self {
+        Snapshot { reports }
+    }
+
+    pub fn to_json(&self) -> Value {
+        object([
+            ("version", Value::from(SNAPSHOT_VERSION)),
+            ("schema", Value::from("swdnn-bench-perf")),
+            (
+                "reports",
+                Value::Array(self.reports.iter().map(PerfReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json())
+    }
+
+    pub fn from_json_str(s: &str) -> Result<Snapshot, serde_json::Error> {
+        let doc = serde_json::from_str(s)?;
+        let bad = |msg: &str| serde_json::Error {
+            msg: msg.into(),
+            offset: 0,
+        };
+        let version = doc
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("missing snapshot version"))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(bad(&format!(
+                "snapshot version {version} != supported {SNAPSHOT_VERSION}; regenerate the baseline"
+            )));
+        }
+        let reports = doc
+            .get("reports")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing reports array"))?
+            .iter()
+            .map(|r| PerfReport::from_json(r).ok_or_else(|| bad("malformed perf report")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Snapshot { reports })
+    }
+
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut s = self.to_json_string();
+        s.push('\n');
+        std::fs::write(path, s)
+    }
+
+    pub fn load(path: &Path) -> Result<Snapshot, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Snapshot::from_json_str(&s).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Per-metric relative tolerances for [`compare`].
+///
+/// Two classes of metric get different treatment:
+///
+/// * **directional** metrics — measured throughput may not *drop* and
+///   cycles may not *grow* beyond the tolerance; improvements pass (and
+///   are listed as notes so a stale baseline is visible in CI logs);
+/// * **symmetric** metrics — analytic model outputs and counter-derived
+///   traffic must match the baseline in *both* directions, because any
+///   drift means the model or the accounting changed and the baseline
+///   must be regenerated deliberately.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Allowed relative drop in `gflops_measured` (directional).
+    pub gflops_rel: f64,
+    /// Allowed relative growth in `cycles` and `time_ms` (directional).
+    pub cycles_rel: f64,
+    /// Allowed relative drift in measured per-level bandwidth and byte
+    /// counts (symmetric).
+    pub traffic_rel: f64,
+    /// Allowed relative drift in analytic model outputs (symmetric).
+    /// Deterministic closed forms — near zero by default.
+    pub model_rel: f64,
+    /// Allowed absolute growth in `ldm_high_water_frac` (directional:
+    /// creeping toward the 64 KB ceiling is the regression).
+    pub ldm_frac_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            gflops_rel: 0.02,
+            cycles_rel: 0.02,
+            traffic_rel: 0.02,
+            model_rel: 1e-9,
+            ldm_frac_abs: 0.02,
+        }
+    }
+}
+
+/// One metric outside its tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// `PerfReport::key()` of the affected measurement.
+    pub key: String,
+    pub metric: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Signed relative change, `(current - baseline) / |baseline|`
+    /// (absolute change for `ldm_high_water_frac`).
+    pub change: f64,
+}
+
+/// Outcome of comparing a fresh snapshot against the committed baseline.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    pub regressions: Vec<Regression>,
+    /// Keys present in the baseline but absent from the fresh snapshot.
+    pub missing: Vec<String>,
+    /// Keys present in the fresh snapshot but absent from the baseline.
+    pub extra: Vec<String>,
+    /// Directional metrics that *improved* beyond tolerance — not
+    /// failures, but a cue that the baseline is stale.
+    pub improvements: Vec<Regression>,
+}
+
+impl CompareReport {
+    /// True when CI should pass: every baseline key is present and no
+    /// metric regressed. Extra keys fail too — new configurations must be
+    /// added to the baseline deliberately.
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty() && self.extra.is_empty()
+    }
+
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        if self.is_ok() {
+            s.push_str("bench comparison OK: all metrics within tolerance\n");
+        } else {
+            s.push_str(&format!(
+                "bench comparison FAILED: {} regression(s), {} missing, {} extra\n",
+                self.regressions.len(),
+                self.missing.len(),
+                self.extra.len()
+            ));
+        }
+        for r in &self.regressions {
+            s.push_str(&format!(
+                "  REGRESSION {} :: {}: {:.6} -> {:.6} ({:+.2}%)\n",
+                r.key,
+                r.metric,
+                r.baseline,
+                r.current,
+                100.0 * r.change
+            ));
+        }
+        for k in &self.missing {
+            s.push_str(&format!("  MISSING   {k}\n"));
+        }
+        for k in &self.extra {
+            s.push_str(&format!("  EXTRA     {k} (regenerate the baseline)\n"));
+        }
+        for r in &self.improvements {
+            s.push_str(&format!(
+                "  improved  {} :: {}: {:.6} -> {:.6} ({:+.2}%) — consider refreshing the baseline\n",
+                r.key,
+                r.metric,
+                r.baseline,
+                r.current,
+                100.0 * r.change
+            ));
+        }
+        s
+    }
+}
+
+fn rel_change(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * current.signum()
+        }
+    } else {
+        (current - baseline) / baseline.abs()
+    }
+}
+
+/// Diff `current` against `baseline` with per-metric tolerances.
+pub fn compare(baseline: &Snapshot, current: &Snapshot, tol: &Tolerances) -> CompareReport {
+    let mut out = CompareReport::default();
+
+    let base_keys: Vec<String> = baseline.reports.iter().map(PerfReport::key).collect();
+    for r in &current.reports {
+        if !base_keys.contains(&r.key()) {
+            out.extra.push(r.key());
+        }
+    }
+
+    for b in &baseline.reports {
+        let key = b.key();
+        let Some(c) = current.reports.iter().find(|r| r.key() == key) else {
+            out.missing.push(key);
+            continue;
+        };
+
+        // Directional metric: (name, baseline, current, tolerance,
+        // true = higher-is-worse).
+        let directional = [
+            (
+                "gflops_measured",
+                b.gflops_measured,
+                c.gflops_measured,
+                tol.gflops_rel,
+                false,
+            ),
+            (
+                "cycles",
+                b.cycles as f64,
+                c.cycles as f64,
+                tol.cycles_rel,
+                true,
+            ),
+            ("time_ms", b.time_ms, c.time_ms, tol.cycles_rel, true),
+        ];
+        for (metric, bv, cv, t, higher_is_worse) in directional {
+            let change = rel_change(bv, cv);
+            let worse = if higher_is_worse {
+                change > t
+            } else {
+                change < -t
+            };
+            let better = if higher_is_worse {
+                change < -t
+            } else {
+                change > t
+            };
+            let rec = Regression {
+                key: key.clone(),
+                metric: metric.to_string(),
+                baseline: bv,
+                current: cv,
+                change,
+            };
+            if worse {
+                out.regressions.push(rec);
+            } else if better {
+                out.improvements.push(rec);
+            }
+        }
+
+        // Symmetric metrics: any drift beyond tolerance fails.
+        let symmetric = [
+            (
+                "gflops_modeled",
+                b.gflops_modeled,
+                c.gflops_modeled,
+                tol.model_rel,
+            ),
+            (
+                "efficiency_modeled",
+                b.efficiency_modeled,
+                c.efficiency_modeled,
+                tol.model_rel,
+            ),
+            (
+                "mem.required_gbps",
+                b.mem.required_gbps,
+                c.mem.required_gbps,
+                tol.model_rel,
+            ),
+            (
+                "mem.modeled_gbps",
+                b.mem.modeled_gbps,
+                c.mem.modeled_gbps,
+                tol.model_rel,
+            ),
+            (
+                "reg.required_gbps",
+                b.reg.required_gbps,
+                c.reg.required_gbps,
+                tol.model_rel,
+            ),
+            (
+                "reg.modeled_gbps",
+                b.reg.modeled_gbps,
+                c.reg.modeled_gbps,
+                tol.model_rel,
+            ),
+            (
+                "mem.measured_gbps",
+                b.mem.measured_gbps,
+                c.mem.measured_gbps,
+                tol.traffic_rel,
+            ),
+            (
+                "reg.measured_gbps",
+                b.reg.measured_gbps,
+                c.reg.measured_gbps,
+                tol.traffic_rel,
+            ),
+            (
+                "mem.bytes",
+                b.mem.bytes as f64,
+                c.mem.bytes as f64,
+                tol.traffic_rel,
+            ),
+            (
+                "reg.bytes",
+                b.reg.bytes as f64,
+                c.reg.bytes as f64,
+                tol.traffic_rel,
+            ),
+        ];
+        for (metric, bv, cv, t) in symmetric {
+            let change = rel_change(bv, cv);
+            if change.abs() > t {
+                out.regressions.push(Regression {
+                    key: key.clone(),
+                    metric: metric.to_string(),
+                    baseline: bv,
+                    current: cv,
+                    change,
+                });
+            }
+        }
+
+        // Memory-bound classification flipping is a model change.
+        if b.memory_bound != c.memory_bound {
+            out.regressions.push(Regression {
+                key: key.clone(),
+                metric: "memory_bound".to_string(),
+                baseline: b.memory_bound as u64 as f64,
+                current: c.memory_bound as u64 as f64,
+                change: f64::NAN,
+            });
+        }
+
+        // LDM occupancy: absolute growth toward the 64 KB ceiling.
+        let dfrac = c.ldm_high_water_frac - b.ldm_high_water_frac;
+        if dfrac > tol.ldm_frac_abs {
+            out.regressions.push(Regression {
+                key: key.clone(),
+                metric: "ldm_high_water_frac".to_string(),
+                baseline: b.ldm_high_water_frac,
+                current: c.ldm_high_water_frac,
+                change: dfrac,
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Level;
+    use crate::report::LevelIo;
+
+    fn report(config: &str, plan: &str) -> PerfReport {
+        PerfReport {
+            config: config.to_string(),
+            plan: plan.to_string(),
+            cycles: 1_000_000,
+            time_ms: 0.69,
+            gflops_measured: 300.0,
+            gflops_modeled: 371.25,
+            efficiency_modeled: 0.82,
+            memory_bound: false,
+            ldm_high_water_frac: 0.70,
+            mem: LevelIo {
+                level: Level::Mem,
+                required_gbps: 14.8,
+                modeled_gbps: 27.9,
+                measured_gbps: 13.2,
+                bytes: 1 << 24,
+            },
+            reg: LevelIo {
+                level: Level::Reg,
+                required_gbps: 11.6,
+                modeled_gbps: 23.2,
+                measured_gbps: 15.4,
+                bytes: 1 << 26,
+            },
+            counters: vec![("dma_get_bytes".into(), 1 << 24)],
+        }
+    }
+
+    fn snapshot() -> Snapshot {
+        Snapshot::new(vec![
+            report("B128", "image_aware"),
+            report("B128", "batch_aware"),
+        ])
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = snapshot();
+        let back = Snapshot::from_json_str(&s.to_json_string()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut doc = snapshot().to_json_string();
+        doc = doc.replace("\"version\": 1", "\"version\": 99");
+        let err = Snapshot::from_json_str(&doc).unwrap_err();
+        assert!(err.msg.contains("version 99"));
+    }
+
+    #[test]
+    fn identical_snapshots_compare_ok() {
+        let s = snapshot();
+        let report = compare(&s, &s.clone(), &Tolerances::default());
+        assert!(report.is_ok(), "{}", report.summary());
+        assert!(report.summary().contains("OK"));
+    }
+
+    #[test]
+    fn injected_throughput_regression_is_caught() {
+        let base = snapshot();
+        let mut cur = base.clone();
+        cur.reports[0].gflops_measured *= 0.90; // 10% drop > 2% tolerance
+        let report = compare(&base, &cur, &Tolerances::default());
+        assert!(!report.is_ok());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].metric, "gflops_measured");
+        assert!(report.summary().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn improvement_is_not_a_failure_but_is_noted() {
+        let base = snapshot();
+        let mut cur = base.clone();
+        cur.reports[0].gflops_measured *= 1.10;
+        let report = compare(&base, &cur, &Tolerances::default());
+        assert!(report.is_ok());
+        assert_eq!(report.improvements.len(), 1);
+        assert!(report.summary().contains("refreshing the baseline"));
+    }
+
+    #[test]
+    fn model_drift_fails_in_both_directions() {
+        let base = snapshot();
+        for factor in [0.99, 1.01] {
+            let mut cur = base.clone();
+            cur.reports[1].reg.modeled_gbps *= factor;
+            let report = compare(&base, &cur, &Tolerances::default());
+            assert!(report
+                .regressions
+                .iter()
+                .any(|r| r.metric == "reg.modeled_gbps"));
+        }
+    }
+
+    #[test]
+    fn missing_and_extra_configs_fail() {
+        let base = snapshot();
+        let mut cur = base.clone();
+        cur.reports.remove(1);
+        cur.reports.push(report("B256", "image_aware"));
+        let report = compare(&base, &cur, &Tolerances::default());
+        assert!(!report.is_ok());
+        assert_eq!(report.missing, vec!["B128 / batch_aware".to_string()]);
+        assert_eq!(report.extra, vec!["B256 / image_aware".to_string()]);
+    }
+
+    #[test]
+    fn cycle_growth_and_ldm_creep_are_regressions() {
+        let base = snapshot();
+        let mut cur = base.clone();
+        cur.reports[0].cycles = 1_100_000; // +10%
+        cur.reports[0].ldm_high_water_frac = 0.95; // +0.25 absolute
+        let report = compare(&base, &cur, &Tolerances::default());
+        let metrics: Vec<&str> = report
+            .regressions
+            .iter()
+            .map(|r| r.metric.as_str())
+            .collect();
+        assert!(metrics.contains(&"cycles"));
+        assert!(metrics.contains(&"ldm_high_water_frac"));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("sw_obs_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_PERF.json");
+        let s = snapshot();
+        s.save(&path).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap(), s);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -179,6 +179,28 @@ impl Inst {
             _ => 0,
         }
     }
+
+    /// LDM bytes *read* by this instruction, in the paper's Eq. 5
+    /// bandwidth accounting: a 256-bit vector load moves 32 bytes, and
+    /// `vldde` — which reads one 8-byte double but replicates it through
+    /// the load path into all 4 lanes — is charged the full 32 bytes of
+    /// register-file fill it produces (this 4x factor is exactly how Eq. 5
+    /// arrives at its `4*rb_no` term). `vldr`/`vldc` read LDM before
+    /// broadcasting; `getr`/`getc` read the bus transfer buffer, not LDM.
+    pub const fn ldm_load_bytes(&self) -> u64 {
+        match self.op {
+            Op::Vload { .. } | Op::Vldde { .. } | Op::Vldr { .. } | Op::Vldc { .. } => 32,
+            _ => 0,
+        }
+    }
+
+    /// LDM bytes *written* by this instruction (vector store = 32 bytes).
+    pub const fn ldm_store_bytes(&self) -> u64 {
+        match self.op {
+            Op::Vstore { .. } => 32,
+            _ => 0,
+        }
+    }
 }
 
 impl fmt::Display for Inst {

@@ -77,6 +77,11 @@ pub struct ExecReport {
     pub stall_cycles: u64,
     /// Double-precision flops performed by the stream.
     pub flops: u64,
+    /// LDM bytes read by the stream (Eq. 5 accounting: `vldde` counts as
+    /// 32 bytes of register-file fill — see [`Inst::ldm_load_bytes`]).
+    pub ldm_load_bytes: u64,
+    /// LDM bytes written by the stream (vector stores).
+    pub ldm_store_bytes: u64,
     /// Per-instruction issue cycle and pipe, in program order.
     pub issue_trace: Vec<(u64, Pipe)>,
 }
@@ -150,6 +155,8 @@ impl DualPipe {
         let mut dual = 0u64;
         let mut stalls = 0u64;
         let mut flops = 0u64;
+        let mut ldm_loads = 0u64;
+        let mut ldm_stores = 0u64;
         let mut trace = Vec::with_capacity(program.len());
 
         while idx < program.len() {
@@ -178,6 +185,8 @@ impl DualPipe {
                 Pipe::P1 => p1 += 1,
             }
             flops += first.flops();
+            ldm_loads += first.ldm_load_bytes();
+            ldm_stores += first.ldm_store_bytes();
             let mut advanced = 1usize;
             let mut branch_taken = matches!(first.op, Op::Branch { taken: true, .. });
 
@@ -205,6 +214,8 @@ impl DualPipe {
                             Pipe::P1 => p1 += 1,
                         }
                         flops += snd.flops();
+                        ldm_loads += snd.ldm_load_bytes();
+                        ldm_stores += snd.ldm_store_bytes();
                         dual += 1;
                         advanced = 2;
                         branch_taken |= matches!(snd.op, Op::Branch { taken: true, .. });
@@ -227,6 +238,8 @@ impl DualPipe {
             dual_issues: dual,
             stall_cycles: stalls,
             flops,
+            ldm_load_bytes: ldm_loads,
+            ldm_store_bytes: ldm_stores,
             issue_trace: trace,
         }
     }
@@ -422,6 +435,28 @@ mod tests {
         // The dual-issued partner shares its cycle (rendered as '.').
         assert!(text.contains("    ."), "{text}");
         assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn ldm_traffic_accounting_follows_eq5() {
+        let prog = [
+            vload(0, 0, 0), // 32 B load
+            Inst::new(Op::Vldde {
+                dst: Reg::V(1),
+                base: Reg::R(1),
+                disp: 0,
+            }), // 32 B bandwidth-equivalent (8 B replicated x4)
+            vfmadd(8, 0, 1), // no LDM traffic
+            Inst::new(Op::Vstore {
+                src: Reg::V(8),
+                base: Reg::R(2),
+                disp: 0,
+            }), // 32 B store
+            Inst::new(Op::Getr { dst: Reg::V(9) }), // bus, not LDM
+        ];
+        let rep = DualPipe::default().run(&prog);
+        assert_eq!(rep.ldm_load_bytes, 64);
+        assert_eq!(rep.ldm_store_bytes, 32);
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod tests {
                 flops,
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 

@@ -17,7 +17,7 @@
 use crate::dma::{DmaEngine, DmaHandle};
 use crate::fault::FaultPlan;
 use crate::ldm::{Ldm, LdmBuf, LdmOverflow};
-use crate::stats::{CgStats, CpeStats};
+use crate::stats::{CgStats, CpeCounters, CpeStats};
 use rayon::prelude::*;
 use std::collections::VecDeque;
 use std::fmt;
@@ -132,7 +132,7 @@ struct CpeNode<S> {
     /// Monotonic DMA request counter, keying fault-injection decisions so
     /// they are independent of thread scheduling.
     dma_seq: u64,
-    stats: CpeStats,
+    stats: CpeCounters,
     row_inbox: VecDeque<Vec<f64>>,
     col_inbox: VecDeque<Vec<f64>>,
     events: Vec<crate::trace::Event>,
@@ -145,7 +145,7 @@ pub struct CpeCtx<'a> {
     pub col: usize,
     ldm: &'a mut Ldm,
     clock: &'a mut u64,
-    stats: &'a mut CpeStats,
+    stats: &'a CpeCounters,
     row_inbox: &'a mut VecDeque<Vec<f64>>,
     col_inbox: &'a mut VecDeque<Vec<f64>>,
     dma_free: &'a mut u64,
@@ -253,8 +253,8 @@ impl CpeCtx<'_> {
             bytes,
             self.block_hint.take().unwrap_or(run_len * 8),
         );
-        self.stats.dma_get_bytes += bytes as u64;
-        self.stats.dma_requests += 1;
+        self.stats.dma_get_bytes.add(bytes as u64);
+        self.stats.dma_requests.inc();
         let h = self.enqueue_dma(cycles)?;
         self.record(crate::trace::EventKind::DmaGetIssue {
             bytes: bytes as u64,
@@ -287,7 +287,7 @@ impl CpeCtx<'_> {
             let stall = fp.dma_stall(id, seq);
             if stall > 0 {
                 total += stall;
-                self.stats.fault_stall_cycles += stall;
+                self.stats.fault_stall_cycles.add(stall);
             }
             let mut attempt = 0u32;
             while fp.dma_attempt_fails(id, seq, attempt) {
@@ -300,8 +300,8 @@ impl CpeCtx<'_> {
                 }
                 let backoff = fp.retry.base_backoff_cycles << attempt;
                 total += cycles + backoff;
-                self.stats.dma_retries += 1;
-                self.stats.fault_retry_cycles += cycles + backoff;
+                self.stats.dma_retries.inc();
+                self.stats.fault_retry_cycles.add(cycles + backoff);
                 attempt += 1;
             }
         }
@@ -350,8 +350,8 @@ impl CpeCtx<'_> {
             bytes,
             self.block_hint.take().unwrap_or(run_len * 8),
         );
-        self.stats.dma_put_bytes += bytes as u64;
-        self.stats.dma_requests += 1;
+        self.stats.dma_put_bytes.add(bytes as u64);
+        self.stats.dma_requests.inc();
         let h = self.enqueue_dma(cycles)?;
         self.record(crate::trace::EventKind::DmaPutIssue {
             bytes: bytes as u64,
@@ -393,8 +393,8 @@ impl CpeCtx<'_> {
             bytes,
             self.block_hint.take().unwrap_or(run_len * 8),
         );
-        self.stats.dma_put_bytes += bytes as u64;
-        self.stats.dma_requests += 1;
+        self.stats.dma_put_bytes.add(bytes as u64);
+        self.stats.dma_requests.inc();
         let h = self.enqueue_dma(cycles)?;
         self.record(crate::trace::EventKind::DmaPutIssue {
             bytes: bytes as u64,
@@ -419,7 +419,7 @@ impl CpeCtx<'_> {
         if h.done_at > *self.clock {
             let stall = h.done_at - *self.clock;
             self.record(crate::trace::EventKind::DmaWait { stall });
-            self.stats.dma_stall_cycles += stall;
+            self.stats.dma_stall_cycles.add(stall);
             *self.clock = h.done_at;
         }
     }
@@ -468,7 +468,7 @@ impl CpeCtx<'_> {
     fn charge_put(&mut self, doubles: usize) {
         let vectors = doubles.div_ceil(4) as u64;
         self.record(crate::trace::EventKind::BusSend { vectors });
-        self.stats.bus_vectors_sent += vectors;
+        self.stats.bus_vectors_sent.add(vectors);
         *self.clock += vectors; // one put per cycle on P1
     }
 
@@ -497,20 +497,32 @@ impl CpeCtx<'_> {
     fn charge_get(&mut self, doubles: usize) {
         let vectors = doubles.div_ceil(4) as u64;
         self.record(crate::trace::EventKind::BusRecv { vectors });
-        self.stats.bus_vectors_received += vectors;
+        self.stats.bus_vectors_received.add(vectors);
         *self.clock += vectors + GET_LATENCY;
     }
 
     /// Charge compute cycles (priced by the `sw-isa` kernel model).
     pub fn charge_compute(&mut self, cycles: u64) {
         self.record(crate::trace::EventKind::Compute { cycles });
-        self.stats.compute_cycles += cycles;
+        self.stats.compute_cycles.add(cycles);
         *self.clock += cycles;
     }
 
     /// Record floating-point work.
     pub fn add_flops(&mut self, flops: u64) {
-        self.stats.flops += flops;
+        self.stats.flops.add(flops);
+    }
+
+    /// Record LDM → register-file traffic of an inner kernel (Eq. 5
+    /// accounting, priced by the `sw-isa` instruction model).
+    pub fn add_ldm_reg_bytes(&mut self, bytes: u64) {
+        self.stats.ldm_reg_bytes.add(bytes);
+    }
+
+    /// Record instruction issue slots consumed on each pipeline.
+    pub fn add_issue_slots(&mut self, p0: u64, p1: u64) {
+        self.stats.p0_issue_slots.add(p0);
+        self.stats.p1_issue_slots.add(p1);
     }
 }
 
@@ -547,7 +559,7 @@ impl<S: Send> Mesh<S> {
                     clock: 0,
                     dma_free: 0,
                     dma_seq: 0,
-                    stats: CpeStats::default(),
+                    stats: CpeCounters::default(),
                     row_inbox: VecDeque::new(),
                     col_inbox: VecDeque::new(),
                     events: Vec::new(),
@@ -618,7 +630,7 @@ impl<S: Send> Mesh<S> {
                     let stall = fp.cpe_stall(id, step);
                     if stall > 0 {
                         node.clock += stall;
-                        node.stats.fault_stall_cycles += stall;
+                        node.stats.fault_stall_cycles.add(stall);
                     }
                 }
                 let mut ctx = CpeCtx {
@@ -626,7 +638,7 @@ impl<S: Send> Mesh<S> {
                     col: node.col,
                     ldm: &mut node.ldm,
                     clock: &mut node.clock,
-                    stats: &mut node.stats,
+                    stats: &node.stats,
                     row_inbox: &mut node.row_inbox,
                     col_inbox: &mut node.col_inbox,
                     dma_free: &mut node.dma_free,
@@ -699,7 +711,7 @@ impl<S: Send> Mesh<S> {
                     self.msg_deliveries += 1;
                     if let Some(fp) = fault {
                         if fp.msg_dropped(id, target, seq) {
-                            self.cpes[id].stats.msgs_dropped += 1;
+                            self.cpes[id].stats.msgs_dropped.inc();
                             continue;
                         }
                     }
@@ -751,11 +763,12 @@ impl<S: Send> Mesh<S> {
     pub fn stats(&self) -> CgStats {
         let mut totals = CpeStats::default();
         for c in &self.cpes {
-            totals.add(&c.stats);
+            totals.add(&c.stats.snapshot());
         }
         CgStats {
             cycles: self.cpes.iter().map(|c| c.clock).max().unwrap_or(0),
             totals,
+            ldm_high_water_doubles: self.ldm_high_water() as u64,
         }
     }
 

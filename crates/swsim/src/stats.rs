@@ -4,8 +4,45 @@
 //! *measured* here, not assumed: plans cannot move a byte or execute a flop
 //! without it being counted, so the benchmark harness can report achieved
 //! MEM→LDM bandwidth and Gflops directly from these counters.
+//!
+//! Counters live in two forms. [`CpeCounters`] is the *live* form inside
+//! each mesh node: relaxed-atomic [`sw_obs::Counter`]s, safe to bump from
+//! the rayon-parallel superstep closures and — because relaxed addition is
+//! commutative — guaranteed to reach the same totals regardless of thread
+//! scheduling (asserted by the `counter_determinism` test suite).
+//! [`CpeStats`] is the *snapshot* form: a plain `Copy` struct taken at a
+//! quiescent point (superstep barrier or end of run), which the planner's
+//! timing extrapolation and the bench harness manipulate freely.
+//!
+//! The field list is defined once in `for_each_cpe_stat!` and expanded into
+//! both structs and every whole-struct operation, so adding a counter in
+//! one place wires it through snapshotting, summation and extrapolation.
 
-/// Counters for one CPE.
+/// Invokes `$action!(field, field, ...)` with the complete counter field
+/// list — the single source of truth for what a CPE counts.
+macro_rules! for_each_cpe_stat {
+    ($action:ident) => {
+        $action! {
+            dma_get_bytes,
+            dma_put_bytes,
+            dma_requests,
+            bus_vectors_sent,
+            bus_vectors_received,
+            flops,
+            ldm_reg_bytes,
+            p0_issue_slots,
+            p1_issue_slots,
+            dma_stall_cycles,
+            compute_cycles,
+            dma_retries,
+            fault_retry_cycles,
+            fault_stall_cycles,
+            msgs_dropped
+        }
+    };
+}
+
+/// Counters for one CPE (plain snapshot form).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CpeStats {
     /// Bytes moved memory → LDM by DMA gets.
@@ -20,6 +57,13 @@ pub struct CpeStats {
     pub bus_vectors_received: u64,
     /// Double-precision flops executed.
     pub flops: u64,
+    /// Bytes moved LDM → register file by the inner kernel's vector
+    /// loads/stores, in the paper's Eq. 5 accounting (`vldde` charged 32 B).
+    pub ldm_reg_bytes: u64,
+    /// Instructions issued to pipeline P0 (FP/vector arithmetic).
+    pub p0_issue_slots: u64,
+    /// Instructions issued to pipeline P1 (memory/communication/control).
+    pub p1_issue_slots: u64,
     /// Cycles spent waiting on DMA completions.
     pub dma_stall_cycles: u64,
     /// Cycles spent in compute kernels.
@@ -35,21 +79,58 @@ pub struct CpeStats {
 }
 
 impl CpeStats {
+    /// Field-wise combination: the one place whole-struct arithmetic is
+    /// written. `add` is `combine(+)`; the planner's timing extrapolation
+    /// is `combine(lerp)`.
+    pub fn combine(&self, other: &CpeStats, mut f: impl FnMut(u64, u64) -> u64) -> CpeStats {
+        macro_rules! combined {
+            ($($field:ident),+) => {
+                CpeStats { $($field: f(self.$field, other.$field)),+ }
+            };
+        }
+        for_each_cpe_stat!(combined)
+    }
+
     pub fn add(&mut self, other: &CpeStats) {
-        self.dma_get_bytes += other.dma_get_bytes;
-        self.dma_put_bytes += other.dma_put_bytes;
-        self.dma_requests += other.dma_requests;
-        self.bus_vectors_sent += other.bus_vectors_sent;
-        self.bus_vectors_received += other.bus_vectors_received;
-        self.flops += other.flops;
-        self.dma_stall_cycles += other.dma_stall_cycles;
-        self.compute_cycles += other.compute_cycles;
-        self.dma_retries += other.dma_retries;
-        self.fault_retry_cycles += other.fault_retry_cycles;
-        self.fault_stall_cycles += other.fault_stall_cycles;
-        self.msgs_dropped += other.msgs_dropped;
+        *self = self.combine(other, |a, b| a + b);
+    }
+
+    /// `(name, value)` pairs for every counter, in declaration order —
+    /// the raw-counter dump exported into perf reports and trace args.
+    pub fn named(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! named {
+            ($($field:ident),+) => {
+                vec![$((stringify!($field), self.$field)),+]
+            };
+        }
+        for_each_cpe_stat!(named)
     }
 }
+
+/// Live counters for one CPE: the same fields as [`CpeStats`], as
+/// relaxed-atomic [`sw_obs::Counter`]s shared with the superstep closure.
+macro_rules! counters_struct {
+    ($($field:ident),+) => {
+        #[derive(Debug, Default)]
+        pub struct CpeCounters {
+            $(pub $field: sw_obs::Counter),+
+        }
+
+        impl CpeCounters {
+            /// Copy the current values into a plain snapshot. Exact once
+            /// producers are quiescent (e.g. at a superstep barrier).
+            pub fn snapshot(&self) -> CpeStats {
+                CpeStats { $($field: self.$field.get()),+ }
+            }
+
+            /// Zero every counter (for reusing a mesh between runs).
+            pub fn reset(&self) {
+                $(self.$field.reset();)+
+            }
+        }
+    };
+}
+for_each_cpe_stat!(counters_struct);
 
 /// Aggregated result of running a kernel on one core group.
 #[derive(Clone, Copy, Debug, Default)]
@@ -58,6 +139,8 @@ pub struct CgStats {
     pub cycles: u64,
     /// Sum over all 64 CPEs.
     pub totals: CpeStats,
+    /// Peak LDM usage of any CPE, in doubles.
+    pub ldm_high_water_doubles: u64,
 }
 
 impl CgStats {
@@ -82,9 +165,27 @@ impl CgStats {
         self.totals.dma_get_bytes as f64 / self.seconds(clock_ghz) / 1e9
     }
 
+    /// Achieved LDM→REG bandwidth in GB/s (per CPE, lifetime average):
+    /// the Eq. 5 counterpart of [`Self::dma_get_gbps`]. Per-CPE because
+    /// the paper's 46.4 GB/s LDM→REG figure is a single CPE's load path.
+    pub fn ldm_reg_gbps_per_cpe(&self, clock_ghz: f64, cpes: u64) -> f64 {
+        if self.cycles == 0 || cpes == 0 {
+            return 0.0;
+        }
+        self.totals.ldm_reg_bytes as f64 / cpes as f64 / self.seconds(clock_ghz) / 1e9
+    }
+
     /// Total memory traffic (both directions) in bytes.
     pub fn mem_bytes(&self) -> u64 {
         self.totals.dma_get_bytes + self.totals.dma_put_bytes
+    }
+
+    /// Peak LDM occupancy as a fraction of `ldm_bytes` capacity.
+    pub fn ldm_high_water_frac(&self, ldm_bytes: usize) -> f64 {
+        if ldm_bytes == 0 {
+            return 0.0;
+        }
+        (self.ldm_high_water_doubles * 8) as f64 / ldm_bytes as f64
     }
 
     /// Fraction of the CG's peak the kernel attained.
@@ -105,6 +206,7 @@ mod tests {
                 flops: 500_000_000_000,
                 ..Default::default()
             },
+            ..Default::default()
         };
         assert!((s.gflops(1.45) - 500.0).abs() < 1e-9);
         assert!((s.seconds(1.45) - 1.0).abs() < 1e-12);
@@ -116,10 +218,13 @@ mod tests {
             cycles: 1_450_000_000,
             totals: CpeStats {
                 dma_get_bytes: 36_000_000_000,
+                ldm_reg_bytes: 64 * 46_400_000_000,
                 ..Default::default()
             },
+            ..Default::default()
         };
         assert!((s.dma_get_gbps(1.45) - 36.0).abs() < 1e-9);
+        assert!((s.ldm_reg_gbps_per_cpe(1.45, 64) - 46.4).abs() < 1e-9);
     }
 
     #[test]
@@ -127,6 +232,17 @@ mod tests {
         let s = CgStats::default();
         assert_eq!(s.gflops(1.45), 0.0);
         assert_eq!(s.dma_get_gbps(1.45), 0.0);
+        assert_eq!(s.ldm_reg_gbps_per_cpe(1.45, 64), 0.0);
+        assert_eq!(s.ldm_high_water_frac(0), 0.0);
+    }
+
+    #[test]
+    fn ldm_high_water_fraction() {
+        let s = CgStats {
+            ldm_high_water_doubles: 4096, // 32 KB
+            ..Default::default()
+        };
+        assert!((s.ldm_high_water_frac(65536) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -140,11 +256,66 @@ mod tests {
             flops: 10,
             dma_get_bytes: 20,
             bus_vectors_sent: 3,
+            ldm_reg_bytes: 7,
+            p0_issue_slots: 5,
             ..Default::default()
         };
         a.add(&b);
         assert_eq!(a.flops, 11);
         assert_eq!(a.dma_get_bytes, 22);
         assert_eq!(a.bus_vectors_sent, 3);
+        assert_eq!(a.ldm_reg_bytes, 7);
+        assert_eq!(a.p0_issue_slots, 5);
+    }
+
+    #[test]
+    fn combine_covers_every_field() {
+        // combine(max) of a struct against itself must be the identity;
+        // through the macro this exercises the complete field list.
+        let t = CpeStats {
+            flops: 3,
+            msgs_dropped: 9,
+            p1_issue_slots: 2,
+            ..Default::default()
+        };
+        assert_eq!(t.combine(&t, |a, b| a.max(b)), t);
+        assert_eq!(t.named().len(), 15);
+        assert!(t.named().contains(&("p1_issue_slots", 2)));
+    }
+
+    #[test]
+    fn counters_snapshot_and_reset() {
+        let c = CpeCounters::default();
+        c.flops.add(8);
+        c.ldm_reg_bytes.add(256);
+        c.dma_requests.inc();
+        let snap = c.snapshot();
+        assert_eq!(snap.flops, 8);
+        assert_eq!(snap.ldm_reg_bytes, 256);
+        assert_eq!(snap.dma_requests, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), CpeStats::default());
+    }
+
+    #[test]
+    fn counters_are_schedule_independent() {
+        use std::sync::Arc;
+        let c = Arc::new(CpeCounters::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        c.flops.add(8);
+                        c.ldm_reg_bytes.add(32);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().flops, 8 * 500 * 8);
+        assert_eq!(c.snapshot().ldm_reg_bytes, 8 * 500 * 32);
     }
 }

@@ -166,3 +166,42 @@ proptest! {
         }).unwrap();
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn counter_totals_are_schedule_independent(len in 1usize..32, flops in 1u64..1000) {
+        // The per-CPE counters are relaxed atomics bumped from rayon's
+        // worker threads; relaxed addition is commutative, so aggregate
+        // totals must match the closed-form expectation on every run and
+        // be identical across repeated runs (whatever interleaving the
+        // thread pool happens to produce).
+        let run = || {
+            let src = vec![1.0f64; len * 64];
+            let mut mesh: Mesh<LdmBuf> =
+                Mesh::new(ChipSpec::sw26010(), |_, _| LdmBuf { offset: 0, len: 0 });
+            mesh.superstep(|ctx, buf| {
+                *buf = ctx.ldm_alloc(len)?;
+                let h = ctx.dma_get(*buf, 0, &src, ctx.id() * len, len)?;
+                ctx.dma_wait(h);
+                ctx.add_flops(flops);
+                ctx.add_ldm_reg_bytes(32 * flops);
+                ctx.add_issue_slots(flops, 2 * flops);
+                Ok(())
+            }).unwrap();
+            mesh.stats()
+        };
+        let first = run();
+        prop_assert_eq!(first.totals.dma_get_bytes, (len * 8 * 64) as u64);
+        prop_assert_eq!(first.totals.flops, 64 * flops);
+        prop_assert_eq!(first.totals.ldm_reg_bytes, 64 * 32 * flops);
+        prop_assert_eq!(first.totals.p0_issue_slots, 64 * flops);
+        prop_assert_eq!(first.totals.p1_issue_slots, 64 * 2 * flops);
+        for _ in 0..3 {
+            let again = run();
+            prop_assert_eq!(again.totals, first.totals);
+            prop_assert_eq!(again.cycles, first.cycles);
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Offline stand-in for `serde_json`, exposing the self-describing
+//! [`Value`] subset this workspace uses: building JSON documents
+//! programmatically, serializing them (`to_string` / `to_string_pretty`),
+//! and parsing them back (`from_str`).
+//!
+//! The build environment has no network access and no vendored registry,
+//! so external crates are replaced by API-compatible local shims (see
+//! CONTRIBUTING.md "Offline builds"). There is no derive machinery here —
+//! callers convert their types to and from `Value` explicitly, which is
+//! exactly how the observability layer's exporters are written.
+//!
+//! Semantics that matter to this workspace and are preserved:
+//!
+//! * objects keep **insertion order** (like `serde_json`'s `preserve_order`
+//!   feature), so exported snapshots diff cleanly in review;
+//! * numbers are `f64`, serialized losslessly for integers up to 2^53 —
+//!   every counter this workspace exports fits (cycle counts would need
+//!   ~200 years of simulated time to overflow);
+//! * strings round-trip through the standard JSON escapes (`\"`, `\\`,
+//!   `\n`, `\t`, `\r`, `\uXXXX`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Key-value pairs in insertion order (stable exports).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into arrays; `None` for other variants or out of range.
+    pub fn idx(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Object keys as a sorted map view (for order-insensitive comparison).
+    pub fn as_map(&self) -> Option<BTreeMap<&str, &Value>> {
+        match self {
+            Value::Object(pairs) => Some(pairs.iter().map(|(k, v)| (k.as_str(), v)).collect()),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(v as f64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build an object in insertion order: `object([("a", 1.0.into()), ...])`.
+pub fn object(pairs: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// Parse or structure error, with the byte offset where parsing stopped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    pub msg: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize compactly (no whitespace).
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Serialize with two-space indentation.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                write_break(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if !pairs.is_empty() {
+                write_break(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_break(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; exporters must never feed one, but if a
+        // counter ratio divides by zero we keep the document well-formed.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document. Trailing whitespace is allowed; trailing content
+/// is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((k, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for src in ["null", "true", "false", "0", "-3", "1.5", "1e3", "\"hi\""] {
+            let v = from_str(src).unwrap();
+            assert_eq!(from_str(&to_string(&v)).unwrap(), v, "{src}");
+        }
+    }
+
+    #[test]
+    fn integers_serialize_without_decimal_point() {
+        assert_eq!(to_string(&Value::Number(36000000000.0)), "36000000000");
+        assert_eq!(to_string(&Value::Number(1.25)), "1.25");
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let doc = object([
+            ("name", Value::from("conv 128x128")),
+            ("gflops", Value::from(371.5)),
+            ("levels", Value::from(vec![1.0, 2.0, 3.0])),
+            (
+                "nested",
+                object([("ok", Value::from(true)), ("n", Value::Null)]),
+            ),
+        ]);
+        let compact = to_string(&doc);
+        let pretty = to_string_pretty(&doc);
+        assert_eq!(from_str(&compact).unwrap(), doc);
+        assert_eq!(from_str(&pretty).unwrap(), doc);
+        assert!(pretty.contains("\n  \"name\""));
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let doc = object([("z", Value::from(1u64)), ("a", Value::from(2u64))]);
+        assert_eq!(to_string(&doc), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nquote\"back\\slash\ttab\rcr\u{1}";
+        let v = Value::String(s.to_string());
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = from_str(r#"{"a": [1, {"b": "x"}], "ok": true}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().idx(0).unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("a")
+                .unwrap()
+                .idx(1)
+                .unwrap()
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("x")
+        );
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("missing"), None);
+        assert!(doc.as_map().unwrap().contains_key("ok"));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = from_str("{\"a\": }").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("12 34").unwrap_err().msg.contains("trailing"));
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = from_str(" \n\t{ \"a\" : [ 1 , 2 ] } \r\n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null() {
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Number(f64::INFINITY)), "null");
+    }
+}

@@ -1,0 +1,146 @@
+//! Tier-1 observability tests: the measured counters, the analytic model,
+//! and the snapshot/comparator pipeline must stay mutually consistent.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. **Model-vs-measured agreement.** For both evaluated plan families
+//!    the counter-derived per-level bandwidth must land inside a
+//!    documented factor of the model's figures — the reproduction of the
+//!    paper's Table III "reasonable match" as an executable bound.
+//! 2. **Chrome-trace round-trip.** A trace exported from a real simulated
+//!    run survives the JSON layer byte-exactly.
+//! 3. **Regression gating.** The comparator accepts the committed
+//!    `results/BENCH_PERF.baseline.json` against itself and rejects an
+//!    injected regression on it — the same check CI's `bench-regression`
+//!    job performs.
+
+use std::path::Path;
+use sw_bench::configs::perf_snapshot_configs;
+use sw_obs::{compare, ChromeTrace, PerfReport, Snapshot, Tolerances};
+use swdnn::{Executor, PlanKind};
+
+/// Documented agreement bounds (see DESIGN.md, "Observability"):
+///
+/// * measured throughput sits in `[0.5, 1.05] ×` the model's prediction —
+///   the simulator charges overheads (spill/refill, launch, barriers) the
+///   closed-form model elides, so measured < modeled is expected, but a
+///   2× disagreement would mean model and implementation diverged;
+/// * measured per-CPE LDM→REG bandwidth never exceeds the hardware figure
+///   the model credits (46.4 GB/s per CPE);
+/// * measured MEM bandwidth never exceeds the model's DMA-curve figure.
+const GFLOPS_AGREEMENT: (f64, f64) = (0.5, 1.05);
+
+fn measure(shape_idx: usize) -> PerfReport {
+    let (shape, kind) = perf_snapshot_configs()[shape_idx];
+    let exec = Executor::new();
+    let rep = exec.run_config_with(&shape, kind).expect("config runs");
+    rep.obs_report(&exec.chip)
+}
+
+#[test]
+fn image_aware_measured_bandwidth_agrees_with_model() {
+    let obs = measure(0);
+    assert_eq!(obs.plan, "image_size_aware");
+    let ratio = obs.gflops_measured / obs.gflops_modeled;
+    assert!(
+        ratio > GFLOPS_AGREEMENT.0 && ratio < GFLOPS_AGREEMENT.1,
+        "image_aware measured/modeled = {ratio:.3}, outside {GFLOPS_AGREEMENT:?}"
+    );
+    assert!(
+        obs.reg.measured_gbps <= obs.reg.modeled_gbps * 1.001,
+        "per-CPE LDM→REG {:.1} GB/s exceeds the hardware's {:.1}",
+        obs.reg.measured_gbps,
+        obs.reg.modeled_gbps
+    );
+    assert!(
+        obs.mem.measured_gbps <= obs.mem.modeled_gbps * 1.001,
+        "MEM→LDM {:.1} GB/s exceeds the DMA curve's {:.1}",
+        obs.mem.measured_gbps,
+        obs.mem.modeled_gbps
+    );
+    assert!(obs.reg.bytes > 0 && obs.mem.bytes > 0);
+    assert!(obs.ldm_high_water_frac > 0.0 && obs.ldm_high_water_frac <= 1.0);
+}
+
+#[test]
+fn batch_aware_measured_bandwidth_agrees_with_model() {
+    let obs = measure(2);
+    assert_eq!(obs.plan, "batch_size_aware");
+    let ratio = obs.gflops_measured / obs.gflops_modeled;
+    assert!(
+        ratio > GFLOPS_AGREEMENT.0 && ratio < GFLOPS_AGREEMENT.1,
+        "batch_aware measured/modeled = {ratio:.3}, outside {GFLOPS_AGREEMENT:?}"
+    );
+    assert!(obs.reg.measured_gbps <= obs.reg.modeled_gbps * 1.001);
+    assert!(obs.mem.measured_gbps <= obs.mem.modeled_gbps * 1.001);
+    // The batch plan fills LDM to capacity by design (§IV-B).
+    assert!(obs.ldm_high_water_frac > 0.5);
+}
+
+#[test]
+fn chrome_trace_from_simulated_run_round_trips() {
+    use sw_sim::{trace::to_chrome, Mesh};
+    let chip = swdnn::ChipSpec::sw26010();
+    let mut mesh = Mesh::new(chip, |_, _| ());
+    mesh.enable_trace();
+    let host = vec![0.0f64; 512];
+    mesh.superstep(|ctx, _| {
+        let buf = ctx.ldm_alloc(512)?;
+        let h = ctx.dma_get(buf, 0, &host, 0, 512)?;
+        ctx.dma_wait(h);
+        ctx.charge_compute(1000);
+        Ok(())
+    })
+    .expect("traced superstep");
+    let trace = to_chrome(&mesh.take_traces(), chip.clock_ghz);
+    assert!(
+        trace.events.len() >= 64 * 3,
+        "every CPE must record get + wait + compute"
+    );
+    assert!(trace.events.iter().any(|e| e.cat == "mem"));
+    assert!(trace.events.iter().any(|e| e.cat == "reg"));
+    let doc = trace.to_json_string();
+    let back = ChromeTrace::from_json_str(&doc).expect("chrome trace parses back");
+    assert_eq!(back, trace, "round-trip through serde_json is exact");
+}
+
+fn baseline() -> Snapshot {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_PERF.baseline.json");
+    Snapshot::load(&path).expect("committed baseline parses")
+}
+
+#[test]
+fn committed_baseline_is_wellformed_and_self_consistent() {
+    let base = baseline();
+    let keys: Vec<String> = perf_snapshot_configs()
+        .iter()
+        .map(|(shape, kind)| {
+            let plan = match kind {
+                PlanKind::ImageSizeAware => "image_size_aware",
+                PlanKind::BatchSizeAware => "batch_size_aware",
+                other => panic!("unexpected snapshot plan {other:?}"),
+            };
+            format!("{shape} / {plan}")
+        })
+        .collect();
+    assert_eq!(
+        base.reports.iter().map(PerfReport::key).collect::<Vec<_>>(),
+        keys,
+        "baseline keys must track perf_snapshot_configs()"
+    );
+    let cmp = compare(&base, &base.clone(), &Tolerances::default());
+    assert!(cmp.is_ok(), "baseline vs itself: {}", cmp.summary());
+}
+
+#[test]
+fn comparator_rejects_injected_regression_on_committed_baseline() {
+    let base = baseline();
+    let mut cur = base.clone();
+    cur.reports[0].gflops_measured *= 0.90; // 10% drop, tolerance is 2%
+    cur.reports[1].reg.bytes = cur.reports[1].reg.bytes * 11 / 10; // traffic drift
+    let cmp = compare(&base, &cur, &Tolerances::default());
+    assert!(!cmp.is_ok());
+    let metrics: Vec<&str> = cmp.regressions.iter().map(|r| r.metric.as_str()).collect();
+    assert!(metrics.contains(&"gflops_measured"));
+    assert!(metrics.contains(&"reg.bytes"));
+}
