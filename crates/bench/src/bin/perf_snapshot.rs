@@ -30,6 +30,7 @@
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use sw_bench::configs::perf_snapshot_configs;
+use sw_bench::serve_load::{run_scenario, serve_perf_report, SNAPSHOT_ROUNDS};
 use sw_obs::{compare, ChromeTrace, Snapshot, Tolerances};
 use sw_perfmodel::ChipSpec;
 use sw_sim::{trace::to_chrome, LdmBuf, Mesh};
@@ -61,6 +62,12 @@ fn measure() -> Snapshot {
         print!("{}", obs.summary());
         reports.push(obs);
     }
+    // Serving row: closed-loop chip-level throughput plus latency/hit-rate
+    // counters from the sharded batch-serving engine.
+    let serve = run_scenario(SNAPSHOT_ROUNDS).unwrap_or_else(|e| panic!("serve scenario: {e}"));
+    let obs = serve_perf_report(&serve);
+    print!("{}", obs.summary());
+    reports.push(obs);
     Snapshot::new(reports)
 }
 

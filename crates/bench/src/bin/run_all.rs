@@ -35,6 +35,10 @@ const BINARIES: &[(&str, &str)] = &[
         "extension — fault-rate sweep + degraded mesh",
     ),
     (
+        "serve_bench",
+        "extension — sharded batch-serving engine under closed-loop load",
+    ),
+    (
         "perf_snapshot",
         "observability — measured vs modeled per-level bandwidth snapshot",
     ),

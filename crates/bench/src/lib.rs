@@ -21,3 +21,4 @@
 
 pub mod configs;
 pub mod report;
+pub mod serve_load;

@@ -1,0 +1,198 @@
+//! The `serve_bench` scenario: a deterministic closed-loop load generator
+//! over paper shapes, shared between the `serve_bench` binary and the
+//! `perf_snapshot` BENCH_PERF row.
+//!
+//! The whole engine runs on a logical clock of simulated microseconds, so
+//! every number here — latency percentiles included — is exactly
+//! reproducible and safe to gate in CI.
+
+use sw_obs::{Level, LevelIo, PerfReport};
+use sw_tensor::ConvShape;
+use swdnn::serve::{BatchPolicy, ServeConfig, ServeEngine, ServeSummary};
+use swdnn::SwdnnError;
+
+/// Paper shapes the serving load cycles over (Table III channels at the
+/// canonical `B = 128`, `64×64` output — `ro = 64` splits evenly over the
+/// 4 CGs).
+pub fn serve_shapes() -> Vec<ConvShape> {
+    vec![
+        ConvShape::new(128, 64, 64, 64, 64, 3, 3),
+        ConvShape::new(128, 128, 128, 64, 64, 3, 3),
+        ConvShape::new(128, 128, 256, 64, 64, 3, 3),
+    ]
+}
+
+/// Canonical bench engine configuration.
+pub fn serve_config() -> ServeConfig {
+    ServeConfig {
+        policy: BatchPolicy {
+            max_batch: 8,
+            deadline_us: 2_000,
+        },
+        queue_limit: 64,
+        ..ServeConfig::default()
+    }
+}
+
+/// Outcome of one full scenario run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Measured window (post-warmup) summary.
+    pub summary: ServeSummary,
+    /// Busy chip cycles over the measured window.
+    pub busy_cycles: u64,
+    pub busy_us: u64,
+    /// Requests rejected with `Overloaded` during the 10× overload phase.
+    pub overload_rejected: u64,
+    pub overload_accepted: u64,
+}
+
+/// Run the closed-loop scenario:
+///
+/// 1. **warmup** — one full batch per shape, populating the plan cache;
+/// 2. **measured window** — `rounds` rounds submitting one full batch per
+///    shape and draining, with counters reset after warmup (so the cache
+///    hit rate reflects steady state);
+/// 3. **overload phase** — 10× the queue limit submitted with no
+///    draining; everything past the bound must reject with
+///    [`SwdnnError::Overloaded`] (measured-window stats are captured
+///    before this phase so the SLO numbers stay clean).
+pub fn run_scenario(rounds: usize) -> Result<LoadReport, SwdnnError> {
+    let shapes = serve_shapes();
+    let cfg = serve_config();
+    let mut engine = ServeEngine::new(cfg)?;
+
+    // Warmup: one cap-triggered batch per shape.
+    for shape in &shapes {
+        for _ in 0..cfg.policy.max_batch {
+            engine.submit(*shape)?;
+        }
+        engine.drain()?;
+    }
+    engine.reset_measurements();
+
+    // Measured closed loop.
+    for _ in 0..rounds {
+        for shape in &shapes {
+            for _ in 0..cfg.policy.max_batch {
+                engine.submit(*shape)?;
+            }
+            engine.drain()?;
+            // A beat of idle time between bursts, like a real arrival gap.
+            engine.advance_us(100);
+        }
+    }
+    let summary = engine.summary();
+    let busy_cycles = engine.counters.busy_cycles.get();
+    let busy_us = engine.counters.busy_us.get();
+
+    // Overload: 10× the queue bound with no draining. The queue must shed
+    // load via Overloaded, never grow or panic.
+    let mut overload_rejected = 0u64;
+    let mut overload_accepted = 0u64;
+    for i in 0..(cfg.queue_limit * 10) {
+        match engine.submit(shapes[i % shapes.len()]) {
+            Ok(_) => overload_accepted += 1,
+            Err(SwdnnError::Overloaded { .. }) => overload_rejected += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    engine.drain()?;
+
+    Ok(LoadReport {
+        summary,
+        busy_cycles,
+        busy_us,
+        overload_rejected,
+        overload_accepted,
+    })
+}
+
+/// Rounds used by the BENCH_PERF snapshot row and `serve_bench --smoke`.
+pub const SNAPSHOT_ROUNDS: usize = 3;
+
+/// Stable `PerfReport::key()` of the serving row in BENCH_PERF.
+pub const SERVE_REPORT_CONFIG: &str = "serve closed-loop (3 shapes)";
+pub const SERVE_REPORT_PLAN: &str = "sharded_serve";
+
+/// Flatten the serving scenario into the BENCH_PERF schema: chip Gflops is
+/// the gated throughput metric; latency percentiles, batch fill, cache hit
+/// rate, and rejection counts ride in the counter dump (recorded in the
+/// snapshot, visible in diffs, not tolerance-gated).
+pub fn serve_perf_report(rep: &LoadReport) -> PerfReport {
+    let s = rep.summary;
+    let zero = |level| LevelIo {
+        level,
+        required_gbps: 0.0,
+        modeled_gbps: 0.0,
+        measured_gbps: 0.0,
+        bytes: 0,
+    };
+    PerfReport {
+        config: SERVE_REPORT_CONFIG.to_string(),
+        plan: SERVE_REPORT_PLAN.to_string(),
+        cycles: rep.busy_cycles,
+        time_ms: rep.busy_us as f64 / 1e3,
+        gflops_measured: s.gflops_chip,
+        gflops_modeled: 0.0,
+        efficiency_modeled: 0.0,
+        memory_bound: false,
+        ldm_high_water_frac: 0.0,
+        mem: zero(Level::Mem),
+        reg: zero(Level::Reg),
+        counters: vec![
+            ("served".into(), s.served),
+            ("batches".into(), s.batches),
+            ("p50_latency_us".into(), s.p50_latency_us),
+            ("p99_latency_us".into(), s.p99_latency_us),
+            ("batch_fill_permille".into(), (s.batch_fill * 1e3) as u64),
+            (
+                "plan_cache_hit_permille".into(),
+                (s.plan_cache_hit_rate * 1e3) as u64,
+            ),
+            ("overload_rejected".into(), rep.overload_rejected),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_meets_the_serving_slos() {
+        let rep = run_scenario(SNAPSHOT_ROUNDS).unwrap();
+        let s = rep.summary;
+        assert_eq!(s.served as usize, SNAPSHOT_ROUNDS * 3 * 8);
+        assert!(
+            s.plan_cache_hit_rate > 0.9,
+            "post-warmup hit rate {}",
+            s.plan_cache_hit_rate
+        );
+        assert!(s.gflops_chip > 0.0);
+        assert!(s.p99_latency_us >= s.p50_latency_us);
+        assert!(rep.overload_rejected > 0, "10x overload must shed load");
+        assert_eq!(
+            rep.overload_accepted + rep.overload_rejected,
+            (serve_config().queue_limit * 10) as u64
+        );
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = run_scenario(2).unwrap();
+        let b = run_scenario(2).unwrap();
+        assert_eq!(a.busy_cycles, b.busy_cycles);
+        assert_eq!(a.summary.p99_latency_us, b.summary.p99_latency_us);
+        assert_eq!(serve_perf_report(&a), serve_perf_report(&b));
+    }
+
+    #[test]
+    fn serve_shapes_split_across_four_cgs() {
+        for s in serve_shapes() {
+            assert!(s.is_valid());
+            assert_eq!(s.ro % 4, 0, "{s}");
+        }
+        assert!(serve_shapes().len() >= 3);
+    }
+}

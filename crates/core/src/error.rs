@@ -30,6 +30,9 @@ pub enum SwdnnError {
     /// Every recovery attempt (retries and plan fallbacks) failed; `last`
     /// is the simulator error that ended the final attempt.
     FaultExhausted { attempts: u32, last: SimError },
+    /// The serving queue is at capacity; the request was rejected rather
+    /// than queued unboundedly. Callers should shed load or retry later.
+    Overloaded { depth: usize, limit: usize },
 }
 
 impl std::fmt::Display for SwdnnError {
@@ -54,6 +57,12 @@ impl std::fmt::Display for SwdnnError {
                 write!(
                     f,
                     "all {attempts} recovery attempts failed; last error: {last}"
+                )
+            }
+            SwdnnError::Overloaded { depth, limit } => {
+                write!(
+                    f,
+                    "serving queue overloaded: depth {depth} at limit {limit}; request rejected"
                 )
             }
         }
@@ -120,6 +129,16 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("3 recovery attempts"), "{s}");
         assert!(s.contains("CPE(1,2)"), "{s}");
+    }
+
+    #[test]
+    fn overloaded_display_reports_depth_and_limit() {
+        let e = SwdnnError::Overloaded {
+            depth: 64,
+            limit: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("64") && s.contains("rejected"), "{s}");
     }
 
     #[test]

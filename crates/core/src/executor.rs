@@ -10,7 +10,7 @@
 use crate::conv::Conv2d;
 use crate::error::SwdnnError;
 use crate::plans::PlanTiming;
-use sw_perfmodel::{select_plan, Blocking, ChipSpec, ConvPerfModel, PerfEstimate, PlanKind};
+use sw_perfmodel::{Blocking, ChipSpec, ConvPerfModel, PerfEstimate, PlanKind};
 use sw_sim::run_multi_cg;
 use sw_tensor::ConvShape;
 
@@ -100,7 +100,13 @@ impl Executor {
         let conv = Conv2d::new(*shape)?;
         let plan = conv.plan();
         let timing = plan.time_full_shape(shape)?;
-        self.report(shape, plan.name(), plan.kind(), timing)
+        self.report(
+            shape,
+            plan.name(),
+            plan.kind(),
+            plan.blocking(shape),
+            timing,
+        )
     }
 
     /// Measure with a forced plan kind.
@@ -113,19 +119,30 @@ impl Executor {
         let plan = conv.plan();
         plan.supports(shape)?;
         let timing = plan.time_full_shape(shape)?;
-        self.report(shape, plan.name(), plan.kind(), timing)
+        self.report(
+            shape,
+            plan.name(),
+            plan.kind(),
+            plan.blocking(shape),
+            timing,
+        )
     }
 
-    fn report(
+    /// Assemble a [`ConvReport`] for an already-timed execution.
+    ///
+    /// `kind`/`blocking` must be the *executed* plan's values
+    /// ([`crate::plans::ConvPlan::blocking`]): deriving them from a fresh
+    /// `select_plan` call here would let the model columns describe a plan
+    /// other than the one measured whenever the kind was forced or the
+    /// instantiated blocking differs from the selector's pick.
+    pub(crate) fn report(
         &self,
         shape: &ConvShape,
         name: &str,
         kind: PlanKind,
+        blocking: Blocking,
         timing: PlanTiming,
     ) -> Result<ConvReport, SwdnnError> {
-        let blocking = select_plan(shape, &self.chip)
-            .map(|c| c.blocking)
-            .unwrap_or_default();
         let model = ConvPerfModel::default().estimate(
             kind,
             blocking,
@@ -135,8 +152,14 @@ impl Executor {
             shape.kc,
         );
         let gflops = timing.gflops(shape, &self.chip);
-        let secs = timing.cycles as f64 / (self.chip.clock_ghz * 1e9);
-        let mbw = timing.stats.totals.dma_get_bytes as f64 / secs / 1e9;
+        let secs = self.chip.cycles_to_seconds(timing.cycles);
+        // A degenerate timing (zero cycles) must not poison snapshots with
+        // Inf/NaN bandwidth — same guard `obs_report` applies.
+        let mbw = if secs > 0.0 {
+            timing.stats.totals.dma_get_bytes as f64 / secs / 1e9
+        } else {
+            0.0
+        };
         Ok(ConvReport {
             shape: *shape,
             plan_name: name.to_string(),
@@ -237,6 +260,56 @@ mod tests {
         let s = serde_json::to_string(&obs.to_json());
         let back = sw_obs::PerfReport::from_json(&serde_json::from_str(&s).unwrap()).unwrap();
         assert_eq!(back, obs);
+    }
+
+    #[test]
+    fn forced_plan_report_describes_executed_plan_not_selector_pick() {
+        // Regression: report() used to re-run select_plan and attach *its*
+        // blocking/model to whatever plan actually executed. With the kind
+        // forced to batch-size-aware the selector can disagree, so the
+        // model columns described a plan that was never measured.
+        let e = Executor::new();
+        let shape = small();
+        let rep = e.run_config_with(&shape, PlanKind::BatchSizeAware).unwrap();
+        assert_eq!(rep.plan_kind, PlanKind::BatchSizeAware);
+        assert_eq!(
+            rep.blocking.b_b, shape.batch,
+            "batch-aware plan streams the whole batch; report must say so"
+        );
+        let model = ConvPerfModel::default().estimate(
+            rep.plan_kind,
+            rep.blocking,
+            shape.batch,
+            shape.ni,
+            shape.no,
+            shape.kc,
+        );
+        assert_eq!(rep.model.gflops_per_cg, model.gflops_per_cg);
+    }
+
+    #[test]
+    fn degenerate_zero_cycle_timing_yields_finite_bandwidth() {
+        // Regression: mbw_measured divided by secs without a zero guard, so
+        // a zero-cycle timing poisoned the report with Inf/NaN.
+        let e = Executor::new();
+        let shape = small();
+        let timing = PlanTiming {
+            cycles: 0,
+            stats: sw_sim::CgStats::default(),
+            sampled: false,
+            modeled: true,
+        };
+        let rep = e
+            .report(
+                &shape,
+                "degenerate",
+                PlanKind::ImageSizeAware,
+                Blocking::default(),
+                timing,
+            )
+            .unwrap();
+        assert!(rep.mbw_measured.is_finite());
+        assert_eq!(rep.mbw_measured, 0.0);
     }
 
     #[test]

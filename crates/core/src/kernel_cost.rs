@@ -8,8 +8,7 @@
 //! model changes, every plan's timing follows automatically. The closed
 //! forms are asserted against the simulation in `sw-isa`'s own tests.
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use crate::serve::ShardedMap;
 use std::sync::OnceLock;
 use sw_isa::{naive_gemm_kernel, reordered_gemm_kernel, DualPipe, KernelSpec};
 
@@ -46,33 +45,40 @@ pub struct TileProfile {
     pub ldm_store_bytes: u64,
 }
 
-fn cache() -> &'static Mutex<HashMap<(usize, bool), TileProfile>> {
-    static CACHE: OnceLock<Mutex<HashMap<(usize, bool), TileProfile>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static ShardedMap<(usize, bool), TileProfile> {
+    static CACHE: OnceLock<ShardedMap<(usize, bool), TileProfile>> = OnceLock::new();
+    CACHE.get_or_init(ShardedMap::default)
+}
+
+/// Hit/miss totals of the process-wide tile-profile cache, for the serving
+/// layer's cache observability.
+pub fn tile_cache_stats() -> (u64, u64) {
+    (cache().hits(), cache().misses())
 }
 
 /// Full issue profile of one register tile over `n` reduction steps.
 pub fn tile_profile(n: usize, reordered: bool) -> TileProfile {
     let n = n.max(1);
-    if let Some(&c) = cache().lock().get(&(n, reordered)) {
-        return c;
+    let computed: Result<TileProfile, std::convert::Infallible> =
+        cache().get_or_insert_with(&(n, reordered), || {
+            let spec = KernelSpec::new(n);
+            let prog = if reordered {
+                reordered_gemm_kernel(spec)
+            } else {
+                naive_gemm_kernel(spec)
+            };
+            let rep = DualPipe::default().run(&prog);
+            Ok(TileProfile {
+                cycles: rep.cycles,
+                p0_slots: rep.p0_issued,
+                p1_slots: rep.p1_issued,
+                ldm_load_bytes: rep.ldm_load_bytes,
+                ldm_store_bytes: rep.ldm_store_bytes,
+            })
+        });
+    match computed {
+        Ok(p) => p,
     }
-    let spec = KernelSpec::new(n);
-    let prog = if reordered {
-        reordered_gemm_kernel(spec)
-    } else {
-        naive_gemm_kernel(spec)
-    };
-    let rep = DualPipe::default().run(&prog);
-    let prof = TileProfile {
-        cycles: rep.cycles,
-        p0_slots: rep.p0_issued,
-        p1_slots: rep.p1_issued,
-        ldm_load_bytes: rep.ldm_load_bytes,
-        ldm_store_bytes: rep.ldm_store_bytes,
-    };
-    cache().lock().insert((n, reordered), prof);
-    prof
 }
 
 /// Issue cycles of one register tile over `n` reduction steps.
@@ -122,6 +128,18 @@ mod tests {
         let a = tile_cycles(16, true);
         let b = tile_cycles(16, true);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tile_cache_counts_hits_and_misses() {
+        // The cache is process-global and other tests hit it concurrently,
+        // so assert deltas, not absolutes.
+        let _ = tile_cycles(37, true);
+        let (h0, m0) = tile_cache_stats();
+        let _ = tile_cycles(37, true);
+        let (h1, m1) = tile_cache_stats();
+        assert!(h1 > h0, "second lookup must be a hit");
+        assert!(m1 >= m0.max(1), "first lookup was a miss");
     }
 
     #[test]

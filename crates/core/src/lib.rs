@@ -41,6 +41,7 @@ pub mod network;
 pub mod optim;
 pub mod plans;
 pub mod resilient;
+pub mod serve;
 pub mod tune;
 pub mod zoo;
 
@@ -51,6 +52,9 @@ pub use optim::Optimizer;
 pub use plans::{BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, ReferencePlan};
 pub use resilient::{
     RecoveryEvent, RecoveryOutcome, ResilientExecutor, ResilientReport, VerifyPolicy,
+};
+pub use serve::{
+    BatchPolicy, PlanCache, ServeConfig, ServeEngine, ServeSummary, ShardedDispatcher,
 };
 pub use sw_sim::{FaultPlan, RetryPolicy};
 

@@ -113,17 +113,41 @@ impl Sequential {
         Ok(loss)
     }
 
-    /// Predicted classes for a batch.
+    /// Predicted classes for a batch: argmax over the logits.
+    ///
+    /// Reads the logits directly — the earlier implementation ran a
+    /// fake-label loss forward to reach `loss.predictions()`, which both
+    /// mutated the loss head's cached state between training steps and
+    /// panicked via `unwrap` instead of surfacing an error.
     pub fn predict(&mut self, input: &Tensor4<f64>) -> Result<Vec<usize>, SwdnnError> {
         let logits = self.forward(input)?;
-        let batch = logits.shape().d0;
-        let fake_labels = vec![0usize; batch];
-        let _ = self.loss.forward(&logits, &fake_labels)?;
-        Ok(self.loss.predictions().unwrap())
+        let (batch, classes) = (logits.shape().d0, logits.shape().d1);
+        if batch == 0 || classes == 0 {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: "non-empty batch and class dimensions".into(),
+                got: format!("logits {batch}x{classes}"),
+            });
+        }
+        Ok((0..batch)
+            .map(|b| {
+                (0..classes)
+                    .map(|c| logits.get(b, c, 0, 0))
+                    .enumerate()
+                    .max_by(|(_, x), (_, y)| x.total_cmp(y))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect())
     }
 
     /// Classification accuracy on a batch.
     pub fn accuracy(&mut self, input: &Tensor4<f64>, labels: &[usize]) -> Result<f64, SwdnnError> {
+        if labels.is_empty() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: "at least one label".into(),
+                got: "empty label slice".into(),
+            });
+        }
         let preds = self.predict(input)?;
         let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         Ok(correct as f64 / labels.len() as f64)
@@ -244,6 +268,41 @@ mod tests {
         let err = net.train_step_checked(&x, &y, &mut opt).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("layer 0"), "guard must name the layer: {msg}");
+    }
+
+    #[test]
+    fn predict_is_pure_argmax_without_touching_loss_state() {
+        // Regression: predict() used to run a fake-label loss forward and
+        // read loss.predictions(), mutating the head's cached state (and
+        // panicking via unwrap on a fresh head). An identity network makes
+        // the argmax directly checkable.
+        let mut net = Sequential::new(vec![]);
+        let mut x = Tensor4::zeros(Shape4::new(3, 4, 1, 1), Layout::Nchw);
+        for (b, best) in [(0usize, 2usize), (1, 0), (2, 3)] {
+            x.set(b, best, 0, 0, 5.0);
+        }
+        let preds = net.predict(&x).unwrap();
+        assert_eq!(preds, vec![2, 0, 3]);
+        assert!(
+            net.loss.predictions().is_none(),
+            "predict must not run the loss head"
+        );
+    }
+
+    #[test]
+    fn predict_rejects_empty_batch_instead_of_panicking() {
+        let mut net = Sequential::new(vec![]);
+        let x = Tensor4::zeros(Shape4::new(0, 2, 1, 1), Layout::Nchw);
+        let err = net.predict(&x).unwrap_err();
+        assert!(matches!(err, SwdnnError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn accuracy_rejects_empty_labels_instead_of_nan() {
+        let mut net = Sequential::new(vec![]);
+        let x = Tensor4::zeros(Shape4::new(2, 2, 1, 1), Layout::Nchw);
+        let err = net.accuracy(&x, &[]).unwrap_err();
+        assert!(matches!(err, SwdnnError::ShapeMismatch { .. }), "{err}");
     }
 
     #[test]

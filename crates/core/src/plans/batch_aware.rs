@@ -24,7 +24,7 @@ use super::gemm_mesh::{regcomm_gemm, zero_c, GemmBlock};
 use super::{extrapolate, ConvPlan, ConvRun, PlanTiming};
 use crate::error::SwdnnError;
 use crate::plans::PlanKind;
-use sw_perfmodel::ChipSpec;
+use sw_perfmodel::{Blocking, ChipSpec};
 use sw_sim::{DmaHandle, LdmBuf, Mesh};
 use sw_tensor::{ConvShape, Layout, Tensor4};
 
@@ -110,6 +110,15 @@ impl ConvPlan for BatchAwarePlan {
 
     fn kind(&self) -> PlanKind {
         PlanKind::BatchSizeAware
+    }
+
+    fn blocking(&self, shape: &ConvShape) -> Blocking {
+        // Algorithm 2 streams the whole batch and holds a b_co output
+        // window; report the executed values, not the selector's.
+        Blocking {
+            b_b: shape.batch,
+            b_co: self.b_co,
+        }
     }
 
     fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {

@@ -149,6 +149,10 @@ impl ConvPlan for ImageAwarePlan {
         PlanKind::ImageSizeAware
     }
 
+    fn blocking(&self, _shape: &ConvShape) -> Blocking {
+        self.blocking
+    }
+
     fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {
         let fail = |reason: String| {
             Err(SwdnnError::Unsupported {

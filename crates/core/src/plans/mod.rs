@@ -29,7 +29,7 @@ pub use image_aware::ImageAwarePlan;
 pub use reference::ReferencePlan;
 
 use crate::error::SwdnnError;
-use sw_perfmodel::{ChipSpec, PlanKind};
+use sw_perfmodel::{Blocking, ChipSpec, PlanKind};
 use sw_sim::CgStats;
 use sw_tensor::{ConvShape, Tensor4};
 
@@ -74,6 +74,18 @@ pub struct ConvRun {
 pub trait ConvPlan {
     fn name(&self) -> &'static str;
     fn kind(&self) -> PlanKind;
+
+    /// The LDM blocking this plan *actually executes* `shape` with.
+    ///
+    /// Reports must derive their model columns from this, not from a fresh
+    /// `select_plan` call: when the plan kind was forced (or the selector
+    /// would pick a different blocking than the instantiated plan), the
+    /// two can disagree and the report would describe a plan that was
+    /// never measured. Plans without a meaningful blocking (direct,
+    /// reference) keep the model's default.
+    fn blocking(&self, _shape: &ConvShape) -> Blocking {
+        Blocking::default()
+    }
 
     /// Can this plan run `shape` at all (divisibility + LDM budget)?
     fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError>;

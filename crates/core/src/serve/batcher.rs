@@ -1,0 +1,279 @@
+//! Dynamic micro-batching of inference requests.
+//!
+//! Requests for the same convolution shape are coalesced into one batch so
+//! the per-batch costs (kernel launch, plan lookup, DMA ramp) amortize.
+//! Two triggers release a batch, whichever fires first:
+//!
+//! * **cap** — `max_batch` same-shape requests are queued;
+//! * **deadline** — the oldest queued request has waited `deadline_us` of
+//!   simulated time (bounding the latency a quiet shape can accumulate).
+//!
+//! The queue is bounded: [`MicroBatcher::push`] rejects with
+//! [`SwdnnError::Overloaded`] at the limit instead of growing without
+//! bound — under overload the engine degrades to explicit rejections the
+//! client can act on, never to OOM.
+//!
+//! All time is the caller's logical clock (microseconds of simulated
+//! time); the batcher imposes no clock of its own, which keeps the whole
+//! serving engine deterministic and testable.
+
+use crate::error::SwdnnError;
+use std::collections::VecDeque;
+use sw_tensor::ConvShape;
+
+/// When a batch is released.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Release as soon as this many same-shape requests are queued.
+    pub max_batch: usize,
+    /// Release once the oldest queued request has waited this long (µs of
+    /// simulated time).
+    pub deadline_us: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            deadline_us: 2_000,
+        }
+    }
+}
+
+/// One queued inference request.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedRequest {
+    pub id: u64,
+    pub shape: ConvShape,
+    /// Simulated arrival time, µs.
+    pub arrival_us: u64,
+}
+
+/// A coalesced batch, ready for dispatch.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    pub shape: ConvShape,
+    pub requests: Vec<QueuedRequest>,
+    /// Why the batch was released (observability).
+    pub trigger: BatchTrigger,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchTrigger {
+    Cap,
+    Deadline,
+    /// Explicit flush (engine drain).
+    Flush,
+}
+
+/// FIFO queue + coalescing logic.
+#[derive(Debug)]
+pub struct MicroBatcher {
+    policy: BatchPolicy,
+    limit: usize,
+    queue: VecDeque<QueuedRequest>,
+}
+
+impl MicroBatcher {
+    pub fn new(policy: BatchPolicy, queue_limit: usize) -> Self {
+        Self {
+            policy,
+            limit: queue_limit.max(1),
+            queue: VecDeque::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Enqueue, or reject with [`SwdnnError::Overloaded`] at the limit.
+    pub fn push(&mut self, req: QueuedRequest) -> Result<(), SwdnnError> {
+        if self.queue.len() >= self.limit {
+            return Err(SwdnnError::Overloaded {
+                depth: self.queue.len(),
+                limit: self.limit,
+            });
+        }
+        self.queue.push_back(req);
+        Ok(())
+    }
+
+    /// Release the next batch if either trigger fires at `now_us`.
+    ///
+    /// The batch takes the *oldest* request's shape and coalesces up to
+    /// `max_batch` same-shape requests in FIFO order; other shapes keep
+    /// their queue positions. A deadline release ships however many
+    /// same-shape requests are present (possibly one).
+    pub fn pop_batch(&mut self, now_us: u64) -> Option<Batch> {
+        let oldest = self.queue.front()?;
+        let shape = oldest.shape;
+        let same_shape = self.queue.iter().filter(|r| r.shape == shape).count();
+        let deadline_hit = now_us.saturating_sub(oldest.arrival_us) >= self.policy.deadline_us;
+        let trigger = if same_shape >= self.policy.max_batch {
+            BatchTrigger::Cap
+        } else if deadline_hit {
+            BatchTrigger::Deadline
+        } else {
+            return None;
+        };
+        Some(self.take_batch(shape, trigger))
+    }
+
+    /// Unconditionally release the oldest request's batch (drain path).
+    pub fn flush(&mut self) -> Option<Batch> {
+        let shape = self.queue.front()?.shape;
+        Some(self.take_batch(shape, BatchTrigger::Flush))
+    }
+
+    /// Earliest deadline among queued requests — when the caller's clock
+    /// should next wake the batcher if no cap release happens first.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        self.queue
+            .front()
+            .map(|r| r.arrival_us + self.policy.deadline_us)
+    }
+
+    fn take_batch(&mut self, shape: ConvShape, trigger: BatchTrigger) -> Batch {
+        let mut requests = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.queue.len());
+        for r in self.queue.drain(..) {
+            if r.shape == shape && requests.len() < self.policy.max_batch {
+                requests.push(r);
+            } else {
+                rest.push_back(r);
+            }
+        }
+        self.queue = rest;
+        Batch {
+            shape,
+            requests,
+            trigger,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape_a() -> ConvShape {
+        ConvShape::new(32, 16, 16, 8, 8, 3, 3)
+    }
+
+    fn shape_b() -> ConvShape {
+        ConvShape::new(64, 16, 16, 8, 8, 3, 3)
+    }
+
+    fn req(id: u64, shape: ConvShape, at: u64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            shape,
+            arrival_us: at,
+        }
+    }
+
+    #[test]
+    fn cap_releases_exactly_max_batch() {
+        let mut b = MicroBatcher::new(
+            BatchPolicy {
+                max_batch: 3,
+                deadline_us: 1_000,
+            },
+            64,
+        );
+        for i in 0..4 {
+            b.push(req(i, shape_a(), 0)).unwrap();
+        }
+        let batch = b.pop_batch(0).expect("cap trigger");
+        assert_eq!(batch.trigger, BatchTrigger::Cap);
+        assert_eq!(batch.requests.len(), 3);
+        assert_eq!(
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "FIFO within the shape"
+        );
+        assert_eq!(b.len(), 1, "overflow request stays queued");
+    }
+
+    #[test]
+    fn deadline_releases_a_partial_batch() {
+        let mut b = MicroBatcher::new(
+            BatchPolicy {
+                max_batch: 8,
+                deadline_us: 500,
+            },
+            64,
+        );
+        b.push(req(1, shape_a(), 100)).unwrap();
+        assert!(b.pop_batch(100).is_none(), "neither trigger at arrival");
+        assert!(b.pop_batch(599).is_none(), "1µs before the deadline");
+        let batch = b.pop_batch(600).expect("deadline trigger");
+        assert_eq!(batch.trigger, BatchTrigger::Deadline);
+        assert_eq!(batch.requests.len(), 1);
+        assert_eq!(b.next_deadline_us(), None);
+    }
+
+    #[test]
+    fn mixed_shapes_keep_fifo_order() {
+        let mut b = MicroBatcher::new(
+            BatchPolicy {
+                max_batch: 2,
+                deadline_us: 1_000,
+            },
+            64,
+        );
+        b.push(req(1, shape_a(), 0)).unwrap();
+        b.push(req(2, shape_b(), 0)).unwrap();
+        b.push(req(3, shape_a(), 0)).unwrap();
+        let batch = b.pop_batch(0).expect("shape A hits the cap");
+        assert_eq!(batch.shape, shape_a());
+        assert_eq!(
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        // Shape B is now the oldest and releases on its deadline.
+        let batch = b.pop_batch(1_000).expect("deadline for B");
+        assert_eq!(batch.shape, shape_b());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_overloaded() {
+        let mut b = MicroBatcher::new(BatchPolicy::default(), 2);
+        b.push(req(1, shape_a(), 0)).unwrap();
+        b.push(req(2, shape_a(), 0)).unwrap();
+        let err = b.push(req(3, shape_a(), 0)).unwrap_err();
+        assert!(
+            matches!(err, SwdnnError::Overloaded { depth: 2, limit: 2 }),
+            "{err}"
+        );
+        // Draining makes room again.
+        b.flush().unwrap();
+        b.push(req(3, shape_a(), 0)).unwrap();
+    }
+
+    #[test]
+    fn flush_drains_regardless_of_triggers() {
+        let mut b = MicroBatcher::new(
+            BatchPolicy {
+                max_batch: 100,
+                deadline_us: u64::MAX,
+            },
+            64,
+        );
+        b.push(req(1, shape_a(), 0)).unwrap();
+        assert!(b.pop_batch(u64::MAX - 1).is_none());
+        let batch = b.flush().expect("flush always releases");
+        assert_eq!(batch.trigger, BatchTrigger::Flush);
+        assert!(b.flush().is_none());
+    }
+}

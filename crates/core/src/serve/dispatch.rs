@@ -1,0 +1,244 @@
+//! Sharded batch dispatch across the simulated core groups (§III-D).
+//!
+//! The paper partitions output images along the row dimension and gives
+//! each of the SW26010's four CGs one slice; the serving engine reuses that
+//! scheme per *batch*: every request's convolution is row-split into
+//! `cgs` slices executed through the rayon pool ([`sw_sim::run_multi_cg_with`]),
+//! and the batch's requests stream back-to-back so the fixed kernel-launch
+//! overhead amortizes over the whole batch instead of being paid per
+//! request.
+//!
+//! Two paths share the slicing logic:
+//!
+//! * [`ShardedDispatcher::run`] — the real-arithmetic path: builds each
+//!   CG's input slice (its output rows plus the `kr - 1` halo rows),
+//!   executes the plan per slice, and stitches the output. Output rows are
+//!   computed with exactly the per-row arithmetic of the unsharded plan,
+//!   so the stitched tensor is bit-identical to an unsharded run.
+//! * [`ShardedDispatcher::time_batch`] — the accounting path the serving
+//!   engine uses: per-slice timing comes from the [`PlanCache`], so after
+//!   warmup a batch costs two map lookups, not a simulation.
+
+use super::plan_cache::PlanCache;
+use crate::conv::Conv2d;
+use crate::error::SwdnnError;
+use sw_perfmodel::{ChipSpec, PlanKind};
+use sw_sim::chip::LAUNCH_OVERHEAD_CYCLES;
+use sw_sim::run_multi_cg_with;
+use sw_tensor::{ConvShape, Layout, Tensor4};
+
+/// Splits convolutions across core groups.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedDispatcher {
+    pub chip: ChipSpec,
+    /// Core groups to shard over (1..=chip.core_groups).
+    pub cgs: usize,
+}
+
+/// Timing of one dispatched batch.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchTiming {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Chip wall cycles for the whole batch: per-request slice cycles
+    /// summed, plus one launch overhead.
+    pub wall_cycles: u64,
+    /// Wall time in µs of simulated time.
+    pub wall_us: u64,
+    /// Total flops across requests and CGs.
+    pub total_flops: u64,
+}
+
+impl BatchTiming {
+    /// Chip-level Gflops sustained over the batch.
+    pub fn gflops_chip(&self, clock_ghz: f64) -> f64 {
+        if self.wall_cycles == 0 {
+            return 0.0;
+        }
+        let secs = self.wall_cycles as f64 / (clock_ghz * 1e9);
+        self.total_flops as f64 / secs / 1e9
+    }
+}
+
+impl ShardedDispatcher {
+    pub fn new(chip: ChipSpec, cgs: usize) -> Result<Self, SwdnnError> {
+        if cgs < 1 || cgs > chip.core_groups {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("between 1 and {} core groups", chip.core_groups),
+                got: format!("{cgs} core groups"),
+            });
+        }
+        Ok(Self { chip, cgs })
+    }
+
+    /// The per-CG slice of `shape`: same batch/channels, `ro / cgs` output
+    /// rows. Errors when the rows don't divide.
+    pub fn slice_shape(&self, shape: &ConvShape) -> Result<ConvShape, SwdnnError> {
+        if !shape.ro.is_multiple_of(self.cgs) {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("output rows divisible by {} core groups", self.cgs),
+                got: format!("ro = {}", shape.ro),
+            });
+        }
+        Ok(ConvShape {
+            ro: shape.ro / self.cgs,
+            ..*shape
+        })
+    }
+
+    /// Account a batch of `requests` same-shape convolutions without
+    /// simulating: per-slice timing is served by `cache` (one simulation on
+    /// the first encounter of the slice shape, lookups after).
+    pub fn time_batch(
+        &self,
+        cache: &PlanCache,
+        shape: &ConvShape,
+        requests: usize,
+        forced: Option<PlanKind>,
+    ) -> Result<BatchTiming, SwdnnError> {
+        let slice = self.slice_shape(shape)?;
+        let cached = cache.plan(&self.chip, &slice, forced)?;
+        let n = requests as u64;
+        // Each request's slices run concurrently across CGs (wall = slice
+        // cycles); requests within the batch run back-to-back; the MPE
+        // launch overhead is paid once per batch — the amortization that
+        // makes batching worth the queueing delay.
+        let wall_cycles = n * cached.timing.cycles + LAUNCH_OVERHEAD_CYCLES;
+        let wall_us = (self.chip.cycles_to_seconds(wall_cycles) * 1e6).ceil() as u64;
+        Ok(BatchTiming {
+            requests,
+            wall_cycles,
+            wall_us,
+            total_flops: n * shape.flops(),
+        })
+    }
+
+    /// Execute one convolution row-sharded across the CGs, returning the
+    /// stitched output and the multi-CG wall cycles.
+    ///
+    /// Each CG g computes output rows `[g·sro, (g+1)·sro)`, reading input
+    /// rows `[g·sro, g·sro + sro + kr − 1)` — its slice plus the halo. Row
+    /// r of the output depends only on input rows `[r, r + kr)` with the
+    /// same reduction order the unsharded plan uses, so the stitched
+    /// result is bit-identical to an unsharded run of the same plan
+    /// family.
+    pub fn run(
+        &self,
+        shape: &ConvShape,
+        input: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<(Tensor4<f64>, u64), SwdnnError> {
+        let slice = self.slice_shape(shape)?;
+        if input.shape() != shape.input_shape() {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("{:?}", shape.input_shape()),
+                got: format!("{:?}", input.shape()),
+            });
+        }
+        let sro = slice.ro;
+        let sri = slice.ri();
+        let results = run_multi_cg_with(self.cgs, |g| {
+            let row0 = g * sro;
+            // Copy this CG's input rows (slice + halo) into a dense slice
+            // tensor — the private per-CG memory segment of §III-D.
+            let mut sliced = Tensor4::zeros(slice.input_shape(), Layout::Nchw);
+            for b in 0..slice.batch {
+                for ni in 0..slice.ni {
+                    for r in 0..sri {
+                        for c in 0..slice.ci() {
+                            sliced.set(b, ni, r, c, input.get(b, ni, row0 + r, c));
+                        }
+                    }
+                }
+            }
+            let run = Conv2d::new(slice)
+                .and_then(|conv| conv.on_chip(self.chip).forward(&sliced, filter));
+            match run {
+                Ok(run) => (run.timing.stats, Ok((g, run.output))),
+                Err(e) => (sw_sim::CgStats::default(), Err(e)),
+            }
+        });
+        let (report, outputs) = results;
+        let mut stitched = Tensor4::zeros(shape.output_shape(), Layout::Nchw);
+        for out in outputs {
+            let (g, out) = out?;
+            let row0 = g * sro;
+            for b in 0..shape.batch {
+                for no in 0..shape.no {
+                    for r in 0..sro {
+                        for c in 0..shape.co {
+                            stitched.set(b, no, row0 + r, c, out.get(b, no, r, c));
+                        }
+                    }
+                }
+            }
+        }
+        Ok((stitched, report.wall_cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_tensor::conv2d_ref;
+    use sw_tensor::init::lattice_tensor;
+
+    fn shape() -> ConvShape {
+        // ro = 8 divides across 4 CGs.
+        ConvShape::new(16, 8, 8, 8, 8, 3, 3)
+    }
+
+    #[test]
+    fn sharded_output_is_bit_identical_to_reference_and_unsharded() {
+        let shape = shape();
+        let d = ShardedDispatcher::new(ChipSpec::sw26010(), 4).unwrap();
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 61);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 62);
+        let (sharded, wall) = d.run(&shape, &input, &filter).unwrap();
+        let unsharded = Conv2d::new(shape)
+            .unwrap()
+            .forward(&input, &filter)
+            .unwrap();
+        assert_eq!(sharded.max_abs_diff(&unsharded.output), 0.0);
+        let reference = conv2d_ref(shape, &input, &filter);
+        assert_eq!(sharded.max_abs_diff(&reference), 0.0);
+        assert!(wall > 0);
+    }
+
+    #[test]
+    fn indivisible_rows_error_cleanly() {
+        let d = ShardedDispatcher::new(ChipSpec::sw26010(), 4).unwrap();
+        let odd = ConvShape::new(16, 8, 8, 6, 8, 3, 3);
+        assert!(matches!(
+            d.slice_shape(&odd),
+            Err(SwdnnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_cg_counts_are_rejected() {
+        let chip = ChipSpec::sw26010();
+        assert!(ShardedDispatcher::new(chip, 0).is_err());
+        assert!(ShardedDispatcher::new(chip, chip.core_groups + 1).is_err());
+    }
+
+    #[test]
+    fn batch_timing_amortizes_launch_overhead() {
+        let cache = PlanCache::new();
+        let d = ShardedDispatcher::new(ChipSpec::sw26010(), 4).unwrap();
+        let one = d.time_batch(&cache, &shape(), 1, None).unwrap();
+        let eight = d.time_batch(&cache, &shape(), 8, None).unwrap();
+        let per_req_batched = eight.wall_cycles as f64 / 8.0;
+        assert!(
+            per_req_batched < one.wall_cycles as f64,
+            "batched per-request cost {per_req_batched} vs solo {}",
+            one.wall_cycles
+        );
+        assert_eq!(eight.total_flops, 8 * shape().flops());
+        assert!(eight.gflops_chip(d.chip.clock_ghz) > 0.0);
+        // Second accounting of the same shape is pure cache hits.
+        let s = cache.stats();
+        assert!(s.plan_hits >= 1);
+        assert_eq!(s.plan_misses, 1);
+    }
+}

@@ -1,0 +1,396 @@
+//! The closed-loop serving engine: submit → queue → batch → sharded
+//! dispatch → completion accounting, all under one deterministic logical
+//! clock of simulated microseconds.
+//!
+//! Per-request latency is `completion − arrival` in simulated time; queue
+//! depth, batch fill, rejections, and cache hit-rate feed the
+//! observability layer as counters, and every dispatched batch emits a
+//! Chrome-trace span (category `"serve"`) when tracing is enabled.
+
+use super::batcher::{Batch, BatchPolicy, MicroBatcher, QueuedRequest};
+use super::dispatch::ShardedDispatcher;
+use super::plan_cache::{CacheStats, PlanCache};
+use crate::error::SwdnnError;
+use serde_json::Value;
+use sw_obs::{Counter, Recorder};
+use sw_perfmodel::{ChipSpec, PlanKind};
+use sw_tensor::ConvShape;
+
+/// Engine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    pub chip: ChipSpec,
+    /// Core groups each batch shards across.
+    pub cgs: usize,
+    pub policy: BatchPolicy,
+    /// Bounded queue depth; submissions beyond it are rejected with
+    /// [`SwdnnError::Overloaded`].
+    pub queue_limit: usize,
+    /// Record Chrome-trace spans per dispatched batch.
+    pub trace: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let chip = ChipSpec::sw26010();
+        Self {
+            chip,
+            cgs: chip.core_groups,
+            policy: BatchPolicy::default(),
+            queue_limit: 64,
+            trace: false,
+        }
+    }
+}
+
+/// One finished request.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    pub id: u64,
+    pub shape: ConvShape,
+    pub arrival_us: u64,
+    pub completion_us: u64,
+}
+
+impl Completion {
+    pub fn latency_us(&self) -> u64 {
+        self.completion_us - self.arrival_us
+    }
+}
+
+/// Monotonic serving counters (all relaxed-atomic, snapshot-safe at any
+/// quiescent point).
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    pub submitted: Counter,
+    pub rejected: Counter,
+    pub served: Counter,
+    pub batches: Counter,
+    /// Sum of batch fills; fill ratio = batch_fill_sum / (batches · cap).
+    pub batch_fill_sum: Counter,
+    /// Busy chip time accumulated over dispatched batches, µs.
+    pub busy_us: Counter,
+    /// Busy chip time in simulated cycles.
+    pub busy_cycles: Counter,
+    /// Total flops dispatched.
+    pub flops: Counter,
+}
+
+/// End-of-run summary for benches and snapshots.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeSummary {
+    pub served: u64,
+    pub rejected: u64,
+    pub batches: u64,
+    /// Mean batch fill as a fraction of the cap.
+    pub batch_fill: f64,
+    pub p50_latency_us: u64,
+    pub p99_latency_us: u64,
+    /// Chip-level Gflops over busy time.
+    pub gflops_chip: f64,
+    pub plan_cache_hit_rate: f64,
+}
+
+/// The deterministic batch-serving engine.
+pub struct ServeEngine {
+    config: ServeConfig,
+    dispatcher: ShardedDispatcher,
+    batcher: MicroBatcher,
+    cache: PlanCache,
+    recorder: Recorder,
+    /// Logical clock, µs of simulated time.
+    clock_us: u64,
+    next_id: u64,
+    pub counters: ServeCounters,
+    completions: Vec<Completion>,
+}
+
+impl ServeEngine {
+    pub fn new(config: ServeConfig) -> Result<Self, SwdnnError> {
+        Ok(Self {
+            dispatcher: ShardedDispatcher::new(config.chip, config.cgs)?,
+            batcher: MicroBatcher::new(config.policy, config.queue_limit),
+            cache: PlanCache::new(),
+            recorder: if config.trace {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            },
+            config,
+            clock_us: 0,
+            next_id: 0,
+            counters: ServeCounters::default(),
+            completions: Vec::new(),
+        })
+    }
+
+    pub fn now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.batcher.len()
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Advance the logical clock (idle time between arrivals).
+    pub fn advance_us(&mut self, us: u64) {
+        self.clock_us += us;
+    }
+
+    /// Submit one inference request at the current clock. Returns its id,
+    /// or [`SwdnnError::Overloaded`] when the bounded queue is full — the
+    /// request is dropped, nothing grows.
+    pub fn submit(&mut self, shape: ConvShape) -> Result<u64, SwdnnError> {
+        self.counters.submitted.inc();
+        let id = self.next_id;
+        let res = self.batcher.push(QueuedRequest {
+            id,
+            shape,
+            arrival_us: self.clock_us,
+        });
+        match res {
+            Ok(()) => {
+                self.next_id += 1;
+                Ok(id)
+            }
+            Err(e) => {
+                self.counters.rejected.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Dispatch at most one batch if a trigger fires at the current clock.
+    /// Returns the number of requests served (0 = nothing ready).
+    pub fn poll(&mut self) -> Result<usize, SwdnnError> {
+        let Some(batch) = self.batcher.pop_batch(self.clock_us) else {
+            return Ok(0);
+        };
+        self.execute(batch)
+    }
+
+    /// Run the queue dry: fire deadline releases by jumping the clock to
+    /// the next deadline whenever no trigger is ready, then flush leftovers.
+    pub fn drain(&mut self) -> Result<usize, SwdnnError> {
+        let mut served = 0;
+        while !self.batcher.is_empty() {
+            served += match self.batcher.pop_batch(self.clock_us) {
+                Some(batch) => self.execute(batch)?,
+                None => match self.batcher.next_deadline_us() {
+                    Some(deadline) if deadline > self.clock_us => {
+                        self.clock_us = deadline;
+                        0
+                    }
+                    _ => match self.batcher.flush() {
+                        Some(batch) => self.execute(batch)?,
+                        None => 0,
+                    },
+                },
+            };
+        }
+        Ok(served)
+    }
+
+    fn execute(&mut self, batch: Batch) -> Result<usize, SwdnnError> {
+        let n = batch.requests.len();
+        let timing = self
+            .dispatcher
+            .time_batch(&self.cache, &batch.shape, n, None::<PlanKind>)?;
+        let start_us = self.clock_us;
+        self.clock_us += timing.wall_us;
+        self.counters.batches.inc();
+        self.counters.batch_fill_sum.add(n as u64);
+        self.counters.served.add(n as u64);
+        self.counters.busy_us.add(timing.wall_us);
+        self.counters.busy_cycles.add(timing.wall_cycles);
+        self.counters.flops.add(timing.total_flops);
+        for r in &batch.requests {
+            self.completions.push(Completion {
+                id: r.id,
+                shape: r.shape,
+                arrival_us: r.arrival_us,
+                completion_us: self.clock_us,
+            });
+        }
+        self.recorder.span_cat(
+            &format!("batch {}", batch.shape),
+            "serve",
+            0,
+            0,
+            start_us as f64,
+            timing.wall_us as f64,
+            vec![
+                ("requests".into(), Value::from(n as u64)),
+                (
+                    "trigger".into(),
+                    Value::from(format!("{:?}", batch.trigger)),
+                ),
+                ("queue_depth".into(), Value::from(self.batcher.len() as u64)),
+                ("wall_cycles".into(), Value::from(timing.wall_cycles)),
+            ],
+        );
+        Ok(n)
+    }
+
+    /// All completions so far, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Reset measurement state (completions + counters + cache counters)
+    /// after a warmup phase, keeping caches and the clock hot.
+    pub fn reset_measurements(&mut self) {
+        self.completions.clear();
+        self.counters = ServeCounters::default();
+        self.cache.reset_counters();
+    }
+
+    /// Take the recorded Chrome trace (empty when tracing is off).
+    pub fn take_trace(&mut self) -> sw_obs::ChromeTrace {
+        self.recorder.take()
+    }
+
+    /// Order-statistic latency percentile over completions (0–100).
+    pub fn latency_percentile_us(&self, pct: f64) -> u64 {
+        let mut lats: Vec<u64> = self.completions.iter().map(|c| c.latency_us()).collect();
+        if lats.is_empty() {
+            return 0;
+        }
+        lats.sort_unstable();
+        let rank = ((pct / 100.0) * (lats.len() - 1) as f64).round() as usize;
+        lats[rank.min(lats.len() - 1)]
+    }
+
+    pub fn summary(&self) -> ServeSummary {
+        let batches = self.counters.batches.get();
+        let busy_secs = self.counters.busy_us.get() as f64 / 1e6;
+        ServeSummary {
+            served: self.counters.served.get(),
+            rejected: self.counters.rejected.get(),
+            batches,
+            batch_fill: if batches == 0 {
+                0.0
+            } else {
+                self.counters.batch_fill_sum.get() as f64
+                    / (batches * self.config.policy.max_batch as u64) as f64
+            },
+            p50_latency_us: self.latency_percentile_us(50.0),
+            p99_latency_us: self.latency_percentile_us(99.0),
+            gflops_chip: if busy_secs > 0.0 {
+                self.counters.flops.get() as f64 / busy_secs / 1e9
+            } else {
+                0.0
+            },
+            plan_cache_hit_rate: self.cache.stats().plan_hit_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ConvShape {
+        // ro = 8 splits over 4 CGs.
+        ConvShape::new(16, 8, 8, 8, 8, 3, 3)
+    }
+
+    fn engine(max_batch: usize, queue_limit: usize) -> ServeEngine {
+        ServeEngine::new(ServeConfig {
+            policy: BatchPolicy {
+                max_batch,
+                deadline_us: 1_000,
+            },
+            queue_limit,
+            trace: true,
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn closed_loop_serves_everything_and_caches_plans() {
+        let mut e = engine(4, 64);
+        for _ in 0..16 {
+            e.submit(shape()).unwrap();
+        }
+        let served = e.drain().unwrap();
+        assert_eq!(served, 16);
+        let s = e.summary();
+        assert_eq!(s.served, 16);
+        assert_eq!(s.batches, 4, "cap releases of 4");
+        assert_eq!(s.batch_fill, 1.0);
+        assert!(s.p99_latency_us >= s.p50_latency_us);
+        assert!(s.gflops_chip > 0.0);
+        // One slice-shape miss, every later batch hits.
+        let cs = e.cache_stats();
+        assert_eq!(cs.plan_misses, 1);
+        assert_eq!(cs.plan_hits, 3);
+    }
+
+    #[test]
+    fn overload_rejects_gracefully_and_recovers() {
+        let mut e = engine(4, 8);
+        let mut rejected = 0;
+        for _ in 0..80 {
+            match e.submit(shape()) {
+                Ok(_) => {}
+                Err(SwdnnError::Overloaded { .. }) => rejected += 1,
+                Err(e) => panic!("only Overloaded expected, got {e}"),
+            }
+        }
+        assert_eq!(rejected, 72, "queue of 8 sheds the 10x overload");
+        assert_eq!(e.queue_depth(), 8);
+        e.drain().unwrap();
+        assert_eq!(e.queue_depth(), 0);
+        // After draining, submissions succeed again.
+        e.submit(shape()).unwrap();
+        assert_eq!(e.summary().rejected, 72);
+    }
+
+    #[test]
+    fn deadline_fires_for_a_lone_request() {
+        let mut e = engine(8, 64);
+        e.submit(shape()).unwrap();
+        assert_eq!(e.poll().unwrap(), 0, "no trigger yet");
+        e.advance_us(1_000);
+        assert_eq!(e.poll().unwrap(), 1, "deadline release");
+        let c = e.completions()[0];
+        assert!(c.latency_us() >= 1_000, "waited out the deadline");
+    }
+
+    #[test]
+    fn trace_records_one_span_per_batch() {
+        let mut e = engine(2, 64);
+        for _ in 0..4 {
+            e.submit(shape()).unwrap();
+        }
+        e.drain().unwrap();
+        let trace = e.take_trace();
+        let spans: Vec<_> = trace.events.iter().filter(|ev| ev.cat == "serve").collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.ph == 'X' && s.dur_us > 0.0));
+    }
+
+    #[test]
+    fn reset_measurements_keeps_the_cache_hot() {
+        let mut e = engine(4, 64);
+        for _ in 0..8 {
+            e.submit(shape()).unwrap();
+        }
+        e.drain().unwrap();
+        e.reset_measurements();
+        for _ in 0..8 {
+            e.submit(shape()).unwrap();
+        }
+        e.drain().unwrap();
+        let cs = e.cache_stats();
+        assert_eq!(cs.plan_misses, 0, "warmup already populated the cache");
+        assert_eq!(cs.plan_hit_rate(), 1.0);
+        assert_eq!(e.summary().served, 8, "only the measured window counts");
+    }
+}

@@ -1,0 +1,38 @@
+//! Batch-serving engine: plan caching, dynamic micro-batching, and
+//! sharded multi-CG dispatch.
+//!
+//! The bench harness measures one configuration at a time; a serving
+//! system sees a *stream* of requests over a small set of hot shapes. This
+//! module turns the existing plan/executor machinery into that request
+//! path:
+//!
+//! * [`PlanCache`] — shape-keyed memoization of plan resolution, sampled
+//!   timing, and autotune sweeps behind striped concurrent maps
+//!   ([`ShardedMap`]) with hit/miss counters;
+//! * [`MicroBatcher`] — coalesces queued requests per shape up to a batch
+//!   cap or deadline, with a bounded queue that rejects
+//!   ([`crate::SwdnnError::Overloaded`]) instead of growing;
+//! * [`ShardedDispatcher`] — splits each batch across the simulated core
+//!   groups per §III-D's row partitioning (through the rayon pool via
+//!   [`sw_sim::run_multi_cg_with`]), amortizing the kernel-launch
+//!   overhead over the batch;
+//! * [`ServeEngine`] — the deterministic closed loop driving all three
+//!   under a logical clock of simulated microseconds, reporting
+//!   per-request latency percentiles, chip Gflops, batch fill, and cache
+//!   hit-rate, with optional Chrome-trace spans per batch.
+//!
+//! Everything is simulated time: runs are exactly reproducible, so the
+//! serving SLOs (p99 latency, hit rate, rejection behavior) are asserted
+//! in ordinary unit tests and gated in CI via `serve_bench`.
+
+pub mod batcher;
+pub mod dispatch;
+pub mod engine;
+pub mod plan_cache;
+pub mod sharded_map;
+
+pub use batcher::{Batch, BatchPolicy, BatchTrigger, MicroBatcher, QueuedRequest};
+pub use dispatch::{BatchTiming, ShardedDispatcher};
+pub use engine::{Completion, ServeConfig, ServeCounters, ServeEngine, ServeSummary};
+pub use plan_cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
+pub use sharded_map::ShardedMap;

@@ -1,0 +1,225 @@
+//! Shape-keyed memoization of plan selection, timing, and autotuning.
+//!
+//! Every `Conv2d::new` walks model selection and every `autotune` re-times
+//! each candidate from scratch — fine for one-shot benches, hostile to a
+//! serving path that sees the same handful of shapes on every request. The
+//! cache keys on `(shape, forced kind)` and stores everything the executor
+//! needs to *account* a request without re-simulating it: the resolved
+//! plan's identity, its executed blocking, the sampled full-shape timing,
+//! and the analytic model estimate. Hit/miss counters ride on the
+//! underlying [`ShardedMap`]s.
+
+use super::sharded_map::ShardedMap;
+use crate::conv::Conv2d;
+use crate::error::SwdnnError;
+use crate::plans::PlanTiming;
+use crate::tune::{autotune_on, TuneReport};
+use std::sync::Arc;
+use sw_perfmodel::{Blocking, ChipSpec, ConvPerfModel, PerfEstimate, PlanKind};
+use sw_tensor::ConvShape;
+
+/// Cache key: the shape plus any forced plan kind (forcing changes the
+/// resolved plan, so it must not share an entry with automatic selection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    pub shape: ConvShape,
+    pub forced: Option<PlanKind>,
+}
+
+/// Everything memoized about one resolved plan.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    pub kind: PlanKind,
+    /// The blocking the plan actually executes with
+    /// ([`crate::plans::ConvPlan::blocking`]).
+    pub blocking: Blocking,
+    pub plan_name: String,
+    /// Sampled full-shape timing on one CG.
+    pub timing: PlanTiming,
+    /// Analytic model estimate for the executed (kind, blocking).
+    pub model: PerfEstimate,
+}
+
+/// Aggregate cache observability, flattened for counters/logs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub plan_entries: usize,
+    pub tune_hits: u64,
+    pub tune_misses: u64,
+    /// Process-wide tile-profile cache ([`crate::kernel_cost`]).
+    pub tile_hits: u64,
+    pub tile_misses: u64,
+}
+
+impl CacheStats {
+    /// Plan-cache hit rate (the serving SLO metric).
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.plan_hits as f64 / total as f64
+    }
+}
+
+/// The concurrent plan/tune cache one serving engine owns.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: ShardedMap<PlanKey, Arc<CachedPlan>>,
+    tunes: ShardedMap<ConvShape, Arc<TuneReport>>,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve (and time) the plan for `shape` on `chip`, memoized.
+    ///
+    /// The first call per key pays plan resolution plus the sampled
+    /// full-shape timing; every later call is a map lookup.
+    pub fn plan(
+        &self,
+        chip: &ChipSpec,
+        shape: &ConvShape,
+        forced: Option<PlanKind>,
+    ) -> Result<Arc<CachedPlan>, SwdnnError> {
+        let key = PlanKey {
+            shape: *shape,
+            forced,
+        };
+        self.plans.get_or_insert_with(&key, || {
+            let mut conv = Conv2d::new(*shape)?.on_chip(*chip);
+            if let Some(kind) = forced {
+                conv = conv.with_plan(kind);
+            }
+            let plan = conv.plan();
+            plan.supports(shape)?;
+            let timing = plan.time_full_shape(shape)?;
+            let blocking = plan.blocking(shape);
+            let model = ConvPerfModel::default().estimate(
+                plan.kind(),
+                blocking,
+                shape.batch,
+                shape.ni,
+                shape.no,
+                shape.kc,
+            );
+            Ok(Arc::new(CachedPlan {
+                kind: plan.kind(),
+                blocking,
+                plan_name: plan.name().to_string(),
+                timing,
+                model,
+            }))
+        })
+    }
+
+    /// Memoized [`autotune_on`]: the full candidate sweep runs once per
+    /// (chip-independent key) shape.
+    pub fn autotune(
+        &self,
+        chip: &ChipSpec,
+        shape: &ConvShape,
+    ) -> Result<Arc<TuneReport>, SwdnnError> {
+        self.tunes
+            .get_or_insert_with(shape, || Ok(Arc::new(autotune_on(chip, shape)?)))
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let (tile_hits, tile_misses) = crate::kernel_cost::tile_cache_stats();
+        CacheStats {
+            plan_hits: self.plans.hits(),
+            plan_misses: self.plans.misses(),
+            plan_entries: self.plans.len(),
+            tune_hits: self.tunes.hits(),
+            tune_misses: self.tunes.misses(),
+            tile_hits,
+            tile_misses,
+        }
+    }
+
+    /// Zero hit/miss counters (post-warmup measurement windows) while
+    /// keeping the cached entries hot.
+    pub fn reset_counters(&self) {
+        self.plans.reset_counters();
+        self.tunes.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ConvShape {
+        ConvShape::new(32, 16, 16, 8, 8, 3, 3)
+    }
+
+    #[test]
+    fn repeated_plan_lookups_hit_and_are_identical() {
+        let cache = PlanCache::new();
+        let chip = ChipSpec::sw26010();
+        let a = cache.plan(&chip, &shape(), None).unwrap();
+        let b = cache.plan(&chip, &shape(), None).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must return the entry");
+        assert_eq!(a.timing.cycles, b.timing.cycles);
+        let s = cache.stats();
+        assert_eq!((s.plan_hits, s.plan_misses), (1, 1));
+        assert_eq!(s.plan_entries, 1);
+        assert_eq!(s.plan_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn forced_kind_gets_its_own_entry() {
+        let cache = PlanCache::new();
+        let chip = ChipSpec::sw26010();
+        let auto = cache.plan(&chip, &shape(), None).unwrap();
+        let forced = cache
+            .plan(&chip, &shape(), Some(PlanKind::BatchSizeAware))
+            .unwrap();
+        assert_eq!(forced.kind, PlanKind::BatchSizeAware);
+        assert_eq!(cache.stats().plan_entries, 2);
+        assert_eq!(forced.blocking.b_b, shape().batch);
+        // The auto entry must be untouched by the forced lookup.
+        assert_eq!(
+            auto.timing.cycles,
+            cache.plan(&chip, &shape(), None).unwrap().timing.cycles
+        );
+    }
+
+    #[test]
+    fn unsupported_forced_plans_error_and_are_not_cached() {
+        let cache = PlanCache::new();
+        let chip = ChipSpec::sw26010();
+        // Channels not a multiple of 8: mesh plans refuse.
+        let bad = ConvShape::new(32, 7, 7, 8, 8, 3, 3);
+        let err = cache.plan(&chip, &bad, Some(PlanKind::ImageSizeAware));
+        assert!(err.is_err());
+        assert_eq!(cache.stats().plan_entries, 0);
+    }
+
+    #[test]
+    fn autotune_is_memoized() {
+        let cache = PlanCache::new();
+        let chip = ChipSpec::sw26010();
+        let a = cache.autotune(&chip, &shape()).unwrap();
+        let b = cache.autotune(&chip, &shape()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.tune_hits, s.tune_misses), (1, 1));
+    }
+
+    #[test]
+    fn reset_counters_keeps_entries_hot() {
+        let cache = PlanCache::new();
+        let chip = ChipSpec::sw26010();
+        cache.plan(&chip, &shape(), None).unwrap();
+        cache.reset_counters();
+        cache.plan(&chip, &shape(), None).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.plan_hits, s.plan_misses), (1, 0));
+        assert_eq!(s.plan_hit_rate(), 1.0);
+    }
+}

@@ -11,13 +11,19 @@
 use crate::error::SwdnnError;
 use crate::plans::{BatchAwarePlan, ConvPlan, ImageAwarePlan};
 use sw_perfmodel::select::Blocking;
-use sw_perfmodel::{select_plan, ChipSpec};
+use sw_perfmodel::{select_plan, ChipSpec, PlanKind};
 use sw_tensor::ConvShape;
 
 /// One timed candidate.
 #[derive(Clone, Debug)]
 pub struct Candidate {
     pub description: String,
+    /// Which plan family this candidate instantiates.
+    pub kind: PlanKind,
+    /// The LDM blocking the candidate executed with (for batch-size-aware
+    /// plans `b_b` is the whole batch, matching
+    /// [`crate::plans::ConvPlan::blocking`]).
+    pub blocking: Blocking,
     /// Simulated cycles for the full shape (sampled).
     pub cycles: u64,
     /// Attained Gflops on one CG.
@@ -47,77 +53,95 @@ impl TuneReport {
     }
 }
 
-/// Enumerate and time every feasible plan for `shape`.
+/// Enumerate and time every feasible plan for `shape` on the stock SW26010.
 pub fn autotune(shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
-    let chip = ChipSpec::sw26010();
-    let mut raw: Vec<(String, u64, f64)> = Vec::new();
+    autotune_on(&ChipSpec::sw26010(), shape)
+}
+
+/// Enumerate and time every feasible plan for `shape` on an explicit chip
+/// (e.g. the degraded 4×4 mesh [`crate::resilient::degraded_chip`] builds).
+pub fn autotune_on(chip: &ChipSpec, shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
+    let mut candidates: Vec<Candidate> = Vec::new();
 
     // Batch-size-aware candidates over its b_co choices.
     for b_co in [16usize, 8, 4, 2, 1] {
         if !shape.co.is_multiple_of(b_co) {
             continue;
         }
-        let plan = BatchAwarePlan::new(b_co);
+        let mut plan = BatchAwarePlan::new(b_co);
+        plan.chip = *chip;
         if plan.supports(shape).is_err() {
             continue;
         }
         let timing = plan.time_full_shape(shape)?;
-        raw.push((
-            format!("batch_size_aware b_co={b_co}"),
-            timing.cycles,
-            timing.gflops(shape, &chip),
-        ));
+        candidates.push(Candidate {
+            description: format!("batch_size_aware b_co={b_co}"),
+            kind: PlanKind::BatchSizeAware,
+            blocking: plan.blocking(shape),
+            cycles: timing.cycles,
+            gflops: timing.gflops(shape, chip),
+        });
     }
 
-    // Image-size-aware candidates over (b_b, b_co).
-    let mut b_b = 32usize;
+    // Image-size-aware candidates over (b_b, b_co). Enumeration starts at
+    // the smallest b_b Algorithm 1 can map (8, one image row block per
+    // mesh row on a degraded 4-wide mesh) — starting at 32 silently
+    // produced *zero* image-aware candidates for any batch < 32 and a
+    // spurious NoPlan even when a feasible b_b ∈ {8, 16} existed; the
+    // plan's own `supports` is the arbiter of mesh divisibility, not the
+    // enumeration floor.
+    let mut b_b = 8usize;
     while b_b <= shape.batch {
         if shape.batch.is_multiple_of(b_b) {
             for b_co in [32usize, 16, 8, 4, 2, 1] {
                 if !shape.co.is_multiple_of(b_co) {
                     continue;
                 }
-                let plan = ImageAwarePlan::new(Blocking { b_b, b_co });
+                let blocking = Blocking { b_b, b_co };
+                let plan = ImageAwarePlan::new(blocking).on_chip(*chip);
                 if plan.supports(shape).is_err() {
                     continue;
                 }
                 let timing = plan.time_full_shape(shape)?;
-                raw.push((
-                    format!("image_size_aware b_b={b_b} b_co={b_co}"),
-                    timing.cycles,
-                    timing.gflops(shape, &chip),
-                ));
+                candidates.push(Candidate {
+                    description: format!("image_size_aware b_b={b_b} b_co={b_co}"),
+                    kind: PlanKind::ImageSizeAware,
+                    blocking,
+                    cycles: timing.cycles,
+                    gflops: timing.gflops(shape, chip),
+                });
             }
         }
         b_b *= 2;
     }
 
-    if raw.is_empty() {
+    if candidates.is_empty() {
         return Err(SwdnnError::NoPlan(*shape));
     }
-    raw.sort_by_key(|c| c.1);
+    candidates.sort_by_key(|c| c.cycles);
 
-    // Identify the analytic model's pick among the candidates.
-    let model_desc = select_plan(shape, &chip).map(|c| match c.kind {
-        sw_perfmodel::PlanKind::BatchSizeAware => {
+    // Identify the analytic model's pick among the candidates by structure
+    // (kind + blocking), not by description strings — a format tweak must
+    // not silently detach the model from its candidate.
+    let model_pick: Option<(PlanKind, Blocking)> = select_plan(shape, chip).map(|c| match c.kind {
+        PlanKind::BatchSizeAware => {
             // The executor's batch plan auto-selects its own b_co.
-            let auto = BatchAwarePlan::auto(shape);
-            format!("batch_size_aware b_co={}", auto.b_co)
+            let auto = BatchAwarePlan::auto_on(*chip, shape);
+            (
+                c.kind,
+                Blocking {
+                    b_b: shape.batch,
+                    b_co: auto.b_co,
+                },
+            )
         }
-        _ => format!(
-            "image_size_aware b_b={} b_co={}",
-            c.blocking.b_b, c.blocking.b_co
-        ),
+        _ => (c.kind, c.blocking),
     });
-    let candidates: Vec<Candidate> = raw
-        .into_iter()
-        .map(|(description, cycles, gflops)| Candidate {
-            description,
-            cycles,
-            gflops,
-        })
-        .collect();
-    let model_choice = model_desc.and_then(|d| candidates.iter().position(|c| c.description == d));
+    let model_choice = model_pick.and_then(|(kind, blocking)| {
+        candidates
+            .iter()
+            .position(|c| c.kind == kind && c.blocking == blocking)
+    });
     Ok(TuneReport {
         candidates,
         model_choice,
@@ -154,6 +178,43 @@ mod tests {
             .expect("model choice must be feasible");
         assert!(frac > 0.2, "model at {frac:.2} of the empirical best");
         assert!(frac <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn small_batch_gets_image_aware_candidates() {
+        // Regression: enumeration started at b_b = 32, so any batch < 32
+        // produced zero image-size-aware candidates — and a spurious
+        // NoPlan where feasible b_b ∈ {8, 16} existed per Algorithm 1.
+        // On the degraded 4×4 mesh (row granule 4·4 = 16) a batch of 16
+        // maps cleanly with b_b = 16.
+        let chip = crate::resilient::ResilientExecutor::degraded_chip(ChipSpec::sw26010());
+        let shape = ConvShape::new(16, 16, 16, 8, 8, 3, 3);
+        let rep = autotune_on(&chip, &shape).unwrap();
+        assert!(
+            rep.candidates
+                .iter()
+                .any(|c| c.kind == PlanKind::ImageSizeAware && c.blocking.b_b == 16),
+            "batch 16 must yield image-aware candidates: {:?}",
+            rep.candidates
+                .iter()
+                .map(|c| c.description.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn model_choice_matches_on_structure_not_strings() {
+        let chip = ChipSpec::sw26010();
+        let shape = ConvShape::new(32, 16, 16, 6, 8, 3, 3);
+        let rep = autotune(&shape).unwrap();
+        let pick = select_plan(&shape, &chip).expect("selector has a pick");
+        let i = rep
+            .model_choice
+            .expect("model pick must map to a candidate");
+        assert_eq!(rep.candidates[i].kind, pick.kind);
+        if pick.kind == PlanKind::ImageSizeAware {
+            assert_eq!(rep.candidates[i].blocking, pick.blocking);
+        }
     }
 
     #[test]

@@ -200,6 +200,23 @@ impl CompareReport {
     }
 }
 
+/// A metric that is Inf/NaN on either side is always a failure: `rel_change`
+/// on such values is itself non-finite and `NaN.abs() > tol` is *false*, so
+/// without this guard a poisoned snapshot (e.g. a division by a zero-cycle
+/// timing upstream) would sail through the symmetric checks silently.
+fn non_finite(key: &str, metric: &str, baseline: f64, current: f64) -> Option<Regression> {
+    if baseline.is_finite() && current.is_finite() {
+        return None;
+    }
+    Some(Regression {
+        key: key.to_string(),
+        metric: format!("{metric} (non-finite)"),
+        baseline,
+        current,
+        change: f64::NAN,
+    })
+}
+
 fn rel_change(baseline: f64, current: f64) -> f64 {
     if baseline == 0.0 {
         if current == 0.0 {
@@ -250,6 +267,10 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot, tol: &Tolerances) -> Com
             ("time_ms", b.time_ms, c.time_ms, tol.cycles_rel, true),
         ];
         for (metric, bv, cv, t, higher_is_worse) in directional {
+            if let Some(r) = non_finite(&key, metric, bv, cv) {
+                out.regressions.push(r);
+                continue;
+            }
             let change = rel_change(bv, cv);
             let worse = if higher_is_worse {
                 change > t
@@ -339,6 +360,10 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot, tol: &Tolerances) -> Com
             ),
         ];
         for (metric, bv, cv, t) in symmetric {
+            if let Some(r) = non_finite(&key, metric, bv, cv) {
+                out.regressions.push(r);
+                continue;
+            }
             let change = rel_change(bv, cv);
             if change.abs() > t {
                 out.regressions.push(Regression {
@@ -363,6 +388,15 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot, tol: &Tolerances) -> Com
         }
 
         // LDM occupancy: absolute growth toward the 64 KB ceiling.
+        if let Some(r) = non_finite(
+            &key,
+            "ldm_high_water_frac",
+            b.ldm_high_water_frac,
+            c.ldm_high_water_frac,
+        ) {
+            out.regressions.push(r);
+            continue;
+        }
         let dfrac = c.ldm_high_water_frac - b.ldm_high_water_frac;
         if dfrac > tol.ldm_frac_abs {
             out.regressions.push(Regression {
@@ -478,6 +512,35 @@ mod tests {
                 .iter()
                 .any(|r| r.metric == "reg.modeled_gbps"));
         }
+    }
+
+    #[test]
+    fn non_finite_metrics_are_rejected_not_silently_passed() {
+        // Regression: NaN relative change failed both `> t` comparisons, so
+        // a poisoned snapshot compared clean. Every class of check must
+        // flag Inf/NaN explicitly.
+        let base = snapshot();
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut cur = base.clone();
+            cur.reports[0].gflops_measured = poison; // directional
+            cur.reports[0].mem.measured_gbps = poison; // symmetric
+            cur.reports[0].ldm_high_water_frac = poison; // absolute
+            let report = compare(&base, &cur, &Tolerances::default());
+            assert!(!report.is_ok(), "poison {poison} passed the comparator");
+            let metrics: Vec<&str> = report
+                .regressions
+                .iter()
+                .map(|r| r.metric.as_str())
+                .collect();
+            assert!(metrics.contains(&"gflops_measured (non-finite)"));
+            assert!(metrics.contains(&"mem.measured_gbps (non-finite)"));
+            assert!(metrics.contains(&"ldm_high_water_frac (non-finite)"));
+        }
+        // A poisoned *baseline* must fail too, not act as a wildcard.
+        let mut bad_base = base.clone();
+        bad_base.reports[1].gflops_modeled = f64::NAN;
+        let report = compare(&bad_base, &base, &Tolerances::default());
+        assert!(!report.is_ok());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::model::{ConvPerfModel, PerfEstimate};
 use sw_tensor::ConvShape;
 
 /// Which convolution plan to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PlanKind {
     /// Algorithm 1 — block on `B` and `Co`, layout `(4, C, R, N, B/4)`.
     ImageSizeAware,

@@ -46,14 +46,29 @@ pub fn run_multi_cg<F>(cgs: usize, work: F) -> MultiCgReport
 where
     F: Fn(usize) -> CgStats + Sync + Send,
 {
-    let per_cg: Vec<CgStats> = (0..cgs).into_par_iter().map(work).collect();
+    run_multi_cg_with(cgs, |i| (work(i), ())).0
+}
+
+/// [`run_multi_cg`] for workloads that produce a value per core group
+/// alongside the timing (e.g. each CG's slice of a sharded output tensor).
+/// Results come back in CG order regardless of thread scheduling.
+pub fn run_multi_cg_with<R, F>(cgs: usize, work: F) -> (MultiCgReport, Vec<R>)
+where
+    F: Fn(usize) -> (CgStats, R) + Sync + Send,
+    R: Send,
+{
+    let pairs: Vec<(CgStats, R)> = (0..cgs).into_par_iter().map(work).collect();
+    let (per_cg, results): (Vec<CgStats>, Vec<R>) = pairs.into_iter().unzip();
     let wall = per_cg.iter().map(|s| s.cycles).max().unwrap_or(0) + LAUNCH_OVERHEAD_CYCLES;
     let flops = per_cg.iter().map(|s| s.totals.flops).sum();
-    MultiCgReport {
-        per_cg,
-        wall_cycles: wall,
-        total_flops: flops,
-    }
+    (
+        MultiCgReport {
+            per_cg,
+            wall_cycles: wall,
+            total_flops: flops,
+        },
+        results,
+    )
 }
 
 #[cfg(test)]
@@ -87,6 +102,14 @@ mod tests {
         let four = run_multi_cg(4, |_| fake_cg(total_work / 4, total_work / 4));
         let speedup = four.speedup_vs(one.wall_cycles);
         assert!(speedup > 3.9 && speedup <= 4.01, "speedup {speedup}");
+    }
+
+    #[test]
+    fn run_with_returns_results_in_cg_order() {
+        let (rep, results) = run_multi_cg_with(4, |i| (fake_cg(100, 10), i * i));
+        assert_eq!(results, vec![0, 1, 4, 9]);
+        assert_eq!(rep.wall_cycles, 100 + LAUNCH_OVERHEAD_CYCLES);
+        assert_eq!(rep.total_flops, 40);
     }
 
     #[test]

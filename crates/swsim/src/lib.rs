@@ -40,7 +40,7 @@ pub mod noc;
 pub mod stats;
 pub mod trace;
 
-pub use chip::{run_multi_cg, MultiCgReport};
+pub use chip::{run_multi_cg, run_multi_cg_with, MultiCgReport};
 pub use dma::{DmaEngine, DmaHandle};
 pub use fault::{FaultPlan, RetryPolicy};
 pub use ldm::{Ldm, LdmBuf};

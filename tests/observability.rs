@@ -112,7 +112,7 @@ fn baseline() -> Snapshot {
 #[test]
 fn committed_baseline_is_wellformed_and_self_consistent() {
     let base = baseline();
-    let keys: Vec<String> = perf_snapshot_configs()
+    let mut keys: Vec<String> = perf_snapshot_configs()
         .iter()
         .map(|(shape, kind)| {
             let plan = match kind {
@@ -123,6 +123,11 @@ fn committed_baseline_is_wellformed_and_self_consistent() {
             format!("{shape} / {plan}")
         })
         .collect();
+    keys.push(format!(
+        "{} / {}",
+        sw_bench::serve_load::SERVE_REPORT_CONFIG,
+        sw_bench::serve_load::SERVE_REPORT_PLAN
+    ));
     assert_eq!(
         base.reports.iter().map(PerfReport::key).collect::<Vec<_>>(),
         keys,

@@ -1,0 +1,167 @@
+//! Integration tests for the batch-serving engine (`swdnn::serve`): the
+//! end-to-end claims the serving PR makes, exercised through the public
+//! API only.
+//!
+//! 1. **Plan-cache determinism** — repeated lookups of the same shape hit
+//!    the cache and return the exact entry (same cycles, same model), and
+//!    a whole engine run is reproducible number-for-number.
+//! 2. **Backpressure** — a bounded queue sheds overload with
+//!    [`SwdnnError::Overloaded`], never with OOM or panic, and recovers
+//!    after a drain.
+//! 3. **Micro-batching** — the cap trigger fires on a full same-shape
+//!    batch; the deadline trigger releases stragglers.
+//! 4. **Sharded correctness** — a convolution row-sharded over the 4
+//!    simulated CGs is bit-identical to the unsharded plan and to the
+//!    scalar reference.
+
+use std::sync::Arc;
+use sw_tensor::{conv2d_ref, init::lattice_tensor, ConvShape, Layout};
+use swdnn::serve::{BatchPolicy, PlanCache, ServeConfig, ServeEngine, ShardedDispatcher};
+use swdnn::{ChipSpec, Conv2d, SwdnnError};
+
+/// Small shape whose `ro = 8` splits across the chip's 4 CGs.
+fn shape() -> ConvShape {
+    ConvShape::new(16, 8, 8, 8, 8, 3, 3)
+}
+
+fn engine(max_batch: usize, queue_limit: usize) -> ServeEngine {
+    ServeEngine::new(ServeConfig {
+        policy: BatchPolicy {
+            max_batch,
+            deadline_us: 2_000,
+        },
+        queue_limit,
+        ..ServeConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn plan_cache_hits_are_deterministic_and_identical() {
+    let cache = PlanCache::new();
+    let chip = ChipSpec::sw26010();
+    let first = cache.plan(&chip, &shape(), None).unwrap();
+    for _ in 0..10 {
+        let again = cache.plan(&chip, &shape(), None).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "hits return the cached entry");
+        assert_eq!(first.timing.cycles, again.timing.cycles);
+        assert_eq!(first.model.gflops_per_cg, again.model.gflops_per_cg);
+    }
+    let s = cache.stats();
+    assert_eq!((s.plan_hits, s.plan_misses), (10, 1));
+    assert!(s.plan_hit_rate() > 0.9);
+
+    // A fresh cache re-derives the exact same timing: the simulation is
+    // deterministic, so cached and uncached answers can never diverge.
+    let fresh = PlanCache::new().plan(&chip, &shape(), None).unwrap();
+    assert_eq!(fresh.timing.cycles, first.timing.cycles);
+    assert_eq!(fresh.blocking, first.blocking);
+}
+
+#[test]
+fn engine_runs_are_reproducible_end_to_end() {
+    let run = || {
+        let mut e = engine(4, 64);
+        for _ in 0..12 {
+            e.submit(shape()).unwrap();
+        }
+        e.drain().unwrap();
+        let s = e.summary();
+        (
+            s.served,
+            s.batches,
+            s.p50_latency_us,
+            s.p99_latency_us,
+            e.counters.busy_cycles.get(),
+        )
+    };
+    assert_eq!(run(), run(), "same load, same numbers");
+}
+
+#[test]
+fn bounded_queue_sheds_overload_and_recovers() {
+    let mut e = engine(4, 16);
+    let mut rejected = 0u64;
+    for _ in 0..160 {
+        match e.submit(shape()) {
+            Ok(_) => {}
+            Err(SwdnnError::Overloaded { depth, limit }) => {
+                assert_eq!((depth, limit), (16, 16));
+                rejected += 1;
+            }
+            Err(other) => panic!("overload must reject with Overloaded, got {other}"),
+        }
+    }
+    assert_eq!(rejected, 144, "everything past the bound is shed");
+    assert_eq!(e.queue_depth(), 16);
+    assert_eq!(e.drain().unwrap(), 16, "queued work still completes");
+    // The engine is healthy again: new submissions are accepted and served.
+    e.submit(shape()).unwrap();
+    e.drain().unwrap();
+    let s = e.summary();
+    assert_eq!(s.served, 17);
+    assert_eq!(s.rejected, 144);
+}
+
+#[test]
+fn cap_trigger_batches_and_deadline_releases_stragglers() {
+    let mut e = engine(4, 64);
+    // A full batch releases immediately on the cap…
+    for _ in 0..4 {
+        e.submit(shape()).unwrap();
+    }
+    assert_eq!(e.poll().unwrap(), 4, "cap trigger at max_batch");
+    // …while a lone straggler waits for its deadline, not forever.
+    e.submit(shape()).unwrap();
+    assert_eq!(e.poll().unwrap(), 0, "no trigger before the deadline");
+    e.advance_us(2_000);
+    assert_eq!(e.poll().unwrap(), 1, "deadline releases the straggler");
+    let straggler = *e.completions().last().unwrap();
+    assert!(straggler.latency_us() >= 2_000);
+}
+
+#[test]
+fn sharded_run_matches_unsharded_and_reference_bit_for_bit() {
+    let shape = shape();
+    let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 17);
+    let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 18);
+    let chip = ChipSpec::sw26010();
+
+    let unsharded = Conv2d::new(shape)
+        .unwrap()
+        .forward(&input, &filter)
+        .unwrap();
+    let reference = conv2d_ref(shape, &input, &filter);
+    for cgs in [1, 2, 4] {
+        let d = ShardedDispatcher::new(chip, cgs).unwrap();
+        let (out, wall) = d.run(&shape, &input, &filter).unwrap();
+        assert_eq!(
+            out.max_abs_diff(&unsharded.output),
+            0.0,
+            "{cgs}-way shard vs unsharded"
+        );
+        assert_eq!(out.max_abs_diff(&reference), 0.0, "{cgs}-way shard vs ref");
+        assert!(wall > 0);
+    }
+}
+
+#[test]
+fn serving_hits_cache_after_warmup_under_mixed_shapes() {
+    // Two interleaved shapes: the batcher keeps them in separate batches
+    // and each shape's plan is resolved exactly once.
+    let other = ConvShape::new(16, 8, 16, 8, 8, 3, 3);
+    let mut e = engine(4, 64);
+    for round in 0..6 {
+        for _ in 0..4 {
+            e.submit(if round % 2 == 0 { shape() } else { other })
+                .unwrap();
+        }
+        e.drain().unwrap();
+    }
+    let s = e.summary();
+    assert_eq!(s.served, 24);
+    let cs = e.cache_stats();
+    assert_eq!(cs.plan_misses, 2, "one resolution per distinct slice shape");
+    assert_eq!(cs.plan_hits, 4);
+    assert_eq!(cs.plan_entries, 2);
+}
