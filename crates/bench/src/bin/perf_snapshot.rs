@@ -68,6 +68,14 @@ fn measure() -> Snapshot {
     let obs = serve_perf_report(&serve);
     print!("{}", obs.summary());
     reports.push(obs);
+    // Host-side throughput row: the anchor shape with wall-clock attached
+    // (`host` block, gated loosely and directionally — see sim_throughput).
+    // Min-of-3 reps: a single sample sits too close to scheduler noise
+    // for even the loose 15% gate.
+    let (shape, kind) = sw_bench::configs::conv_256();
+    let host_row = sw_bench::sim_throughput::measure_conv(&shape, kind, 3);
+    print!("{}", host_row.summary());
+    reports.push(host_row);
     Snapshot::new(reports)
 }
 
@@ -97,8 +105,8 @@ fn demo_trace() -> ChromeTrace {
     regcomm_gemm(
         &mut mesh,
         GemmBlock::dense(m8, n8, k8, true),
-        |_, s| s.a.clone(),
-        |_, s| s.b.clone(),
+        |_, s: &St, dst: &mut Vec<f64>| dst.extend_from_slice(&s.a),
+        |_, s: &St, dst: &mut Vec<f64>| dst.extend_from_slice(&s.b),
         |s| (s.c, 0),
     )
     .expect("traced GEMM");
@@ -113,8 +121,7 @@ fn load(path: &str) -> Snapshot {
 }
 
 /// Print the comparison and turn it into an exit code.
-fn gate(baseline: &Snapshot, current: &Snapshot) -> ! {
-    let report = compare(baseline, current, &Tolerances::default());
+fn finish(report: sw_obs::CompareReport) -> ! {
     print!("{}", report.summary());
     exit(if report.is_ok() { 0 } else { 1 });
 }
@@ -137,13 +144,28 @@ fn main() {
         }
         Some("--check") if args.len() == 2 => {
             let baseline = load(&args[1]);
-            let current = measure();
-            gate(&baseline, &current);
+            let mut current = measure();
+            // Only the conv_256 host block is wall-clock-sensitive; when
+            // the gate trips, re-measure just that row once to absorb a
+            // scheduler burst (see sim_throughput::compare_with_host_retry
+            // — simulated metrics are exact and unaffected).
+            let report = sw_bench::sim_throughput::compare_with_host_retry(
+                &baseline,
+                &mut current,
+                &Tolerances::default(),
+                || {
+                    let (shape, kind) = sw_bench::configs::conv_256();
+                    Snapshot::new(vec![sw_bench::sim_throughput::measure_conv(
+                        &shape, kind, 3,
+                    )])
+                },
+            );
+            finish(report);
         }
         Some("--diff") if args.len() == 3 => {
             let a = load(&args[1]);
             let b = load(&args[2]);
-            gate(&a, &b);
+            finish(compare(&a, &b, &Tolerances::default()));
         }
         _ => usage(),
     }

@@ -42,6 +42,10 @@ const BINARIES: &[(&str, &str)] = &[
         "perf_snapshot",
         "observability — measured vs modeled per-level bandwidth snapshot",
     ),
+    (
+        "sim_throughput",
+        "extension — host wall-clock throughput of the simulator itself",
+    ),
 ];
 
 fn main() {

@@ -91,6 +91,15 @@ pub fn perf_snapshot_configs() -> Vec<(ConvShape, PlanKind)> {
     ]
 }
 
+/// The `conv_256` Table III row (`Ni = No = 256`, batch-size-aware) — the
+/// shape the `sim_throughput` host wall-clock gate is anchored on.
+pub fn conv_256() -> (ConvShape, PlanKind) {
+    (
+        ConvShape::new(BATCH, 256, 256, OUT_IMAGE, OUT_IMAGE, 3, 3),
+        PlanKind::BatchSizeAware,
+    )
+}
+
 /// The four Table III configurations `(plan, Kc, bB, bCo, Ni, No)`.
 /// `plan` is "img" or "batch"; blockings apply to the image plan only.
 pub fn table3_configs() -> Vec<(&'static str, usize, usize, usize, usize)> {

@@ -22,3 +22,4 @@
 pub mod configs;
 pub mod report;
 pub mod serve_load;
+pub mod sim_throughput;

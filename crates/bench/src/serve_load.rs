@@ -152,6 +152,7 @@ pub fn serve_perf_report(rep: &LoadReport) -> PerfReport {
             ),
             ("overload_rejected".into(), rep.overload_rejected),
         ],
+        host: None,
     }
 }
 

@@ -1,0 +1,174 @@
+//! Host-side throughput of the simulator itself, shared between the
+//! `sim_throughput` binary and the `perf_snapshot` BENCH_PERF row.
+//!
+//! Everything else the bench harness gates is *simulated* time; this
+//! module measures *host* time — how many wall-clock seconds the machine
+//! running the simulation spends producing each Table III measurement and
+//! one serve-engine closed loop. The headline metric is
+//! [`sw_obs::HostPerf::sim_gflops_per_host_sec`]: simulated Gflop of
+//! delivered measurement per host second. The simulated side of each row
+//! (cycles, counters, Gflops) is deterministic and identical to the
+//! corresponding `perf_snapshot` row; only the `host` block is
+//! machine-dependent, and the comparator gates it with the loose,
+//! directional [`sw_obs::Tolerances::host_rel`] (15%).
+//!
+//! Note on semantics: conv rows use the executor's sampled timing path
+//! (`run_config_with`), exactly like the serving engine and the table
+//! regenerators do, so `sim_gflops_per_host_sec` is "extrapolated
+//! full-shape Gflop per host second of *sampled* simulation". The
+//! extrapolation is deterministic, so the ratio is stable across runs on
+//! one machine and comparable across versions of the simulator.
+
+use crate::configs::perf_snapshot_configs;
+use crate::serve_load::{run_scenario, serve_perf_report, SNAPSHOT_ROUNDS};
+use std::time::Instant;
+use sw_obs::{compare, CompareReport, HostPerf, PerfReport, Snapshot, Tolerances};
+use sw_perfmodel::PlanKind;
+use sw_tensor::ConvShape;
+use swdnn::Executor;
+
+/// Plan-name prefix distinguishing sim_throughput rows from the plain
+/// simulated rows sharing a snapshot (keys must stay unique).
+pub const PLAN_PREFIX: &str = "sim_throughput/";
+
+/// Run `shape` under `kind` on a fresh [`Executor`] `reps` times and
+/// report the (deterministic) simulated measurement with the host block
+/// attached: `host_secs` is the *minimum* wall-clock over the reps — the
+/// noise-robust estimator for a deterministic workload, since scheduler
+/// jitter and cache pollution only ever add time. A fresh executor per
+/// rep keeps the plan cache cold, so every rep pays the full simulation
+/// the way an uncached serving or autotune request would.
+pub fn measure_conv(shape: &ConvShape, kind: PlanKind, reps: usize) -> PerfReport {
+    assert!(reps > 0, "need at least one rep");
+    let mut host_secs = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let exec = Executor::new();
+        let rep = exec
+            .run_config_with(shape, kind)
+            .unwrap_or_else(|e| panic!("sim_throughput measuring {shape}: {e}"));
+        host_secs = host_secs.min(t0.elapsed().as_secs_f64());
+        last = Some((rep, exec.chip));
+    }
+    let (rep, chip) = last.expect("reps > 0");
+    let mut obs = rep.obs_report(&chip);
+    obs.plan = format!("{PLAN_PREFIX}{}", obs.plan);
+    obs.host = Some(HostPerf {
+        host_secs,
+        sim_gflops_per_host_sec: rep.timing.stats.host_gflops(host_secs),
+    });
+    obs
+}
+
+/// Time the serve-engine closed loop (`run_scenario`) and attach the host
+/// block to its BENCH_PERF row. Simulated work here is the chip-level
+/// Gflops over the measured window's busy time.
+pub fn measure_serve(rounds: usize) -> PerfReport {
+    let t0 = Instant::now();
+    let rep = run_scenario(rounds).unwrap_or_else(|e| panic!("sim_throughput serve loop: {e}"));
+    let host_secs = t0.elapsed().as_secs_f64();
+    let mut obs = serve_perf_report(&rep);
+    obs.plan = format!("{PLAN_PREFIX}{}", obs.plan);
+    let sim_gflop = obs.gflops_measured * (rep.busy_us as f64 / 1e6);
+    obs.host = Some(HostPerf {
+        host_secs,
+        sim_gflops_per_host_sec: if host_secs > 0.0 {
+            sim_gflop / host_secs
+        } else {
+            0.0
+        },
+    });
+    obs
+}
+
+/// The full sim_throughput suite: every `perf_snapshot` Table III
+/// configuration plus the serve closed loop, each with a host block.
+pub fn measure_suite(reps: usize) -> Snapshot {
+    let mut reports: Vec<PerfReport> = perf_snapshot_configs()
+        .iter()
+        .map(|(shape, kind)| measure_conv(shape, *kind, reps))
+        .collect();
+    reports.push(measure_serve(SNAPSHOT_ROUNDS));
+    Snapshot::new(reports)
+}
+
+/// Fold a fresh measurement into `current`: for every row whose key also
+/// appears in `fresh`, keep whichever host block has the smaller
+/// `host_secs`. Simulated metrics are deterministic, so only the host
+/// block can differ between the two measurements.
+pub fn min_host_merge(current: &mut Snapshot, fresh: &Snapshot) {
+    for row in &mut current.reports {
+        let Some(h) = row.host else { continue };
+        let faster = fresh
+            .reports
+            .iter()
+            .find(|f| f.key() == row.key())
+            .and_then(|f| f.host)
+            .filter(|f| f.host_secs < h.host_secs);
+        if let Some(f) = faster {
+            row.host = Some(f);
+        }
+    }
+}
+
+/// How many times [`compare_with_host_retry`] re-measures before a host
+/// wall-clock failure is treated as real.
+pub const HOST_RETRIES: usize = 3;
+
+/// Gate `current` against `baseline`, absorbing host wall-clock noise:
+/// on failure, `remeasure` is invoked (up to [`HOST_RETRIES`] times, with
+/// a short decorrelating pause), the per-row faster host blocks are
+/// folded into `current` ([`min_host_merge`]), and the comparison reruns.
+/// Scheduler bursts on a shared runner routinely inflate an entire
+/// measurement window past the 15% host tolerance; the running min over
+/// several windows converges to the true floor as soon as any one window
+/// is quiet, while a real regression deterministically fails every pass
+/// (and simulated-metric drift is unaffected — those values are exact
+/// and identical across reruns).
+pub fn compare_with_host_retry(
+    baseline: &Snapshot,
+    current: &mut Snapshot,
+    tol: &Tolerances,
+    mut remeasure: impl FnMut() -> Snapshot,
+) -> CompareReport {
+    let mut report = compare(baseline, current, tol);
+    for attempt in 1..=HOST_RETRIES {
+        if report.is_ok() {
+            break;
+        }
+        eprintln!(
+            "comparison failed; re-measuring ({attempt}/{HOST_RETRIES}) \
+             to rule out a host scheduler burst"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        min_host_merge(current, &remeasure());
+        report = compare(baseline, current, tol);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::conv_256;
+
+    #[test]
+    fn conv_row_carries_consistent_host_block() {
+        let (shape, kind) = conv_256();
+        let row = measure_conv(&shape, kind, 1);
+        assert!(row.plan.starts_with(PLAN_PREFIX));
+        let host = row.host.expect("host block present");
+        assert!(host.host_secs > 0.0);
+        assert!(host.sim_gflops_per_host_sec > 0.0);
+        // flops / host_secs / 1e9, from the same counters the row reports.
+        let flops = row
+            .counters
+            .iter()
+            .find(|(k, _)| k == "flops")
+            .map(|(_, v)| *v)
+            .expect("flops counter");
+        let expect = flops as f64 / host.host_secs / 1e9;
+        assert!((host.sim_gflops_per_host_sec - expect).abs() < 1e-6 * expect);
+    }
+}

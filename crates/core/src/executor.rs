@@ -78,6 +78,7 @@ impl ConvReport {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
+            host: None,
         }
     }
 }

@@ -20,7 +20,7 @@
 //! `b ∈ chunk_j`; filters `no ∈ chunk_i`, `ni ∈ chunk_j`; outputs
 //! `no ∈ chunk_i`, `b ∈ chunk_j`.
 
-use super::gemm_mesh::{regcomm_gemm, zero_c, GemmBlock};
+use super::gemm_mesh::{regcomm_gemm_with, zero_c, GemmBlock, GemmScratch};
 use super::{extrapolate, ConvPlan, ConvRun, PlanTiming};
 use crate::error::SwdnnError;
 use crate::plans::PlanKind;
@@ -219,6 +219,9 @@ impl ConvPlan for BatchAwarePlan {
             Ok(())
         };
 
+        // One pack/payload arena reused by every GEMM rotation below.
+        let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+
         for tile_c in 0..co_n / b_co {
             let co0 = tile_c * b_co;
             let win = b_co + kc_n - 1;
@@ -274,7 +277,7 @@ impl ConvPlan for BatchAwarePlan {
                                 continue;
                             }
                             let co_local = co - co0;
-                            regcomm_gemm(
+                            regcomm_gemm_with(
                                 &mut mesh,
                                 GemmBlock {
                                     m8: no8,
@@ -283,10 +286,15 @@ impl ConvPlan for BatchAwarePlan {
                                     c_stride: b_co * b8,
                                     reordered: self.reordered_kernel,
                                 },
-                                move |ctx, s: &Slot| {
-                                    ctx.ldm(s.w)[kc * ni8 * no8..(kc + 1) * ni8 * no8].to_vec()
+                                &mut scratch,
+                                move |ctx, s: &Slot, dst: &mut Vec<f64>| {
+                                    dst.extend_from_slice(
+                                        &ctx.ldm(s.w)[kc * ni8 * no8..(kc + 1) * ni8 * no8],
+                                    );
                                 },
-                                move |ctx, s: &Slot| ctx.ldm(s.di[p]).to_vec(),
+                                move |ctx, s: &Slot, dst: &mut Vec<f64>| {
+                                    dst.extend_from_slice(ctx.ldm(s.di[p]));
+                                },
                                 move |s: &Slot| (s.c, co_local * b8),
                             )?;
                         }

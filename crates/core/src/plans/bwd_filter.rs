@@ -23,7 +23,7 @@
 //! `r` and `x` blocks along columns from row `r`, exactly the Fig. 3
 //! pattern with the reduction running over pixels instead of channels.
 
-use super::gemm_mesh::{regcomm_gemm, zero_c, GemmBlock};
+use super::gemm_mesh::{regcomm_gemm_with, zero_c, GemmBlock, GemmScratch};
 use super::{extrapolate, PlanTiming};
 use crate::error::SwdnnError;
 use sw_perfmodel::ChipSpec;
@@ -160,6 +160,9 @@ impl BwdFilterPlan {
         })?;
         zero_c(&mut mesh, |s: &Slot| s.c)?;
 
+        // One pack/payload arena reused by every GEMM rotation below.
+        let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+
         // Pixel tiles: (batch block, output row, column block).
         let tiles: Vec<(usize, usize, usize)> = (0..shape.batch / b_b)
             .flat_map(|tb| (0..ro).flat_map(move |r| (0..co / b_co).map(move |tc| (tb, r, tc))))
@@ -240,7 +243,7 @@ impl BwdFilterPlan {
             for kr in 0..kr_n {
                 for kc in 0..kc_n {
                     let c_off = (kr * kc_n + kc) * no8 * ni8;
-                    regcomm_gemm(
+                    regcomm_gemm_with(
                         &mut mesh,
                         GemmBlock {
                             m8: no8,
@@ -249,28 +252,26 @@ impl BwdFilterPlan {
                             c_stride: ni8,
                             reordered: self.reordered_kernel,
                         },
+                        &mut scratch,
                         // A block: g, packed k-major (pixel, no).
-                        move |ctx, s: &Slot| {
+                        move |ctx, s: &Slot, dst: &mut Vec<f64>| {
                             let gbuf = ctx.ldm(s.g[par]);
-                            let mut a = Vec::with_capacity(n8 * no8);
                             for q in 0..quads {
                                 for p in 0..4 * b_co {
                                     for m in 0..no8 {
-                                        a.push(gbuf[(q * no8 + m) * 4 * b_co + p]);
+                                        dst.push(gbuf[(q * no8 + m) * 4 * b_co + p]);
                                     }
                                 }
                             }
-                            a
                         },
                         // B block: x taps, packed k-major (pixel, ni).
-                        move |ctx, s: &Slot| {
+                        move |ctx, s: &Slot, dst: &mut Vec<f64>| {
                             let xbuf = ctx.ldm(s.x[par]);
-                            let mut b = Vec::with_capacity(n8 * ni8);
                             for q in 0..quads {
                                 for p in 0..b_co {
                                     for lane in 0..4 {
                                         for nl in 0..ni8 {
-                                            b.push(
+                                            dst.push(
                                                 xbuf[(kr * quads + q) * ni8 * win4
                                                     + nl * win4
                                                     + 4 * (p + kc)
@@ -280,7 +281,6 @@ impl BwdFilterPlan {
                                     }
                                 }
                             }
-                            b
                         },
                         move |s: &Slot| (s.c, c_off),
                     )?;

@@ -20,9 +20,36 @@
 //! Compute time is charged per register tile from the §VI software-pipelined
 //! kernel model (`crate::kernel_cost`); communication time is charged by the
 //! mesh's put/get accounting.
+//!
+//! # Host-side hot path
+//!
+//! This rotation is where the simulator spends nearly all of its host
+//! time, so it is organised around three invariants (see DESIGN.md §8):
+//!
+//! * **Pack once.** Each rotation's broadcast phase runs as a *serial*
+//!   superstep ([`sw_sim::Mesh::superstep_serial`]): every broadcaster
+//!   packs its block exactly once into a reused scratch buffer
+//!   ([`GemmScratch`]) and hands the mesh a shared `Arc<[f64]>` payload.
+//!   The broadcaster keeps a clone of the same payload for its own phase-2
+//!   accumulation, so nothing is packed (or allocated) twice.
+//! * **Zero-copy delivery.** Receivers take the shared payload by
+//!   reference count ([`sw_sim::CpeCtx::recv_row_shared`]); one broadcast
+//!   is one allocation, not eight.
+//! * **Register-tiled microkernel.** The accumulation uses a 4×8
+//!   register-blocked kernel (the host-side analogue of the paper's
+//!   `rb_B`×`rb_No` register blocking) that accumulates each C element in
+//!   k-ascending order — bit-identical to the scalar reference kernel,
+//!   which stays available for A/B testing via
+//!   [`force_reference_microkernel`] or `SWDNN_SCALAR_KERNEL=1`.
+//!
+//! None of this changes simulated time: cycle charges, fault keying, and
+//! superstep counts are identical to the naive two-parallel-superstep
+//! formulation.
 
 use crate::error::SwdnnError;
 use crate::kernel_cost;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use sw_sim::{CpeCtx, LdmBuf, Mesh, SimError};
 
 /// Shape of the distributed GEMM (per-CPE block sizes).
@@ -54,13 +81,56 @@ impl GemmBlock {
     }
 }
 
+/// Reusable host-side scratch for [`regcomm_gemm_with`]: the pack buffer
+/// every broadcaster packs into, plus the per-row/per-column shared
+/// payloads the broadcasters keep for their own phase-2 accumulation.
+/// Create one per plan (sized by the mesh dimension) and reuse it across
+/// every GEMM invocation — after the first rotation the hot path
+/// allocates only the one `Arc` per broadcast.
+pub struct GemmScratch {
+    pack: Vec<f64>,
+    a_own: Vec<Option<Arc<[f64]>>>,
+    b_own: Vec<Option<Arc<[f64]>>>,
+}
+
+impl GemmScratch {
+    /// Scratch for a `dim`×`dim` mesh.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            pack: Vec::new(),
+            a_own: vec![None; dim],
+            b_own: vec![None; dim],
+        }
+    }
+}
+
+/// Force every subsequent GEMM to use the scalar reference microkernel
+/// (for A/B-testing the register-tiled kernel; both produce bit-identical
+/// output). The `SWDNN_SCALAR_KERNEL` environment variable (any value but
+/// `0`) has the same effect.
+pub fn force_reference_microkernel(on: bool) {
+    FORCE_REFERENCE.store(on, Ordering::SeqCst);
+}
+
+/// Whether the scalar reference microkernel is currently forced.
+pub fn reference_microkernel_forced() -> bool {
+    FORCE_REFERENCE.load(Ordering::SeqCst)
+        || std::env::var_os("SWDNN_SCALAR_KERNEL").is_some_and(|v| v != "0")
+}
+
+static FORCE_REFERENCE: AtomicBool = AtomicBool::new(false);
+
 /// Run one full 8-round rotation.
 ///
-/// `pack_a(ctx, s)` returns this CPE's `A` block packed k-major
-/// (`a[k*m8 + m]`), `pack_b` its `B` block packed k-major (`b[k*n8 + n]`),
-/// and `c_buf(s)` the LDM buffer of its `C` block plus a starting offset
-/// within it; C is m-major with row stride `blk.c_stride`
-/// (`c[off + m*c_stride + n]`).
+/// `pack_a(ctx, s, dst)` appends this CPE's `A` block packed k-major
+/// (`a[k*m8 + m]`) to `dst` (handed in empty), `pack_b` its `B` block
+/// packed k-major (`b[k*n8 + n]`), and `c_buf(s)` the LDM buffer of its
+/// `C` block plus a starting offset within it; C is m-major with row
+/// stride `blk.c_stride` (`c[off + m*c_stride + n]`).
+///
+/// Each pack closure is invoked exactly once per broadcaster per rotation
+/// round. Convenience wrapper over [`regcomm_gemm_with`] that allocates a
+/// fresh [`GemmScratch`]; plans issuing many GEMMs should hold their own.
 pub fn regcomm_gemm<S, FA, FB, FC>(
     mesh: &mut Mesh<S>,
     blk: GemmBlock,
@@ -70,40 +140,77 @@ pub fn regcomm_gemm<S, FA, FB, FC>(
 ) -> Result<(), SwdnnError>
 where
     S: Send,
-    FA: Fn(&CpeCtx<'_>, &S) -> Vec<f64> + Sync,
-    FB: Fn(&CpeCtx<'_>, &S) -> Vec<f64> + Sync,
+    FA: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
+    FB: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
+    FC: Fn(&S) -> (LdmBuf, usize) + Sync,
+{
+    let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+    regcomm_gemm_with(mesh, blk, &mut scratch, pack_a, pack_b, c_buf)
+}
+
+/// [`regcomm_gemm`] with caller-owned scratch (the allocation-free form).
+pub fn regcomm_gemm_with<S, FA, FB, FC>(
+    mesh: &mut Mesh<S>,
+    blk: GemmBlock,
+    scratch: &mut GemmScratch,
+    pack_a: FA,
+    pack_b: FB,
+    c_buf: FC,
+) -> Result<(), SwdnnError>
+where
+    S: Send,
+    FA: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
+    FB: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
     FC: Fn(&S) -> (LdmBuf, usize) + Sync,
 {
     let dim = mesh.chip.mesh_dim;
+    assert!(
+        scratch.a_own.len() >= dim && scratch.b_own.len() >= dim,
+        "GemmScratch sized for a smaller mesh"
+    );
+    let use_reference = reference_microkernel_forced();
+    let GemmScratch { pack, a_own, b_own } = scratch;
     for r in 0..dim {
-        // Superstep 1: the broadcasting column/row put their blocks on the
-        // buses.
-        mesh.superstep(|ctx, s| {
+        // Superstep 1 (serial — the work is 16 packs, not worth a thread
+        // fan-out): the broadcasting column/row pack once and put shared
+        // payloads on the buses, keeping a clone for their own phase 2.
+        mesh.superstep_serial(|ctx, s| {
             if ctx.col == r {
-                let a = pack_a(ctx, s);
-                debug_assert_eq!(a.len(), blk.k8 * blk.m8, "A block size");
-                ctx.bcast_row(&a);
+                pack.clear();
+                pack_a(ctx, s, pack);
+                debug_assert_eq!(pack.len(), blk.k8 * blk.m8, "A block size");
+                let payload: Arc<[f64]> = Arc::from(&pack[..]);
+                ctx.bcast_row_shared(Arc::clone(&payload));
+                a_own[ctx.row] = Some(payload);
             }
             if ctx.row == r {
-                let b = pack_b(ctx, s);
-                debug_assert_eq!(b.len(), blk.k8 * blk.n8, "B block size");
-                ctx.bcast_col(&b);
+                pack.clear();
+                pack_b(ctx, s, pack);
+                debug_assert_eq!(pack.len(), blk.k8 * blk.n8, "B block size");
+                let payload: Arc<[f64]> = Arc::from(&pack[..]);
+                ctx.bcast_col_shared(Arc::clone(&payload));
+                b_own[ctx.col] = Some(payload);
             }
             Ok(())
         })?;
 
         // Superstep 2: everyone receives (or reuses its own block) and
         // accumulates.
+        let (a_own, b_own) = (&*a_own, &*b_own);
         mesh.superstep(|ctx, s| {
             let a = if ctx.col == r {
-                pack_a(ctx, s)
+                a_own[ctx.row]
+                    .clone()
+                    .ok_or_else(|| missing_own_block(ctx, 'A', r))?
             } else {
-                ctx.recv_row()?
+                ctx.recv_row_shared()?
             };
             let b = if ctx.row == r {
-                pack_b(ctx, s)
+                b_own[ctx.col]
+                    .clone()
+                    .ok_or_else(|| missing_own_block(ctx, 'B', r))?
             } else {
-                ctx.recv_col()?
+                ctx.recv_col_shared()?
             };
             if a.len() != blk.k8 * blk.m8 || b.len() != blk.k8 * blk.n8 {
                 return Err(SimError::Program(format!(
@@ -122,16 +229,10 @@ where
             let (m8, n8, k8, cs) = (blk.m8, blk.n8, blk.k8, blk.c_stride);
             debug_assert!(c_off + (m8 - 1) * cs + n8 <= cb.len, "C slice in bounds");
             let c = &mut ctx.ldm_data_mut()[cb.range()];
-            for k in 0..k8 {
-                let arow = &a[k * m8..(k + 1) * m8];
-                let brow = &b[k * n8..(k + 1) * n8];
-                for (m, &av) in arow.iter().enumerate() {
-                    let base = c_off + m * cs;
-                    let crow = &mut c[base..base + n8];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
-                    }
-                }
+            if use_reference {
+                microkernel_reference(c, c_off, cs, &a, &b, m8, n8, k8);
+            } else {
+                microkernel_tiled(c, c_off, cs, &a, &b, m8, n8, k8);
             }
             let prof = kernel_cost::block_profile(m8, n8, k8, blk.reordered);
             ctx.charge_compute(prof.cycles);
@@ -142,6 +243,181 @@ where
         })?;
     }
     Ok(())
+}
+
+fn missing_own_block(ctx: &CpeCtx<'_>, which: char, round: usize) -> SimError {
+    SimError::Program(format!(
+        "CPE({},{}) has no packed {which} block for round {round}",
+        ctx.row, ctx.col
+    ))
+}
+
+/// Scalar reference kernel: the plain triple loop. Kept as the bitwise
+/// ground truth the tiled kernel is tested against, and selectable at run
+/// time for host-performance A/B runs.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn microkernel_reference(
+    c: &mut [f64],
+    c_off: usize,
+    cs: usize,
+    a: &[f64],
+    b: &[f64],
+    m8: usize,
+    n8: usize,
+    k8: usize,
+) {
+    for k in 0..k8 {
+        let arow = &a[k * m8..(k + 1) * m8];
+        let brow = &b[k * n8..(k + 1) * n8];
+        for (m, &av) in arow.iter().enumerate() {
+            let base = c_off + m * cs;
+            let crow = &mut c[base..base + n8];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// One MR×NR register tile: load the C sub-block, accumulate all of `k8`
+/// in registers, store once. Each C element still sees `c += a*b` in
+/// k-ascending order with separate multiply and add, so the result is
+/// bit-identical to [`microkernel_reference`] (no FMA, no reassociation);
+/// the win is purely fewer loads/stores and accumulator arrays the
+/// autovectorizer maps onto vector registers.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn tile<const MR: usize, const NR: usize>(
+    c: &mut [f64],
+    c_base: usize,
+    cs: usize,
+    a: &[f64],
+    b: &[f64],
+    m0: usize,
+    n0: usize,
+    m8: usize,
+    n8: usize,
+    k8: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (mi, row) in acc.iter_mut().enumerate() {
+        let base = c_base + mi * cs;
+        row.copy_from_slice(&c[base..base + NR]);
+    }
+    for (arow, brow) in a.chunks_exact(m8).zip(b.chunks_exact(n8)).take(k8) {
+        let av: [f64; MR] = arow[m0..m0 + MR].try_into().unwrap();
+        let bv: [f64; NR] = brow[n0..n0 + NR].try_into().unwrap();
+        for (row, &am) in acc.iter_mut().zip(&av) {
+            for (cv, &bn) in row.iter_mut().zip(&bv) {
+                *cv += am * bn;
+            }
+        }
+    }
+    for (mi, row) in acc.iter().enumerate() {
+        let base = c_base + mi * cs;
+        c[base..base + NR].copy_from_slice(row);
+    }
+}
+
+/// One row-band of tiles: MR C rows, swept across n in 8-, then 4-, then
+/// 1-wide column tiles.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn row_tiles<const MR: usize>(
+    c: &mut [f64],
+    c_off: usize,
+    cs: usize,
+    a: &[f64],
+    b: &[f64],
+    m0: usize,
+    m8: usize,
+    n8: usize,
+    k8: usize,
+) {
+    let mut n0 = 0;
+    while n0 + 8 <= n8 {
+        tile::<MR, 8>(c, c_off + m0 * cs + n0, cs, a, b, m0, n0, m8, n8, k8);
+        n0 += 8;
+    }
+    while n0 + 4 <= n8 {
+        tile::<MR, 4>(c, c_off + m0 * cs + n0, cs, a, b, m0, n0, m8, n8, k8);
+        n0 += 4;
+    }
+    while n0 < n8 {
+        tile::<MR, 1>(c, c_off + m0 * cs + n0, cs, a, b, m0, n0, m8, n8, k8);
+        n0 += 1;
+    }
+}
+
+/// Tile sweep shared by every instruction-set version of the kernel.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn microkernel_tiled_impl(
+    c: &mut [f64],
+    c_off: usize,
+    cs: usize,
+    a: &[f64],
+    b: &[f64],
+    m8: usize,
+    n8: usize,
+    k8: usize,
+) {
+    const MR: usize = 4;
+    let m_main = m8 - m8 % MR;
+    let mut m0 = 0;
+    while m0 < m_main {
+        row_tiles::<MR>(c, c_off, cs, a, b, m0, m8, n8, k8);
+        m0 += MR;
+    }
+    while m0 < m8 {
+        row_tiles::<1>(c, c_off, cs, a, b, m0, m8, n8, k8);
+        m0 += 1;
+    }
+}
+
+/// AVX2 compilation of the same tile sweep. `#[target_feature]` recompiles
+/// the (fully inlined) generic tiles with 256-bit vectors without raising
+/// the whole binary's baseline — portability is preserved because callers
+/// go through the runtime dispatch in [`microkernel_tiled`]. The math is
+/// element-wise identical (separate mul and add; Rust never contracts to
+/// FMA by default), so wider registers cannot change a single bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn microkernel_tiled_avx2(
+    c: &mut [f64],
+    c_off: usize,
+    cs: usize,
+    a: &[f64],
+    b: &[f64],
+    m8: usize,
+    n8: usize,
+    k8: usize,
+) {
+    microkernel_tiled_impl(c, c_off, cs, a, b, m8, n8, k8);
+}
+
+/// Register-tiled microkernel: 4×8 main tiles (8 vector accumulators of 4
+/// doubles on a 256-bit host) with 4- and 1-wide edge tiles. Dispatches
+/// once per call on runtime CPU feature detection (a cached atomic load).
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn microkernel_tiled(
+    c: &mut [f64],
+    c_off: usize,
+    cs: usize,
+    a: &[f64],
+    b: &[f64],
+    m8: usize,
+    n8: usize,
+    k8: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { microkernel_tiled_avx2(c, c_off, cs, a, b, m8, n8, k8) };
+        return;
+    }
+    microkernel_tiled_impl(c, c_off, cs, a, b, m8, n8, k8);
 }
 
 /// Zero a distributed C block (one superstep; charged as vector stores).
@@ -165,6 +441,7 @@ pub fn zero_c<S: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
     use sw_perfmodel::ChipSpec;
 
     /// Per-CPE state: own blocks of A, B and the C accumulator buffer.
@@ -231,8 +508,8 @@ mod tests {
         regcomm_gemm(
             &mut mesh,
             GemmBlock::dense(m8, n8, k8, true),
-            |_, s| s.a.clone(),
-            |_, s| s.b.clone(),
+            |_, s: &St, dst: &mut Vec<f64>| dst.extend_from_slice(&s.a),
+            |_, s: &St, dst: &mut Vec<f64>| dst.extend_from_slice(&s.b),
             |s| (s.c, 0),
         )
         .unwrap();
@@ -271,8 +548,8 @@ mod tests {
         regcomm_gemm(
             &mut mesh,
             GemmBlock::dense(m8, n8, k8, true),
-            |_, s| s.a.clone(),
-            |_, s| s.b.clone(),
+            |_, s: &St, dst: &mut Vec<f64>| dst.extend_from_slice(&s.a),
+            |_, s: &St, dst: &mut Vec<f64>| dst.extend_from_slice(&s.b),
             |s| (s.c, 0),
         )
         .unwrap();
@@ -297,5 +574,72 @@ mod tests {
         .unwrap();
         mesh.drain_puts(&mut c0).unwrap();
         assert!(c0.iter().all(|&v| v == 128.0));
+    }
+
+    /// Regression for the old formulation, where broadcasters packed in
+    /// superstep 1 *and again* in superstep 2: every pack closure must now
+    /// run exactly once per broadcaster per rotation round — 8 broadcasters
+    /// × 8 rounds = 64 calls each for A and B.
+    #[test]
+    fn pack_runs_exactly_once_per_broadcaster_per_round() {
+        let (m8, n8, k8) = (2, 4, 2);
+        let a_packs = AtomicUsize::new(0);
+        let b_packs = AtomicUsize::new(0);
+        let mut mesh = Mesh::new(ChipSpec::sw26010(), |_, _| St {
+            a: vec![1.0; k8 * m8],
+            b: vec![1.0; k8 * n8],
+            c: LdmBuf { offset: 0, len: 0 },
+        });
+        mesh.superstep(|ctx, s| {
+            s.c = ctx.ldm_alloc(m8 * n8)?;
+            Ok(())
+        })
+        .unwrap();
+        zero_c(&mut mesh, |s: &St| s.c).unwrap();
+        let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+        regcomm_gemm_with(
+            &mut mesh,
+            GemmBlock::dense(m8, n8, k8, true),
+            &mut scratch,
+            |_, s: &St, dst: &mut Vec<f64>| {
+                a_packs.fetch_add(1, Ordering::Relaxed);
+                dst.extend_from_slice(&s.a);
+            },
+            |_, s: &St, dst: &mut Vec<f64>| {
+                b_packs.fetch_add(1, Ordering::Relaxed);
+                dst.extend_from_slice(&s.b);
+            },
+            |s| (s.c, 0),
+        )
+        .unwrap();
+        assert_eq!(a_packs.load(Ordering::Relaxed), 64);
+        assert_eq!(b_packs.load(Ordering::Relaxed), 64);
+    }
+
+    /// The tiled kernel must be bit-identical to the scalar reference on
+    /// shapes that exercise every edge-tile combination (odd m8/n8) and a
+    /// strided, offset C block.
+    #[test]
+    fn tiled_microkernel_is_bitwise_identical_to_reference() {
+        for &(m8, n8, k8) in &[(1, 1, 1), (4, 4, 3), (5, 7, 3), (9, 13, 5), (16, 4, 8)] {
+            let cs = n8 + 3; // strided C
+            let c_off = 2;
+            let a: Vec<f64> = (0..k8 * m8)
+                .map(|i| (((i * 31 + 7) % 97) as f64 - 48.0) / 7.0)
+                .collect();
+            let b: Vec<f64> = (0..k8 * n8)
+                .map(|i| (((i * 17 + 5) % 89) as f64 - 44.0) / 5.0)
+                .collect();
+            let init: Vec<f64> = (0..c_off + m8 * cs)
+                .map(|i| ((i % 13) as f64 - 6.0) / 3.0)
+                .collect();
+            let mut c_ref = init.clone();
+            let mut c_tiled = init.clone();
+            microkernel_reference(&mut c_ref, c_off, cs, &a, &b, m8, n8, k8);
+            microkernel_tiled(&mut c_tiled, c_off, cs, &a, &b, m8, n8, k8);
+            let ref_bits: Vec<u64> = c_ref.iter().map(|v| v.to_bits()).collect();
+            let tiled_bits: Vec<u64> = c_tiled.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ref_bits, tiled_bits, "shape ({m8},{n8},{k8})");
+        }
     }
 }

@@ -27,7 +27,7 @@
 //! * filters: `no ∈ chunk_i`, `ni ∈ chunk_j`;
 //! * output: `no ∈ chunk_i`, pixels `∈ chunk_j`.
 
-use super::gemm_mesh::{regcomm_gemm, zero_c, GemmBlock};
+use super::gemm_mesh::{regcomm_gemm_with, zero_c, GemmBlock, GemmScratch};
 use super::{extrapolate, ConvPlan, ConvRun, PlanTiming};
 use crate::error::SwdnnError;
 use crate::plans::PlanKind;
@@ -248,6 +248,9 @@ impl ConvPlan for ImageAwarePlan {
             Ok(())
         })?;
 
+        // One pack/payload arena reused by every GEMM rotation below.
+        let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+
         for tile_b in 0..shape.batch / b_b {
             for r_o in 0..ro {
                 for tile_c in 0..co / b_co {
@@ -349,7 +352,7 @@ impl ConvPlan for ImageAwarePlan {
                                     Ok(())
                                 })?;
                                 let par = di_par;
-                                regcomm_gemm(
+                                regcomm_gemm_with(
                                     &mut mesh,
                                     GemmBlock {
                                         m8: d.no8,
@@ -358,19 +361,20 @@ impl ConvPlan for ImageAwarePlan {
                                         c_stride: d.n8,
                                         reordered: self.reordered_kernel,
                                     },
+                                    &mut scratch,
                                     // A block: the (ni8 x no8) slice for this (kr, kc).
-                                    move |ctx, s: &Slot| ctx.ldm(s.w[w_par]).to_vec(),
+                                    move |ctx, s: &Slot, dst: &mut Vec<f64>| {
+                                        dst.extend_from_slice(ctx.ldm(s.w[w_par]));
+                                    },
                                     // B block: shifted window, packed k-major.
-                                    move |ctx, s: &Slot| {
+                                    move |ctx, s: &Slot, dst: &mut Vec<f64>| {
                                         let di = ctx.ldm(s.di[par]);
-                                        let mut b = Vec::with_capacity(d.ni8 * d.n8);
                                         for k in 0..d.ni8 {
                                             for q in 0..d.quads {
                                                 let base = q * d.ni8 * d.win4 + k * d.win4 + 4 * kc;
-                                                b.extend_from_slice(&di[base..base + 4 * d.b_co]);
+                                                dst.extend_from_slice(&di[base..base + 4 * d.b_co]);
                                             }
                                         }
-                                        b
                                     },
                                     |s: &Slot| (s.c, 0),
                                 )?;

@@ -33,5 +33,5 @@ pub mod snapshot;
 pub use chrome::{ChromeEvent, ChromeTrace, Recorder};
 pub use counter::Counter;
 pub use level::Level;
-pub use report::{LevelIo, PerfReport};
+pub use report::{HostPerf, LevelIo, PerfReport};
 pub use snapshot::{compare, CompareReport, Snapshot, Tolerances};

@@ -110,6 +110,12 @@ pub struct Tolerances {
     /// Allowed absolute growth in `ldm_high_water_frac` (directional:
     /// creeping toward the 64 KB ceiling is the regression).
     pub ldm_frac_abs: f64,
+    /// Allowed relative drift in the host wall-clock block (directional:
+    /// `host_secs` may not grow, `sim_gflops_per_host_sec` may not drop).
+    /// Wall-clock numbers are machine- and load-dependent, so this is far
+    /// looser than the simulated metrics; the sim_throughput CI gate uses
+    /// the 15% default.
+    pub host_rel: f64,
 }
 
 impl Default for Tolerances {
@@ -120,6 +126,7 @@ impl Default for Tolerances {
             traffic_rel: 0.02,
             model_rel: 1e-9,
             ldm_frac_abs: 0.02,
+            host_rel: 0.15,
         }
     }
 }
@@ -296,6 +303,61 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot, tol: &Tolerances) -> Com
             }
         }
 
+        // Host wall-clock block (sim_throughput rows): directional at the
+        // loose `host_rel` tolerance. A row that *loses* its host block
+        // regressed (the gate would silently stop gating); a row that
+        // gains one is just a schema extension.
+        match (&b.host, &c.host) {
+            (Some(bh), Some(ch)) => {
+                let host = [
+                    ("host.host_secs", bh.host_secs, ch.host_secs, true),
+                    (
+                        "host.sim_gflops_per_host_sec",
+                        bh.sim_gflops_per_host_sec,
+                        ch.sim_gflops_per_host_sec,
+                        false,
+                    ),
+                ];
+                for (metric, bv, cv, higher_is_worse) in host {
+                    if let Some(r) = non_finite(&key, metric, bv, cv) {
+                        out.regressions.push(r);
+                        continue;
+                    }
+                    let change = rel_change(bv, cv);
+                    let worse = if higher_is_worse {
+                        change > tol.host_rel
+                    } else {
+                        change < -tol.host_rel
+                    };
+                    let better = if higher_is_worse {
+                        change < -tol.host_rel
+                    } else {
+                        change > tol.host_rel
+                    };
+                    let rec = Regression {
+                        key: key.clone(),
+                        metric: metric.to_string(),
+                        baseline: bv,
+                        current: cv,
+                        change,
+                    };
+                    if worse {
+                        out.regressions.push(rec);
+                    } else if better {
+                        out.improvements.push(rec);
+                    }
+                }
+            }
+            (Some(bh), None) => out.regressions.push(Regression {
+                key: key.clone(),
+                metric: "host (missing)".to_string(),
+                baseline: bh.host_secs,
+                current: f64::NAN,
+                change: f64::NAN,
+            }),
+            _ => {}
+        }
+
         // Symmetric metrics: any drift beyond tolerance fails.
         let symmetric = [
             (
@@ -444,6 +506,7 @@ mod tests {
                 bytes: 1 << 26,
             },
             counters: vec![("dma_get_bytes".into(), 1 << 24)],
+            host: None,
         }
     }
 
@@ -569,6 +632,46 @@ mod tests {
             .collect();
         assert!(metrics.contains(&"cycles"));
         assert!(metrics.contains(&"ldm_high_water_frac"));
+    }
+
+    #[test]
+    fn host_wallclock_is_gated_loosely_and_directionally() {
+        use crate::report::HostPerf;
+        let mut base = snapshot();
+        base.reports[0].host = Some(HostPerf {
+            host_secs: 2.0,
+            sim_gflops_per_host_sec: 100.0,
+        });
+        // Within 15%: noise, not a regression.
+        let mut cur = base.clone();
+        cur.reports[0].host = Some(HostPerf {
+            host_secs: 2.2,
+            sim_gflops_per_host_sec: 91.0,
+        });
+        assert!(compare(&base, &cur, &Tolerances::default()).is_ok());
+        // Beyond 15% slower: regression on both host metrics.
+        cur.reports[0].host = Some(HostPerf {
+            host_secs: 2.5,
+            sim_gflops_per_host_sec: 80.0,
+        });
+        let rep = compare(&base, &cur, &Tolerances::default());
+        let metrics: Vec<&str> = rep.regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"host.host_secs"));
+        assert!(metrics.contains(&"host.sim_gflops_per_host_sec"));
+        // Beyond 15% faster: improvement note, still OK.
+        cur.reports[0].host = Some(HostPerf {
+            host_secs: 1.0,
+            sim_gflops_per_host_sec: 200.0,
+        });
+        let rep = compare(&base, &cur, &Tolerances::default());
+        assert!(rep.is_ok());
+        assert_eq!(rep.improvements.len(), 2);
+        // Dropping the block entirely regressed the gate itself.
+        cur.reports[0].host = None;
+        assert!(!compare(&base, &cur, &Tolerances::default()).is_ok());
+        // A baseline without host blocks never requires one.
+        let plain = snapshot();
+        assert!(compare(&plain, &base, &Tolerances::default()).is_ok());
     }
 
     #[test]

@@ -108,11 +108,13 @@ impl Ldm {
     }
 
     /// Read-only view of a buffer.
+    #[inline]
     pub fn buf(&self, b: LdmBuf) -> &[f64] {
         &self.data[b.range()]
     }
 
     /// Mutable view of a buffer.
+    #[inline]
     pub fn buf_mut(&mut self, b: LdmBuf) -> &mut [f64] {
         &mut self.data[b.range()]
     }
@@ -120,10 +122,12 @@ impl Ldm {
     /// The whole scratchpad, mutable — inner kernels index across several
     /// disjoint buffers at once and a single borrow is the idiomatic way to
     /// do so without split-borrow gymnastics.
+    #[inline]
     pub fn data_mut(&mut self) -> &mut [f64] {
         &mut self.data
     }
 
+    #[inline]
     pub fn data(&self) -> &[f64] {
         &self.data
     }

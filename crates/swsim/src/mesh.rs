@@ -21,6 +21,7 @@ use crate::stats::{CgStats, CpeCounters, CpeStats};
 use rayon::prelude::*;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 use sw_perfmodel::dma::DmaDirection;
 use sw_perfmodel::ChipSpec;
 
@@ -115,10 +116,20 @@ impl From<LdmOverflow> for SimError {
     }
 }
 
+/// Outgoing bus message. Payloads are shared slices: a broadcast is one
+/// allocation handed to every receiver by reference count, not one
+/// allocation plus a clone per target.
 #[derive(Clone, Debug)]
 enum OutMsg {
-    Bcast { bus: Bus, data: Vec<f64> },
-    Send { bus: Bus, to: usize, data: Vec<f64> },
+    Bcast {
+        bus: Bus,
+        data: Arc<[f64]>,
+    },
+    Send {
+        bus: Bus,
+        to: usize,
+        data: Arc<[f64]>,
+    },
 }
 
 struct CpeNode<S> {
@@ -133,8 +144,8 @@ struct CpeNode<S> {
     /// they are independent of thread scheduling.
     dma_seq: u64,
     stats: CpeCounters,
-    row_inbox: VecDeque<Vec<f64>>,
-    col_inbox: VecDeque<Vec<f64>>,
+    row_inbox: VecDeque<Arc<[f64]>>,
+    col_inbox: VecDeque<Arc<[f64]>>,
     events: Vec<crate::trace::Event>,
     state: S,
 }
@@ -146,8 +157,8 @@ pub struct CpeCtx<'a> {
     ldm: &'a mut Ldm,
     clock: &'a mut u64,
     stats: &'a CpeCounters,
-    row_inbox: &'a mut VecDeque<Vec<f64>>,
-    col_inbox: &'a mut VecDeque<Vec<f64>>,
+    row_inbox: &'a mut VecDeque<Arc<[f64]>>,
+    col_inbox: &'a mut VecDeque<Arc<[f64]>>,
     dma_free: &'a mut u64,
     dma_seq: &'a mut u64,
     dma: DmaEngine,
@@ -163,11 +174,13 @@ const GET_LATENCY: u64 = 4;
 
 impl CpeCtx<'_> {
     /// Linear CPE id (`row * 8 + col`).
+    #[inline]
     pub fn id(&self) -> usize {
         self.row * crate::MESH_DIM + self.col
     }
 
     /// Current CPE-local cycle.
+    #[inline]
     pub fn clock(&self) -> u64 {
         *self.clock
     }
@@ -183,12 +196,14 @@ impl CpeCtx<'_> {
     }
 
     /// Read-only view of one LDM buffer.
+    #[inline]
     pub fn ldm(&self, buf: LdmBuf) -> &[f64] {
         self.ldm.buf(buf)
     }
 
     /// Mutable view of the whole scratchpad (for inner kernels spanning
     /// several disjoint buffers).
+    #[inline]
     pub fn ldm_data_mut(&mut self) -> &mut [f64] {
         self.ldm.data_mut()
     }
@@ -311,6 +326,7 @@ impl CpeCtx<'_> {
         Ok(DmaHandle { done_at: done })
     }
 
+    #[inline]
     fn record(&mut self, kind: crate::trace::EventKind) {
         let at = *self.clock;
         if let Some(t) = self.trace.as_deref_mut() {
@@ -425,21 +441,33 @@ impl CpeCtx<'_> {
     }
 
     /// Broadcast `data` to the other 7 CPEs on this row (`vldr`-style).
-    /// Costs one P1 put per 256-bit vector.
+    /// Costs one P1 put per 256-bit vector. Copies `data` once; senders
+    /// that already hold a shared payload should use
+    /// [`Self::bcast_row_shared`] to skip even that copy.
     pub fn bcast_row(&mut self, data: &[f64]) {
-        self.charge_put(data.len());
-        self.out_msgs.push(OutMsg::Bcast {
-            bus: Bus::Row,
-            data: data.to_vec(),
-        });
+        self.bcast_row_shared(Arc::from(data));
     }
 
     /// Broadcast `data` to the other 7 CPEs on this column (`vldc`-style).
     pub fn bcast_col(&mut self, data: &[f64]) {
+        self.bcast_col_shared(Arc::from(data));
+    }
+
+    /// Zero-copy row broadcast of an already-shared payload.
+    pub fn bcast_row_shared(&mut self, data: Arc<[f64]>) {
+        self.charge_put(data.len());
+        self.out_msgs.push(OutMsg::Bcast {
+            bus: Bus::Row,
+            data,
+        });
+    }
+
+    /// Zero-copy column broadcast of an already-shared payload.
+    pub fn bcast_col_shared(&mut self, data: Arc<[f64]>) {
         self.charge_put(data.len());
         self.out_msgs.push(OutMsg::Bcast {
             bus: Bus::Col,
-            data: data.to_vec(),
+            data,
         });
     }
 
@@ -450,7 +478,7 @@ impl CpeCtx<'_> {
         self.out_msgs.push(OutMsg::Send {
             bus: Bus::Row,
             to: to_col,
-            data: data.to_vec(),
+            data: Arc::from(data),
         });
     }
 
@@ -461,10 +489,11 @@ impl CpeCtx<'_> {
         self.out_msgs.push(OutMsg::Send {
             bus: Bus::Col,
             to: to_row,
-            data: data.to_vec(),
+            data: Arc::from(data),
         });
     }
 
+    #[inline]
     fn charge_put(&mut self, doubles: usize) {
         let vectors = doubles.div_ceil(4) as u64;
         self.record(crate::trace::EventKind::BusSend { vectors });
@@ -472,28 +501,62 @@ impl CpeCtx<'_> {
         *self.clock += vectors; // one put per cycle on P1
     }
 
-    /// Receive the oldest message from the row transfer buffer.
-    pub fn recv_row(&mut self) -> Result<Vec<f64>, SimError> {
-        let msg = self.row_inbox.pop_front().ok_or(SimError::EmptyInbox {
+    #[inline]
+    fn pop_inbox(&mut self, bus: Bus) -> Result<Arc<[f64]>, SimError> {
+        let inbox = match bus {
+            Bus::Row => &mut self.row_inbox,
+            Bus::Col => &mut self.col_inbox,
+        };
+        let msg = inbox.pop_front().ok_or(SimError::EmptyInbox {
             row: self.row,
             col: self.col,
-            bus: Bus::Row,
+            bus,
         })?;
         self.charge_get(msg.len());
         Ok(msg)
+    }
+
+    /// Receive the oldest message from the row transfer buffer.
+    pub fn recv_row(&mut self) -> Result<Vec<f64>, SimError> {
+        Ok(self.pop_inbox(Bus::Row)?[..].to_vec())
     }
 
     /// Receive the oldest message from the column transfer buffer.
     pub fn recv_col(&mut self) -> Result<Vec<f64>, SimError> {
-        let msg = self.col_inbox.pop_front().ok_or(SimError::EmptyInbox {
-            row: self.row,
-            col: self.col,
-            bus: Bus::Col,
-        })?;
-        self.charge_get(msg.len());
-        Ok(msg)
+        Ok(self.pop_inbox(Bus::Col)?[..].to_vec())
     }
 
+    /// Zero-copy receive from the row transfer buffer: the returned slice
+    /// is shared with the sender and the other receivers.
+    pub fn recv_row_shared(&mut self) -> Result<Arc<[f64]>, SimError> {
+        self.pop_inbox(Bus::Row)
+    }
+
+    /// Zero-copy receive from the column transfer buffer.
+    pub fn recv_col_shared(&mut self) -> Result<Arc<[f64]>, SimError> {
+        self.pop_inbox(Bus::Col)
+    }
+
+    /// Receive from the row transfer buffer into a reusable scratch buffer
+    /// (cleared first) — allocation-free once `dst` has grown to the
+    /// steady-state message size.
+    pub fn recv_row_into(&mut self, dst: &mut Vec<f64>) -> Result<(), SimError> {
+        let msg = self.pop_inbox(Bus::Row)?;
+        dst.clear();
+        dst.extend_from_slice(&msg);
+        Ok(())
+    }
+
+    /// Receive from the column transfer buffer into a reusable scratch
+    /// buffer (cleared first).
+    pub fn recv_col_into(&mut self, dst: &mut Vec<f64>) -> Result<(), SimError> {
+        let msg = self.pop_inbox(Bus::Col)?;
+        dst.clear();
+        dst.extend_from_slice(&msg);
+        Ok(())
+    }
+
+    #[inline]
     fn charge_get(&mut self, doubles: usize) {
         let vectors = doubles.div_ceil(4) as u64;
         self.record(crate::trace::EventKind::BusRecv { vectors });
@@ -502,6 +565,7 @@ impl CpeCtx<'_> {
     }
 
     /// Charge compute cycles (priced by the `sw-isa` kernel model).
+    #[inline]
     pub fn charge_compute(&mut self, cycles: u64) {
         self.record(crate::trace::EventKind::Compute { cycles });
         self.stats.compute_cycles.add(cycles);
@@ -509,17 +573,20 @@ impl CpeCtx<'_> {
     }
 
     /// Record floating-point work.
+    #[inline]
     pub fn add_flops(&mut self, flops: u64) {
         self.stats.flops.add(flops);
     }
 
     /// Record LDM → register-file traffic of an inner kernel (Eq. 5
     /// accounting, priced by the `sw-isa` instruction model).
+    #[inline]
     pub fn add_ldm_reg_bytes(&mut self, bytes: u64) {
         self.stats.ldm_reg_bytes.add(bytes);
     }
 
     /// Record instruction issue slots consumed on each pipeline.
+    #[inline]
     pub fn add_issue_slots(&mut self, p0: u64, p1: u64) {
         self.stats.p0_issue_slots.add(p0);
         self.stats.p1_issue_slots.add(p1);
@@ -530,6 +597,61 @@ impl CpeCtx<'_> {
 /// Per-CPE outcome of one superstep: outgoing bus messages, DMA puts to
 /// main memory, and the CPE program's result.
 type StepResult = (Vec<OutMsg>, Vec<(usize, Vec<f64>)>, Result<(), SimError>);
+
+/// Execute one CPE's program for one superstep: fault checks, context
+/// construction, the program body. Shared verbatim by the parallel
+/// [`Mesh::superstep`] and the serial [`Mesh::superstep_serial`] so both
+/// charge identical cycles and key faults identically.
+fn run_node<S, F>(
+    node: &mut CpeNode<S>,
+    f: &mut F,
+    dma: DmaEngine,
+    trace_on: bool,
+    fault: Option<FaultPlan>,
+    step: u64,
+) -> StepResult
+where
+    F: FnMut(&mut CpeCtx<'_>, &mut S) -> Result<(), SimError>,
+{
+    if let Some(fp) = fault {
+        if fp.cpe_dead(node.row, node.col) {
+            let err = SimError::CpeOffline {
+                row: node.row,
+                col: node.col,
+            };
+            return (Vec::new(), Vec::new(), Err(err));
+        }
+        let id = node.row * crate::MESH_DIM + node.col;
+        let stall = fp.cpe_stall(id, step);
+        if stall > 0 {
+            node.clock += stall;
+            node.stats.fault_stall_cycles.add(stall);
+        }
+    }
+    let mut ctx = CpeCtx {
+        row: node.row,
+        col: node.col,
+        ldm: &mut node.ldm,
+        clock: &mut node.clock,
+        stats: &node.stats,
+        row_inbox: &mut node.row_inbox,
+        col_inbox: &mut node.col_inbox,
+        dma_free: &mut node.dma_free,
+        dma_seq: &mut node.dma_seq,
+        dma,
+        fault,
+        block_hint: None,
+        trace: if trace_on {
+            Some(&mut node.events)
+        } else {
+            None
+        },
+        out_msgs: Vec::new(),
+        out_puts: Vec::new(),
+    };
+    let r = f(&mut ctx, &mut node.state);
+    (ctx.out_msgs, ctx.out_puts, r)
+}
 
 pub struct Mesh<S> {
     pub chip: ChipSpec,
@@ -617,51 +739,42 @@ impl<S: Send> Mesh<S> {
         let results: Vec<StepResult> = self
             .cpes
             .par_iter_mut()
-            .map(|node| {
-                if let Some(fp) = fault {
-                    if fp.cpe_dead(node.row, node.col) {
-                        let err = SimError::CpeOffline {
-                            row: node.row,
-                            col: node.col,
-                        };
-                        return (Vec::new(), Vec::new(), Err(err));
-                    }
-                    let id = node.row * crate::MESH_DIM + node.col;
-                    let stall = fp.cpe_stall(id, step);
-                    if stall > 0 {
-                        node.clock += stall;
-                        node.stats.fault_stall_cycles.add(stall);
-                    }
-                }
-                let mut ctx = CpeCtx {
-                    row: node.row,
-                    col: node.col,
-                    ldm: &mut node.ldm,
-                    clock: &mut node.clock,
-                    stats: &node.stats,
-                    row_inbox: &mut node.row_inbox,
-                    col_inbox: &mut node.col_inbox,
-                    dma_free: &mut node.dma_free,
-                    dma_seq: &mut node.dma_seq,
-                    dma,
-                    fault,
-                    block_hint: None,
-                    trace: if trace_on {
-                        Some(&mut node.events)
-                    } else {
-                        None
-                    },
-                    out_msgs: Vec::new(),
-                    out_puts: Vec::new(),
-                };
-                let r = f(&mut ctx, &mut node.state);
-                (ctx.out_msgs, ctx.out_puts, r)
-            })
+            .map(|node| run_node(node, &mut (&f), dma, trace_on, fault, step))
             .collect();
+        self.finish_superstep(results)
+    }
 
-        // Surface the first error deterministically (lowest CPE id).
-        for (_, _, r) in &results {
-            r.clone()?;
+    /// Run one superstep with the CPE programs executed serially, in
+    /// CPE-id order, on the calling thread. Cycle accounting, fault
+    /// keying, message delivery, and the barrier are identical to
+    /// [`Self::superstep`] — the only difference is the absence of a
+    /// thread fan-out, which makes this the cheaper choice for short
+    /// supersteps (e.g. the pack/broadcast phase of a GEMM rotation)
+    /// where per-task spawn overhead would dominate. `f` may be `FnMut`
+    /// and borrow mutable host-side scratch.
+    pub fn superstep_serial<F>(&mut self, mut f: F) -> Result<(), SimError>
+    where
+        F: FnMut(&mut CpeCtx<'_>, &mut S) -> Result<(), SimError>,
+    {
+        let dma = self.dma;
+        let trace_on = self.trace_on;
+        let fault = self.fault;
+        let step = self.supersteps;
+        let results: Vec<StepResult> = self
+            .cpes
+            .iter_mut()
+            .map(|node| run_node(node, &mut f, dma, trace_on, fault, step))
+            .collect();
+        self.finish_superstep(results)
+    }
+
+    /// Deliver messages, log puts, and synchronize clocks after one
+    /// superstep's per-CPE programs have run.
+    fn finish_superstep(&mut self, results: Vec<StepResult>) -> Result<(), SimError> {
+        // Surface the first error deterministically (lowest CPE id) —
+        // by reference, so a clean superstep clones no Results.
+        if let Some(e) = results.iter().find_map(|(_, _, r)| r.as_ref().err()) {
+            return Err(e.clone());
         }
 
         // Deliver messages in CPE-id order for determinism. Each delivery
@@ -784,6 +897,17 @@ impl<S: Send> Mesh<S> {
     /// Supersteps executed.
     pub fn supersteps(&self) -> u64 {
         self.supersteps
+    }
+
+    /// Per-CPE `(row, col, clock, counters)` snapshot, in CPE-id order.
+    /// Determinism tests use this to assert that every individual CPE —
+    /// not just the aggregate — lands on identical cycles and traffic
+    /// regardless of host thread count.
+    pub fn cpe_snapshots(&self) -> Vec<(usize, usize, u64, CpeStats)> {
+        self.cpes
+            .iter()
+            .map(|c| (c.row, c.col, c.clock, c.stats.snapshot()))
+            .collect()
     }
 
     /// Check that every transfer buffer has been drained (catches plans

@@ -15,10 +15,34 @@
 //! pipeline in this workspace ends in `collect`/`for_each`, so eager
 //! evaluation is observationally equivalent.
 
+use std::cell::Cell;
 use std::ops::Range;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static MAX_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Run `f` with every `par_*` call on this thread using exactly `limit`
+/// worker threads (still capped by the item count), overriding the
+/// machine's `available_parallelism`. Determinism tests use this to pin
+/// the fan-out to 1, 4, … and assert identical simulation results; note
+/// that unlike a plain cap it *raises* the thread count on single-core
+/// hosts, so the schedules being compared are genuinely different.
+pub fn with_max_threads<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    assert!(limit > 0, "thread limit must be positive");
+    let prev = MAX_THREADS.with(|m| m.replace(Some(limit)));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.with(|m| m.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
 }
 
 /// A materialized "parallel iterator": adapters consume and rebuild it.
@@ -70,10 +94,10 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
+    let avail = std::thread::available_parallelism()
         .map(|t| t.get())
-        .unwrap_or(1)
-        .min(n);
+        .unwrap_or(1);
+    let threads = MAX_THREADS.with(|m| m.get()).unwrap_or(avail).min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -187,6 +211,19 @@ mod tests {
         assert_eq!(v[0], 0);
         assert_eq!(v[15], 1);
         assert_eq!(v[39], 3);
+    }
+
+    #[test]
+    fn with_max_threads_overrides_and_restores() {
+        let v: Vec<usize> =
+            crate::with_max_threads(4, || (0..100usize).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(v, (1..=100).collect::<Vec<_>>());
+        // Restored after the scope (including across panics via Drop).
+        assert!(super::MAX_THREADS.with(|m| m.get()).is_none());
+        let nested = crate::with_max_threads(1, || {
+            crate::with_max_threads(2, || super::MAX_THREADS.with(|m| m.get()))
+        });
+        assert_eq!(nested, Some(2));
     }
 
     #[test]

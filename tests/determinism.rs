@@ -1,0 +1,184 @@
+//! Golden-cycle determinism suite.
+//!
+//! The zero-copy messaging path, the fused pack-once rotation, and the
+//! register-tiled microkernel are host-side optimisations: they must not
+//! move *simulated* time or results by a single cycle or bit. This suite
+//! pins that down three ways:
+//!
+//! 1. **Golden digests.** One image-aware and one batch-aware plan run
+//!    against digests (cycles, DMA/bus counters, flops, an order-sensitive
+//!    checksum of the exact output bit patterns) captured from the
+//!    pre-optimisation implementation.
+//! 2. **Thread-count independence.** The same runs repeated under host
+//!    fan-outs of 1, 4, and the machine default (via
+//!    `rayon::with_max_threads`) must produce identical digests.
+//! 3. **Microkernel equivalence.** Forcing the scalar reference kernel
+//!    (`gemm_mesh::force_reference_microkernel`) must not change anything,
+//!    down to per-CPE clocks and counters.
+
+use sw_perfmodel::select::Blocking;
+use sw_perfmodel::ChipSpec;
+use sw_sim::{LdmBuf, Mesh};
+use sw_tensor::init::lattice_tensor;
+use sw_tensor::{ConvShape, Layout};
+use swdnn::plans::gemm_mesh::{self, regcomm_gemm, zero_c, GemmBlock};
+use swdnn::plans::{BatchAwarePlan, ConvPlan, ConvRun, ImageAwarePlan};
+
+#[derive(PartialEq, Eq, Debug, Clone)]
+struct RunDigest {
+    cycles: u64,
+    dma_get_bytes: u64,
+    dma_put_bytes: u64,
+    bus_vectors_sent: u64,
+    bus_vectors_received: u64,
+    flops: u64,
+    output_bits: u64,
+}
+
+/// Order-sensitive checksum over the exact bit patterns of the output.
+fn checksum(data: &[f64]) -> u64 {
+    data.iter()
+        .fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits())
+}
+
+fn digest(run: &ConvRun) -> RunDigest {
+    let t = &run.timing.stats.totals;
+    RunDigest {
+        cycles: run.timing.cycles,
+        dma_get_bytes: t.dma_get_bytes,
+        dma_put_bytes: t.dma_put_bytes,
+        bus_vectors_sent: t.bus_vectors_sent,
+        bus_vectors_received: t.bus_vectors_received,
+        flops: t.flops,
+        output_bits: checksum(run.output.data()),
+    }
+}
+
+/// Golden digests captured from the pre-zero-copy implementation (two
+/// parallel supersteps per rotation, per-receiver payload clones, scalar
+/// triple-loop microkernel). Any drift here is a simulation-fidelity bug,
+/// not a perf regression.
+fn image_golden() -> RunDigest {
+    RunDigest {
+        cycles: 82512,
+        dma_get_bytes: 368640,
+        dma_put_bytes: 65536,
+        bus_vectors_sent: 20736,
+        bus_vectors_received: 145152,
+        flops: 2359296,
+        output_bits: 8771703832349549151,
+    }
+}
+
+fn batch_golden() -> RunDigest {
+    RunDigest {
+        cycles: 114504,
+        dma_get_bytes: 172032,
+        dma_put_bytes: 16384,
+        bus_vectors_sent: 9216,
+        bus_vectors_received: 64512,
+        flops: 589824,
+        output_bits: 11020029646220698066,
+    }
+}
+
+fn image_case() -> ConvRun {
+    let shape = ConvShape::new(32, 16, 16, 2, 8, 3, 3);
+    let plan = ImageAwarePlan::new(Blocking { b_b: 32, b_co: 4 });
+    plan.supports(&shape).expect("image shape supported");
+    let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 11);
+    let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 12);
+    plan.run(&shape, &input, &filter).expect("image plan runs")
+}
+
+fn batch_case() -> ConvRun {
+    let shape = ConvShape::new(16, 16, 16, 2, 4, 3, 3);
+    let plan = BatchAwarePlan::new(2);
+    plan.supports(&shape).expect("batch shape supported");
+    let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 21);
+    let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 22);
+    plan.run(&shape, &input, &filter).expect("batch plan runs")
+}
+
+#[test]
+fn image_aware_plan_matches_golden_digest() {
+    assert_eq!(digest(&image_case()), image_golden());
+}
+
+#[test]
+fn batch_aware_plan_matches_golden_digest() {
+    assert_eq!(digest(&batch_case()), batch_golden());
+}
+
+#[test]
+fn digests_are_identical_across_host_thread_counts() {
+    for threads in [1usize, 4] {
+        let (img, bat) = rayon::with_max_threads(threads, || (image_case(), batch_case()));
+        assert_eq!(digest(&img), image_golden(), "image @ {threads} threads");
+        assert_eq!(digest(&bat), batch_golden(), "batch @ {threads} threads");
+    }
+    // Machine default (whatever available_parallelism says).
+    assert_eq!(digest(&image_case()), image_golden());
+    assert_eq!(digest(&batch_case()), batch_golden());
+}
+
+#[test]
+fn reference_microkernel_matches_golden_digest() {
+    // The tiled and scalar kernels accumulate in the same order, so the
+    // flag must be invisible in every digest field.
+    gemm_mesh::force_reference_microkernel(true);
+    let d = (digest(&image_case()), digest(&batch_case()));
+    gemm_mesh::force_reference_microkernel(false);
+    assert_eq!(d.0, image_golden());
+    assert_eq!(d.1, batch_golden());
+}
+
+/// Per-CPE state for the direct mesh-level GEMM below.
+struct St {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: LdmBuf,
+}
+
+/// Run one raw register-communication GEMM and snapshot every CPE.
+fn mesh_gemm_snapshots() -> Vec<(usize, usize, u64, sw_sim::CpeStats)> {
+    let (m8, n8, k8) = (4usize, 8usize, 4usize);
+    let mut mesh = Mesh::new(ChipSpec::sw26010(), |row, col| St {
+        a: (0..k8 * m8)
+            .map(|i| ((row * 131 + col * 17 + i * 7) % 23) as f64 - 11.0)
+            .collect(),
+        b: (0..k8 * n8)
+            .map(|i| ((row * 19 + col * 113 + i * 5) % 29) as f64 - 14.0)
+            .collect(),
+        c: LdmBuf { offset: 0, len: 0 },
+    });
+    mesh.superstep(|ctx, s| {
+        s.c = ctx.ldm_alloc(m8 * n8)?;
+        Ok(())
+    })
+    .unwrap();
+    zero_c(&mut mesh, |s: &St| s.c).unwrap();
+    regcomm_gemm(
+        &mut mesh,
+        GemmBlock::dense(m8, n8, k8, true),
+        |_, s: &St, dst: &mut Vec<f64>| dst.extend_from_slice(&s.a),
+        |_, s: &St, dst: &mut Vec<f64>| dst.extend_from_slice(&s.b),
+        |s| (s.c, 0),
+    )
+    .unwrap();
+    mesh.assert_inboxes_empty().unwrap();
+    mesh.cpe_snapshots()
+}
+
+#[test]
+fn per_cpe_clocks_and_counters_are_thread_count_invariant() {
+    // Not just the aggregate: every individual CPE's clock and counters
+    // must be identical whichever host schedule executed it.
+    let baseline = rayon::with_max_threads(1, mesh_gemm_snapshots);
+    assert_eq!(baseline.len(), 64);
+    for threads in [4usize, 8] {
+        let got = rayon::with_max_threads(threads, mesh_gemm_snapshots);
+        assert_eq!(got, baseline, "per-CPE snapshots @ {threads} threads");
+    }
+    assert_eq!(mesh_gemm_snapshots(), baseline, "machine-default threads");
+}

@@ -128,6 +128,15 @@ fn committed_baseline_is_wellformed_and_self_consistent() {
         sw_bench::serve_load::SERVE_REPORT_CONFIG,
         sw_bench::serve_load::SERVE_REPORT_PLAN
     ));
+    // perf_snapshot appends one host wall-clock row for conv_256 (see
+    // sim_throughput::measure_conv); its plan name is prefixed to keep
+    // snapshot keys unique.
+    let (host_shape, host_kind) = sw_bench::configs::conv_256();
+    assert_eq!(host_kind, PlanKind::BatchSizeAware);
+    keys.push(format!(
+        "{host_shape} / {}batch_size_aware",
+        sw_bench::sim_throughput::PLAN_PREFIX
+    ));
     assert_eq!(
         base.reports.iter().map(PerfReport::key).collect::<Vec<_>>(),
         keys,
