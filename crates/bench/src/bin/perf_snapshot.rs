@@ -127,6 +127,9 @@ fn finish(report: sw_obs::CompareReport) -> ! {
 }
 
 fn main() {
+    // The conv_256 host row times simulation work on the shared pool;
+    // prewarm so no measurement pays thread start-up.
+    sw_runtime::global().prewarm();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None => {

@@ -23,6 +23,11 @@ fn main() {
     let rounds = if smoke { SNAPSHOT_ROUNDS } else { 12 };
     let cfg = serve_config();
 
+    // One shared worker pool serves every batch; spawn it before the
+    // scenario so warmup timing excludes thread start-up.
+    sw_runtime::global().prewarm();
+    println!("threads: {}", sw_runtime::thread_policy());
+
     println!(
         "closed-loop serving: {} shapes x {} rounds, batch cap {}, deadline {} us, queue limit {}",
         serve_shapes().len(),

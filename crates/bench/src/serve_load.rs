@@ -111,6 +111,58 @@ pub fn run_scenario(rounds: usize) -> Result<LoadReport, SwdnnError> {
 /// Rounds used by the BENCH_PERF snapshot row and `serve_bench --smoke`.
 pub const SNAPSHOT_ROUNDS: usize = 3;
 
+/// Hard SLO floor on serving throughput: requests completed per host
+/// wall-clock second over the whole scenario (warmup + measured window +
+/// overload). The dev-box figure is an order of magnitude above this; the
+/// floor is set low enough that shared-CI scheduling noise cannot trip it
+/// while still catching any order-of-magnitude host-path regression
+/// (e.g. losing plan-cache reuse or re-simulating per request).
+pub const SLO_MIN_REQS_PER_HOST_SEC: f64 = 25.0;
+
+/// Hard SLO ceiling on the measured window's p99 latency, in simulated µs.
+/// The scenario runs on a logical clock, so this number is exactly
+/// reproducible (currently 1,297,512 µs); the ceiling sits just above it
+/// and fails on *any* scheduling or batching change that pushes tail
+/// latency up, machine-independently.
+pub const SLO_MAX_P99_US: u64 = 1_300_000;
+
+/// Evaluate the serve row of a sim_throughput snapshot against the hard
+/// serving SLOs ([`SLO_MIN_REQS_PER_HOST_SEC`], [`SLO_MAX_P99_US`]).
+/// Returns the human-readable SLO line on pass and a violation
+/// description on failure.
+pub fn check_serve_slo(row: &PerfReport) -> Result<String, String> {
+    let counter = |name: &str| {
+        row.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    };
+    let served = counter("served").ok_or("serve row has no `served` counter")?;
+    let p99_us = counter("p99_latency_us").ok_or("serve row has no `p99_latency_us` counter")?;
+    let host = row
+        .host
+        .ok_or("serve row has no host block (SLO gate needs host_secs)")?;
+    if host.host_secs <= 0.0 {
+        return Err(format!("non-positive host_secs {}", host.host_secs));
+    }
+    let rps = served as f64 / host.host_secs;
+    let line = format!(
+        "serve SLO: {rps:.1} req/host-s (floor {SLO_MIN_REQS_PER_HOST_SEC}), \
+         p99 {p99_us} us (ceiling {SLO_MAX_P99_US})"
+    );
+    if rps < SLO_MIN_REQS_PER_HOST_SEC {
+        return Err(format!(
+            "{line} — throughput below floor: {rps:.1} < {SLO_MIN_REQS_PER_HOST_SEC}"
+        ));
+    }
+    if p99_us > SLO_MAX_P99_US {
+        return Err(format!(
+            "{line} — p99 above ceiling: {p99_us} > {SLO_MAX_P99_US}"
+        ));
+    }
+    Ok(line)
+}
+
 /// Stable `PerfReport::key()` of the serving row in BENCH_PERF.
 pub const SERVE_REPORT_CONFIG: &str = "serve closed-loop (3 shapes)";
 pub const SERVE_REPORT_PLAN: &str = "sharded_serve";
@@ -186,6 +238,39 @@ mod tests {
         assert_eq!(a.busy_cycles, b.busy_cycles);
         assert_eq!(a.summary.p99_latency_us, b.summary.p99_latency_us);
         assert_eq!(serve_perf_report(&a), serve_perf_report(&b));
+    }
+
+    #[test]
+    fn slo_gate_accepts_the_scenario_and_rejects_violations() {
+        let rep = run_scenario(SNAPSHOT_ROUNDS).unwrap();
+        let mut row = serve_perf_report(&rep);
+        assert!(
+            check_serve_slo(&row).is_err(),
+            "a row without a host block must not pass the gate"
+        );
+        // 72 served requests in one host second: comfortably above the floor.
+        row.host = Some(sw_obs::HostPerf {
+            host_secs: 1.0,
+            sim_gflops_per_host_sec: 0.0,
+        });
+        check_serve_slo(&row).expect("healthy run passes");
+        // Same simulated numbers, pathological host time: below the floor.
+        row.host = Some(sw_obs::HostPerf {
+            host_secs: 100.0,
+            sim_gflops_per_host_sec: 0.0,
+        });
+        assert!(check_serve_slo(&row).is_err(), "0.72 req/s must fail");
+        // Tail-latency ceiling is exact and machine-independent.
+        row.host = Some(sw_obs::HostPerf {
+            host_secs: 1.0,
+            sim_gflops_per_host_sec: 0.0,
+        });
+        for c in row.counters.iter_mut() {
+            if c.0 == "p99_latency_us" {
+                c.1 = SLO_MAX_P99_US + 1;
+            }
+        }
+        assert!(check_serve_slo(&row).is_err(), "p99 over ceiling must fail");
     }
 
     #[test]

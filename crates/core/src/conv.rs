@@ -16,6 +16,8 @@ pub struct Conv2d {
     pub forced: Option<PlanKind>,
     /// Fault-injection plan threaded into every mesh the plans build.
     pub fault: Option<sw_sim::FaultPlan>,
+    /// Execution context every mesh this operator builds runs on.
+    pub rt: &'static sw_runtime::ExecutionContext,
 }
 
 impl Conv2d {
@@ -31,7 +33,15 @@ impl Conv2d {
             chip: ChipSpec::sw26010(),
             forced: None,
             fault: None,
+            rt: sw_runtime::global(),
         })
+    }
+
+    /// Run every simulated mesh on an explicit [`sw_runtime::ExecutionContext`]
+    /// instead of the process-wide pool.
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.rt = rt;
+        self
     }
 
     pub fn with_plan(mut self, kind: PlanKind) -> Self {
@@ -87,7 +97,8 @@ impl Conv2d {
                     .unwrap_or_else(|| self.fallback_blocking());
                 let plan = ImageAwarePlan::new(blocking)
                     .on_chip(self.chip)
-                    .with_fault(self.fault);
+                    .with_fault(self.fault)
+                    .on_runtime(self.rt);
                 if plan.supports(&self.shape).is_ok() {
                     return Box::new(plan);
                 }
@@ -101,7 +112,8 @@ impl Conv2d {
                     }
                     let base = ImageAwarePlan::new(sw_perfmodel::Blocking { b_b: 32, b_co })
                         .on_chip(self.chip)
-                        .with_fault(self.fault);
+                        .with_fault(self.fault)
+                        .on_runtime(self.rt);
                     let mut b_ni = self.shape.ni;
                     while b_ni >= 8 {
                         if self.shape.ni.is_multiple_of(b_ni) && b_ni.is_multiple_of(8) {
@@ -115,10 +127,15 @@ impl Conv2d {
                 }
                 Box::new(plan)
             }
-            PlanKind::BatchSizeAware => {
-                Box::new(BatchAwarePlan::auto_on(self.chip, &self.shape).with_fault(self.fault))
-            }
-            PlanKind::DirectGload => Box::new(DirectPlan { chip: self.chip }),
+            PlanKind::BatchSizeAware => Box::new(
+                BatchAwarePlan::auto_on(self.chip, &self.shape)
+                    .with_fault(self.fault)
+                    .on_runtime(self.rt),
+            ),
+            PlanKind::DirectGload => Box::new(DirectPlan {
+                chip: self.chip,
+                rt: self.rt,
+            }),
         }
     }
 
@@ -224,6 +241,7 @@ impl Conv2d {
             chip: self.chip,
             forced: self.forced,
             fault: self.fault,
+            rt: self.rt,
         };
         bwd_conv.forward(&padded, &flipped)
     }

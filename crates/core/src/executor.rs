@@ -11,7 +11,7 @@ use crate::conv::Conv2d;
 use crate::error::SwdnnError;
 use crate::plans::PlanTiming;
 use sw_perfmodel::{Blocking, ChipSpec, ConvPerfModel, PerfEstimate, PlanKind};
-use sw_sim::run_multi_cg;
+use sw_sim::run_multi_cg_on;
 use sw_tensor::ConvShape;
 
 /// Everything measured and modeled for one configuration.
@@ -84,21 +84,39 @@ impl ConvReport {
 }
 
 /// Runs configurations on the simulated chip.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct Executor {
     pub chip: ChipSpec,
+    /// Execution context every simulation this executor launches runs on.
+    pub rt: &'static sw_runtime::ExecutionContext,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self {
+            chip: ChipSpec::default(),
+            rt: sw_runtime::global(),
+        }
+    }
 }
 
 impl Executor {
     pub fn new() -> Self {
         Self {
             chip: ChipSpec::sw26010(),
+            rt: sw_runtime::global(),
         }
+    }
+
+    /// Run every simulation on an explicit [`sw_runtime::ExecutionContext`].
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.rt = rt;
+        self
     }
 
     /// Measure one configuration on one core group (sampled timing).
     pub fn run_config(&self, shape: &ConvShape) -> Result<ConvReport, SwdnnError> {
-        let conv = Conv2d::new(*shape)?;
+        let conv = Conv2d::new(*shape)?.on_runtime(self.rt);
         let plan = conv.plan();
         let timing = plan.time_full_shape(shape)?;
         self.report(
@@ -116,7 +134,7 @@ impl Executor {
         shape: &ConvShape,
         kind: PlanKind,
     ) -> Result<ConvReport, SwdnnError> {
-        let conv = Conv2d::new(*shape)?.with_plan(kind);
+        let conv = Conv2d::new(*shape)?.with_plan(kind).on_runtime(self.rt);
         let plan = conv.plan();
         plan.supports(shape)?;
         let timing = plan.time_full_shape(shape)?;
@@ -198,10 +216,10 @@ impl Executor {
             ro: shape.ro / cgs,
             ..*shape
         };
-        let conv = Conv2d::new(slice)?;
+        let conv = Conv2d::new(slice)?.on_runtime(self.rt);
         let plan = conv.plan();
         let timing = plan.time_full_shape(&slice)?;
-        let rep = run_multi_cg(cgs, |_| timing.stats);
+        let (rep, _) = run_multi_cg_on(self.rt, cgs, |_| (timing.stats, ()));
         let gflops =
             shape.flops() as f64 / (rep.wall_cycles as f64 / (self.chip.clock_ghz * 1e9)) / 1e9;
         Ok(MultiCgConvReport {

@@ -20,7 +20,7 @@
 //! `b ∈ chunk_j`; filters `no ∈ chunk_i`, `ni ∈ chunk_j`; outputs
 //! `no ∈ chunk_i`, `b ∈ chunk_j`.
 
-use super::gemm_mesh::{regcomm_gemm_with, zero_c, GemmBlock, GemmScratch};
+use super::gemm_mesh::{lease_scratch, regcomm_gemm_with, zero_c, GemmBlock};
 use super::{extrapolate, ConvPlan, ConvRun, PlanTiming};
 use crate::error::SwdnnError;
 use crate::plans::PlanKind;
@@ -37,6 +37,8 @@ pub struct BatchAwarePlan {
     pub reordered_kernel: bool,
     /// Fault-injection plan applied to the mesh this plan runs on.
     pub fault: Option<sw_sim::FaultPlan>,
+    /// Execution context the simulated mesh runs on.
+    pub rt: &'static sw_runtime::ExecutionContext,
 }
 
 impl BatchAwarePlan {
@@ -46,6 +48,7 @@ impl BatchAwarePlan {
             b_co,
             reordered_kernel: true,
             fault: None,
+            rt: sw_runtime::global(),
         }
     }
 
@@ -60,10 +63,8 @@ impl BatchAwarePlan {
         while b_co > 1 {
             if shape.co.is_multiple_of(b_co) {
                 let plan = Self {
-                    chip,
                     b_co,
-                    reordered_kernel: true,
-                    fault: None,
+                    ..Self::new(b_co).on_chip(chip)
                 };
                 if plan.ldm_doubles(shape) <= chip.ldm_doubles() {
                     return plan;
@@ -71,17 +72,24 @@ impl BatchAwarePlan {
             }
             b_co /= 2;
         }
-        Self {
-            chip,
-            b_co: 1,
-            reordered_kernel: true,
-            fault: None,
-        }
+        Self::new(1).on_chip(chip)
+    }
+
+    /// Run on a different (e.g. degraded) chip.
+    pub fn on_chip(mut self, chip: ChipSpec) -> Self {
+        self.chip = chip;
+        self
     }
 
     /// Inject faults into the mesh this plan runs on.
     pub fn with_fault(mut self, fault: Option<sw_sim::FaultPlan>) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Run the simulated mesh on an explicit execution context.
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.rt = rt;
         self
     }
 
@@ -181,7 +189,7 @@ impl ConvPlan for BatchAwarePlan {
         }
 
         let mut output = Tensor4::zeros(shape.output_shape(), Layout::BatchAware);
-        let mut mesh: Mesh<Slot> = Mesh::new(self.chip, |_, _| Slot {
+        let mut mesh: Mesh<Slot> = Mesh::new_on(self.rt, self.chip, |_, _| Slot {
             di: [LdmBuf { offset: 0, len: 0 }; 2],
             w: LdmBuf { offset: 0, len: 0 },
             c: LdmBuf { offset: 0, len: 0 },
@@ -219,8 +227,9 @@ impl ConvPlan for BatchAwarePlan {
             Ok(())
         };
 
-        // One pack/payload arena reused by every GEMM rotation below.
-        let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+        // One pack/payload arena reused by every GEMM rotation below, leased
+        // from the execution context across runs.
+        let mut scratch = lease_scratch(self.rt, mesh.chip.mesh_dim);
 
         for tile_c in 0..co_n / b_co {
             let co0 = tile_c * b_co;

@@ -23,7 +23,7 @@
 //! `r` and `x` blocks along columns from row `r`, exactly the Fig. 3
 //! pattern with the reduction running over pixels instead of channels.
 
-use super::gemm_mesh::{regcomm_gemm_with, zero_c, GemmBlock, GemmScratch};
+use super::gemm_mesh::{lease_scratch, regcomm_gemm_with, zero_c, GemmBlock};
 use super::{extrapolate, PlanTiming};
 use crate::error::SwdnnError;
 use sw_perfmodel::ChipSpec;
@@ -39,6 +39,8 @@ pub struct BwdFilterPlan {
     /// Output-column block.
     pub b_co: usize,
     pub reordered_kernel: bool,
+    /// Execution context the simulated mesh runs on.
+    pub rt: &'static sw_runtime::ExecutionContext,
 }
 
 struct Slot {
@@ -56,7 +58,14 @@ impl BwdFilterPlan {
             b_b,
             b_co,
             reordered_kernel: true,
+            rt: sw_runtime::global(),
         }
+    }
+
+    /// Run the simulated mesh on an explicit execution context.
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.rt = rt;
+        self
     }
 
     /// Largest default blocking that fits the paper-scale shapes.
@@ -142,7 +151,7 @@ impl BwdFilterPlan {
         // Global accumulation buffer ordered [(kr*Kc+kc)][no][ni].
         let mut dw_flat = vec![0.0f64; kr_n * kc_n * no * ni];
 
-        let mut mesh: Mesh<Slot> = Mesh::new(self.chip, |_, _| Slot {
+        let mut mesh: Mesh<Slot> = Mesh::new_on(self.rt, self.chip, |_, _| Slot {
             g: [LdmBuf { offset: 0, len: 0 }; 2],
             x: [LdmBuf { offset: 0, len: 0 }; 2],
             c: LdmBuf { offset: 0, len: 0 },
@@ -160,8 +169,9 @@ impl BwdFilterPlan {
         })?;
         zero_c(&mut mesh, |s: &Slot| s.c)?;
 
-        // One pack/payload arena reused by every GEMM rotation below.
-        let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+        // One pack/payload arena reused by every GEMM rotation below, leased
+        // from the execution context across runs.
+        let mut scratch = lease_scratch(self.rt, mesh.chip.mesh_dim);
 
         // Pixel tiles: (batch block, output row, column block).
         let tiles: Vec<(usize, usize, usize)> = (0..shape.batch / b_b)

@@ -24,9 +24,20 @@ pub fn gload_cycles(chip: &ChipSpec) -> u64 {
 }
 
 /// The direct-gload convolution.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct DirectPlan {
     pub chip: ChipSpec,
+    /// Execution context the simulated mesh runs on.
+    pub rt: &'static sw_runtime::ExecutionContext,
+}
+
+impl Default for DirectPlan {
+    fn default() -> Self {
+        Self {
+            chip: ChipSpec::default(),
+            rt: sw_runtime::global(),
+        }
+    }
 }
 
 impl DirectPlan {
@@ -89,7 +100,8 @@ impl ConvPlan for DirectPlan {
         let g = gload_cycles(&self.chip);
 
         let mut output = Tensor4::zeros(shape.output_shape(), Layout::Nchw);
-        let mut mesh: Mesh<LdmBuf> = Mesh::new(self.chip, |_, _| LdmBuf { offset: 0, len: 0 });
+        let mut mesh: Mesh<LdmBuf> =
+            Mesh::new_on(self.rt, self.chip, |_, _| LdmBuf { offset: 0, len: 0 });
         mesh.superstep(|ctx, buf| {
             *buf = ctx.ldm_alloc(1)?;
             Ok(())

@@ -104,6 +104,19 @@ impl GemmScratch {
     }
 }
 
+/// Lease a [`GemmScratch`] for a `dim`×`dim` mesh from the execution
+/// context's scratch arena. The lease hands the (grown) buffers back on
+/// drop, so repeated plan runs — benches, the serving warm path — reuse
+/// one arena per mesh dimension instead of reallocating per run. Stale
+/// payload `Arc`s from a previous lease are harmless: every rotation
+/// round overwrites `a_own`/`b_own` before phase 2 reads them.
+pub fn lease_scratch(
+    rt: &'static sw_runtime::ExecutionContext,
+    dim: usize,
+) -> sw_runtime::ScratchLease<'static, GemmScratch> {
+    rt.scratch(dim, || GemmScratch::new(dim))
+}
+
 /// Force every subsequent GEMM to use the scalar reference microkernel
 /// (for A/B-testing the register-tiled kernel; both produce bit-identical
 /// output). The `SWDNN_SCALAR_KERNEL` environment variable (any value but
@@ -129,8 +142,9 @@ static FORCE_REFERENCE: AtomicBool = AtomicBool::new(false);
 /// stride `blk.c_stride` (`c[off + m*c_stride + n]`).
 ///
 /// Each pack closure is invoked exactly once per broadcaster per rotation
-/// round. Convenience wrapper over [`regcomm_gemm_with`] that allocates a
-/// fresh [`GemmScratch`]; plans issuing many GEMMs should hold their own.
+/// round. Convenience wrapper over [`regcomm_gemm_with`] that leases a
+/// [`GemmScratch`] from the mesh's execution context; plans issuing many
+/// GEMMs should hold a lease across the whole run.
 pub fn regcomm_gemm<S, FA, FB, FC>(
     mesh: &mut Mesh<S>,
     blk: GemmBlock,
@@ -144,7 +158,7 @@ where
     FB: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
     FC: Fn(&S) -> (LdmBuf, usize) + Sync,
 {
-    let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+    let mut scratch = lease_scratch(mesh.runtime(), mesh.chip.mesh_dim);
     regcomm_gemm_with(mesh, blk, &mut scratch, pack_a, pack_b, c_buf)
 }
 

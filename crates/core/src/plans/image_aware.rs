@@ -27,7 +27,7 @@
 //! * filters: `no ∈ chunk_i`, `ni ∈ chunk_j`;
 //! * output: `no ∈ chunk_i`, pixels `∈ chunk_j`.
 
-use super::gemm_mesh::{regcomm_gemm_with, zero_c, GemmBlock, GemmScratch};
+use super::gemm_mesh::{lease_scratch, regcomm_gemm_with, zero_c, GemmBlock};
 use super::{extrapolate, ConvPlan, ConvRun, PlanTiming};
 use crate::error::SwdnnError;
 use crate::plans::PlanKind;
@@ -53,6 +53,8 @@ pub struct ImageAwarePlan {
     pub double_buffer: bool,
     /// Fault-injection plan applied to the mesh this plan runs on.
     pub fault: Option<sw_sim::FaultPlan>,
+    /// Execution context the simulated mesh runs on.
+    pub rt: &'static sw_runtime::ExecutionContext,
 }
 
 impl ImageAwarePlan {
@@ -64,6 +66,7 @@ impl ImageAwarePlan {
             reordered_kernel: true,
             double_buffer: true,
             fault: None,
+            rt: sw_runtime::global(),
         }
     }
 
@@ -87,6 +90,12 @@ impl ImageAwarePlan {
     /// Inject faults into the mesh this plan runs on.
     pub fn with_fault(mut self, fault: Option<sw_sim::FaultPlan>) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Run the simulated mesh on an explicit execution context.
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.rt = rt;
         self
     }
 
@@ -224,7 +233,7 @@ impl ConvPlan for ImageAwarePlan {
         }
 
         let mut output = Tensor4::zeros(shape.output_shape(), Layout::ImageAware);
-        let mut mesh: Mesh<Slot> = Mesh::new(self.chip, |_, _| Slot {
+        let mut mesh: Mesh<Slot> = Mesh::new_on(self.rt, self.chip, |_, _| Slot {
             di: [LdmBuf { offset: 0, len: 0 }; 2],
             w: [LdmBuf { offset: 0, len: 0 }; 2],
             c: LdmBuf { offset: 0, len: 0 },
@@ -248,8 +257,10 @@ impl ConvPlan for ImageAwarePlan {
             Ok(())
         })?;
 
-        // One pack/payload arena reused by every GEMM rotation below.
-        let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
+        // One pack/payload arena reused by every GEMM rotation below, leased
+        // from the execution context so repeated runs (benches, serving)
+        // skip the allocations entirely.
+        let mut scratch = lease_scratch(self.rt, mesh.chip.mesh_dim);
 
         for tile_b in 0..shape.batch / b_b {
             for r_o in 0..ro {

@@ -91,6 +91,9 @@ pub struct ResilientExecutor {
     /// Walk the plan-fallback chain on persistent failure. Disable to make
     /// exhaustion surface as [`SwdnnError::FaultExhausted`].
     pub allow_fallback: bool,
+    /// Execution context every simulated mesh (including retries and the
+    /// degraded re-run) executes on.
+    pub rt: &'static sw_runtime::ExecutionContext,
 }
 
 impl Default for ResilientExecutor {
@@ -107,7 +110,14 @@ impl ResilientExecutor {
             max_retries: 3,
             verify: VerifyPolicy::Off,
             allow_fallback: true,
+            rt: sw_runtime::global(),
         }
+    }
+
+    /// Run every simulation on an explicit [`sw_runtime::ExecutionContext`].
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.rt = rt;
+        self
     }
 
     pub fn on_chip(mut self, chip: ChipSpec) -> Self {
@@ -226,11 +236,16 @@ impl ResilientExecutor {
         let make =
             |cand: Cand, fault: Option<FaultPlan>| -> Result<Box<dyn ConvPlan>, SwdnnError> {
                 Ok(match cand {
-                    Cand::Model => Conv2d::new(*shape)?.on_chip(chip).with_fault(fault).plan(),
+                    Cand::Model => Conv2d::new(*shape)?
+                        .on_chip(chip)
+                        .with_fault(fault)
+                        .on_runtime(self.rt)
+                        .plan(),
                     Cand::Forced(k) => Conv2d::new(*shape)?
                         .on_chip(chip)
                         .with_fault(fault)
                         .with_plan(k)
+                        .on_runtime(self.rt)
                         .plan(),
                     Cand::Reference => Box::new(ReferencePlan { chip }),
                 })

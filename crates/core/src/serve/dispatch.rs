@@ -2,9 +2,10 @@
 //!
 //! The paper partitions output images along the row dimension and gives
 //! each of the SW26010's four CGs one slice; the serving engine reuses that
-//! scheme per *batch*: every request's convolution is row-split into
-//! `cgs` slices executed through the rayon pool ([`sw_sim::run_multi_cg_with`]),
-//! and the batch's requests stream back-to-back so the fixed kernel-launch
+//! scheme per *batch*: every request's convolution is row-split into `cgs`
+//! slices executed on one shared [`sw_runtime::ExecutionContext`]
+//! ([`sw_sim::run_multi_cg_on`]) — no per-request thread fan-out — and the
+//! batch's requests stream back-to-back so the fixed kernel-launch
 //! overhead amortizes over the whole batch instead of being paid per
 //! request.
 //!
@@ -24,7 +25,7 @@ use crate::conv::Conv2d;
 use crate::error::SwdnnError;
 use sw_perfmodel::{ChipSpec, PlanKind};
 use sw_sim::chip::LAUNCH_OVERHEAD_CYCLES;
-use sw_sim::run_multi_cg_with;
+use sw_sim::run_multi_cg_on;
 use sw_tensor::{ConvShape, Layout, Tensor4};
 
 /// Splits convolutions across core groups.
@@ -33,6 +34,9 @@ pub struct ShardedDispatcher {
     pub chip: ChipSpec,
     /// Core groups to shard over (1..=chip.core_groups).
     pub cgs: usize,
+    /// Execution context shared by every batch this dispatcher runs: the
+    /// per-CG slices of all requests execute on this one worker pool.
+    pub rt: &'static sw_runtime::ExecutionContext,
 }
 
 /// Timing of one dispatched batch.
@@ -68,7 +72,17 @@ impl ShardedDispatcher {
                 got: format!("{cgs} core groups"),
             });
         }
-        Ok(Self { chip, cgs })
+        Ok(Self {
+            chip,
+            cgs,
+            rt: sw_runtime::global(),
+        })
+    }
+
+    /// Run every batch on an explicit [`sw_runtime::ExecutionContext`].
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.rt = rt;
+        self
     }
 
     /// The per-CG slice of `shape`: same batch/channels, `ro / cgs` output
@@ -97,7 +111,7 @@ impl ShardedDispatcher {
         forced: Option<PlanKind>,
     ) -> Result<BatchTiming, SwdnnError> {
         let slice = self.slice_shape(shape)?;
-        let cached = cache.plan(&self.chip, &slice, forced)?;
+        let cached = cache.plan_on(self.rt, &self.chip, &slice, forced)?;
         let n = requests as u64;
         // Each request's slices run concurrently across CGs (wall = slice
         // cycles); requests within the batch run back-to-back; the MPE
@@ -137,7 +151,7 @@ impl ShardedDispatcher {
         }
         let sro = slice.ro;
         let sri = slice.ri();
-        let results = run_multi_cg_with(self.cgs, |g| {
+        let results = run_multi_cg_on(self.rt, self.cgs, |g| {
             let row0 = g * sro;
             // Copy this CG's input rows (slice + halo) into a dense slice
             // tensor — the private per-CG memory segment of §III-D.
@@ -151,8 +165,11 @@ impl ShardedDispatcher {
                     }
                 }
             }
-            let run = Conv2d::new(slice)
-                .and_then(|conv| conv.on_chip(self.chip).forward(&sliced, filter));
+            let run = Conv2d::new(slice).and_then(|conv| {
+                conv.on_chip(self.chip)
+                    .on_runtime(self.rt)
+                    .forward(&sliced, filter)
+            });
             match run {
                 Ok(run) => (run.timing.stats, Ok((g, run.output))),
                 Err(e) => (sw_sim::CgStats::default(), Err(e)),

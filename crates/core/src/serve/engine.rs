@@ -124,6 +124,14 @@ impl ServeEngine {
         })
     }
 
+    /// Run every dispatched batch (and the warmup simulations behind the
+    /// plan cache) on an explicit [`sw_runtime::ExecutionContext`] instead
+    /// of the process-wide pool.
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.dispatcher = self.dispatcher.on_runtime(rt);
+        self
+    }
+
     pub fn now_us(&self) -> u64 {
         self.clock_us
     }

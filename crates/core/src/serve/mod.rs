@@ -13,8 +13,9 @@
 //!   cap or deadline, with a bounded queue that rejects
 //!   ([`crate::SwdnnError::Overloaded`]) instead of growing;
 //! * [`ShardedDispatcher`] — splits each batch across the simulated core
-//!   groups per §III-D's row partitioning (through the rayon pool via
-//!   [`sw_sim::run_multi_cg_with`]), amortizing the kernel-launch
+//!   groups per §III-D's row partitioning (on one shared
+//!   [`sw_runtime::ExecutionContext`] via [`sw_sim::run_multi_cg_on`] —
+//!   no per-request thread fan-out), amortizing the kernel-launch
 //!   overhead over the batch;
 //! * [`ServeEngine`] — the deterministic closed loop driving all three
 //!   under a logical clock of simulated microseconds, reporting

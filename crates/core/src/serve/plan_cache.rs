@@ -86,12 +86,24 @@ impl PlanCache {
         shape: &ConvShape,
         forced: Option<PlanKind>,
     ) -> Result<Arc<CachedPlan>, SwdnnError> {
+        self.plan_on(sw_runtime::global(), chip, shape, forced)
+    }
+
+    /// [`PlanCache::plan`] with the warmup simulation pinned to an explicit
+    /// execution context (the dispatcher passes its shared pool here).
+    pub fn plan_on(
+        &self,
+        rt: &'static sw_runtime::ExecutionContext,
+        chip: &ChipSpec,
+        shape: &ConvShape,
+        forced: Option<PlanKind>,
+    ) -> Result<Arc<CachedPlan>, SwdnnError> {
         let key = PlanKey {
             shape: *shape,
             forced,
         };
         self.plans.get_or_insert_with(&key, || {
-            let mut conv = Conv2d::new(*shape)?.on_chip(*chip);
+            let mut conv = Conv2d::new(*shape)?.on_chip(*chip).on_runtime(rt);
             if let Some(kind) = forced {
                 conv = conv.with_plan(kind);
             }

@@ -59,7 +59,8 @@ pub fn autotune(shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
 }
 
 /// Enumerate and time every feasible plan for `shape` on an explicit chip
-/// (e.g. the degraded 4×4 mesh [`crate::resilient::degraded_chip`] builds).
+/// (e.g. the degraded 4×4 mesh
+/// [`crate::resilient::ResilientExecutor::degraded_chip`] builds).
 pub fn autotune_on(chip: &ChipSpec, shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
     let mut candidates: Vec<Candidate> = Vec::new();
 

@@ -1,6 +1,7 @@
 //! Monotonic counters on relaxed atomics.
 //!
-//! The simulator's per-CPE closures run under rayon; a counter bumped from
+//! The simulator's per-CPE closures run on a worker pool; a counter bumped
+//! from
 //! several threads must produce the same total regardless of scheduling.
 //! `fetch_add(Relaxed)` gives exactly that: addition is commutative and
 //! associative, so the final value is schedule-independent even though no

@@ -7,7 +7,7 @@
 //! one-off table:
 //!
 //! * [`counter`] — monotonic counters on relaxed atomics, safe to bump from
-//!   the rayon-parallel CPE closures of the simulator without any ordering
+//!   the pool-parallel CPE closures of the simulator without any ordering
 //!   dependence on thread scheduling;
 //! * [`level`] — the three paper levels and the mapping every counter
 //!   declares onto them;

@@ -1,0 +1,720 @@
+//! The persistent runtime layer: a worker pool spawned once per
+//! [`ExecutionContext`] and reused by every parallel region in the
+//! workspace — mesh supersteps, multi-CG fan-outs, bench sweeps — instead
+//! of paying a fresh scoped-thread spawn per superstep.
+//!
+//! # Handoff protocol
+//!
+//! Work arrives as a *job*: a closure plus a number of `slots` (the
+//! deterministic chunks of the old `shims/rayon` partitioning —
+//! `chunk = n.div_ceil(threads)`, chunks in index order). The posting
+//! thread pushes the job onto a queue guarded by one mutex, wakes the
+//! workers through a condvar, and then participates itself: caller and
+//! workers race to claim slot indices from an atomic counter until the
+//! job is exhausted. The caller blocks until every claimed slot has
+//! *finished* (not merely been claimed), so the job's closure — borrowed
+//! from the caller's stack — provably outlives all uses.
+//!
+//! # Determinism
+//!
+//! The pool changes *who* runs a slot, never *what* the slots are: slot
+//! boundaries depend only on the item count and the effective thread
+//! count, and results are written into slot-indexed positions of the
+//! output, so a [`ExecutionContext::map_index`] over the same input is
+//! bit-identical regardless of which worker executed which slot, in which
+//! order, on how many cores. The simulator additionally synchronizes all
+//! simulated clocks at superstep barriers, so simulated time is
+//! independent of the host schedule entirely; the golden-digest suite
+//! (`tests/determinism.rs`) pins both properties at thread counts 1, 4,
+//! and 8.
+//!
+//! # Panics
+//!
+//! A panic in a slot is caught, held until every other slot of that job
+//! has finished, and then resumed on the posting thread — matching
+//! `std::thread::scope` semantics. The pool itself is never poisoned: no
+//! lock is held across user code, and workers survive to serve the next
+//! job.
+
+use std::any::{Any, TypeId};
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------------
+// Thread-count policy
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Run `f` with every parallel region on this thread using exactly
+/// `threads` lanes (still capped by the item count). Subsumes the old
+/// `rayon::with_max_threads`: determinism tests pin the fan-out to 1, 4,
+/// 8, … and assert identical simulation results. Note that unlike a plain
+/// cap this *raises* the lane count on single-core hosts, so the
+/// schedules being compared are genuinely different. Restores the
+/// previous override on exit, including across panics.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads > 0, "thread count must be positive");
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(threads)));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The active [`with_threads`] override on this thread, if any.
+pub fn current_override() -> Option<usize> {
+    THREAD_OVERRIDE.with(|c| c.get())
+}
+
+/// The `SWDNN_THREADS` environment override, read once per process.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("SWDNN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+}
+
+/// The lane count parallel regions on this thread will use, resolved from
+/// (in priority order) the [`with_threads`] override, the `SWDNN_THREADS`
+/// environment variable, and the machine's `available_parallelism`.
+pub fn effective_threads() -> usize {
+    current_override()
+        .or_else(env_threads)
+        .unwrap_or_else(machine_threads)
+}
+
+/// Human-readable description of the resolved thread policy, for bench
+/// banners (so a snapshot's host numbers can be tied to the lane count
+/// that produced them).
+pub fn thread_policy() -> String {
+    if let Some(n) = current_override() {
+        format!("{n} (with_threads override)")
+    } else if let Some(n) = env_threads() {
+        format!("{n} (SWDNN_THREADS)")
+    } else {
+        format!("{} (available_parallelism)", machine_threads())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// One parallel region in flight. The closure pointer is lifetime-erased;
+/// safety rests on the posting thread keeping the closure alive until
+/// `wait` observes every slot finished.
+struct Job {
+    /// The user closure, called once per slot index.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Total slots; claimed from `next_slot` until exhausted.
+    slots: usize,
+    next_slot: AtomicUsize,
+    /// Slots not yet *finished* (claimed-and-returned). Guards `done`.
+    unfinished: Mutex<usize>,
+    done: Condvar,
+    /// First (lowest-slot) captured panic, resumed by the poster.
+    panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced between job post
+// and the poster's `wait` returning, during which the closure (which is
+// `Sync`, per the bound under which the pointer was created) is kept
+// alive by the posting stack frame.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    fn exhausted(&self) -> bool {
+        self.next_slot.load(Ordering::Relaxed) >= self.slots
+    }
+
+    /// Claim and run slots until none remain. Called by workers and by
+    /// the posting thread alike.
+    fn run_slots(&self) {
+        loop {
+            let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
+            if slot >= self.slots {
+                return;
+            }
+            // SAFETY: see the struct-level invariant — the poster keeps
+            // the closure alive until every slot has finished.
+            let task = unsafe { &*self.task };
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(slot)));
+            if let Err(payload) = outcome {
+                let mut held = self.panic.lock().unwrap();
+                // Keep the lowest-slot panic so the propagated payload is
+                // deterministic when several slots blow up at once.
+                match &*held {
+                    Some((lowest, _)) if *lowest <= slot => {}
+                    _ => *held = Some((slot, payload)),
+                }
+            }
+            let mut left = self.unfinished.lock().unwrap();
+            *left -= 1;
+            if *left == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Block until every slot has finished running.
+    fn wait(&self) {
+        let mut left = self.unfinished.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+struct PoolState {
+    queue: VecDeque<Arc<Job>>,
+    shutdown: bool,
+    spawned: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signals workers: a job was posted, or shutdown began.
+    work: Condvar,
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                // Exhausted jobs linger at the front until someone looks;
+                // drop them so their Arc (and closure pointer) is released
+                // promptly.
+                while st.queue.front().is_some_and(|j| j.exhausted()) {
+                    st.queue.pop_front();
+                }
+                if let Some(j) = st.queue.front() {
+                    break Arc::clone(j);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        job.run_slots();
+    }
+}
+
+/// Scratch arena key: one pool of parked values per (type, caller key).
+type ScratchKey = (TypeId, usize);
+
+/// A persistent worker pool plus the policies and arenas every layer of
+/// the stack shares: thread-count resolution ([`effective_threads`]) and
+/// reusable host-side scratch (e.g. the GEMM pack arenas), keyed so
+/// concurrent leases get distinct instances.
+///
+/// One context is meant to be shared process-wide ([`global`]); the
+/// simulator, executor, serving engine, and benches all thread a
+/// `&'static ExecutionContext` through their layers. Dropping a
+/// (non-global) context shuts the pool down and joins every worker.
+pub struct ExecutionContext {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    scratch: Mutex<HashMap<ScratchKey, Vec<Box<dyn Any + Send>>>>,
+}
+
+impl Default for ExecutionContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ExecutionContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let spawned = self.shared.state.lock().unwrap().spawned;
+        f.debug_struct("ExecutionContext")
+            .field("workers", &spawned)
+            .field("effective_threads", &effective_threads())
+            .finish()
+    }
+}
+
+/// The process-wide context. Never dropped; its workers live for the
+/// process. Everything that does not explicitly receive a context uses
+/// this one.
+pub fn global() -> &'static ExecutionContext {
+    static GLOBAL: OnceLock<ExecutionContext> = OnceLock::new();
+    GLOBAL.get_or_init(ExecutionContext::new)
+}
+
+impl ExecutionContext {
+    /// A context with no workers yet; workers spawn lazily on the first
+    /// parallel region that wants them.
+    pub fn new() -> Self {
+        ExecutionContext {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    queue: VecDeque::new(),
+                    shutdown: false,
+                    spawned: 0,
+                }),
+                work: Condvar::new(),
+            }),
+            handles: Mutex::new(Vec::new()),
+            scratch: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Spawn workers up to `target` (the posting thread is lane 0, so a
+    /// `t`-lane region wants `t - 1` workers).
+    fn ensure_workers(&self, target: usize) {
+        let mut new_handles = Vec::new();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.spawned < target {
+                let shared = Arc::clone(&self.shared);
+                let name = format!("sw-runtime-{}", st.spawned);
+                let handle = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn sw-runtime worker");
+                new_handles.push(handle);
+                st.spawned += 1;
+            }
+        }
+        if !new_handles.is_empty() {
+            self.handles.lock().unwrap().extend(new_handles);
+        }
+    }
+
+    /// Spawn the workers the current thread policy calls for, so the
+    /// first measured superstep does not pay thread-creation cost. Benches
+    /// call this before their timed region.
+    pub fn prewarm(&self) {
+        let t = effective_threads();
+        if t > 1 {
+            self.ensure_workers(t - 1);
+        }
+    }
+
+    /// Workers currently spawned (not necessarily busy).
+    pub fn workers(&self) -> usize {
+        self.shared.state.lock().unwrap().spawned
+    }
+
+    /// Run `f(slot)` for every `slot in 0..slots` across the pool, blocking
+    /// until all slots finish. With an effective thread count of one the
+    /// slots run inline on the caller — the fast path on single-core hosts
+    /// and under `with_threads(1)`. Panics in any slot are re-raised here
+    /// after the region completes (lowest slot wins); the pool survives.
+    pub fn run(&self, slots: usize, f: impl Fn(usize) + Sync) {
+        if slots == 0 {
+            return;
+        }
+        let threads = effective_threads().min(slots);
+        if threads <= 1 {
+            for s in 0..slots {
+                f(s);
+            }
+            return;
+        }
+        self.ensure_workers(threads - 1);
+        let local: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: erasing the closure's lifetime is sound because this
+        // frame owns `f` and does not return until `job.wait()` has
+        // observed every slot finished.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(local) };
+        let job = Arc::new(Job {
+            task: erased,
+            slots,
+            next_slot: AtomicUsize::new(0),
+            unfinished: Mutex::new(slots),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.queue.push_back(Arc::clone(&job));
+        }
+        self.shared.work.notify_all();
+        job.run_slots();
+        job.wait();
+        // The workers' lazy front-of-queue cleanup usually removes the
+        // exhausted job; make sure it is gone before the closure dies.
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.queue.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+        let held = job.panic.lock().unwrap().take();
+        if let Some((_, payload)) = held {
+            resume_unwind(payload);
+        }
+    }
+
+    /// `(0..n).map(f)` across the pool, results in index order. Chunking
+    /// is the deterministic static partition the old rayon shim used:
+    /// `chunk = n.div_ceil(threads)`, chunks in order — so the slot
+    /// boundaries (and therefore everything observable) depend only on
+    /// `n` and the effective thread count, never on scheduling.
+    pub fn map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let threads = effective_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let slots = n.div_ceil(chunk);
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        let base = SendPtr(out.as_mut_ptr());
+        self.run(slots, |slot| {
+            let lo = slot * chunk;
+            let hi = ((slot + 1) * chunk).min(n);
+            for i in lo..hi {
+                // SAFETY: slots cover disjoint index ranges and each index
+                // is written exactly once, into capacity reserved above.
+                unsafe { base.get().add(i).write(f(i)) };
+            }
+        });
+        // SAFETY: `run` returns only after every slot finished, so all `n`
+        // elements are initialized. (On a panic `run` unwinds first and
+        // the written elements leak — safe, and only on the panic path.)
+        unsafe { out.set_len(n) };
+        out
+    }
+
+    /// `items.iter_mut().enumerate().map(f)` across the pool, results in
+    /// index order. The parallel-superstep entry point: the simulator maps
+    /// over its 64 CPE nodes with this.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let base = SendPtr(items.as_mut_ptr());
+        let n = items.len();
+        self.map_index(n, move |i| {
+            // SAFETY: `map_index` hands each index to exactly one slot, so
+            // the &mut borrows are disjoint and within bounds.
+            let item = unsafe { &mut *base.get().add(i) };
+            f(i, item)
+        })
+    }
+
+    /// Consume `items`, mapping `f(index, item)` across the pool; results
+    /// in index order. Backs the rayon façade's single-pass `collect`.
+    pub fn map_vec<I, R, F>(&self, items: Vec<I>, f: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(usize, I) -> R + Sync,
+    {
+        let n = items.len();
+        let threads = effective_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .collect();
+        }
+        let mut items = items;
+        let src = SendPtr(items.as_mut_ptr());
+        // The elements now belong to the slots: each is moved out exactly
+        // once by `ptr::read`. Emptying the Vec first keeps its Drop from
+        // double-freeing them; on a panic the unread tail leaks (safe).
+        // SAFETY: 0 <= capacity, elements above are transferred, not lost.
+        unsafe { items.set_len(0) };
+        let out = self.map_index(n, |i| {
+            // SAFETY: each index read exactly once, see above.
+            let item = unsafe { src.get().add(i).read() };
+            f(i, item)
+        });
+        drop(items);
+        out
+    }
+
+    /// The serial counterpart of [`Self::map_mut`]: same signature family,
+    /// `FnMut` closure, guaranteed index order on the calling thread. The
+    /// simulator's `superstep_serial` routes here so the "stay serial"
+    /// policy decision lives in the runtime layer alongside the parallel
+    /// one.
+    pub fn map_mut_serial<T, R, F>(&self, items: &mut [T], mut f: F) -> Vec<R>
+    where
+        F: FnMut(usize, &mut T) -> R,
+    {
+        items.iter_mut().enumerate().map(|(i, x)| f(i, x)).collect()
+    }
+
+    /// Lease a reusable scratch value of type `T` under `key` (e.g. the
+    /// mesh dimension for GEMM pack arenas). A parked value from an
+    /// earlier lease with the same `(T, key)` is handed back if one is
+    /// free, else `init` builds a fresh one; concurrent leases therefore
+    /// always get distinct instances. The value returns to the arena when
+    /// the lease drops.
+    pub fn scratch<T, F>(&self, key: usize, init: F) -> ScratchLease<'_, T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T,
+    {
+        let parked = self
+            .scratch
+            .lock()
+            .unwrap()
+            .get_mut(&(TypeId::of::<T>(), key))
+            .and_then(Vec::pop);
+        let value = match parked {
+            Some(boxed) => boxed
+                .downcast::<T>()
+                .expect("scratch arena keyed by TypeId"),
+            None => Box::new(init()),
+        };
+        ScratchLease {
+            ctx: self,
+            key,
+            value: Some(value),
+        }
+    }
+}
+
+impl Drop for ExecutionContext {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.get_mut().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A leased scratch value; dereferences to `T` and returns the value to
+/// the context's arena on drop (even when dropped during unwinding).
+pub struct ScratchLease<'a, T: Send + 'static> {
+    ctx: &'a ExecutionContext,
+    key: usize,
+    value: Option<Box<T>>,
+}
+
+impl<T: Send + 'static> Deref for ScratchLease<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("leased value present")
+    }
+}
+
+impl<T: Send + 'static> DerefMut for ScratchLease<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("leased value present")
+    }
+}
+
+impl<T: Send + 'static> Drop for ScratchLease<'_, T> {
+    fn drop(&mut self) {
+        if let Some(boxed) = self.value.take() {
+            self.ctx
+                .scratch
+                .lock()
+                .unwrap()
+                .entry((TypeId::of::<T>(), self.key))
+                .or_default()
+                .push(boxed as Box<dyn Any + Send>);
+        }
+    }
+}
+
+/// A raw pointer that crosses threads. Safety is argued at each use site:
+/// every wrapped pointer is only dereferenced at indices owned exclusively
+/// by one slot of one job.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the `Sync`
+    /// wrapper, not the raw pointer, under edition-2021 precise capture.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_index_matches_serial_at_every_thread_count() {
+        let ctx = ExecutionContext::new();
+        let want: Vec<usize> = (0..103).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = with_threads(threads, || ctx.map_index(103, |i| i * 3 + 1));
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_vec_moves_each_item_exactly_once() {
+        let ctx = ExecutionContext::new();
+        let items: Vec<String> = (0..57).map(|i| format!("item-{i}")).collect();
+        let got = with_threads(4, || ctx.map_vec(items, |i, s| format!("{i}:{s}")));
+        let want: Vec<String> = (0..57).map(|i| format!("{i}:item-{i}")).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_mut_mutates_in_place_and_returns_in_order() {
+        let ctx = ExecutionContext::new();
+        let mut v = vec![1u64; 64];
+        let idx = with_threads(4, || {
+            ctx.map_mut(&mut v, |i, x| {
+                *x += i as u64;
+                i
+            })
+        });
+        assert_eq!(idx, (0..64).collect::<Vec<_>>());
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 1 + i as u64));
+    }
+
+    #[test]
+    fn panic_propagates_without_poisoning_the_pool() {
+        let ctx = ExecutionContext::new();
+        let result = with_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                ctx.run(64, |slot| {
+                    if slot == 13 {
+                        panic!("boom");
+                    }
+                })
+            }))
+        });
+        assert!(result.is_err(), "slot panic must reach the caller");
+        // The same pool serves the next region: nothing was poisoned.
+        let after = with_threads(4, || ctx.map_index(64, |i| i * 2));
+        assert_eq!(after, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_regions_do_not_deadlock() {
+        // A slot that posts its own region must make progress even when
+        // every worker is busy: posters always participate in their own
+        // jobs, so the inner region completes on the posting lane alone
+        // in the worst case.
+        let ctx = ExecutionContext::new();
+        let total = AtomicU64::new(0);
+        with_threads(4, || {
+            ctx.run(8, |outer| {
+                let inner: u64 = ctx.map_index(8, |i| (outer * 8 + i) as u64).iter().sum();
+                total.fetch_add(inner, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.into_inner(), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        assert_eq!(current_override(), None);
+        let nested = with_threads(1, || with_threads(2, current_override));
+        assert_eq!(nested, Some(2));
+        assert_eq!(current_override(), None);
+        // Restored across panics too.
+        let _ = catch_unwind(|| with_threads(3, || panic!("boom")));
+        assert_eq!(current_override(), None);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let ctx = ExecutionContext::new();
+        with_threads(4, || ctx.prewarm());
+        assert_eq!(ctx.workers(), 3, "prewarm spawns threads-1 workers");
+        // Drop must shut the pool down and join every worker; a hang here
+        // is the failure mode this test exists to catch.
+        drop(ctx);
+    }
+
+    #[test]
+    fn scratch_lease_reuses_parked_values_per_key() {
+        let ctx = ExecutionContext::new();
+        {
+            let mut a = ctx.scratch::<Vec<u64>, _>(8, Vec::new);
+            a.extend_from_slice(&[1, 2, 3]);
+        }
+        // Same key: the parked value (with its contents) comes back.
+        {
+            let a = ctx.scratch::<Vec<u64>, _>(8, Vec::new);
+            assert_eq!(&*a, &[1, 2, 3]);
+            // While `a` is out, a second lease must get a distinct value.
+            let b = ctx.scratch::<Vec<u64>, _>(8, Vec::new);
+            assert!(b.is_empty());
+        }
+        // Different key: fresh value.
+        let c = ctx.scratch::<Vec<u64>, _>(4, Vec::new);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn deterministic_chunking_is_independent_of_workers() {
+        // Record which slot handled each index; the mapping must be a
+        // pure function of (n, threads), not of scheduling. Run the same
+        // region repeatedly and require identical slot assignments.
+        let ctx = ExecutionContext::new();
+        let assign = |ctx: &ExecutionContext| -> Vec<usize> {
+            let slots: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            ctx.run(4, |slot| {
+                let chunk = 100usize.div_ceil(4);
+                for s in slots.iter().take((slot + 1) * chunk).skip(slot * chunk) {
+                    s.store(slot + 1, Ordering::Relaxed);
+                }
+            });
+            slots.into_iter().map(AtomicUsize::into_inner).collect()
+        };
+        let first = with_threads(4, || assign(&ctx));
+        for _ in 0..5 {
+            assert_eq!(with_threads(4, || assign(&ctx)), first);
+        }
+        assert!(first.iter().all(|&s| s >= 1), "every index covered");
+    }
+
+    #[test]
+    fn zero_and_one_slot_regions_run_inline() {
+        let ctx = ExecutionContext::new();
+        ctx.run(0, |_| panic!("never called"));
+        let hits = AtomicU64::new(0);
+        with_threads(8, || {
+            ctx.run(1, |slot| {
+                assert_eq!(slot, 0);
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.into_inner(), 1);
+        assert_eq!(ctx.workers(), 0, "single-slot regions spawn nothing");
+    }
+}

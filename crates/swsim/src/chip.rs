@@ -10,7 +10,7 @@
 //! maximum over CGs plus a fixed kernel-launch overhead on the MPEs.
 
 use crate::stats::CgStats;
-use rayon::prelude::*;
+use sw_runtime::ExecutionContext;
 
 /// Result of a multi-CG run.
 #[derive(Clone, Debug)]
@@ -40,13 +40,14 @@ impl MultiCgReport {
     }
 }
 
-/// Run `work(cg_index)` for each of `cgs` core groups (in parallel — each
-/// closure builds and runs its own [`crate::Mesh`]) and combine timing.
+/// Run `work(cg_index)` for each of `cgs` core groups (in parallel over
+/// the process-wide worker pool — each closure builds and runs its own
+/// [`crate::Mesh`]) and combine timing.
 pub fn run_multi_cg<F>(cgs: usize, work: F) -> MultiCgReport
 where
     F: Fn(usize) -> CgStats + Sync + Send,
 {
-    run_multi_cg_with(cgs, |i| (work(i), ())).0
+    run_multi_cg_on(sw_runtime::global(), cgs, |i| (work(i), ())).0
 }
 
 /// [`run_multi_cg`] for workloads that produce a value per core group
@@ -57,7 +58,18 @@ where
     F: Fn(usize) -> (CgStats, R) + Sync + Send,
     R: Send,
 {
-    let pairs: Vec<(CgStats, R)> = (0..cgs).into_par_iter().map(work).collect();
+    run_multi_cg_on(sw_runtime::global(), cgs, work)
+}
+
+/// [`run_multi_cg_with`] on an explicit [`ExecutionContext`]: the serving
+/// dispatcher shares one context across its per-batch CG fan-outs instead
+/// of spawning threads per request.
+pub fn run_multi_cg_on<R, F>(rt: &ExecutionContext, cgs: usize, work: F) -> (MultiCgReport, Vec<R>)
+where
+    F: Fn(usize) -> (CgStats, R) + Sync + Send,
+    R: Send,
+{
+    let pairs: Vec<(CgStats, R)> = rt.map_index(cgs, work);
     let (per_cg, results): (Vec<CgStats>, Vec<R>) = pairs.into_iter().unzip();
     let wall = per_cg.iter().map(|s| s.cycles).max().unwrap_or(0) + LAUNCH_OVERHEAD_CYCLES;
     let flops = per_cg.iter().map(|s| s.totals.flops).sum();

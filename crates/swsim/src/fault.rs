@@ -5,7 +5,8 @@
 //! issue, bus-message delivery, superstep entry). Every decision is a pure
 //! hash of `(seed, stream, actor, sequence)` — never of wall-clock time or
 //! thread scheduling — so a given plan replays the identical fault pattern
-//! on every run regardless of how rayon schedules the 64 CPE closures.
+//! on every run regardless of how the worker pool schedules the 64 CPE
+//! closures.
 //!
 //! Fault classes:
 //!

@@ -21,7 +21,8 @@
 //!
 //! The execution model is bulk-synchronous: a program is a sequence of
 //! *supersteps*; within a superstep all 64 CPEs run independently (in
-//! parallel via rayon) and may send bus messages, which are delivered at
+//! parallel on the persistent [`sw_runtime`] worker pool) and may send
+//! bus messages, which are delivered at
 //! the superstep boundary where all CPE clocks synchronize to the maximum.
 //! This is a conservative approximation of the hardware's pairwise
 //! producer-consumer blocking: the real mesh can overlap slightly more,
@@ -40,7 +41,7 @@ pub mod noc;
 pub mod stats;
 pub mod trace;
 
-pub use chip::{run_multi_cg, run_multi_cg_with, MultiCgReport};
+pub use chip::{run_multi_cg, run_multi_cg_on, run_multi_cg_with, MultiCgReport};
 pub use dma::{DmaEngine, DmaHandle};
 pub use fault::{FaultPlan, RetryPolicy};
 pub use ldm::{Ldm, LdmBuf};

@@ -12,13 +12,18 @@
 //!
 //! DMA puts to main memory are *logged* during the superstep and applied by
 //! [`Mesh::drain_puts`] — plans therefore cannot race on the output buffer,
-//! and the simulation stays deterministic regardless of rayon's scheduling.
+//! and the simulation stays deterministic regardless of the worker pool's
+//! scheduling.
+//!
+//! Supersteps execute through a persistent [`sw_runtime::ExecutionContext`]
+//! (the worker pool spawned once per process), not a per-superstep thread
+//! fan-out; [`Mesh::new_on`] pins a mesh to a specific context, and
+//! [`Mesh::new`] uses the process-wide [`sw_runtime::global`] one.
 
 use crate::dma::{DmaEngine, DmaHandle};
 use crate::fault::FaultPlan;
 use crate::ldm::{Ldm, LdmBuf, LdmOverflow};
 use crate::stats::{CgStats, CpeCounters, CpeStats};
-use rayon::prelude::*;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -655,6 +660,8 @@ where
 
 pub struct Mesh<S> {
     pub chip: ChipSpec,
+    /// The runtime context whose worker pool executes parallel supersteps.
+    rt: &'static sw_runtime::ExecutionContext,
     dma: DmaEngine,
     cpes: Vec<CpeNode<S>>,
     put_log: Vec<(usize, Vec<f64>)>,
@@ -668,8 +675,18 @@ pub struct Mesh<S> {
 }
 
 impl<S: Send> Mesh<S> {
-    /// Build a mesh whose CPE states come from `init(row, col)`.
-    pub fn new(chip: ChipSpec, mut init: impl FnMut(usize, usize) -> S) -> Self {
+    /// Build a mesh whose CPE states come from `init(row, col)`, running
+    /// its supersteps on the process-wide [`sw_runtime::global`] context.
+    pub fn new(chip: ChipSpec, init: impl FnMut(usize, usize) -> S) -> Self {
+        Self::new_on(sw_runtime::global(), chip, init)
+    }
+
+    /// [`Self::new`] pinned to a specific execution context.
+    pub fn new_on(
+        rt: &'static sw_runtime::ExecutionContext,
+        chip: ChipSpec,
+        mut init: impl FnMut(usize, usize) -> S,
+    ) -> Self {
         let dim = chip.mesh_dim;
         let mut cpes = Vec::with_capacity(dim * dim);
         for row in 0..dim {
@@ -691,6 +708,7 @@ impl<S: Send> Mesh<S> {
         }
         Self {
             chip,
+            rt,
             dma: DmaEngine::new(chip),
             cpes,
             put_log: Vec::new(),
@@ -700,6 +718,11 @@ impl<S: Send> Mesh<S> {
             fault: None,
             msg_deliveries: 0,
         }
+    }
+
+    /// The execution context this mesh's supersteps run on.
+    pub fn runtime(&self) -> &'static sw_runtime::ExecutionContext {
+        self.rt
     }
 
     /// Start recording per-CPE [`crate::trace::Event`]s.
@@ -725,8 +748,9 @@ impl<S: Send> Mesh<S> {
             .collect()
     }
 
-    /// Run one superstep: `f` executes on all 64 CPEs (in parallel), then
-    /// messages are delivered and clocks synchronize.
+    /// Run one superstep: `f` executes on all 64 CPEs (fanned out over the
+    /// context's persistent worker pool), then messages are delivered and
+    /// clocks synchronize.
     pub fn superstep<F>(&mut self, f: F) -> Result<(), SimError>
     where
         F: Fn(&mut CpeCtx<'_>, &mut S) -> Result<(), SimError> + Sync,
@@ -736,11 +760,9 @@ impl<S: Send> Mesh<S> {
         let trace_on = self.trace_on;
         let fault = self.fault;
         let step = self.supersteps;
-        let results: Vec<StepResult> = self
-            .cpes
-            .par_iter_mut()
-            .map(|node| run_node(node, &mut (&f), dma, trace_on, fault, step))
-            .collect();
+        let results: Vec<StepResult> = self.rt.map_mut(&mut self.cpes, |_, node| {
+            run_node(node, &mut (&f), dma, trace_on, fault, step)
+        });
         self.finish_superstep(results)
     }
 
@@ -750,7 +772,7 @@ impl<S: Send> Mesh<S> {
     /// [`Self::superstep`] — the only difference is the absence of a
     /// thread fan-out, which makes this the cheaper choice for short
     /// supersteps (e.g. the pack/broadcast phase of a GEMM rotation)
-    /// where per-task spawn overhead would dominate. `f` may be `FnMut`
+    /// where per-task handoff overhead would dominate. `f` may be `FnMut`
     /// and borrow mutable host-side scratch.
     pub fn superstep_serial<F>(&mut self, mut f: F) -> Result<(), SimError>
     where
@@ -760,11 +782,9 @@ impl<S: Send> Mesh<S> {
         let trace_on = self.trace_on;
         let fault = self.fault;
         let step = self.supersteps;
-        let results: Vec<StepResult> = self
-            .cpes
-            .iter_mut()
-            .map(|node| run_node(node, &mut f, dma, trace_on, fault, step))
-            .collect();
+        let results: Vec<StepResult> = self.rt.map_mut_serial(&mut self.cpes, |_, node| {
+            run_node(node, &mut f, dma, trace_on, fault, step)
+        });
         self.finish_superstep(results)
     }
 

@@ -7,7 +7,7 @@
 //!
 //! Counters live in two forms. [`CpeCounters`] is the *live* form inside
 //! each mesh node: relaxed-atomic [`sw_obs::Counter`]s, safe to bump from
-//! the rayon-parallel superstep closures and — because relaxed addition is
+//! the pool-parallel superstep closures and — because relaxed addition is
 //! commutative — guaranteed to reach the same totals regardless of thread
 //! scheduling (asserted by the `counter_determinism` test suite).
 //! [`CpeStats`] is the *snapshot* form: a plain `Copy` struct taken at a

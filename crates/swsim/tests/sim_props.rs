@@ -1,4 +1,4 @@
-//! Property tests for the simulator: determinism under rayon scheduling,
+//! Property tests for the simulator: determinism under pool scheduling,
 //! conservation of DMA data, bandwidth-model monotonicity, and LDM
 //! allocator invariants.
 
@@ -172,7 +172,7 @@ proptest! {
 
     #[test]
     fn counter_totals_are_schedule_independent(len in 1usize..32, flops in 1u64..1000) {
-        // The per-CPE counters are relaxed atomics bumped from rayon's
+        // The per-CPE counters are relaxed atomics bumped from the pool's
         // worker threads; relaxed addition is commutative, so aggregate
         // totals must match the closed-form expectation on every run and
         // be identical across repeated runs (whatever interleaving the

@@ -1,7 +1,8 @@
-//! Offline stand-in for `rayon`, exposing exactly the surface this
-//! workspace uses: `par_iter`/`par_iter_mut` on slices, `into_par_iter` on
-//! `Range<usize>`, `par_chunks_mut`, and the `map`/`enumerate`/`for_each`/
-//! `collect` adapters.
+//! Offline stand-in for `rayon`, now a thin façade over [`sw_runtime`]:
+//! the persistent worker pool executes every parallel region, and the
+//! adapters (`map`/`enumerate`) are *lazy* — they compose into a single
+//! index-aware closure applied in one parallel pass at the terminal
+//! `collect`/`for_each`.
 //!
 //! The build environment has no network access and no vendored registry,
 //! so external crates are replaced by API-compatible local shims (see
@@ -10,182 +11,152 @@
 //! determinism bugs that depend on scheduling still surface), results are
 //! returned in input order, and panics propagate to the caller.
 //!
-//! Adapters are eager rather than lazy: `.map(f)` applies `f` in parallel
-//! immediately and later adapters reshape the materialized results. Every
-//! pipeline in this workspace ends in `collect`/`for_each`, so eager
-//! evaluation is observationally equivalent.
+//! Earlier versions materialized a fresh `Vec` per adapter —
+//! `.map(f).enumerate().collect()` rebuilt the vector once per stage.
+//! Every adapter here is 1:1 and order-preserving, so the source index
+//! *is* the stream index; `enumerate` therefore needs no materialization,
+//! just the index the composed closure already receives.
 
-use std::cell::Cell;
-use std::ops::Range;
+use sw_runtime::global;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
-thread_local! {
-    static MAX_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
 /// Run `f` with every `par_*` call on this thread using exactly `limit`
-/// worker threads (still capped by the item count), overriding the
-/// machine's `available_parallelism`. Determinism tests use this to pin
-/// the fan-out to 1, 4, … and assert identical simulation results; note
-/// that unlike a plain cap it *raises* the thread count on single-core
-/// hosts, so the schedules being compared are genuinely different.
+/// worker lanes (still capped by the item count). Delegates to
+/// [`sw_runtime::with_threads`], which owns the thread-count policy for
+/// the whole workspace.
 pub fn with_max_threads<R>(limit: usize, f: impl FnOnce() -> R) -> R {
-    assert!(limit > 0, "thread limit must be positive");
-    let prev = MAX_THREADS.with(|m| m.replace(Some(limit)));
-    struct Restore(Option<usize>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            MAX_THREADS.with(|m| m.set(self.0));
-        }
-    }
-    let _restore = Restore(prev);
-    f()
+    sw_runtime::with_threads(limit, f)
 }
 
-/// A materialized "parallel iterator": adapters consume and rebuild it.
-pub struct ParIter<I> {
-    items: Vec<I>,
+/// A lazy "parallel iterator": a source plus the composed `(index, item)`
+/// closure every adapter folded into. Nothing runs until the terminal
+/// `collect`/`for_each` makes one parallel pass over the source.
+pub struct ParIter<S, T, F: Fn(usize, S) -> T> {
+    src: Vec<S>,
+    f: F,
 }
 
 /// Marker trait mirroring rayon's; all adapters live on the concrete type.
 pub trait ParallelIterator {}
-impl<I> ParallelIterator for ParIter<I> {}
+impl<S, T, F: Fn(usize, S) -> T> ParallelIterator for ParIter<S, T, F> {}
 
-impl<I: Send> ParIter<I> {
-    pub fn map<R, F>(self, f: F) -> ParIter<R>
-    where
-        R: Send,
-        F: Fn(I) -> R + Sync,
-    {
-        ParIter {
-            items: par_map(self.items, f),
-        }
-    }
+/// The identity stage sources start from (a nameable `fn` type, so trait
+/// methods can state their return type).
+fn identity<S>(_: usize, s: S) -> S {
+    s
+}
 
-    pub fn enumerate(self) -> ParIter<(usize, I)> {
-        ParIter {
-            items: self.items.into_iter().enumerate().collect(),
-        }
-    }
+/// The `ParIter` type sources produce: identity stage over `S`.
+pub type SourceIter<S> = ParIter<S, S, fn(usize, S) -> S>;
 
-    pub fn for_each<F>(self, f: F)
-    where
-        F: Fn(I) + Sync,
-    {
-        par_map(self.items, f);
-    }
-
-    pub fn collect<C: FromIterator<I>>(self) -> C {
-        self.items.into_iter().collect()
+fn source<S>(src: Vec<S>) -> SourceIter<S> {
+    ParIter {
+        src,
+        f: identity::<S>,
     }
 }
 
-/// Apply `f` to every item on a pool of scoped threads, preserving order.
-fn par_map<I, R, F>(mut items: Vec<I>, f: F) -> Vec<R>
+impl<S, T, F> ParIter<S, T, F>
 where
-    I: Send,
-    R: Send,
-    F: Fn(I) -> R + Sync,
+    S: Send,
+    T: Send,
+    F: Fn(usize, S) -> T + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let avail = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1);
-    let threads = MAX_THREADS.with(|m| m.get()).unwrap_or(avail).min(n);
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
-    while !items.is_empty() {
-        let rest = items.split_off(chunk.min(items.len()));
-        chunks.push(std::mem::replace(&mut items, rest));
-    }
-    let f = &f;
-    let mut out: Vec<R> = Vec::with_capacity(n);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            // Propagate worker panics like rayon does.
-            out.extend(h.join().expect("parallel worker panicked"));
+    pub fn map<U, G>(self, g: G) -> ParIter<S, U, impl Fn(usize, S) -> U>
+    where
+        U: Send,
+        G: Fn(T) -> U + Sync,
+    {
+        let f = self.f;
+        ParIter {
+            src: self.src,
+            f: move |i, s| g(f(i, s)),
         }
-    });
-    out
+    }
+
+    /// Every stage is 1:1 and order-preserving, so the stream position
+    /// equals the source index the composed closure already receives —
+    /// enumeration costs nothing.
+    #[allow(clippy::type_complexity)] // `impl Trait` cannot live in a type alias on stable
+    pub fn enumerate(self) -> ParIter<S, (usize, T), impl Fn(usize, S) -> (usize, T)> {
+        let f = self.f;
+        ParIter {
+            src: self.src,
+            f: move |i, s| (i, f(i, s)),
+        }
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(T) + Sync,
+    {
+        let f = self.f;
+        global().map_vec(self.src, move |i, s| g(f(i, s)));
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        global().map_vec(self.src, self.f).into_iter().collect()
+    }
 }
 
 pub trait IntoParallelIterator {
     type Item: Send;
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    fn into_par_iter(self) -> SourceIter<Self::Item>;
 }
 
-impl IntoParallelIterator for Range<usize> {
+impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
-        ParIter {
-            items: self.collect(),
-        }
+    fn into_par_iter(self) -> SourceIter<usize> {
+        source(self.collect())
     }
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+    fn into_par_iter(self) -> SourceIter<T> {
+        source(self)
     }
 }
 
 pub trait ParallelSlice<T: Sync> {
-    fn par_iter(&self) -> ParIter<&T>;
-    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    fn par_iter(&self) -> SourceIter<&T>;
+    fn par_chunks(&self, size: usize) -> SourceIter<&[T]>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<&T> {
-        ParIter {
-            items: self.iter().collect(),
-        }
+    fn par_iter(&self) -> SourceIter<&T> {
+        source(self.iter().collect())
     }
 
-    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+    fn par_chunks(&self, size: usize) -> SourceIter<&[T]> {
         assert!(size > 0, "chunk size must be positive");
-        ParIter {
-            items: self.chunks(size).collect(),
-        }
+        source(self.chunks(size).collect())
     }
 }
 
 pub trait ParallelSliceMut<T: Send> {
-    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+    fn par_iter_mut(&mut self) -> SourceIter<&mut T>;
+    fn par_chunks_mut(&mut self, size: usize) -> SourceIter<&mut [T]>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
-        ParIter {
-            items: self.iter_mut().collect(),
-        }
+    fn par_iter_mut(&mut self) -> SourceIter<&mut T> {
+        source(self.iter_mut().collect())
     }
 
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+    fn par_chunks_mut(&mut self, size: usize) -> SourceIter<&mut [T]> {
         assert!(size > 0, "chunk size must be positive");
-        ParIter {
-            items: self.chunks_mut(size).collect(),
-        }
+        source(self.chunks_mut(size).collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -214,14 +185,44 @@ mod tests {
     }
 
     #[test]
+    fn adapters_compose_into_a_single_pass() {
+        // Regression: eager adapters applied `map` immediately and then
+        // rebuilt the Vec once per `enumerate`/`collect`. Lazy composition
+        // must invoke each stage exactly once per item, in one pass.
+        let calls = AtomicUsize::new(0);
+        let v: Vec<(usize, usize)> = (0..100)
+            .into_par_iter()
+            .map(|i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i + 1
+            })
+            .enumerate()
+            .collect();
+        assert_eq!(calls.into_inner(), 100, "one map call per item");
+        assert_eq!(v[41], (41, 42));
+    }
+
+    #[test]
+    fn enumerate_before_map_sees_source_indices() {
+        let v: Vec<usize> = vec![10usize, 20, 30]
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| x + i)
+            .collect();
+        assert_eq!(v, vec![10, 21, 32]);
+    }
+
+    #[test]
     fn with_max_threads_overrides_and_restores() {
         let v: Vec<usize> =
             crate::with_max_threads(4, || (0..100usize).into_par_iter().map(|i| i + 1).collect());
         assert_eq!(v, (1..=100).collect::<Vec<_>>());
-        // Restored after the scope (including across panics via Drop).
-        assert!(super::MAX_THREADS.with(|m| m.get()).is_none());
+        // Restored after the scope (including across panics via Drop);
+        // nesting replaces rather than narrows, exactly as before the
+        // sw-runtime delegation.
+        assert!(sw_runtime::current_override().is_none());
         let nested = crate::with_max_threads(1, || {
-            crate::with_max_threads(2, || super::MAX_THREADS.with(|m| m.get()))
+            crate::with_max_threads(2, sw_runtime::current_override)
         });
         assert_eq!(nested, Some(2));
     }
@@ -229,9 +230,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn worker_panics_propagate() {
-        (0..64usize)
-            .into_par_iter()
-            .map(|i| if i == 13 { panic!("boom") } else { i })
-            .collect::<Vec<_>>();
+        crate::with_max_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| if i == 13 { panic!("boom") } else { i })
+                .collect::<Vec<_>>()
+        });
     }
 }

@@ -10,8 +10,9 @@
 //!    checksum of the exact output bit patterns) captured from the
 //!    pre-optimisation implementation.
 //! 2. **Thread-count independence.** The same runs repeated under host
-//!    fan-outs of 1, 4, and the machine default (via
-//!    `rayon::with_max_threads`) must produce identical digests.
+//!    fan-outs of 1, 4, 8, and the machine default (via
+//!    `sw_runtime::with_threads`, the policy every layer now shares) must
+//!    produce identical digests.
 //! 3. **Microkernel equivalence.** Forcing the scalar reference kernel
 //!    (`gemm_mesh::force_reference_microkernel`) must not change anything,
 //!    down to per-CPE clocks and counters.
@@ -112,8 +113,8 @@ fn batch_aware_plan_matches_golden_digest() {
 
 #[test]
 fn digests_are_identical_across_host_thread_counts() {
-    for threads in [1usize, 4] {
-        let (img, bat) = rayon::with_max_threads(threads, || (image_case(), batch_case()));
+    for threads in [1usize, 4, 8] {
+        let (img, bat) = sw_runtime::with_threads(threads, || (image_case(), batch_case()));
         assert_eq!(digest(&img), image_golden(), "image @ {threads} threads");
         assert_eq!(digest(&bat), batch_golden(), "batch @ {threads} threads");
     }
@@ -174,10 +175,10 @@ fn mesh_gemm_snapshots() -> Vec<(usize, usize, u64, sw_sim::CpeStats)> {
 fn per_cpe_clocks_and_counters_are_thread_count_invariant() {
     // Not just the aggregate: every individual CPE's clock and counters
     // must be identical whichever host schedule executed it.
-    let baseline = rayon::with_max_threads(1, mesh_gemm_snapshots);
+    let baseline = sw_runtime::with_threads(1, mesh_gemm_snapshots);
     assert_eq!(baseline.len(), 64);
     for threads in [4usize, 8] {
-        let got = rayon::with_max_threads(threads, mesh_gemm_snapshots);
+        let got = sw_runtime::with_threads(threads, mesh_gemm_snapshots);
         assert_eq!(got, baseline, "per-CPE snapshots @ {threads} threads");
     }
     assert_eq!(mesh_gemm_snapshots(), baseline, "machine-default threads");
