@@ -29,6 +29,9 @@
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use sw_bench::chaos_load::{
+    chaos_perf_report, run_chaos_scenario, snapshot_chaos_cell, SNAPSHOT_CHAOS_REQUESTS,
+};
 use sw_bench::configs::perf_snapshot_configs;
 use sw_bench::serve_load::{run_scenario, serve_perf_report, SNAPSHOT_ROUNDS};
 use sw_obs::{compare, ChromeTrace, Snapshot, Tolerances};
@@ -66,6 +69,15 @@ fn measure() -> Snapshot {
     // counters from the sharded batch-serving engine.
     let serve = run_scenario(SNAPSHOT_ROUNDS).unwrap_or_else(|e| panic!("serve scenario: {e}"));
     let obs = serve_perf_report(&serve);
+    print!("{}", obs.summary());
+    reports.push(obs);
+    // Chaos row: the snapshot cell of the open-loop fault sweep (steady
+    // Poisson × flaky DMA), tracking drop counts, fallback-path counts,
+    // and the high-priority tail under injected faults.
+    let (traffic, fault_name, chaos_cfg) = snapshot_chaos_cell();
+    let chaos = run_chaos_scenario(&traffic, fault_name, chaos_cfg, SNAPSHOT_CHAOS_REQUESTS)
+        .unwrap_or_else(|e| panic!("chaos scenario: {e}"));
+    let obs = chaos_perf_report(&chaos);
     print!("{}", obs.summary());
     reports.push(obs);
     // Host-side throughput row: the anchor shape with wall-clock attached

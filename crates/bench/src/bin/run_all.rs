@@ -39,6 +39,10 @@ const BINARIES: &[(&str, &str)] = &[
         "extension — sharded batch-serving engine under closed-loop load",
     ),
     (
+        "chaos_serve",
+        "extension — open-loop serving under injected faults",
+    ),
+    (
         "perf_snapshot",
         "observability — measured vs modeled per-level bandwidth snapshot",
     ),

@@ -15,10 +15,13 @@
 //! | `ablation_regblock` | §V-C Eq. 5 — register blocking sweep |
 //! | `ablation_ldm`      | §IV-A — LDM blocking / double-buffer ablations |
 //! | `perf_snapshot`     | observability — `BENCH_PERF.json` snapshot + CI regression gate |
+//! | `serve_bench`       | serving — closed-loop load over paper shapes, SLO-gated |
+//! | `chaos_serve`       | serving — open-loop fault-rate × burst sweep, chaos-gated |
 //!
 //! [`configs`] holds the Fig. 8 configuration-generator scripts; [`report`]
 //! the table-formatting helpers shared by the binaries.
 
+pub mod chaos_load;
 pub mod configs;
 pub mod report;
 pub mod serve_load;

@@ -93,7 +93,17 @@ pub fn run_scenario(rounds: usize) -> Result<LoadReport, SwdnnError> {
     for i in 0..(cfg.queue_limit * 10) {
         match engine.submit(shapes[i % shapes.len()]) {
             Ok(_) => overload_accepted += 1,
-            Err(SwdnnError::Overloaded { .. }) => overload_rejected += 1,
+            Err(SwdnnError::Overloaded {
+                depth,
+                limit,
+                retry_after_us,
+            }) => {
+                // A shed response must carry usable backpressure context:
+                // the full queue it bounced off and a non-zero retry hint.
+                assert_eq!(depth, limit, "shed at depth {depth} below limit {limit}");
+                assert!(retry_after_us > 0, "shed without a retry hint");
+                overload_rejected += 1;
+            }
             Err(e) => return Err(e),
         }
     }

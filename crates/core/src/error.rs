@@ -31,8 +31,15 @@ pub enum SwdnnError {
     /// is the simulator error that ended the final attempt.
     FaultExhausted { attempts: u32, last: SimError },
     /// The serving queue is at capacity; the request was rejected rather
-    /// than queued unboundedly. Callers should shed load or retry later.
-    Overloaded { depth: usize, limit: usize },
+    /// than queued unboundedly. The variant carries enough structure for a
+    /// client to act on the rejection: the observed queue depth, the
+    /// configured bound, and a suggested retry delay in logical µs (the
+    /// time until the batcher's next deadline release frees capacity).
+    Overloaded {
+        depth: usize,
+        limit: usize,
+        retry_after_us: u64,
+    },
 }
 
 impl std::fmt::Display for SwdnnError {
@@ -59,10 +66,15 @@ impl std::fmt::Display for SwdnnError {
                     "all {attempts} recovery attempts failed; last error: {last}"
                 )
             }
-            SwdnnError::Overloaded { depth, limit } => {
+            SwdnnError::Overloaded {
+                depth,
+                limit,
+                retry_after_us,
+            } => {
                 write!(
                     f,
-                    "serving queue overloaded: depth {depth} at limit {limit}; request rejected"
+                    "serving queue overloaded: depth {depth} at limit {limit}; \
+                     request rejected, retry after {retry_after_us} us"
                 )
             }
         }
@@ -132,13 +144,15 @@ mod tests {
     }
 
     #[test]
-    fn overloaded_display_reports_depth_and_limit() {
+    fn overloaded_display_reports_depth_limit_and_retry_hint() {
         let e = SwdnnError::Overloaded {
             depth: 64,
             limit: 64,
+            retry_after_us: 1_500,
         };
         let s = e.to_string();
         assert!(s.contains("64") && s.contains("rejected"), "{s}");
+        assert!(s.contains("1500 us"), "retry hint must be printed: {s}");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Dynamic micro-batching of inference requests.
+//! Dynamic micro-batching with priority tiers, per-request dispatch
+//! deadlines, and admission control.
 //!
 //! Requests for the same convolution shape are coalesced into one batch so
 //! the per-batch costs (kernel launch, plan lookup, DMA ramp) amortize.
@@ -8,10 +9,31 @@
 //! * **deadline** — the oldest queued request has waited `deadline_us` of
 //!   simulated time (bounding the latency a quiet shape can accumulate).
 //!
-//! The queue is bounded: [`MicroBatcher::push`] rejects with
-//! [`SwdnnError::Overloaded`] at the limit instead of growing without
-//! bound — under overload the engine degrades to explicit rejections the
-//! client can act on, never to OOM.
+//! Requests carry a [`Priority`] tier and the batcher keeps one FIFO per
+//! tier. Releases prefer the high tier: the batch seed (the request whose
+//! shape and age drive the triggers) is the oldest *high*-priority request
+//! when any is queued, and same-shape low-priority requests only fill the
+//! slots high traffic leaves free. When every request is high priority
+//! (the default class) this degenerates to exactly the single-FIFO
+//! behavior the closed-loop serve bench gates.
+//!
+//! The queue is bounded, and the bound is where admission control lives:
+//!
+//! * a **low**-priority push at the limit is rejected with
+//!   [`SwdnnError::Overloaded`] carrying the queue depth and a
+//!   retry-after hint (the time until the next deadline release frees
+//!   capacity);
+//! * a **high**-priority push at the limit first tries to *evict the
+//!   newest low-priority request* — shedding hits the low tier first, and
+//!   the evicted request is returned to the caller so it can be accounted
+//!   as shed, never silently lost. Only when the queue is wall-to-wall
+//!   high-priority work is the high push itself rejected.
+//!
+//! Requests may also carry an absolute *dispatch deadline*
+//! ([`QueuedRequest::expires_us`]): [`MicroBatcher::expire`] removes
+//! requests that are still queued strictly after their deadline and hands
+//! them back for timeout accounting (they are never silently dropped, and
+//! never folded into a batch).
 //!
 //! All time is the caller's logical clock (microseconds of simulated
 //! time); the batcher imposes no clock of its own, which keeps the whole
@@ -20,6 +42,24 @@
 use crate::error::SwdnnError;
 use std::collections::VecDeque;
 use sw_tensor::ConvShape;
+
+/// Request priority tier. Admission control sheds [`Priority::Low`]
+/// first; batch releases seed from the high tier first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    #[default]
+    High,
+    Low,
+}
+
+impl Priority {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Low => "low",
+        }
+    }
+}
 
 /// When a batch is released.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +87,28 @@ pub struct QueuedRequest {
     pub shape: ConvShape,
     /// Simulated arrival time, µs.
     pub arrival_us: u64,
+    pub priority: Priority,
+    /// Tenant tag for per-tenant accounting.
+    pub tenant: u32,
+    /// Absolute dispatch deadline: the request may be dispatched at any
+    /// `now ≤ expires_us` and times out strictly after. `None` never
+    /// expires.
+    pub expires_us: Option<u64>,
+}
+
+impl QueuedRequest {
+    /// A default-class request (high priority, tenant 0, no deadline) —
+    /// the legacy closed-loop traffic shape.
+    pub fn basic(id: u64, shape: ConvShape, arrival_us: u64) -> Self {
+        Self {
+            id,
+            shape,
+            arrival_us,
+            priority: Priority::High,
+            tenant: 0,
+            expires_us: None,
+        }
+    }
 }
 
 /// A coalesced batch, ready for dispatch.
@@ -66,12 +128,13 @@ pub enum BatchTrigger {
     Flush,
 }
 
-/// FIFO queue + coalescing logic.
+/// Priority FIFOs + coalescing + admission control.
 #[derive(Debug)]
 pub struct MicroBatcher {
     policy: BatchPolicy,
     limit: usize,
-    queue: VecDeque<QueuedRequest>,
+    /// One FIFO per [`Priority`] tier, high first.
+    tiers: [VecDeque<QueuedRequest>; 2],
 }
 
 impl MicroBatcher {
@@ -79,80 +142,158 @@ impl MicroBatcher {
         Self {
             policy,
             limit: queue_limit.max(1),
-            queue: VecDeque::new(),
+            tiers: [VecDeque::new(), VecDeque::new()],
         }
     }
 
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.tiers.iter().map(VecDeque::len).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.tiers.iter().all(VecDeque::is_empty)
     }
 
     pub fn policy(&self) -> BatchPolicy {
         self.policy
     }
 
-    /// Enqueue, or reject with [`SwdnnError::Overloaded`] at the limit.
-    pub fn push(&mut self, req: QueuedRequest) -> Result<(), SwdnnError> {
-        if self.queue.len() >= self.limit {
-            return Err(SwdnnError::Overloaded {
-                depth: self.queue.len(),
-                limit: self.limit,
-            });
+    fn tier(&self, p: Priority) -> &VecDeque<QueuedRequest> {
+        &self.tiers[p as usize]
+    }
+
+    /// Enqueue under admission control.
+    ///
+    /// * `Ok(None)` — accepted, nothing displaced.
+    /// * `Ok(Some(victim))` — accepted; the newest low-priority request
+    ///   was evicted to make room for a high-priority push. The caller
+    ///   must account the victim as shed.
+    /// * `Err(Overloaded { .. })` — rejected with the queue depth and a
+    ///   retry-after hint.
+    pub fn push(&mut self, req: QueuedRequest) -> Result<Option<QueuedRequest>, SwdnnError> {
+        if self.len() < self.limit {
+            self.tiers[req.priority as usize].push_back(req);
+            return Ok(None);
         }
-        self.queue.push_back(req);
-        Ok(())
+        // Full queue: a high push may displace the newest low request so
+        // shedding lands on the low tier first.
+        if req.priority == Priority::High {
+            if let Some(victim) = self.tiers[Priority::Low as usize].pop_back() {
+                self.tiers[Priority::High as usize].push_back(req);
+                return Ok(Some(victim));
+            }
+        }
+        Err(SwdnnError::Overloaded {
+            depth: self.len(),
+            limit: self.limit,
+            retry_after_us: self.retry_after_us(req.arrival_us),
+        })
+    }
+
+    /// Suggested retry delay at `now_us`: the time until the next
+    /// deadline release frees a slot (at least 1 µs so "retry now" is
+    /// never suggested while the queue is full).
+    fn retry_after_us(&self, now_us: u64) -> u64 {
+        self.next_deadline_us()
+            .map(|d| d.saturating_sub(now_us))
+            .unwrap_or(self.policy.deadline_us)
+            .max(1)
+    }
+
+    /// Remove every request whose dispatch deadline has passed (strictly:
+    /// `now_us > expires_us`) and return them, oldest first within each
+    /// tier (low tier first — it times out first under pressure). The
+    /// caller records them as timed out; they never reach a batch.
+    pub fn expire(&mut self, now_us: u64) -> Vec<QueuedRequest> {
+        let mut expired = Vec::new();
+        for tier in [Priority::Low, Priority::High] {
+            let q = &mut self.tiers[tier as usize];
+            let mut keep = VecDeque::with_capacity(q.len());
+            for r in q.drain(..) {
+                match r.expires_us {
+                    Some(e) if now_us > e => expired.push(r),
+                    _ => keep.push_back(r),
+                }
+            }
+            self.tiers[tier as usize] = keep;
+        }
+        expired
     }
 
     /// Release the next batch if either trigger fires at `now_us`.
     ///
-    /// The batch takes the *oldest* request's shape and coalesces up to
-    /// `max_batch` same-shape requests in FIFO order; other shapes keep
-    /// their queue positions. A deadline release ships however many
+    /// Tiers are consulted high-first: the seed request is the front of
+    /// the highest non-empty tier whose cap or deadline trigger is ready
+    /// (so ready low-priority work still releases when the high tier has
+    /// nothing to do). The batch coalesces up to `max_batch` same-shape
+    /// requests — high tier first, FIFO within each tier; other shapes
+    /// keep their queue positions. A deadline release ships however many
     /// same-shape requests are present (possibly one).
     pub fn pop_batch(&mut self, now_us: u64) -> Option<Batch> {
-        let oldest = self.queue.front()?;
-        let shape = oldest.shape;
-        let same_shape = self.queue.iter().filter(|r| r.shape == shape).count();
-        let deadline_hit = now_us.saturating_sub(oldest.arrival_us) >= self.policy.deadline_us;
-        let trigger = if same_shape >= self.policy.max_batch {
-            BatchTrigger::Cap
-        } else if deadline_hit {
-            BatchTrigger::Deadline
-        } else {
-            return None;
-        };
-        Some(self.take_batch(shape, trigger))
+        for tier in [Priority::High, Priority::Low] {
+            let Some(seed) = self.tier(tier).front() else {
+                continue;
+            };
+            let shape = seed.shape;
+            let same_shape: usize = self
+                .tiers
+                .iter()
+                .map(|q| q.iter().filter(|r| r.shape == shape).count())
+                .sum();
+            let deadline_hit = now_us.saturating_sub(seed.arrival_us) >= self.policy.deadline_us;
+            let trigger = if same_shape >= self.policy.max_batch {
+                BatchTrigger::Cap
+            } else if deadline_hit {
+                BatchTrigger::Deadline
+            } else {
+                continue;
+            };
+            return Some(self.take_batch(shape, trigger));
+        }
+        None
     }
 
-    /// Unconditionally release the oldest request's batch (drain path).
+    /// Unconditionally release the oldest request's batch (drain path),
+    /// high tier first.
     pub fn flush(&mut self) -> Option<Batch> {
-        let shape = self.queue.front()?.shape;
+        let shape = self.tiers.iter().find_map(|q| q.front()).map(|r| r.shape)?;
         Some(self.take_batch(shape, BatchTrigger::Flush))
     }
 
-    /// Earliest deadline among queued requests — when the caller's clock
-    /// should next wake the batcher if no cap release happens first.
+    /// Earliest batching deadline among tier fronts — when the caller's
+    /// clock should next wake the batcher if no cap release happens first.
     pub fn next_deadline_us(&self) -> Option<u64> {
-        self.queue
-            .front()
+        self.tiers
+            .iter()
+            .filter_map(|q| q.front())
             .map(|r| r.arrival_us + self.policy.deadline_us)
+            .min()
+    }
+
+    /// Earliest dispatch-deadline expiry among queued requests, for
+    /// callers that want to fire timeouts eagerly while idle.
+    pub fn next_expiry_us(&self) -> Option<u64> {
+        self.tiers
+            .iter()
+            .flat_map(|q| q.iter())
+            .filter_map(|r| r.expires_us)
+            .min()
     }
 
     fn take_batch(&mut self, shape: ConvShape, trigger: BatchTrigger) -> Batch {
         let mut requests = Vec::new();
-        let mut rest = VecDeque::with_capacity(self.queue.len());
-        for r in self.queue.drain(..) {
-            if r.shape == shape && requests.len() < self.policy.max_batch {
-                requests.push(r);
-            } else {
-                rest.push_back(r);
+        for tier in [Priority::High, Priority::Low] {
+            let q = &mut self.tiers[tier as usize];
+            let mut rest = VecDeque::with_capacity(q.len());
+            for r in q.drain(..) {
+                if r.shape == shape && requests.len() < self.policy.max_batch {
+                    requests.push(r);
+                } else {
+                    rest.push_back(r);
+                }
             }
+            self.tiers[tier as usize] = rest;
         }
-        self.queue = rest;
         Batch {
             shape,
             requests,
@@ -174,10 +315,13 @@ mod tests {
     }
 
     fn req(id: u64, shape: ConvShape, at: u64) -> QueuedRequest {
+        QueuedRequest::basic(id, shape, at)
+    }
+
+    fn low(id: u64, shape: ConvShape, at: u64) -> QueuedRequest {
         QueuedRequest {
-            id,
-            shape,
-            arrival_us: at,
+            priority: Priority::Low,
+            ..QueuedRequest::basic(id, shape, at)
         }
     }
 
@@ -247,18 +391,122 @@ mod tests {
     }
 
     #[test]
-    fn bounded_queue_rejects_with_overloaded() {
+    fn bounded_queue_rejects_with_structured_overloaded() {
         let mut b = MicroBatcher::new(BatchPolicy::default(), 2);
         b.push(req(1, shape_a(), 0)).unwrap();
         b.push(req(2, shape_a(), 0)).unwrap();
-        let err = b.push(req(3, shape_a(), 0)).unwrap_err();
-        assert!(
-            matches!(err, SwdnnError::Overloaded { depth: 2, limit: 2 }),
-            "{err}"
-        );
+        let err = b.push(req(3, shape_a(), 100)).unwrap_err();
+        match err {
+            SwdnnError::Overloaded {
+                depth,
+                limit,
+                retry_after_us,
+            } => {
+                assert_eq!((depth, limit), (2, 2));
+                // Oldest arrived at 0, batch deadline 2000, now 100.
+                assert_eq!(retry_after_us, 1_900);
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
         // Draining makes room again.
         b.flush().unwrap();
         b.push(req(3, shape_a(), 0)).unwrap();
+    }
+
+    #[test]
+    fn high_push_evicts_the_newest_low_request_first() {
+        let mut b = MicroBatcher::new(BatchPolicy::default(), 3);
+        b.push(low(1, shape_a(), 0)).unwrap();
+        b.push(req(2, shape_a(), 0)).unwrap();
+        b.push(low(3, shape_a(), 10)).unwrap();
+        // Queue full. A low push is rejected outright…
+        assert!(matches!(
+            b.push(low(4, shape_a(), 20)),
+            Err(SwdnnError::Overloaded { .. })
+        ));
+        // …a high push displaces the newest low request.
+        let victim = b
+            .push(req(5, shape_a(), 20))
+            .unwrap()
+            .expect("eviction victim");
+        assert_eq!(victim.id, 3, "newest low request is shed first");
+        assert_eq!(b.len(), 3);
+        // A fully high-priority queue rejects even high pushes.
+        let victim = b
+            .push(req(6, shape_a(), 30))
+            .unwrap()
+            .expect("one low left");
+        assert_eq!(victim.id, 1);
+        assert!(matches!(
+            b.push(req(7, shape_a(), 40)),
+            Err(SwdnnError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn batches_fill_high_tier_first() {
+        let mut b = MicroBatcher::new(
+            BatchPolicy {
+                max_batch: 3,
+                deadline_us: 1_000,
+            },
+            64,
+        );
+        b.push(low(1, shape_a(), 0)).unwrap();
+        b.push(low(2, shape_a(), 0)).unwrap();
+        b.push(req(3, shape_a(), 5)).unwrap();
+        let batch = b.pop_batch(5).expect("cap across tiers");
+        assert_eq!(
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![3, 1, 2],
+            "high request leads, low requests fill"
+        );
+    }
+
+    #[test]
+    fn ready_low_work_releases_when_high_tier_is_quiet() {
+        let mut b = MicroBatcher::new(
+            BatchPolicy {
+                max_batch: 8,
+                deadline_us: 500,
+            },
+            64,
+        );
+        b.push(low(1, shape_a(), 0)).unwrap();
+        b.push(req(2, shape_b(), 400)).unwrap();
+        // At t=500 the low request's deadline fired; the younger high
+        // request has no trigger yet and must not starve the release.
+        let batch = b.pop_batch(500).expect("low deadline release");
+        assert_eq!(batch.shape, shape_a());
+        assert_eq!(batch.requests[0].id, 1);
+    }
+
+    #[test]
+    fn expire_removes_only_overdue_requests() {
+        let mut b = MicroBatcher::new(BatchPolicy::default(), 64);
+        b.push(QueuedRequest {
+            expires_us: Some(100),
+            ..low(1, shape_a(), 0)
+        })
+        .unwrap();
+        b.push(QueuedRequest {
+            expires_us: Some(500),
+            ..req(2, shape_a(), 0)
+        })
+        .unwrap();
+        b.push(req(3, shape_a(), 0)).unwrap();
+        assert!(
+            b.expire(100).is_empty(),
+            "deadline instant still dispatchable"
+        );
+        let expired = b.expire(101);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.next_expiry_us(), Some(500));
+        let expired = b.expire(10_000);
+        assert_eq!(expired.len(), 1, "the deadline-free request never expires");
+        assert_eq!(expired[0].id, 2);
     }
 
     #[test]

@@ -25,8 +25,102 @@ use crate::conv::Conv2d;
 use crate::error::SwdnnError;
 use sw_perfmodel::{ChipSpec, PlanKind};
 use sw_sim::chip::LAUNCH_OVERHEAD_CYCLES;
-use sw_sim::run_multi_cg_on;
+use sw_sim::{run_multi_cg_on, FaultPlan};
 use sw_tensor::{ConvShape, Layout, Tensor4};
+
+/// Largest shard width usable when only `healthy` CGs are routable: the
+/// biggest `k ≤ healthy` whose row split divides `shape.ro` (1 always
+/// divides, so this is 0 only when `healthy` is 0 and the caller must take
+/// the fallback chain).
+pub fn effective_cgs(shape: &ConvShape, healthy: usize) -> usize {
+    (1..=healthy)
+        .rev()
+        .find(|k| shape.ro.is_multiple_of(*k))
+        .unwrap_or(0)
+}
+
+/// What a [`FaultPlan`] deterministically does to one CG's slice of one
+/// accounted batch (see [`sample_slice_faults`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SliceFaults {
+    /// Cycles lost to DMA backoff, DMA stalls, and CPE stalls — charged
+    /// into the batch's wall time exactly like PR 1 charged executor
+    /// retries.
+    pub extra_cycles: u64,
+    /// DMA re-issues that eventually succeeded.
+    pub dma_retries: u64,
+    /// Bus messages dropped on this slice (each one is the
+    /// `EmptyInbox`-deadlock failure mode: the slice cannot complete).
+    pub dropped_msgs: u64,
+    /// A permanently-dead CPE sits in this CG: every dispatch fails.
+    pub dead: bool,
+    /// Some transfer exhausted the mesh's DMA retry budget.
+    pub exhausted: bool,
+}
+
+impl SliceFaults {
+    /// Did the slice fail (as opposed to merely running slow)?
+    pub fn failed(&self) -> bool {
+        self.dead || self.exhausted || self.dropped_msgs > 0
+    }
+}
+
+/// Sample the fault outcome of `actor`'s slice of accounted batch
+/// `batch_seq`, which moves `transfers` DMA requests.
+///
+/// The serving engine's hot path accounts batches from cached plan timing
+/// rather than re-simulating 64 CPEs per request; this function gives that
+/// accounting path the *same* seeded decision streams the mesh itself
+/// consults (`FaultPlan::dma_attempt_fails` / `dma_stall` / `msg_dropped` /
+/// `cpe_stall`), keyed by `(actor, batch_seq)` so every CG and every batch
+/// sees an independent — but exactly reproducible — pattern. Failed DMA
+/// attempts charge the retry policy's exponential backoff; exhausting the
+/// per-transfer budget (or any dropped message, or a dead CPE) fails the
+/// slice. To bound sampling cost on very large batches, at most 2048
+/// transfers are drawn and the charged cycles are scaled back up by the
+/// ceiling ratio.
+pub fn sample_slice_faults(
+    fault: &FaultPlan,
+    actor: usize,
+    batch_seq: u64,
+    transfers: u64,
+) -> SliceFaults {
+    let mut out = SliceFaults::default();
+    if fault.dead_mask != 0 {
+        out.dead = true;
+        return out;
+    }
+    if !fault.is_active() {
+        return out;
+    }
+    const MAX_SAMPLED: u64 = 2_048;
+    let sampled = transfers.clamp(1, MAX_SAMPLED);
+    let scale = transfers.max(1).div_ceil(sampled);
+    let mut extra = 0u64;
+    for t in 0..sampled {
+        let seq = batch_seq.wrapping_mul(0xF_4243).wrapping_add(t);
+        extra += fault.dma_stall(actor, seq);
+        let mut attempt = 0u32;
+        while fault.dma_attempt_fails(actor, seq, attempt) {
+            if attempt >= fault.retry.max_retries {
+                out.exhausted = true;
+                break;
+            }
+            extra += fault.retry.base_backoff_cycles << attempt;
+            out.dma_retries += 1;
+            attempt += 1;
+        }
+        if fault.msg_dropped(actor, actor ^ 1, seq) {
+            out.dropped_msgs += 1;
+        }
+    }
+    // A handful of nominal supersteps per batch pick up CPE stalls.
+    for s in 0..8 {
+        extra += fault.cpe_stall(actor, batch_seq.wrapping_mul(8).wrapping_add(s));
+    }
+    out.extra_cycles = extra.saturating_mul(scale);
+    out
+}
 
 /// Splits convolutions across core groups.
 #[derive(Clone, Copy, Debug)]
@@ -88,14 +182,21 @@ impl ShardedDispatcher {
     /// The per-CG slice of `shape`: same batch/channels, `ro / cgs` output
     /// rows. Errors when the rows don't divide.
     pub fn slice_shape(&self, shape: &ConvShape) -> Result<ConvShape, SwdnnError> {
-        if !shape.ro.is_multiple_of(self.cgs) {
+        Self::slice_shape_for(shape, self.cgs)
+    }
+
+    /// [`ShardedDispatcher::slice_shape`] for an explicit shard width —
+    /// the fault-tolerant path re-slices on whatever subset of CGs is
+    /// currently healthy.
+    pub fn slice_shape_for(shape: &ConvShape, cgs: usize) -> Result<ConvShape, SwdnnError> {
+        if cgs == 0 || !shape.ro.is_multiple_of(cgs) {
             return Err(SwdnnError::ShapeMismatch {
-                expected: format!("output rows divisible by {} core groups", self.cgs),
+                expected: format!("output rows divisible by {cgs} core groups"),
                 got: format!("ro = {}", shape.ro),
             });
         }
         Ok(ConvShape {
-            ro: shape.ro / self.cgs,
+            ro: shape.ro / cgs,
             ..*shape
         })
     }
@@ -110,15 +211,30 @@ impl ShardedDispatcher {
         requests: usize,
         forced: Option<PlanKind>,
     ) -> Result<BatchTiming, SwdnnError> {
-        let slice = self.slice_shape(shape)?;
-        let cached = cache.plan_on(self.rt, &self.chip, &slice, forced)?;
+        self.time_batch_for(cache, shape, requests, forced, self.cgs, self.chip)
+    }
+
+    /// [`ShardedDispatcher::time_batch`] generalized over shard width and
+    /// chip: the fault-tolerant engine accounts rerouted batches on however
+    /// many CGs survive, and fallback batches on the degraded 4×4 mesh.
+    pub fn time_batch_for(
+        &self,
+        cache: &PlanCache,
+        shape: &ConvShape,
+        requests: usize,
+        forced: Option<PlanKind>,
+        cgs: usize,
+        chip: ChipSpec,
+    ) -> Result<BatchTiming, SwdnnError> {
+        let slice = Self::slice_shape_for(shape, cgs)?;
+        let cached = cache.plan_on(self.rt, &chip, &slice, forced)?;
         let n = requests as u64;
         // Each request's slices run concurrently across CGs (wall = slice
         // cycles); requests within the batch run back-to-back; the MPE
         // launch overhead is paid once per batch — the amortization that
         // makes batching worth the queueing delay.
         let wall_cycles = n * cached.timing.cycles + LAUNCH_OVERHEAD_CYCLES;
-        let wall_us = (self.chip.cycles_to_seconds(wall_cycles) * 1e6).ceil() as u64;
+        let wall_us = (chip.cycles_to_seconds(wall_cycles) * 1e6).ceil() as u64;
         Ok(BatchTiming {
             requests,
             wall_cycles,
@@ -237,6 +353,63 @@ mod tests {
         let chip = ChipSpec::sw26010();
         assert!(ShardedDispatcher::new(chip, 0).is_err());
         assert!(ShardedDispatcher::new(chip, chip.core_groups + 1).is_err());
+    }
+
+    #[test]
+    fn effective_cg_count_respects_row_divisibility() {
+        let s = shape(); // ro = 8
+        assert_eq!(effective_cgs(&s, 4), 4);
+        assert_eq!(effective_cgs(&s, 3), 2, "3 doesn't divide 8; 2 does");
+        assert_eq!(effective_cgs(&s, 1), 1);
+        assert_eq!(effective_cgs(&s, 0), 0, "no healthy CGs → fallback");
+        let odd = ConvShape::new(16, 8, 8, 6, 8, 3, 3); // ro = 6
+        assert_eq!(effective_cgs(&odd, 4), 3);
+    }
+
+    #[test]
+    fn fault_sampling_is_deterministic_and_inert_at_zero_rates() {
+        let quiet = FaultPlan::none(11);
+        let out = sample_slice_faults(&quiet, 0, 0, 1_000);
+        assert_eq!(out, SliceFaults::default());
+        assert!(!out.failed());
+
+        let noisy = FaultPlan::none(11)
+            .with_dma_fail_rate(0.3)
+            .with_dma_stalls(0.2, 64);
+        let a = sample_slice_faults(&noisy, 2, 7, 500);
+        let b = sample_slice_faults(&noisy, 2, 7, 500);
+        assert_eq!(a, b, "same (plan, actor, batch) must replay identically");
+        assert!(a.extra_cycles > 0, "30% fail rate over 500 transfers");
+        let other_cg = sample_slice_faults(&noisy, 3, 7, 500);
+        assert_ne!(a, other_cg, "CGs draw independent streams");
+    }
+
+    #[test]
+    fn total_dma_loss_exhausts_and_dead_cpes_fail_permanently() {
+        let lost = FaultPlan::none(5).with_dma_fail_rate(1.0);
+        let out = sample_slice_faults(&lost, 0, 0, 16);
+        assert!(out.exhausted && out.failed());
+        assert!(out.extra_cycles > 0, "every retry's backoff is charged");
+
+        let dead = FaultPlan::none(5).with_dead_cpe(1, 1);
+        let out = sample_slice_faults(&dead, 0, 0, 16);
+        assert!(out.dead && out.failed());
+    }
+
+    #[test]
+    fn routed_timing_matches_full_width_when_all_cgs_survive() {
+        let cache = PlanCache::new();
+        let d = ShardedDispatcher::new(ChipSpec::sw26010(), 4).unwrap();
+        let full = d.time_batch(&cache, &shape(), 4, None).unwrap();
+        let routed = d
+            .time_batch_for(&cache, &shape(), 4, None, 4, d.chip)
+            .unwrap();
+        assert_eq!(full.wall_cycles, routed.wall_cycles);
+        // Narrower routing pays more cycles: each CG owns more rows.
+        let narrow = d
+            .time_batch_for(&cache, &shape(), 4, None, 2, d.chip)
+            .unwrap();
+        assert!(narrow.wall_cycles > full.wall_cycles);
     }
 
     #[test]

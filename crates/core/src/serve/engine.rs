@@ -6,15 +6,75 @@
 //! depth, batch fill, rejections, and cache hit-rate feed the
 //! observability layer as counters, and every dispatched batch emits a
 //! Chrome-trace span (category `"serve"`) when tracing is enabled.
+//!
+//! ## Fault-aware dispatch
+//!
+//! With a [`ChaosConfig`] the engine serves *through* injected hardware
+//! faults instead of assuming a clean chip:
+//!
+//! * every accounted batch samples the seeded [`sw_sim::FaultPlan`]
+//!   decision streams per CG ([`super::dispatch::sample_slice_faults`]),
+//!   charging DMA backoff/stall cycles into the batch's wall time;
+//! * per-CG circuit breakers ([`super::health::HealthBoard`]) trip failing
+//!   CGs into cooldown; the batch is re-dispatched (reseeded, its wasted
+//!   wall time charged) on whatever subset of CGs stays healthy, at the
+//!   widest row split that still divides the shape
+//!   ([`super::dispatch::effective_cgs`]);
+//! * when no CG is routable (or the re-dispatch budget is spent) the batch
+//!   walks the `resilient.rs` fallback chain: the degraded 4×4 mesh, then
+//!   the host reference — which touches no mesh and never fails, so an
+//!   admitted request always completes ([`ServePath`] records which path
+//!   served it);
+//! * requests carry a [`Priority`] tier, tenant tag, and optional dispatch
+//!   deadline; admission control and deadline timeouts hit low-priority
+//!   traffic first, and every shed/evicted/timed-out request is recorded
+//!   in a [`DropRecord`] — accounted separately from completion latency,
+//!   never silently lost.
+//!
+//! Fault sampling, routing, and breaker transitions are pure functions of
+//! the fault seed, the batch sequence number, and the logical clock, so a
+//! chaos run replays number-for-number at any worker-pool thread count.
 
-use super::batcher::{Batch, BatchPolicy, MicroBatcher, QueuedRequest};
-use super::dispatch::ShardedDispatcher;
+use super::batcher::{Batch, BatchPolicy, MicroBatcher, Priority, QueuedRequest};
+use super::dispatch::{effective_cgs, sample_slice_faults, BatchTiming, ShardedDispatcher};
+use super::health::{BreakerPolicy, CgHealthStats, HealthBoard, Route};
 use super::plan_cache::{CacheStats, PlanCache};
 use crate::error::SwdnnError;
+use crate::plans::{ConvPlan, ReferencePlan};
+use crate::resilient::ResilientExecutor;
 use serde_json::Value;
-use sw_obs::{Counter, Recorder};
+use sw_obs::{Counter, Recorder, TagCounters};
 use sw_perfmodel::{ChipSpec, PlanKind};
+use sw_sim::chip::LAUNCH_OVERHEAD_CYCLES;
+use sw_sim::FaultPlan;
 use sw_tensor::ConvShape;
+
+/// Fault-injection configuration for the serving path.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seeded fault rates injected into every CG's accounted dispatch.
+    pub fault: FaultPlan,
+    /// The CG that owns `fault.dead_mask`: dead CPEs are a per-CG failure
+    /// in serving (the other CGs keep their meshes), so the mask is pinned
+    /// to one core group instead of killing all four.
+    pub dead_cg: usize,
+    /// Per-CG circuit-breaker tuning.
+    pub breaker: BreakerPolicy,
+    /// Whole-batch re-dispatches (reseeded, wasted time charged) after a
+    /// slice failure before the batch takes the fallback chain.
+    pub dispatch_retries: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            fault: FaultPlan::none(0),
+            dead_cg: 0,
+            breaker: BreakerPolicy::default(),
+            dispatch_retries: 2,
+        }
+    }
+}
 
 /// Engine construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +88,9 @@ pub struct ServeConfig {
     pub queue_limit: usize,
     /// Record Chrome-trace spans per dispatched batch.
     pub trace: bool,
+    /// Fault injection + breaker policy; `None` serves on a clean chip
+    /// with byte-identical behavior to the pre-chaos engine.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +102,43 @@ impl Default for ServeConfig {
             policy: BatchPolicy::default(),
             queue_limit: 64,
             trace: false,
+            chaos: None,
+        }
+    }
+}
+
+/// Per-request class: priority tier, tenant tag, and optional dispatch
+/// deadline relative to arrival. The default (high priority, tenant 0, no
+/// deadline) is the legacy closed-loop traffic class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestClass {
+    pub priority: Priority,
+    pub tenant: u32,
+    /// Must be dispatched within this many logical µs of arrival; `None`
+    /// never times out.
+    pub deadline_us: Option<u64>,
+}
+
+/// Which execution path served a completed request's batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServePath {
+    /// Row-sharded across `cgs` healthy core groups (the normal path; a
+    /// value below the configured width means the batch was rerouted
+    /// around tripped CGs).
+    Sharded { cgs: usize },
+    /// All CGs unavailable: re-planned on the degraded 4×4 mesh.
+    Degraded,
+    /// Even the degraded mesh failed: host-reference execution on the MPE
+    /// (never fails).
+    HostReference,
+}
+
+impl ServePath {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServePath::Sharded { .. } => "sharded",
+            ServePath::Degraded => "degraded",
+            ServePath::HostReference => "host_reference",
         }
     }
 }
@@ -50,11 +150,59 @@ pub struct Completion {
     pub shape: ConvShape,
     pub arrival_us: u64,
     pub completion_us: u64,
+    pub priority: Priority,
+    pub tenant: u32,
+    pub path: ServePath,
 }
 
 impl Completion {
     pub fn latency_us(&self) -> u64 {
         self.completion_us - self.arrival_us
+    }
+}
+
+/// Why a request was dropped instead of served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropKind {
+    /// Rejected at admission with [`SwdnnError::Overloaded`] (the caller
+    /// got the structured error; the engine records the event).
+    ShedAtAdmission,
+    /// Accepted earlier, then displaced by a higher-priority admission.
+    Evicted,
+    /// Still queued strictly past its dispatch deadline.
+    DeadlineExceeded,
+}
+
+impl DropKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropKind::ShedAtAdmission => "shed",
+            DropKind::Evicted => "evicted",
+            DropKind::DeadlineExceeded => "timed_out",
+        }
+    }
+}
+
+/// One dropped request. Drops live in their own histogram
+/// ([`ServeEngine::shed_wait_percentile_us`]): they are *never* folded
+/// into — or silently omitted from — the completed-request latency
+/// percentiles.
+#[derive(Clone, Copy, Debug)]
+pub struct DropRecord {
+    /// `None` for admission-time sheds (no id was ever assigned).
+    pub id: Option<u64>,
+    pub shape: ConvShape,
+    pub priority: Priority,
+    pub tenant: u32,
+    pub arrival_us: u64,
+    pub drop_us: u64,
+    pub kind: DropKind,
+}
+
+impl DropRecord {
+    /// How long the request waited before being dropped.
+    pub fn waited_us(&self) -> u64 {
+        self.drop_us - self.arrival_us
     }
 }
 
@@ -74,6 +222,22 @@ pub struct ServeCounters {
     pub busy_cycles: Counter,
     /// Total flops dispatched.
     pub flops: Counter,
+    /// Low-priority requests displaced by high-priority admissions.
+    pub evicted: Counter,
+    /// Requests dropped past their dispatch deadline.
+    pub timed_out: Counter,
+    /// Per-CG slice failures observed during chaos dispatch.
+    pub cg_failures: Counter,
+    /// Whole-batch re-dispatches after a slice failure.
+    pub redispatches: Counter,
+    /// Batches served on the degraded 4×4 mesh.
+    pub degraded_batches: Counter,
+    /// Batches served by the host reference.
+    pub host_batches: Counter,
+    /// Cycles charged for fault backoff/stalls and wasted dispatches.
+    pub fault_extra_cycles: Counter,
+    /// Sampled DMA re-issues that eventually succeeded.
+    pub fault_dma_retries: Counter,
 }
 
 /// End-of-run summary for benches and snapshots.
@@ -89,6 +253,16 @@ pub struct ServeSummary {
     /// Chip-level Gflops over busy time.
     pub gflops_chip: f64,
     pub plan_cache_hit_rate: f64,
+    pub evicted: u64,
+    pub timed_out: u64,
+    /// p99 over *high-priority* completions only (the chaos SLO metric).
+    pub high_p99_latency_us: u64,
+    /// p99 queue wait of dropped requests — a separate histogram from the
+    /// completion percentiles above.
+    pub shed_p99_wait_us: u64,
+    pub breaker_trips: u64,
+    pub degraded_batches: u64,
+    pub host_batches: u64,
 }
 
 /// The deterministic batch-serving engine.
@@ -98,11 +272,18 @@ pub struct ServeEngine {
     batcher: MicroBatcher,
     cache: PlanCache,
     recorder: Recorder,
+    /// Per-CG breakers (present iff `config.chaos` is).
+    health: Option<HealthBoard>,
     /// Logical clock, µs of simulated time.
     clock_us: u64,
     next_id: u64,
+    /// Monotonic dispatch sequence — the fault-sampling key.
+    batch_seq: u64,
     pub counters: ServeCounters,
+    /// Per-tenant / per-CG keyed counters.
+    pub tags: TagCounters,
     completions: Vec<Completion>,
+    drops: Vec<DropRecord>,
 }
 
 impl ServeEngine {
@@ -116,11 +297,17 @@ impl ServeEngine {
             } else {
                 Recorder::disabled()
             },
+            health: config
+                .chaos
+                .map(|c| HealthBoard::new(config.cgs, c.breaker)),
             config,
             clock_us: 0,
             next_id: 0,
+            batch_seq: 0,
             counters: ServeCounters::default(),
+            tags: TagCounters::new(),
             completions: Vec::new(),
+            drops: Vec::new(),
         })
     }
 
@@ -149,32 +336,83 @@ impl ServeEngine {
         self.clock_us += us;
     }
 
-    /// Submit one inference request at the current clock. Returns its id,
-    /// or [`SwdnnError::Overloaded`] when the bounded queue is full — the
+    /// Submit one default-class request (high priority, tenant 0, no
+    /// deadline) at the current clock. Returns its id, or
+    /// [`SwdnnError::Overloaded`] when the bounded queue is full — the
     /// request is dropped, nothing grows.
     pub fn submit(&mut self, shape: ConvShape) -> Result<u64, SwdnnError> {
+        self.submit_with(shape, RequestClass::default())
+    }
+
+    /// [`ServeEngine::submit`] with an explicit [`RequestClass`]. A
+    /// high-priority submission into a full queue evicts the newest
+    /// low-priority request (recorded as [`DropKind::Evicted`]) before it
+    /// is itself rejected; a rejected request is recorded as
+    /// [`DropKind::ShedAtAdmission`] and the returned
+    /// [`SwdnnError::Overloaded`] carries the queue depth and retry-after
+    /// hint.
+    pub fn submit_with(
+        &mut self,
+        shape: ConvShape,
+        class: RequestClass,
+    ) -> Result<u64, SwdnnError> {
         self.counters.submitted.inc();
         let id = self.next_id;
-        let res = self.batcher.push(QueuedRequest {
+        let req = QueuedRequest {
             id,
             shape,
             arrival_us: self.clock_us,
-        });
-        match res {
-            Ok(()) => {
+            priority: class.priority,
+            tenant: class.tenant,
+            expires_us: class.deadline_us.map(|d| self.clock_us + d),
+        };
+        match self.batcher.push(req) {
+            Ok(victim) => {
                 self.next_id += 1;
+                if let Some(v) = victim {
+                    self.drop_request(v, DropKind::Evicted);
+                }
                 Ok(id)
             }
             Err(e) => {
-                self.counters.rejected.inc();
+                self.drop_request(req, DropKind::ShedAtAdmission);
                 Err(e)
             }
+        }
+    }
+
+    fn drop_request(&mut self, req: QueuedRequest, kind: DropKind) {
+        match kind {
+            DropKind::ShedAtAdmission => self.counters.rejected.inc(),
+            DropKind::Evicted => self.counters.evicted.inc(),
+            DropKind::DeadlineExceeded => self.counters.timed_out.inc(),
+        }
+        self.tags
+            .inc(&format!("tenant/{}/{}", req.tenant, kind.name()));
+        self.drops.push(DropRecord {
+            // A shed request never got its id assigned.
+            id: (kind != DropKind::ShedAtAdmission).then_some(req.id),
+            shape: req.shape,
+            priority: req.priority,
+            tenant: req.tenant,
+            arrival_us: req.arrival_us,
+            drop_us: self.clock_us,
+            kind,
+        });
+    }
+
+    /// Fire deadline timeouts for requests still queued past their
+    /// dispatch deadline at the current clock.
+    fn fire_expiries(&mut self) {
+        for req in self.batcher.expire(self.clock_us) {
+            self.drop_request(req, DropKind::DeadlineExceeded);
         }
     }
 
     /// Dispatch at most one batch if a trigger fires at the current clock.
     /// Returns the number of requests served (0 = nothing ready).
     pub fn poll(&mut self) -> Result<usize, SwdnnError> {
+        self.fire_expiries();
         let Some(batch) = self.batcher.pop_batch(self.clock_us) else {
             return Ok(0);
         };
@@ -185,7 +423,11 @@ impl ServeEngine {
     /// the next deadline whenever no trigger is ready, then flush leftovers.
     pub fn drain(&mut self) -> Result<usize, SwdnnError> {
         let mut served = 0;
-        while !self.batcher.is_empty() {
+        loop {
+            self.fire_expiries();
+            if self.batcher.is_empty() {
+                break;
+            }
             served += match self.batcher.pop_batch(self.clock_us) {
                 Some(batch) => self.execute(batch)?,
                 None => match self.batcher.next_deadline_us() {
@@ -203,11 +445,54 @@ impl ServeEngine {
         Ok(served)
     }
 
+    /// Advance the logical clock to `target_us`, dispatching every batch
+    /// whose trigger fires on the way and firing deadline timeouts as they
+    /// come due — the open-loop driver's "let simulated time pass" step.
+    /// Work in flight when the target is reached still completes (the
+    /// clock ends at `max(target, last dispatch end)`); queued work whose
+    /// trigger hasn't fired stays queued.
+    pub fn run_until(&mut self, target_us: u64) -> Result<usize, SwdnnError> {
+        let mut served = 0;
+        loop {
+            self.fire_expiries();
+            if let Some(batch) = self.batcher.pop_batch(self.clock_us) {
+                served += self.execute(batch)?;
+                continue;
+            }
+            let next_event = [
+                self.batcher.next_deadline_us(),
+                // A request expires strictly *after* its deadline instant.
+                self.batcher.next_expiry_us().map(|e| e + 1),
+            ]
+            .into_iter()
+            .flatten()
+            .filter(|&t| t > self.clock_us)
+            .min();
+            match next_event {
+                Some(t) if t <= target_us => self.clock_us = t,
+                _ => break,
+            }
+        }
+        if self.clock_us < target_us {
+            self.clock_us = target_us;
+        }
+        Ok(served)
+    }
+
     fn execute(&mut self, batch: Batch) -> Result<usize, SwdnnError> {
         let n = batch.requests.len();
-        let timing = self
-            .dispatcher
-            .time_batch(&self.cache, &batch.shape, n, None::<PlanKind>)?;
+        let seq = self.batch_seq;
+        self.batch_seq += 1;
+        let (timing, path) = match self.config.chaos {
+            Some(chaos) => self.account_chaos_batch(&batch, seq, &chaos)?,
+            None => (
+                self.dispatcher
+                    .time_batch(&self.cache, &batch.shape, n, None::<PlanKind>)?,
+                ServePath::Sharded {
+                    cgs: self.config.cgs,
+                },
+            ),
+        };
         let start_us = self.clock_us;
         self.clock_us += timing.wall_us;
         self.counters.batches.inc();
@@ -216,12 +501,21 @@ impl ServeEngine {
         self.counters.busy_us.add(timing.wall_us);
         self.counters.busy_cycles.add(timing.wall_cycles);
         self.counters.flops.add(timing.total_flops);
+        match path {
+            ServePath::Degraded => self.counters.degraded_batches.inc(),
+            ServePath::HostReference => self.counters.host_batches.inc(),
+            ServePath::Sharded { .. } => {}
+        }
         for r in &batch.requests {
+            self.tags.inc(&format!("tenant/{}/served", r.tenant));
             self.completions.push(Completion {
                 id: r.id,
                 shape: r.shape,
                 arrival_us: r.arrival_us,
                 completion_us: self.clock_us,
+                priority: r.priority,
+                tenant: r.tenant,
+                path,
             });
         }
         self.recorder.span_cat(
@@ -239,9 +533,189 @@ impl ServeEngine {
                 ),
                 ("queue_depth".into(), Value::from(self.batcher.len() as u64)),
                 ("wall_cycles".into(), Value::from(timing.wall_cycles)),
+                ("path".into(), Value::from(path.name())),
             ],
         );
         Ok(n)
+    }
+
+    /// The per-CG fault plan: the shared rates, with `dead_mask` pinned to
+    /// the configured CG and the seed re-derived per re-dispatch round
+    /// (replaying the identical seed would reproduce the failure).
+    fn cg_fault(chaos: &ChaosConfig, cg: usize, round: u32) -> FaultPlan {
+        let mut f = chaos.fault;
+        if cg != chaos.dead_cg {
+            f.dead_mask = 0;
+        }
+        if round > 0 {
+            f = f.reseed(f.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64));
+        }
+        f
+    }
+
+    /// Account one batch under fault injection: route on the health board,
+    /// sample per-CG fault outcomes, charge backoff/stall cycles, trip and
+    /// probe breakers, re-dispatch on failure, and fall back to the
+    /// degraded mesh / host reference when the mesh path is exhausted.
+    fn account_chaos_batch(
+        &mut self,
+        batch: &Batch,
+        seq: u64,
+        chaos: &ChaosConfig,
+    ) -> Result<(BatchTiming, ServePath), SwdnnError> {
+        let n = batch.requests.len();
+        // Cycles charged for dispatch attempts that failed and were thrown
+        // away — the retry tax, exactly like PR 1's executor retries.
+        let mut wasted_cycles: u64 = 0;
+        let mut round: u32 = 0;
+        loop {
+            let route = self
+                .health
+                .as_mut()
+                .expect("chaos implies a health board")
+                .route(self.clock_us);
+            let k = effective_cgs(&batch.shape, route.cgs.len());
+            if k == 0 {
+                break; // every breaker open → fallback chain
+            }
+            let active: Vec<usize> = route.cgs[..k].to_vec();
+            // Probes excluded by the row split must be re-admittable.
+            let unused = Route {
+                cgs: Vec::new(),
+                probes: route
+                    .probes
+                    .iter()
+                    .copied()
+                    .filter(|p| !active.contains(p))
+                    .collect(),
+            };
+            self.health.as_mut().unwrap().cancel_probes(&unused);
+
+            let timing = self.dispatcher.time_batch_for(
+                &self.cache,
+                &batch.shape,
+                n,
+                None::<PlanKind>,
+                k,
+                self.config.chip,
+            )?;
+            let slice = ShardedDispatcher::slice_shape_for(&batch.shape, k)?;
+            let cached = self
+                .cache
+                .plan_on(self.dispatcher.rt, &self.config.chip, &slice, None)?;
+            let transfers = cached.timing.stats.totals.dma_requests.max(1) * n as u64;
+
+            // Slices run concurrently: wall time extends by the slowest.
+            let mut extra_max = 0u64;
+            let mut failed: Vec<usize> = Vec::new();
+            for &cg in &active {
+                let fault = Self::cg_fault(chaos, cg, round);
+                let out = sample_slice_faults(&fault, cg, seq, transfers);
+                extra_max = extra_max.max(out.extra_cycles);
+                self.counters.fault_dma_retries.add(out.dma_retries);
+                if out.failed() {
+                    failed.push(cg);
+                }
+            }
+            for &cg in &active {
+                let ok = !failed.contains(&cg);
+                let tripped = self.health.as_mut().unwrap().record(cg, ok, self.clock_us);
+                self.tags.inc(&format!(
+                    "cg/{cg}/{}",
+                    if ok { "success" } else { "failure" }
+                ));
+                if !ok {
+                    self.counters.cg_failures.inc();
+                }
+                if tripped {
+                    self.tags.inc(&format!("cg/{cg}/trip"));
+                    self.recorder.instant(
+                        "breaker_open",
+                        "health",
+                        2,
+                        cg as u64,
+                        self.clock_us as f64,
+                        vec![
+                            ("cg".into(), Value::from(cg as u64)),
+                            ("batch_seq".into(), Value::from(seq)),
+                        ],
+                    );
+                } else if ok && route.probes.contains(&cg) {
+                    self.recorder.instant(
+                        "breaker_close",
+                        "health",
+                        2,
+                        cg as u64,
+                        self.clock_us as f64,
+                        vec![("cg".into(), Value::from(cg as u64))],
+                    );
+                }
+            }
+            self.counters.fault_extra_cycles.add(extra_max);
+            if failed.is_empty() {
+                let mut t = timing;
+                t.wall_cycles += extra_max + wasted_cycles;
+                t.wall_us = self.cycles_to_us(t.wall_cycles);
+                return Ok((t, ServePath::Sharded { cgs: k }));
+            }
+            // The attempt's wall time was spent and is thrown away.
+            wasted_cycles += timing.wall_cycles + extra_max;
+            self.counters.fault_extra_cycles.add(timing.wall_cycles);
+            self.counters.redispatches.inc();
+            round += 1;
+            if round > chaos.dispatch_retries {
+                break;
+            }
+        }
+
+        // Fallback 1: the degraded 4×4 mesh (faults still apply — its DMA
+        // engines misbehave like everyone else's — but dead CPEs are
+        // masked by the re-planning, per resilient.rs).
+        let degraded = ResilientExecutor::degraded_chip(self.config.chip);
+        if let Ok(timing) = self.dispatcher.time_batch_for(
+            &self.cache,
+            &batch.shape,
+            n,
+            None::<PlanKind>,
+            1,
+            degraded,
+        ) {
+            let mut fault = chaos.fault;
+            fault.dead_mask = 0;
+            // Actor 64 is off-mesh: an independent decision stream from
+            // the four CGs'.
+            let out = sample_slice_faults(&fault, 64, seq, timing.wall_cycles.max(1) / 64);
+            self.counters.fault_dma_retries.add(out.dma_retries);
+            self.counters.fault_extra_cycles.add(out.extra_cycles);
+            if !out.failed() {
+                let mut t = timing;
+                t.wall_cycles += out.extra_cycles + wasted_cycles;
+                t.wall_us = self.cycles_to_us(t.wall_cycles);
+                return Ok((t, ServePath::Degraded));
+            }
+            wasted_cycles += timing.wall_cycles + out.extra_cycles;
+            self.counters.fault_extra_cycles.add(timing.wall_cycles);
+        }
+
+        // Fallback 2: the host reference touches no mesh and never fails.
+        let ref_timing = ReferencePlan {
+            chip: self.config.chip,
+        }
+        .time_full_shape(&batch.shape)?;
+        let wall_cycles = n as u64 * ref_timing.cycles + LAUNCH_OVERHEAD_CYCLES + wasted_cycles;
+        Ok((
+            BatchTiming {
+                requests: n,
+                wall_cycles,
+                wall_us: self.cycles_to_us(wall_cycles),
+                total_flops: n as u64 * batch.shape.flops(),
+            },
+            ServePath::HostReference,
+        ))
+    }
+
+    fn cycles_to_us(&self, cycles: u64) -> u64 {
+        (self.config.chip.cycles_to_seconds(cycles) * 1e6).ceil() as u64
     }
 
     /// All completions so far, in completion order.
@@ -249,12 +723,35 @@ impl ServeEngine {
         &self.completions
     }
 
-    /// Reset measurement state (completions + counters + cache counters)
-    /// after a warmup phase, keeping caches and the clock hot.
+    /// All dropped requests (shed / evicted / timed out), in drop order.
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
+    }
+
+    /// Per-CG breaker snapshot (`None` without a [`ChaosConfig`]).
+    pub fn health_snapshot(&self) -> Option<Vec<(&'static str, CgHealthStats)>> {
+        self.health.as_ref().map(|h| h.snapshot())
+    }
+
+    /// Aggregate breaker stats (zeros without a [`ChaosConfig`]).
+    pub fn health_totals(&self) -> CgHealthStats {
+        self.health.as_ref().map(|h| h.totals()).unwrap_or_default()
+    }
+
+    /// Currently-open breakers.
+    pub fn open_breakers(&self) -> usize {
+        self.health.as_ref().map(|h| h.open_count()).unwrap_or(0)
+    }
+
+    /// Reset measurement state (completions + drops + counters + cache
+    /// counters + tags) after a warmup phase, keeping caches, breaker
+    /// state, and the clock hot.
     pub fn reset_measurements(&mut self) {
         self.completions.clear();
+        self.drops.clear();
         self.counters = ServeCounters::default();
         self.cache.reset_counters();
+        self.tags.reset();
     }
 
     /// Take the recorded Chrome trace (empty when tracing is off).
@@ -262,15 +759,40 @@ impl ServeEngine {
         self.recorder.take()
     }
 
-    /// Order-statistic latency percentile over completions (0–100).
-    pub fn latency_percentile_us(&self, pct: f64) -> u64 {
-        let mut lats: Vec<u64> = self.completions.iter().map(|c| c.latency_us()).collect();
-        if lats.is_empty() {
+    fn percentile(mut vals: Vec<u64>, pct: f64) -> u64 {
+        if vals.is_empty() {
             return 0;
         }
-        lats.sort_unstable();
-        let rank = ((pct / 100.0) * (lats.len() - 1) as f64).round() as usize;
-        lats[rank.min(lats.len() - 1)]
+        vals.sort_unstable();
+        let rank = ((pct / 100.0) * (vals.len() - 1) as f64).round() as usize;
+        vals[rank.min(vals.len() - 1)]
+    }
+
+    /// Order-statistic latency percentile over all completions (0–100).
+    pub fn latency_percentile_us(&self, pct: f64) -> u64 {
+        Self::percentile(
+            self.completions.iter().map(|c| c.latency_us()).collect(),
+            pct,
+        )
+    }
+
+    /// Latency percentile over completions of one priority tier only.
+    pub fn latency_percentile_for(&self, priority: Priority, pct: f64) -> u64 {
+        Self::percentile(
+            self.completions
+                .iter()
+                .filter(|c| c.priority == priority)
+                .map(|c| c.latency_us())
+                .collect(),
+            pct,
+        )
+    }
+
+    /// Queue-wait percentile over *dropped* requests — the shed/timeout
+    /// histogram, kept apart from the completion percentiles so shedding
+    /// can never flatter the reported latency.
+    pub fn shed_wait_percentile_us(&self, pct: f64) -> u64 {
+        Self::percentile(self.drops.iter().map(|d| d.waited_us()).collect(), pct)
     }
 
     pub fn summary(&self) -> ServeSummary {
@@ -294,6 +816,13 @@ impl ServeEngine {
                 0.0
             },
             plan_cache_hit_rate: self.cache.stats().plan_hit_rate(),
+            evicted: self.counters.evicted.get(),
+            timed_out: self.counters.timed_out.get(),
+            high_p99_latency_us: self.latency_percentile_for(Priority::High, 99.0),
+            shed_p99_wait_us: self.shed_wait_percentile_us(99.0),
+            breaker_trips: self.health_totals().trips,
+            degraded_batches: self.counters.degraded_batches.get(),
+            host_batches: self.counters.host_batches.get(),
         }
     }
 }
@@ -315,6 +844,19 @@ mod tests {
             },
             queue_limit,
             trace: true,
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn chaos_engine(chaos: ChaosConfig, max_batch: usize, queue_limit: usize) -> ServeEngine {
+        ServeEngine::new(ServeConfig {
+            policy: BatchPolicy {
+                max_batch,
+                deadline_us: 1_000,
+            },
+            queue_limit,
+            chaos: Some(chaos),
             ..ServeConfig::default()
         })
         .unwrap()
@@ -358,6 +900,9 @@ mod tests {
         // After draining, submissions succeed again.
         e.submit(shape()).unwrap();
         assert_eq!(e.summary().rejected, 72);
+        // Every shed request is in the drop log, none has an id.
+        assert_eq!(e.drops().len(), 72);
+        assert!(e.drops().iter().all(|d| d.id.is_none()));
     }
 
     #[test]
@@ -400,5 +945,193 @@ mod tests {
         assert_eq!(cs.plan_misses, 0, "warmup already populated the cache");
         assert_eq!(cs.plan_hit_rate(), 1.0);
         assert_eq!(e.summary().served, 8, "only the measured window counts");
+    }
+
+    #[test]
+    fn zero_rate_chaos_is_identical_to_fault_free_serving() {
+        let run = |chaos: Option<ChaosConfig>| {
+            let mut e = ServeEngine::new(ServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 4,
+                    deadline_us: 1_000,
+                },
+                queue_limit: 64,
+                chaos,
+                ..ServeConfig::default()
+            })
+            .unwrap();
+            for _ in 0..12 {
+                e.submit(shape()).unwrap();
+            }
+            e.drain().unwrap();
+            let s = e.summary();
+            (s.served, s.batches, s.p50_latency_us, s.p99_latency_us)
+        };
+        assert_eq!(
+            run(None),
+            run(Some(ChaosConfig::default())),
+            "inert fault plan must not change a single number"
+        );
+    }
+
+    #[test]
+    fn dead_cg_trips_its_breaker_and_requests_still_complete() {
+        let chaos = ChaosConfig {
+            fault: FaultPlan::none(3).with_dead_cpe(2, 2),
+            dead_cg: 1,
+            breaker: BreakerPolicy {
+                trip_after: 3,
+                cooldown_us: 50_000,
+            },
+            dispatch_retries: 2,
+        };
+        let mut e = chaos_engine(chaos, 4, 64);
+        for _ in 0..32 {
+            e.submit(shape()).unwrap();
+        }
+        e.drain().unwrap();
+        let s = e.summary();
+        assert_eq!(s.served, 32, "a dead CG must never lose requests");
+        assert!(s.breaker_trips >= 1, "CG 1 must trip");
+        assert!(
+            e.completions()
+                .iter()
+                .any(|c| c.path != ServePath::Sharded { cgs: 4 }),
+            "traffic must have been rerouted or fallen back"
+        );
+        // Once CG 1 is tripped, batches shard over 2 of the 3 healthy CGs
+        // (the widest split dividing ro = 8).
+        assert!(e
+            .completions()
+            .iter()
+            .any(|c| c.path == ServePath::Sharded { cgs: 2 }));
+        let snap = e.health_snapshot().unwrap();
+        assert!(snap[1].1.failures > 0);
+        assert_eq!(snap[0].1.failures, 0, "healthy CGs never fail");
+        assert!(e.tags.get("cg/1/trip") >= 1);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let run = || {
+            let chaos = ChaosConfig {
+                fault: FaultPlan::none(17).with_dma_fail_rate(5e-3),
+                ..ChaosConfig::default()
+            };
+            let mut e = chaos_engine(chaos, 4, 64);
+            for _ in 0..24 {
+                e.submit(shape()).unwrap();
+            }
+            e.drain().unwrap();
+            let s = e.summary();
+            (
+                s.served,
+                s.p99_latency_us,
+                s.breaker_trips,
+                e.counters.fault_extra_cycles.get(),
+                e.counters.cg_failures.get(),
+            )
+        };
+        assert_eq!(run(), run(), "same seed, same chaos numbers");
+    }
+
+    #[test]
+    fn faults_cost_time_never_lose_requests() {
+        let chaos = ChaosConfig {
+            fault: FaultPlan::none(9)
+                .with_dma_fail_rate(2e-3)
+                .with_dma_stalls(1e-2, 512),
+            ..ChaosConfig::default()
+        };
+        let mut clean = engine(4, 64);
+        let mut noisy = chaos_engine(chaos, 4, 64);
+        for _ in 0..24 {
+            clean.submit(shape()).unwrap();
+            noisy.submit(shape()).unwrap();
+        }
+        clean.drain().unwrap();
+        noisy.drain().unwrap();
+        assert_eq!(noisy.summary().served, 24);
+        assert!(
+            noisy.counters.busy_cycles.get() > clean.counters.busy_cycles.get(),
+            "stall/backoff cycles must be charged into wall time"
+        );
+    }
+
+    #[test]
+    fn low_priority_is_shed_and_timed_out_first() {
+        let mut e = engine(4, 8);
+        let low = RequestClass {
+            priority: Priority::Low,
+            tenant: 7,
+            deadline_us: Some(500),
+        };
+        for _ in 0..8 {
+            e.submit_with(shape(), low).unwrap();
+        }
+        // Queue full of low traffic: high submissions evict, never fail.
+        for _ in 0..4 {
+            e.submit(shape()).unwrap();
+        }
+        assert_eq!(e.summary().evicted, 4);
+        // Past the dispatch deadline the remaining low requests time out;
+        // the high tier is unaffected.
+        e.advance_us(2_000);
+        e.drain().unwrap();
+        let s = e.summary();
+        assert_eq!(s.timed_out, 4);
+        assert_eq!(s.served, 4, "all high-priority requests complete");
+        assert!(e.completions().iter().all(|c| c.priority == Priority::High));
+        assert!(e
+            .drops()
+            .iter()
+            .all(|d| d.priority == Priority::Low && d.tenant == 7));
+        assert_eq!(e.tags.get("tenant/7/evicted"), 4);
+        assert_eq!(e.tags.get("tenant/7/timed_out"), 4);
+        assert_eq!(e.tags.get("tenant/0/served"), 4);
+    }
+
+    #[test]
+    fn run_until_dispatches_on_the_way_and_lands_on_target() {
+        let mut e = engine(8, 64);
+        e.submit(shape()).unwrap();
+        // Target far past the straggler deadline: the deadline release
+        // fires mid-flight, not at the end.
+        let served = e.run_until(50_000).unwrap();
+        assert_eq!(served, 1);
+        assert_eq!(e.now_us(), 50_000);
+        let c = e.completions()[0];
+        assert!(c.completion_us < 50_000, "released at its deadline");
+    }
+
+    #[test]
+    fn drop_histogram_is_separate_from_completion_latency() {
+        let mut e = engine(4, 64);
+        // Two served requests with real latency.
+        e.submit(shape()).unwrap();
+        e.submit(shape()).unwrap();
+        e.drain().unwrap();
+        let p99_before = e.summary().p99_latency_us;
+        // A long-waiting low request that times out must not appear in the
+        // completion percentiles.
+        let doomed = RequestClass {
+            priority: Priority::Low,
+            tenant: 1,
+            deadline_us: Some(10),
+        };
+        e.submit_with(shape(), doomed).unwrap();
+        e.advance_us(100_000);
+        e.poll().unwrap();
+        let s = e.summary();
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(
+            s.p99_latency_us, p99_before,
+            "a timed-out request must not change completion latency"
+        );
+        assert!(
+            s.shed_p99_wait_us >= 100_000,
+            "its wait lives in the shed histogram: {}",
+            s.shed_p99_wait_us
+        );
     }
 }

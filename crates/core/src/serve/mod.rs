@@ -17,10 +17,18 @@
 //!   [`sw_runtime::ExecutionContext`] via [`sw_sim::run_multi_cg_on`] —
 //!   no per-request thread fan-out), amortizing the kernel-launch
 //!   overhead over the batch;
-//! * [`ServeEngine`] — the deterministic closed loop driving all three
-//!   under a logical clock of simulated microseconds, reporting
+//! * [`HealthBoard`] — one deterministic circuit breaker per core group:
+//!   consecutive slice failures trip a CG into cooldown, its row-split
+//!   share reroutes to the survivors, and half-open probing on the logical
+//!   clock restores it;
+//! * [`ServeEngine`] — the deterministic closed loop driving all of the
+//!   above under a logical clock of simulated microseconds, reporting
 //!   per-request latency percentiles, chip Gflops, batch fill, and cache
-//!   hit-rate, with optional Chrome-trace spans per batch.
+//!   hit-rate, with optional Chrome-trace spans per batch. With a
+//!   [`ChaosConfig`] it serves through injected faults: per-CG fault
+//!   sampling, breaker-driven rerouting, the degraded-mesh/host-reference
+//!   fallback chain, priority admission control, and per-request dispatch
+//!   deadlines.
 //!
 //! Everything is simulated time: runs are exactly reproducible, so the
 //! serving SLOs (p99 latency, hit rate, rejection behavior) are asserted
@@ -29,11 +37,20 @@
 pub mod batcher;
 pub mod dispatch;
 pub mod engine;
+pub mod health;
 pub mod plan_cache;
 pub mod sharded_map;
 
-pub use batcher::{Batch, BatchPolicy, BatchTrigger, MicroBatcher, QueuedRequest};
-pub use dispatch::{BatchTiming, ShardedDispatcher};
-pub use engine::{Completion, ServeConfig, ServeCounters, ServeEngine, ServeSummary};
+pub use batcher::{Batch, BatchPolicy, BatchTrigger, MicroBatcher, Priority, QueuedRequest};
+pub use dispatch::{
+    effective_cgs, sample_slice_faults, BatchTiming, ShardedDispatcher, SliceFaults,
+};
+pub use engine::{
+    ChaosConfig, Completion, DropKind, DropRecord, RequestClass, ServeConfig, ServeCounters,
+    ServeEngine, ServePath, ServeSummary,
+};
+pub use health::{
+    Availability, BreakerPolicy, BreakerState, CgBreaker, CgHealthStats, HealthBoard, Route,
+};
 pub use plan_cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
 pub use sharded_map::ShardedMap;

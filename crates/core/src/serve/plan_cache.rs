@@ -18,12 +18,16 @@ use std::sync::Arc;
 use sw_perfmodel::{Blocking, ChipSpec, ConvPerfModel, PerfEstimate, PlanKind};
 use sw_tensor::ConvShape;
 
-/// Cache key: the shape plus any forced plan kind (forcing changes the
-/// resolved plan, so it must not share an entry with automatic selection).
+/// Cache key: the shape, any forced plan kind (forcing changes the
+/// resolved plan, so it must not share an entry with automatic selection),
+/// and the chip's mesh dimension — the fault-tolerant dispatcher re-plans
+/// on the degraded 4×4 mesh, and a degraded-chip timing must never be
+/// served where a full 8×8 timing was asked for (or vice versa).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     pub shape: ConvShape,
     pub forced: Option<PlanKind>,
+    pub mesh_dim: usize,
 }
 
 /// Everything memoized about one resolved plan.
@@ -101,6 +105,7 @@ impl PlanCache {
         let key = PlanKey {
             shape: *shape,
             forced,
+            mesh_dim: chip.mesh_dim,
         };
         self.plans.get_or_insert_with(&key, || {
             let mut conv = Conv2d::new(*shape)?.on_chip(*chip).on_runtime(rt);
@@ -210,6 +215,25 @@ mod tests {
         let err = cache.plan(&chip, &bad, Some(PlanKind::ImageSizeAware));
         assert!(err.is_err());
         assert_eq!(cache.stats().plan_entries, 0);
+    }
+
+    #[test]
+    fn degraded_mesh_entries_do_not_collide_with_full_mesh() {
+        let cache = PlanCache::new();
+        let chip = ChipSpec::sw26010();
+        let degraded = crate::resilient::ResilientExecutor::degraded_chip(chip);
+        let full = cache.plan(&chip, &shape(), None).unwrap();
+        let masked = cache.plan(&degraded, &shape(), None).unwrap();
+        assert_eq!(
+            cache.stats().plan_entries,
+            2,
+            "mesh_dim must be part of the key"
+        );
+        assert!(!Arc::ptr_eq(&full, &masked));
+        assert_ne!(
+            full.timing.cycles, masked.timing.cycles,
+            "a 16-CPE timing served for the 64-CPE mesh would corrupt accounting"
+        );
     }
 
     #[test]

@@ -74,6 +74,20 @@ pub fn vgg_like_conv_stack(batch: usize) -> Vec<(&'static str, ConvShape)> {
     ]
 }
 
+/// The mixed-shape serving menu for the chaos bench: small, mesh-eligible
+/// convolutions (channels in multiples of 8, output rows in multiples of
+/// 4 so every row split in {1, 2, 4} divides) cheap enough that the bench
+/// can also run them with real arithmetic when checking completed outputs
+/// against fault-free golden digests.
+pub fn serving_mix() -> Vec<(&'static str, ConvShape)> {
+    vec![
+        ("mix_base", ConvShape::new(16, 8, 8, 8, 8, 3, 3)),
+        ("mix_wide", ConvShape::new(16, 8, 16, 8, 8, 3, 3)),
+        ("mix_deep", ConvShape::new(8, 16, 16, 8, 8, 3, 3)),
+        ("mix_tall", ConvShape::new(8, 8, 8, 16, 8, 3, 3)),
+    ]
+}
+
 /// Sanity helper: forward a zero batch through a network and return the
 /// logits shape, proving the plumbing end to end.
 pub fn smoke_forward(
@@ -144,6 +158,17 @@ mod tests {
         assert!(net.accuracy(&xt, &yt).unwrap() >= 0.85);
         let last = net.train_step(&x, &y, 0.1).unwrap();
         assert!(last < first);
+    }
+
+    #[test]
+    fn serving_mix_shapes_are_mesh_eligible_and_shardable() {
+        for (name, shape) in serving_mix() {
+            assert!(shape.is_valid(), "{name}");
+            assert_eq!(shape.ni % 8, 0, "{name}");
+            assert_eq!(shape.no % 8, 0, "{name}");
+            assert_eq!(shape.ro % 4, 0, "{name}: every split in 1/2/4 divides");
+        }
+        assert!(serving_mix().len() >= 4, "mixed traffic needs variety");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   dependence on thread scheduling;
 //! * [`level`] — the three paper levels and the mapping every counter
 //!   declares onto them;
+//! * [`tags`] — keyed monotonic counters ([`TagCounters`]) for
+//!   low-cardinality runtime dimensions (tenant id, core-group index),
+//!   feeding the serving layer's per-tenant/per-CG health accounting;
 //! * [`chrome`] — span-style event recording ([`Recorder`], zero-cost when
 //!   disabled) and a Chrome-trace JSON exporter whose output loads directly
 //!   into `chrome://tracing` / Perfetto;
@@ -29,9 +32,11 @@ pub mod counter;
 pub mod level;
 pub mod report;
 pub mod snapshot;
+pub mod tags;
 
 pub use chrome::{ChromeEvent, ChromeTrace, Recorder};
 pub use counter::Counter;
 pub use level::Level;
 pub use report::{HostPerf, LevelIo, PerfReport};
 pub use snapshot::{compare, CompareReport, Snapshot, Tolerances};
+pub use tags::TagCounters;

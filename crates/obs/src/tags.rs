@@ -1,0 +1,134 @@
+//! Keyed monotonic counters for low-cardinality tag dimensions.
+//!
+//! [`Counter`](crate::Counter) covers the fixed, compile-time-known metrics
+//! (cycles, bytes, batches). The serving layer also needs counters keyed by
+//! small *runtime* dimensions — tenant id, core-group index, breaker state —
+//! whose value sets are only known once traffic arrives. [`TagCounters`] is
+//! that map: `bump("tenant/3/served")` creates the key on first touch and
+//! increments it afterwards.
+//!
+//! The map is a `Mutex<BTreeMap>` rather than sharded atomics: tag bumps
+//! happen on the serving engine's dispatch path (a few per *batch*, not per
+//! simulated instruction), so contention is negligible, and the BTreeMap
+//! keeps `snapshot()` deterministically sorted — the property the chaos
+//! bench relies on when it prints and gates per-tenant totals.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A set of named monotonic counters created on first use.
+#[derive(Debug, Default)]
+pub struct TagCounters {
+    inner: Mutex<BTreeMap<String, u64>>,
+}
+
+impl TagCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to `key`, creating it at zero first if needed.
+    pub fn add(&self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut m = self.inner.lock().unwrap();
+        *m.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Increment `key` by one.
+    pub fn inc(&self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key` (0 when never bumped).
+    pub fn get(&self, key: &str) -> u64 {
+        self.inner.lock().unwrap().get(key).copied().unwrap_or(0)
+    }
+
+    /// All `(key, value)` pairs in sorted key order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    /// Drop every key (post-warmup measurement windows).
+    pub fn reset(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+}
+
+impl Clone for TagCounters {
+    /// Cloning snapshots the current values into an independent set.
+    fn clone(&self) -> Self {
+        Self {
+            inner: Mutex::new(self.inner.lock().unwrap().clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_appear_on_first_bump() {
+        let t = TagCounters::new();
+        assert_eq!(t.get("cg/0/trips"), 0);
+        t.inc("cg/0/trips");
+        t.add("cg/0/trips", 2);
+        t.add("cg/0/trips", 0); // no-op, must not create churn
+        assert_eq!(t.get("cg/0/trips"), 3);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let t = TagCounters::new();
+        t.inc("tenant/2/shed");
+        t.inc("tenant/0/served");
+        t.add("tenant/1/served", 5);
+        assert_eq!(
+            t.snapshot(),
+            vec![
+                ("tenant/0/served".to_string(), 1),
+                ("tenant/1/served".to_string(), 5),
+                ("tenant/2/shed".to_string(), 1),
+            ]
+        );
+        t.reset();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn totals_are_thread_schedule_independent() {
+        let t = std::sync::Arc::new(TagCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        t.inc(&format!("worker/{}", i % 2));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.get("worker/0") + t.get("worker/1"), 2000);
+    }
+}

@@ -128,6 +128,11 @@ fn committed_baseline_is_wellformed_and_self_consistent() {
         sw_bench::serve_load::SERVE_REPORT_CONFIG,
         sw_bench::serve_load::SERVE_REPORT_PLAN
     ));
+    keys.push(format!(
+        "{} / {}",
+        sw_bench::chaos_load::CHAOS_REPORT_CONFIG,
+        sw_bench::chaos_load::CHAOS_REPORT_PLAN
+    ));
     // perf_snapshot appends one host wall-clock row for conv_256 (see
     // sim_throughput::measure_conv); its plan name is prefixed to keep
     // snapshot keys unique.

@@ -85,8 +85,16 @@ fn bounded_queue_sheds_overload_and_recovers() {
     for _ in 0..160 {
         match e.submit(shape()) {
             Ok(_) => {}
-            Err(SwdnnError::Overloaded { depth, limit }) => {
+            Err(SwdnnError::Overloaded {
+                depth,
+                limit,
+                retry_after_us,
+            }) => {
                 assert_eq!((depth, limit), (16, 16));
+                assert!(
+                    retry_after_us > 0,
+                    "a shed response must carry a usable retry hint"
+                );
                 rejected += 1;
             }
             Err(other) => panic!("overload must reject with Overloaded, got {other}"),
@@ -143,6 +151,35 @@ fn sharded_run_matches_unsharded_and_reference_bit_for_bit() {
         assert_eq!(out.max_abs_diff(&reference), 0.0, "{cgs}-way shard vs ref");
         assert!(wall > 0);
     }
+}
+
+#[test]
+fn overload_does_not_improve_reported_p99() {
+    // Regression test for latency accounting: shedding must never flatter
+    // the completion percentiles. Serve the same total demand twice — once
+    // within queue capacity, once at 10× overload where most requests are
+    // shed — and require the overloaded run's reported p99 over *completed*
+    // requests to be at least the uncontended one's.
+    let run = |queue_limit: usize, offered: usize| {
+        let mut e = engine(4, queue_limit);
+        for _ in 0..offered {
+            let _ = e.submit(shape());
+        }
+        e.drain().unwrap();
+        e.summary()
+    };
+    let calm = run(64, 16);
+    let overloaded = run(16, 160);
+    assert_eq!(calm.rejected, 0);
+    assert_eq!(overloaded.rejected, 144);
+    assert!(
+        overloaded.p99_latency_us >= calm.p99_latency_us,
+        "shedding must not improve p99: overloaded {} vs calm {}",
+        overloaded.p99_latency_us,
+        calm.p99_latency_us
+    );
+    // The dropped requests live in their own histogram, not in p99.
+    assert_eq!(overloaded.shed_p99_wait_us, 0, "sheds waited 0 µs in queue");
 }
 
 #[test]
