@@ -1,0 +1,181 @@
+//! `cluster_bench` — weak-scaling sweeps of the multi-chip fleet, gated
+//! against a committed baseline and a hard efficiency floor.
+//!
+//! ```sh
+//! # Measure 1/2/4/8 chips, print the curves, write CLUSTER.json (+ CSVs
+//! # when SWDNN_RESULTS_DIR is set), enforce the efficiency floor.
+//! cargo run --release -p sw-bench --bin cluster_bench
+//!
+//! # CI mode: measure, enforce the floor, AND diff against the committed
+//! # baseline — exit 1 on either kind of failure.
+//! cargo run --release -p sw-bench --bin cluster_bench -- --check results/CLUSTER.baseline.json
+//! ```
+//!
+//! Two sweeps, both entirely on the deterministic logical clock:
+//!
+//! * **serving** — the open-loop generator offers `C ×` the single-chip
+//!   arrival rate to a `C`-chip [`swdnn::cluster::Cluster`]; req/s per
+//!   simulated second must scale at ≥ 80% efficiency at 8 chips;
+//! * **training** — data-parallel SGD with a fixed per-chip microbatch
+//!   load; samples/s must scale at ≥ 80% efficiency at 8 chips (the
+//!   loss is the modeled ring/tree allreduce time).
+//!
+//! To accept an intentional change, regenerate the baseline (see
+//! CONTRIBUTING.md):
+//!
+//! ```sh
+//! cargo run --release -p sw-bench --bin cluster_bench
+//! cp results/CLUSTER.json results/CLUSTER.baseline.json
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use sw_bench::cluster_scale::{
+    check_scaling_gates, efficiency, run_serve_scale, run_train_scale, serve_scale_report,
+    train_scale_report, ServeScalePoint, TrainScalePoint, SCALING_CHIPS, SERVE_REQUESTS_PER_CHIP,
+};
+use sw_bench::report::{f, Table};
+use sw_obs::{compare, Snapshot, Tolerances};
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("SWDNN_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cluster_bench                    measure, write CLUSTER.json, enforce efficiency floor\n\
+         \u{20}      cluster_bench --check <baseline> measure, also fail (exit 1) on drift vs baseline"
+    );
+    exit(2);
+}
+
+fn measure() -> (Vec<ServeScalePoint>, Vec<TrainScalePoint>) {
+    let serve: Vec<ServeScalePoint> = SCALING_CHIPS
+        .iter()
+        .map(|&chips| {
+            run_serve_scale(chips, SERVE_REQUESTS_PER_CHIP)
+                .unwrap_or_else(|e| panic!("serve sweep at {chips} chips: {e}"))
+        })
+        .collect();
+    let train: Vec<TrainScalePoint> = SCALING_CHIPS
+        .iter()
+        .map(|&chips| {
+            run_train_scale(chips).unwrap_or_else(|e| panic!("train sweep at {chips} chips: {e}"))
+        })
+        .collect();
+    (serve, train)
+}
+
+fn print_curves(serve: &[ServeScalePoint], train: &[TrainScalePoint]) {
+    let serve_anchor = serve[0].reqs_per_sim_sec;
+    let mut st = Table::new(
+        "Cluster serving weak scaling (open-loop, simulated time)",
+        &[
+            "chips",
+            "served",
+            "spilled",
+            "req_per_s",
+            "p99_us",
+            "efficiency",
+        ],
+    );
+    for p in serve {
+        st.row(vec![
+            p.chips.to_string(),
+            p.summary.served.to_string(),
+            p.summary.spilled.to_string(),
+            f(p.reqs_per_sim_sec, 0),
+            p.summary.p99_latency_us.to_string(),
+            f(efficiency(p.reqs_per_sim_sec, p.chips, serve_anchor), 3),
+        ]);
+    }
+    st.print();
+    st.write_csv("cluster_serve_scaling");
+
+    let train_anchor = train[0].samples_per_sim_sec;
+    let mut tt = Table::new(
+        "Cluster training weak scaling (data-parallel SGD, simulated time)",
+        &[
+            "chips",
+            "samples_per_step",
+            "step_us",
+            "allreduce_us",
+            "samples_per_s",
+            "efficiency",
+        ],
+    );
+    for p in train {
+        tt.row(vec![
+            p.chips.to_string(),
+            p.samples_per_step.to_string(),
+            f(p.step_us, 0),
+            f(p.allreduce_us, 1),
+            f(p.samples_per_sim_sec, 0),
+            f(efficiency(p.samples_per_sim_sec, p.chips, train_anchor), 3),
+        ]);
+    }
+    tt.print();
+    tt.write_csv("cluster_train_scaling");
+}
+
+fn snapshot(serve: &[ServeScalePoint], train: &[TrainScalePoint]) -> Snapshot {
+    let mut reports = Vec::new();
+    reports.extend(serve.iter().map(serve_scale_report));
+    reports.extend(train.iter().map(train_scale_report));
+    Snapshot::new(reports)
+}
+
+fn main() {
+    // Serving batches simulate on the shared worker pool; spawn it before
+    // anything is measured.
+    sw_runtime::global().prewarm();
+    println!("threads: {}", sw_runtime::thread_policy());
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = match args.first().map(String::as_str) {
+        None => None,
+        Some("--check") if args.len() == 2 => Some(args[1].clone()),
+        _ => usage(),
+    };
+
+    let (serve, train) = measure();
+    print_curves(&serve, &train);
+
+    let snap = snapshot(&serve, &train);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let out = dir.join("CLUSTER.json");
+    snap.save(&out).expect("write CLUSTER.json");
+    println!("(snapshot written to {})", out.display());
+
+    let mut failed = false;
+    match check_scaling_gates(&serve, &train) {
+        Ok(lines) => {
+            for l in lines {
+                println!("PASS {l}");
+            }
+        }
+        Err(msgs) => {
+            for m in msgs {
+                eprintln!("SCALING GATE FAILURE: {m}");
+            }
+            failed = true;
+        }
+    }
+
+    if let Some(path) = baseline_path {
+        let baseline = Snapshot::load(Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("cannot load baseline: {e}");
+            exit(2);
+        });
+        // Everything here is simulated — no host block, no retry loop.
+        let report = compare(&baseline, &snap, &Tolerances::default());
+        print!("{}", report.summary());
+        failed |= !report.is_ok();
+    }
+
+    if failed {
+        exit(1);
+    }
+    println!("\nall cluster scaling gates met");
+}

@@ -17,11 +17,13 @@
 //! | `perf_snapshot`     | observability — `BENCH_PERF.json` snapshot + CI regression gate |
 //! | `serve_bench`       | serving — closed-loop load over paper shapes, SLO-gated |
 //! | `chaos_serve`       | serving — open-loop fault-rate × burst sweep, chaos-gated |
+//! | `cluster_bench`     | cluster — 1→8 chip weak-scaling curves, efficiency-gated |
 //!
 //! [`configs`] holds the Fig. 8 configuration-generator scripts; [`report`]
 //! the table-formatting helpers shared by the binaries.
 
 pub mod chaos_load;
+pub mod cluster_scale;
 pub mod configs;
 pub mod report;
 pub mod serve_load;

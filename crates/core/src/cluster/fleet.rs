@@ -1,0 +1,575 @@
+//! The fleet: N serving chips behind one front door.
+//!
+//! Each chip is a full [`ServeEngine`] — its own plan cache, micro
+//! batcher, circuit breakers, logical clock, and (optionally) its own
+//! [`sw_runtime::ExecutionContext`] worker pool. The [`Cluster`] front
+//! door routes every request through the [`super::router::ShapeRouter`]
+//! (consistent-hash primary, least-loaded spill), charges the ingress
+//! link's latency + wire time from the modeled
+//! [`sw_perfmodel::InterconnectSpec`] into the request's arrival time,
+//! and hands it to the chosen chip's engine — so cross-chip transfers
+//! live on the same deterministic logical clock as everything else.
+//!
+//! Chip failure is first-class: [`Cluster::fail_chip`] marks a chip
+//! down, evacuates its queued requests, and reroutes them (one more
+//! link charge — moving work is not free) to surviving chips. High
+//! priority work is never lost: it either completes on another chip or
+//! is accounted as shed by that chip's own admission control.
+
+use super::router::ShapeRouter;
+use crate::error::SwdnnError;
+use crate::serve::{Completion, Priority, RequestClass, ServeConfig, ServeEngine, ServeSummary};
+use sw_obs::{chip_tag, link_tag, ChromeTrace, TagCounters};
+use sw_perfmodel::InterconnectSpec;
+use sw_tensor::ConvShape;
+
+/// Cluster construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Simulated chips in the fleet.
+    pub chips: usize,
+    /// Per-chip serving configuration (every chip gets an identical
+    /// engine; their states diverge only through the traffic they see).
+    pub serve: ServeConfig,
+    pub interconnect: InterconnectSpec,
+    /// Virtual nodes per chip on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Queue depth at which the router spills a shape off its primary
+    /// chip to the next ring arc instead of letting admission shed it.
+    /// `None` tracks `serve.queue_limit` so overrides of the per-chip
+    /// queue bound reshape the spill point too.
+    pub route_spill_depth: Option<usize>,
+    /// Give every chip its own (leaked, process-lifetime)
+    /// [`sw_runtime::ExecutionContext`] instead of sharing the global
+    /// pool. Worker pools are a host resource — the default shares one
+    /// pool across chips; dedicated pools model hard isolation.
+    pub dedicated_runtimes: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            chips: 4,
+            serve: ServeConfig::default(),
+            interconnect: InterconnectSpec::sw_cluster(),
+            vnodes: 16,
+            route_spill_depth: None,
+            dedicated_runtimes: false,
+        }
+    }
+}
+
+struct ChipNode {
+    engine: ServeEngine,
+    down: bool,
+}
+
+/// Fleet-level aggregates on top of the per-chip [`ServeSummary`]s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterSummary {
+    pub chips: usize,
+    pub served: u64,
+    pub rejected: u64,
+    pub evicted: u64,
+    pub timed_out: u64,
+    /// Requests that spilled off their consistent-hash primary.
+    pub spilled: u64,
+    /// Requests rerouted by chip failure.
+    pub rerouted: u64,
+    pub p50_latency_us: u64,
+    pub p99_latency_us: u64,
+    pub high_p99_latency_us: u64,
+    /// Total bytes charged to ingress links.
+    pub ingress_bytes: u64,
+}
+
+/// N chips + router + modeled interconnect under one logical clock.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    router: ShapeRouter,
+    chips: Vec<ChipNode>,
+    /// Front-door clock: the latest departure time seen, µs.
+    clock_us: u64,
+    /// Running digest of every routing decision, for determinism tests.
+    fingerprint: u64,
+    spilled: u64,
+    rerouted: u64,
+    /// Fleet-level keyed counters: `chip/N/…`, `link/ingress-N/…`.
+    pub tags: TagCounters,
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterConfig) -> Result<Self, SwdnnError> {
+        if cfg.chips == 0 {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: "at least one chip".into(),
+                got: "chips=0".into(),
+            });
+        }
+        let mut chips = Vec::with_capacity(cfg.chips);
+        for _ in 0..cfg.chips {
+            let mut engine = ServeEngine::new(cfg.serve)?;
+            if cfg.dedicated_runtimes {
+                let rt: &'static sw_runtime::ExecutionContext =
+                    Box::leak(Box::new(sw_runtime::ExecutionContext::new()));
+                engine = engine.on_runtime(rt);
+            }
+            chips.push(ChipNode {
+                engine,
+                down: false,
+            });
+        }
+        Ok(Self {
+            router: ShapeRouter::new(cfg.chips, cfg.vnodes),
+            cfg,
+            chips,
+            clock_us: 0,
+            fingerprint: 0,
+            spilled: 0,
+            rerouted: 0,
+            tags: TagCounters::new(),
+        })
+    }
+
+    pub fn chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    pub fn now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// The routing-decision digest so far — identical across runs (and
+    /// worker-pool thread counts) for identical traffic.
+    pub fn route_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    pub fn engine(&self, chip: usize) -> &ServeEngine {
+        &self.chips[chip].engine
+    }
+
+    pub fn engine_mut(&mut self, chip: usize) -> &mut ServeEngine {
+        &mut self.chips[chip].engine
+    }
+
+    pub fn is_down(&self, chip: usize) -> bool {
+        self.chips[chip].down
+    }
+
+    fn loads(&self) -> Vec<usize> {
+        self.chips.iter().map(|c| c.engine.queue_depth()).collect()
+    }
+
+    fn down_mask(&self) -> Vec<bool> {
+        self.chips.iter().map(|c| c.down).collect()
+    }
+
+    fn spill_depth(&self) -> usize {
+        self.cfg
+            .route_spill_depth
+            .unwrap_or(self.cfg.serve.queue_limit)
+    }
+
+    /// Route one request departing the front door at `depart_us` and
+    /// deliver it over the ingress link (latency + wire time for the
+    /// input tensor) to the chosen chip. Returns `(chip, request id)`.
+    /// [`SwdnnError::Overloaded`] propagates from the chip's admission
+    /// control; [`SwdnnError::ClusterUnavailable`] means every chip is
+    /// down.
+    pub fn submit_at(
+        &mut self,
+        shape: ConvShape,
+        class: RequestClass,
+        depart_us: u64,
+    ) -> Result<(usize, u64), SwdnnError> {
+        self.clock_us = self.clock_us.max(depart_us);
+        let chip = self
+            .router
+            .route(&shape, &self.loads(), &self.down_mask(), self.spill_depth())
+            .ok_or(SwdnnError::ClusterUnavailable {
+                chips: self.chips.len(),
+            })?;
+        self.fingerprint = ShapeRouter::fold_fingerprint(self.fingerprint, &shape, chip);
+        if chip != self.router.primary(&shape) {
+            self.spilled += 1;
+            self.tags.inc(&chip_tag(chip, "spill_in"));
+        }
+        self.deliver(chip, shape, class, depart_us)
+    }
+
+    /// Charge the ingress link and submit to `chip`'s engine.
+    fn deliver(
+        &mut self,
+        chip: usize,
+        shape: ConvShape,
+        class: RequestClass,
+        depart_us: u64,
+    ) -> Result<(usize, u64), SwdnnError> {
+        let bytes = (shape.input_shape().len() * 8) as u64;
+        let transfer_us = self.cfg.interconnect.transfer_us(bytes).ceil() as u64;
+        let arrival_us = depart_us + transfer_us;
+        self.tags
+            .add(&link_tag(&format!("ingress-{chip}"), "bytes"), bytes);
+        self.tags.add(
+            &link_tag(&format!("ingress-{chip}"), "busy_us"),
+            transfer_us,
+        );
+        self.tags.inc(&chip_tag(chip, "routed"));
+        match self.chips[chip]
+            .engine
+            .submit_arriving(shape, class, arrival_us)
+        {
+            Ok(id) => Ok((chip, id)),
+            Err(e) => {
+                if matches!(e, SwdnnError::Overloaded { .. }) {
+                    self.tags.inc(&chip_tag(chip, "shed"));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Advance every chip's clock to `target_us`, dispatching whatever
+    /// comes due. Returns total requests served this call.
+    pub fn run_until(&mut self, target_us: u64) -> Result<usize, SwdnnError> {
+        self.clock_us = self.clock_us.max(target_us);
+        let mut served = 0;
+        for chip in &mut self.chips {
+            if !chip.down {
+                served += chip.engine.run_until(target_us)?;
+            }
+        }
+        Ok(served)
+    }
+
+    /// Drain every chip's queue dry.
+    pub fn drain(&mut self) -> Result<usize, SwdnnError> {
+        let mut served = 0;
+        for chip in &mut self.chips {
+            if !chip.down {
+                served += chip.engine.drain()?;
+            }
+        }
+        Ok(served)
+    }
+
+    /// Mark `chip` down and reroute its queued work to the survivors.
+    /// Each evacuated request pays one more link transfer (departing at
+    /// the failed chip's clock) and re-enters admission on its new chip
+    /// — so it either completes elsewhere or is *accounted* as shed
+    /// there, never silently lost. Returns `(rerouted, shed)` counts.
+    pub fn fail_chip(&mut self, chip: usize) -> Result<(usize, usize), SwdnnError> {
+        assert!(chip < self.chips.len());
+        if self.chips[chip].down {
+            return Ok((0, 0));
+        }
+        self.chips[chip].down = true;
+        self.tags.inc(&chip_tag(chip, "failed"));
+        let depart_us = self.chips[chip].engine.now_us().max(self.clock_us);
+        let evacuated = self.chips[chip].engine.evacuate();
+        let mut moved = 0;
+        let mut shed = 0;
+        for req in evacuated {
+            let class = RequestClass {
+                priority: req.priority,
+                tenant: req.tenant,
+                // Preserve the absolute dispatch deadline across the move.
+                deadline_us: req.expires_us.map(|e| e.saturating_sub(depart_us)),
+            };
+            let target = self
+                .router
+                .route(
+                    &req.shape,
+                    &self.loads(),
+                    &self.down_mask(),
+                    self.spill_depth(),
+                )
+                .ok_or(SwdnnError::ClusterUnavailable {
+                    chips: self.chips.len(),
+                })?;
+            self.fingerprint = ShapeRouter::fold_fingerprint(self.fingerprint, &req.shape, target);
+            self.tags.inc(&chip_tag(target, "rerouted_in"));
+            match self.deliver(target, req.shape, class, depart_us) {
+                Ok(_) => moved += 1,
+                Err(SwdnnError::Overloaded { .. }) => shed += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        self.rerouted += moved as u64;
+        Ok((moved, shed))
+    }
+
+    /// Bring a failed chip back into rotation (its breakers and caches
+    /// kept whatever state they had).
+    pub fn recover_chip(&mut self, chip: usize) {
+        if self.chips[chip].down {
+            self.chips[chip].down = false;
+            self.tags.inc(&chip_tag(chip, "recovered"));
+        }
+    }
+
+    /// All completions across chips as `(chip, completion)` pairs.
+    pub fn completions(&self) -> Vec<(usize, Completion)> {
+        let mut all = Vec::new();
+        for (i, chip) in self.chips.iter().enumerate() {
+            all.extend(chip.engine.completions().iter().map(|&c| (i, c)));
+        }
+        all
+    }
+
+    /// Per-chip serving summaries.
+    pub fn chip_summaries(&self) -> Vec<ServeSummary> {
+        self.chips.iter().map(|c| c.engine.summary()).collect()
+    }
+
+    /// Fleet-level aggregate. Latency percentiles are computed over the
+    /// merged completion set, not averaged per chip.
+    pub fn summary(&self) -> ClusterSummary {
+        let per_chip = self.chip_summaries();
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut high: Vec<u64> = Vec::new();
+        for chip in &self.chips {
+            for c in chip.engine.completions() {
+                latencies.push(c.latency_us());
+                if c.priority == Priority::High {
+                    high.push(c.latency_us());
+                }
+            }
+        }
+        let pct = |mut v: Vec<u64>, p: f64| -> u64 {
+            if v.is_empty() {
+                return 0;
+            }
+            v.sort_unstable();
+            let rank = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+            v[rank.min(v.len() - 1)]
+        };
+        let ingress_bytes = (0..self.chips.len())
+            .map(|i| self.tags.get(&link_tag(&format!("ingress-{i}"), "bytes")))
+            .sum();
+        ClusterSummary {
+            chips: self.chips.len(),
+            served: per_chip.iter().map(|s| s.served).sum(),
+            rejected: per_chip.iter().map(|s| s.rejected).sum(),
+            evicted: per_chip.iter().map(|s| s.evicted).sum(),
+            timed_out: per_chip.iter().map(|s| s.timed_out).sum(),
+            spilled: self.spilled,
+            rerouted: self.rerouted,
+            p50_latency_us: pct(latencies.clone(), 50.0),
+            p99_latency_us: pct(latencies, 99.0),
+            high_p99_latency_us: pct(high, 99.0),
+            ingress_bytes,
+        }
+    }
+
+    /// Reset every chip's measurement window (post-warmup), keeping
+    /// caches, breaker state, and clocks hot.
+    pub fn reset_measurements(&mut self) {
+        for chip in &mut self.chips {
+            chip.engine.reset_measurements();
+        }
+        self.tags.reset();
+        self.spilled = 0;
+        self.rerouted = 0;
+    }
+
+    /// Merge every chip's Chrome trace into one fleet timeline, one
+    /// `pid` (process track) per chip.
+    pub fn take_trace(&mut self) -> ChromeTrace {
+        let per_chip: Vec<ChromeTrace> = self
+            .chips
+            .iter_mut()
+            .map(|c| c.engine.take_trace())
+            .collect();
+        ChromeTrace::merge_per_chip(per_chip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::BatchPolicy;
+    use crate::zoo::serving_mix;
+
+    fn cluster(chips: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            chips,
+            serve: ServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 4,
+                    deadline_us: 1_000,
+                },
+                queue_limit: 16,
+                trace: true,
+                ..ServeConfig::default()
+            },
+            ..ClusterConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn mix_traffic(c: &mut Cluster, n: usize) {
+        let shapes = serving_mix();
+        for i in 0..n {
+            let (_, shape) = shapes[i % shapes.len()];
+            c.submit_at(shape, RequestClass::default(), (i as u64) * 50)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn fleet_serves_everything_and_spreads_shapes() {
+        let mut c = cluster(4);
+        mix_traffic(&mut c, 64);
+        c.drain().unwrap();
+        let s = c.summary();
+        assert_eq!(s.served, 64);
+        assert_eq!(s.rejected, 0);
+        assert!(s.ingress_bytes > 0, "ingress links must be charged");
+        // Each of the 4 mix shapes pins to its primary chip; the mix
+        // must not all land on one chip.
+        let routed: Vec<u64> = (0..4).map(|i| c.tags.get(&chip_tag(i, "routed"))).collect();
+        assert!(
+            routed.iter().filter(|&&r| r > 0).count() >= 2,
+            "consistent hashing must use multiple chips: {routed:?}"
+        );
+    }
+
+    #[test]
+    fn link_time_is_charged_into_latency() {
+        // One request through a cluster vs. one straight into an engine:
+        // the cluster's completion must arrive later by the link time.
+        let shape = serving_mix()[0].1;
+        let mut c = cluster(1);
+        c.submit_at(shape, RequestClass::default(), 0).unwrap();
+        c.drain().unwrap();
+        let cluster_latency = c.completions()[0].1.latency_us();
+
+        let mut e = ServeEngine::new(ServeConfig {
+            policy: BatchPolicy {
+                max_batch: 4,
+                deadline_us: 1_000,
+            },
+            queue_limit: 16,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        e.submit(shape).unwrap();
+        e.drain().unwrap();
+        let direct_latency = e.completions()[0].latency_us();
+        // Latency is measured from chip arrival, so the numbers agree —
+        // but the cluster's completion *timestamp* includes the link.
+        assert_eq!(cluster_latency, direct_latency);
+        let transfer = InterconnectSpec::sw_cluster()
+            .transfer_us((shape.input_shape().len() * 8) as u64)
+            .ceil() as u64;
+        assert_eq!(
+            c.completions()[0].1.completion_us,
+            e.completions()[0].completion_us + transfer,
+            "cluster completion is shifted by exactly the ingress transfer"
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let run = || {
+            let mut c = cluster(4);
+            mix_traffic(&mut c, 48);
+            c.drain().unwrap();
+            (c.route_fingerprint(), c.summary().p99_latency_us)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chip_failure_reroutes_queued_work_without_losing_high_priority() {
+        let mut c = cluster(4);
+        let shapes = serving_mix();
+        // Queue work everywhere without letting anything dispatch.
+        let mut victim = None;
+        for i in 0..16 {
+            let (_, shape) = shapes[i % shapes.len()];
+            let (chip, _) = c.submit_at(shape, RequestClass::default(), 0).unwrap();
+            victim.get_or_insert(chip);
+        }
+        let victim = victim.unwrap();
+        let queued_on_victim = c.engine(victim).queue_depth();
+        assert!(queued_on_victim > 0);
+        let (moved, shed) = c.fail_chip(victim).unwrap();
+        assert_eq!(moved, queued_on_victim, "every queued request moves");
+        assert_eq!(shed, 0);
+        assert_eq!(c.engine(victim).queue_depth(), 0);
+        c.drain().unwrap();
+        let s = c.summary();
+        assert_eq!(s.served, 16, "zero lost work across the failure");
+        assert_eq!(s.rerouted as usize, moved);
+        // Down chip takes no new traffic.
+        for i in 0..8 {
+            let (_, shape) = shapes[i % shapes.len()];
+            let (chip, _) = c
+                .submit_at(shape, RequestClass::default(), c.now_us())
+                .unwrap();
+            assert_ne!(chip, victim);
+        }
+        // Recovery puts it back in rotation.
+        c.recover_chip(victim);
+        assert!(!c.is_down(victim));
+    }
+
+    #[test]
+    fn all_chips_down_is_a_structured_error() {
+        let mut c = cluster(2);
+        c.fail_chip(0).unwrap();
+        c.fail_chip(1).unwrap();
+        let err = c
+            .submit_at(serving_mix()[0].1, RequestClass::default(), 0)
+            .unwrap_err();
+        assert!(matches!(err, SwdnnError::ClusterUnavailable { chips: 2 }));
+    }
+
+    #[test]
+    fn saturated_primary_spills_instead_of_shedding() {
+        let mut c = Cluster::new(ClusterConfig {
+            chips: 2,
+            serve: ServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 4,
+                    deadline_us: 1_000_000,
+                },
+                queue_limit: 4,
+                ..ServeConfig::default()
+            },
+            route_spill_depth: Some(4),
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let shape = serving_mix()[0].1;
+        // 8 same-shape requests, queue limit 4: the second half must
+        // spill to the other chip instead of being shed.
+        for _ in 0..8 {
+            c.submit_at(shape, RequestClass::default(), 0).unwrap();
+        }
+        let s = c.summary();
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.spilled, 4, "half the traffic spilled");
+        c.drain().unwrap();
+        assert_eq!(c.summary().served, 8);
+    }
+
+    #[test]
+    fn fleet_trace_has_one_track_per_chip() {
+        let mut c = cluster(4);
+        mix_traffic(&mut c, 32);
+        c.drain().unwrap();
+        let trace = c.take_trace();
+        let pids: std::collections::BTreeSet<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.cat == "serve")
+            .map(|e| e.pid)
+            .collect();
+        assert!(pids.len() >= 2, "serve spans on multiple chip tracks");
+        assert!(pids.iter().all(|&p| p < 4));
+    }
+}

@@ -1,0 +1,39 @@
+//! Multi-chip cluster scale-out: fleet serving and data-parallel
+//! training over a modeled interconnect.
+//!
+//! One SW26010 chip is the unit every lower layer simulates. This
+//! module composes N of them:
+//!
+//! * [`router`] — deterministic consistent-hash routing of serving
+//!   requests by shape (plan caches stay hot per chip) with
+//!   least-loaded spill and down-chip avoidance;
+//! * [`fleet`] — the [`Cluster`] front door: N independent
+//!   [`crate::serve::ServeEngine`]s (each its own plan cache, breaker
+//!   state, and optionally its own worker pool) joined by ingress links
+//!   whose latency and wire time are charged into the shared
+//!   deterministic logical clock, plus chip-failure evacuation that
+//!   reroutes queued work without losing it;
+//! * [`allreduce`] — fixed-order gradient reduction: numerics are
+//!   defined by microbatch index (left-to-right sum), the collective
+//!   schedule (ring or tree, chosen by modeled cost) defines only time
+//!   and wire bytes, so gradients are bit-identical at any chip count;
+//! * [`train`] — [`DataParallelTrainer`]: synchronous data-parallel SGD
+//!   over the [`crate::network`] stack with the allreduce charged per
+//!   step, emitting per-chip compute spans and per-link byte counters.
+//!
+//! The interconnect itself is modeled in
+//! [`sw_perfmodel::InterconnectSpec`] (per-link latency + bandwidth, as
+//! in the TaihuLight fat-tree's intra-supernode tier), keeping the cost
+//! model next to the chip-level roofline it extends.
+
+pub mod allreduce;
+pub mod fleet;
+pub mod router;
+pub mod train;
+
+pub use allreduce::{
+    load_gradients, plan_allreduce, reduce_fixed_order, take_gradients, AllreduceReport,
+};
+pub use fleet::{Cluster, ClusterConfig, ClusterSummary};
+pub use router::ShapeRouter;
+pub use train::{DataParallelTrainer, StepReport, TrainConfig};

@@ -1,0 +1,393 @@
+//! Data-parallel SGD across simulated chips.
+//!
+//! The global batch is cut into `M` microbatches; each of `C` chips owns
+//! `M/C` of them, runs forward/backward, and the per-microbatch
+//! gradients meet in an allreduce
+//! ([`super::allreduce::reduce_fixed_order`] for the numbers,
+//! [`sw_perfmodel::InterconnectSpec`] for the time). Because every
+//! microbatch's gradient enters the sum at its *global index* — not in
+//! arrival or ring order — the reduced gradient, and therefore every
+//! parameter after every step, is bit-identical at any chip count.
+//!
+//! Time is modeled, not measured: a step costs `M/C` microbatch compute
+//! times (data parallelism's compute speedup) plus the collective's
+//! modeled time (its overhead). Weak-scaling efficiency — throughput
+//! per chip at constant per-chip load — is then a deterministic number
+//! the `cluster_bench` CI gate can hold at ≥80%.
+
+use super::allreduce::{
+    load_gradients, plan_allreduce, reduce_fixed_order, take_gradients, AllreduceReport,
+};
+use crate::error::SwdnnError;
+use crate::network::Sequential;
+use crate::optim::Optimizer;
+use serde_json::Value;
+use sw_obs::{chip_tag, link_tag, Recorder, TagCounters};
+use sw_perfmodel::InterconnectSpec;
+use sw_tensor::{Layout, Tensor4};
+
+/// Data-parallel training configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Simulated chips sharing the step.
+    pub chips: usize,
+    /// Global microbatches per step (`M`); `chips` must divide it. The
+    /// microbatch is the reduction grain: gradients are summed in
+    /// microbatch-index order at any chip count.
+    pub microbatches: usize,
+    pub interconnect: InterconnectSpec,
+    /// Modeled compute time one chip spends on one microbatch's
+    /// forward+backward, µs of simulated time.
+    pub compute_us_per_microbatch: u64,
+    /// Record per-chip compute and allreduce spans.
+    pub trace: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            chips: 1,
+            microbatches: 8,
+            interconnect: InterconnectSpec::sw_cluster(),
+            compute_us_per_microbatch: 1_000,
+            trace: false,
+        }
+    }
+}
+
+/// One training step's outcome and modeled cost.
+#[derive(Clone, Copy, Debug)]
+pub struct StepReport {
+    /// Mean loss over the microbatches (before the update).
+    pub loss: f64,
+    /// Samples in the global batch.
+    pub samples: usize,
+    /// Per-chip compute time, µs (`M/C` microbatches).
+    pub compute_us: f64,
+    pub allreduce: AllreduceReport,
+    /// Full step wall time on the simulated cluster, µs.
+    pub step_us: f64,
+}
+
+impl StepReport {
+    /// Simulated training throughput of this step.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 / (self.step_us / 1e6)
+    }
+}
+
+/// Data-parallel SGD driver over one master [`Sequential`].
+///
+/// The network must be built for the *microbatch* size (its conv layers
+/// carry a fixed batch); [`DataParallelTrainer::step`] takes the global
+/// batch and slices it. One master copy stands in for all replicas —
+/// since replicas start identical and apply the identical reduced
+/// gradient each step, they stay identical, so simulating one of them
+/// *is* simulating all of them.
+pub struct DataParallelTrainer {
+    cfg: TrainConfig,
+    net: Sequential,
+    opt: Optimizer,
+    /// Simulated cluster clock, µs.
+    clock_us: f64,
+    steps: u64,
+    recorder: Recorder,
+    /// Per-chip / per-link counters (`chip/N/microbatches`,
+    /// `link/ring-N/bytes`).
+    pub tags: TagCounters,
+}
+
+impl DataParallelTrainer {
+    pub fn new(net: Sequential, opt: Optimizer, cfg: TrainConfig) -> Result<Self, SwdnnError> {
+        if cfg.chips == 0 || cfg.microbatches == 0 || !cfg.microbatches.is_multiple_of(cfg.chips) {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: "chips ≥ 1 dividing the microbatch count".into(),
+                got: format!("chips={}, microbatches={}", cfg.chips, cfg.microbatches),
+            });
+        }
+        Ok(Self {
+            recorder: if cfg.trace {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            },
+            cfg,
+            net,
+            opt,
+            clock_us: 0.0,
+            steps: 0,
+            tags: TagCounters::new(),
+        })
+    }
+
+    pub fn config(&self) -> TrainConfig {
+        self.cfg
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Simulated time spent so far, µs.
+    pub fn now_us(&self) -> f64 {
+        self.clock_us
+    }
+
+    pub fn network(&self) -> &Sequential {
+        &self.net
+    }
+
+    pub fn network_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Every trainable parameter, flattened in the stable
+    /// `visit_params` walk order — the bit-identity tests' comparand.
+    pub fn parameters(&mut self) -> Vec<f64> {
+        let mut flat = Vec::new();
+        for layer in &mut self.net.layers {
+            layer.visit_params(&mut |w, _| flat.extend_from_slice(w));
+        }
+        flat
+    }
+
+    /// One data-parallel step over a global batch whose leading
+    /// dimension is `microbatches × microbatch_size`. Returns the mean
+    /// loss and the step's modeled cluster cost.
+    pub fn step(
+        &mut self,
+        input: &Tensor4<f64>,
+        labels: &[usize],
+    ) -> Result<StepReport, SwdnnError> {
+        let b = input.shape().d0;
+        let m = self.cfg.microbatches;
+        if b == 0 || !b.is_multiple_of(m) || labels.len() != b {
+            return Err(SwdnnError::ShapeMismatch {
+                expected: format!("batch divisible by {m} microbatches with one label each"),
+                got: format!("batch={b}, labels={}", labels.len()),
+            });
+        }
+        let mb = b / m;
+        let mut shard_grads = Vec::with_capacity(m);
+        let mut loss_sum = 0.0;
+        for i in 0..m {
+            let x = slice_batch(input, i * mb, mb);
+            let y = &labels[i * mb..(i + 1) * mb];
+            let logits = self.net.forward(&x)?;
+            loss_sum += self.net.loss.forward(&logits, y)?;
+            let mut grad = self.net.loss.backward(y)?;
+            for layer in self.net.layers.iter_mut().rev() {
+                grad = layer.backward(&grad)?;
+            }
+            shard_grads.push(take_gradients(&mut self.net.layers));
+        }
+        // The fixed-order reduction: microbatch index order, then one
+        // deterministic 1/M scale — identical at any chip count.
+        let mut reduced = reduce_fixed_order(&shard_grads);
+        let scale = 1.0 / m as f64;
+        for g in &mut reduced {
+            *g *= scale;
+        }
+        let allreduce = plan_allreduce(&self.cfg.interconnect, reduced.len(), self.cfg.chips);
+        load_gradients(&mut self.net.layers, &reduced);
+        self.opt.step(&mut self.net.layers);
+
+        let per_chip = (m / self.cfg.chips) as u64;
+        let compute_us = (per_chip * self.cfg.compute_us_per_microbatch) as f64;
+        let step_us = compute_us + allreduce.time_us;
+        for chip in 0..self.cfg.chips {
+            self.tags.add(&chip_tag(chip, "microbatches"), per_chip);
+            self.tags.add(
+                &link_tag(&format!("ring-{chip}"), "bytes"),
+                allreduce.wire_bytes_per_chip,
+            );
+            self.recorder.span_cat(
+                "compute",
+                "train",
+                chip as u64,
+                0,
+                self.clock_us,
+                compute_us,
+                vec![("microbatches".into(), Value::from(per_chip))],
+            );
+            self.recorder.span_cat(
+                "allreduce",
+                "train",
+                chip as u64,
+                0,
+                self.clock_us + compute_us,
+                allreduce.time_us,
+                vec![
+                    ("kind".into(), Value::from(allreduce.kind.name())),
+                    ("bytes".into(), Value::from(allreduce.tensor_bytes)),
+                    (
+                        "wire_bytes".into(),
+                        Value::from(allreduce.wire_bytes_per_chip),
+                    ),
+                ],
+            );
+        }
+        self.clock_us += step_us;
+        self.steps += 1;
+        Ok(StepReport {
+            loss: loss_sum / m as f64,
+            samples: b,
+            compute_us,
+            allreduce,
+            step_us,
+        })
+    }
+
+    /// Take the recorded cross-chip trace (empty when tracing is off).
+    pub fn take_trace(&mut self) -> sw_obs::ChromeTrace {
+        self.recorder.take()
+    }
+}
+
+/// Copy `count` batch rows starting at `start` into a fresh tensor.
+fn slice_batch(x: &Tensor4<f64>, start: usize, count: usize) -> Tensor4<f64> {
+    let s = x.shape();
+    Tensor4::from_fn(
+        sw_tensor::Shape4::new(count, s.d1, s.d2, s.d3),
+        Layout::Nchw,
+        |b, c, h, w| x.get(start + b, c, h, w),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Engine;
+    use crate::zoo::lenet_12;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sw_tensor::Shape4;
+
+    fn task(batch: usize, seed: u64) -> (Tensor4<f64>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor4::zeros(Shape4::new(batch, 1, 12, 12), Layout::Nchw);
+        let mut y = Vec::new();
+        for b in 0..batch {
+            let class = rng.gen_range(0..2usize);
+            for r in 0..12 {
+                for c in 0..12 {
+                    let v = if (class == 0) == (c < 6) { 1.0 } else { 0.1 };
+                    x.set(b, 0, r, c, v + rng.gen_range(-0.05..0.05));
+                }
+            }
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    fn trainer(chips: usize, microbatches: usize) -> DataParallelTrainer {
+        let mb = 32 / microbatches;
+        let net = lenet_12(mb, 1, 2, Engine::Host, 42).unwrap();
+        DataParallelTrainer::new(
+            net,
+            Optimizer::sgd(0.1),
+            TrainConfig {
+                chips,
+                microbatches,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_chip_counts_that_do_not_divide() {
+        let net = lenet_12(4, 1, 2, Engine::Host, 1).unwrap();
+        let err = DataParallelTrainer::new(
+            net,
+            Optimizer::sgd(0.1),
+            TrainConfig {
+                chips: 3,
+                microbatches: 8,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(matches!(
+            err.err().expect("3 chips cannot split 8 microbatches"),
+            SwdnnError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn gradients_are_bit_identical_across_chip_counts() {
+        let (x, y) = task(32, 5);
+        let mut reference: Option<Vec<f64>> = None;
+        for chips in [1usize, 2, 4, 8] {
+            let mut t = trainer(chips, 8);
+            for _ in 0..3 {
+                t.step(&x, &y).unwrap();
+            }
+            let params = t.parameters();
+            match &reference {
+                None => reference = Some(params),
+                Some(want) => assert_eq!(
+                    &params, want,
+                    "parameters diverged at {chips} chips — fixed-order reduction broken"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn training_still_learns_under_data_parallelism() {
+        let (x, y) = task(32, 6);
+        let mut t = trainer(4, 8);
+        let first = t.step(&x, &y).unwrap().loss;
+        let mut last = first;
+        for _ in 0..40 {
+            last = t.step(&x, &y).unwrap().loss;
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn more_chips_cut_compute_time_but_pay_allreduce() {
+        let (x, y) = task(32, 7);
+        let mut one = trainer(1, 8);
+        let mut eight = trainer(8, 8);
+        let r1 = one.step(&x, &y).unwrap();
+        let r8 = eight.step(&x, &y).unwrap();
+        assert!((r1.compute_us - 8.0 * r8.compute_us).abs() < 1e-9);
+        assert_eq!(r1.allreduce.time_us, 0.0, "single chip pays no wire time");
+        assert!(r8.allreduce.time_us > 0.0);
+        assert!(r8.step_us < r1.step_us, "scaling must still win overall");
+    }
+
+    #[test]
+    fn counters_and_trace_cover_every_chip() {
+        let (x, y) = task(32, 8);
+        let net = lenet_12(4, 1, 2, Engine::Host, 42).unwrap();
+        let mut t = DataParallelTrainer::new(
+            net,
+            Optimizer::sgd(0.1),
+            TrainConfig {
+                chips: 4,
+                microbatches: 8,
+                trace: true,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        t.step(&x, &y).unwrap();
+        for chip in 0..4 {
+            assert_eq!(t.tags.get(&chip_tag(chip, "microbatches")), 2);
+            assert!(t.tags.get(&link_tag(&format!("ring-{chip}"), "bytes")) > 0);
+        }
+        let trace = t.take_trace();
+        let pids: std::collections::BTreeSet<u64> = trace.events.iter().map(|e| e.pid).collect();
+        assert_eq!(pids.len(), 4, "one track per chip");
+        assert!(trace.category_dur_us("train") > 0.0);
+    }
+
+    #[test]
+    fn step_rejects_mismatched_batches() {
+        let (x, y) = task(30, 9); // 30 not divisible by 8
+        let mut t = trainer(2, 8);
+        assert!(t.step(&x, &y).is_err());
+    }
+}

@@ -40,6 +40,9 @@ pub enum SwdnnError {
         limit: usize,
         retry_after_us: u64,
     },
+    /// Every chip in the cluster is marked down; no route exists for any
+    /// request until one recovers.
+    ClusterUnavailable { chips: usize },
 }
 
 impl std::fmt::Display for SwdnnError {
@@ -76,6 +79,9 @@ impl std::fmt::Display for SwdnnError {
                     "serving queue overloaded: depth {depth} at limit {limit}; \
                      request rejected, retry after {retry_after_us} us"
                 )
+            }
+            SwdnnError::ClusterUnavailable { chips } => {
+                write!(f, "all {chips} cluster chips are down; no route exists")
             }
         }
     }

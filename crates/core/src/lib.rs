@@ -30,7 +30,12 @@
 //!   simulator and reports measured Gflops next to the model's prediction,
 //!   which is what the benchmark harness uses to regenerate the paper's
 //!   tables and figures.
+//! * **Cluster scale-out** ([`cluster`]) — N chips behind a deterministic
+//!   consistent-hash router for serving, and ring/tree-allreduce
+//!   data-parallel training with gradients bit-identical to single-chip
+//!   at any chip count.
 
+pub mod cluster;
 pub mod conv;
 pub mod data;
 pub mod error;
@@ -45,6 +50,7 @@ pub mod serve;
 pub mod tune;
 pub mod zoo;
 
+pub use cluster::{Cluster, ClusterConfig, DataParallelTrainer};
 pub use conv::Conv2d;
 pub use error::SwdnnError;
 pub use executor::{ConvReport, Executor};

@@ -21,8 +21,9 @@
 //!
 //! * a **low**-priority push at the limit is rejected with
 //!   [`SwdnnError::Overloaded`] carrying the queue depth and a
-//!   retry-after hint (the time until the next deadline release frees
-//!   capacity);
+//!   retry-after hint: the time until the next deadline release *in the
+//!   rejected request's own tier* (a shed Low request must not be told
+//!   to retry on the High tier's sooner schedule);
 //! * a **high**-priority push at the limit first tries to *evict the
 //!   newest low-priority request* — shedding hits the low tier first, and
 //!   the evicted request is returned to the caller so it can be accounted
@@ -186,16 +187,22 @@ impl MicroBatcher {
         Err(SwdnnError::Overloaded {
             depth: self.len(),
             limit: self.limit,
-            retry_after_us: self.retry_after_us(req.arrival_us),
+            retry_after_us: self.retry_after_us(req.priority, req.arrival_us),
         })
     }
 
-    /// Suggested retry delay at `now_us`: the time until the next
-    /// deadline release frees a slot (at least 1 µs so "retry now" is
-    /// never suggested while the queue is full).
-    fn retry_after_us(&self, now_us: u64) -> u64 {
-        self.next_deadline_us()
-            .map(|d| d.saturating_sub(now_us))
+    /// Suggested retry delay at `now_us` for a rejected request of the
+    /// given tier: the time until the *rejected tier's own* front hits
+    /// its deadline release. A shed Low request must not advertise the
+    /// High tier's (typically sooner) release — Low retried on a High
+    /// schedule just gets shed again. When the rejected tier is empty
+    /// the hint falls back to one full batching deadline; in all cases
+    /// it is at least 1 µs so "retry now" is never suggested while the
+    /// queue is full.
+    fn retry_after_us(&self, priority: Priority, now_us: u64) -> u64 {
+        self.tier(priority)
+            .front()
+            .map(|r| (r.arrival_us + self.policy.deadline_us).saturating_sub(now_us))
             .unwrap_or(self.policy.deadline_us)
             .max(1)
     }
@@ -278,6 +285,18 @@ impl MicroBatcher {
             .flat_map(|q| q.iter())
             .filter_map(|r| r.expires_us)
             .min()
+    }
+
+    /// Drain every queued request — high tier first, FIFO within each
+    /// tier. This is the chip-evacuation path: when a cluster marks a
+    /// chip down, its queued work is pulled out wholesale and rerouted,
+    /// never silently dropped.
+    pub fn take_all(&mut self) -> Vec<QueuedRequest> {
+        let mut all = Vec::with_capacity(self.len());
+        for tier in [Priority::High, Priority::Low] {
+            all.extend(self.tiers[tier as usize].drain(..));
+        }
+        all
     }
 
     fn take_batch(&mut self, shape: ConvShape, trigger: BatchTrigger) -> Batch {
@@ -411,6 +430,52 @@ mod tests {
         // Draining makes room again.
         b.flush().unwrap();
         b.push(req(3, shape_a(), 0)).unwrap();
+    }
+
+    #[test]
+    fn retry_hint_tracks_the_rejected_tier_not_the_global_front() {
+        // Queue of 2: a High request at t=0 and a Low request at t=500.
+        let mut b = MicroBatcher::new(BatchPolicy::default(), 2);
+        b.push(req(1, shape_a(), 0)).unwrap();
+        b.push(low(2, shape_a(), 500)).unwrap();
+        // A shed Low request backs off to the *Low* front's release
+        // (500 + 2000 − 600), not the High front's sooner 0 + 2000.
+        match b.push(low(3, shape_a(), 600)).unwrap_err() {
+            SwdnnError::Overloaded { retry_after_us, .. } => {
+                assert_eq!(retry_after_us, 1_900);
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        // With no Low work queued at all, a shed Low request gets the
+        // default one-deadline hint instead of High-tier timing.
+        let mut b = MicroBatcher::new(BatchPolicy::default(), 2);
+        b.push(req(1, shape_a(), 0)).unwrap();
+        b.push(req(2, shape_a(), 0)).unwrap();
+        match b.push(low(3, shape_a(), 100)).unwrap_err() {
+            SwdnnError::Overloaded { retry_after_us, .. } => {
+                assert_eq!(
+                    retry_after_us,
+                    BatchPolicy::default().deadline_us,
+                    "empty low tier falls back to one full deadline"
+                );
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn take_all_drains_high_first_fifo_within_tier() {
+        let mut b = MicroBatcher::new(BatchPolicy::default(), 64);
+        b.push(low(1, shape_a(), 0)).unwrap();
+        b.push(req(2, shape_b(), 1)).unwrap();
+        b.push(req(3, shape_a(), 2)).unwrap();
+        b.push(low(4, shape_b(), 3)).unwrap();
+        let all = b.take_all();
+        assert_eq!(
+            all.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![2, 3, 1, 4]
+        );
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -381,6 +381,35 @@ impl ServeEngine {
         }
     }
 
+    /// Submit with an explicit arrival time at or after the current
+    /// clock — the cluster front door uses this to charge ingress link
+    /// time: a request leaves the router at `t` and lands on this chip
+    /// at `t + transfer_us`. The engine first advances to `arrival_us`
+    /// (dispatching anything due on the way, exactly like
+    /// [`ServeEngine::run_until`]) so the queue state the request meets
+    /// is the state at its true arrival instant. An `arrival_us` in the
+    /// past submits at the current clock.
+    pub fn submit_arriving(
+        &mut self,
+        shape: ConvShape,
+        class: RequestClass,
+        arrival_us: u64,
+    ) -> Result<u64, SwdnnError> {
+        if arrival_us > self.clock_us {
+            self.run_until(arrival_us)?;
+        }
+        self.submit_with(shape, class)
+    }
+
+    /// Pull every queued (not-yet-dispatched) request out of the batcher
+    /// — the cluster's chip-failure path. The returned requests keep
+    /// their ids, priorities, and arrival times; the caller owns
+    /// rerouting them, so nothing is recorded as dropped here. In-flight
+    /// completions and counters are untouched.
+    pub fn evacuate(&mut self) -> Vec<QueuedRequest> {
+        self.batcher.take_all()
+    }
+
     fn drop_request(&mut self, req: QueuedRequest, kind: DropKind) {
         match kind {
             DropKind::ShedAtAdmission => self.counters.rejected.inc(),
@@ -1102,6 +1131,46 @@ mod tests {
         assert_eq!(e.now_us(), 50_000);
         let c = e.completions()[0];
         assert!(c.completion_us < 50_000, "released at its deadline");
+    }
+
+    #[test]
+    fn submit_arriving_advances_the_clock_first() {
+        let mut e = engine(8, 64);
+        e.submit(shape()).unwrap();
+        // The new request arrives after the first one's deadline release:
+        // the engine must dispatch the first batch on the way.
+        e.submit_arriving(shape(), RequestClass::default(), 5_000)
+            .unwrap();
+        assert_eq!(e.now_us(), 5_000);
+        assert_eq!(e.completions().len(), 1, "first request released en route");
+        assert_eq!(e.queue_depth(), 1, "second request queued at arrival");
+        // A past arrival submits at the current clock, never rewinds.
+        e.submit_arriving(shape(), RequestClass::default(), 0)
+            .unwrap();
+        assert_eq!(e.now_us(), 5_000);
+    }
+
+    #[test]
+    fn evacuate_returns_queued_work_without_recording_drops() {
+        let mut e = engine(8, 64);
+        let a = e.submit(shape()).unwrap();
+        let b = e
+            .submit_with(
+                shape(),
+                RequestClass {
+                    priority: Priority::Low,
+                    ..RequestClass::default()
+                },
+            )
+            .unwrap();
+        let evacuated = e.evacuate();
+        assert_eq!(
+            evacuated.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![a, b],
+            "high tier first, ids preserved"
+        );
+        assert_eq!(e.queue_depth(), 0);
+        assert!(e.drops().is_empty(), "evacuation is not a drop");
     }
 
     #[test]

@@ -99,6 +99,33 @@ impl ChromeTrace {
         self.events.extend(other.events);
     }
 
+    /// Rewrite every event's `pid` to `pid`, returning `self` for
+    /// chaining. Single-chip recorders emit everything under pid 0; the
+    /// cluster layer claims one pid per chip before merging so cross-chip
+    /// spans land on separate process tracks in `chrome://tracing`.
+    pub fn with_pid(mut self, pid: u64) -> ChromeTrace {
+        for e in &mut self.events {
+            e.pid = pid;
+        }
+        self
+    }
+
+    /// Merge per-chip traces into one fleet trace, assigning each input
+    /// trace's events to its index as `pid` and sorting by timestamp so
+    /// the merged export reads as one timeline.
+    pub fn merge_per_chip(traces: Vec<ChromeTrace>) -> ChromeTrace {
+        let mut merged = ChromeTrace::new();
+        for (chip, t) in traces.into_iter().enumerate() {
+            merged.extend(t.with_pid(chip as u64));
+        }
+        merged.events.sort_by(|a, b| {
+            a.ts_us
+                .partial_cmp(&b.ts_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        merged
+    }
+
     /// The `{"traceEvents": [...]}` document.
     pub fn to_json(&self) -> Value {
         object([
@@ -323,6 +350,37 @@ mod tests {
         assert_eq!(t.category_dur_us("reg"), 5.0);
         assert!(r.take().events.is_empty(), "take drains");
         assert!(r.is_enabled());
+    }
+
+    #[test]
+    fn merge_per_chip_assigns_pids_and_sorts() {
+        let mut a = ChromeTrace::new();
+        a.push(ChromeEvent {
+            name: "batch".into(),
+            cat: "serve".into(),
+            ph: 'X',
+            ts_us: 10.0,
+            dur_us: 1.0,
+            pid: 0,
+            tid: 0,
+            args: vec![],
+        });
+        let mut b = ChromeTrace::new();
+        b.push(ChromeEvent {
+            name: "batch".into(),
+            cat: "serve".into(),
+            ph: 'X',
+            ts_us: 5.0,
+            dur_us: 1.0,
+            pid: 0,
+            tid: 0,
+            args: vec![],
+        });
+        let merged = ChromeTrace::merge_per_chip(vec![a, b]);
+        assert_eq!(merged.events.len(), 2);
+        assert_eq!(merged.events[0].ts_us, 5.0, "sorted by timestamp");
+        assert_eq!(merged.events[0].pid, 1, "second trace is chip 1");
+        assert_eq!(merged.events[1].pid, 0);
     }
 
     #[test]

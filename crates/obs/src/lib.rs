@@ -39,4 +39,4 @@ pub use counter::Counter;
 pub use level::Level;
 pub use report::{HostPerf, LevelIo, PerfReport};
 pub use snapshot::{compare, CompareReport, Snapshot, Tolerances};
-pub use tags::TagCounters;
+pub use tags::{chip_tag, link_tag, TagCounters};

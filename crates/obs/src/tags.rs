@@ -16,6 +16,20 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+/// Tag key for a per-chip metric (`chip/3/served`). The fleet layer keys
+/// every chip-scoped counter through this so the naming stays greppable
+/// and the sorted snapshot groups chips together.
+pub fn chip_tag(chip: usize, metric: &str) -> String {
+    format!("chip/{chip}/{metric}")
+}
+
+/// Tag key for a per-link metric (`link/ingress-2/bytes`). Links are
+/// named by endpoint (`ingress-N` for the front-door→chip hop,
+/// `ring-N` for chip N's allreduce send port).
+pub fn link_tag(link: &str, metric: &str) -> String {
+    format!("link/{link}/{metric}")
+}
+
 /// A set of named monotonic counters created on first use.
 #[derive(Debug, Default)]
 pub struct TagCounters {
@@ -111,6 +125,17 @@ mod tests {
         );
         t.reset();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn chip_and_link_tags_sort_by_index() {
+        let t = TagCounters::new();
+        t.add(&chip_tag(1, "served"), 4);
+        t.add(&chip_tag(0, "served"), 2);
+        t.add(&link_tag("ingress-0", "bytes"), 100);
+        assert_eq!(t.get("chip/0/served"), 2);
+        assert_eq!(t.get("chip/1/served"), 4);
+        assert_eq!(t.get("link/ingress-0/bytes"), 100);
     }
 
     #[test]

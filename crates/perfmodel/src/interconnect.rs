@@ -1,0 +1,190 @@
+//! Modeled multi-chip interconnect: per-link latency + bandwidth, and
+//! collective (allreduce) schedules built on top.
+//!
+//! Sunway TaihuLight connects SW26010 nodes through a custom fat-tree
+//! network; swCaffe-style data-parallel training and fleet serving both
+//! charge their cross-chip traffic against that network. This module is
+//! the chip-to-chip analogue of [`crate::dma`]: a two-parameter
+//! (latency, bandwidth) cost per link, plus closed-form costs for the
+//! two allreduce schedules the cluster layer uses:
+//!
+//! * **ring** — `2·(C−1)` steps, each moving `bytes/C` per link; optimal
+//!   wire bytes for large tensors (`2·bytes·(C−1)/C` per chip);
+//! * **tree** — `2·⌈log₂C⌉` steps, each moving the full tensor; fewer
+//!   latency terms, so it wins for small tensors where the per-step
+//!   latency dominates the wire time.
+//!
+//! Costs are *timing only*: the cluster layer computes gradients in a
+//! fixed order independent of the schedule, so schedule choice moves
+//! simulated time and wire-byte counters, never numerics.
+
+/// Per-link characteristics of the modeled chip-to-chip network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterconnectSpec {
+    /// One-way link latency per message, µs of simulated time.
+    pub link_latency_us: f64,
+    /// Link bandwidth, GB/s (bytes/ns).
+    pub link_gbps: f64,
+}
+
+impl InterconnectSpec {
+    /// TaihuLight-like node network: ~8 GB/s per direction with a ~1 µs
+    /// MPI-grade injection latency.
+    pub const fn sw_cluster() -> Self {
+        Self {
+            link_latency_us: 1.0,
+            link_gbps: 8.0,
+        }
+    }
+
+    /// Time for one `bytes`-sized message over one link, µs.
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        self.link_latency_us + bytes as f64 / (self.link_gbps * 1e3)
+    }
+
+    /// Ring allreduce over `chips` peers: reduce-scatter then allgather,
+    /// `2·(C−1)` steps each moving a `bytes/C` segment. Returns 0 for a
+    /// single chip (no wire traffic).
+    pub fn ring_allreduce_us(&self, bytes: u64, chips: usize) -> f64 {
+        if chips <= 1 {
+            return 0.0;
+        }
+        let steps = 2 * (chips - 1);
+        let segment = (bytes as f64 / chips as f64).ceil() as u64;
+        steps as f64 * self.transfer_us(segment)
+    }
+
+    /// Tree allreduce (reduce then broadcast): `2·⌈log₂C⌉` steps moving
+    /// the whole tensor each step.
+    pub fn tree_allreduce_us(&self, bytes: u64, chips: usize) -> f64 {
+        if chips <= 1 {
+            return 0.0;
+        }
+        let rounds = (chips as f64).log2().ceil() as usize;
+        (2 * rounds) as f64 * self.transfer_us(bytes)
+    }
+
+    /// The schedule the cluster uses for a tensor of `bytes`: whichever
+    /// of ring/tree is cheaper under this spec.
+    pub fn allreduce_us(&self, bytes: u64, chips: usize) -> (AllreduceKind, f64) {
+        let ring = self.ring_allreduce_us(bytes, chips);
+        let tree = self.tree_allreduce_us(bytes, chips);
+        if tree < ring {
+            (AllreduceKind::Tree, tree)
+        } else {
+            (AllreduceKind::Ring, ring)
+        }
+    }
+
+    /// Bytes each chip puts on the wire under the given schedule — the
+    /// Demmel-style first-class metric the cluster counters report.
+    pub fn allreduce_wire_bytes_per_chip(
+        &self,
+        kind: AllreduceKind,
+        bytes: u64,
+        chips: usize,
+    ) -> u64 {
+        if chips <= 1 {
+            return 0;
+        }
+        match kind {
+            AllreduceKind::Ring => {
+                let segment = (bytes as f64 / chips as f64).ceil() as u64;
+                2 * (chips as u64 - 1) * segment
+            }
+            AllreduceKind::Tree => {
+                let rounds = (chips as f64).log2().ceil() as u64;
+                2 * rounds * bytes
+            }
+        }
+    }
+}
+
+impl Default for InterconnectSpec {
+    fn default() -> Self {
+        Self::sw_cluster()
+    }
+}
+
+/// Which collective schedule an allreduce used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllreduceKind {
+    Ring,
+    Tree,
+}
+
+impl AllreduceKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllreduceKind::Ring => "ring",
+            AllreduceKind::Tree => "tree",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_latency_plus_wire_time() {
+        let net = InterconnectSpec::sw_cluster();
+        // 8 KB at 8 GB/s = 1 µs of wire time + 1 µs latency.
+        assert!((net.transfer_us(8_000) - 2.0).abs() < 1e-12);
+        // Latency floor: an empty message still costs the latency.
+        assert!((net.transfer_us(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_chip_allreduce_is_free() {
+        let net = InterconnectSpec::sw_cluster();
+        assert_eq!(net.ring_allreduce_us(1 << 20, 1), 0.0);
+        assert_eq!(net.tree_allreduce_us(1 << 20, 1), 0.0);
+        assert_eq!(
+            net.allreduce_wire_bytes_per_chip(AllreduceKind::Ring, 1 << 20, 1),
+            0
+        );
+    }
+
+    #[test]
+    fn ring_wins_large_tensors_tree_wins_small() {
+        let net = InterconnectSpec::sw_cluster();
+        let (kind, _) = net.allreduce_us(64 << 20, 8);
+        assert_eq!(kind, AllreduceKind::Ring, "64 MB: bandwidth-bound");
+        let (kind, _) = net.allreduce_us(256, 8);
+        assert_eq!(kind, AllreduceKind::Tree, "256 B: latency-bound");
+    }
+
+    #[test]
+    fn ring_step_count_and_segments() {
+        let net = InterconnectSpec {
+            link_latency_us: 0.0,
+            link_gbps: 1.0,
+        };
+        // 4 chips, 4000 bytes → 6 steps × 1000 bytes / (1 GB/s) = 6 µs.
+        assert!((net.ring_allreduce_us(4_000, 4) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_rounds_are_log2_ceil() {
+        let net = InterconnectSpec {
+            link_latency_us: 1.0,
+            link_gbps: 1e12, // wire time ~0
+        };
+        // 8 chips → 3 rounds each way → 6 µs of pure latency.
+        assert!((net.tree_allreduce_us(1, 8) - 6.0).abs() < 1e-6);
+        // 5 chips round up to 3 rounds too.
+        assert!((net.tree_allreduce_us(1, 5) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring_wire_bytes_approach_2x_tensor() {
+        let net = InterconnectSpec::sw_cluster();
+        let bytes = 1 << 20;
+        let wire = net.allreduce_wire_bytes_per_chip(AllreduceKind::Ring, bytes, 8);
+        let optimal = 2 * bytes * 7 / 8;
+        assert_eq!(wire, optimal, "ring is wire-byte optimal");
+        let tree = net.allreduce_wire_bytes_per_chip(AllreduceKind::Tree, bytes, 8);
+        assert!(tree > wire, "tree trades wire bytes for latency terms");
+    }
+}

@@ -19,11 +19,14 @@
 //!   §VI execution efficiency,
 //! * [`select`] — the paper's plan-selection policy (batch-size-aware when
 //!   the batch is large enough, image-size-aware with `Co` blocking
-//!   otherwise) driven by minimizing modeled RBW under the LDM budget.
+//!   otherwise) driven by minimizing modeled RBW under the LDM budget,
+//! * [`interconnect`] — the chip-to-chip network model (per-link latency +
+//!   bandwidth, ring/tree allreduce schedules) behind `swdnn::cluster`.
 
 pub mod chip;
 pub mod dma;
 pub mod freq;
+pub mod interconnect;
 pub mod model;
 pub mod rbw;
 pub mod select;
@@ -31,5 +34,6 @@ pub mod select;
 pub use chip::ChipSpec;
 pub use dma::{DmaDirection, DmaTable, RationalFit};
 pub use freq::{spatial_wins, FftConvModel, FreqCase};
+pub use interconnect::{AllreduceKind, InterconnectSpec};
 pub use model::{ConvPerfModel, PerfEstimate};
 pub use select::{select_plan, Blocking, PlanChoice, PlanKind};

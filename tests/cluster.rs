@@ -1,0 +1,213 @@
+//! Cluster-level determinism and resilience suite.
+//!
+//! Three properties the multi-chip layer must hold, all end to end:
+//!
+//! 1. **Gradient bit-identity.** Data-parallel training produces the
+//!    exact same parameters at 1/2/4/8 chips — and at every worker-pool
+//!    thread count — because the reduction order is fixed by microbatch
+//!    index, not by the collective schedule or the host schedule.
+//! 2. **Routing determinism.** The fleet's routing-decision fingerprint
+//!    and every serving number derived from it replay bit-for-bit across
+//!    runs and thread counts.
+//! 3. **Failure without loss.** Killing a chip with queued work reroutes
+//!    everything to survivors: every high-priority request is either
+//!    served or shed with a structured `Overloaded` — none vanish.
+
+use sw_tensor::{Layout, Shape4, Tensor4};
+use swdnn::cluster::{Cluster, ClusterConfig, DataParallelTrainer, TrainConfig};
+use swdnn::layers::Engine;
+use swdnn::optim::Optimizer;
+use swdnn::serve::{BatchPolicy, Priority, RequestClass, ServeConfig};
+use swdnn::zoo::{lenet_12, serving_mix};
+use swdnn::SwdnnError;
+
+/// Deterministic two-class 12×12 task (same construction the trainer's
+/// unit tests use, so failures here isolate the integration surface).
+fn task(batch: usize, seed: u64) -> (Tensor4<f64>, Vec<usize>) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut x = Tensor4::zeros(Shape4::new(batch, 1, 12, 12), Layout::Nchw);
+    let mut y = Vec::new();
+    for b in 0..batch {
+        let class = (next() % 2) as usize;
+        for r in 0..12 {
+            for c in 0..12 {
+                let noise = (next() % 1000) as f64 / 1e4 - 0.05;
+                let v = if (class == 0) == (c < 6) { 1.0 } else { 0.1 };
+                x.set(b, 0, r, c, v + noise);
+            }
+        }
+        y.push(class);
+    }
+    (x, y)
+}
+
+/// Train 3 steps at `chips` chips and return the flattened parameters.
+fn train_params(chips: usize) -> Vec<f64> {
+    let microbatches = 8;
+    let (x, y) = task(32, 0xD474);
+    let net = lenet_12(32 / microbatches, 1, 2, Engine::Host, 42).expect("build lenet");
+    let mut t = DataParallelTrainer::new(
+        net,
+        Optimizer::sgd(0.1),
+        TrainConfig {
+            chips,
+            microbatches,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("build trainer");
+    for _ in 0..3 {
+        t.step(&x, &y).expect("train step");
+    }
+    t.parameters()
+}
+
+#[test]
+fn gradients_bit_identical_across_chips_and_thread_counts() {
+    // The comparand: 1 chip on a single-threaded pool.
+    let reference = sw_runtime::with_threads(1, || train_params(1));
+    assert!(!reference.is_empty());
+    for threads in [1usize, 4, 8] {
+        for chips in [1usize, 2, 4, 8] {
+            let got = sw_runtime::with_threads(threads, || train_params(chips));
+            assert_eq!(
+                got, reference,
+                "parameters diverged at {chips} chips / {threads} threads"
+            );
+        }
+    }
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        policy: BatchPolicy {
+            max_batch: 4,
+            deadline_us: 1_000,
+        },
+        queue_limit: 32,
+        ..ServeConfig::default()
+    }
+}
+
+/// Replay a deterministic mixed-priority trace through a 4-chip fleet
+/// and return (fingerprint, served, p99).
+fn fleet_run() -> (u64, u64, u64) {
+    let mut c = Cluster::new(ClusterConfig {
+        chips: 4,
+        serve: serve_config(),
+        ..ClusterConfig::default()
+    })
+    .expect("build cluster");
+    let shapes = serving_mix();
+    for i in 0..48usize {
+        let (_, shape) = shapes[i % shapes.len()];
+        let class = RequestClass {
+            priority: if i % 3 == 0 {
+                Priority::Low
+            } else {
+                Priority::High
+            },
+            tenant: (i % 2) as u32,
+            deadline_us: None,
+        };
+        c.submit_at(shape, class, (i as u64) * 120).expect("submit");
+    }
+    c.drain().expect("drain");
+    let s = c.summary();
+    (c.route_fingerprint(), s.served, s.p99_latency_us)
+}
+
+#[test]
+fn routing_fingerprint_is_identical_across_runs_and_thread_counts() {
+    let reference = sw_runtime::with_threads(1, fleet_run);
+    assert!(reference.1 > 0, "the trace must actually serve");
+    for threads in [1usize, 4, 8] {
+        let got = sw_runtime::with_threads(threads, fleet_run);
+        assert_eq!(got, reference, "fleet replay diverged @ {threads} threads");
+    }
+    assert_eq!(fleet_run(), reference, "machine-default threads");
+}
+
+#[test]
+fn chip_failure_loses_no_high_priority_work() {
+    let mut c = Cluster::new(ClusterConfig {
+        chips: 4,
+        serve: serve_config(),
+        ..ClusterConfig::default()
+    })
+    .expect("build cluster");
+    let shapes = serving_mix();
+
+    // Queue high-priority work on every chip without letting it dispatch
+    // (everything submitted at t=0, nothing run yet).
+    let mut offered_high = 0u64;
+    let mut victim = None;
+    for i in 0..24usize {
+        let (_, shape) = shapes[i % shapes.len()];
+        let class = RequestClass {
+            priority: Priority::High,
+            tenant: 0,
+            deadline_us: None,
+        };
+        let (chip, _) = c.submit_at(shape, class, 0).expect("submit");
+        offered_high += 1;
+        victim.get_or_insert(chip);
+    }
+    let victim = victim.expect("at least one request routed");
+    let queued = c.engine(victim).queue_depth();
+    assert!(queued > 0, "the victim chip must hold queued work");
+
+    let (moved, shed) = c.fail_chip(victim).expect("fail chip");
+    assert_eq!(moved + shed, queued, "every evacuated request accounted");
+    assert_eq!(c.engine(victim).queue_depth(), 0, "victim fully evacuated");
+
+    c.drain().expect("drain survivors");
+    let s = c.summary();
+    // Zero lost high-priority work: all of it either completed on a
+    // surviving chip or was shed through admission (counted in rejected).
+    assert_eq!(
+        s.served + s.rejected,
+        offered_high,
+        "high-priority accounting leak across chip failure"
+    );
+    assert_eq!(shed as u64, s.rejected);
+    assert!(s.rerouted as usize == moved);
+
+    // The dead chip takes no further traffic until recovery.
+    for i in 0..8usize {
+        let (_, shape) = shapes[i % shapes.len()];
+        let (chip, _) = c
+            .submit_at(shape, RequestClass::default(), c.now_us() + 1)
+            .expect("submit after failure");
+        assert_ne!(chip, victim, "down chip must be skipped");
+    }
+    c.recover_chip(victim);
+    assert!(!c.is_down(victim));
+    c.drain().expect("drain tail");
+}
+
+#[test]
+fn every_chip_down_surfaces_a_structured_error() {
+    let mut c = Cluster::new(ClusterConfig {
+        chips: 2,
+        serve: serve_config(),
+        ..ClusterConfig::default()
+    })
+    .expect("build cluster");
+    c.fail_chip(0).expect("fail 0");
+    c.fail_chip(1).expect("fail 1");
+    let err = c
+        .submit_at(serving_mix()[0].1, RequestClass::default(), 0)
+        .expect_err("no chip can take the request");
+    match err {
+        SwdnnError::ClusterUnavailable { chips } => assert_eq!(chips, 2),
+        other => panic!("expected ClusterUnavailable, got {other}"),
+    }
+}
