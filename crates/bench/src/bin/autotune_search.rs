@@ -1,0 +1,334 @@
+//! `autotune_search` — model-guided schedule search gated against the
+//! hand-written presets and the host fallback.
+//!
+//! ```sh
+//! # Measure, print the table, write AUTOTUNE.json, enforce the gates.
+//! cargo run --release -p sw-bench --bin autotune_search
+//!
+//! # CI smoke: measure and enforce the gates only (no snapshot diff).
+//! cargo run --release -p sw-bench --bin autotune_search -- --smoke
+//!
+//! # CI gate: measure, enforce gates, AND diff against the baseline.
+//! cargo run --release -p sw-bench --bin autotune_search -- --check results/AUTOTUNE.baseline.json
+//! ```
+//!
+//! Two gates, both independent of the baseline diff:
+//!
+//! * **searched ≥ hand** — on every Table III shape the search is
+//!   warm-started with the paper's hand schedule, so its winner must be
+//!   no slower (in simulated cycles) than the hand preset; a violation
+//!   means search, lowering, or sampled timing regressed;
+//! * **stride-2 beats host** — a stride-2 shape the dense plans reject
+//!   must get a patch-GEMM schedule faster than the honest host MPE
+//!   baseline, proving the search opens shapes to mesh execution instead
+//!   of the host fallback.
+//!
+//! To accept an intentional change, regenerate the baseline (see
+//! CONTRIBUTING.md):
+//!
+//! ```sh
+//! cargo run --release -p sw-bench --bin autotune_search
+//! cp results/AUTOTUNE.json results/AUTOTUNE.baseline.json
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use sw_bench::configs::{table3_configs, BATCH, OUT_IMAGE};
+use sw_bench::report::{f, Table};
+use sw_obs::{compare, Level, LevelIo, PerfReport, Snapshot, Tolerances};
+use sw_perfmodel::ChipSpec;
+use sw_tensor::{general_flops, ConvGeometry, ConvShape, Shape4};
+use swdnn::plans::{lower_schedule, BatchAwarePlan, LowerCtx, Schedule};
+use swdnn::tune::{autotune_general, autotune_with, GeneralTune, TuneReport};
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("SWDNN_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autotune_search                    measure, write AUTOTUNE.json, enforce gates\n\
+         \u{20}      autotune_search --smoke          measure, enforce gates only\n\
+         \u{20}      autotune_search --check <baseline> measure, also fail (exit 1) on drift"
+    );
+    exit(2);
+}
+
+/// One Table III row: the hand preset vs the searched winner.
+struct SearchRow {
+    shape: ConvShape,
+    hand: Schedule,
+    hand_cycles: u64,
+    report: TuneReport,
+}
+
+/// The hand schedule a Table III config names (`img` rows carry their
+/// published blocking; `batch` rows resolve `b_Co` the way the plan's
+/// auto constructor does).
+fn hand_schedule(
+    chip: &ChipSpec,
+    tag: &str,
+    b_b: usize,
+    b_co: usize,
+    shape: &ConvShape,
+) -> Schedule {
+    match tag {
+        "img" => Schedule::image_aware(b_b, b_co),
+        _ => Schedule::batch_aware(BatchAwarePlan::auto_on(*chip, shape).b_co),
+    }
+}
+
+fn measure_table3(chip: &ChipSpec) -> Vec<SearchRow> {
+    table3_configs()
+        .into_iter()
+        .map(|(tag, b_b, b_co, ni, no)| {
+            let shape = ConvShape::new(BATCH, ni, no, OUT_IMAGE, OUT_IMAGE, 3, 3);
+            let hand = hand_schedule(chip, tag, b_b, b_co, &shape);
+            let plan = lower_schedule(&hand, &shape, &LowerCtx::on_chip(*chip))
+                .unwrap_or_else(|e| panic!("hand preset must lower for {shape}: {e}"));
+            let hand_cycles = plan
+                .time_full_shape(&shape)
+                .unwrap_or_else(|e| panic!("hand preset must time for {shape}: {e}"))
+                .cycles;
+            let report = autotune_with(chip, &shape, &[hand])
+                .unwrap_or_else(|e| panic!("search must succeed for {shape}: {e}"));
+            SearchRow {
+                shape,
+                hand,
+                hand_cycles,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// The stride-2 shape the dense schedule space rejects: the search must
+/// find a patch-GEMM schedule faster than the host fallback. (Scaled
+/// below paper size — the general path simulates full runs, not sampled
+/// ones — but still 17×17 outputs over 128×128 channels.)
+fn stride2_case() -> (ConvGeometry, Shape4, usize) {
+    (
+        ConvGeometry::valid(3, 3).with_stride(2, 2),
+        Shape4::new(32, 128, 35, 35),
+        128,
+    )
+}
+
+fn measure_stride2(chip: &ChipSpec) -> GeneralTune {
+    let (geom, input, no) = stride2_case();
+    autotune_general(chip, &geom, input, no)
+        .unwrap_or_else(|e| panic!("stride-2 search must succeed: {e}"))
+}
+
+fn print_table(rows: &[SearchRow], general: &GeneralTune) {
+    let mut t = Table::new(
+        "Model-guided schedule search vs hand presets (one CG)",
+        &[
+            "config",
+            "hand schedule",
+            "hand cycles",
+            "searched schedule",
+            "searched cycles",
+            "Gflops",
+            "enumerated",
+            "pruned",
+        ],
+    );
+    for r in rows {
+        let best = r.report.best();
+        t.row(vec![
+            format!("Ni{} No{}", r.shape.ni, r.shape.no),
+            r.hand.describe(),
+            r.hand_cycles.to_string(),
+            best.description.clone(),
+            best.cycles.to_string(),
+            f(best.gflops, 0),
+            r.report.enumerated.to_string(),
+            r.report.pruned.to_string(),
+        ]);
+    }
+    let (_, input, no) = stride2_case();
+    t.row(vec![
+        format!("stride2 B{} Ni{} No{no}", input.d0, input.d1),
+        "(host fallback)".into(),
+        general.host_cycles.to_string(),
+        general.schedule.describe(),
+        general.cycles.to_string(),
+        f(general.gflops, 0),
+        general.enumerated.to_string(),
+        "0".into(),
+    ]);
+    t.print();
+    t.write_csv("autotune_search");
+}
+
+/// A searched row carries no per-level traffic accounting — the winner's
+/// full counters live in the perf snapshot; this snapshot pins the
+/// *search outcome*: which schedule won, its cycles/throughput, and the
+/// search cost.
+fn search_report(
+    chip: &ChipSpec,
+    config: String,
+    plan: String,
+    cycles: u64,
+    gflops: f64,
+    predicted: f64,
+    counters: Vec<(String, u64)>,
+) -> PerfReport {
+    let secs = chip.cycles_to_seconds(cycles);
+    PerfReport {
+        config,
+        plan,
+        cycles,
+        time_ms: secs * 1e3,
+        gflops_measured: gflops,
+        gflops_modeled: predicted,
+        efficiency_modeled: 0.0,
+        memory_bound: false,
+        ldm_high_water_frac: 0.0,
+        mem: LevelIo::zero(Level::Mem),
+        reg: LevelIo::zero(Level::Reg),
+        counters,
+        host: None,
+    }
+}
+
+fn snapshot(chip: &ChipSpec, rows: &[SearchRow], general: &GeneralTune) -> Snapshot {
+    let mut reports = Vec::new();
+    for r in rows {
+        let best = r.report.best();
+        reports.push(search_report(
+            chip,
+            r.shape.to_string(),
+            best.description.clone(),
+            best.cycles,
+            best.gflops,
+            best.predicted_gflops,
+            vec![
+                ("hand_cycles".into(), r.hand_cycles),
+                ("enumerated".into(), r.report.enumerated as u64),
+                ("pruned".into(), r.report.pruned as u64),
+            ],
+        ));
+    }
+    let (geom, input, no) = stride2_case();
+    let flops = general_flops(&geom, input, no);
+    reports.push(search_report(
+        chip,
+        format!(
+            "stride2 B{} Ni{} No{no} {}x{}",
+            input.d0, input.d1, input.d2, input.d3
+        ),
+        general.schedule.describe(),
+        general.cycles,
+        general.gflops,
+        0.0,
+        vec![
+            ("host_cycles".into(), general.host_cycles),
+            ("enumerated".into(), general.enumerated as u64),
+            ("flops".into(), flops),
+        ],
+    ));
+    Snapshot::new(reports)
+}
+
+fn check_gates(rows: &[SearchRow], general: &GeneralTune) -> Result<Vec<String>, Vec<String>> {
+    let mut pass = Vec::new();
+    let mut fail = Vec::new();
+    for r in rows {
+        let best = r.report.best();
+        if best.cycles <= r.hand_cycles {
+            pass.push(format!(
+                "Ni{} No{}: searched {} ({} cycles) ≤ hand {} ({} cycles)",
+                r.shape.ni,
+                r.shape.no,
+                best.description,
+                best.cycles,
+                r.hand.describe(),
+                r.hand_cycles
+            ));
+        } else {
+            fail.push(format!(
+                "Ni{} No{}: searched {} cycles > hand {} cycles — search lost to its own warm start",
+                r.shape.ni, r.shape.no, best.cycles, r.hand_cycles
+            ));
+        }
+    }
+    if general.cycles < general.host_cycles {
+        pass.push(format!(
+            "stride-2: {} ({} cycles) beats host fallback ({} cycles, {:.1}×)",
+            general.schedule.describe(),
+            general.cycles,
+            general.host_cycles,
+            general.speedup_vs_host()
+        ));
+    } else {
+        fail.push(format!(
+            "stride-2: searched {} cycles does not beat the host fallback ({} cycles)",
+            general.cycles, general.host_cycles
+        ));
+    }
+    if fail.is_empty() {
+        Ok(pass)
+    } else {
+        Err(fail)
+    }
+}
+
+fn main() {
+    sw_runtime::global().prewarm();
+    println!("threads: {}", sw_runtime::thread_policy());
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (smoke, baseline_path) = match args.first().map(String::as_str) {
+        None => (false, None),
+        Some("--smoke") if args.len() == 1 => (true, None),
+        Some("--check") if args.len() == 2 => (false, Some(args[1].clone())),
+        _ => usage(),
+    };
+
+    let chip = ChipSpec::sw26010();
+    let rows = measure_table3(&chip);
+    let general = measure_stride2(&chip);
+    print_table(&rows, &general);
+
+    let mut failed = false;
+    match check_gates(&rows, &general) {
+        Ok(lines) => {
+            for l in lines {
+                println!("PASS {l}");
+            }
+        }
+        Err(msgs) => {
+            for m in msgs {
+                eprintln!("SEARCH GATE FAILURE: {m}");
+            }
+            failed = true;
+        }
+    }
+
+    if !smoke {
+        let snap = snapshot(&chip, &rows, &general);
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let out = dir.join("AUTOTUNE.json");
+        snap.save(&out).expect("write AUTOTUNE.json");
+        println!("(snapshot written to {})", out.display());
+
+        if let Some(path) = baseline_path {
+            let baseline = Snapshot::load(Path::new(&path)).unwrap_or_else(|e| {
+                eprintln!("cannot load baseline: {e}");
+                exit(2);
+            });
+            // Search outcomes are fully simulated and deterministic.
+            let report = compare(&baseline, &snap, &Tolerances::default());
+            print!("{}", report.summary());
+            failed |= !report.is_ok();
+        }
+    }
+
+    if failed {
+        exit(1);
+    }
+    println!("\nall autotune search gates met");
+}

@@ -28,6 +28,10 @@ const BINARIES: &[(&str, &str)] = &[
         "model_vs_autotune",
         "§VII — model guidance vs exhaustive autotuning",
     ),
+    (
+        "autotune_search",
+        "extension — schedule search vs hand presets + stride-2 coverage",
+    ),
     ("fig7_channels", "Fig. 7 — 101 channel configs vs K40m"),
     ("fig9_filters", "Fig. 9 — filter sizes vs K40m"),
     (

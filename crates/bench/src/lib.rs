@@ -18,6 +18,7 @@
 //! | `serve_bench`       | serving — closed-loop load over paper shapes, SLO-gated |
 //! | `chaos_serve`       | serving — open-loop fault-rate × burst sweep, chaos-gated |
 //! | `cluster_bench`     | cluster — 1→8 chip weak-scaling curves, efficiency-gated |
+//! | `autotune_search`   | tuning — schedule search vs hand presets, stride-2 coverage gate |
 //!
 //! [`configs`] holds the Fig. 8 configuration-generator scripts; [`report`]
 //! the table-formatting helpers shared by the binaries.

@@ -136,6 +136,11 @@ impl Conv2d {
                 chip: self.chip,
                 rt: self.rt,
             }),
+            PlanKind::PatchGemm => Box::new(
+                crate::plans::PatchGemmPlan::auto(self.chip, &self.shape)
+                    .with_fault(self.fault)
+                    .on_runtime(self.rt),
+            ),
         }
     }
 

@@ -24,6 +24,12 @@ pub enum SwdnnError {
     ShapeMismatch { expected: String, got: String },
     /// No plan can run the shape at all.
     NoPlan(ConvShape),
+    /// The planner examined the shape and rejected it for a structured,
+    /// reportable reason (stride/dilation the mesh plans cannot express,
+    /// divisibility, or LDM-budget exhaustion). Unlike the catch-all
+    /// [`SwdnnError::NoPlan`], the reason survives into fallback logs and
+    /// the Chrome trace so a silent host degrade is diagnosable.
+    PlanRejected { shape: ConvShape, reason: String },
     /// A numeric guard tripped: non-finite values or a verified-execution
     /// spot check diverging from the reference kernel.
     Numeric { context: String, detail: String },
@@ -60,6 +66,9 @@ impl std::fmt::Display for SwdnnError {
                 write!(f, "shape mismatch: expected {expected}, got {got}")
             }
             SwdnnError::NoPlan(s) => write!(f, "no convolution plan supports {s}"),
+            SwdnnError::PlanRejected { shape, reason } => {
+                write!(f, "planner rejected {shape}: {reason}")
+            }
             SwdnnError::Numeric { context, detail } => {
                 write!(f, "numeric check failed in {context}: {detail}")
             }
@@ -116,6 +125,16 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("image_aware") && s.contains("multiple of 8"));
+    }
+
+    #[test]
+    fn plan_rejected_display_names_shape_and_reason() {
+        let e = SwdnnError::PlanRejected {
+            shape: ConvShape::new(8, 16, 16, 4, 4, 3, 3),
+            reason: "stride 2 not expressible by dense mesh plans".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rejected") && s.contains("stride 2"), "{s}");
     }
 
     #[test]

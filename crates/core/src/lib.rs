@@ -55,7 +55,10 @@ pub use conv::Conv2d;
 pub use error::SwdnnError;
 pub use executor::{ConvReport, Executor};
 pub use optim::Optimizer;
-pub use plans::{BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, ReferencePlan};
+pub use plans::{
+    lower_schedule, BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, LoopOrder,
+    LowerCtx, MeshGrain, PatchGemmPlan, ReferencePlan, Schedule,
+};
 pub use resilient::{
     RecoveryEvent, RecoveryOutcome, ResilientExecutor, ResilientReport, VerifyPolicy,
 };

@@ -20,13 +20,17 @@ pub mod bwd_filter;
 pub mod direct;
 pub mod gemm_mesh;
 pub mod image_aware;
+pub mod patch_gemm;
 pub mod reference;
+pub mod schedule;
 
 pub use batch_aware::BatchAwarePlan;
 pub use bwd_filter::BwdFilterPlan;
 pub use direct::DirectPlan;
 pub use image_aware::ImageAwarePlan;
+pub use patch_gemm::PatchGemmPlan;
 pub use reference::ReferencePlan;
+pub use schedule::{lower_schedule, LoopOrder, LowerCtx, MeshGrain, Schedule};
 
 use crate::error::SwdnnError;
 use sw_perfmodel::{Blocking, ChipSpec, PlanKind};

@@ -1,0 +1,512 @@
+//! The patch-GEMM plan: general-geometry convolution (stride, dilation,
+//! padding, ragged pixel counts) on the register-communication mesh.
+//!
+//! The dense plans buy their bandwidth by exploiting dense structure —
+//! whole image rows (Algorithm 1) or whole batch columns (Algorithm 2)
+//! stream as one contiguous DMA block, which is exactly what stride-2 or
+//! dilated shapes destroy. Instead of rejecting those shapes to the host,
+//! this plan flattens the output space to `P = B·Ro·Co` pixels, gathers a
+//! `Ni × b_P` input patch per filter tap on the MPE (the gather absorbs
+//! all geometry: stride, dilation, padding, image edges), and runs one
+//! register-communication GEMM per tap:
+//!
+//! ```text
+//! C[No × b_P] += W_tap[No × Ni] · X_tap[Ni × b_P]      for each (kr, kc)
+//! ```
+//!
+//! Mesh distribution (no duplicated data, §V-A): `X_tap` with
+//! `ni ∈ chunk_i`, `p ∈ chunk_j`; `W_tap` with `no ∈ chunk_i`,
+//! `ni ∈ chunk_j`; `C` with `no ∈ chunk_i`, `p ∈ chunk_j`. The last pixel
+//! block is zero-padded in the gather and its puts are clipped to `P`, so
+//! *any* pixel count is legal — only `Ni`/`No` keep the mesh-dim
+//! divisibility constraint.
+//!
+//! The filter tap is reused `b_P` times and each gathered input element
+//! `No` times, so the required MEM→LDM bandwidth follows Eq. 1 with
+//! `b_Co·b_B → b_P` (priced by `ConvPerfModel` under
+//! `PlanKind::PatchGemm`). LDM holds one patch, one tap matrix and the
+//! output block — no double buffering, which keeps the footprint at
+//! `Ni·b_P/64 + Ni·No/64 + No·b_P/64` doubles per CPE.
+
+use super::gemm_mesh::{lease_scratch, regcomm_gemm_with, zero_c, GemmBlock};
+use super::{extrapolate, ConvPlan, ConvRun, PlanTiming};
+use crate::error::SwdnnError;
+use crate::plans::PlanKind;
+use sw_perfmodel::{Blocking, ChipSpec};
+use sw_sim::{LdmBuf, Mesh};
+use sw_tensor::{ConvGeometry, ConvShape, Layout, Shape4, Tensor4};
+
+/// Per-tap GEMM over gathered output-pixel patches. `b_p` is the number
+/// of flattened output pixels held in LDM at once (a multiple of the mesh
+/// dimension).
+#[derive(Clone, Copy, Debug)]
+pub struct PatchGemmPlan {
+    pub chip: ChipSpec,
+    /// Gathered-pixel block `b_P`.
+    pub b_p: usize,
+    /// §VI kernel selection (ablation switch).
+    pub reordered_kernel: bool,
+    /// Fault-injection plan applied to the mesh this plan runs on.
+    pub fault: Option<sw_sim::FaultPlan>,
+    /// Execution context the simulated mesh runs on.
+    pub rt: &'static sw_runtime::ExecutionContext,
+}
+
+impl PatchGemmPlan {
+    pub fn new(b_p: usize) -> Self {
+        Self {
+            chip: ChipSpec::sw26010(),
+            b_p,
+            reordered_kernel: true,
+            fault: None,
+            rt: sw_runtime::global(),
+        }
+    }
+
+    /// Largest pixel block (≤ 32·mesh_dim) whose patch + tap + output
+    /// tiles fit the LDM budget for these channel counts.
+    pub fn auto(chip: ChipSpec, shape: &ConvShape) -> Self {
+        Self::auto_for(chip, shape.ni, shape.no)
+    }
+
+    /// [`PatchGemmPlan::auto`] from raw channel counts (general entry).
+    pub fn auto_for(chip: ChipSpec, ni: usize, no: usize) -> Self {
+        let dim = chip.mesh_dim;
+        let mut b_p = 32 * dim;
+        while b_p > dim && Self::ldm_doubles_for(chip, ni, no, b_p) > chip.ldm_doubles() {
+            b_p /= 2;
+        }
+        Self::new(b_p).on_chip(chip)
+    }
+
+    pub fn on_chip(mut self, chip: ChipSpec) -> Self {
+        self.chip = chip;
+        self
+    }
+
+    pub fn with_fault(mut self, fault: Option<sw_sim::FaultPlan>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    pub fn on_runtime(mut self, rt: &'static sw_runtime::ExecutionContext) -> Self {
+        self.rt = rt;
+        self
+    }
+
+    pub fn with_reordered(mut self, reordered: bool) -> Self {
+        self.reordered_kernel = reordered;
+        self
+    }
+
+    fn ldm_doubles_for(chip: ChipSpec, ni: usize, no: usize, b_p: usize) -> usize {
+        let dim = chip.mesh_dim;
+        let (ni8, no8, p8) = (ni / dim, no / dim, b_p / dim);
+        ni8 * p8 + ni8 * no8 + no8 * p8
+    }
+
+    /// Per-CPE LDM footprint in doubles: one gathered patch, one filter
+    /// tap matrix, the output block.
+    pub fn ldm_doubles(&self, ni: usize, no: usize) -> usize {
+        Self::ldm_doubles_for(self.chip, ni, no, self.b_p)
+    }
+
+    /// Legality against raw geometry (shapes a dense [`ConvShape`] cannot
+    /// express). Rejections carry a nominal shape built from the output
+    /// extents, purely for error reporting.
+    pub fn supports_general(
+        &self,
+        geom: &ConvGeometry,
+        input: Shape4,
+        no: usize,
+    ) -> Result<(), SwdnnError> {
+        let (batch, ni) = (input.d0, input.d1);
+        let Some((ro, co)) = geom.output_extent(input.d2, input.d3) else {
+            return Err(SwdnnError::PlanRejected {
+                shape: ConvShape::new(batch, ni, no, 0, 0, geom.kr, geom.kc),
+                reason: format!(
+                    "effective filter {}x{} exceeds the padded {}x{} input",
+                    geom.kr_eff(),
+                    geom.kc_eff(),
+                    input.d2,
+                    input.d3
+                ),
+            });
+        };
+        let nominal = ConvShape::new(batch, ni, no, ro, co, geom.kr, geom.kc);
+        let fail = |reason: String| {
+            Err(SwdnnError::PlanRejected {
+                shape: nominal,
+                reason,
+            })
+        };
+        let dim = self.chip.mesh_dim;
+        if !ni.is_multiple_of(dim) || !no.is_multiple_of(dim) {
+            return fail(format!("Ni and No must be multiples of {dim}"));
+        }
+        if self.b_p == 0 || !self.b_p.is_multiple_of(dim) {
+            return fail(format!(
+                "b_p {} must be a positive multiple of {dim}",
+                self.b_p
+            ));
+        }
+        let need = self.ldm_doubles(ni, no);
+        if need > self.chip.ldm_doubles() {
+            return fail(format!(
+                "needs {need} LDM doubles > {}",
+                self.chip.ldm_doubles()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Run the convolution under an arbitrary [`ConvGeometry`] — the
+    /// entry point for shapes [`ConvShape`] cannot express. Output is a
+    /// fresh NCHW tensor of the geometry's output extent.
+    pub fn run_general(
+        &self,
+        geom: &ConvGeometry,
+        input: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<ConvRun, SwdnnError> {
+        let ishape = input.shape();
+        let fshape = filter.shape();
+        let no = fshape.d0;
+        self.supports_general(geom, ishape, no)?;
+        let (batch, ni) = (ishape.d0, ishape.d1);
+        let (ri, ci) = (ishape.d2, ishape.d3);
+        let (ro, co) = geom.output_extent(ri, ci).expect("checked by supports");
+        let dim = self.chip.mesh_dim;
+        let (ni8, no8, p8) = (ni / dim, no / dim, self.b_p / dim);
+        let b_p = self.b_p;
+        let pixels = batch * ro * co;
+        let img = ro * co;
+
+        // Filter repack: tap-major `w_flat[(tap·Ni + ni)·No + no]` so each
+        // tap's `Ni × No` matrix is one strided fetch per CPE.
+        let mut w_flat = vec![0.0f64; geom.kr * geom.kc * ni * no];
+        for n_o in 0..no {
+            for n_i in 0..ni {
+                for kr in 0..geom.kr {
+                    for kc in 0..geom.kc {
+                        w_flat[((kr * geom.kc + kc) * ni + n_i) * no + n_o] =
+                            filter.get(n_o, n_i, kr, kc);
+                    }
+                }
+            }
+        }
+
+        let mut output = Tensor4::zeros(Shape4::new(batch, no, ro, co), Layout::Nchw);
+        struct Slot {
+            x: LdmBuf,
+            w: LdmBuf,
+            c: LdmBuf,
+        }
+        let mut mesh: Mesh<Slot> = Mesh::new_on(self.rt, self.chip, |_, _| Slot {
+            x: LdmBuf { offset: 0, len: 0 },
+            w: LdmBuf { offset: 0, len: 0 },
+            c: LdmBuf { offset: 0, len: 0 },
+        });
+        if let Some(fp) = self.fault {
+            mesh.inject_faults(fp);
+        }
+        mesh.superstep(|ctx, s| {
+            s.x = ctx.ldm_alloc(ni8 * p8)?;
+            s.w = ctx.ldm_alloc(ni8 * no8)?;
+            s.c = ctx.ldm_alloc(no8 * p8)?;
+            Ok(())
+        })?;
+
+        let mut scratch = lease_scratch(self.rt, mesh.chip.mesh_dim);
+        // The gather target, rebuilt per (block, tap): `x_tap[ni·b_p + p]`
+        // with out-of-image taps (padding, edges, the zero-padded tail
+        // block) already resolved to 0 — the mesh sees a dense matrix.
+        let mut x_tap = vec![0.0f64; ni * b_p];
+
+        for block in 0..pixels.div_ceil(b_p) {
+            let p0 = block * b_p;
+            zero_c(&mut mesh, |s: &Slot| s.c)?;
+            for tkr in 0..geom.kr {
+                for tkc in 0..geom.kc {
+                    let tap = tkr * geom.kc + tkc;
+                    for (pl, slot) in x_tap.chunks_mut(b_p).enumerate() {
+                        // `pl` walks ni; gather this channel's pixel row.
+                        for (t, v) in slot.iter_mut().enumerate() {
+                            let p = p0 + t;
+                            *v = 0.0;
+                            if p >= pixels {
+                                continue;
+                            }
+                            let (b, rem) = (p / img, p % img);
+                            let (orow, ocol) = (rem / co, rem % co);
+                            let ir = orow * geom.stride_r + tkr * geom.dil_r;
+                            let ic = ocol * geom.stride_c + tkc * geom.dil_c;
+                            if ir < geom.pad_r || ic < geom.pad_c {
+                                continue;
+                            }
+                            let (ir, ic) = (ir - geom.pad_r, ic - geom.pad_c);
+                            if ir < ri && ic < ci {
+                                *v = input.get(b, pl, ir, ic);
+                            }
+                        }
+                    }
+                    mesh.superstep(|ctx, s| {
+                        // Collective row-mode DMA: a mesh row jointly
+                        // fetches the b_p-pixel run of each channel.
+                        ctx.dma_block_hint(8 * b_p);
+                        let hx = ctx.dma_get_strided(
+                            s.x,
+                            0,
+                            &x_tap,
+                            (ctx.row * ni8) * b_p + ctx.col * p8,
+                            ni8,
+                            b_p,
+                            p8,
+                        )?;
+                        let hw = ctx.dma_get_strided(
+                            s.w,
+                            0,
+                            &w_flat,
+                            (tap * ni + ctx.col * ni8) * no + ctx.row * no8,
+                            ni8,
+                            no,
+                            no8,
+                        )?;
+                        ctx.dma_wait(hx);
+                        ctx.dma_wait(hw);
+                        Ok(())
+                    })?;
+                    regcomm_gemm_with(
+                        &mut mesh,
+                        GemmBlock {
+                            m8: no8,
+                            n8: p8,
+                            k8: ni8,
+                            c_stride: p8,
+                            reordered: self.reordered_kernel,
+                        },
+                        &mut scratch,
+                        |ctx, s: &Slot, dst: &mut Vec<f64>| {
+                            dst.extend_from_slice(ctx.ldm(s.w));
+                        },
+                        |ctx, s: &Slot, dst: &mut Vec<f64>| {
+                            dst.extend_from_slice(ctx.ldm(s.x));
+                        },
+                        |s: &Slot| (s.c, 0),
+                    )?;
+                }
+            }
+
+            // Store: pixels are contiguous in NCHW per (batch, channel)
+            // run, so each C row is put as maximal same-batch runs,
+            // clipped at `pixels` (the tail block's padding is dropped).
+            mesh.superstep(|ctx, s| {
+                let p_start = p0 + ctx.col * p8;
+                let mut last = None;
+                for m in 0..no8 {
+                    let n_o = ctx.row * no8 + m;
+                    let mut p = p_start;
+                    while p < (p_start + p8).min(pixels) {
+                        let b = p / img;
+                        let run_end = (p_start + p8).min(pixels).min((b + 1) * img);
+                        let dst = (b * no + n_o) * img + (p - b * img);
+                        ctx.dma_block_hint(8 * b_p);
+                        last = Some(ctx.dma_put(s.c, m * p8 + (p - p_start), dst, run_end - p)?);
+                        p = run_end;
+                    }
+                }
+                if let Some(h) = last {
+                    ctx.dma_wait(h);
+                }
+                Ok(())
+            })?;
+        }
+
+        mesh.drain_puts(output.data_mut())?;
+        mesh.assert_inboxes_empty()?;
+        let stats = mesh.stats();
+        Ok(ConvRun {
+            output,
+            timing: PlanTiming {
+                cycles: stats.cycles,
+                stats,
+                sampled: false,
+                modeled: false,
+            },
+        })
+    }
+
+    /// Timing for an arbitrary geometry: a full seeded run (general
+    /// shapes reachable today are small; sampling rides on
+    /// [`ConvPlan::time_full_shape`] for the dense path).
+    pub fn time_general(
+        &self,
+        geom: &ConvGeometry,
+        input_shape: Shape4,
+        no: usize,
+    ) -> Result<PlanTiming, SwdnnError> {
+        let input = sw_tensor::init::seeded_tensor(input_shape, Layout::Nchw, 1);
+        let filter = sw_tensor::init::seeded_tensor(
+            Shape4::new(no, input_shape.d1, geom.kr, geom.kc),
+            Layout::Nchw,
+            2,
+        );
+        Ok(self.run_general(geom, &input, &filter)?.timing)
+    }
+}
+
+impl ConvPlan for PatchGemmPlan {
+    fn name(&self) -> &'static str {
+        "patch_gemm"
+    }
+
+    fn kind(&self) -> PlanKind {
+        PlanKind::PatchGemm
+    }
+
+    fn blocking(&self, _shape: &ConvShape) -> Blocking {
+        // b_p rides in the model's b_b slot (see ConvPerfModel).
+        Blocking {
+            b_b: self.b_p,
+            b_co: 1,
+        }
+    }
+
+    fn supports(&self, shape: &ConvShape) -> Result<(), SwdnnError> {
+        let geom = ConvGeometry::valid(shape.kr, shape.kc);
+        self.supports_general(&geom, shape.input_shape(), shape.no)
+            .map_err(|e| match e {
+                // The trait contract is the plans' Unsupported class.
+                SwdnnError::PlanRejected { reason, .. } => SwdnnError::Unsupported {
+                    plan: "patch_gemm",
+                    shape: *shape,
+                    reason,
+                },
+                other => other,
+            })
+    }
+
+    fn run(
+        &self,
+        shape: &ConvShape,
+        input: &Tensor4<f64>,
+        filter: &Tensor4<f64>,
+    ) -> Result<ConvRun, SwdnnError> {
+        self.supports(shape)?;
+        let geom = ConvGeometry::valid(shape.kr, shape.kc);
+        self.run_general(&geom, input, filter)
+    }
+
+    fn time_full_shape(&self, shape: &ConvShape) -> Result<PlanTiming, SwdnnError> {
+        self.supports(shape)?;
+        let blocks = |ro: usize| (shape.batch * ro * shape.co).div_ceil(self.b_p) as u64;
+        let reduced = |n_ro: usize| ConvShape { ro: n_ro, ..*shape };
+        let run = |s: &ConvShape| -> Result<PlanTiming, SwdnnError> {
+            let input = sw_tensor::init::seeded_tensor(s.input_shape(), Layout::Nchw, 1);
+            let filter = sw_tensor::init::seeded_tensor(s.filter_shape(), Layout::Nchw, 2);
+            Ok(self.run(s, &input, &filter)?.timing)
+        };
+        let (n1, n2, n_full) = (blocks(1), blocks(2), blocks(shape.ro));
+        if n_full <= 4 || n2 <= n1 {
+            return run(shape);
+        }
+        let t1 = run(&reduced(1))?;
+        let t2 = run(&reduced(2))?;
+        Ok(extrapolate(&t1, n1, &t2, n2, n_full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_tensor::init::{lattice_tensor, seeded_tensor};
+    use sw_tensor::{conv2d_general, conv2d_ref};
+
+    #[test]
+    fn dense_shapes_match_reference_exactly_on_lattice_data() {
+        let shape = ConvShape::new(16, 8, 8, 4, 4, 3, 3);
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 31);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 32);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let run = PatchGemmPlan::new(32).run(&shape, &input, &filter).unwrap();
+        assert_eq!(run.output.max_abs_diff(&expect), 0.0);
+        assert!(run.timing.cycles > 0);
+    }
+
+    #[test]
+    fn ragged_pixel_counts_pad_the_tail_block_correctly() {
+        // P = 8·3·3 = 72, b_p = 32: two full blocks + a 8-pixel tail.
+        let shape = ConvShape::new(8, 8, 8, 3, 3, 2, 2);
+        let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 33);
+        let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 34);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let run = PatchGemmPlan::new(32).run(&shape, &input, &filter).unwrap();
+        assert!(run.output.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn stride_two_matches_the_general_reference() {
+        let geom = ConvGeometry::valid(3, 3).with_stride(2, 2);
+        let input = seeded_tensor(Shape4::new(8, 16, 9, 9), Layout::Nchw, 35);
+        let filter = seeded_tensor(Shape4::new(16, 16, 3, 3), Layout::Nchw, 36);
+        let expect = conv2d_general(&geom, &input, &filter);
+        let run = PatchGemmPlan::new(64)
+            .run_general(&geom, &input, &filter)
+            .unwrap();
+        assert_eq!(run.output.shape(), expect.shape());
+        assert!(run.output.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn padding_and_dilation_match_the_general_reference() {
+        let geom = ConvGeometry::same(3, 3).with_dilation(2, 2);
+        let input = seeded_tensor(Shape4::new(4, 8, 8, 8), Layout::Nchw, 37);
+        let filter = seeded_tensor(Shape4::new(8, 8, 3, 3), Layout::Nchw, 38);
+        let expect = conv2d_general(&geom, &input, &filter);
+        let run = PatchGemmPlan::new(32)
+            .run_general(&geom, &input, &filter)
+            .unwrap();
+        assert_eq!(run.output.shape(), expect.shape());
+        assert!(run.output.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn rejects_channels_off_the_mesh_grid() {
+        let shape = ConvShape::new(8, 7, 8, 4, 4, 3, 3);
+        let err = PatchGemmPlan::new(32).supports(&shape).unwrap_err();
+        assert!(matches!(err, SwdnnError::Unsupported { .. }), "{err}");
+        let geom = ConvGeometry::valid(3, 3);
+        let err = PatchGemmPlan::new(32)
+            .supports_general(&geom, Shape4::new(8, 7, 6, 6), 8)
+            .unwrap_err();
+        assert!(matches!(err, SwdnnError::PlanRejected { .. }), "{err}");
+    }
+
+    #[test]
+    fn auto_blocking_fits_ldm() {
+        let chip = ChipSpec::sw26010();
+        let plan = PatchGemmPlan::auto_for(chip, 256, 256);
+        assert!(plan.ldm_doubles(256, 256) <= chip.ldm_doubles());
+        assert!(plan.b_p >= chip.mesh_dim);
+    }
+
+    #[test]
+    fn sampled_timing_tracks_full_timing() {
+        let shape = ConvShape::new(8, 8, 8, 6, 8, 3, 3);
+        let plan = PatchGemmPlan::new(64);
+        let full = {
+            let input = seeded_tensor(shape.input_shape(), Layout::Nchw, 1);
+            let filter = seeded_tensor(shape.filter_shape(), Layout::Nchw, 2);
+            plan.run(&shape, &input, &filter).unwrap().timing
+        };
+        let sampled = plan.time_full_shape(&shape).unwrap();
+        assert!(sampled.sampled);
+        let rel = (sampled.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(
+            rel < 0.05,
+            "sampled {} vs full {} ({rel:.3})",
+            sampled.cycles,
+            full.cycles
+        );
+    }
+}

@@ -41,6 +41,11 @@ pub enum RecoveryOutcome {
     Abandoned,
     /// A dead CPE forced re-planning on the masked 4×4 mesh.
     MeshDegraded,
+    /// The planner rejected the shape outright (`supports` said no before
+    /// any execution). The event's `detail` carries the structured
+    /// [`SwdnnError::PlanRejected`] reason, so a degrade to the host
+    /// reference is diagnosable from the Chrome trace instead of silent.
+    PlanRejected,
 }
 
 impl RecoveryOutcome {
@@ -50,6 +55,7 @@ impl RecoveryOutcome {
             RecoveryOutcome::TransientRetry => "transient_retry",
             RecoveryOutcome::Abandoned => "abandoned",
             RecoveryOutcome::MeshDegraded => "mesh_degraded",
+            RecoveryOutcome::PlanRejected => "plan_rejected",
         }
     }
 }
@@ -252,6 +258,27 @@ impl ResilientExecutor {
             };
 
         let mut tried: Vec<String> = Vec::new();
+        let mut rejected_logged: Vec<String> = Vec::new();
+        // When automatic selection already degraded to the host reference,
+        // the mesh families were rejected silently inside `Conv2d::plan` —
+        // probe them here so the recovery timeline (and with it the Chrome
+        // trace) records the structured reason for the degrade instead of
+        // presenting the host run as a first-choice acceptance.
+        if make(Cand::Model, None)?.name() == "reference" {
+            for kind in [PlanKind::ImageSizeAware, PlanKind::BatchSizeAware] {
+                let probe = make(Cand::Forced(kind), None)?;
+                if let Err(e) = probe.supports(shape) {
+                    log_rejection(
+                        shape,
+                        probe.name(),
+                        e,
+                        &mut rejected_logged,
+                        fallbacks,
+                        timeline,
+                    );
+                }
+            }
+        }
         let mut last_sim: Option<SimError> = None;
         'candidates: for cand in chain {
             let probe = make(cand, None)?;
@@ -261,7 +288,7 @@ impl ResilientExecutor {
             }
             tried.push(name.clone());
             if let Err(e) = probe.supports(shape) {
-                fallbacks.push(format!("{name}: {e}"));
+                log_rejection(shape, &name, e, &mut rejected_logged, fallbacks, timeline);
                 continue;
             }
 
@@ -503,6 +530,39 @@ impl ResilientReport {
     }
 }
 
+/// Record one planner rejection as a structured [`SwdnnError::PlanRejected`]
+/// in both the human-readable fallback trail and the recovery timeline
+/// (which [`ResilientReport::recovery_trace`] emits into the Chrome
+/// trace). Deduplicated per plan name: the pre-probe in `run_chain` and
+/// the chain walk itself may both see the same rejection.
+fn log_rejection(
+    shape: &ConvShape,
+    name: &str,
+    e: SwdnnError,
+    rejected_logged: &mut Vec<String>,
+    fallbacks: &mut Vec<String>,
+    timeline: &mut Vec<RecoveryEvent>,
+) {
+    if rejected_logged.iter().any(|n| n == name) {
+        return;
+    }
+    rejected_logged.push(name.to_string());
+    let structured = match e {
+        SwdnnError::Unsupported { reason, .. } => SwdnnError::PlanRejected {
+            shape: *shape,
+            reason,
+        },
+        other => other,
+    };
+    timeline.push(RecoveryEvent {
+        attempt: 0,
+        plan: name.to_string(),
+        outcome: RecoveryOutcome::PlanRejected,
+        detail: structured.to_string(),
+    });
+    fallbacks.push(format!("{name}: {structured}"));
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -715,6 +775,49 @@ mod tests {
             .timeline
             .iter()
             .any(|e| e.outcome == RecoveryOutcome::MeshDegraded));
+    }
+
+    #[test]
+    fn unservable_shapes_log_structured_rejections_into_the_trace() {
+        // Ni = No = 7: every mesh plan refuses, the host reference runs.
+        // Before this was recorded, the degrade was silent — the timeline
+        // showed a clean first-choice acceptance of "reference".
+        let shape = ConvShape::new(32, 7, 7, 4, 8, 3, 3);
+        let (input, filter) = operands(&shape);
+        let rep = ResilientExecutor::new()
+            .run(&shape, &input, &filter)
+            .unwrap();
+        assert_eq!(rep.plan_name, "reference");
+        let rejections: Vec<_> = rep
+            .timeline
+            .iter()
+            .filter(|e| e.outcome == RecoveryOutcome::PlanRejected)
+            .collect();
+        assert_eq!(
+            rejections.len(),
+            2,
+            "both mesh families must be logged: {:?}",
+            rep.timeline
+        );
+        for e in &rejections {
+            assert!(e.detail.contains("rejected"), "{}", e.detail);
+            assert!(e.detail.contains("multiple"), "{}", e.detail);
+        }
+        assert!(rep
+            .fallbacks
+            .iter()
+            .any(|f| f.contains("image_size_aware") && f.contains("rejected")));
+        // The Chrome trace carries the rejection instants with reasons.
+        let trace = rep.recovery_trace(1.45);
+        let rejected: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "plan_rejected")
+            .collect();
+        assert_eq!(rejected.len(), 2);
+        // Rejection never degrades correctness.
+        let expect = conv2d_ref(shape, &input, &filter);
+        assert_eq!(rep.run.output.max_abs_diff(&expect), 0.0);
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use engine::{
 pub use health::{
     Availability, BreakerPolicy, BreakerState, CgBreaker, CgHealthStats, HealthBoard, Route,
 };
-pub use plan_cache::{CacheStats, CachedPlan, PlanCache, PlanKey};
+pub use plan_cache::{CacheStats, CachedPlan, PlanCache, PlanKey, TuneKey};
 pub use sharded_map::ShardedMap;

@@ -1,29 +1,43 @@
-//! Empirical plan autotuning.
+//! Model-guided autotuning over the schedule space.
 //!
 //! The paper's §VII claims the performance model "provided useful guidance
-//! in our optimization process" — the model picks the plan, rather than an
-//! exhaustive search. This module implements the alternative the claim is
-//! measured against: *empirically* time every feasible plan/blocking
-//! candidate (via the sampled-timing machinery, so each candidate costs
-//! two small simulations) and pick the fastest. The `model_vs_autotune`
-//! bench reports the model's regret against this oracle.
+//! in our optimization process". This module takes that literally: the
+//! search enumerates [`Schedule`] candidates, prices every legal one with
+//! the three-level model (the Fig. 2 REG/MEM bandwidth derates), and
+//! *simulates only the predicted frontier* — the model prunes the space,
+//! the simulator ranks the survivors. Each simulated candidate costs two
+//! small runs (the sampled-timing machinery); each pruned candidate costs
+//! one analytic evaluation. The `model_vs_autotune` bench reports the
+//! model's regret against this empirical oracle, and the
+//! `autotune_search` bench gates the searched winner against the hand
+//! presets on every Table III shape.
+//!
+//! Shapes the dense schedule space cannot express at all (stride,
+//! dilation, padding) go through [`autotune_general`]: a search over the
+//! patch-GEMM pixel-block axis, compared against an honest *host* MPE
+//! baseline (one CPE-speed core running the reference loops — not the
+//! mesh-level modeled timing the dense reference plan reports).
 
 use crate::error::SwdnnError;
-use crate::plans::{BatchAwarePlan, ConvPlan, ImageAwarePlan};
+use crate::plans::{lower_schedule, BatchAwarePlan, ConvPlan, LowerCtx, PatchGemmPlan, Schedule};
 use sw_perfmodel::select::Blocking;
-use sw_perfmodel::{select_plan, ChipSpec, PlanKind};
-use sw_tensor::ConvShape;
+use sw_perfmodel::{select_plan, ChipSpec, ConvPerfModel, PlanKind};
+use sw_tensor::{general_flops, ConvGeometry, ConvShape, Shape4};
 
-/// One timed candidate.
+/// One searched candidate.
 #[derive(Clone, Debug)]
 pub struct Candidate {
     pub description: String,
+    /// The schedule-space point this candidate lowers.
+    pub schedule: Schedule,
     /// Which plan family this candidate instantiates.
     pub kind: PlanKind,
     /// The LDM blocking the candidate executed with (for batch-size-aware
     /// plans `b_b` is the whole batch, matching
     /// [`crate::plans::ConvPlan::blocking`]).
     pub blocking: Blocking,
+    /// The model's predicted Gflops per CG (what the pruning ranked on).
+    pub predicted_gflops: f64,
     /// Simulated cycles for the full shape (sampled).
     pub cycles: u64,
     /// Attained Gflops on one CG.
@@ -33,11 +47,15 @@ pub struct Candidate {
 /// The autotuning outcome.
 #[derive(Clone, Debug)]
 pub struct TuneReport {
-    /// All candidates, fastest first.
+    /// All *simulated* candidates, fastest first.
     pub candidates: Vec<Candidate>,
     /// What the analytic model would have picked, as an index into
     /// `candidates` (None if the model's choice was infeasible).
     pub model_choice: Option<usize>,
+    /// Legal schedules enumerated (simulated + pruned).
+    pub enumerated: usize,
+    /// Legal schedules the model priced but the search did not simulate.
+    pub pruned: usize,
 }
 
 impl TuneReport {
@@ -46,84 +64,71 @@ impl TuneReport {
     }
 
     /// Fraction of the empirically-best throughput the model's choice
-    /// attains (1.0 = the model found the optimum).
+    /// attains (1.0 = the model found the optimum). `None` when the model
+    /// choice was infeasible or the best candidate attained zero
+    /// throughput (degenerate shapes with no flops).
     pub fn model_fraction_of_best(&self) -> Option<f64> {
-        self.model_choice
-            .map(|i| self.candidates[i].gflops / self.candidates[0].gflops)
+        let i = self.model_choice?;
+        let best = self.candidates[0].gflops;
+        if best <= 0.0 {
+            return None;
+        }
+        Some(self.candidates[i].gflops / best)
     }
 }
 
-/// Enumerate and time every feasible plan for `shape` on the stock SW26010.
-pub fn autotune(shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
-    autotune_on(&ChipSpec::sw26010(), shape)
-}
-
-/// Enumerate and time every feasible plan for `shape` on an explicit chip
-/// (e.g. the degraded 4×4 mesh
-/// [`crate::resilient::ResilientExecutor::degraded_chip`] builds).
-pub fn autotune_on(chip: &ChipSpec, shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
-    let mut candidates: Vec<Candidate> = Vec::new();
-
-    // Batch-size-aware candidates over its b_co choices.
+/// The dense schedule space: every `(b_B, b_Co)` the two mesh loop orders
+/// can express for this shape. Legality is *not* decided here — the
+/// lowering's `supports` check is the arbiter (enumerating from `b_b = 8`
+/// matters on the degraded 4-wide mesh, where the row granule is 16).
+fn enumerate_schedules(shape: &ConvShape) -> Vec<Schedule> {
+    let mut out = Vec::new();
     for b_co in [16usize, 8, 4, 2, 1] {
-        if !shape.co.is_multiple_of(b_co) {
-            continue;
+        if shape.co.is_multiple_of(b_co) {
+            out.push(Schedule::batch_aware(b_co));
         }
-        let mut plan = BatchAwarePlan::new(b_co);
-        plan.chip = *chip;
-        if plan.supports(shape).is_err() {
-            continue;
-        }
-        let timing = plan.time_full_shape(shape)?;
-        candidates.push(Candidate {
-            description: format!("batch_size_aware b_co={b_co}"),
-            kind: PlanKind::BatchSizeAware,
-            blocking: plan.blocking(shape),
-            cycles: timing.cycles,
-            gflops: timing.gflops(shape, chip),
-        });
     }
-
-    // Image-size-aware candidates over (b_b, b_co). Enumeration starts at
-    // the smallest b_b Algorithm 1 can map (8, one image row block per
-    // mesh row on a degraded 4-wide mesh) — starting at 32 silently
-    // produced *zero* image-aware candidates for any batch < 32 and a
-    // spurious NoPlan even when a feasible b_b ∈ {8, 16} existed; the
-    // plan's own `supports` is the arbiter of mesh divisibility, not the
-    // enumeration floor.
     let mut b_b = 8usize;
     while b_b <= shape.batch {
         if shape.batch.is_multiple_of(b_b) {
             for b_co in [32usize, 16, 8, 4, 2, 1] {
-                if !shape.co.is_multiple_of(b_co) {
-                    continue;
+                if shape.co.is_multiple_of(b_co) {
+                    out.push(Schedule::image_aware(b_b, b_co));
                 }
-                let blocking = Blocking { b_b, b_co };
-                let plan = ImageAwarePlan::new(blocking).on_chip(*chip);
-                if plan.supports(shape).is_err() {
-                    continue;
-                }
-                let timing = plan.time_full_shape(shape)?;
-                candidates.push(Candidate {
-                    description: format!("image_size_aware b_b={b_b} b_co={b_co}"),
-                    kind: PlanKind::ImageSizeAware,
-                    blocking,
-                    cycles: timing.cycles,
-                    gflops: timing.gflops(shape, chip),
-                });
             }
         }
         b_b *= 2;
     }
+    out
+}
 
-    if candidates.is_empty() {
-        return Err(SwdnnError::NoPlan(*shape));
-    }
-    candidates.sort_by_key(|c| c.cycles);
+/// Search the schedule space for `shape` on the stock SW26010.
+pub fn autotune(shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
+    autotune_on(&ChipSpec::sw26010(), shape)
+}
 
-    // Identify the analytic model's pick among the candidates by structure
-    // (kind + blocking), not by description strings — a format tweak must
-    // not silently detach the model from its candidate.
+/// [`autotune`] on an explicit chip (e.g. the degraded 4×4 mesh
+/// [`crate::resilient::ResilientExecutor::degraded_chip`] builds).
+pub fn autotune_on(chip: &ChipSpec, shape: &ConvShape) -> Result<TuneReport, SwdnnError> {
+    autotune_with(chip, shape, &[])
+}
+
+/// [`autotune_on`] with warm-start schedules: `extra` points are searched
+/// ahead of the enumerated space and always simulated, so a known-good
+/// hand preset is guaranteed to bound the result from above (the searched
+/// winner can never be slower than a legal warm start).
+pub fn autotune_with(
+    chip: &ChipSpec,
+    shape: &ConvShape,
+    extra: &[Schedule],
+) -> Result<TuneReport, SwdnnError> {
+    let ctx = LowerCtx::on_chip(*chip);
+    let model = ConvPerfModel {
+        chip: *chip,
+        ..ConvPerfModel::default()
+    };
+
+    // The model's own pick, matched structurally later.
     let model_pick: Option<(PlanKind, Blocking)> = select_plan(shape, chip).map(|c| match c.kind {
         PlanKind::BatchSizeAware => {
             // The executor's batch plan auto-selects its own b_co.
@@ -138,6 +143,89 @@ pub fn autotune_on(chip: &ChipSpec, shape: &ConvShape) -> Result<TuneReport, Swd
         }
         _ => (c.kind, c.blocking),
     });
+
+    // Enumerate, lower, and price. Illegal points are recorded (their
+    // rejection reasons feed the PlanRejected error when nothing is
+    // legal); legal points carry their lowered plan and predicted Gflops.
+    // (schedule, lowered plan, blocking, predicted Gflops, warm start).
+    type Priced = (Schedule, Box<dyn ConvPlan>, Blocking, f64, bool);
+    let mut seen: Vec<Schedule> = Vec::new();
+    let mut legal: Vec<Priced> = Vec::new();
+    let mut reasons: Vec<String> = Vec::new();
+    for (i, sched) in extra
+        .iter()
+        .chain(enumerate_schedules(shape).iter())
+        .enumerate()
+    {
+        if seen.contains(sched) {
+            continue;
+        }
+        seen.push(*sched);
+        let warm = i < extra.len();
+        match lower_schedule(sched, shape, &ctx) {
+            Ok(plan) => {
+                let blocking = plan.blocking(shape);
+                let est = model.estimate(
+                    sched.kind,
+                    blocking,
+                    shape.batch,
+                    shape.ni,
+                    shape.no,
+                    shape.kc,
+                );
+                legal.push((*sched, plan, blocking, est.gflops_per_cg, warm));
+            }
+            Err(e) => reasons.push(e.to_string()),
+        }
+    }
+    if legal.is_empty() {
+        let mut reason = String::from("no legal schedule in the search space");
+        for r in reasons.iter().take(3) {
+            reason.push_str("; ");
+            reason.push_str(r);
+        }
+        if reasons.len() > 3 {
+            reason.push_str(&format!("; and {} more", reasons.len() - 3));
+        }
+        return Err(SwdnnError::PlanRejected {
+            shape: *shape,
+            reason,
+        });
+    }
+
+    // Prune by predicted bandwidth-derated throughput: simulate the
+    // frontier (within 60% of the best prediction), the top 8 as a
+    // model-error hedge, every warm start, and the model's own pick.
+    let enumerated = legal.len();
+    legal.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    let best_pred = legal[0].3;
+    let frontier = |rank: usize, sched: &Schedule, blocking: &Blocking, pred: f64, warm: bool| {
+        warm || rank < 8 || pred >= 0.6 * best_pred || model_pick == Some((sched.kind, *blocking))
+    };
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut pruned = 0usize;
+    for (rank, (sched, plan, blocking, pred, warm)) in legal.into_iter().enumerate() {
+        if !frontier(rank, &sched, &blocking, pred, warm) {
+            pruned += 1;
+            continue;
+        }
+        let timing = plan.time_full_shape(shape)?;
+        candidates.push(Candidate {
+            description: sched.describe(),
+            schedule: sched,
+            kind: sched.kind,
+            blocking,
+            predicted_gflops: pred,
+            cycles: timing.cycles,
+            gflops: timing.gflops(shape, chip),
+        });
+    }
+    candidates.sort_by_key(|c| c.cycles);
+
+    // Identify the analytic model's pick among the simulated candidates by
+    // structure (kind + blocking), not by description strings — a format
+    // tweak must not silently detach the model from its candidate.
     let model_choice = model_pick.and_then(|(kind, blocking)| {
         candidates
             .iter()
@@ -146,6 +234,106 @@ pub fn autotune_on(chip: &ChipSpec, shape: &ConvShape) -> Result<TuneReport, Swd
     Ok(TuneReport {
         candidates,
         model_choice,
+        enumerated,
+        pruned,
+    })
+}
+
+/// Simulated cycles of the honest host baseline for a general geometry:
+/// one MPE-speed core (one CPE's peak, no mesh) running the reference
+/// loops. This is the bar a searched mesh schedule must beat — the dense
+/// reference plan's mesh-level modeled timing is not an achievable
+/// fallback for shapes the mesh cannot serve.
+pub fn host_general_cycles(chip: &ChipSpec, geom: &ConvGeometry, input: Shape4, no: usize) -> u64 {
+    let flops = general_flops(geom, input, no) as f64;
+    let secs = flops / (chip.peak_gflops_per_cpe().max(1e-9) * 1e9);
+    (secs * chip.clock_ghz * 1e9).ceil() as u64
+}
+
+/// Outcome of a general-geometry (stride/dilation/padding) search.
+#[derive(Clone, Debug)]
+pub struct GeneralTune {
+    /// The winning patch-GEMM schedule.
+    pub schedule: Schedule,
+    /// Simulated mesh cycles of the winner (full run).
+    pub cycles: u64,
+    /// Attained Gflops on one CG.
+    pub gflops: f64,
+    /// The host MPE baseline ([`host_general_cycles`]).
+    pub host_cycles: u64,
+    /// Legal pixel-block candidates considered.
+    pub enumerated: usize,
+}
+
+impl GeneralTune {
+    /// Speedup of the searched mesh schedule over the host baseline.
+    pub fn speedup_vs_host(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.host_cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Search the patch-GEMM pixel-block axis for a geometry the dense
+/// schedule space cannot express. The model orders the `b_P` candidates
+/// (Eq. 1 with `b_Co·b_B → b_P`); the top of the frontier is simulated in
+/// full (general shapes reachable today are small).
+pub fn autotune_general(
+    chip: &ChipSpec,
+    geom: &ConvGeometry,
+    input: Shape4,
+    no: usize,
+) -> Result<GeneralTune, SwdnnError> {
+    let model = ConvPerfModel {
+        chip: *chip,
+        ..ConvPerfModel::default()
+    };
+    let dim = chip.mesh_dim;
+    let (batch, ni) = (input.d0, input.d1);
+    let mut legal: Vec<(usize, f64)> = Vec::new();
+    let mut last_err = None;
+    for exp in 0..6 {
+        let b_p = dim << exp;
+        let plan = PatchGemmPlan::new(b_p).on_chip(*chip);
+        match plan.supports_general(geom, input, no) {
+            Ok(()) => {
+                let est = model.estimate(
+                    PlanKind::PatchGemm,
+                    Blocking { b_b: b_p, b_co: 1 },
+                    batch,
+                    ni,
+                    no,
+                    geom.kc,
+                );
+                legal.push((b_p, est.gflops_per_cg));
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if legal.is_empty() {
+        return Err(last_err.expect("at least one candidate was probed"));
+    }
+    legal.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let enumerated = legal.len();
+
+    let flops = general_flops(geom, input, no) as f64;
+    let mut best: Option<(Schedule, u64)> = None;
+    for &(b_p, _) in legal.iter().take(3) {
+        let plan = PatchGemmPlan::new(b_p).on_chip(*chip);
+        let timing = plan.time_general(geom, input, no)?;
+        if best.is_none_or(|(_, c)| timing.cycles < c) {
+            best = Some((Schedule::patch_gemm(b_p), timing.cycles));
+        }
+    }
+    let (schedule, cycles) = best.expect("frontier is non-empty");
+    let secs = cycles as f64 / (chip.clock_ghz * 1e9);
+    Ok(GeneralTune {
+        schedule,
+        cycles,
+        gflops: if secs > 0.0 { flops / secs / 1e9 } else { 0.0 },
+        host_cycles: host_general_cycles(chip, geom, input, no),
+        enumerated,
     })
 }
 
@@ -163,6 +351,7 @@ mod tests {
             .windows(2)
             .all(|w| w[0].cycles <= w[1].cycles));
         assert!(rep.best().gflops > 0.0);
+        assert_eq!(rep.enumerated, rep.candidates.len() + rep.pruned);
     }
 
     #[test]
@@ -219,9 +408,57 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_shapes_error() {
-        // Channels not a multiple of 8: no mesh plan candidates at all.
+    fn infeasible_shapes_return_structured_rejection() {
+        // Channels not a multiple of 8: no mesh schedule is legal. The
+        // search must say *why*, not throw the catch-all NoPlan.
         let shape = ConvShape::new(32, 7, 7, 4, 8, 3, 3);
-        assert!(matches!(autotune(&shape), Err(SwdnnError::NoPlan(_))));
+        match autotune(&shape) {
+            Err(SwdnnError::PlanRejected { shape: s, reason }) => {
+                assert_eq!(s, shape);
+                assert!(reason.contains("multiple"), "{reason}");
+            }
+            other => panic!("expected PlanRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_schedule_bounds_the_search() {
+        let shape = ConvShape::new(32, 16, 16, 4, 8, 3, 3);
+        let hand = Schedule::image_aware(32, 4);
+        let rep = autotune_with(&ChipSpec::sw26010(), &shape, &[hand]).unwrap();
+        let warm = rep
+            .candidates
+            .iter()
+            .find(|c| c.schedule == hand)
+            .expect("warm start must be simulated");
+        assert!(rep.best().cycles <= warm.cycles);
+    }
+
+    #[test]
+    fn stride_two_search_beats_the_host_baseline() {
+        // The acceptance shape class: stride 2, which every dense plan
+        // rejects. The searched patch schedule must beat the honest host
+        // MPE reference.
+        let chip = ChipSpec::sw26010();
+        let geom = ConvGeometry::valid(3, 3).with_stride(2, 2);
+        let input = Shape4::new(8, 16, 9, 9);
+        let tune = autotune_general(&chip, &geom, input, 16).unwrap();
+        assert!(tune.cycles > 0);
+        assert!(
+            tune.cycles < tune.host_cycles,
+            "mesh {} cycles vs host {} cycles",
+            tune.cycles,
+            tune.host_cycles
+        );
+        assert!(tune.speedup_vs_host() > 1.0);
+        assert_eq!(tune.schedule.kind, PlanKind::PatchGemm);
+    }
+
+    #[test]
+    fn general_search_rejects_off_grid_channels() {
+        let chip = ChipSpec::sw26010();
+        let geom = ConvGeometry::valid(3, 3).with_stride(2, 2);
+        let err = autotune_general(&chip, &geom, Shape4::new(8, 7, 9, 9), 16).unwrap_err();
+        assert!(matches!(err, SwdnnError::PlanRejected { .. }), "{err}");
     }
 }

@@ -68,12 +68,36 @@ impl Default for ConvPerfModel {
     }
 }
 
+/// `min(1, measured / required)` with degenerate denominators treated as
+/// "not a bottleneck". Shapes the schedule search now actually generates
+/// (1×1 images, batch 1, `No = 1`) can drive a required-bandwidth formula
+/// to `0` or `∞`; the derate must stay a finite factor in `[0, 1]` rather
+/// than poisoning `gflops_per_cg` with NaN.
+fn derate_ratio(measured: f64, required: f64) -> f64 {
+    if required.is_nan() || required <= 0.0 {
+        // No bandwidth demanded (or garbage in): not a bottleneck.
+        return 1.0;
+    }
+    if required.is_infinite() {
+        // Unbounded demand: total collapse, not NaN.
+        return 0.0;
+    }
+    let r = measured / required;
+    if r.is_finite() {
+        r.clamp(0.0, 1.0)
+    } else {
+        1.0
+    }
+}
+
 impl ConvPerfModel {
     /// DMA block size (bytes per CPE request) implied by a plan's layout.
     ///
     /// * image-size-aware: one `(batch-quad, channel, row)` run of the
     ///   input tile — `4 · (b_co + kc − 1)` doubles;
-    /// * batch-size-aware: one pixel across the batch — `B` doubles.
+    /// * batch-size-aware: one pixel across the batch — `B` doubles;
+    /// * patch-GEMM: one input-channel row of the gathered patch tile —
+    ///   `b_p` doubles (`b_p` rides in `blocking.b_b`).
     pub fn dma_block_bytes(
         &self,
         kind: PlanKind,
@@ -85,6 +109,7 @@ impl ConvPerfModel {
             PlanKind::ImageSizeAware => 8 * 4 * (blocking.b_co + kc - 1),
             PlanKind::BatchSizeAware => 8 * batch,
             PlanKind::DirectGload => 8,
+            PlanKind::PatchGemm => 8 * blocking.b_b,
         }
     }
 
@@ -122,6 +147,10 @@ impl ConvPerfModel {
         let rbw_mem = match kind {
             PlanKind::ImageSizeAware => rbw::rbw_image_aware(blocking.b_b, blocking.b_co, no, t_cg),
             PlanKind::BatchSizeAware => rbw::rbw_batch_aware(batch, kc, no, t_cg),
+            // Per-tap GEMM over a gathered `b_p`-pixel patch: the filter
+            // tap is reused `b_p` times and each input element `no` times,
+            // which is exactly Eq. 1 with `b_co·b_B → b_p`.
+            PlanKind::PatchGemm => rbw::rbw_image_aware(blocking.b_b, 1, no, t_cg),
             PlanKind::DirectGload => unreachable!(),
         };
         let block = self.dma_block_bytes(kind, blocking, batch, kc);
@@ -131,8 +160,8 @@ impl ConvPerfModel {
         let mbw_reg = self.chip.ldm_reg_gbps;
 
         let ee = sw_isa::efficiency::ee_for_ni(ni);
-        let mem_ratio = (mbw_mem / rbw_mem).min(1.0);
-        let reg_ratio = (mbw_reg / rbw_reg).min(1.0);
+        let mem_ratio = derate_ratio(mbw_mem, rbw_mem);
+        let reg_ratio = derate_ratio(mbw_reg, rbw_reg);
         let gflops = t_cg * ee * reg_ratio * reg_ratio * mem_ratio * mem_ratio;
 
         PerfEstimate {
@@ -223,6 +252,50 @@ mod tests {
         let small = m.estimate(PlanKind::ImageSizeAware, blk, 128, 128, 64, 3);
         let large = m.estimate(PlanKind::ImageSizeAware, blk, 128, 128, 384, 3);
         assert!(large.gflops_per_cg > small.gflops_per_cg);
+    }
+
+    #[test]
+    fn degenerate_shapes_produce_finite_estimates() {
+        // 1×1 images, batch 1 and single channels are now reachable via
+        // the schedule search; every estimate must stay finite.
+        let m = ConvPerfModel::default();
+        let cases = [
+            (
+                PlanKind::ImageSizeAware,
+                Blocking { b_b: 1, b_co: 1 },
+                1,
+                1,
+                1,
+                1,
+            ),
+            (PlanKind::BatchSizeAware, Blocking::default(), 1, 1, 1, 1),
+            (
+                PlanKind::PatchGemm,
+                Blocking { b_b: 8, b_co: 1 },
+                1,
+                8,
+                8,
+                1,
+            ),
+            (PlanKind::DirectGload, Blocking::default(), 1, 1, 1, 1),
+        ];
+        for (kind, blk, b, ni, no, kc) in cases {
+            let est = m.estimate(kind, blk, b, ni, no, kc);
+            assert!(
+                est.gflops_per_cg.is_finite() && est.gflops_per_cg >= 0.0,
+                "{kind:?}: {est:?}"
+            );
+            assert!(est.execution_efficiency.is_finite());
+        }
+    }
+
+    #[test]
+    fn ratio_guard_handles_zero_and_nonfinite_denominators() {
+        assert_eq!(derate_ratio(10.0, 0.0), 1.0);
+        assert_eq!(derate_ratio(10.0, f64::NAN), 1.0);
+        assert_eq!(derate_ratio(10.0, f64::INFINITY), 0.0);
+        assert_eq!(derate_ratio(5.0, 10.0), 0.5);
+        assert_eq!(derate_ratio(20.0, 10.0), 1.0);
     }
 
     #[test]

@@ -31,10 +31,14 @@ pub enum PlanKind {
     BatchSizeAware,
     /// The pathological direct-`gload` mapping (for the Fig. 2 ablation).
     DirectGload,
+    /// Per-tap register-communication GEMM over gathered output-pixel
+    /// patches — the general-geometry mapping (stride/dilation/padding)
+    /// the schedule search lowers for shapes the dense plans reject.
+    PatchGemm,
 }
 
 /// LDM blocking factors (meaningful for the image-size-aware plan).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Blocking {
     /// Batch-dimension block `b_B`.
     pub b_b: usize,

@@ -14,7 +14,7 @@
 use crate::shape::{ConvShape, Shape4};
 use crate::tensor::{Scalar, Tensor4};
 
-/// Convolution geometry: filter extent, padding and stride.
+/// Convolution geometry: filter extent, padding, stride and dilation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ConvGeometry {
     pub kr: usize,
@@ -23,6 +23,10 @@ pub struct ConvGeometry {
     pub pad_c: usize,
     pub stride_r: usize,
     pub stride_c: usize,
+    /// Row dilation: tap `kr` lands `kr · dil_r` rows into the window.
+    pub dil_r: usize,
+    /// Column dilation.
+    pub dil_c: usize,
 }
 
 impl ConvGeometry {
@@ -35,6 +39,8 @@ impl ConvGeometry {
             pad_c: 0,
             stride_r: 1,
             stride_c: 1,
+            dil_r: 1,
+            dil_c: 1,
         }
     }
 
@@ -47,6 +53,8 @@ impl ConvGeometry {
             pad_c: (kc - 1) / 2,
             stride_r: 1,
             stride_c: 1,
+            dil_r: 1,
+            dil_c: 1,
         }
     }
 
@@ -62,23 +70,44 @@ impl ConvGeometry {
         self
     }
 
+    pub const fn with_dilation(mut self, dr: usize, dc: usize) -> Self {
+        self.dil_r = dr;
+        self.dil_c = dc;
+        self
+    }
+
+    /// Effective (dilated) filter height: `(Kr − 1) · dil_r + 1`.
+    pub const fn kr_eff(&self) -> usize {
+        (self.kr - 1) * self.dil_r + 1
+    }
+
+    /// Effective (dilated) filter width.
+    pub const fn kc_eff(&self) -> usize {
+        (self.kc - 1) * self.dil_c + 1
+    }
+
     /// Output spatial extent for a given input extent, or `None` if the
     /// geometry does not fit.
     pub fn output_extent(&self, ri: usize, ci: usize) -> Option<(usize, usize)> {
         let er = ri + 2 * self.pad_r;
         let ec = ci + 2 * self.pad_c;
-        if er < self.kr || ec < self.kc {
+        if er < self.kr_eff() || ec < self.kc_eff() {
             return None;
         }
         Some((
-            (er - self.kr) / self.stride_r + 1,
-            (ec - self.kc) / self.stride_c + 1,
+            (er - self.kr_eff()) / self.stride_r + 1,
+            (ec - self.kc_eff()) / self.stride_c + 1,
         ))
     }
 
     /// Whether this geometry degenerates to the paper's dense case.
     pub const fn is_valid_dense(&self) -> bool {
-        self.pad_r == 0 && self.pad_c == 0 && self.stride_r == 1 && self.stride_c == 1
+        self.pad_r == 0
+            && self.pad_c == 0
+            && self.stride_r == 1
+            && self.stride_c == 1
+            && self.dil_r == 1
+            && self.dil_c == 1
     }
 }
 
@@ -106,8 +135,8 @@ pub fn conv2d_general<T: Scalar>(
                     for ni in 0..s.d1 {
                         for kr in 0..geom.kr {
                             for kc in 0..geom.kc {
-                                let ir = orow * geom.stride_r + kr;
-                                let ic = ocol * geom.stride_c + kc;
+                                let ir = orow * geom.stride_r + kr * geom.dil_r;
+                                let ic = ocol * geom.stride_c + kc * geom.dil_c;
                                 // Padded coordinates: subtract the pad and
                                 // skip out-of-image taps.
                                 if ir < geom.pad_r || ic < geom.pad_c {
@@ -148,8 +177,8 @@ pub fn conv2d_general_bwd_data<T: Scalar>(
                     for ni in 0..s.d1 {
                         for kr in 0..geom.kr {
                             for kc in 0..geom.kc {
-                                let ir = orow * geom.stride_r + kr;
-                                let ic = ocol * geom.stride_c + kc;
+                                let ir = orow * geom.stride_r + kr * geom.dil_r;
+                                let ic = ocol * geom.stride_c + kc * geom.dil_c;
                                 if ir < geom.pad_r || ic < geom.pad_c {
                                     continue;
                                 }
@@ -190,8 +219,8 @@ pub fn conv2d_general_bwd_filter<T: Scalar>(
                     for ni in 0..s.d1 {
                         for kr in 0..geom.kr {
                             for kc in 0..geom.kc {
-                                let ir = orow * geom.stride_r + kr;
-                                let ic = ocol * geom.stride_c + kc;
+                                let ir = orow * geom.stride_r + kr * geom.dil_r;
+                                let ic = ocol * geom.stride_c + kc * geom.dil_c;
                                 if ir < geom.pad_r || ic < geom.pad_c {
                                     continue;
                                 }
@@ -337,5 +366,54 @@ mod tests {
     #[test]
     fn too_small_inputs_are_rejected() {
         assert_eq!(ConvGeometry::valid(5, 5).output_extent(3, 3), None);
+    }
+
+    #[test]
+    fn dilation_widens_the_receptive_field() {
+        // A dilated 3x3 at rate 2 spans 5x5: extents match the 5x5 dense
+        // filter, and the taps read every other pixel.
+        let geom = ConvGeometry::valid(3, 3).with_dilation(2, 2);
+        assert_eq!(geom.kr_eff(), 5);
+        assert_eq!(geom.output_extent(7, 7), Some((3, 3)));
+        assert_eq!(geom.output_extent(4, 4), None);
+        assert!(!geom.is_valid_dense());
+
+        // Equivalence: dilated conv == dense conv with a zero-stuffed filter.
+        let input = seeded_tensor::<f64>(Shape4::new(1, 2, 7, 7), Layout::Nchw, 13);
+        let filter = seeded_tensor::<f64>(Shape4::new(3, 2, 3, 3), Layout::Nchw, 14);
+        let mut stuffed = Tensor4::zeros(Shape4::new(3, 2, 5, 5), Layout::Nchw);
+        for no in 0..3 {
+            for ni in 0..2 {
+                for kr in 0..3 {
+                    for kc in 0..3 {
+                        stuffed.set(no, ni, 2 * kr, 2 * kc, filter.get(no, ni, kr, kc));
+                    }
+                }
+            }
+        }
+        let dilated = conv2d_general(&geom, &input, &filter);
+        let dense = conv2d_general(&ConvGeometry::valid(5, 5), &input, &stuffed);
+        assert!(dilated.max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn dilated_bwd_filter_matches_finite_difference() {
+        let geom = ConvGeometry::valid(2, 2).with_dilation(2, 3);
+        let in_shape = Shape4::new(1, 1, 5, 6);
+        let input = seeded_tensor::<f64>(in_shape, Layout::Nchw, 15);
+        let filter = seeded_tensor::<f64>(Shape4::new(1, 1, 2, 2), Layout::Nchw, 16);
+        let out = conv2d_general(&geom, &input, &filter);
+        let d_out = Tensor4::full(out.shape(), Layout::Nchw, 1.0);
+        let d_w = conv2d_general_bwd_filter(&geom, &input, &d_out);
+
+        let eps = 1e-6;
+        let base = out.sum_f64();
+        for probe in [(0, 0, 0, 0), (0, 0, 1, 1)] {
+            let mut bumped = filter.clone();
+            bumped[probe] += eps;
+            let fd = (conv2d_general(&geom, &input, &bumped).sum_f64() - base) / eps;
+            let an = d_w[probe];
+            assert!((fd - an).abs() < 1e-4, "{probe:?}: fd {fd} vs {an}");
+        }
     }
 }

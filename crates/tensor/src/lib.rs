@@ -23,7 +23,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use conv_general::{
-    conv2d_general, conv2d_general_bwd_data, conv2d_general_bwd_filter, ConvGeometry,
+    conv2d_general, conv2d_general_bwd_data, conv2d_general_bwd_filter, general_flops, ConvGeometry,
 };
 pub use conv_ref::{conv2d_bwd_data_ref, conv2d_bwd_filter_ref, conv2d_ref, conv2d_ref_into};
 pub use layout::Layout;

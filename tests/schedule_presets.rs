@@ -1,0 +1,194 @@
+//! Schedule-IR preset equivalence suite.
+//!
+//! The schedule IR replaces nothing at runtime: `lower_schedule` must hand
+//! back exactly the plan objects the hand-written constructors built
+//! before it existed. This suite pins that contract three ways:
+//!
+//! 1. **Golden digests.** The image-aware and batch-aware presets, lowered
+//!    through the IR, must reproduce the same golden digests (cycles, DMA
+//!    and bus counters, flops, bit-exact output checksum) that
+//!    `tests/determinism.rs` pins for the hand-constructed plans — at host
+//!    thread counts 1, 4, and 8.
+//! 2. **Plan-for-plan identity.** Each named preset, lowered, produces a
+//!    digest identical to the directly constructed plan it names — same
+//!    simulated cycles, same output bits.
+//! 3. **Reference equivalence.** Every preset that lowers legally for a
+//!    shape agrees exactly with the 7-loop reference on lattice data.
+
+use sw_perfmodel::select::Blocking;
+use sw_tensor::init::lattice_tensor;
+use sw_tensor::{conv2d_ref, ConvShape, Layout};
+use swdnn::plans::{BatchAwarePlan, ConvPlan, ConvRun, DirectPlan, ImageAwarePlan, ReferencePlan};
+use swdnn::{lower_schedule, LowerCtx, Schedule};
+
+#[derive(PartialEq, Eq, Debug, Clone)]
+struct RunDigest {
+    cycles: u64,
+    dma_get_bytes: u64,
+    dma_put_bytes: u64,
+    bus_vectors_sent: u64,
+    bus_vectors_received: u64,
+    flops: u64,
+    output_bits: u64,
+}
+
+/// Order-sensitive checksum over the exact bit patterns of the output.
+fn checksum(data: &[f64]) -> u64 {
+    data.iter()
+        .fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits())
+}
+
+fn digest(run: &ConvRun) -> RunDigest {
+    let t = &run.timing.stats.totals;
+    RunDigest {
+        cycles: run.timing.cycles,
+        dma_get_bytes: t.dma_get_bytes,
+        dma_put_bytes: t.dma_put_bytes,
+        bus_vectors_sent: t.bus_vectors_sent,
+        bus_vectors_received: t.bus_vectors_received,
+        flops: t.flops,
+        output_bits: checksum(run.output.data()),
+    }
+}
+
+/// Same goldens as `tests/determinism.rs` — the IR must not move them.
+fn image_golden() -> RunDigest {
+    RunDigest {
+        cycles: 82512,
+        dma_get_bytes: 368640,
+        dma_put_bytes: 65536,
+        bus_vectors_sent: 20736,
+        bus_vectors_received: 145152,
+        flops: 2359296,
+        output_bits: 8771703832349549151,
+    }
+}
+
+fn batch_golden() -> RunDigest {
+    RunDigest {
+        cycles: 114504,
+        dma_get_bytes: 172032,
+        dma_put_bytes: 16384,
+        bus_vectors_sent: 9216,
+        bus_vectors_received: 64512,
+        flops: 589824,
+        output_bits: 11020029646220698066,
+    }
+}
+
+/// Run `schedule` on `shape` with lattice operands seeded `(seed, seed+1)`.
+fn run_schedule(schedule: &Schedule, shape: ConvShape, seed: u64) -> ConvRun {
+    let plan = lower_schedule(schedule, &shape, &LowerCtx::default())
+        .unwrap_or_else(|e| panic!("{} must lower for {shape:?}: {e}", schedule.describe()));
+    let input = lattice_tensor(shape.input_shape(), Layout::Nchw, seed);
+    let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, seed + 1);
+    plan.run(&shape, &input, &filter)
+        .expect("lowered plan runs")
+}
+
+fn lowered_image_case() -> ConvRun {
+    run_schedule(
+        &Schedule::image_aware(32, 4),
+        ConvShape::new(32, 16, 16, 2, 8, 3, 3),
+        11,
+    )
+}
+
+fn lowered_batch_case() -> ConvRun {
+    run_schedule(
+        &Schedule::batch_aware(2),
+        ConvShape::new(16, 16, 16, 2, 4, 3, 3),
+        21,
+    )
+}
+
+#[test]
+fn lowered_presets_reproduce_the_golden_digests() {
+    assert_eq!(digest(&lowered_image_case()), image_golden());
+    assert_eq!(digest(&lowered_batch_case()), batch_golden());
+}
+
+#[test]
+fn lowered_preset_digests_are_thread_count_invariant() {
+    for threads in [1usize, 4, 8] {
+        let (img, bat) =
+            sw_runtime::with_threads(threads, || (lowered_image_case(), lowered_batch_case()));
+        assert_eq!(digest(&img), image_golden(), "image @ {threads} threads");
+        assert_eq!(digest(&bat), batch_golden(), "batch @ {threads} threads");
+    }
+}
+
+#[test]
+fn each_preset_is_digest_identical_to_its_hand_built_plan() {
+    // (preset, hand-built plan) pairs on a shape every mesh plan accepts.
+    let shape = ConvShape::new(32, 16, 16, 4, 8, 3, 3);
+    let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 41);
+    let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 42);
+    let pairs: Vec<(Schedule, Box<dyn ConvPlan>)> = vec![
+        (
+            Schedule::image_aware(32, 4),
+            Box::new(ImageAwarePlan::new(Blocking { b_b: 32, b_co: 4 })),
+        ),
+        (Schedule::batch_aware(2), Box::new(BatchAwarePlan::new(2))),
+        (Schedule::direct(), Box::new(DirectPlan::default())),
+        (Schedule::reference(), Box::new(ReferencePlan::default())),
+    ];
+    for (schedule, hand) in pairs {
+        let lowered = lower_schedule(&schedule, &shape, &LowerCtx::default())
+            .unwrap_or_else(|e| panic!("{} must lower: {e}", schedule.describe()));
+        assert_eq!(lowered.name(), hand.name(), "{}", schedule.describe());
+        let from_ir = lowered.run(&shape, &input, &filter).unwrap();
+        let by_hand = hand.run(&shape, &input, &filter).unwrap();
+        assert_eq!(
+            digest(&from_ir),
+            digest(&by_hand),
+            "lowering {} must be invisible: same cycles, same bits",
+            schedule.describe()
+        );
+    }
+}
+
+#[test]
+fn every_legal_preset_matches_the_reference_convolution() {
+    // Lattice operands (quarter-integers) make every summation order exact,
+    // so all presets — including the tap-outer patch-GEMM — must agree
+    // with the 7-loop reference to the last bit.
+    let presets = [
+        Schedule::image_aware(32, 4),
+        Schedule::image_aware(32, 8),
+        Schedule::image_aware_ni(32, 4, 8),
+        Schedule::batch_aware(2),
+        Schedule::batch_aware(4),
+        Schedule::direct(),
+        Schedule::reference(),
+        Schedule::patch_gemm(32),
+        Schedule::patch_gemm(64),
+    ];
+    let shapes = [
+        ConvShape::new(32, 16, 16, 4, 8, 3, 3),
+        ConvShape::new(32, 8, 16, 2, 4, 1, 1),
+    ];
+    for shape in shapes {
+        let input = lattice_tensor(shape.input_shape(), Layout::Nchw, 51);
+        let filter = lattice_tensor(shape.filter_shape(), Layout::Nchw, 52);
+        let expect = conv2d_ref(shape, &input, &filter);
+        let mut legal = 0usize;
+        for schedule in &presets {
+            let Ok(plan) = lower_schedule(schedule, &shape, &LowerCtx::default()) else {
+                continue;
+            };
+            legal += 1;
+            let run = plan.run(&shape, &input, &filter).unwrap();
+            assert_eq!(
+                run.output.max_abs_diff(&expect),
+                0.0,
+                "{} on {shape:?} must be bit-identical with conv2d_ref",
+                schedule.describe()
+            );
+        }
+        assert!(
+            legal >= 6,
+            "expected most presets legal for {shape:?}, got {legal}"
+        );
+    }
+}
