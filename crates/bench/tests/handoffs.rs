@@ -1,0 +1,52 @@
+//! Regression gate for the superstep tax (DESIGN.md §14): the fused
+//! superstep path must issue strictly fewer worker-pool handoffs than the
+//! unfused round-per-handoff loop on every Table III shape.
+//!
+//! Runs on a private [`sw_runtime::ExecutionContext`] so concurrent tests
+//! sharing the global pool cannot inflate the deltas, and in its own
+//! integration-test binary so toggling the process-wide
+//! [`swdnn::plans::gemm_mesh::force_unfused`] switch cannot race other
+//! suites.
+
+use sw_bench::configs::perf_snapshot_configs;
+use swdnn::plans::gemm_mesh::{force_unfused, unfused_forced};
+use swdnn::Executor;
+
+#[test]
+fn fused_supersteps_cut_pool_handoffs_on_every_table3_shape() {
+    if unfused_forced() {
+        // Under SWDNN_UNFUSED=1 (the CI opt-out determinism run) both arms
+        // take the unfused path; there is no ratio to gate.
+        eprintln!("SWDNN_UNFUSED set; skipping handoff-ratio gate");
+        return;
+    }
+    let rt: &'static sw_runtime::ExecutionContext =
+        Box::leak(Box::new(sw_runtime::ExecutionContext::new()));
+    let exec = Executor::new().on_runtime(rt);
+    sw_runtime::with_threads(8, || {
+        for (shape, kind) in perf_snapshot_configs() {
+            let fused = exec.run_config_with(&shape, kind).unwrap();
+            force_unfused(true);
+            let unfused = exec.run_config_with(&shape, kind).unwrap();
+            force_unfused(false);
+            assert_eq!(
+                fused.timing.cycles, unfused.timing.cycles,
+                "{shape}: fusing supersteps must not move simulated time"
+            );
+            assert!(
+                fused.pool_handoffs > 0,
+                "{shape}: at 8 lanes the fused path still crosses the pool"
+            );
+            // O(rotations) vs O(rounds): each rotation is `mesh_dim` rounds
+            // of 2 supersteps each, so the unfused loop pays ≥ 2× (in fact
+            // ~2·mesh_dim×) the handoffs of the fused path. Gating on 2×
+            // proves fused < rounds without hard-coding plan internals.
+            assert!(
+                2 * fused.pool_handoffs < unfused.pool_handoffs,
+                "{shape}: fused {} vs unfused {} handoffs",
+                fused.pool_handoffs,
+                unfused.pool_handoffs
+            );
+        }
+    });
+}

@@ -10,7 +10,10 @@
 use crate::conv::Conv2d;
 use crate::error::SwdnnError;
 use crate::plans::PlanTiming;
-use sw_perfmodel::{Blocking, ChipSpec, ConvPerfModel, PerfEstimate, PlanKind};
+use sw_perfmodel::{
+    comm_optimal_permille, mem_comm_lower_bound_bytes, Blocking, ChipSpec, ConvPerfModel,
+    PerfEstimate, PlanKind,
+};
 use sw_sim::run_multi_cg_on;
 use sw_tensor::ConvShape;
 
@@ -29,6 +32,16 @@ pub struct ConvReport {
     pub efficiency: f64,
     /// Achieved MEM→LDM bandwidth, GB/s.
     pub mbw_measured: f64,
+    /// Worker-pool handoffs (condvar wake + join cycles) the simulation
+    /// cost on the host — the superstep tax. Fused supersteps pay
+    /// O(rotations), the unfused loop O(rounds).
+    pub pool_handoffs: u64,
+    /// Closed-form lower bound on MEM→LDM read traffic for this shape
+    /// ([`mem_comm_lower_bound_bytes`]).
+    pub comm_lower_bound_bytes: u64,
+    /// Attained fraction of comm-optimal in permille: `1000·bound/measured`
+    /// with `dma_get_bytes` as the measured traffic, clamped to 1000.
+    pub comm_optimal_permille: u64,
     /// Analytic model output for the same choice.
     pub model: PerfEstimate,
 }
@@ -77,6 +90,17 @@ impl ConvReport {
                 .named()
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
+                .chain([
+                    ("pool_handoffs".to_string(), self.pool_handoffs),
+                    (
+                        "mem_comm_lower_bound_bytes".to_string(),
+                        self.comm_lower_bound_bytes,
+                    ),
+                    (
+                        "mem_comm_optimal_permille".to_string(),
+                        self.comm_optimal_permille,
+                    ),
+                ])
                 .collect(),
             host: None,
         }
@@ -118,13 +142,16 @@ impl Executor {
     pub fn run_config(&self, shape: &ConvShape) -> Result<ConvReport, SwdnnError> {
         let conv = Conv2d::new(*shape)?.on_runtime(self.rt);
         let plan = conv.plan();
+        let handoffs_before = self.rt.pool_handoffs();
         let timing = plan.time_full_shape(shape)?;
+        let handoffs = self.rt.pool_handoffs() - handoffs_before;
         self.report(
             shape,
             plan.name(),
             plan.kind(),
             plan.blocking(shape),
             timing,
+            handoffs,
         )
     }
 
@@ -137,13 +164,16 @@ impl Executor {
         let conv = Conv2d::new(*shape)?.with_plan(kind).on_runtime(self.rt);
         let plan = conv.plan();
         plan.supports(shape)?;
+        let handoffs_before = self.rt.pool_handoffs();
         let timing = plan.time_full_shape(shape)?;
+        let handoffs = self.rt.pool_handoffs() - handoffs_before;
         self.report(
             shape,
             plan.name(),
             plan.kind(),
             plan.blocking(shape),
             timing,
+            handoffs,
         )
     }
 
@@ -161,6 +191,7 @@ impl Executor {
         kind: PlanKind,
         blocking: Blocking,
         timing: PlanTiming,
+        pool_handoffs: u64,
     ) -> Result<ConvReport, SwdnnError> {
         let model = ConvPerfModel::default().estimate(
             kind,
@@ -179,6 +210,17 @@ impl Executor {
         } else {
             0.0
         };
+        let comm_bound = mem_comm_lower_bound_bytes(
+            &self.chip,
+            shape.batch,
+            shape.ni,
+            shape.no,
+            shape.ro,
+            shape.co,
+            shape.kr,
+            shape.kc,
+        );
+        let comm_permille = comm_optimal_permille(comm_bound, timing.stats.totals.dma_get_bytes);
         Ok(ConvReport {
             shape: *shape,
             plan_name: name.to_string(),
@@ -188,6 +230,9 @@ impl Executor {
             gflops_cg: gflops,
             efficiency: gflops / self.chip.peak_gflops_per_cg(),
             mbw_measured: mbw,
+            pool_handoffs,
+            comm_lower_bound_bytes: comm_bound,
+            comm_optimal_permille: comm_permille,
             model,
         })
     }
@@ -272,9 +317,22 @@ mod tests {
         assert_eq!(obs.mem.required_gbps, rep.model.rbw_mem_ldm);
         assert_eq!(obs.reg.modeled_gbps, rep.model.mbw_ldm_reg);
         assert!(obs.ldm_high_water_frac > 0.0 && obs.ldm_high_water_frac <= 1.0);
-        // The counter dump carries every CpeStats field by name.
-        assert_eq!(obs.counters.len(), rep.timing.stats.totals.named().len());
+        // The counter dump carries every CpeStats field by name, plus the
+        // host superstep-tax counter and the two comm-optimality gauges.
+        assert_eq!(
+            obs.counters.len(),
+            rep.timing.stats.totals.named().len() + 3
+        );
         assert!(obs.counters.iter().any(|(k, v)| k == "flops" && *v > 0));
+        assert!(obs
+            .counters
+            .iter()
+            .any(|(k, v)| k == "mem_comm_lower_bound_bytes" && *v > 0));
+        assert!(obs
+            .counters
+            .iter()
+            .any(|(k, v)| k == "mem_comm_optimal_permille" && *v > 0 && *v <= 1000));
+        assert!(obs.counters.iter().any(|(k, _)| k == "pool_handoffs"));
         // And the whole thing survives the JSON layer.
         let s = serde_json::to_string(&obs.to_json());
         let back = sw_obs::PerfReport::from_json(&serde_json::from_str(&s).unwrap()).unwrap();
@@ -325,10 +383,12 @@ mod tests {
                 PlanKind::ImageSizeAware,
                 Blocking::default(),
                 timing,
+                0,
             )
             .unwrap();
         assert!(rep.mbw_measured.is_finite());
         assert_eq!(rep.mbw_measured, 0.0);
+        assert_eq!(rep.comm_optimal_permille, 0, "no traffic, no gauge");
     }
 
     #[test]

@@ -24,17 +24,28 @@
 //! # Host-side hot path
 //!
 //! This rotation is where the simulator spends nearly all of its host
-//! time, so it is organised around three invariants (see DESIGN.md §8):
+//! time, so it is organised around these invariants (see DESIGN.md §8 and
+//! §14):
 //!
 //! * **Pack once.** Each rotation's broadcast phase runs as a *serial*
-//!   superstep ([`sw_sim::Mesh::superstep_serial`]): every broadcaster
-//!   packs its block exactly once into a reused scratch buffer
-//!   ([`GemmScratch`]) and hands the mesh a shared `Arc<[f64]>` payload.
-//!   The broadcaster keeps a clone of the same payload for its own phase-2
-//!   accumulation, so nothing is packed (or allocated) twice.
+//!   superstep: every broadcaster packs its block exactly once into a
+//!   reused scratch buffer ([`GemmScratch`]) and hands the mesh a shared
+//!   `Arc<[f64]>` payload. The broadcaster keeps a clone of the same
+//!   payload for its own phase-2 accumulation, so nothing is packed (or
+//!   allocated) twice.
 //! * **Zero-copy delivery.** Receivers take the shared payload by
 //!   reference count ([`sw_sim::CpeCtx::recv_row_shared`]); one broadcast
 //!   is one allocation, not eight.
+//! * **Leased payloads.** Broadcast payloads come from a
+//!   [`sw_runtime::PayloadPool`] free-list in the scratch: after a
+//!   two-rotation warmup every broadcast refills a recycled buffer
+//!   (`copy_from_slice` — byte-identical to a fresh `Arc::from`) instead
+//!   of allocating.
+//! * **Fused supersteps.** The whole `dim`-round rotation runs as one
+//!   [`sw_sim::Mesh::superstep_rounds`] batch — one worker-pool handoff
+//!   per rotation instead of one per parallel superstep. The unfused
+//!   two-supersteps-per-round loop stays available as a comparison arm
+//!   via [`force_unfused`] or `SWDNN_UNFUSED=1`.
 //! * **Register-tiled microkernel.** The accumulation uses a 4×8
 //!   register-blocked kernel (the host-side analogue of the paper's
 //!   `rb_B`×`rb_No` register blocking) that accumulates each C element in
@@ -49,7 +60,8 @@
 use crate::error::SwdnnError;
 use crate::kernel_cost;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use sw_runtime::PayloadPool;
 use sw_sim::{CpeCtx, LdmBuf, Mesh, SimError};
 
 /// Shape of the distributed GEMM (per-CPE block sizes).
@@ -91,6 +103,10 @@ pub struct GemmScratch {
     pack: Vec<f64>,
     a_own: Vec<Option<Arc<[f64]>>>,
     b_own: Vec<Option<Arc<[f64]>>>,
+    /// Free-list the broadcast payloads are leased from: a broadcaster
+    /// replacing its kept payload recycles the old one here, so a steady
+    /// rotation allocates nothing after a two-rotation warmup.
+    pool: PayloadPool,
 }
 
 impl GemmScratch {
@@ -100,7 +116,13 @@ impl GemmScratch {
             pack: Vec::new(),
             a_own: vec![None; dim],
             b_own: vec![None; dim],
+            pool: PayloadPool::new(),
         }
+    }
+
+    /// The broadcast-payload free-list (counters are what tests assert).
+    pub fn payload_pool(&self) -> &PayloadPool {
+        &self.pool
     }
 }
 
@@ -133,6 +155,24 @@ pub fn reference_microkernel_forced() -> bool {
 
 static FORCE_REFERENCE: AtomicBool = AtomicBool::new(false);
 
+/// Force every subsequent GEMM to run the unfused formulation — two pool
+/// handoffs per rotation round instead of one per rotation (for A/B
+/// comparison against the fused [`sw_sim::Mesh::superstep_rounds`] path;
+/// both are bit-identical in simulated time and output). The
+/// `SWDNN_UNFUSED` environment variable (any value but `0`) has the same
+/// effect.
+pub fn force_unfused(on: bool) {
+    FORCE_UNFUSED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the unfused superstep loop is currently forced.
+pub fn unfused_forced() -> bool {
+    FORCE_UNFUSED.load(Ordering::SeqCst)
+        || std::env::var_os("SWDNN_UNFUSED").is_some_and(|v| v != "0")
+}
+
+static FORCE_UNFUSED: AtomicBool = AtomicBool::new(false);
+
 /// Run one full 8-round rotation.
 ///
 /// `pack_a(ctx, s, dst)` appends this CPE's `A` block packed k-major
@@ -154,8 +194,8 @@ pub fn regcomm_gemm<S, FA, FB, FC>(
 ) -> Result<(), SwdnnError>
 where
     S: Send,
-    FA: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
-    FB: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
+    FA: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>) + Sync,
+    FB: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>) + Sync,
     FC: Fn(&S) -> (LdmBuf, usize) + Sync,
 {
     let mut scratch = lease_scratch(mesh.runtime(), mesh.chip.mesh_dim);
@@ -173,8 +213,8 @@ pub fn regcomm_gemm_with<S, FA, FB, FC>(
 ) -> Result<(), SwdnnError>
 where
     S: Send,
-    FA: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
-    FB: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>),
+    FA: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>) + Sync,
+    FB: Fn(&CpeCtx<'_>, &S, &mut Vec<f64>) + Sync,
     FC: Fn(&S) -> (LdmBuf, usize) + Sync,
 {
     let dim = mesh.chip.mesh_dim;
@@ -183,78 +223,118 @@ where
         "GemmScratch sized for a smaller mesh"
     );
     let use_reference = reference_microkernel_forced();
-    let GemmScratch { pack, a_own, b_own } = scratch;
-    for r in 0..dim {
-        // Superstep 1 (serial — the work is 16 packs, not worth a thread
-        // fan-out): the broadcasting column/row pack once and put shared
-        // payloads on the buses, keeping a clone for their own phase 2.
-        mesh.superstep_serial(|ctx, s| {
-            if ctx.col == r {
-                pack.clear();
-                pack_a(ctx, s, pack);
-                debug_assert_eq!(pack.len(), blk.k8 * blk.m8, "A block size");
-                let payload: Arc<[f64]> = Arc::from(&pack[..]);
-                ctx.bcast_row_shared(Arc::clone(&payload));
-                a_own[ctx.row] = Some(payload);
-            }
-            if ctx.row == r {
-                pack.clear();
-                pack_b(ctx, s, pack);
-                debug_assert_eq!(pack.len(), blk.k8 * blk.n8, "B block size");
-                let payload: Arc<[f64]> = Arc::from(&pack[..]);
-                ctx.bcast_col_shared(Arc::clone(&payload));
-                b_own[ctx.col] = Some(payload);
-            }
-            Ok(())
-        })?;
 
-        // Superstep 2: everyone receives (or reuses its own block) and
-        // accumulates.
-        let (a_own, b_own) = (&*a_own, &*b_own);
-        mesh.superstep(|ctx, s| {
-            let a = if ctx.col == r {
-                a_own[ctx.row]
-                    .clone()
-                    .ok_or_else(|| missing_own_block(ctx, 'A', r))?
-            } else {
-                ctx.recv_row_shared()?
-            };
-            let b = if ctx.row == r {
-                b_own[ctx.col]
-                    .clone()
-                    .ok_or_else(|| missing_own_block(ctx, 'B', r))?
-            } else {
-                ctx.recv_col_shared()?
-            };
-            if a.len() != blk.k8 * blk.m8 || b.len() != blk.k8 * blk.n8 {
-                return Err(SimError::Program(format!(
-                    "GEMM block mismatch at CPE({},{}): a={} b={} expected {}x{} {}x{}",
-                    ctx.row,
-                    ctx.col,
-                    a.len(),
-                    b.len(),
-                    blk.k8,
-                    blk.m8,
-                    blk.k8,
-                    blk.n8
-                )));
+    // Both arms below share these two phase closures verbatim, so fused
+    // and unfused runs are the same program modulo handoff count. The
+    // fused path runs them from worker lanes under `Fn + Sync` bounds, so
+    // the mutable scratch lives behind a mutex — uncontended in practice:
+    // the pack phase is a one-slot step, and the compute phase locks only
+    // on the one broadcaster per row/column that reuses its kept payload.
+    struct Shared<'a> {
+        pack: &'a mut Vec<f64>,
+        a_own: &'a mut Vec<Option<Arc<[f64]>>>,
+        b_own: &'a mut Vec<Option<Arc<[f64]>>>,
+        pool: &'a mut PayloadPool,
+    }
+    let shared = Mutex::new(Shared {
+        pack: &mut scratch.pack,
+        a_own: &mut scratch.a_own,
+        b_own: &mut scratch.b_own,
+        pool: &mut scratch.pool,
+    });
+
+    // Phase 1 of round `r` (serial — the work is 16 packs, not worth a
+    // thread fan-out): the broadcasting column/row pack once and put
+    // leased shared payloads on the buses, keeping a clone for their own
+    // phase 2. The payload they kept last rotation is recycled into the
+    // pool in exchange.
+    let pack_phase = |r: usize, ctx: &mut CpeCtx<'_>, s: &mut S| -> Result<(), SimError> {
+        if ctx.col != r && ctx.row != r {
+            return Ok(());
+        }
+        let mut guard = shared.lock().unwrap();
+        let g = &mut *guard;
+        if ctx.col == r {
+            g.pack.clear();
+            pack_a(ctx, s, g.pack);
+            debug_assert_eq!(g.pack.len(), blk.k8 * blk.m8, "A block size");
+            let payload = g.pool.lease_from(g.pack);
+            ctx.bcast_row_shared(Arc::clone(&payload));
+            if let Some(old) = g.a_own[ctx.row].replace(payload) {
+                g.pool.recycle(old);
             }
-            let (cb, c_off) = c_buf(s);
-            let (m8, n8, k8, cs) = (blk.m8, blk.n8, blk.k8, blk.c_stride);
-            debug_assert!(c_off + (m8 - 1) * cs + n8 <= cb.len, "C slice in bounds");
-            let c = &mut ctx.ldm_data_mut()[cb.range()];
-            if use_reference {
-                microkernel_reference(c, c_off, cs, &a, &b, m8, n8, k8);
-            } else {
-                microkernel_tiled(c, c_off, cs, &a, &b, m8, n8, k8);
+        }
+        if ctx.row == r {
+            g.pack.clear();
+            pack_b(ctx, s, g.pack);
+            debug_assert_eq!(g.pack.len(), blk.k8 * blk.n8, "B block size");
+            let payload = g.pool.lease_from(g.pack);
+            ctx.bcast_col_shared(Arc::clone(&payload));
+            if let Some(old) = g.b_own[ctx.col].replace(payload) {
+                g.pool.recycle(old);
             }
-            let prof = kernel_cost::block_profile(m8, n8, k8, blk.reordered);
-            ctx.charge_compute(prof.cycles);
-            ctx.add_flops(kernel_cost::block_flops(m8, n8, k8));
-            ctx.add_ldm_reg_bytes(prof.ldm_load_bytes + prof.ldm_store_bytes);
-            ctx.add_issue_slots(prof.p0_slots, prof.p1_slots);
-            Ok(())
-        })?;
+        }
+        Ok(())
+    };
+
+    // Phase 2 of round `r`: everyone receives (or reuses its own block)
+    // and accumulates.
+    let compute_phase = |r: usize, ctx: &mut CpeCtx<'_>, s: &mut S| -> Result<(), SimError> {
+        let a = if ctx.col == r {
+            shared.lock().unwrap().a_own[ctx.row]
+                .clone()
+                .ok_or_else(|| missing_own_block(ctx, 'A', r))?
+        } else {
+            ctx.recv_row_shared()?
+        };
+        let b = if ctx.row == r {
+            shared.lock().unwrap().b_own[ctx.col]
+                .clone()
+                .ok_or_else(|| missing_own_block(ctx, 'B', r))?
+        } else {
+            ctx.recv_col_shared()?
+        };
+        if a.len() != blk.k8 * blk.m8 || b.len() != blk.k8 * blk.n8 {
+            return Err(SimError::Program(format!(
+                "GEMM block mismatch at CPE({},{}): a={} b={} expected {}x{} {}x{}",
+                ctx.row,
+                ctx.col,
+                a.len(),
+                b.len(),
+                blk.k8,
+                blk.m8,
+                blk.k8,
+                blk.n8
+            )));
+        }
+        let (cb, c_off) = c_buf(s);
+        let (m8, n8, k8, cs) = (blk.m8, blk.n8, blk.k8, blk.c_stride);
+        debug_assert!(c_off + (m8 - 1) * cs + n8 <= cb.len, "C slice in bounds");
+        let c = &mut ctx.ldm_data_mut()[cb.range()];
+        if use_reference {
+            microkernel_reference(c, c_off, cs, &a, &b, m8, n8, k8);
+        } else {
+            microkernel_tiled(c, c_off, cs, &a, &b, m8, n8, k8);
+        }
+        let prof = kernel_cost::block_profile(m8, n8, k8, blk.reordered);
+        ctx.charge_compute(prof.cycles);
+        ctx.add_flops(kernel_cost::block_flops(m8, n8, k8));
+        ctx.add_ldm_reg_bytes(prof.ldm_load_bytes + prof.ldm_store_bytes);
+        ctx.add_issue_slots(prof.p0_slots, prof.p1_slots);
+        Ok(())
+    };
+
+    if unfused_forced() {
+        // Comparison arm: one serial + one parallel superstep per round —
+        // `2 * dim` handoff opportunities per rotation.
+        for r in 0..dim {
+            mesh.superstep_serial(|ctx, s| pack_phase(r, ctx, s))?;
+            mesh.superstep(|ctx, s| compute_phase(r, ctx, s))?;
+        }
+    } else {
+        // Fused: the whole rotation is one superstep batch — one pool
+        // handoff regardless of `dim`.
+        mesh.superstep_rounds(dim, &pack_phase, &compute_phase)?;
     }
     Ok(())
 }
@@ -593,7 +673,10 @@ mod tests {
     /// Regression for the old formulation, where broadcasters packed in
     /// superstep 1 *and again* in superstep 2: every pack closure must now
     /// run exactly once per broadcaster per rotation round — 8 broadcasters
-    /// × 8 rounds = 64 calls each for A and B.
+    /// × 8 rounds = 64 calls each for A and B per rotation. Also exercises
+    /// the broadcast-buffer free-list: with the scratch held across
+    /// rotations, the steady-state rotation must lease every payload from
+    /// the pool — zero fresh allocations after warmup.
     #[test]
     fn pack_runs_exactly_once_per_broadcaster_per_round() {
         let (m8, n8, k8) = (2, 4, 2);
@@ -611,23 +694,44 @@ mod tests {
         .unwrap();
         zero_c(&mut mesh, |s: &St| s.c).unwrap();
         let mut scratch = GemmScratch::new(mesh.chip.mesh_dim);
-        regcomm_gemm_with(
-            &mut mesh,
-            GemmBlock::dense(m8, n8, k8, true),
-            &mut scratch,
-            |_, s: &St, dst: &mut Vec<f64>| {
-                a_packs.fetch_add(1, Ordering::Relaxed);
-                dst.extend_from_slice(&s.a);
-            },
-            |_, s: &St, dst: &mut Vec<f64>| {
-                b_packs.fetch_add(1, Ordering::Relaxed);
-                dst.extend_from_slice(&s.b);
-            },
-            |s| (s.c, 0),
-        )
-        .unwrap();
+        let rotate = |scratch: &mut GemmScratch, mesh: &mut Mesh<St>| {
+            regcomm_gemm_with(
+                mesh,
+                GemmBlock::dense(m8, n8, k8, true),
+                scratch,
+                |_, s: &St, dst: &mut Vec<f64>| {
+                    a_packs.fetch_add(1, Ordering::Relaxed);
+                    dst.extend_from_slice(&s.a);
+                },
+                |_, s: &St, dst: &mut Vec<f64>| {
+                    b_packs.fetch_add(1, Ordering::Relaxed);
+                    dst.extend_from_slice(&s.b);
+                },
+                |s| (s.c, 0),
+            )
+            .unwrap();
+        };
+        rotate(&mut scratch, &mut mesh);
         assert_eq!(a_packs.load(Ordering::Relaxed), 64);
         assert_eq!(b_packs.load(Ordering::Relaxed), 64);
+
+        // Warmup rotation done (plus one more for good measure): from here
+        // on every broadcast must reuse a leased buffer.
+        rotate(&mut scratch, &mut mesh);
+        let fresh_after_warmup = scratch.payload_pool().fresh_allocs();
+        rotate(&mut scratch, &mut mesh);
+        rotate(&mut scratch, &mut mesh);
+        assert_eq!(
+            scratch.payload_pool().fresh_allocs(),
+            fresh_after_warmup,
+            "steady-state rotations must allocate zero fresh payloads"
+        );
+        assert!(
+            scratch.payload_pool().reuses() >= 2 * 128,
+            "two full rotations of broadcasts served from the pool"
+        );
+        assert_eq!(a_packs.load(Ordering::Relaxed), 4 * 64);
+        assert_eq!(b_packs.load(Ordering::Relaxed), 4 * 64);
     }
 
     /// The tiled kernel must be bit-identical to the scalar reference on

@@ -7,7 +7,10 @@
 //! ([`sw_sim::run_multi_cg_on`]) — no per-request thread fan-out — and the
 //! batch's requests stream back-to-back so the fixed kernel-launch
 //! overhead amortizes over the whole batch instead of being paid per
-//! request.
+//! request. The CG fan-out is scheduled with per-lane slot affinity
+//! (DESIGN.md §14): CG `g` prefers pool lane `g` on every request, so the
+//! four CGs' working sets stop migrating across worker threads between
+//! requests.
 //!
 //! Two paths share the slicing logic:
 //!

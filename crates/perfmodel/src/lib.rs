@@ -11,6 +11,9 @@
 //! Modules:
 //!
 //! * [`chip`] — the published SW26010 machine constants,
+//! * [`comm`] — the closed-form MEM-level communication lower bound
+//!   (compulsory reads vs the Hong–Kung `2·MACs/√M` term) behind the
+//!   "attained fraction of comm-optimal" gauge,
 //! * [`dma`] — Table II: measured DMA bandwidth vs block size, as an exact
 //!   interpolation table plus a mechanistic two-parameter fit,
 //! * [`rbw`] — Equations 1–5: required bandwidths of the LDM blocking plans
@@ -24,6 +27,7 @@
 //!   bandwidth, ring/tree allreduce schedules) behind `swdnn::cluster`.
 
 pub mod chip;
+pub mod comm;
 pub mod dma;
 pub mod freq;
 pub mod interconnect;
@@ -32,6 +36,7 @@ pub mod rbw;
 pub mod select;
 
 pub use chip::ChipSpec;
+pub use comm::{comm_optimal_permille, conv_macs, mem_comm_lower_bound_bytes};
 pub use dma::{DmaDirection, DmaTable, RationalFit};
 pub use freq::{spatial_wins, FftConvModel, FreqCase};
 pub use interconnect::{AllreduceKind, InterconnectSpec};

@@ -42,7 +42,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -52,6 +52,11 @@ use std::thread::JoinHandle;
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// The pool lane this thread represents: worker `w` is lane `w + 1`,
+    /// the posting thread is lane 0 (represented as `None` so posts from
+    /// arbitrary threads behave identically). Used by [`ExecutionContext::
+    /// run_affine`] to keep slot `i` on the same OS thread across calls.
+    static WORKER_LANE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// Run `f` with every parallel region on this thread using exactly
@@ -204,7 +209,8 @@ struct PoolShared {
     work: Condvar,
 }
 
-fn worker_loop(shared: Arc<PoolShared>) {
+fn worker_loop(shared: Arc<PoolShared>, lane: usize) {
+    WORKER_LANE.with(|c| c.set(Some(lane)));
     loop {
         let job = {
             let mut st = shared.state.lock().unwrap();
@@ -244,6 +250,11 @@ pub struct ExecutionContext {
     shared: Arc<PoolShared>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     scratch: Mutex<HashMap<ScratchKey, Vec<Box<dyn Any + Send>>>>,
+    /// Jobs actually posted to the worker queue (parallel regions only;
+    /// inline serial regions are free and not counted). The currency of
+    /// the superstep tax: each handoff pays a condvar wake plus a join
+    /// barrier, so fused paths are judged by how few of these they issue.
+    pool_handoffs: AtomicU64,
 }
 
 impl Default for ExecutionContext {
@@ -285,7 +296,15 @@ impl ExecutionContext {
             }),
             handles: Mutex::new(Vec::new()),
             scratch: Mutex::new(HashMap::new()),
+            pool_handoffs: AtomicU64::new(0),
         }
+    }
+
+    /// Total jobs posted to the worker queue since this context was
+    /// created. Monotone; callers measure a region by delta. Zero when
+    /// every region so far ran inline (effective thread count 1).
+    pub fn pool_handoffs(&self) -> u64 {
+        self.pool_handoffs.load(Ordering::Relaxed)
     }
 
     /// Spawn workers up to `target` (the posting thread is lane 0, so a
@@ -297,9 +316,10 @@ impl ExecutionContext {
             while st.spawned < target {
                 let shared = Arc::clone(&self.shared);
                 let name = format!("sw-runtime-{}", st.spawned);
+                let lane = st.spawned + 1;
                 let handle = std::thread::Builder::new()
                     .name(name)
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, lane))
                     .expect("spawn sw-runtime worker");
                 new_handles.push(handle);
                 st.spawned += 1;
@@ -359,6 +379,7 @@ impl ExecutionContext {
             let mut st = self.shared.state.lock().unwrap();
             st.queue.push_back(Arc::clone(&job));
         }
+        self.pool_handoffs.fetch_add(1, Ordering::Relaxed);
         self.shared.work.notify_all();
         job.run_slots();
         job.wait();
@@ -372,6 +393,224 @@ impl ExecutionContext {
         if let Some((_, payload)) = held {
             resume_unwind(payload);
         }
+    }
+
+    /// Run `steps` *dependent* parallel regions under ONE pool handoff.
+    ///
+    /// Step `k` fans out over `slots_for(k)` slots, each running
+    /// `work(k, slot)`. When the last slot of a step finishes, the lane
+    /// that finished it runs `seam(k)` exactly once — with every write of
+    /// step `k` visible — and its return value decides whether the
+    /// remaining steps run (`false` aborts the call). All lanes then move
+    /// to step `k + 1` without returning to the pool queue, so the condvar
+    /// wake + join barrier is paid once per call instead of once per step.
+    ///
+    /// Slot boundaries, seam order, and the work each slot performs are a
+    /// pure function of `(steps, slots_for, effective_threads())` — which
+    /// lane runs which slot varies, but nothing observable does. With an
+    /// effective thread count of one the whole schedule runs inline in the
+    /// identical order (step-major, slots ascending, seam after each).
+    ///
+    /// `slots_for(k)` must be at least 1 for every step. A panic in `work`
+    /// or `seam` aborts the remaining steps and is resumed on the caller.
+    pub fn run_stepped(
+        &self,
+        steps: usize,
+        slots_for: impl Fn(usize) -> usize + Sync,
+        work: impl Fn(usize, usize) + Sync,
+        seam: impl Fn(usize) -> bool + Sync,
+    ) {
+        if steps == 0 {
+            return;
+        }
+        let max_slots = (0..steps).map(&slots_for).max().unwrap_or(1);
+        assert!(
+            (0..steps).all(|k| slots_for(k) >= 1),
+            "run_stepped requires at least one slot per step"
+        );
+        let threads = effective_threads().min(max_slots);
+        if threads <= 1 {
+            for step in 0..steps {
+                for slot in 0..slots_for(step) {
+                    work(step, slot);
+                }
+                if !seam(step) {
+                    return;
+                }
+            }
+            return;
+        }
+
+        // One packed word drives the whole schedule: the high 32 bits hold
+        // the current step, the low 32 a claim counter that restarts at
+        // zero when the step advances. Lanes `fetch_add` tickets; a ticket
+        // whose claim lands below the step's slot count runs that slot, a
+        // ticket above it ("overclaim") means every slot of the step is
+        // already claimed and the lane waits for the seam to advance the
+        // step. The advance `store` wipes the low word, so stale tickets
+        // from the old step decode as overclaims and are harmless (ABA
+        // safe: claims never carry across steps).
+        struct Ctl {
+            packed: AtomicU64,
+            /// Slots of the current step not yet finished; the lane that
+            /// decrements this to zero owns the seam.
+            unfinished: AtomicUsize,
+            park: Mutex<()>,
+            advance: Condvar,
+            /// First captured panic; once set, remaining steps are skipped.
+            panic: Mutex<Option<Box<dyn Any + Send>>>,
+            aborted: AtomicBool,
+        }
+        let ctl = Ctl {
+            packed: AtomicU64::new(0),
+            unfinished: AtomicUsize::new(slots_for(0)),
+            park: Mutex::new(()),
+            advance: Condvar::new(),
+            panic: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+        };
+        // When the lane count exceeds the machine's cores
+        // (`with_threads`/`SWDNN_THREADS` oversubscription) an overclaimed
+        // lane can neither spin usefully (it steals cycles from the lane
+        // holding the work) nor park productively (it will wake, claim
+        // nothing, and park again every step). Such lanes leave the
+        // schedule instead: slot claims are dynamic, and the last finisher
+        // of each step carries on to the next, so the remaining lanes —
+        // in the limit, one — drive every step to completion with
+        // identical results and near-serial scheduling overhead.
+        let oversubscribed = threads > machine_threads();
+        let capture = |payload: Box<dyn Any + Send>| {
+            let mut held = ctl.panic.lock().unwrap();
+            if held.is_none() {
+                *held = Some(payload);
+            }
+            ctl.aborted.store(true, Ordering::Release);
+        };
+
+        self.run(threads, |_| loop {
+            let ticket = ctl.packed.fetch_add(1, Ordering::AcqRel);
+            let step = (ticket >> 32) as usize;
+            let claim = (ticket & 0xffff_ffff) as usize;
+            if step >= steps {
+                return;
+            }
+            if claim < slots_for(step) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| work(step, claim))) {
+                    capture(payload);
+                }
+                if ctl.unfinished.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Last finisher of the step: run the seam, decide the
+                    // next step, publish it, wake parked lanes. Acquire on
+                    // the decrement above makes every slot's writes
+                    // visible here; Release on the stores below makes the
+                    // seam's writes visible to whoever claims next.
+                    let cont = if ctl.aborted.load(Ordering::Acquire) {
+                        false
+                    } else {
+                        match catch_unwind(AssertUnwindSafe(|| seam(step))) {
+                            Ok(c) => c,
+                            Err(payload) => {
+                                capture(payload);
+                                false
+                            }
+                        }
+                    };
+                    let next = if cont { step + 1 } else { steps };
+                    if next < steps {
+                        ctl.unfinished.store(slots_for(next), Ordering::Release);
+                    }
+                    ctl.packed.store((next as u64) << 32, Ordering::Release);
+                    // Taking the park lock before notifying closes the
+                    // missed-wakeup window against lanes between their
+                    // re-check and their `wait`.
+                    let _g = ctl.park.lock().unwrap();
+                    ctl.advance.notify_all();
+                }
+            } else {
+                if oversubscribed {
+                    return;
+                }
+                // Overclaim: spin briefly (seams are short), then park.
+                let mut spins = 0u32;
+                while (ctl.packed.load(Ordering::Acquire) >> 32) as usize == step {
+                    spins += 1;
+                    if spins < 16_384 {
+                        std::hint::spin_loop();
+                    } else {
+                        let g = ctl.park.lock().unwrap();
+                        if (ctl.packed.load(Ordering::Acquire) >> 32) as usize == step {
+                            drop(ctl.advance.wait(g).unwrap());
+                        }
+                    }
+                }
+            }
+        });
+
+        let held = ctl.panic.lock().unwrap().take();
+        if let Some(payload) = held {
+            resume_unwind(payload);
+        }
+    }
+
+    /// [`Self::run`] with per-lane slot affinity: slot `i` prefers the OS
+    /// thread that is pool lane `i`, so state a slot touches every call
+    /// (e.g. one CG's simulation arrays in the serve dispatcher) stays on
+    /// one thread's cache instead of migrating between requests. Falls
+    /// back to any unclaimed slot when the preferred one is taken; by
+    /// pigeonhole (one claim per invocation) every slot runs exactly once.
+    /// Purely a scheduling hint — observable results are identical to
+    /// [`Self::run`].
+    pub fn run_affine(&self, slots: usize, f: impl Fn(usize) + Sync) {
+        if slots == 0 {
+            return;
+        }
+        let threads = effective_threads().min(slots);
+        if threads <= 1 {
+            for s in 0..slots {
+                f(s);
+            }
+            return;
+        }
+        let taken: Vec<AtomicBool> = (0..slots).map(|_| AtomicBool::new(false)).collect();
+        self.run(slots, |_| {
+            let pref = WORKER_LANE.with(|c| c.get()).unwrap_or(0) % slots;
+            let slot = (0..slots)
+                .map(|i| (pref + i) % slots)
+                .find(|&i| !taken[i].swap(true, Ordering::AcqRel))
+                .expect("pigeonhole: an unclaimed slot always exists");
+            f(slot);
+        });
+    }
+
+    /// [`Self::map_index`] scheduled through [`Self::run_affine`]: same
+    /// deterministic chunking and index-ordered results, but chunk `i`
+    /// prefers pool lane `i` across calls.
+    pub fn map_index_affine<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let threads = effective_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let slots = n.div_ceil(chunk);
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        let base = SendPtr(out.as_mut_ptr());
+        self.run_affine(slots, |slot| {
+            let lo = slot * chunk;
+            let hi = ((slot + 1) * chunk).min(n);
+            for i in lo..hi {
+                // SAFETY: slots cover disjoint index ranges and each index
+                // is written exactly once, into capacity reserved above.
+                unsafe { base.get().add(i).write(f(i)) };
+            }
+        });
+        // SAFETY: `run_affine` returns only after every slot finished, so
+        // all `n` elements are initialized.
+        unsafe { out.set_len(n) };
+        out
     }
 
     /// `(0..n).map(f)` across the pool, results in index order. Chunking
@@ -551,6 +790,72 @@ impl<T: Send + 'static> Drop for ScratchLease<'_, T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Broadcast payload pool
+// ---------------------------------------------------------------------------
+
+/// A free-list of `Arc<[f64]>` broadcast payloads keyed by length.
+///
+/// The mesh bus hands `Arc<[f64]>` payloads to every receiver; once all
+/// receivers drop their clones the allocation is dead. Allocating a fresh
+/// `Arc` per broadcast made the allocator a contended hot path across
+/// lanes. Instead, broadcasters park their previous payload here when
+/// they replace it and lease it back on the next broadcast:
+/// [`PayloadPool::lease_from`] returns a parked buffer of the right length
+/// whose refcount has dropped back to one (refilled with the new bytes via
+/// `copy_from_slice`, so contents are bit-identical to a fresh
+/// `Arc::from`), or falls back to a fresh allocation.
+///
+/// Buffers still referenced by in-flight receivers stay in the list and
+/// are skipped (the `Arc::get_mut` probe fails); they become leasable as
+/// soon as the last receiver drops. In a steady rotation every broadcast
+/// after warmup reuses — the counters make that assertable in tests.
+#[derive(Default)]
+pub struct PayloadPool {
+    free: HashMap<usize, Vec<Arc<[f64]>>>,
+    fresh_allocs: u64,
+    reuses: u64,
+}
+
+impl PayloadPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An `Arc` with the contents of `data`: a recycled buffer when one of
+    /// the right length is free (no other `Arc` clones alive), else fresh.
+    pub fn lease_from(&mut self, data: &[f64]) -> Arc<[f64]> {
+        if let Some(list) = self.free.get_mut(&data.len()) {
+            if let Some(pos) = list.iter_mut().position(|a| Arc::get_mut(a).is_some()) {
+                let mut arc = list.swap_remove(pos);
+                Arc::get_mut(&mut arc)
+                    .expect("probed unique above")
+                    .copy_from_slice(data);
+                self.reuses += 1;
+                return arc;
+            }
+        }
+        self.fresh_allocs += 1;
+        Arc::from(data)
+    }
+
+    /// Park a payload for future leases. Safe to call while receivers
+    /// still hold clones — it stays parked until it is the last reference.
+    pub fn recycle(&mut self, arc: Arc<[f64]>) {
+        self.free.entry(arc.len()).or_default().push(arc);
+    }
+
+    /// Payloads allocated because nothing suitable was parked.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Payloads served from the free-list.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
 /// A raw pointer that crosses threads. Safety is argued at each use site:
 /// every wrapped pointer is only dereferenced at indices owned exclusively
 /// by one slot of one job.
@@ -701,6 +1006,141 @@ mod tests {
             assert_eq!(with_threads(4, || assign(&ctx)), first);
         }
         assert!(first.iter().all(|&s| s >= 1), "every index covered");
+    }
+
+    #[test]
+    fn run_stepped_runs_every_slot_and_seam_in_one_handoff() {
+        let ctx = ExecutionContext::new();
+        for threads in [1, 2, 4, 8] {
+            let cells: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+            let seams = AtomicU64::new(0);
+            let before = ctx.pool_handoffs();
+            with_threads(threads, || {
+                ctx.run_stepped(
+                    10,
+                    |step| if step % 2 == 0 { 1 } else { 8 },
+                    |step, slot| {
+                        let width = if step % 2 == 0 { 64 } else { 8 };
+                        for i in slot * width..(slot + 1) * width {
+                            cells[i % 64].fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    |_| {
+                        seams.fetch_add(1, Ordering::Relaxed);
+                        true
+                    },
+                );
+            });
+            let handoffs = ctx.pool_handoffs() - before;
+            // 10 cells-touches per index: 5 serial steps + 5 fanned steps.
+            assert!(
+                cells.iter().all(|c| c.load(Ordering::Relaxed) == 10),
+                "threads = {threads}"
+            );
+            assert_eq!(seams.load(Ordering::Relaxed), 10);
+            assert_eq!(handoffs, u64::from(threads > 1), "one handoff total");
+        }
+    }
+
+    #[test]
+    fn run_stepped_seam_sees_step_writes_and_can_abort() {
+        let ctx = ExecutionContext::new();
+        for threads in [1, 4] {
+            let sum = AtomicU64::new(0);
+            let steps_run = AtomicU64::new(0);
+            with_threads(threads, || {
+                ctx.run_stepped(
+                    100,
+                    |_| 8,
+                    |_, slot| {
+                        sum.fetch_add(slot as u64, Ordering::Relaxed);
+                    },
+                    |step| {
+                        // All 8 slots of this step must be visible here.
+                        let expect = (step as u64 + 1) * 28;
+                        assert_eq!(sum.load(Ordering::Relaxed), expect);
+                        steps_run.fetch_add(1, Ordering::Relaxed);
+                        step < 2 // abort after the third step
+                    },
+                );
+            });
+            assert_eq!(steps_run.load(Ordering::Relaxed), 3, "threads = {threads}");
+            assert_eq!(sum.load(Ordering::Relaxed), 3 * 28);
+        }
+    }
+
+    #[test]
+    fn run_stepped_panic_aborts_and_propagates() {
+        let ctx = ExecutionContext::new();
+        let seams = AtomicU64::new(0);
+        let result = with_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                ctx.run_stepped(
+                    50,
+                    |_| 8,
+                    |step, slot| {
+                        if step == 1 && slot == 3 {
+                            panic!("superstep boom");
+                        }
+                    },
+                    |_| {
+                        seams.fetch_add(1, Ordering::Relaxed);
+                        true
+                    },
+                );
+            }))
+        });
+        assert!(result.is_err(), "slot panic must reach the caller");
+        assert!(
+            seams.load(Ordering::Relaxed) < 50,
+            "remaining steps skipped"
+        );
+        // Pool still serves the next region.
+        let after = with_threads(4, || ctx.map_index(16, |i| i));
+        assert_eq!(after, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_affine_covers_every_slot_exactly_once() {
+        let ctx = ExecutionContext::new();
+        for threads in [1, 2, 4, 8] {
+            let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+            with_threads(threads, || {
+                ctx.run_affine(4, |slot| {
+                    hits[slot].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads = {threads}"
+            );
+        }
+        let got = with_threads(4, || ctx.map_index_affine(103, |i| i * 7));
+        assert_eq!(got, (0..103).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn payload_pool_reuses_buffers_once_refcount_drops() {
+        let mut pool = PayloadPool::new();
+        let a = pool.lease_from(&[1.0, 2.0, 3.0]);
+        assert_eq!(pool.fresh_allocs(), 1);
+        let receiver = Arc::clone(&a);
+        pool.recycle(a);
+        // Receiver still holds a clone: must not be handed out.
+        let b = pool.lease_from(&[4.0, 5.0, 6.0]);
+        assert_eq!(pool.fresh_allocs(), 2);
+        assert_eq!(&*receiver, &[1.0, 2.0, 3.0], "live payload untouched");
+        drop(receiver);
+        pool.recycle(b);
+        // Both parked buffers are now unique; leases reuse, bytes match.
+        let c = pool.lease_from(&[7.0, 8.0, 9.0]);
+        assert_eq!(pool.fresh_allocs(), 2);
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(&*c, &[7.0, 8.0, 9.0]);
+        // Length mismatch: fresh.
+        let d = pool.lease_from(&[1.0]);
+        assert_eq!(pool.fresh_allocs(), 3);
+        drop((c, d));
     }
 
     #[test]

@@ -63,13 +63,18 @@ where
 
 /// [`run_multi_cg_with`] on an explicit [`ExecutionContext`]: the serving
 /// dispatcher shares one context across its per-batch CG fan-outs instead
-/// of spawning threads per request.
+/// of spawning threads per request. Scheduled with per-lane slot affinity
+/// ([`ExecutionContext::map_index_affine`]) so CG `i` lands on the same
+/// pool lane call after call — the serve dispatcher's 4 CGs stop
+/// migrating across worker threads between requests, keeping each CG's
+/// mesh state warm in one core's cache. Affinity is a scheduling hint
+/// only; results are indexed by CG and bit-identical either way.
 pub fn run_multi_cg_on<R, F>(rt: &ExecutionContext, cgs: usize, work: F) -> (MultiCgReport, Vec<R>)
 where
     F: Fn(usize) -> (CgStats, R) + Sync + Send,
     R: Send,
 {
-    let pairs: Vec<(CgStats, R)> = rt.map_index(cgs, work);
+    let pairs: Vec<(CgStats, R)> = rt.map_index_affine(cgs, work);
     let (per_cg, results): (Vec<CgStats>, Vec<R>) = pairs.into_iter().unzip();
     let wall = per_cg.iter().map(|s| s.cycles).max().unwrap_or(0) + LAUNCH_OVERHEAD_CYCLES;
     let flops = per_cg.iter().map(|s| s.totals.flops).sum();

@@ -26,7 +26,7 @@ use crate::ldm::{Ldm, LdmBuf, LdmOverflow};
 use crate::stats::{CgStats, CpeCounters, CpeStats};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use sw_perfmodel::dma::DmaDirection;
 use sw_perfmodel::ChipSpec;
 
@@ -658,6 +658,119 @@ where
     (ctx.out_msgs, ctx.out_puts, r)
 }
 
+/// The superstep seam, shared *verbatim* by [`Mesh::finish_superstep`]
+/// (one superstep per pool handoff) and the fused
+/// [`Mesh::superstep_rounds`] seam (many supersteps per handoff, the seam
+/// running on whichever pool lane finished the step last): surface the
+/// first error deterministically, deliver bus messages in CPE-id order,
+/// log DMA puts, synchronize clocks to the barrier. A free function over
+/// the mesh's parts because the fused path cannot hold `&mut Mesh` while
+/// the worker lanes hold raw slices into it.
+#[allow(clippy::too_many_arguments)]
+fn finish_superstep_parts<S>(
+    dim: usize,
+    fault: Option<FaultPlan>,
+    trace_on: bool,
+    sync_cycles: u64,
+    cpes: &mut [CpeNode<S>],
+    put_log: &mut Vec<(usize, Vec<f64>)>,
+    msg_deliveries: &mut u64,
+    supersteps: &mut u64,
+    results: Vec<StepResult>,
+) -> Result<(), SimError> {
+    // Surface the first error deterministically (lowest CPE id) —
+    // by reference, so a clean superstep clones no Results.
+    if let Some(e) = results.iter().find_map(|(_, _, r)| r.as_ref().err()) {
+        return Err(e.clone());
+    }
+
+    // Deliver messages in CPE-id order for determinism. Each delivery
+    // bumps a mesh-global counter; with an active fault plan a delivery
+    // may be dropped (the receiver's later recv then hits EmptyInbox).
+    for (id, (msgs, puts, _)) in results.into_iter().enumerate() {
+        let (row, col) = (id / dim, id % dim);
+        for m in msgs {
+            let (bus, targets, data) = match m {
+                OutMsg::Bcast {
+                    bus: Bus::Row,
+                    data,
+                } => (
+                    Bus::Row,
+                    (0..dim)
+                        .filter(|&c| c != col)
+                        .map(|c| row * dim + c)
+                        .collect::<Vec<_>>(),
+                    data,
+                ),
+                OutMsg::Bcast {
+                    bus: Bus::Col,
+                    data,
+                } => (
+                    Bus::Col,
+                    (0..dim)
+                        .filter(|&r| r != row)
+                        .map(|r| r * dim + col)
+                        .collect(),
+                    data,
+                ),
+                OutMsg::Send {
+                    bus: Bus::Row,
+                    to,
+                    data,
+                } => (Bus::Row, vec![row * dim + to], data),
+                OutMsg::Send {
+                    bus: Bus::Col,
+                    to,
+                    data,
+                } => (Bus::Col, vec![to * dim + col], data),
+            };
+            for target in targets {
+                let seq = *msg_deliveries;
+                *msg_deliveries += 1;
+                if let Some(fp) = fault {
+                    if fp.msg_dropped(id, target, seq) {
+                        cpes[id].stats.msgs_dropped.inc();
+                        continue;
+                    }
+                }
+                match bus {
+                    Bus::Row => cpes[target].row_inbox.push_back(data.clone()),
+                    Bus::Col => cpes[target].col_inbox.push_back(data.clone()),
+                }
+            }
+        }
+        put_log.extend(puts);
+    }
+
+    // Barrier: clocks synchronize to the slowest CPE.
+    let max_clock = cpes.iter().map(|c| c.clock).max().unwrap_or(0) + sync_cycles;
+    for c in cpes {
+        if trace_on {
+            c.events.push(crate::trace::Event {
+                at: c.clock,
+                kind: crate::trace::EventKind::Barrier { to: max_clock },
+            });
+        }
+        c.clock = max_clock;
+    }
+    *supersteps += 1;
+    Ok(())
+}
+
+/// A raw pointer shared across the lanes of one fused superstep batch.
+/// Safety is argued at each use site: work slots dereference disjoint
+/// CPE/result indices, and the seam runs only when every slot of its step
+/// has finished (`run_stepped`'s last-finisher guarantee).
+struct RawShare<T>(*mut T);
+unsafe impl<T> Send for RawShare<T> {}
+unsafe impl<T> Sync for RawShare<T> {}
+
+impl<T> RawShare<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
 pub struct Mesh<S> {
     pub chip: ChipSpec,
     /// The runtime context whose worker pool executes parallel supersteps.
@@ -788,88 +901,202 @@ impl<S: Send> Mesh<S> {
         self.finish_superstep(results)
     }
 
+    /// Run a *batch* of `rounds` rounds — each a serial superstep (e.g.
+    /// the pack/broadcast phase of a GEMM rotation) followed by a parallel
+    /// superstep (the compute phase) — under ONE pool handoff, via
+    /// [`sw_runtime::ExecutionContext::run_stepped`].
+    ///
+    /// Semantics are exactly `for r in 0..rounds {
+    /// superstep_serial(serial_f(r, ..)); superstep(parallel_f(r, ..)) }`:
+    /// same per-CPE execution order, same fault keying (the simulated step
+    /// number advances once per superstep), same message delivery and
+    /// barrier (the seam logic is `finish_superstep_parts`, shared verbatim),
+    /// and the same abort point on error — the first failing superstep
+    /// skips all remaining rounds and returns its lowest-CPE-id error.
+    /// Simulated cycles, counters and outputs are bit-identical to the
+    /// unfused loop at every thread count; only the number of pool
+    /// handoffs changes (1 instead of `rounds` per batch at ≥2 threads).
+    pub fn superstep_rounds<FS, FP>(
+        &mut self,
+        rounds: usize,
+        serial_f: &FS,
+        parallel_f: &FP,
+    ) -> Result<(), SimError>
+    where
+        FS: Fn(usize, &mut CpeCtx<'_>, &mut S) -> Result<(), SimError> + Sync,
+        FP: Fn(usize, &mut CpeCtx<'_>, &mut S) -> Result<(), SimError> + Sync,
+    {
+        if rounds == 0 {
+            return Ok(());
+        }
+        let n = self.cpes.len();
+        let lanes = sw_runtime::effective_threads().min(n.max(1));
+        if lanes <= 1 {
+            // Single-lane: the unfused loop is already handoff-free and
+            // runs everything inline in the identical order.
+            for r in 0..rounds {
+                self.superstep_serial(|ctx, s| serial_f(r, ctx, s))?;
+                self.superstep(|ctx, s| parallel_f(r, ctx, s))?;
+            }
+            return Ok(());
+        }
+
+        // Round 0's serial pack superstep runs inline on the posting
+        // thread, exactly like the unfused loop (no handoff either way);
+        // every later pack superstep runs inside the *seam* of the
+        // preceding compute step, so the step schedule below is
+        // compute-steps only — one wake cycle per round instead of two,
+        // and no pathological one-slot steps for the lanes to idle
+        // through. The simulated superstep numbering is unchanged: pack
+        // `r` is superstep `step_base + 2r`, compute `r` is
+        // `step_base + 2r + 1`.
+        let step_base = self.supersteps;
+        self.superstep_serial(|ctx, s| serial_f(0, ctx, s))?;
+
+        let dim = self.chip.mesh_dim;
+        let dma = self.dma;
+        let trace_on = self.trace_on;
+        let fault = self.fault;
+        let sync_cycles = self.sync_cycles;
+        // Same deterministic chunking as `map_mut` drives the unfused
+        // parallel superstep (chunk boundaries are a pure function of
+        // `(n, lanes)`; they do not affect simulation results, which are
+        // per-CPE, but keeping them identical keeps the schedules
+        // comparable).
+        let chunk = n.div_ceil(lanes);
+        let compute_slots = n.div_ceil(chunk);
+
+        // Seam state moves out of `self` for the duration of the batch:
+        // the seam runs on whichever lane finished the step last, and may
+        // not alias the raw CPE slices the work slots hold.
+        struct FusedSeam {
+            put_log: Vec<(usize, Vec<f64>)>,
+            supersteps: u64,
+            msg_deliveries: u64,
+            err: Option<SimError>,
+        }
+        let seam_state = Mutex::new(FusedSeam {
+            put_log: std::mem::take(&mut self.put_log),
+            supersteps: self.supersteps,
+            msg_deliveries: self.msg_deliveries,
+            err: None,
+        });
+        let mut results: Vec<Option<StepResult>> = (0..n).map(|_| None).collect();
+        let res_base = RawShare(results.as_mut_ptr());
+        let cpe_base = RawShare(self.cpes.as_mut_ptr());
+
+        self.rt.run_stepped(
+            rounds,
+            |_| compute_slots,
+            |step, slot| {
+                let r = step;
+                let sim_step = step_base + 2 * step as u64 + 1;
+                let (lo, hi) = (slot * chunk, ((slot + 1) * chunk).min(n));
+                for i in lo..hi {
+                    // SAFETY: within a step, slots cover disjoint index
+                    // ranges; across steps, `run_stepped`'s seam barrier
+                    // orders all accesses. Each index is written once per
+                    // step and consumed by that step's seam.
+                    let node = unsafe { &mut *cpe_base.get().add(i) };
+                    let res = run_node(
+                        node,
+                        &mut |ctx: &mut CpeCtx<'_>, s: &mut S| parallel_f(r, ctx, s),
+                        dma,
+                        trace_on,
+                        fault,
+                        sim_step,
+                    );
+                    unsafe { *res_base.get().add(i) = Some(res) };
+                }
+            },
+            |step| {
+                let mut guard = seam_state.lock().unwrap();
+                let st = &mut *guard;
+                let step_results: Vec<StepResult> = (0..n)
+                    .map(|i| {
+                        // SAFETY: every slot of this step has finished
+                        // (last-finisher guarantee), so each entry is Some
+                        // and no work slot aliases it.
+                        unsafe { (*res_base.get().add(i)).take().expect("every CPE ran") }
+                    })
+                    .collect();
+                // SAFETY: no work slot runs concurrently with the seam.
+                let cpes = unsafe { std::slice::from_raw_parts_mut(cpe_base.get(), n) };
+                let finish = |st: &mut FusedSeam, cpes: &mut [CpeNode<S>], results| {
+                    match finish_superstep_parts(
+                        dim,
+                        fault,
+                        trace_on,
+                        sync_cycles,
+                        cpes,
+                        &mut st.put_log,
+                        &mut st.msg_deliveries,
+                        &mut st.supersteps,
+                        results,
+                    ) {
+                        Ok(()) => true,
+                        Err(e) => {
+                            st.err = Some(e);
+                            false
+                        }
+                    }
+                };
+                if !finish(st, cpes, step_results) {
+                    return false;
+                }
+                // Next round's serial pack superstep, still inside this
+                // seam: walk every CPE in id order (the same order the
+                // one-slot serial walk and `superstep_serial` use), then
+                // deliver/barrier it so its broadcasts are in the inboxes
+                // before any lane claims the next compute step.
+                let r_next = step + 1;
+                if r_next < rounds {
+                    let sim_step = step_base + 2 * r_next as u64;
+                    let pack_results: Vec<StepResult> = cpes
+                        .iter_mut()
+                        .map(|node| {
+                            run_node(
+                                node,
+                                &mut |ctx: &mut CpeCtx<'_>, s: &mut S| serial_f(r_next, ctx, s),
+                                dma,
+                                trace_on,
+                                fault,
+                                sim_step,
+                            )
+                        })
+                        .collect();
+                    if !finish(st, cpes, pack_results) {
+                        return false;
+                    }
+                }
+                true
+            },
+        );
+
+        let seam = seam_state.into_inner().unwrap();
+        self.put_log = seam.put_log;
+        self.supersteps = seam.supersteps;
+        self.msg_deliveries = seam.msg_deliveries;
+        match seam.err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Deliver messages, log puts, and synchronize clocks after one
     /// superstep's per-CPE programs have run.
     fn finish_superstep(&mut self, results: Vec<StepResult>) -> Result<(), SimError> {
-        // Surface the first error deterministically (lowest CPE id) —
-        // by reference, so a clean superstep clones no Results.
-        if let Some(e) = results.iter().find_map(|(_, _, r)| r.as_ref().err()) {
-            return Err(e.clone());
-        }
-
-        // Deliver messages in CPE-id order for determinism. Each delivery
-        // bumps a mesh-global counter; with an active fault plan a delivery
-        // may be dropped (the receiver's later recv then hits EmptyInbox).
-        let dim = self.chip.mesh_dim;
-        let fault = self.fault;
-        for (id, (msgs, puts, _)) in results.into_iter().enumerate() {
-            let (row, col) = (id / dim, id % dim);
-            for m in msgs {
-                let (bus, targets, data) = match m {
-                    OutMsg::Bcast {
-                        bus: Bus::Row,
-                        data,
-                    } => (
-                        Bus::Row,
-                        (0..dim)
-                            .filter(|&c| c != col)
-                            .map(|c| row * dim + c)
-                            .collect::<Vec<_>>(),
-                        data,
-                    ),
-                    OutMsg::Bcast {
-                        bus: Bus::Col,
-                        data,
-                    } => (
-                        Bus::Col,
-                        (0..dim)
-                            .filter(|&r| r != row)
-                            .map(|r| r * dim + col)
-                            .collect(),
-                        data,
-                    ),
-                    OutMsg::Send {
-                        bus: Bus::Row,
-                        to,
-                        data,
-                    } => (Bus::Row, vec![row * dim + to], data),
-                    OutMsg::Send {
-                        bus: Bus::Col,
-                        to,
-                        data,
-                    } => (Bus::Col, vec![to * dim + col], data),
-                };
-                for target in targets {
-                    let seq = self.msg_deliveries;
-                    self.msg_deliveries += 1;
-                    if let Some(fp) = fault {
-                        if fp.msg_dropped(id, target, seq) {
-                            self.cpes[id].stats.msgs_dropped.inc();
-                            continue;
-                        }
-                    }
-                    match bus {
-                        Bus::Row => self.cpes[target].row_inbox.push_back(data.clone()),
-                        Bus::Col => self.cpes[target].col_inbox.push_back(data.clone()),
-                    }
-                }
-            }
-            self.put_log.extend(puts);
-        }
-
-        // Barrier: clocks synchronize to the slowest CPE.
-        let max_clock = self.cpes.iter().map(|c| c.clock).max().unwrap_or(0) + self.sync_cycles;
-        for c in &mut self.cpes {
-            if self.trace_on {
-                c.events.push(crate::trace::Event {
-                    at: c.clock,
-                    kind: crate::trace::EventKind::Barrier { to: max_clock },
-                });
-            }
-            c.clock = max_clock;
-        }
-        self.supersteps += 1;
-        Ok(())
+        finish_superstep_parts(
+            self.chip.mesh_dim,
+            self.fault,
+            self.trace_on,
+            self.sync_cycles,
+            &mut self.cpes,
+            &mut self.put_log,
+            &mut self.msg_deliveries,
+            &mut self.supersteps,
+            results,
+        )
     }
 
     /// Apply all logged DMA puts to the global output segment.
@@ -1293,6 +1520,107 @@ mod tests {
         assert!(faulty.stats().cycles > clean.stats().cycles);
         for (a, b) in clean.cpes.iter().zip(faulty.cpes.iter()) {
             assert_eq!(a.state, b.state, "stalls must not change data");
+        }
+    }
+
+    #[test]
+    fn fused_rounds_are_bit_identical_to_unfused_loop() {
+        // A 6-round broadcast/compute rotation run both ways, at several
+        // thread counts: per-CPE clocks, counters, states, put logs and
+        // the superstep count must match exactly; only handoffs differ.
+        let serial_phase = |r: usize, ctx: &mut CpeCtx<'_>, _s: &mut Vec<f64>| {
+            if ctx.col == r {
+                ctx.bcast_row(&[r as f64, ctx.row as f64, 3.0, 4.0]);
+            }
+            Ok(())
+        };
+        let parallel_phase = |r: usize, ctx: &mut CpeCtx<'_>, s: &mut Vec<f64>| {
+            if ctx.col != r {
+                let msg = ctx.recv_row()?;
+                s.push(msg[0] + msg[1]);
+            }
+            ctx.charge_compute(10 + ctx.id() as u64);
+            let buf = ctx.ldm_alloc(2)?;
+            ctx.dma_put(buf, 0, ctx.id() * 2, 2)?;
+            Ok(())
+        };
+        // A private context: the handoff-count assertion below must not
+        // race other tests posting jobs to the global pool.
+        let rt: &'static sw_runtime::ExecutionContext =
+            Box::leak(Box::new(sw_runtime::ExecutionContext::new()));
+        let build = || Mesh::<Vec<f64>>::new_on(rt, ChipSpec::sw26010(), |_, _| Vec::new());
+        for threads in [1, 2, 4, 8] {
+            sw_runtime::with_threads(threads, || {
+                let mut unfused = build();
+                for r in 0..6 {
+                    unfused
+                        .superstep_serial(|ctx, s| serial_phase(r, ctx, s))
+                        .unwrap();
+                    unfused
+                        .superstep(|ctx, s| parallel_phase(r, ctx, s))
+                        .unwrap();
+                }
+                let mut fused = build();
+                let before = fused.runtime().pool_handoffs();
+                fused
+                    .superstep_rounds(6, &serial_phase, &parallel_phase)
+                    .unwrap();
+                let fused_handoffs = fused.runtime().pool_handoffs() - before;
+                assert_eq!(fused.supersteps(), unfused.supersteps());
+                assert_eq!(fused.cpe_snapshots(), unfused.cpe_snapshots());
+                assert_eq!(fused.put_log, unfused.put_log, "threads = {threads}");
+                for (a, b) in fused.cpes.iter().zip(unfused.cpes.iter()) {
+                    assert_eq!(a.state, b.state);
+                }
+                if threads > 1 {
+                    assert_eq!(fused_handoffs, 1, "one handoff for the whole batch");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn fused_rounds_abort_on_error_like_the_unfused_loop() {
+        let serial_phase = |r: usize, ctx: &mut CpeCtx<'_>, _s: &mut u64| {
+            if ctx.col == r {
+                ctx.bcast_row(&[1.0; 4]);
+            }
+            Ok(())
+        };
+        let parallel_phase = |r: usize, ctx: &mut CpeCtx<'_>, s: &mut u64| {
+            if r == 2 && ctx.id() == 9 {
+                return Err(SimError::Program("round 2 blows up".into()));
+            }
+            if ctx.col != r {
+                ctx.recv_row()?;
+            }
+            *s += 1;
+            Ok(())
+        };
+        let run = |fused: bool| {
+            let mut m = Mesh::<u64>::new(ChipSpec::sw26010(), |_, _| 0);
+            let err = if fused {
+                m.superstep_rounds(6, &serial_phase, &parallel_phase)
+                    .unwrap_err()
+            } else {
+                (|| {
+                    for r in 0..6 {
+                        m.superstep_serial(|ctx, s| serial_phase(r, ctx, s))?;
+                        m.superstep(|ctx, s| parallel_phase(r, ctx, s))?;
+                    }
+                    Ok(())
+                })()
+                .unwrap_err()
+            };
+            (m.supersteps(), err)
+        };
+        for threads in [1, 4] {
+            sw_runtime::with_threads(threads, || {
+                let (fused_steps, fused_err) = run(true);
+                let (unfused_steps, unfused_err) = run(false);
+                assert_eq!(fused_err, unfused_err, "threads = {threads}");
+                assert_eq!(fused_steps, unfused_steps, "abort point matches");
+            });
         }
     }
 

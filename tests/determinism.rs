@@ -1,9 +1,10 @@
 //! Golden-cycle determinism suite.
 //!
-//! The zero-copy messaging path, the fused pack-once rotation, and the
-//! register-tiled microkernel are host-side optimisations: they must not
-//! move *simulated* time or results by a single cycle or bit. This suite
-//! pins that down three ways:
+//! The zero-copy messaging path, the fused pack-once rotation, the
+//! register-tiled microkernel, and the fused multi-round superstep engine
+//! (with its leased broadcast buffers) are host-side optimisations: they
+//! must not move *simulated* time or results by a single cycle or bit.
+//! This suite pins that down three ways:
 //!
 //! 1. **Golden digests.** One image-aware and one batch-aware plan run
 //!    against digests (cycles, DMA/bus counters, flops, an order-sensitive
@@ -132,6 +133,39 @@ fn reference_microkernel_matches_golden_digest() {
     gemm_mesh::force_reference_microkernel(false);
     assert_eq!(d.0, image_golden());
     assert_eq!(d.1, batch_golden());
+}
+
+#[test]
+fn fused_supersteps_match_unfused_baseline_bit_for_bit() {
+    // The fused multi-round superstep path (DESIGN.md §14) is pure host
+    // mechanics: at every thread count its digests and per-CPE snapshots
+    // must equal the unfused round-per-handoff loop's exactly. The
+    // `SWDNN_UNFUSED=1` opt-out must therefore also be invisible — CI runs
+    // this whole suite once under that env to pin the other direction.
+    let unfused = sw_runtime::with_threads(1, || {
+        gemm_mesh::force_unfused(true);
+        let r = (
+            digest(&image_case()),
+            digest(&batch_case()),
+            mesh_gemm_snapshots(),
+        );
+        gemm_mesh::force_unfused(false);
+        r
+    });
+    assert_eq!(unfused.0, image_golden());
+    assert_eq!(unfused.1, batch_golden());
+    for threads in [1usize, 4, 8] {
+        let fused = sw_runtime::with_threads(threads, || {
+            (
+                digest(&image_case()),
+                digest(&batch_case()),
+                mesh_gemm_snapshots(),
+            )
+        });
+        assert_eq!(fused.0, unfused.0, "image digest @ {threads} threads");
+        assert_eq!(fused.1, unfused.1, "batch digest @ {threads} threads");
+        assert_eq!(fused.2, unfused.2, "per-CPE snapshots @ {threads} threads");
+    }
 }
 
 /// Per-CPE state for the direct mesh-level GEMM below.
