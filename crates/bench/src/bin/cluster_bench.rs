@@ -11,14 +11,18 @@
 //! cargo run --release -p sw-bench --bin cluster_bench -- --check results/CLUSTER.baseline.json
 //! ```
 //!
-//! Two sweeps, both entirely on the deterministic logical clock:
+//! Three sweeps, all entirely on the deterministic logical clock:
 //!
 //! * **serving** — the open-loop generator offers `C ×` the single-chip
 //!   arrival rate to a `C`-chip [`swdnn::cluster::Cluster`]; req/s per
 //!   simulated second must scale at ≥ 80% efficiency at 8 chips;
-//! * **training** — data-parallel SGD with a fixed per-chip microbatch
-//!   load; samples/s must scale at ≥ 80% efficiency at 8 chips (the
-//!   loss is the modeled ring/tree allreduce time).
+//! * **training (weak)** — data-parallel SGD with a fixed per-chip
+//!   microbatch load; samples/s must scale at ≥ 80% efficiency at 8
+//!   chips (the loss is the modeled ring/tree allreduce time);
+//! * **training (strong)** — fixed total batch, bucketized gradient
+//!   collectives overlapping backward compute on the grouped supernode
+//!   topology; at every multi-chip point the overlapped schedule must
+//!   strictly beat the overlap-disabled twin.
 //!
 //! To accept an intentional change, regenerate the baseline (see
 //! CONTRIBUTING.md):
@@ -31,8 +35,9 @@
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use sw_bench::cluster_scale::{
-    check_scaling_gates, efficiency, run_serve_scale, run_train_scale, serve_scale_report,
-    train_scale_report, ServeScalePoint, TrainScalePoint, SCALING_CHIPS, SERVE_REQUESTS_PER_CHIP,
+    check_scaling_gates, check_strong_gates, efficiency, run_serve_scale, run_train_scale,
+    run_train_strong, serve_scale_report, train_scale_report, train_strong_report, ServeScalePoint,
+    StrongScalePoint, TrainScalePoint, SCALING_CHIPS, SERVE_REQUESTS_PER_CHIP,
 };
 use sw_bench::report::{f, Table};
 use sw_obs::{compare, Snapshot, Tolerances};
@@ -49,7 +54,11 @@ fn usage() -> ! {
     exit(2);
 }
 
-fn measure() -> (Vec<ServeScalePoint>, Vec<TrainScalePoint>) {
+fn measure() -> (
+    Vec<ServeScalePoint>,
+    Vec<TrainScalePoint>,
+    Vec<StrongScalePoint>,
+) {
     let serve: Vec<ServeScalePoint> = SCALING_CHIPS
         .iter()
         .map(|&chips| {
@@ -63,10 +72,16 @@ fn measure() -> (Vec<ServeScalePoint>, Vec<TrainScalePoint>) {
             run_train_scale(chips).unwrap_or_else(|e| panic!("train sweep at {chips} chips: {e}"))
         })
         .collect();
-    (serve, train)
+    let strong: Vec<StrongScalePoint> = SCALING_CHIPS
+        .iter()
+        .map(|&chips| {
+            run_train_strong(chips).unwrap_or_else(|e| panic!("strong sweep at {chips} chips: {e}"))
+        })
+        .collect();
+    (serve, train, strong)
 }
 
-fn print_curves(serve: &[ServeScalePoint], train: &[TrainScalePoint]) {
+fn print_curves(serve: &[ServeScalePoint], train: &[TrainScalePoint], strong: &[StrongScalePoint]) {
     let serve_anchor = serve[0].reqs_per_sim_sec;
     let mut st = Table::new(
         "Cluster serving weak scaling (open-loop, simulated time)",
@@ -116,12 +131,43 @@ fn print_curves(serve: &[ServeScalePoint], train: &[TrainScalePoint]) {
     }
     tt.print();
     tt.write_csv("cluster_train_scaling");
+
+    let mut sg = Table::new(
+        "Cluster training strong scaling (fixed total batch, bucketized overlap)",
+        &[
+            "chips",
+            "buckets",
+            "step_us",
+            "serial_us",
+            "comm_us",
+            "hidden_us",
+            "overlap_permille",
+        ],
+    );
+    for p in strong {
+        sg.row(vec![
+            p.chips.to_string(),
+            p.buckets.to_string(),
+            f(p.step_us, 0),
+            f(p.serial_step_us, 0),
+            f(p.comm_us, 1),
+            f(p.hidden_us, 1),
+            p.overlap_permille.to_string(),
+        ]);
+    }
+    sg.print();
+    sg.write_csv("cluster_train_strong_scaling");
 }
 
-fn snapshot(serve: &[ServeScalePoint], train: &[TrainScalePoint]) -> Snapshot {
+fn snapshot(
+    serve: &[ServeScalePoint],
+    train: &[TrainScalePoint],
+    strong: &[StrongScalePoint],
+) -> Snapshot {
     let mut reports = Vec::new();
     reports.extend(serve.iter().map(serve_scale_report));
     reports.extend(train.iter().map(train_scale_report));
+    reports.extend(strong.iter().map(train_strong_report));
     Snapshot::new(reports)
 }
 
@@ -138,10 +184,10 @@ fn main() {
         _ => usage(),
     };
 
-    let (serve, train) = measure();
-    print_curves(&serve, &train);
+    let (serve, train, strong) = measure();
+    print_curves(&serve, &train, &strong);
 
-    let snap = snapshot(&serve, &train);
+    let snap = snapshot(&serve, &train, &strong);
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let out = dir.join("CLUSTER.json");
@@ -158,6 +204,19 @@ fn main() {
         Err(msgs) => {
             for m in msgs {
                 eprintln!("SCALING GATE FAILURE: {m}");
+            }
+            failed = true;
+        }
+    }
+    match check_strong_gates(&strong) {
+        Ok(lines) => {
+            for l in lines {
+                println!("PASS {l}");
+            }
+        }
+        Err(msgs) => {
+            for m in msgs {
+                eprintln!("STRONG-SCALING GATE FAILURE: {m}");
             }
             failed = true;
         }

@@ -17,8 +17,18 @@
 //! logical clock, so every efficiency figure is exact and CI holds the
 //! floor ([`SCALING_MIN_EFFICIENCY`]) at [`GATED_CHIPS`] chips without
 //! any flake risk.
+//!
+//! **Strong scaling** holds the *total* batch fixed while chips grow —
+//! the regime where collective latency actually bites, because per-chip
+//! compute shrinks while the gradient (and its wire time) does not. The
+//! strong sweep runs the bucketized, overlap-aware collective on the
+//! grouped supernode topology and, at every point, also runs the same
+//! configuration with overlap disabled; CI gates that overlap *strictly*
+//! reduces the modeled step time at every multi-chip point
+//! ([`check_strong_gates`]).
 
 use sw_obs::{Level, LevelIo, PerfReport};
+use sw_perfmodel::Topology;
 use sw_tensor::{ConvShape, Layout, Shape4, Tensor4};
 use swdnn::cluster::{Cluster, ClusterConfig, ClusterSummary, DataParallelTrainer, TrainConfig};
 use swdnn::layers::Engine;
@@ -61,6 +71,15 @@ pub const TRAIN_MICROBATCH_SIZE: usize = 4;
 
 /// Training steps measured per sweep point.
 pub const TRAIN_STEPS: usize = 3;
+
+/// Total microbatches of the strong-scaling sweep — fixed across chip
+/// counts, so per-chip compute shrinks as chips grow.
+pub const STRONG_TOTAL_MICROBATCHES: usize = 8;
+
+/// Bucket size (parameters) of the strong sweep's collective. lenet_12
+/// at 2 classes has 646 parameters, so this cuts the gradient into 7
+/// buckets — enough in-flight collectives to exercise port contention.
+pub const STRONG_BUCKET_PARAMS: usize = 100;
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -232,6 +251,123 @@ pub fn run_train_scale(chips: usize) -> Result<TrainScalePoint, SwdnnError> {
     })
 }
 
+/// One strong-scaling sweep point: the overlapped, bucketized collective
+/// on the grouped topology, next to its overlap-disabled twin.
+#[derive(Clone, Copy, Debug)]
+pub struct StrongScalePoint {
+    pub chips: usize,
+    /// Samples per step — constant across the sweep by construction.
+    pub samples_per_step: usize,
+    /// Modeled step time with bucketized overlap, µs.
+    pub step_us: f64,
+    /// Same configuration, buckets held until compute ends, µs.
+    pub serial_step_us: f64,
+    /// Σ per-bucket wire time, µs.
+    pub comm_us: f64,
+    /// Wire time hidden under backward compute, µs.
+    pub hidden_us: f64,
+    pub overlap_permille: u64,
+    pub buckets: usize,
+    /// Samples per *simulated* second (overlapped configuration).
+    pub samples_per_sim_sec: f64,
+    /// Mean loss of the last step — must match between the two
+    /// configurations (schedules move time, never numerics).
+    pub loss: f64,
+}
+
+/// Run the strong-scaling point at `chips` chips: fixed
+/// [`STRONG_TOTAL_MICROBATCHES`] global microbatches, bucketized
+/// collectives on [`Topology::sw_supernode`], overlapped and not.
+pub fn run_train_strong(chips: usize) -> Result<StrongScalePoint, SwdnnError> {
+    let batch = STRONG_TOTAL_MICROBATCHES * TRAIN_MICROBATCH_SIZE;
+    let cfg = TrainConfig {
+        chips,
+        microbatches: STRONG_TOTAL_MICROBATCHES,
+        bucket_params: Some(STRONG_BUCKET_PARAMS),
+        overlap: true,
+        topology: Topology::sw_supernode(),
+        ..TrainConfig::default()
+    };
+    let (x, y) = train_task(batch, CLUSTER_SEED ^ 0x57F0);
+    let run = |cfg: TrainConfig| -> Result<swdnn::cluster::StepReport, SwdnnError> {
+        let net = lenet_12(TRAIN_MICROBATCH_SIZE, 1, 2, Engine::Host, 42)?;
+        let mut trainer = DataParallelTrainer::new(net, Optimizer::sgd(0.05), cfg)?;
+        let mut last = None;
+        for _ in 0..TRAIN_STEPS {
+            last = Some(trainer.step(&x, &y)?);
+        }
+        Ok(last.expect("TRAIN_STEPS > 0"))
+    };
+    let over = run(cfg)?;
+    let serial = run(TrainConfig {
+        overlap: false,
+        ..cfg
+    })?;
+    debug_assert_eq!(over.loss, serial.loss);
+    Ok(StrongScalePoint {
+        chips,
+        samples_per_step: over.samples,
+        step_us: over.step_us,
+        serial_step_us: serial.step_us,
+        comm_us: over.collective.comm_us,
+        hidden_us: over.collective.hidden_us,
+        overlap_permille: over.collective.overlap_permille,
+        buckets: over.collective.buckets,
+        samples_per_sim_sec: over.samples_per_sec(),
+        loss: over.loss,
+    })
+}
+
+/// Evaluate the strong sweep: overlap must *strictly* beat the
+/// non-overlapped schedule at every multi-chip point (and visibly hide
+/// wire time), and adding chips at fixed total batch must keep cutting
+/// the step time through the gated count.
+pub fn check_strong_gates(strong: &[StrongScalePoint]) -> Result<Vec<String>, Vec<String>> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for p in strong {
+        if p.chips == 1 {
+            if p.comm_us != 0.0 {
+                failures.push(format!(
+                    "strong-scaling 1-chip anchor has {} µs of wire time",
+                    p.comm_us
+                ));
+            }
+            continue;
+        }
+        let line = format!(
+            "train strong-scaling at {} chips: step {:.1} µs overlapped vs {:.1} µs serial \
+             ({} buckets, {}‰ of wire time hidden)",
+            p.chips, p.step_us, p.serial_step_us, p.buckets, p.overlap_permille
+        );
+        if p.step_us < p.serial_step_us && p.overlap_permille > 0 {
+            lines.push(line);
+        } else {
+            failures.push(format!("{line} — overlap must strictly win"));
+        }
+    }
+    if let Some(anchor) = strong.iter().find(|p| p.chips == 1) {
+        for p in strong
+            .iter()
+            .filter(|p| p.chips > 1 && p.chips <= GATED_CHIPS)
+        {
+            if p.step_us >= anchor.step_us {
+                failures.push(format!(
+                    "strong-scaling stopped paying at {} chips: step {:.1} µs ≥ 1-chip {:.1} µs",
+                    p.chips, p.step_us, anchor.step_us
+                ));
+            }
+        }
+    } else {
+        failures.push("strong sweep has no 1-chip anchor".into());
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures)
+    }
+}
+
 /// Weak-scaling efficiency of a sweep point against the 1-chip anchor.
 pub fn efficiency(throughput: f64, chips: usize, single_chip_throughput: f64) -> f64 {
     throughput / (chips as f64 * single_chip_throughput)
@@ -312,6 +448,7 @@ pub fn check_scaling_gates(
 /// Stable `PerfReport::key()` pieces of the cluster snapshot rows.
 pub const SERVE_SCALE_CONFIG: &str = "cluster serve weak-scaling";
 pub const TRAIN_SCALE_CONFIG: &str = "cluster train weak-scaling";
+pub const TRAIN_STRONG_CONFIG: &str = "cluster train strong-scaling";
 
 fn zero_io(level: Level) -> LevelIo {
     LevelIo {
@@ -381,6 +518,36 @@ pub fn train_scale_report(p: &TrainScalePoint) -> PerfReport {
             ("compute_us".into(), p.compute_us.round() as u64),
             ("allreduce_us".into(), p.allreduce_us.round() as u64),
             ("wire_bytes_per_chip".into(), p.wire_bytes_per_chip),
+        ],
+        host: None,
+    }
+}
+
+/// Flatten a strong-scaling point: overlapped samples/s is the gated
+/// metric; the serial comparator, the overlap gauge, and the bucket
+/// anatomy ride in the counters so any drift in the collective model
+/// shows up in the baseline diff.
+pub fn train_strong_report(p: &StrongScalePoint) -> PerfReport {
+    PerfReport {
+        config: TRAIN_STRONG_CONFIG.to_string(),
+        plan: format!("chips={}", p.chips),
+        cycles: 0,
+        time_ms: p.step_us / 1e3,
+        gflops_measured: p.samples_per_sim_sec,
+        gflops_modeled: 0.0,
+        efficiency_modeled: 0.0,
+        memory_bound: false,
+        ldm_high_water_frac: 0.0,
+        mem: zero_io(Level::Mem),
+        reg: zero_io(Level::Reg),
+        counters: vec![
+            ("samples_per_step".into(), p.samples_per_step as u64),
+            ("step_us".into(), p.step_us.round() as u64),
+            ("serial_step_us".into(), p.serial_step_us.round() as u64),
+            ("comm_us".into(), p.comm_us.round() as u64),
+            ("hidden_us".into(), p.hidden_us.round() as u64),
+            ("overlap_permille".into(), p.overlap_permille),
+            ("buckets".into(), p.buckets as u64),
         ],
         host: None,
     }
@@ -462,6 +629,59 @@ mod tests {
         let r = train_scale_report(&p);
         assert_eq!(r.key(), "cluster train weak-scaling / chips=2");
         assert!(r.gflops_measured > 0.0);
+        let s = run_train_strong(2).unwrap();
+        let r = train_strong_report(&s);
+        assert_eq!(r.key(), "cluster train strong-scaling / chips=2");
+    }
+
+    #[test]
+    fn strong_scaling_overlap_wins_at_every_multi_chip_point() {
+        let strong: Vec<StrongScalePoint> = SCALING_CHIPS
+            .iter()
+            .map(|&c| run_train_strong(c).unwrap())
+            .collect();
+        let lines = check_strong_gates(&strong).unwrap_or_else(|e| panic!("{e:?}"));
+        assert_eq!(lines.len(), SCALING_CHIPS.len() - 1);
+        for p in &strong {
+            assert_eq!(
+                p.samples_per_step,
+                STRONG_TOTAL_MICROBATCHES * TRAIN_MICROBATCH_SIZE
+            );
+            if p.chips > 1 {
+                assert!(p.buckets > 1, "gradient must actually be bucketized");
+                assert!(p.hidden_us > 0.0);
+            }
+        }
+        // Determinism: the sweep is a pure function of the chip count.
+        let again = run_train_strong(4).unwrap();
+        let first = strong.iter().find(|p| p.chips == 4).unwrap();
+        assert_eq!(again.step_us, first.step_us);
+        assert_eq!(again.loss, first.loss);
+    }
+
+    #[test]
+    fn strong_gates_reject_an_overlap_regression() {
+        let p = StrongScalePoint {
+            chips: 4,
+            samples_per_step: 32,
+            step_us: 10.0,
+            serial_step_us: 10.0, // no win ⇒ must fail
+            comm_us: 5.0,
+            hidden_us: 0.0,
+            overlap_permille: 0,
+            buckets: 7,
+            samples_per_sim_sec: 1.0,
+            loss: 0.0,
+        };
+        let anchor = StrongScalePoint {
+            chips: 1,
+            comm_us: 0.0,
+            step_us: 100.0,
+            serial_step_us: 100.0,
+            ..p
+        };
+        let errs = check_strong_gates(&[anchor, p]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("strictly win")), "{errs:?}");
     }
 
     #[test]

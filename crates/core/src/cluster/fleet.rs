@@ -20,7 +20,7 @@ use super::router::ShapeRouter;
 use crate::error::SwdnnError;
 use crate::serve::{Completion, Priority, RequestClass, ServeConfig, ServeEngine, ServeSummary};
 use sw_obs::{chip_tag, link_tag, ChromeTrace, TagCounters};
-use sw_perfmodel::InterconnectSpec;
+use sw_perfmodel::{InterconnectSpec, Topology};
 use sw_tensor::ConvShape;
 
 /// Cluster construction parameters.
@@ -32,6 +32,12 @@ pub struct ClusterConfig {
     /// engine; their states diverge only through the traffic they see).
     pub serve: ServeConfig,
     pub interconnect: InterconnectSpec,
+    /// Switch-group structure. On a grouped topology every ingress
+    /// transfer into a group rides that group's shared downlink, so
+    /// simultaneous deliveries into one board serialize instead of
+    /// enjoying imaginary dedicated wires. [`Topology::flat`] (the
+    /// default) keeps the PR 7 behavior exactly.
+    pub topology: Topology,
     /// Virtual nodes per chip on the consistent-hash ring.
     pub vnodes: usize,
     /// Queue depth at which the router spills a shape off its primary
@@ -52,6 +58,7 @@ impl Default for ClusterConfig {
             chips: 4,
             serve: ServeConfig::default(),
             interconnect: InterconnectSpec::sw_cluster(),
+            topology: Topology::flat(),
             vnodes: 16,
             route_spill_depth: None,
             dedicated_runtimes: false,
@@ -94,7 +101,11 @@ pub struct Cluster {
     fingerprint: u64,
     spilled: u64,
     rerouted: u64,
-    /// Fleet-level keyed counters: `chip/N/…`, `link/ingress-N/…`.
+    /// Per-group ingress downlink occupancy, µs — the grouped-topology
+    /// serialization point (empty on a flat topology).
+    ingress_busy_until: std::collections::BTreeMap<usize, u64>,
+    /// Fleet-level keyed counters: `chip/N/…`, `link/ingress-N/…`,
+    /// `link/uplink-G-0/…` on grouped topologies.
     pub tags: TagCounters,
 }
 
@@ -127,6 +138,7 @@ impl Cluster {
             fingerprint: 0,
             spilled: 0,
             rerouted: 0,
+            ingress_busy_until: std::collections::BTreeMap::new(),
             tags: TagCounters::new(),
         })
     }
@@ -208,7 +220,21 @@ impl Cluster {
     ) -> Result<(usize, u64), SwdnnError> {
         let bytes = (shape.input_shape().len() * 8) as u64;
         let transfer_us = self.cfg.interconnect.transfer_us(bytes).ceil() as u64;
-        let arrival_us = depart_us + transfer_us;
+        let mut start_us = depart_us;
+        if let Some(group) = self.cfg.topology.group_of(chip) {
+            // The board's shared downlink: wait for whatever is already
+            // in flight into this group, then hold it for the transfer.
+            let busy = self.ingress_busy_until.entry(group).or_insert(0);
+            start_us = start_us.max(*busy);
+            *busy = start_us + transfer_us;
+            self.tags
+                .add(&link_tag(&format!("uplink-{group}-0"), "bytes"), bytes);
+            self.tags.add(
+                &link_tag(&format!("uplink-{group}-0"), "busy_us"),
+                transfer_us,
+            );
+        }
+        let arrival_us = start_us + transfer_us;
         self.tags
             .add(&link_tag(&format!("ingress-{chip}"), "bytes"), bytes);
         self.tags.add(
@@ -555,6 +581,65 @@ mod tests {
         assert_eq!(s.spilled, 4, "half the traffic spilled");
         c.drain().unwrap();
         assert_eq!(c.summary().served, 8);
+    }
+
+    #[test]
+    fn grouped_topology_serializes_ingress_on_the_board_downlink() {
+        let grouped_cfg = ClusterConfig {
+            chips: 1,
+            serve: ServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 4,
+                    deadline_us: 1_000,
+                },
+                queue_limit: 16,
+                ..ServeConfig::default()
+            },
+            topology: Topology::sw_supernode(),
+            ..ClusterConfig::default()
+        };
+        let shape = serving_mix()[0].1;
+        let transfer = InterconnectSpec::sw_cluster()
+            .transfer_us((shape.input_shape().len() * 8) as u64)
+            .ceil() as u64;
+        let mut grouped = Cluster::new(grouped_cfg).unwrap();
+        let mut flat = Cluster::new(ClusterConfig {
+            topology: Topology::flat(),
+            ..grouped_cfg
+        })
+        .unwrap();
+        // Two simultaneous departures into the same board: the flat
+        // model gives each its own wire, the grouped model makes the
+        // second wait for the shared downlink.
+        for c in [&mut grouped, &mut flat] {
+            c.submit_at(shape, RequestClass::default(), 0).unwrap();
+            c.submit_at(shape, RequestClass::default(), 0).unwrap();
+            c.drain().unwrap();
+        }
+        assert_eq!(grouped.summary().served, 2);
+        let uplink_busy = grouped
+            .tags
+            .get(&link_tag("uplink-0-0", "busy_us"));
+        assert_eq!(uplink_busy, 2 * transfer, "both transfers charged");
+        assert_eq!(flat.tags.get(&link_tag("uplink-0-0", "bytes")), 0);
+        // Latency is measured from chip arrival and both requests share
+        // one batch's completion time, so serialized arrivals show up as
+        // a latency spread of exactly one transfer; the flat model's
+        // simultaneous arrivals show none.
+        let spread = |c: &Cluster| {
+            let lat: Vec<u64> = c
+                .completions()
+                .iter()
+                .map(|(_, d)| d.latency_us())
+                .collect();
+            lat.iter().max().unwrap() - lat.iter().min().unwrap()
+        };
+        assert_eq!(spread(&flat), 0, "flat: both arrive together");
+        assert_eq!(
+            spread(&grouped),
+            transfer,
+            "grouped: second arrival waits out one transfer on the downlink"
+        );
     }
 
     #[test]

@@ -17,16 +17,26 @@
 //!   defined by microbatch index (left-to-right sum), the collective
 //!   schedule (ring or tree, chosen by modeled cost) defines only time
 //!   and wire bytes, so gradients are bit-identical at any chip count;
-//! * [`train`] — [`DataParallelTrainer`]: synchronous data-parallel SGD
-//!   over the [`crate::network`] stack with the allreduce charged per
-//!   step, emitting per-chip compute spans and per-link byte counters.
+//! * [`collective`] — bucketized, overlap-aware gradient communication:
+//!   the flat gradient cut into buckets, each launching its own
+//!   [`sw_perfmodel::CollectiveSchedule`] at modeled backward-readiness
+//!   against shared per-link occupancy, plus the ragged microbatch
+//!   sharding and failure-reshard helpers;
+//! * [`train`] — [`DataParallelTrainer`]: synchronous, *elastic*
+//!   data-parallel SGD over the [`crate::network`] stack — bucketized
+//!   collectives charged per step, per-chip compute and per-bucket comm
+//!   spans, and deterministic mid-step chip-failure recovery that
+//!   reshards lost microbatches onto survivors without moving a bit of
+//!   the parameters.
 //!
 //! The interconnect itself is modeled in
-//! [`sw_perfmodel::InterconnectSpec`] (per-link latency + bandwidth, as
-//! in the TaihuLight fat-tree's intra-supernode tier), keeping the cost
-//! model next to the chip-level roofline it extends.
+//! [`sw_perfmodel::InterconnectSpec`] + [`sw_perfmodel::Topology`]
+//! (per-link latency + bandwidth, switch groups with shared uplinks, as
+//! in the TaihuLight fat-tree's supernode tier), keeping the cost model
+//! next to the chip-level roofline it extends.
 
 pub mod allreduce;
+pub mod collective;
 pub mod fleet;
 pub mod router;
 pub mod train;
@@ -34,6 +44,10 @@ pub mod train;
 pub use allreduce::{
     load_gradients, plan_allreduce, reduce_fixed_order, take_gradients, AllreduceReport,
 };
+pub use collective::{
+    reduce_bucketized, reshard_on_failure, run_collective, shard_microbatches, BucketPlan,
+    BucketSpan, CollectiveReport,
+};
 pub use fleet::{Cluster, ClusterConfig, ClusterSummary};
 pub use router::ShapeRouter;
-pub use train::{DataParallelTrainer, StepReport, TrainConfig};
+pub use train::{CollectiveSummary, DataParallelTrainer, StepReport, TrainConfig};

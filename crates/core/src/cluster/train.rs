@@ -1,29 +1,44 @@
-//! Data-parallel SGD across simulated chips.
+//! Elastic data-parallel SGD across simulated chips with bucketized,
+//! overlap-aware gradient collectives.
 //!
 //! The global batch is cut into `M` microbatches; each of `C` chips owns
-//! `M/C` of them, runs forward/backward, and the per-microbatch
-//! gradients meet in an allreduce
-//! ([`super::allreduce::reduce_fixed_order`] for the numbers,
-//! [`sw_perfmodel::InterconnectSpec`] for the time). Because every
+//! a contiguous run of them ([`super::collective::shard_microbatches`] —
+//! ragged counts allowed, the first `M mod C` chips take one extra).
+//! Per-microbatch gradients meet in a bucketized allreduce: the flat
+//! gradient is cut into buckets, each bucket launches its own
+//! [`sw_perfmodel::CollectiveSchedule`] as soon as the last backward
+//! sweep has produced it, and all buckets contend for ports and uplinks
+//! on the topology-aware [`sw_perfmodel::NetworkModel`]. Because every
 //! microbatch's gradient enters the sum at its *global index* — not in
-//! arrival or ring order — the reduced gradient, and therefore every
-//! parameter after every step, is bit-identical at any chip count.
+//! arrival, ring, or bucket order — the reduced gradient, and therefore
+//! every parameter after every step, is bit-identical at any chip count,
+//! bucket size, or thread count.
 //!
-//! Time is modeled, not measured: a step costs `M/C` microbatch compute
-//! times (data parallelism's compute speedup) plus the collective's
-//! modeled time (its overhead). Weak-scaling efficiency — throughput
-//! per chip at constant per-chip load — is then a deterministic number
-//! the `cluster_bench` CI gate can hold at ≥80%.
+//! **Elasticity:** a [`sw_sim::FaultPlan`] with a chip-fail rate may
+//! kill one chip mid-step. Its entire assignment reshards round-robin
+//! onto the survivors ([`super::collective::reshard_on_failure`]), the
+//! collective runs over the survivor set, and the step completes with
+//! zero lost microbatches and parameters identical to a healthy step —
+//! the failure moves only simulated time. The chip stays down for later
+//! steps until [`DataParallelTrainer::restore_chip`].
+//!
+//! Time is modeled, not measured: compute ends per chip, per-bucket
+//! readiness (`ready = end − backward_fraction·mb_us·lo/total`), and the
+//! executed collective finish together give the step's wall time; the
+//! `collective_overlap_permille` gauge reports how much wire time hid
+//! under backward compute.
 
-use super::allreduce::{
-    load_gradients, plan_allreduce, reduce_fixed_order, take_gradients, AllreduceReport,
+use super::allreduce::{load_gradients, take_gradients, AllreduceReport};
+use super::collective::{
+    reduce_bucketized, reshard_on_failure, run_collective, shard_microbatches, BucketPlan,
 };
 use crate::error::SwdnnError;
 use crate::network::Sequential;
 use crate::optim::Optimizer;
 use serde_json::Value;
 use sw_obs::{chip_tag, link_tag, Recorder, TagCounters};
-use sw_perfmodel::InterconnectSpec;
+use sw_perfmodel::{InterconnectSpec, LinkOccupancy, NetworkModel, Topology};
+use sw_sim::FaultPlan;
 use sw_tensor::{Layout, Tensor4};
 
 /// Data-parallel training configuration.
@@ -31,15 +46,30 @@ use sw_tensor::{Layout, Tensor4};
 pub struct TrainConfig {
     /// Simulated chips sharing the step.
     pub chips: usize,
-    /// Global microbatches per step (`M`); `chips` must divide it. The
-    /// microbatch is the reduction grain: gradients are summed in
-    /// microbatch-index order at any chip count.
+    /// Global microbatches per step (`M`); must be ≥ `chips` (ragged
+    /// distribution handles any `M mod C`). The microbatch is the
+    /// reduction grain: gradients are summed in microbatch-index order
+    /// at any chip count.
     pub microbatches: usize,
     pub interconnect: InterconnectSpec,
+    /// Switch-group structure the collectives execute against.
+    pub topology: Topology,
+    /// Cut the flat gradient into buckets of this many parameters
+    /// (`None` → one monolithic bucket, the PR 7 behavior).
+    pub bucket_params: Option<usize>,
+    /// Launch each bucket at its modeled backward-readiness instead of
+    /// holding everything until compute ends.
+    pub overlap: bool,
+    /// Fraction of a microbatch's compute that is backward — the window
+    /// over which buckets become ready, tail of the gradient first.
+    pub backward_fraction: f64,
+    /// Chip-grain fault injection; a positive
+    /// [`FaultPlan::chip_fail_rate`] lets chips die mid-step.
+    pub fault: FaultPlan,
     /// Modeled compute time one chip spends on one microbatch's
     /// forward+backward, µs of simulated time.
     pub compute_us_per_microbatch: u64,
-    /// Record per-chip compute and allreduce spans.
+    /// Record per-chip compute spans and per-bucket comm spans.
     pub trace: bool,
 }
 
@@ -49,10 +79,29 @@ impl Default for TrainConfig {
             chips: 1,
             microbatches: 8,
             interconnect: InterconnectSpec::sw_cluster(),
+            topology: Topology::flat(),
+            bucket_params: None,
+            overlap: true,
+            backward_fraction: 0.5,
+            fault: FaultPlan::none(0),
             compute_us_per_microbatch: 1_000,
             trace: false,
         }
     }
+}
+
+/// The step's gradient-communication summary (the bucketized view the
+/// legacy [`AllreduceReport`] aggregates away).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CollectiveSummary {
+    /// Buckets the gradient was cut into.
+    pub buckets: usize,
+    /// Σ per-bucket wire time, µs.
+    pub comm_us: f64,
+    /// Wire time hidden under backward compute, µs.
+    pub hidden_us: f64,
+    /// `1000 · hidden / comm` — the overlap gauge.
+    pub overlap_permille: u64,
 }
 
 /// One training step's outcome and modeled cost.
@@ -62,9 +111,17 @@ pub struct StepReport {
     pub loss: f64,
     /// Samples in the global batch.
     pub samples: usize,
-    /// Per-chip compute time, µs (`M/C` microbatches).
+    /// Modeled compute critical path, µs (slowest chip's end − start).
     pub compute_us: f64,
+    /// Monolithic-equivalent view of the collective: `time_us` is the
+    /// wire time *not* hidden under compute (what the step waited on).
     pub allreduce: AllreduceReport,
+    /// Bucket-level communication detail.
+    pub collective: CollectiveSummary,
+    /// Chip that died this step, if any.
+    pub failed_chip: Option<usize>,
+    /// Microbatches recomputed on survivors after the failure.
+    pub resharded_microbatches: usize,
     /// Full step wall time on the simulated cluster, µs.
     pub step_us: f64,
 }
@@ -83,7 +140,9 @@ impl StepReport {
 /// batch and slices it. One master copy stands in for all replicas —
 /// since replicas start identical and apply the identical reduced
 /// gradient each step, they stay identical, so simulating one of them
-/// *is* simulating all of them.
+/// *is* simulating all of them. That is also why elasticity cannot move
+/// numerics: a survivor recomputing a victim's microbatch feeds the same
+/// gradient into the same slot of the same fixed-order sum.
 pub struct DataParallelTrainer {
     cfg: TrainConfig,
     net: Sequential,
@@ -91,18 +150,21 @@ pub struct DataParallelTrainer {
     /// Simulated cluster clock, µs.
     clock_us: f64,
     steps: u64,
+    /// `down[c]` — chip `c` died in an earlier step and has not been
+    /// restored.
+    down: Vec<bool>,
     recorder: Recorder,
     /// Per-chip / per-link counters (`chip/N/microbatches`,
-    /// `link/ring-N/bytes`).
+    /// `link/tx-N/bytes`, `link/uplink-G-K/busy_us`, …).
     pub tags: TagCounters,
 }
 
 impl DataParallelTrainer {
     pub fn new(net: Sequential, opt: Optimizer, cfg: TrainConfig) -> Result<Self, SwdnnError> {
-        if cfg.chips == 0 || cfg.microbatches == 0 || !cfg.microbatches.is_multiple_of(cfg.chips) {
-            return Err(SwdnnError::ShapeMismatch {
-                expected: "chips ≥ 1 dividing the microbatch count".into(),
-                got: format!("chips={}, microbatches={}", cfg.chips, cfg.microbatches),
+        if cfg.chips == 0 || cfg.microbatches < cfg.chips {
+            return Err(SwdnnError::InsufficientMicrobatches {
+                microbatches: cfg.microbatches,
+                chips: cfg.chips,
             });
         }
         Ok(Self {
@@ -111,6 +173,7 @@ impl DataParallelTrainer {
             } else {
                 Recorder::disabled()
             },
+            down: vec![false; cfg.chips],
             cfg,
             net,
             opt,
@@ -141,6 +204,18 @@ impl DataParallelTrainer {
         &mut self.net
     }
 
+    /// Chips currently able to take work.
+    pub fn active_chips(&self) -> Vec<usize> {
+        (0..self.cfg.chips).filter(|&c| !self.down[c]).collect()
+    }
+
+    /// Bring a failed chip back for the next step.
+    pub fn restore_chip(&mut self, chip: usize) {
+        if chip < self.down.len() {
+            self.down[chip] = false;
+        }
+    }
+
     /// Every trainable parameter, flattened in the stable
     /// `visit_params` walk order — the bit-identity tests' comparand.
     pub fn parameters(&mut self) -> Vec<f64> {
@@ -167,12 +242,24 @@ impl DataParallelTrainer {
                 got: format!("batch={b}, labels={}", labels.len()),
             });
         }
-        let mb = b / m;
+        let active = self.active_chips();
+        if active.is_empty() {
+            return Err(SwdnnError::ClusterUnavailable {
+                chips: self.cfg.chips,
+            });
+        }
+        let shard = shard_microbatches(m, active.len())?;
+
+        // ----- numerics: independent of chips, buckets, and failures.
+        // The master net computes every microbatch in global index
+        // order; bucketized fixed-order reduction then matches the
+        // monolithic reduce bit for bit.
+        let mb_rows = b / m;
         let mut shard_grads = Vec::with_capacity(m);
         let mut loss_sum = 0.0;
         for i in 0..m {
-            let x = slice_batch(input, i * mb, mb);
-            let y = &labels[i * mb..(i + 1) * mb];
+            let x = slice_batch(input, i * mb_rows, mb_rows);
+            let y = &labels[i * mb_rows..(i + 1) * mb_rows];
             let logits = self.net.forward(&x)?;
             loss_sum += self.net.loss.forward(&logits, y)?;
             let mut grad = self.net.loss.backward(y)?;
@@ -181,59 +268,181 @@ impl DataParallelTrainer {
             }
             shard_grads.push(take_gradients(&mut self.net.layers));
         }
-        // The fixed-order reduction: microbatch index order, then one
-        // deterministic 1/M scale — identical at any chip count.
-        let mut reduced = reduce_fixed_order(&shard_grads);
+        let total_params = shard_grads.first().map(|g| g.len()).unwrap_or(0);
+        let plan = match self.cfg.bucket_params {
+            Some(bp) => BucketPlan::fixed_size(total_params, bp),
+            None => BucketPlan::single(total_params),
+        };
+        let mut reduced = reduce_bucketized(&shard_grads, &plan);
         let scale = 1.0 / m as f64;
         for g in &mut reduced {
             *g *= scale;
         }
-        let allreduce = plan_allreduce(&self.cfg.interconnect, reduced.len(), self.cfg.chips);
         load_gradients(&mut self.net.layers, &reduced);
         self.opt.step(&mut self.net.layers);
 
-        let per_chip = (m / self.cfg.chips) as u64;
-        let compute_us = (per_chip * self.cfg.compute_us_per_microbatch) as f64;
-        let step_us = compute_us + allreduce.time_us;
-        for chip in 0..self.cfg.chips {
-            self.tags.add(&chip_tag(chip, "microbatches"), per_chip);
-            self.tags.add(
-                &link_tag(&format!("ring-{chip}"), "bytes"),
-                allreduce.wire_bytes_per_chip,
-            );
+        // ----- time: per-chip compute ends, optional mid-step failure.
+        let mb_us = self.cfg.compute_us_per_microbatch as f64;
+        let mut own_end: Vec<f64> = shard
+            .iter()
+            .map(|r| self.clock_us + r.len() as f64 * mb_us)
+            .collect();
+        let mut extra_counts = vec![0usize; active.len()];
+        let mut extra_starts = vec![0.0f64; active.len()];
+        let mut failed_chip = None;
+        let mut resharded = 0usize;
+        if active.len() > 1 {
+            if let Some(v) = active
+                .iter()
+                .position(|&chip| self.cfg.fault.chip_fails(chip, self.steps))
+            {
+                let victim = active[v];
+                let n_v = shard[v].len();
+                let done = ((self.cfg.fault.chip_fail_progress(victim, self.steps) * n_v as f64)
+                    .floor() as usize)
+                    .min(n_v);
+                let t_fail = self.clock_us + done as f64 * mb_us;
+                // A dead chip's partial sums die with it: the whole
+                // assignment reshards, detection costs one link latency.
+                let detect_us = self.cfg.interconnect.link_latency_us;
+                let extra = reshard_on_failure(&shard, v);
+                for (p, ex) in extra.iter().enumerate() {
+                    if ex.is_empty() {
+                        continue;
+                    }
+                    let start = own_end[p].max(t_fail + detect_us);
+                    extra_starts[p] = start;
+                    extra_counts[p] = ex.len();
+                    own_end[p] = start + ex.len() as f64 * mb_us;
+                }
+                own_end[v] = t_fail;
+                failed_chip = Some(victim);
+                resharded = n_v;
+                self.down[victim] = true;
+                self.tags.add(&chip_tag(victim, "failures"), 1);
+                self.tags
+                    .add(&chip_tag(victim, "microbatches"), done as u64);
+            }
+        }
+        let members: Vec<usize> = active
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| failed_chip != Some(active[p]))
+            .map(|(_, &chip)| chip)
+            .collect();
+        let compute_end = active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &chip)| failed_chip != Some(chip))
+            .map(|(p, _)| own_end[p])
+            .fold(self.clock_us, f64::max);
+
+        // ----- the collective: per-bucket readiness, shared occupancy.
+        let bf = self.cfg.backward_fraction.clamp(0.0, 1.0);
+        let ready: Vec<f64> = plan
+            .buckets
+            .iter()
+            .map(|r| {
+                if self.cfg.overlap && total_params > 0 {
+                    compute_end - bf * mb_us * (r.start as f64 / total_params as f64)
+                } else {
+                    compute_end
+                }
+            })
+            .collect();
+        let model = NetworkModel::new(self.cfg.interconnect, self.cfg.topology);
+        let mut occ = LinkOccupancy::new();
+        let creport = run_collective(&model, &mut occ, &members, &plan, &ready, compute_end);
+
+        // ----- observability: spans, chip counters, link counters.
+        for (p, &chip) in active.iter().enumerate() {
+            let n = shard[p].len() as u64;
+            if failed_chip == Some(chip) {
+                self.recorder.span_cat(
+                    "compute-failed",
+                    "train",
+                    chip as u64,
+                    0,
+                    self.clock_us,
+                    own_end[p] - self.clock_us,
+                    vec![("lost_microbatches".into(), Value::from(n))],
+                );
+                continue;
+            }
+            self.tags.add(&chip_tag(chip, "microbatches"), n);
             self.recorder.span_cat(
                 "compute",
                 "train",
                 chip as u64,
                 0,
                 self.clock_us,
-                compute_us,
-                vec![("microbatches".into(), Value::from(per_chip))],
+                shard[p].len() as f64 * mb_us,
+                vec![("microbatches".into(), Value::from(n))],
             );
-            self.recorder.span_cat(
-                "allreduce",
-                "train",
-                chip as u64,
-                0,
-                self.clock_us + compute_us,
-                allreduce.time_us,
-                vec![
-                    ("kind".into(), Value::from(allreduce.kind.name())),
-                    ("bytes".into(), Value::from(allreduce.tensor_bytes)),
-                    (
-                        "wire_bytes".into(),
-                        Value::from(allreduce.wire_bytes_per_chip),
-                    ),
-                ],
-            );
+            if extra_counts[p] > 0 {
+                self.tags
+                    .add(&chip_tag(chip, "microbatches"), extra_counts[p] as u64);
+                self.tags
+                    .add(&chip_tag(chip, "resharded_in"), extra_counts[p] as u64);
+                self.recorder.span_cat(
+                    "compute-resharded",
+                    "train",
+                    chip as u64,
+                    0,
+                    extra_starts[p],
+                    extra_counts[p] as f64 * mb_us,
+                    vec![("microbatches".into(), Value::from(extra_counts[p] as u64))],
+                );
+            }
         }
-        self.clock_us += step_us;
+        for span in &creport.spans {
+            for &chip in &members {
+                self.recorder.span_cat(
+                    &format!("bucket-{}", span.bucket),
+                    "comm",
+                    chip as u64,
+                    1,
+                    span.start_us,
+                    span.finish_us - span.start_us,
+                    vec![
+                        ("kind".into(), Value::from(span.kind.name())),
+                        ("bytes".into(), Value::from(span.bytes)),
+                        ("ready_us".into(), Value::from(span.ready_us)),
+                    ],
+                );
+            }
+        }
+        for (name, usage) in occ.links() {
+            self.tags.add(&link_tag(name, "bytes"), usage.bytes);
+            self.tags
+                .add(&link_tag(name, "busy_us"), usage.busy_us.round() as u64);
+        }
+
+        let compute_us = compute_end - self.clock_us;
+        let step_end = compute_end.max(creport.finish_us);
+        let step_us = step_end - self.clock_us;
+        let allreduce = AllreduceReport {
+            kind: creport.kind,
+            tensor_bytes: creport.tensor_bytes,
+            time_us: (creport.finish_us - compute_end).max(0.0),
+            wire_bytes_per_chip: creport.wire_bytes_per_chip,
+        };
+        let collective = CollectiveSummary {
+            buckets: creport.buckets,
+            comm_us: creport.comm_us,
+            hidden_us: creport.hidden_us,
+            overlap_permille: creport.overlap_permille,
+        };
+        self.clock_us = step_end;
         self.steps += 1;
         Ok(StepReport {
             loss: loss_sum / m as f64,
             samples: b,
             compute_us,
             allreduce,
+            collective,
+            failed_chip,
+            resharded_microbatches: resharded,
             step_us,
         })
     }
@@ -280,36 +489,50 @@ mod tests {
         (x, y)
     }
 
-    fn trainer(chips: usize, microbatches: usize) -> DataParallelTrainer {
-        let mb = 32 / microbatches;
+    fn trainer_cfg(cfg: TrainConfig) -> DataParallelTrainer {
+        let mb = 32 / cfg.microbatches;
         let net = lenet_12(mb, 1, 2, Engine::Host, 42).unwrap();
-        DataParallelTrainer::new(
-            net,
-            Optimizer::sgd(0.1),
-            TrainConfig {
-                chips,
-                microbatches,
-                ..TrainConfig::default()
-            },
-        )
-        .unwrap()
+        DataParallelTrainer::new(net, Optimizer::sgd(0.1), cfg).unwrap()
+    }
+
+    fn trainer(chips: usize, microbatches: usize) -> DataParallelTrainer {
+        trainer_cfg(TrainConfig {
+            chips,
+            microbatches,
+            ..TrainConfig::default()
+        })
     }
 
     #[test]
-    fn rejects_chip_counts_that_do_not_divide() {
+    fn ragged_chip_counts_are_accepted_and_bit_identical() {
+        let (x, y) = task(32, 5);
+        let mut even = trainer(1, 8);
+        let mut ragged = trainer(3, 8); // shards 3,3,2
+        for _ in 0..3 {
+            even.step(&x, &y).unwrap();
+            ragged.step(&x, &y).unwrap();
+        }
+        assert_eq!(even.parameters(), ragged.parameters());
+    }
+
+    #[test]
+    fn rejects_fewer_microbatches_than_chips() {
         let net = lenet_12(4, 1, 2, Engine::Host, 1).unwrap();
         let err = DataParallelTrainer::new(
             net,
             Optimizer::sgd(0.1),
             TrainConfig {
-                chips: 3,
-                microbatches: 8,
+                chips: 8,
+                microbatches: 4,
                 ..TrainConfig::default()
             },
         );
         assert!(matches!(
-            err.err().expect("3 chips cannot split 8 microbatches"),
-            SwdnnError::ShapeMismatch { .. }
+            err.err().expect("8 chips cannot run on 4 microbatches"),
+            SwdnnError::InsufficientMicrobatches {
+                microbatches: 4,
+                chips: 8
+            }
         ));
     }
 
@@ -359,6 +582,81 @@ mod tests {
     }
 
     #[test]
+    fn bucketized_overlap_beats_serial_comm_and_keeps_numerics() {
+        let (x, y) = task(32, 5);
+        let overlap_cfg = TrainConfig {
+            chips: 4,
+            microbatches: 8,
+            bucket_params: Some(100),
+            overlap: true,
+            ..TrainConfig::default()
+        };
+        let serial_cfg = TrainConfig {
+            overlap: false,
+            ..overlap_cfg
+        };
+        let mut mono = trainer(4, 8);
+        let mut over = trainer_cfg(overlap_cfg);
+        let mut serial = trainer_cfg(serial_cfg);
+        let (mut ro, mut rs) = (None, None);
+        for _ in 0..3 {
+            mono.step(&x, &y).unwrap();
+            ro = Some(over.step(&x, &y).unwrap());
+            rs = Some(serial.step(&x, &y).unwrap());
+        }
+        let (ro, rs) = (ro.unwrap(), rs.unwrap());
+        assert_eq!(over.parameters(), mono.parameters(), "buckets moved bits");
+        assert_eq!(serial.parameters(), mono.parameters());
+        assert!(ro.collective.buckets > 1);
+        assert!(
+            ro.step_us < rs.step_us,
+            "overlap {} must beat serial {}",
+            ro.step_us,
+            rs.step_us
+        );
+        assert!(ro.collective.overlap_permille > 0);
+        assert_eq!(rs.collective.overlap_permille, 0);
+    }
+
+    #[test]
+    fn chip_failure_reshards_without_moving_parameters() {
+        let (x, y) = task(32, 5);
+        let mut healthy = trainer(4, 8);
+        let mut faulty = trainer_cfg(TrainConfig {
+            chips: 4,
+            microbatches: 8,
+            fault: FaultPlan::none(7).with_chip_fail_rate(1.0),
+            ..TrainConfig::default()
+        });
+        let rh = healthy.step(&x, &y).unwrap();
+        let rf = faulty.step(&x, &y).unwrap();
+        // Rate 1.0 fails the first active chip; its 2 microbatches
+        // recompute on survivors and the step costs more time.
+        assert_eq!(rf.failed_chip, Some(0));
+        assert_eq!(rf.resharded_microbatches, 2);
+        assert!(rf.step_us > rh.step_us);
+        assert_eq!(rf.loss, rh.loss);
+        assert_eq!(healthy.parameters(), faulty.parameters());
+        // The chip stays down: next step fails the next-lowest id.
+        assert_eq!(faulty.active_chips(), vec![1, 2, 3]);
+        let rf2 = faulty.step(&x, &y).unwrap();
+        assert_eq!(rf2.failed_chip, Some(1));
+        assert_eq!(healthy.step(&x, &y).unwrap().loss, rf2.loss);
+        assert_eq!(healthy.parameters(), faulty.parameters());
+        // Restore brings the chip back into the assignment.
+        faulty.restore_chip(0);
+        assert_eq!(faulty.active_chips(), vec![0, 2, 3]);
+        // A lone survivor never self-fails: drain down to one chip.
+        let rf3 = faulty.step(&x, &y).unwrap(); // fails 0 again
+        assert_eq!(rf3.failed_chip, Some(0));
+        let rf4 = faulty.step(&x, &y).unwrap(); // fails 2
+        assert_eq!(rf4.failed_chip, Some(2));
+        let rf5 = faulty.step(&x, &y).unwrap(); // 3 alone: no failure
+        assert_eq!(rf5.failed_chip, None);
+        assert_eq!(faulty.active_chips(), vec![3]);
+    }
+
+    #[test]
     fn counters_and_trace_cover_every_chip() {
         let (x, y) = task(32, 8);
         let net = lenet_12(4, 1, 2, Engine::Host, 42).unwrap();
@@ -376,12 +674,14 @@ mod tests {
         t.step(&x, &y).unwrap();
         for chip in 0..4 {
             assert_eq!(t.tags.get(&chip_tag(chip, "microbatches")), 2);
-            assert!(t.tags.get(&link_tag(&format!("ring-{chip}"), "bytes")) > 0);
+            assert!(t.tags.get(&link_tag(&format!("tx-{chip}"), "bytes")) > 0);
+            assert!(t.tags.get(&link_tag(&format!("rx-{chip}"), "bytes")) > 0);
         }
         let trace = t.take_trace();
         let pids: std::collections::BTreeSet<u64> = trace.events.iter().map(|e| e.pid).collect();
         assert_eq!(pids.len(), 4, "one track per chip");
         assert!(trace.category_dur_us("train") > 0.0);
+        assert!(trace.category_dur_us("comm") > 0.0, "comm spans recorded");
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub enum SwdnnError {
     /// Every chip in the cluster is marked down; no route exists for any
     /// request until one recovers.
     ClusterUnavailable { chips: usize },
+    /// A data-parallel step has fewer microbatches than chips, so some
+    /// chips would sit idle all step. Ragged distribution handles every
+    /// other mismatch (`M mod C ≠ 0`); this is the one shape the trainer
+    /// refuses outright.
+    InsufficientMicrobatches { microbatches: usize, chips: usize },
 }
 
 impl std::fmt::Display for SwdnnError {
@@ -91,6 +96,16 @@ impl std::fmt::Display for SwdnnError {
             }
             SwdnnError::ClusterUnavailable { chips } => {
                 write!(f, "all {chips} cluster chips are down; no route exists")
+            }
+            SwdnnError::InsufficientMicrobatches {
+                microbatches,
+                chips,
+            } => {
+                write!(
+                    f,
+                    "{microbatches} microbatches cannot feed {chips} chips; \
+                     need at least one microbatch per chip"
+                )
             }
         }
     }

@@ -23,9 +23,18 @@ pub fn chip_tag(chip: usize, metric: &str) -> String {
     format!("chip/{chip}/{metric}")
 }
 
-/// Tag key for a per-link metric (`link/ingress-2/bytes`). Links are
-/// named by endpoint (`ingress-N` for the front-door→chip hop,
-/// `ring-N` for chip N's allreduce send port).
+/// Tag key for a per-link metric (`link/tx-2/bytes`). Links are named
+/// by the network resource they meter:
+///
+/// * `ingress-N` — the serving front-door→chip hop,
+/// * `tx-N` / `rx-N` — chip N's collective send / receive port
+///   (`sw_perfmodel::NetworkModel` occupancy names),
+/// * `uplink-G-K` — uplink K of switch group G, the shared resource
+///   cross-group traffic serializes on.
+///
+/// Common metrics are `bytes` (payload carried) and `busy_us`
+/// (occupancy time) so the sorted snapshot reads as a per-link
+/// utilization table.
 pub fn link_tag(link: &str, metric: &str) -> String {
     format!("link/{link}/{metric}")
 }
@@ -136,6 +145,20 @@ mod tests {
         assert_eq!(t.get("chip/0/served"), 2);
         assert_eq!(t.get("chip/1/served"), 4);
         assert_eq!(t.get("link/ingress-0/bytes"), 100);
+    }
+
+    #[test]
+    fn link_classes_group_in_the_snapshot() {
+        // The collective layer's resource names (tx/rx ports, group
+        // uplinks) must land under the same `link/` prefix so one sorted
+        // snapshot shows the whole network's utilization together.
+        let t = TagCounters::new();
+        t.add(&link_tag("tx-0", "bytes"), 10);
+        t.add(&link_tag("rx-0", "busy_us"), 7);
+        t.add(&link_tag("uplink-1-0", "bytes"), 3);
+        let keys: Vec<String> = t.snapshot().into_iter().map(|(k, _)| k).collect();
+        assert!(keys.iter().all(|k| k.starts_with("link/")));
+        assert_eq!(t.get("link/uplink-1-0/bytes"), 3);
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //!   the batch is large enough, image-size-aware with `Co` blocking
 //!   otherwise) driven by minimizing modeled RBW under the LDM budget,
 //! * [`interconnect`] — the chip-to-chip network model (per-link latency +
-//!   bandwidth, ring/tree allreduce schedules) behind `swdnn::cluster`.
+//!   bandwidth, ring/tree allreduce schedules as data, switch-group
+//!   topology with shared uplinks, per-link occupancy timelines) behind
+//!   `swdnn::cluster`.
 
 pub mod chip;
 pub mod comm;
@@ -39,6 +41,9 @@ pub use chip::ChipSpec;
 pub use comm::{comm_optimal_permille, conv_macs, mem_comm_lower_bound_bytes};
 pub use dma::{DmaDirection, DmaTable, RationalFit};
 pub use freq::{spatial_wins, FftConvModel, FreqCase};
-pub use interconnect::{AllreduceKind, InterconnectSpec};
+pub use interconnect::{
+    AllreduceKind, CollectiveCost, CollectiveSchedule, InterconnectSpec, LinkOccupancy, LinkUse,
+    NetworkModel, Round, Topology, Transfer,
+};
 pub use model::{ConvPerfModel, PerfEstimate};
 pub use select::{select_plan, Blocking, PlanChoice, PlanKind};

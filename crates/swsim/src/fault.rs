@@ -64,6 +64,11 @@ pub struct FaultPlan {
     pub cpe_stall_cycles: u64,
     /// Bitmask of permanently-offline CPEs; bit `row * 8 + col`.
     pub dead_mask: u64,
+    /// Probability that a whole *chip* (one node of a multi-chip cluster)
+    /// fails during a training step. Consulted by the cluster layer, not
+    /// the mesh: a chip failure kills all 4 CGs at once, so it is decided
+    /// at chip grain rather than per CPE.
+    pub chip_fail_rate: f64,
     /// DMA retry policy applied inside the mesh.
     pub retry: RetryPolicy,
 }
@@ -77,6 +82,8 @@ enum Stream {
     DmaStall = 2,
     MsgDrop = 3,
     CpeStall = 4,
+    ChipFail = 5,
+    ChipFailPoint = 6,
 }
 
 fn splitmix64(mut z: u64) -> u64 {
@@ -98,6 +105,7 @@ impl FaultPlan {
             cpe_stall_rate: 0.0,
             cpe_stall_cycles: 0,
             dead_mask: 0,
+            chip_fail_rate: 0.0,
             retry: RetryPolicy::default(),
         }
     }
@@ -130,6 +138,12 @@ impl FaultPlan {
         self
     }
 
+    /// Probability that a chip drops out of a training step.
+    pub fn with_chip_fail_rate(mut self, rate: f64) -> Self {
+        self.chip_fail_rate = rate;
+        self
+    }
+
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
@@ -150,6 +164,7 @@ impl FaultPlan {
             || self.msg_drop_rate > 0.0
             || self.cpe_stall_rate > 0.0
             || self.dead_mask != 0
+            || self.chip_fail_rate > 0.0
     }
 
     /// Uniform draw in `[0, 1)` for `(stream, actor, seq)` — pure in the
@@ -207,6 +222,23 @@ impl FaultPlan {
     /// Is CPE `(row, col)` permanently offline?
     pub fn cpe_dead(&self, row: usize, col: usize) -> bool {
         self.dead_mask & (1u64 << (row * 8 + col)) != 0
+    }
+
+    /// Does chip `chip` fail during training step `step`? Pure in the
+    /// seed — the same plan replays the identical failure pattern across
+    /// runs and worker-pool thread counts, which is what lets the elastic
+    /// trainer's reshard protocol be asserted bit-for-bit.
+    pub fn chip_fails(&self, chip: usize, step: u64) -> bool {
+        self.chip_fail_rate > 0.0
+            && self.roll(Stream::ChipFail, chip as u64, step) < self.chip_fail_rate
+    }
+
+    /// Where in the step chip `chip` dies, as a fraction in `[0, 1)` of
+    /// its assigned microbatches completed before the failure. Drawn from
+    /// an independent stream so retuning the failure *rate* never moves
+    /// the failure *point* of a step that fails either way.
+    pub fn chip_fail_progress(&self, chip: usize, step: u64) -> f64 {
+        self.roll(Stream::ChipFailPoint, chip as u64, step)
     }
 }
 
@@ -278,6 +310,30 @@ mod tests {
             assert!(!p.msg_dropped(0, 1, seq));
             assert_eq!(p.cpe_stall(0, seq), 0);
         }
+    }
+
+    #[test]
+    fn chip_failures_are_deterministic_and_rate_independent_of_point() {
+        let p = FaultPlan::none(3).with_chip_fail_rate(0.25);
+        let q = FaultPlan::none(3).with_chip_fail_rate(0.25);
+        assert!(p.is_active());
+        let mut any = false;
+        for chip in 0..8 {
+            for step in 0..64 {
+                assert_eq!(p.chip_fails(chip, step), q.chip_fails(chip, step));
+                any |= p.chip_fails(chip, step);
+                let prog = p.chip_fail_progress(chip, step);
+                assert!((0.0..1.0).contains(&prog));
+            }
+        }
+        assert!(any, "a 25% rate over 512 draws must hit");
+        // Retuning the rate leaves the failure point of a given (chip,
+        // step) untouched — independent streams.
+        let r = FaultPlan::none(3).with_chip_fail_rate(0.9);
+        assert_eq!(p.chip_fail_progress(2, 7), r.chip_fail_progress(2, 7));
+        // Rate 0 never fails.
+        let z = FaultPlan::none(3);
+        assert!((0..64).all(|s| !z.chip_fails(0, s)));
     }
 
     #[test]

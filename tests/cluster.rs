@@ -1,18 +1,29 @@
 //! Cluster-level determinism and resilience suite.
 //!
-//! Three properties the multi-chip layer must hold, all end to end:
+//! Four properties the multi-chip layer must hold, all end to end:
 //!
 //! 1. **Gradient bit-identity.** Data-parallel training produces the
-//!    exact same parameters at 1/2/4/8 chips — and at every worker-pool
-//!    thread count — because the reduction order is fixed by microbatch
-//!    index, not by the collective schedule or the host schedule.
+//!    exact same parameters at 1/2/4/8 chips (and ragged counts), every
+//!    worker-pool thread count, and every gradient bucket size — because
+//!    the reduction order is fixed by microbatch index, not by the
+//!    collective schedule, the bucketing, or the host schedule.
 //! 2. **Routing determinism.** The fleet's routing-decision fingerprint
 //!    and every serving number derived from it replay bit-for-bit across
 //!    runs and thread counts.
-//! 3. **Failure without loss.** Killing a chip with queued work reroutes
-//!    everything to survivors: every high-priority request is either
-//!    served or shed with a structured `Overloaded` — none vanish.
+//! 3. **Failure without loss.** Killing a serving chip with queued work
+//!    reroutes everything to survivors; killing a *training* chip
+//!    mid-step reshards its microbatches onto survivors and the step
+//!    finishes with parameters identical to a healthy step.
+//! 4. **Overlap is time-only.** Bucketized overlap strictly reduces the
+//!    modeled step time and moves the `collective_overlap_permille`
+//!    gauge without touching a parameter bit.
+//!
+//! `SWDNN_CHIP_FAULT_SEED` reseeds the chip-failure fault plan (CI runs
+//! the suite once under `SWDNN_THREADS=2` with it set); the assertions
+//! are seed-independent because a rate-1.0 plan always kills the first
+//! active chip and the seed only moves the fail *point* within the step.
 
+use sw_sim::FaultPlan;
 use sw_tensor::{Layout, Shape4, Tensor4};
 use swdnn::cluster::{Cluster, ClusterConfig, DataParallelTrainer, TrainConfig};
 use swdnn::layers::Engine;
@@ -48,25 +59,26 @@ fn task(batch: usize, seed: u64) -> (Tensor4<f64>, Vec<usize>) {
     (x, y)
 }
 
-/// Train 3 steps at `chips` chips and return the flattened parameters.
-fn train_params(chips: usize) -> Vec<f64> {
-    let microbatches = 8;
+/// Build the suite's standard trainer (8 microbatches of 4 over
+/// lenet_12) with the given config knobs, run 3 steps, and return the
+/// flattened parameters.
+fn train_params_cfg(cfg: TrainConfig) -> Vec<f64> {
     let (x, y) = task(32, 0xD474);
-    let net = lenet_12(32 / microbatches, 1, 2, Engine::Host, 42).expect("build lenet");
-    let mut t = DataParallelTrainer::new(
-        net,
-        Optimizer::sgd(0.1),
-        TrainConfig {
-            chips,
-            microbatches,
-            ..TrainConfig::default()
-        },
-    )
-    .expect("build trainer");
+    let net = lenet_12(32 / cfg.microbatches, 1, 2, Engine::Host, 42).expect("build lenet");
+    let mut t = DataParallelTrainer::new(net, Optimizer::sgd(0.1), cfg).expect("build trainer");
     for _ in 0..3 {
         t.step(&x, &y).expect("train step");
     }
     t.parameters()
+}
+
+/// Train 3 steps at `chips` chips and return the flattened parameters.
+fn train_params(chips: usize) -> Vec<f64> {
+    train_params_cfg(TrainConfig {
+        chips,
+        microbatches: 8,
+        ..TrainConfig::default()
+    })
 }
 
 #[test]
@@ -83,6 +95,154 @@ fn gradients_bit_identical_across_chips_and_thread_counts() {
             );
         }
     }
+}
+
+#[test]
+fn bucketized_allreduce_bit_identical_at_every_chip_thread_bucket_combo() {
+    // The property the whole collective refactor rests on: bucket size
+    // is a pure timing knob. Monolithic 1-chip single-thread training is
+    // the comparand; every (chips × threads × bucket size) combination
+    // must reproduce it bit for bit — including ragged chip counts that
+    // don't divide the 8 microbatches.
+    let reference = sw_runtime::with_threads(1, || train_params(1));
+    for threads in [1usize, 4, 8] {
+        for chips in [1usize, 2, 3, 4, 5, 8] {
+            for bucket_params in [Some(1), Some(50), Some(100), Some(300), None] {
+                let got = sw_runtime::with_threads(threads, || {
+                    train_params_cfg(TrainConfig {
+                        chips,
+                        microbatches: 8,
+                        bucket_params,
+                        ..TrainConfig::default()
+                    })
+                });
+                assert_eq!(
+                    got, reference,
+                    "parameters diverged at {chips} chips / {threads} threads / \
+                     bucket_params={bucket_params:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fewer_microbatches_than_chips_is_a_structured_error() {
+    let net = lenet_12(4, 1, 2, Engine::Host, 42).expect("build lenet");
+    let err = DataParallelTrainer::new(
+        net,
+        Optimizer::sgd(0.1),
+        TrainConfig {
+            chips: 8,
+            microbatches: 4,
+            ..TrainConfig::default()
+        },
+    )
+    .err()
+    .expect("4 microbatches cannot feed 8 chips");
+    match err {
+        SwdnnError::InsufficientMicrobatches {
+            microbatches,
+            chips,
+        } => {
+            assert_eq!((microbatches, chips), (4, 8));
+        }
+        other => panic!("expected InsufficientMicrobatches, got {other}"),
+    }
+}
+
+/// The chip-failure fault seed: CI sets `SWDNN_CHIP_FAULT_SEED` to run
+/// the suite under a different decision stream; the assertions hold for
+/// any seed because the failure *choice* is rate-1.0 deterministic and
+/// the seed only moves the within-step fail point.
+fn chip_fault_seed() -> u64 {
+    std::env::var("SWDNN_CHIP_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFA_17)
+}
+
+#[test]
+fn training_chip_failure_reshards_and_keeps_parameters_bit_identical() {
+    let (x, y) = task(32, 0xD474);
+    let build = |fault: FaultPlan| {
+        let net = lenet_12(4, 1, 2, Engine::Host, 42).expect("build lenet");
+        DataParallelTrainer::new(
+            net,
+            Optimizer::sgd(0.1),
+            TrainConfig {
+                chips: 4,
+                microbatches: 8,
+                fault,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("build trainer")
+    };
+    let mut healthy = build(FaultPlan::none(chip_fault_seed()));
+    let mut faulty = build(FaultPlan::none(chip_fault_seed()).with_chip_fail_rate(1.0));
+    for step in 0..3u64 {
+        let rh = healthy.step(&x, &y).expect("healthy step");
+        let rf = faulty.step(&x, &y).expect("faulty step");
+        // Rate 1.0 kills the lowest-id active chip every step until one
+        // survivor remains; each victim's whole assignment reshards.
+        assert_eq!(rf.failed_chip, Some(step as usize), "victim order");
+        assert!(rf.resharded_microbatches > 0, "no microbatch may be lost");
+        assert!(
+            rf.step_us > rh.step_us,
+            "recomputation must cost simulated time"
+        );
+        assert_eq!(rf.loss, rh.loss, "losses must agree bit for bit");
+        assert_eq!(
+            healthy.parameters(),
+            faulty.parameters(),
+            "chip failure moved parameters at step {step}"
+        );
+    }
+    assert_eq!(faulty.active_chips(), vec![3], "three failures in 3 steps");
+    // A lone survivor keeps training rather than self-destructing.
+    let last = faulty.step(&x, &y).expect("lone survivor step");
+    assert_eq!(last.failed_chip, None);
+    healthy.step(&x, &y).expect("healthy step 4");
+    assert_eq!(healthy.parameters(), faulty.parameters());
+}
+
+#[test]
+fn overlap_hides_wire_time_without_touching_numerics() {
+    let (x, y) = task(32, 0xD474);
+    let run = |overlap: bool| {
+        let net = lenet_12(4, 1, 2, Engine::Host, 42).expect("build lenet");
+        let mut t = DataParallelTrainer::new(
+            net,
+            Optimizer::sgd(0.1),
+            TrainConfig {
+                chips: 4,
+                microbatches: 8,
+                bucket_params: Some(100),
+                overlap,
+                topology: sw_perfmodel::Topology::sw_supernode(),
+                ..TrainConfig::default()
+            },
+        )
+        .expect("build trainer");
+        let mut last = None;
+        for _ in 0..3 {
+            last = Some(t.step(&x, &y).expect("step"));
+        }
+        (last.unwrap(), t.parameters())
+    };
+    let (over, over_params) = run(true);
+    let (serial, serial_params) = run(false);
+    assert_eq!(over_params, serial_params, "overlap is a timing knob only");
+    assert!(over.collective.buckets > 1);
+    assert!(over.collective.overlap_permille > 0, "gauge must move");
+    assert_eq!(serial.collective.overlap_permille, 0);
+    assert!(
+        over.step_us < serial.step_us,
+        "overlapped {} µs must strictly beat serial {} µs",
+        over.step_us,
+        serial.step_us
+    );
 }
 
 fn serve_config() -> ServeConfig {
